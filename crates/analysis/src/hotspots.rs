@@ -1,0 +1,143 @@
+//! Per-file hotspot analysis: which paths receive the most operations,
+//! bytes and time — the "which file is hot" question every I/O debugging
+//! session starts with.
+
+use std::collections::HashMap;
+
+use iotrace_model::event::TraceRecord;
+use iotrace_sim::time::SimDur;
+
+/// Aggregate for one path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PathStats {
+    pub ops: u64,
+    pub bytes: u64,
+    pub time: SimDur,
+}
+
+/// Per-path aggregation over records carrying path arguments. Records
+/// without a path (fd-based calls) are attributed via the most recent
+/// successful `open` of that fd within the same (rank, pid).
+pub fn by_path<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> HashMap<String, PathStats> {
+    let mut out: HashMap<String, PathStats> = HashMap::new();
+    // (rank, fd) -> path
+    let mut open_fds: HashMap<(u32, i64), String> = HashMap::new();
+    for r in records {
+        use iotrace_model::event::IoCall::*;
+        let path: Option<String> = match &r.call {
+            Open { path, .. } => {
+                if r.result >= 0 {
+                    open_fds.insert((r.rank, r.result), path.clone());
+                }
+                Some(path.clone())
+            }
+            MpiFileOpen { path, .. } => {
+                if r.result >= 0 {
+                    open_fds.insert((r.rank, r.result), path.clone());
+                }
+                Some(path.clone())
+            }
+            Close { fd } | MpiFileClose { fd } => open_fds.remove(&(r.rank, *fd)),
+            Read { fd, .. } | Write { fd, .. } | Pread { fd, .. } | Pwrite { fd, .. }
+            | Lseek { fd, .. } | Fsync { fd } | MpiFileWriteAt { fd, .. }
+            | MpiFileReadAt { fd, .. } => open_fds.get(&(r.rank, *fd)).cloned(),
+            _ => r.call.path().map(|p| p.to_string()),
+        };
+        if let Some(p) = path {
+            let e = out.entry(p).or_default();
+            e.ops += 1;
+            e.bytes += r.call.bytes();
+            e.time += r.dur;
+        }
+    }
+    out
+}
+
+/// The `n` paths with the most bytes moved, descending.
+pub fn top_by_bytes(stats: &HashMap<String, PathStats>, n: usize) -> Vec<(String, PathStats)> {
+    let mut v: Vec<(String, PathStats)> =
+        stats.iter().map(|(k, s)| (k.clone(), s.clone())).collect();
+    v.sort_by(|a, b| b.1.bytes.cmp(&a.1.bytes).then(a.0.cmp(&b.0)));
+    v.truncate(n);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace_model::event::IoCall;
+    use iotrace_sim::time::SimTime;
+
+    fn rec(call: IoCall, result: i64) -> TraceRecord {
+        TraceRecord {
+            ts: SimTime::ZERO,
+            dur: SimDur::from_micros(10),
+            rank: 0,
+            node: 0,
+            pid: 1,
+            uid: 0,
+            gid: 0,
+            call,
+            result,
+        }
+    }
+
+    #[test]
+    fn fd_calls_attributed_to_opened_path() {
+        let recs = vec![
+            rec(IoCall::Open { path: "/data/a".into(), flags: 0, mode: 0 }, 3),
+            rec(IoCall::Write { fd: 3, len: 100 }, 100),
+            rec(IoCall::Write { fd: 3, len: 50 }, 50),
+            rec(IoCall::Close { fd: 3 }, 0),
+            // fd 3 reused for another file
+            rec(IoCall::Open { path: "/data/b".into(), flags: 0, mode: 0 }, 3),
+            rec(IoCall::Write { fd: 3, len: 7 }, 7),
+        ];
+        let stats = by_path(&recs);
+        assert_eq!(stats["/data/a"].bytes, 150);
+        assert_eq!(stats["/data/a"].ops, 4); // open + 2 writes + close
+        assert_eq!(stats["/data/b"].bytes, 7);
+    }
+
+    #[test]
+    fn failed_open_does_not_bind_fd() {
+        let recs = vec![
+            rec(IoCall::Open { path: "/missing".into(), flags: 0, mode: 0 }, -2),
+            rec(IoCall::Write { fd: 3, len: 10 }, -9),
+        ];
+        let stats = by_path(&recs);
+        assert_eq!(stats["/missing"].ops, 1);
+        // the write had no bound fd: unattributed
+        assert_eq!(stats.len(), 1);
+    }
+
+    #[test]
+    fn ranks_have_separate_fd_tables() {
+        let mut a = rec(IoCall::Open { path: "/a".into(), flags: 0, mode: 0 }, 3);
+        a.rank = 0;
+        let mut b = rec(IoCall::Open { path: "/b".into(), flags: 0, mode: 0 }, 3);
+        b.rank = 1;
+        let mut wa = rec(IoCall::Write { fd: 3, len: 5 }, 5);
+        wa.rank = 0;
+        let mut wb = rec(IoCall::Write { fd: 3, len: 9 }, 9);
+        wb.rank = 1;
+        let stats = by_path(&[a, b, wa, wb]);
+        assert_eq!(stats["/a"].bytes, 5);
+        assert_eq!(stats["/b"].bytes, 9);
+    }
+
+    #[test]
+    fn top_by_bytes_orders_desc() {
+        let recs = vec![
+            rec(IoCall::Open { path: "/small".into(), flags: 0, mode: 0 }, 3),
+            rec(IoCall::Write { fd: 3, len: 10 }, 10),
+            rec(IoCall::Close { fd: 3 }, 0),
+            rec(IoCall::Open { path: "/big".into(), flags: 0, mode: 0 }, 3),
+            rec(IoCall::Write { fd: 3, len: 1000 }, 1000),
+        ];
+        let stats = by_path(&recs);
+        let top = top_by_bytes(&stats, 1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].0, "/big");
+    }
+}

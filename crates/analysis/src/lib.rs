@@ -1,0 +1,28 @@
+//! # iotrace-analysis — trace analysis tools
+//!
+//! The taxonomy's "analysis tools" axis, made concrete:
+//!
+//! * [`skew`] — estimate and correct clock skew & drift from
+//!   aggregate-timing barrier observations (what LANL-Trace's pre/post
+//!   MPI jobs exist for);
+//! * [`merge`] — clock-corrected cross-rank timeline merging and
+//!   thread-parallel trace parsing;
+//! * [`stats`] — per-layer counts, byte totals, duration percentiles;
+//! * [`hotspots`] — per-file attribution of ops/bytes/time with
+//!   rank-aware descriptor tracking;
+//! * [`phases`] — barrier-delimited phase decomposition with bottleneck
+//!   and load-imbalance attribution.
+
+pub mod hotspots;
+pub mod merge;
+pub mod phases;
+pub mod skew;
+pub mod stats;
+
+pub mod prelude {
+    pub use crate::hotspots::{by_path, top_by_bytes, PathStats};
+    pub use crate::phases::{phases, render as render_phases, Phase, RankPhase};
+    pub use crate::merge::{merge_corrected, parse_parallel};
+    pub use crate::skew::{estimate, ClockFit, SkewEstimate};
+    pub use crate::stats::TraceStats;
+}

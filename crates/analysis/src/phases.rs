@@ -1,0 +1,220 @@
+//! Phase decomposition and bottleneck attribution.
+//!
+//! Bulk-synchronous applications alternate compute/I-O phases separated
+//! by barriers; the question an I/O debugger asks first is *which phase
+//! is slow and which rank is dragging it* (the paper's motivation:
+//! "identifying bugs related to … the parallel nature of the
+//! applications"). Barrier records segment each rank's trace into
+//! phases; within a phase the slowest rank sets the pace and its I/O mix
+//! explains why.
+
+use iotrace_model::event::{IoCall, Trace};
+use iotrace_sim::time::{SimDur, SimTime};
+
+/// One rank's activity within one phase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankPhase {
+    pub rank: u32,
+    /// Phase wall time for this rank (previous barrier exit → this
+    /// barrier entry).
+    pub span: SimDur,
+    /// Time inside traced I/O calls during the phase.
+    pub io_time: SimDur,
+    pub io_calls: usize,
+    pub bytes: u64,
+}
+
+/// One barrier-delimited phase across all ranks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Phase {
+    pub index: usize,
+    pub ranks: Vec<RankPhase>,
+}
+
+impl Phase {
+    /// The rank that set the pace (maximum span).
+    pub fn bottleneck(&self) -> Option<&RankPhase> {
+        self.ranks.iter().max_by_key(|r| r.span)
+    }
+
+    /// Wall time of the phase (= bottleneck span).
+    pub fn span(&self) -> SimDur {
+        self.bottleneck().map(|r| r.span).unwrap_or(SimDur::ZERO)
+    }
+
+    /// Load imbalance: 1 − mean(span)/max(span); 0 = perfectly balanced.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.span().as_secs_f64();
+        if max == 0.0 || self.ranks.is_empty() {
+            return 0.0;
+        }
+        let mean: f64 = self
+            .ranks
+            .iter()
+            .map(|r| r.span.as_secs_f64())
+            .sum::<f64>()
+            / self.ranks.len() as f64;
+        1.0 - mean / max
+    }
+}
+
+/// Decompose per-rank traces (which include `MPI_Barrier` records, as
+/// LANL-Trace and //TRACE captures do) into phases. Ranks with differing
+/// barrier counts are truncated to the common count.
+pub fn phases(traces: &[Trace]) -> Vec<Phase> {
+    // Per rank: barrier boundaries (enter, exit) in observed time.
+    let mut rank_bounds: Vec<(u32, Vec<(SimTime, SimTime)>, &Trace)> = Vec::new();
+    for t in traces {
+        let bounds: Vec<(SimTime, SimTime)> = t
+            .records
+            .iter()
+            .filter(|r| matches!(r.call, IoCall::MpiBarrier))
+            .map(|r| (r.ts, r.end()))
+            .collect();
+        rank_bounds.push((t.meta.rank, bounds, t));
+    }
+    let n_phases = rank_bounds
+        .iter()
+        .map(|(_, b, _)| b.len())
+        .min()
+        .unwrap_or(0);
+    if n_phases < 2 {
+        return Vec::new();
+    }
+
+    let mut out = Vec::with_capacity(n_phases - 1);
+    for p in 0..n_phases - 1 {
+        let mut ranks = Vec::with_capacity(rank_bounds.len());
+        for (rank, bounds, trace) in &rank_bounds {
+            let start = bounds[p].1; // exit of barrier p
+            let end = bounds[p + 1].0; // entry of barrier p+1
+            let span = end.since(start);
+            let mut io_time = SimDur::ZERO;
+            let mut io_calls = 0;
+            let mut bytes = 0;
+            for r in &trace.records {
+                if matches!(r.call, IoCall::MpiBarrier) {
+                    continue;
+                }
+                if r.ts >= start && r.ts < end {
+                    io_time += r.dur;
+                    io_calls += 1;
+                    bytes += r.call.bytes();
+                }
+            }
+            ranks.push(RankPhase {
+                rank: *rank,
+                span,
+                io_time,
+                io_calls,
+                bytes,
+            });
+        }
+        out.push(Phase { index: p, ranks });
+    }
+    out
+}
+
+/// Render a per-phase bottleneck report.
+pub fn render(phases: &[Phase]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<7} {:>10} {:>10} {:>9} {:>10} {:>10} {:>10}\n",
+        "phase", "span (s)", "imbalance", "slowest", "its I/O s", "its calls", "its bytes"
+    ));
+    for p in phases {
+        let b = match p.bottleneck() {
+            Some(b) => b,
+            None => continue,
+        };
+        out.push_str(&format!(
+            "{:<7} {:>10.4} {:>9.1}% {:>9} {:>10.4} {:>10} {:>10}\n",
+            p.index,
+            p.span().as_secs_f64(),
+            p.imbalance() * 100.0,
+            format!("rank{}", b.rank),
+            b.io_time.as_secs_f64(),
+            b.io_calls,
+            b.bytes
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace_model::event::{TraceMeta, TraceRecord};
+
+    fn rec(rank: u32, call: IoCall, ts_ms: u64, dur_ms: u64) -> TraceRecord {
+        TraceRecord {
+            ts: SimTime::from_millis(ts_ms),
+            dur: SimDur::from_millis(dur_ms),
+            rank,
+            node: rank,
+            pid: 1,
+            uid: 0,
+            gid: 0,
+            call,
+            result: 0,
+        }
+    }
+
+    /// rank 0: barrier(0..1), 10ms write, barrier(at 20)
+    /// rank 1: barrier(0..1), 15ms write, barrier(at 19, waits 1ms)
+    fn two_rank_traces() -> Vec<Trace> {
+        let mut t0 = Trace::new(TraceMeta::new("/a", 0, 0, "t"));
+        t0.records = vec![
+            rec(0, IoCall::MpiBarrier, 0, 1),
+            rec(0, IoCall::Write { fd: 3, len: 100 }, 2, 10),
+            rec(0, IoCall::MpiBarrier, 12, 8),
+        ];
+        let mut t1 = Trace::new(TraceMeta::new("/a", 1, 1, "t"));
+        t1.records = vec![
+            rec(1, IoCall::MpiBarrier, 0, 1),
+            rec(1, IoCall::Write { fd: 3, len: 200 }, 2, 15),
+            rec(1, IoCall::Write { fd: 3, len: 50 }, 17, 2),
+            rec(1, IoCall::MpiBarrier, 19, 1),
+        ];
+        vec![t0, t1]
+    }
+
+    #[test]
+    fn phases_are_segmented_by_barriers() {
+        let ps = phases(&two_rank_traces());
+        assert_eq!(ps.len(), 1);
+        let p = &ps[0];
+        assert_eq!(p.ranks.len(), 2);
+        // rank0: exit=1ms → entry=12ms = 11ms; rank1: 1 → 19 = 18ms
+        assert_eq!(p.ranks[0].span, SimDur::from_millis(11));
+        assert_eq!(p.ranks[1].span, SimDur::from_millis(18));
+    }
+
+    #[test]
+    fn bottleneck_and_imbalance() {
+        let ps = phases(&two_rank_traces());
+        let p = &ps[0];
+        let b = p.bottleneck().unwrap();
+        assert_eq!(b.rank, 1);
+        assert_eq!(b.io_calls, 2);
+        assert_eq!(b.bytes, 250);
+        assert_eq!(b.io_time, SimDur::from_millis(17));
+        // imbalance = 1 - mean(11,18)/18 = 1 - 14.5/18 ≈ 0.194
+        assert!((p.imbalance() - 0.1944).abs() < 0.01);
+    }
+
+    #[test]
+    fn too_few_barriers_yields_no_phases() {
+        let mut t = Trace::new(TraceMeta::new("/a", 0, 0, "t"));
+        t.records = vec![rec(0, IoCall::MpiBarrier, 0, 1)];
+        assert!(phases(&[t]).is_empty());
+        assert!(phases(&[]).is_empty());
+    }
+
+    #[test]
+    fn render_mentions_bottleneck() {
+        let ps = phases(&two_rank_traces());
+        let out = render(&ps);
+        assert!(out.contains("rank1"), "{out}");
+    }
+}

@@ -1,0 +1,231 @@
+//! Clock skew and drift estimation — the consumer of LANL-Trace's
+//! aggregate timing output (paper §3.1: frameworks "should allow for the
+//! possibility of drift and skew and provide mechanisms by which
+//! developers and debuggers can account for them").
+//!
+//! Every rank exits a given barrier at (nearly) the same *true* instant,
+//! so differences between the ranks' **observed** exit timestamps expose
+//! instantaneous clock offsets, and the evolution of those differences
+//! across barriers spread over the run exposes drift. We fit, per rank, a
+//! least-squares line `offset(t) ≈ skew + drift·t` relative to rank 0's
+//! clock, then invert it to correct timestamps onto a common timebase.
+
+use std::collections::BTreeMap;
+
+use iotrace_model::timing::AggregateTiming;
+use iotrace_sim::time::SimTime;
+
+/// Per-rank affine clock-offset estimate, relative to the reference rank.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClockFit {
+    /// Offset at t=0 in nanoseconds (relative skew).
+    pub skew_ns: f64,
+    /// Drift in ppm of elapsed reference time.
+    pub drift_ppm: f64,
+    /// Number of barrier samples used.
+    pub samples: usize,
+}
+
+impl ClockFit {
+    /// Offset (ns) of this rank's clock at reference time `t`.
+    pub fn offset_at(&self, t: SimTime) -> f64 {
+        self.skew_ns + self.drift_ppm * t.as_nanos() as f64 / 1e6
+    }
+
+    /// Correct an observed timestamp from this rank onto the reference
+    /// timebase (approximate inverse; exact to first order in drift).
+    pub fn correct(&self, observed: SimTime) -> SimTime {
+        let t = observed.as_nanos() as f64 - self.skew_ns;
+        let t = t / (1.0 + self.drift_ppm / 1e6);
+        SimTime::from_nanos(t.max(0.0) as u64)
+    }
+}
+
+/// Skew/drift estimates for every rank in an aggregate-timing document.
+#[derive(Clone, Debug, Default)]
+pub struct SkewEstimate {
+    pub fits: BTreeMap<u32, ClockFit>,
+    pub reference_rank: u32,
+}
+
+impl SkewEstimate {
+    pub fn fit(&self, rank: u32) -> Option<&ClockFit> {
+        self.fits.get(&rank)
+    }
+
+    /// Correct an observed timestamp from `rank` onto the reference
+    /// timebase (identity for unknown ranks).
+    pub fn correct(&self, rank: u32, observed: SimTime) -> SimTime {
+        match self.fits.get(&rank) {
+            Some(f) => f.correct(observed),
+            None => observed,
+        }
+    }
+
+    /// Largest absolute instantaneous offset (ns) at reference time `t`.
+    pub fn max_offset_at(&self, t: SimTime) -> f64 {
+        self.fits
+            .values()
+            .map(|f| f.offset_at(t).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Estimate skew and drift from barrier observations. Uses the smallest
+/// rank present as the reference.
+pub fn estimate(timing: &AggregateTiming) -> SkewEstimate {
+    // Collect (reference_exit_obs, rank, rank_exit_obs) samples.
+    let mut per_rank: BTreeMap<u32, Vec<(f64, f64)>> = BTreeMap::new();
+    let reference_rank = timing
+        .barriers
+        .iter()
+        .flat_map(|b| b.observations.iter().map(|o| o.rank))
+        .min()
+        .unwrap_or(0);
+
+    for b in &timing.barriers {
+        let Some(reference) = b
+            .observations
+            .iter()
+            .find(|o| o.rank == reference_rank)
+        else {
+            continue;
+        };
+        let t_ref = reference.exited.as_nanos() as f64;
+        for o in &b.observations {
+            let offset = o.exited.as_nanos() as f64 - t_ref;
+            per_rank.entry(o.rank).or_default().push((t_ref, offset));
+        }
+    }
+
+    let mut fits = BTreeMap::new();
+    for (rank, samples) in per_rank {
+        let n = samples.len() as f64;
+        if samples.is_empty() {
+            continue;
+        }
+        // Least-squares line offset = a + b*t.
+        let sx: f64 = samples.iter().map(|(t, _)| t).sum();
+        let sy: f64 = samples.iter().map(|(_, o)| o).sum();
+        let sxx: f64 = samples.iter().map(|(t, _)| t * t).sum();
+        let sxy: f64 = samples.iter().map(|(t, o)| t * o).sum();
+        let denom = n * sxx - sx * sx;
+        let (a, b) = if denom.abs() < 1e-6 {
+            (sy / n, 0.0) // single sample (or zero spread): skew only
+        } else {
+            let b = (n * sxy - sx * sy) / denom;
+            let a = (sy - b * sx) / n;
+            (a, b)
+        };
+        fits.insert(
+            rank,
+            ClockFit {
+                skew_ns: a,
+                drift_ppm: b * 1e6,
+                samples: samples.len(),
+            },
+        );
+    }
+    SkewEstimate {
+        fits,
+        reference_rank,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace_model::timing::{BarrierObservation, BarrierTiming};
+    use iotrace_sim::clock::NodeClock;
+
+    /// Build a timing doc from known clocks with barriers at known true
+    /// times.
+    fn synth(clocks: &[NodeClock], barrier_times_ms: &[u64]) -> AggregateTiming {
+        let mut doc = AggregateTiming::new(0);
+        for (bi, &ms) in barrier_times_ms.iter().enumerate() {
+            let t = SimTime::from_millis(ms);
+            let mut b = BarrierTiming {
+                label: format!("Barrier {bi}"),
+                observations: Vec::new(),
+            };
+            for (rank, c) in clocks.iter().enumerate() {
+                b.observations.push(BarrierObservation {
+                    rank: rank as u32,
+                    host: format!("host{rank:02}"),
+                    pid: 100 + rank as u32,
+                    entered: c.observe(t - iotrace_sim::time::SimDur::from_micros(100)),
+                    exited: c.observe(t),
+                });
+            }
+            doc.barriers.push(b);
+        }
+        doc
+    }
+
+    #[test]
+    fn perfect_clocks_estimate_zero() {
+        let clocks = vec![NodeClock::PERFECT; 3];
+        let est = estimate(&synth(&clocks, &[1_000, 60_000, 120_000]));
+        for rank in 0..3 {
+            let f = est.fit(rank).unwrap();
+            assert!(f.skew_ns.abs() < 1.0, "skew {}", f.skew_ns);
+            assert!(f.drift_ppm.abs() < 0.01, "drift {}", f.drift_ppm);
+        }
+    }
+
+    #[test]
+    fn pure_skew_is_recovered() {
+        let clocks = vec![
+            NodeClock::PERFECT,
+            NodeClock::new(2_000_000, 0.0),  // +2 ms
+            NodeClock::new(-500_000, 0.0),   // −0.5 ms
+        ];
+        let est = estimate(&synth(&clocks, &[1_000, 30_000, 90_000]));
+        assert_eq!(est.reference_rank, 0);
+        let f1 = est.fit(1).unwrap();
+        assert!((f1.skew_ns - 2_000_000.0).abs() < 1_000.0, "{f1:?}");
+        assert!(f1.drift_ppm.abs() < 0.5);
+        let f2 = est.fit(2).unwrap();
+        assert!((f2.skew_ns + 500_000.0).abs() < 1_000.0, "{f2:?}");
+    }
+
+    #[test]
+    fn drift_is_recovered() {
+        let clocks = vec![NodeClock::PERFECT, NodeClock::new(0, 40.0)];
+        // Barriers spread over 10 minutes.
+        let est = estimate(&synth(&clocks, &[1_000, 300_000, 600_000]));
+        let f = est.fit(1).unwrap();
+        assert!((f.drift_ppm - 40.0).abs() < 1.0, "drift {f:?}");
+    }
+
+    #[test]
+    fn correction_aligns_clocks() {
+        let clocks = vec![NodeClock::PERFECT, NodeClock::new(1_500_000, 25.0)];
+        let est = estimate(&synth(&clocks, &[1_000, 120_000, 240_000]));
+        // An event observed at rank 1's clock maps back to ~true time.
+        let truth = SimTime::from_millis(180_000);
+        let observed = clocks[1].observe(truth);
+        let corrected = est.correct(1, observed);
+        let err = (corrected.as_nanos() as i128 - truth.as_nanos() as i128).unsigned_abs();
+        assert!(err < 50_000, "correction error {err} ns");
+        // Unknown rank: identity.
+        assert_eq!(est.correct(99, observed), observed);
+    }
+
+    #[test]
+    fn single_barrier_gives_skew_only() {
+        let clocks = vec![NodeClock::PERFECT, NodeClock::new(3_000_000, 50.0)];
+        let est = estimate(&synth(&clocks, &[10_000]));
+        let f = est.fit(1).unwrap();
+        assert_eq!(f.samples, 1);
+        assert_eq!(f.drift_ppm, 0.0);
+        assert!(f.skew_ns > 2_900_000.0);
+    }
+
+    #[test]
+    fn empty_timing_yields_empty_estimate() {
+        let est = estimate(&AggregateTiming::new(0));
+        assert!(est.fits.is_empty());
+        assert_eq!(est.max_offset_at(SimTime::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Trace statistics: per-layer counts, byte totals, duration
+//! percentiles, and bandwidth — the quantitative half of "constructive
+//! use of the trace data collected" (paper §3.1, "analysis tools").
+
+use iotrace_model::event::{CallLayer, Trace, TraceRecord};
+use iotrace_sim::time::SimDur;
+
+/// Summary statistics over a set of records.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceStats {
+    pub records: usize,
+    pub errors: usize,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub mpi_calls: usize,
+    pub sys_calls: usize,
+    pub vfs_ops: usize,
+    /// Total time spent inside traced calls.
+    pub call_time: SimDur,
+    pub dur_p50: SimDur,
+    pub dur_p95: SimDur,
+    pub dur_max: SimDur,
+}
+
+impl TraceStats {
+    pub fn from_records<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> Self {
+        let mut s = TraceStats::default();
+        let mut durs: Vec<u64> = Vec::new();
+        for r in records {
+            s.records += 1;
+            if r.is_error() {
+                s.errors += 1;
+            }
+            match r.call.layer() {
+                CallLayer::Mpi => s.mpi_calls += 1,
+                CallLayer::Sys => s.sys_calls += 1,
+                CallLayer::Vfs => s.vfs_ops += 1,
+            }
+            use iotrace_model::event::IoCall::*;
+            match &r.call {
+                Read { .. } | Pread { .. } | MpiFileReadAt { .. } | VfsReadPage { .. } => {
+                    s.bytes_read += r.call.bytes()
+                }
+                Write { .. } | Pwrite { .. } | MpiFileWriteAt { .. } | VfsWritePage { .. } => {
+                    s.bytes_written += r.call.bytes()
+                }
+                _ => {}
+            }
+            s.call_time += r.dur;
+            durs.push(r.dur.as_nanos());
+        }
+        durs.sort_unstable();
+        let pick = |q: f64| -> SimDur {
+            if durs.is_empty() {
+                return SimDur::ZERO;
+            }
+            let idx = ((durs.len() - 1) as f64 * q).round() as usize;
+            SimDur::from_nanos(durs[idx])
+        };
+        s.dur_p50 = pick(0.50);
+        s.dur_p95 = pick(0.95);
+        s.dur_max = pick(1.0);
+        s
+    }
+
+    pub fn from_trace(t: &Trace) -> Self {
+        Self::from_records(&t.records)
+    }
+
+    /// Combine statistics from several ranks (percentiles are merged
+    /// approximately by max).
+    pub fn merge(&mut self, other: &TraceStats) {
+        self.records += other.records;
+        self.errors += other.errors;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.mpi_calls += other.mpi_calls;
+        self.sys_calls += other.sys_calls;
+        self.vfs_ops += other.vfs_ops;
+        self.call_time += other.call_time;
+        self.dur_p50 = self.dur_p50.max(other.dur_p50);
+        self.dur_p95 = self.dur_p95.max(other.dur_p95);
+        self.dur_max = self.dur_max.max(other.dur_max);
+    }
+
+    /// Render a short human-readable report.
+    pub fn render(&self) -> String {
+        format!(
+            "records: {} (errors: {})\n\
+             layers: mpi={} sys={} vfs={}\n\
+             bytes: read={} written={}\n\
+             call time: {} (p50 {}, p95 {}, max {})\n",
+            self.records,
+            self.errors,
+            self.mpi_calls,
+            self.sys_calls,
+            self.vfs_ops,
+            self.bytes_read,
+            self.bytes_written,
+            self.call_time,
+            self.dur_p50,
+            self.dur_p95,
+            self.dur_max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace_model::event::IoCall;
+    use iotrace_sim::time::SimTime;
+
+    fn rec(call: IoCall, dur_us: u64, result: i64) -> TraceRecord {
+        TraceRecord {
+            ts: SimTime::ZERO,
+            dur: SimDur::from_micros(dur_us),
+            rank: 0,
+            node: 0,
+            pid: 1,
+            uid: 0,
+            gid: 0,
+            call,
+            result,
+        }
+    }
+
+    #[test]
+    fn counts_layers_and_bytes() {
+        let recs = vec![
+            rec(IoCall::Write { fd: 3, len: 100 }, 10, 100),
+            rec(IoCall::Read { fd: 3, len: 40 }, 20, 40),
+            rec(IoCall::MpiBarrier, 1000, 0),
+            rec(IoCall::VfsWritePage { path: "/x".into(), offset: 0, len: 100 }, 5, 100),
+            rec(IoCall::Open { path: "/x".into(), flags: 0, mode: 0 }, 3, -2),
+        ];
+        let s = TraceStats::from_records(&recs);
+        assert_eq!(s.records, 5);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.bytes_written, 200);
+        assert_eq!(s.bytes_read, 40);
+        assert_eq!(s.mpi_calls, 1);
+        assert_eq!(s.sys_calls, 3);
+        assert_eq!(s.vfs_ops, 1);
+        assert_eq!(s.dur_max, SimDur::from_micros(1000));
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let recs: Vec<TraceRecord> = (1..=100)
+            .map(|i| rec(IoCall::Write { fd: 3, len: 1 }, i, 1))
+            .collect();
+        let s = TraceStats::from_records(&recs);
+        assert!(s.dur_p50 <= s.dur_p95);
+        assert!(s.dur_p95 <= s.dur_max);
+        assert_eq!(s.dur_p50, SimDur::from_micros(51)); // round-half-up index
+    }
+
+    #[test]
+    fn empty_is_zeroed() {
+        let s = TraceStats::from_records([]);
+        assert_eq!(s.records, 0);
+        assert_eq!(s.dur_max, SimDur::ZERO);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = TraceStats::from_records(&[rec(IoCall::Write { fd: 1, len: 5 }, 10, 5)]);
+        let mut b = TraceStats::from_records(&[rec(IoCall::Read { fd: 1, len: 7 }, 20, 7)]);
+        b.merge(&a);
+        assert_eq!(b.records, 2);
+        assert_eq!(b.bytes_written, 5);
+        assert_eq!(b.bytes_read, 7);
+        assert_eq!(b.dur_max, SimDur::from_micros(20));
+    }
+
+    #[test]
+    fn render_mentions_key_numbers() {
+        let s = TraceStats::from_records(&[rec(IoCall::Write { fd: 1, len: 5 }, 10, 5)]);
+        let out = s.render();
+        assert!(out.contains("records: 1"));
+        assert!(out.contains("written=5"));
+    }
+}

@@ -1,0 +1,36 @@
+//! **E8 / §4.1.1** — LANL-Trace elapsed-time overhead range across
+//! patterns and block sizes.
+//!
+//! Paper anchor: "measured elapsed time … ranging from 24% to 222%",
+//! variability tied directly to the application's block size.
+
+use iotrace_bench::sweep_config;
+use iotrace_core::overhead::lanl_sweep;
+use iotrace_lanl::run::LanlTrace;
+
+fn main() {
+    let cfg = sweep_config();
+    let rows = lanl_sweep(&cfg, &LanlTrace::ltrace());
+    let min = rows
+        .iter()
+        .map(|m| m.elapsed_overhead)
+        .fold(f64::INFINITY, f64::min);
+    let max = rows.iter().map(|m| m.elapsed_overhead).fold(0.0f64, f64::max);
+
+    println!("== §4.1.1: LANL-Trace elapsed time overhead ==");
+    println!("   (paper: 24% - 222%)");
+    println!("{:<18} {:>10} {:>12}", "pattern", "block KiB", "elapsed oh");
+    for m in &rows {
+        println!(
+            "{:<18} {:>10} {:>11.1}%",
+            m.pattern.to_string(),
+            m.block_size / 1024,
+            m.elapsed_overhead * 100.0
+        );
+    }
+    println!(
+        "\nmeasured range: {:.0}% - {:.0}%  (paper: 24% - 222%)",
+        min * 100.0,
+        max * 100.0
+    );
+}

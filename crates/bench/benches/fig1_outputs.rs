@@ -1,0 +1,41 @@
+//! **E1 / Figure 1** — regenerate the three LANL-Trace output types for
+//! the paper's exact example invocation:
+//! `mpi_io_test -type 1 -strided 1 -size 32768 -nobj 1`.
+
+use iotrace_ioapi::prelude::*;
+use iotrace_lanl::prelude::*;
+use iotrace_model::text::format_text;
+use iotrace_workloads::prelude::*;
+
+fn main() {
+    let n = 8u32;
+    let w = MpiIoTest::new(AccessPattern::NTo1Strided, n, 32_768, 1);
+    let mut vfs = standard_vfs(n as usize);
+    vfs.setup_dir(&w.dir).unwrap();
+    let run = LanlTrace::ltrace().run(
+        standard_cluster(n as usize, 13),
+        vfs,
+        w.programs(),
+        &w.cmdline(),
+    );
+    assert!(run.report.run.is_clean());
+
+    println!("== Figure 1: LANL-Trace output types ==\n");
+    println!("--- Raw Trace Data (rank 7, first 12 records) ---");
+    let trace = run
+        .traces
+        .iter()
+        .find(|t| t.meta.rank == 7)
+        .expect("rank 7 trace");
+    let mut short = trace.clone();
+    short.records.truncate(12);
+    print!("{}", format_text(&short));
+
+    println!("\n--- Aggregate Timing Information (first 2 barriers) ---");
+    let mut timing = run.timing.clone();
+    timing.barriers.truncate(2);
+    print!("{}", timing.render());
+
+    println!("\n--- Call Summary ---");
+    print!("{}", run.summary.render());
+}

@@ -1,0 +1,17 @@
+//! **E4 / Figure 4** — LANL-Trace overhead, N processes writing N files.
+//!
+//! Paper anchors: "bandwidth overhead similar to that of N to 1,
+//! non-strided"; 64 KiB -> 68.6% (worst of the three), 8192 KiB -> 0.6%
+//! (best of the three).
+
+use iotrace_bench::{figure_sweep, print_figure};
+use iotrace_workloads::pattern::AccessPattern;
+
+fn main() {
+    let rows = figure_sweep(AccessPattern::NToN);
+    print_figure(
+        "Figure 4: N-N, traced vs untraced bandwidth",
+        "64 KiB -> 68.6% bw overhead, 8192 KiB -> 0.6%",
+        &rows,
+    );
+}

@@ -1,0 +1,169 @@
+//! Criterion microbenchmarks for the data-plane primitives every tracer
+//! leans on: codecs, checksums, compression, encryption, anonymization,
+//! the filter language, and the simulation engine itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use iotrace_fs::prelude::*;
+use iotrace_model::prelude::*;
+use iotrace_sim::prelude::*;
+
+fn sample_trace(n: usize) -> Trace {
+    let mut t = Trace::new(TraceMeta::new("/mpi_io_test.exe", 3, 17, "bench"));
+    for i in 0..n as u64 {
+        t.records.push(TraceRecord {
+            ts: SimTime::from_micros(1000 + i * 41),
+            dur: SimDur::from_micros(7),
+            rank: 3,
+            node: 17,
+            pid: 11335,
+            uid: 1000,
+            gid: 100,
+            call: match i % 4 {
+                0 => IoCall::Open {
+                    path: format!("/pfs/run/file{:04}", i % 64),
+                    flags: 0o101,
+                    mode: 0o644,
+                },
+                1 => IoCall::Write { fd: 5, len: 65536 },
+                2 => IoCall::Lseek { fd: 5, offset: (i * 65536) as i64, whence: 0 },
+                _ => IoCall::Close { fd: 5 },
+            },
+            result: 0,
+        });
+    }
+    t
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let trace = sample_trace(2_000);
+    let text = format_text(&trace);
+    let bin = encode_binary(&trace, &BinaryOptions::default());
+
+    let mut g = c.benchmark_group("codecs");
+    g.throughput(Throughput::Elements(trace.records.len() as u64));
+    g.bench_function("text_format", |b| b.iter(|| format_text(black_box(&trace))));
+    g.bench_function("text_parse", |b| b.iter(|| parse_text(black_box(&text)).unwrap()));
+    g.bench_function("binary_encode", |b| {
+        b.iter(|| encode_binary(black_box(&trace), &BinaryOptions::default()))
+    });
+    g.bench_function("binary_decode", |b| {
+        b.iter(|| decode_binary(black_box(&bin), None).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let data = format_text(&sample_trace(2_000)).into_bytes();
+    let mut g = c.benchmark_group("primitives");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("crc32", |b| {
+        b.iter(|| iotrace_model::crc::crc32(black_box(&data)))
+    });
+    g.bench_function("lzss_compress", |b| {
+        b.iter(|| iotrace_model::lzss::compress(black_box(&data)))
+    });
+    let compressed = iotrace_model::lzss::compress(&data);
+    g.bench_function("lzss_decompress", |b| {
+        b.iter(|| iotrace_model::lzss::decompress(black_box(&compressed)).unwrap())
+    });
+    let key = Key::from_passphrase("bench");
+    g.bench_function("xtea_cbc_encrypt", |b| {
+        b.iter(|| iotrace_model::xtea::encrypt_cbc(&key, 7, black_box(&data)))
+    });
+    g.finish();
+}
+
+fn bench_anonymize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("anonymize");
+    g.bench_function("randomize_2k_records", |b| {
+        b.iter_batched(
+            || sample_trace(2_000),
+            |mut t| {
+                Anonymizer::new(AnonMode::Randomize { seed: 3 }, AnonSelection::ALL)
+                    .apply(&mut t)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    use iotrace_tracefs::filter::{FilterPolicy, FsOpKind, OpFacts};
+    let policy = FilterPolicy::parse(
+        r#"trace all where path glob "/pfs/**"; omit write where size < 4096; trace meta where uid == 1000;"#,
+    )
+    .unwrap();
+    let facts = OpFacts {
+        kind: FsOpKind::Write,
+        path: "/pfs/run/data/file0007",
+        uid: 1000,
+        gid: 100,
+        size: 65536,
+    };
+    c.bench_function("filter_match", |b| b.iter(|| policy.matches(black_box(&facts))));
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("barrier_heavy_16ranks", |b| {
+        b.iter(|| {
+            let cfg = ClusterConfig::new(16).with_net(NetworkParams::ideal());
+            let mut eng = Engine::new(cfg, NullExecutor);
+            let mk = || -> Box<dyn RankProgram<(), ()>> {
+                let ops: Vec<Op<()>> = (0..50)
+                    .flat_map(|_| {
+                        [Op::Compute(SimDur::from_micros(10)), Op::Barrier(CommId::WORLD)]
+                    })
+                    .chain([Op::Exit])
+                    .collect();
+                Box::new(OpList::new(ops))
+            };
+            let report = eng.run((0..16).map(|_| mk()).collect());
+            assert!(report.is_clean());
+        })
+    });
+    g.bench_function("striped_write_throughput", |b| {
+        b.iter(|| {
+            let mut fs = striped_fs("panfs", StripedParams::lanl_2007());
+            let (ino, mut t) = fs
+                .open(
+                    NodeId(0),
+                    "/f",
+                    OpenFlags::WRONLY | OpenFlags::CREAT,
+                    FileMeta::default(),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            for i in 0..256u64 {
+                t = fs
+                    .write(
+                        NodeId(0),
+                        ino,
+                        i * 65536,
+                        &WritePayload::Synthetic(65536),
+                        t,
+                    )
+                    .unwrap()
+                    .finish;
+            }
+            t
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_codecs, bench_primitives, bench_anonymize, bench_filter, bench_engine
+}
+criterion_main!(benches);

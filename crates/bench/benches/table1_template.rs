@@ -1,0 +1,8 @@
+//! **E6 / Table 1** — the empty taxonomy summary-table template.
+
+use iotrace_core::table::table1_template;
+
+fn main() {
+    println!("== Table 1: I/O Tracing Framework summary table (template) ==\n");
+    print!("{}", table1_template());
+}

@@ -1,0 +1,22 @@
+//! **E7 / Table 2** — the three-framework classification, produced by
+//! the live classifier (inspection + probe experiments).
+
+use iotrace_core::classify::{classify_all, ProbeConfig};
+use iotrace_core::overhead::SweepConfig;
+use iotrace_core::table::table2;
+
+fn main() {
+    let probe = if iotrace_bench::quick_mode() {
+        ProbeConfig::quick()
+    } else {
+        ProbeConfig {
+            sweep: SweepConfig {
+                block_sizes: vec![64 * 1024, 1024 * 1024, 8192 * 1024],
+                ..SweepConfig::paper()
+            },
+        }
+    };
+    let all = classify_all(&probe);
+    println!("== Table 2: classification summary for the three frameworks ==\n");
+    print!("{}", table2(&all));
+}

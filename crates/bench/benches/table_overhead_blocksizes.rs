@@ -1,0 +1,29 @@
+//! **E5 / §4.1.2 headline table** — bandwidth overhead at 64 KiB and
+//! 8192 KiB for all three access patterns.
+//!
+//! Paper anchors: 64 KiB -> 51.3% / 64.7% / 68.6% and
+//! 8192 KiB -> 5.5% / 6.1% / 0.6% (N-1 strided / N-1 non-strided / N-N).
+
+use iotrace_bench::sweep_config;
+use iotrace_core::overhead::lanl_sweep;
+use iotrace_lanl::run::LanlTrace;
+use iotrace_workloads::pattern::AccessPattern;
+
+fn main() {
+    let mut cfg = sweep_config();
+    cfg.block_sizes = vec![64 * 1024, 8192 * 1024];
+    cfg.patterns = AccessPattern::ALL.to_vec();
+    let rows = lanl_sweep(&cfg, &LanlTrace::ltrace());
+
+    println!("== §4.1.2: bandwidth overhead by pattern and block size ==");
+    println!("   (paper: 64KiB -> 51.3/64.7/68.6%; 8192KiB -> 5.5/6.1/0.6%)");
+    println!("{:<18} {:>10} {:>14}", "pattern", "block KiB", "bw overhead");
+    for m in &rows {
+        println!(
+            "{:<18} {:>10} {:>13.1}%",
+            m.pattern.to_string(),
+            m.block_size / 1024,
+            m.bw_overhead * 100.0
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! **E9 / §2.2, §4.2** — Tracefs elapsed overhead across granularity and
+//! feature levels on an I/O-intensive workload.
+//!
+//! Paper anchors: "up to 12.4% elapsed time overhead for tracing all
+//! file system operations on an I/O intensive workload, and additional
+//! overhead for advanced features such as encryption and checksum
+//! calculation".
+
+use iotrace_bench::quick_mode;
+use iotrace_core::overhead::tracefs_levels;
+
+fn main() {
+    let (ranks, total) = if quick_mode() { (4, 32 << 20) } else { (16, 256 << 20) };
+    let rows = tracefs_levels(ranks, total, 7);
+    println!("== Tracefs: elapsed overhead by granularity / feature level ==");
+    println!("   (paper: <=12.4% for all-ops tracing; more with features)");
+    println!("{:<40} {:>10} {:>12} {:>10}", "level", "elapsed s", "overhead", "records");
+    for l in &rows {
+        println!(
+            "{:<40} {:>10.3} {:>11.2}% {:>10}",
+            l.label,
+            l.elapsed.as_secs_f64(),
+            l.elapsed_overhead * 100.0,
+            l.records
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Calibration probe: untraced bandwidth vs block size per pattern.
+//! Dev tool, not a paper artifact (those live in benches/).
+
+use iotrace_ioapi::prelude::*;
+use iotrace_workloads::prelude::*;
+
+fn main() {
+    let n = 32u32;
+    let total: u64 = 1 << 30; // 1 GiB total data
+    println!("pattern,block_kib,elapsed_s,bandwidth_mib_s");
+    for pattern in AccessPattern::ALL {
+        for block_kib in [64u64, 128, 256, 512, 1024, 2048, 4096, 8192] {
+            let w = MpiIoTest::new(pattern, n, block_kib * 1024, 1).with_total_bytes(total);
+            let cfg = standard_cluster(n as usize, 7);
+            let mut vfs = standard_vfs(n as usize);
+            vfs.setup_dir(&w.dir).unwrap();
+            let rep = run_job(cfg, vfs, Box::new(NullTracer), w.programs(), None);
+            assert!(rep.run.is_clean());
+            let mib = rep.write_bandwidth() / (1024.0 * 1024.0);
+            println!(
+                "{pattern},{block_kib},{:.3},{:.1}",
+                rep.elapsed().as_secs_f64(),
+                mib
+            );
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Calibration probe 2: LANL-Trace overhead vs block size per pattern
+//! (dev tool backing the Figure 2–4 calibration).
+
+use iotrace_ioapi::prelude::*;
+use iotrace_lanl::prelude::*;
+use iotrace_workloads::prelude::*;
+
+fn main() {
+    let n = 32u32;
+    let total: u64 = 1 << 30;
+    println!("pattern,block_kib,bw_untraced_mib,bw_traced_mib,bw_overhead_pct,elapsed_overhead_pct");
+    for pattern in AccessPattern::ALL {
+        for block_kib in [64u64, 256, 1024, 4096, 8192] {
+            let w = MpiIoTest::new(pattern, n, block_kib * 1024, 1).with_total_bytes(total);
+            let mk_vfs = || {
+                let mut v = standard_vfs(n as usize);
+                v.setup_dir(&w.dir).unwrap();
+                v
+            };
+            let base = untraced_baseline(
+                standard_cluster(n as usize, 7),
+                mk_vfs(),
+                w.programs(),
+            );
+            let tr = LanlTrace::ltrace().run(
+                standard_cluster(n as usize, 7),
+                mk_vfs(),
+                w.programs(),
+                &w.cmdline(),
+            );
+            let bw_u = w.write_bandwidth(&base.run, false).unwrap() / (1024.0 * 1024.0);
+            let bw_t = w.write_bandwidth(&tr.report.run, true).unwrap() / (1024.0 * 1024.0);
+            let bo = bandwidth_overhead(bw_u, bw_t) * 100.0;
+            let eo = elapsed_overhead(base.elapsed(), tr.report.elapsed()) * 100.0;
+            println!("{pattern},{block_kib},{bw_u:.0},{bw_t:.0},{bo:.1},{eo:.1}");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! # iotrace-bench — paper artifact regeneration
+//!
+//! One `harness = false` bench target per table and figure of the paper
+//! (run them all with `cargo bench`), plus criterion microbenches for the
+//! data-plane primitives. Shared sweep/printing code lives here.
+//!
+//! Set `IOTRACE_QUICK=1` to run reduced-size sweeps (CI smoke runs);
+//! the default is the paper-scale parameterization of
+//! [`iotrace_core::overhead::SweepConfig::paper`].
+
+use iotrace_core::overhead::{lanl_sweep, Measurement, SweepConfig};
+use iotrace_lanl::run::LanlTrace;
+use iotrace_workloads::pattern::AccessPattern;
+
+/// Sweep configuration honouring `IOTRACE_QUICK`.
+pub fn sweep_config() -> SweepConfig {
+    if quick_mode() {
+        SweepConfig {
+            ranks: 16,
+            total_bytes: 256 << 20,
+            block_sizes: vec![64 * 1024, 1024 * 1024, 8192 * 1024],
+            patterns: AccessPattern::ALL.to_vec(),
+            seed: 7,
+        }
+    } else {
+        SweepConfig::paper()
+    }
+}
+
+pub fn quick_mode() -> bool {
+    std::env::var("IOTRACE_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Run the LANL-Trace sweep for one access pattern.
+pub fn figure_sweep(pattern: AccessPattern) -> Vec<Measurement> {
+    let mut cfg = sweep_config();
+    cfg.patterns = vec![pattern];
+    lanl_sweep(&cfg, &LanlTrace::ltrace())
+}
+
+/// Print one figure's series in the paper's terms: bandwidth (traced and
+/// untraced) against block size.
+pub fn print_figure(title: &str, paper_note: &str, rows: &[Measurement]) {
+    println!("== {title} ==");
+    println!("   (paper reference: {paper_note})");
+    if quick_mode() {
+        println!("   [IOTRACE_QUICK=1: reduced sizes — numbers not representative]");
+    }
+    println!(
+        "{:>10}  {:>14}  {:>14}  {:>12}  {:>12}",
+        "block KiB", "untraced MiB/s", "traced MiB/s", "bw overhead", "elapsed oh"
+    );
+    for m in rows {
+        println!(
+            "{:>10}  {:>14.1}  {:>14.1}  {:>11.1}%  {:>11.1}%",
+            m.block_size / 1024,
+            m.bw_untraced / (1024.0 * 1024.0),
+            m.bw_traced / (1024.0 * 1024.0),
+            m.bw_overhead * 100.0,
+            m.elapsed_overhead * 100.0
+        );
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_reads_env() {
+        // Do not mutate the environment here (tests run in parallel);
+        // just exercise the default path.
+        let _ = quick_mode();
+        let cfg = sweep_config();
+        assert!(!cfg.block_sizes.is_empty());
+    }
+}

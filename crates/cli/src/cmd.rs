@@ -1,0 +1,236 @@
+//! Subcommand implementations.
+
+use iotrace_analysis::hotspots::{by_path, top_by_bytes};
+use iotrace_analysis::phases::{phases as phase_split, render as render_phases};
+use iotrace_analysis::stats::TraceStats;
+use iotrace_core::classify::{classify_all, ProbeConfig};
+use iotrace_core::table::{table1_template, table2};
+use iotrace_ioapi::harness::standard_cluster;
+use iotrace_ioapi::harness::standard_vfs;
+use iotrace_model::anonymize::{Anonymizer, Mode, Selection};
+use iotrace_model::binary::{encode_binary, BinaryOptions, FieldSel};
+use iotrace_model::summary::CallSummary;
+use iotrace_model::text::format_text;
+use iotrace_replay::fidelity::replay_and_measure;
+use iotrace_replay::pseudo::ReplayConfig;
+
+use crate::io::{flag, key_from, load, load_traces, split_args, Loaded};
+
+pub fn summary(args: &[String]) -> Result<(), String> {
+    let (paths, flags) = split_args(args);
+    let traces = load_traces(&paths, key_from(&flags, "key").as_ref())?;
+    let mut s = CallSummary::new();
+    for t in &traces {
+        for r in &t.records {
+            s.add(r);
+        }
+    }
+    print!("{}", s.render());
+    Ok(())
+}
+
+pub fn stats(args: &[String]) -> Result<(), String> {
+    let (paths, flags) = split_args(args);
+    let traces = load_traces(&paths, key_from(&flags, "key").as_ref())?;
+    let mut all = TraceStats::default();
+    for t in &traces {
+        all.merge(&TraceStats::from_trace(t));
+    }
+    println!("traces: {} (ranks: {:?})", traces.len(), {
+        let mut r: Vec<u32> = traces.iter().map(|t| t.meta.rank).collect();
+        r.sort_unstable();
+        r
+    });
+    print!("{}", all.render());
+    Ok(())
+}
+
+pub fn hotspots(args: &[String]) -> Result<(), String> {
+    let (paths, flags) = split_args(args);
+    let top_n: usize = flag(&flags, "top")
+        .and_then(|v| v.as_deref())
+        .map(|v| v.parse().map_err(|_| "bad --top"))
+        .transpose()?
+        .unwrap_or(10);
+    let traces = load_traces(&paths, key_from(&flags, "key").as_ref())?;
+    let stats = by_path(traces.iter().flat_map(|t| t.records.iter()));
+    println!("{:<48} {:>10} {:>14} {:>12}", "path", "ops", "bytes", "time (s)");
+    for (path, s) in top_by_bytes(&stats, top_n) {
+        println!(
+            "{:<48} {:>10} {:>14} {:>12.6}",
+            path,
+            s.ops,
+            s.bytes,
+            s.time.as_secs_f64()
+        );
+    }
+    Ok(())
+}
+
+pub fn phases(args: &[String]) -> Result<(), String> {
+    let (paths, flags) = split_args(args);
+    let traces = load_traces(&paths, key_from(&flags, "key").as_ref())?;
+    let ps = phase_split(&traces);
+    if ps.is_empty() {
+        return Err("need traces with at least two MPI_Barrier records per rank".into());
+    }
+    print!("{}", render_phases(&ps));
+    Ok(())
+}
+
+pub fn convert(args: &[String]) -> Result<(), String> {
+    let (paths, flags) = split_args(args);
+    let [input, output] = paths.as_slice() else {
+        return Err("convert needs <in> <out>".to_string());
+    };
+    let traces = load_traces(std::slice::from_ref(input), key_from(&flags, "key").as_ref())?;
+    let [trace] = traces.as_slice() else {
+        return Err("convert handles single-trace files".to_string());
+    };
+
+    let to_binary = flag(&flags, "binary").is_some()
+        || (!output.ends_with(".txt") && flag(&flags, "text").is_none());
+    if to_binary {
+        let opts = BinaryOptions {
+            checksum: flag(&flags, "checksum").is_some(),
+            compress: flag(&flags, "compress").is_some(),
+            encrypt: key_from(&flags, "encrypt").map(|k| (k, FieldSel::ALL)),
+            block_records: 128,
+        };
+        std::fs::write(output, encode_binary(trace, &opts)).map_err(|e| e.to_string())?;
+    } else {
+        std::fs::write(output, format_text(trace)).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "wrote {} ({} records, {})",
+        output,
+        trace.records.len(),
+        if to_binary { "binary" } else { "text" }
+    );
+    Ok(())
+}
+
+pub fn anonymize(args: &[String]) -> Result<(), String> {
+    let (paths, flags) = split_args(args);
+    let [input, output] = paths.as_slice() else {
+        return Err("anonymize needs <in> <out>".to_string());
+    };
+    let mut traces = load_traces(std::slice::from_ref(input), key_from(&flags, "key").as_ref())?;
+    let mode = if let Some(k) = key_from(&flags, "encrypt") {
+        Mode::Encrypt { key: k }
+    } else {
+        let seed: u64 = flag(&flags, "seed")
+            .and_then(|v| v.as_deref())
+            .map(|v| v.parse().map_err(|_| "bad --seed"))
+            .transpose()?
+            .unwrap_or(0xA11CE);
+        Mode::Randomize { seed }
+    };
+    let anon = Anonymizer::new(mode, Selection::ALL);
+    let mut changed = 0;
+    for t in &mut traces {
+        changed += anon.apply(t);
+    }
+    std::fs::write(output, format_text(&traces[0])).map_err(|e| e.to_string())?;
+    println!("anonymized {changed} fields -> {output}");
+    Ok(())
+}
+
+pub fn replay(args: &[String]) -> Result<(), String> {
+    let (paths, flags) = split_args(args);
+    let [input] = paths.as_slice() else {
+        return Err("replay needs <replayable.txt>".to_string());
+    };
+    let rt = match load(input, key_from(&flags, "key").as_ref())? {
+        Loaded::Replayable(rt) => rt,
+        Loaded::Traces(ts) => iotrace_replay::replayable_from_traces("<cli>", ts),
+    };
+    let ranks = rt.world().max(1);
+    let mut vfs = standard_vfs(ranks);
+    for t in &rt.traces {
+        for r in &t.records {
+            if let Some(p) = r.call.path() {
+                if let Some((dir, _)) = iotrace_fs::path::split_parent(&iotrace_fs::path::normalize(p)) {
+                    let _ = vfs.setup_dir(&dir);
+                }
+            }
+        }
+    }
+    let (fid, rep) = replay_and_measure(
+        &rt,
+        standard_cluster(ranks, 7),
+        vfs,
+        ReplayConfig::default(),
+    );
+    println!("pseudo-application: {} ranks, {} records", ranks, rt.total_records());
+    println!("original span:   {:.6} s", fid.original_span.as_secs_f64());
+    println!("replay elapsed:  {:.6} s", fid.replay_elapsed.as_secs_f64());
+    println!("elapsed error:   {:.2}%", fid.elapsed_error * 100.0);
+    println!("signature error: {:.2}%", fid.signature_error * 100.0);
+    println!(
+        "bytes replayed:  {} (original {})",
+        fid.bytes_replayed, fid.bytes_original
+    );
+    println!("run clean: {}", rep.run.is_clean());
+    Ok(())
+}
+
+pub fn taxonomy(_args: &[String]) -> Result<(), String> {
+    println!("{}", table1_template());
+    println!();
+    let all = classify_all(&ProbeConfig::quick());
+    print!("{}", table2(&all));
+    Ok(())
+}
+
+pub fn demo(args: &[String]) -> Result<(), String> {
+    use iotrace_lanl::run::LanlTrace;
+    use iotrace_partrace::run::{Partrace, PartraceConfig};
+    use iotrace_workloads::mpi_io_test::MpiIoTest;
+    use iotrace_workloads::pattern::AccessPattern;
+    use iotrace_workloads::producer_consumer::ProducerConsumer;
+
+    let (paths, _flags) = split_args(args);
+    let [dir] = paths.as_slice() else {
+        return Err("demo needs <dir>".to_string());
+    };
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+
+    // 1. LANL-Trace text traces.
+    let w = MpiIoTest::new(AccessPattern::NTo1Strided, 4, 64 * 1024, 8);
+    let mut vfs = standard_vfs(4);
+    vfs.setup_dir(&w.dir).unwrap();
+    let run = LanlTrace::ltrace().run(standard_cluster(4, 1), vfs, w.programs(), &w.cmdline());
+    for t in &run.traces {
+        let p = format!("{dir}/lanl_rank{:02}.txt", t.meta.rank);
+        std::fs::write(&p, format_text(t)).map_err(|e| e.to_string())?;
+        println!("wrote {p}");
+    }
+
+    // 2. A binary version of rank 0 with everything enabled.
+    let key = iotrace_model::xtea::Key::from_passphrase("demo");
+    let opts = BinaryOptions {
+        checksum: true,
+        compress: true,
+        encrypt: Some((key, FieldSel::ALL)),
+        block_records: 64,
+    };
+    let p = format!("{dir}/lanl_rank00.iotb");
+    std::fs::write(&p, encode_binary(&run.traces[0], &opts)).map_err(|e| e.to_string())?;
+    println!("wrote {p}  (binary; decode with --key demo)");
+
+    // 3. A //TRACE replayable capture of the pipeline.
+    let mk = || {
+        let w = ProducerConsumer::new(3);
+        let cluster = standard_cluster(3, 2);
+        let mut vfs = standard_vfs(3);
+        vfs.setup_dir(&w.dir).unwrap();
+        (cluster, vfs, w.programs())
+    };
+    let cap = Partrace::new(PartraceConfig::default()).capture(mk, "/pipeline.exe");
+    let p = format!("{dir}/pipeline.replayable.txt");
+    std::fs::write(&p, cap.replayable.to_text()).map_err(|e| e.to_string())?;
+    println!("wrote {p}");
+    println!("\ntry:\n  iotrace summary {dir}/lanl_rank*.txt\n  iotrace stats {dir}/lanl_rank00.iotb --key demo\n  iotrace replay {dir}/pipeline.replayable.txt");
+    Ok(())
+}

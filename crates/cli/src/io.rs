@@ -1,0 +1,84 @@
+//! Trace-file loading with format auto-detection.
+
+use iotrace_model::binary::decode_binary;
+use iotrace_model::event::Trace;
+use iotrace_model::text::parse_text;
+use iotrace_model::xtea::Key;
+use iotrace_partrace::replayable::ReplayableTrace;
+
+/// What a file turned out to contain.
+pub enum Loaded {
+    Traces(Vec<Trace>),
+    Replayable(ReplayableTrace),
+}
+
+/// Load one trace file, auto-detecting the format.
+pub fn load(path: &str, key: Option<&Key>) -> Result<Loaded, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if bytes.starts_with(b"IOTB") {
+        let d = decode_binary(&bytes, key)
+            .map_err(|e| format!("{path}: binary decode failed: {e} (need --key?)"))?;
+        return Ok(Loaded::Traces(vec![d.trace]));
+    }
+    let text = String::from_utf8_lossy(&bytes);
+    if text.contains("==== partrace") {
+        let rt = ReplayableTrace::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        return Ok(Loaded::Replayable(rt));
+    }
+    let t = parse_text(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(Loaded::Traces(vec![t]))
+}
+
+/// Load many files as a flat trace list (replayable docs contribute their
+/// per-rank traces).
+pub fn load_traces(paths: &[String], key: Option<&Key>) -> Result<Vec<Trace>, String> {
+    let mut out = Vec::new();
+    for p in paths {
+        match load(p, key)? {
+            Loaded::Traces(ts) => out.extend(ts),
+            Loaded::Replayable(rt) => out.extend(rt.traces),
+        }
+    }
+    if out.is_empty() {
+        return Err("no traces given".to_string());
+    }
+    Ok(out)
+}
+
+/// Split flags from positional args: returns (positional, flag lookup fn
+/// input). Flags with values are `--name value`.
+pub fn split_args(args: &[String]) -> (Vec<String>, Vec<(String, Option<String>)>) {
+    let mut pos = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let takes_value = matches!(
+                name,
+                "encrypt" | "key" | "seed" | "top" | "ranks"
+            );
+            if takes_value && i + 1 < args.len() {
+                flags.push((name.to_string(), Some(args[i + 1].clone())));
+                i += 2;
+            } else {
+                flags.push((name.to_string(), None));
+                i += 1;
+            }
+        } else {
+            pos.push(a.clone());
+            i += 1;
+        }
+    }
+    (pos, flags)
+}
+
+pub fn flag<'a>(flags: &'a [(String, Option<String>)], name: &str) -> Option<&'a Option<String>> {
+    flags.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+}
+
+pub fn key_from(flags: &[(String, Option<String>)], name: &str) -> Option<Key> {
+    flag(flags, name)
+        .and_then(|v| v.as_deref())
+        .map(Key::from_passphrase)
+}

@@ -1,0 +1,72 @@
+//! `iotrace` — command-line tools over trace files.
+//!
+//! Works on real files in the formats this workspace defines: the
+//! human-readable text format (LANL-Trace / //TRACE style), the Tracefs
+//! binary format, and //TRACE replayable documents.
+//!
+//! ```text
+//! iotrace summary   <trace>...               per-function call counts and times
+//! iotrace stats     <trace>...               byte totals, layers, duration percentiles
+//! iotrace hotspots  <trace>...               top files by bytes moved
+//! iotrace convert   <in> <out> [--binary|--text] [--checksum] [--compress]
+//!                   [--encrypt <pass>] [--key <pass>]
+//! iotrace anonymize <in> <out> [--seed N | --encrypt <pass>] [--key <pass>]
+//! iotrace replay    <replayable.txt>         simulate the pseudo-application
+//! iotrace taxonomy                           print Tables 1 and 2 (quick probes)
+//! iotrace demo      <dir>                    generate sample trace files to play with
+//! ```
+//!
+//! Format detection: files starting with the `IOTB` magic are binary;
+//! documents containing `==== partrace` are replayable; everything else
+//! is parsed as text. Encrypted binaries need `--key`.
+
+use std::process::ExitCode;
+
+mod cmd;
+mod io;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", USAGE);
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "summary" => cmd::summary(rest),
+        "stats" => cmd::stats(rest),
+        "hotspots" => cmd::hotspots(rest),
+        "phases" => cmd::phases(rest),
+        "convert" => cmd::convert(rest),
+        "anonymize" => cmd::anonymize(rest),
+        "replay" => cmd::replay(rest),
+        "taxonomy" => cmd::taxonomy(rest),
+        "demo" => cmd::demo(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("iotrace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+iotrace — I/O trace tools (see `iotrace help`)
+
+commands:
+  summary   <trace>...                      call counts and total times
+  stats     <trace>...                      bytes, layers, duration percentiles
+  hotspots  <trace>... [--top N]            top files by bytes moved
+  phases    <trace>...                      barrier-phase bottleneck report
+  convert   <in> <out> [--binary|--text] [--checksum] [--compress]
+            [--encrypt <pass>] [--key <pass>]
+  anonymize <in> <out> [--seed N | --encrypt <pass>] [--key <pass>]
+  replay    <replayable.txt> [--ranks N]    simulate the pseudo-application
+  taxonomy                                  print Tables 1 and 2 (quick probes)
+  demo      <dir>                           write sample trace files";

@@ -1,0 +1,152 @@
+//! End-to-end CLI tests: run the actual `iotrace` binary against real
+//! files on disk.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_iotrace")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn iotrace")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("iotrace_cli_{}_{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn demo_dir(name: &str) -> PathBuf {
+    let d = tmpdir(name);
+    let out = run(&["demo", d.to_str().unwrap()]);
+    assert!(out.status.success(), "demo failed: {out:?}");
+    d
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = run(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("commands:"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn demo_summary_stats_hotspots() {
+    let d = demo_dir("sum");
+    let t0 = d.join("lanl_rank00.txt");
+    let t1 = d.join("lanl_rank01.txt");
+
+    let out = run(&["summary", t0.to_str().unwrap(), t1.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("SUMMARY COUNT OF TRACED CALL(S)"));
+    assert!(s.contains("SYS_write"));
+    assert!(s.contains("MPI_File_write_at"));
+
+    let out = run(&["stats", t0.to_str().unwrap()]);
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("bytes: read=0 written="), "{s}");
+
+    let out = run(&["hotspots", t0.to_str().unwrap(), "--top", "2"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("/pfs/mpi_io_test/shared.out"));
+}
+
+#[test]
+fn binary_needs_key_and_decodes_with_it() {
+    let d = demo_dir("key");
+    let bin_trace = d.join("lanl_rank00.iotb");
+
+    let out = run(&["stats", bin_trace.to_str().unwrap()]);
+    assert!(!out.status.success(), "encrypted trace must demand a key");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("key"));
+
+    let out = run(&["stats", bin_trace.to_str().unwrap(), "--key", "demo"]);
+    assert!(out.status.success(), "{out:?}");
+}
+
+#[test]
+fn convert_roundtrip_text_binary_text() {
+    let d = demo_dir("conv");
+    let src = d.join("lanl_rank00.txt");
+    let mid = d.join("mid.iotb");
+    let back = d.join("back.txt");
+
+    let out = run(&[
+        "convert",
+        src.to_str().unwrap(),
+        mid.to_str().unwrap(),
+        "--checksum",
+        "--compress",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(std::fs::read(&mid).unwrap().starts_with(b"IOTB"));
+
+    let out = run(&["convert", mid.to_str().unwrap(), back.to_str().unwrap(), "--text"]);
+    assert!(out.status.success(), "{out:?}");
+
+    // Same call summary either way.
+    let s1 = run(&["summary", src.to_str().unwrap()]);
+    let s2 = run(&["summary", back.to_str().unwrap()]);
+    assert_eq!(s1.stdout, s2.stdout);
+}
+
+#[test]
+fn anonymize_removes_names_keeps_structure() {
+    let d = demo_dir("anon");
+    let src = d.join("lanl_rank00.txt");
+    let dst = d.join("anon.txt");
+    let out = run(&["anonymize", src.to_str().unwrap(), dst.to_str().unwrap(), "--seed", "7"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = std::fs::read_to_string(&dst).unwrap();
+    assert!(!text.contains("mpi_io_test"), "name leaked");
+    // still a valid trace with the same per-call counts
+    let s1 = run(&["summary", src.to_str().unwrap()]);
+    let s2 = run(&["summary", dst.to_str().unwrap()]);
+    assert_eq!(s1.stdout, s2.stdout);
+}
+
+#[test]
+fn replay_runs_the_pseudo_application() {
+    let d = demo_dir("rep");
+    let doc = d.join("pipeline.replayable.txt");
+    let out = run(&["replay", doc.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("run clean: true"), "{s}");
+    assert!(s.contains("signature error: 0.00%"), "{s}");
+}
+
+#[test]
+fn phases_reports_the_write_phase() {
+    let d = demo_dir("phases");
+    let t0 = d.join("lanl_rank00.txt");
+    let t1 = d.join("lanl_rank01.txt");
+    let out = run(&["phases", t0.to_str().unwrap(), t1.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("slowest"), "{s}");
+    // The write phase moved the workload's bytes.
+    assert!(s.contains("524288") || s.contains("1048576"), "{s}");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = run(&["summary", "/nonexistent/trace.txt"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("/nonexistent/trace.txt"));
+}

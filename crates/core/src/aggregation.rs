@@ -1,0 +1,200 @@
+//! The unified trace-aggregation API the paper's future work calls for
+//! (§6: "build a common framework for diverse trace aggregation … present
+//! a single trace-data API to developers for use while building trace
+//! analysis tools").
+//!
+//! Any framework's output — LANL-Trace raw text, Tracefs binary,
+//! //TRACE replayable documents, or already-decoded traces — normalizes
+//! into one [`UnifiedTraces`] store with a single query surface.
+
+use iotrace_analysis::skew::SkewEstimate;
+use iotrace_analysis::stats::TraceStats;
+use iotrace_model::binary::{decode_binary, BinError};
+use iotrace_model::event::{CallLayer, Trace, TraceRecord};
+use iotrace_model::summary::CallSummary;
+use iotrace_model::text::parse_text;
+use iotrace_model::xtea::Key;
+use iotrace_partrace::replayable::ReplayableTrace;
+use iotrace_sim::time::SimTime;
+
+/// Anything that can feed the aggregator.
+pub enum TraceSource {
+    /// Already decoded (e.g. straight from a tracer).
+    Decoded(Trace),
+    /// Human-readable text (LANL-Trace raw files, //TRACE output).
+    Text(String),
+    /// Tracefs binary, with the key if fields are encrypted.
+    Binary(Vec<u8>, Option<Key>),
+    /// A //TRACE replayable document (traces + dependency map).
+    Replayable(ReplayableTrace),
+}
+
+/// Aggregation failure.
+#[derive(Debug)]
+pub enum AggregationError {
+    Text(iotrace_model::text::ParseError),
+    Binary(BinError),
+}
+
+impl std::fmt::Display for AggregationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggregationError::Text(e) => write!(f, "text trace: {e}"),
+            AggregationError::Binary(e) => write!(f, "binary trace: {e}"),
+        }
+    }
+}
+impl std::error::Error for AggregationError {}
+
+/// The single trace-data store; see module docs.
+#[derive(Default)]
+pub struct UnifiedTraces {
+    traces: Vec<Trace>,
+}
+
+impl UnifiedTraces {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one source (any framework's format).
+    pub fn add(&mut self, source: TraceSource) -> Result<(), AggregationError> {
+        match source {
+            TraceSource::Decoded(t) => self.traces.push(t),
+            TraceSource::Text(s) => self
+                .traces
+                .push(parse_text(&s).map_err(AggregationError::Text)?),
+            TraceSource::Binary(bytes, key) => {
+                let d = decode_binary(&bytes, key.as_ref()).map_err(AggregationError::Binary)?;
+                self.traces.push(d.trace);
+            }
+            TraceSource::Replayable(rt) => self.traces.extend(rt.traces),
+        }
+        Ok(())
+    }
+
+    pub fn trace_count(&self) -> usize {
+        self.traces.len()
+    }
+
+    pub fn traces(&self) -> &[Trace] {
+        &self.traces
+    }
+
+    /// Every record across every ingested trace.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.traces.iter().flat_map(|t| t.records.iter())
+    }
+
+    /// Which tracers contributed.
+    pub fn tracers(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.traces.iter().map(|t| t.meta.tracer.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Aggregate call summary (Figure 1 bottom, across everything).
+    pub fn summary(&self) -> CallSummary {
+        CallSummary::from_records(self.records())
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_records(self.records())
+    }
+
+    /// Records of one layer only.
+    pub fn layer(&self, layer: CallLayer) -> Vec<&TraceRecord> {
+        self.records().filter(|r| r.call.layer() == layer).collect()
+    }
+
+    /// Records within an observed-time window.
+    pub fn window(&self, from: SimTime, until: SimTime) -> Vec<&TraceRecord> {
+        self.records()
+            .filter(|r| r.ts >= from && r.ts < until)
+            .collect()
+    }
+
+    /// Clock-corrected global timeline.
+    pub fn merged_timeline(&self, est: &SkewEstimate) -> Vec<TraceRecord> {
+        iotrace_analysis::merge::merge_corrected(&self.traces, est)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace_model::binary::{encode_binary, BinaryOptions};
+    use iotrace_model::event::{IoCall, TraceMeta};
+    use iotrace_model::text::format_text;
+    use iotrace_sim::time::SimDur;
+
+    fn mk_trace(tracer: &str, rank: u32) -> Trace {
+        let mut t = Trace::new(TraceMeta::new("/app", rank, rank, tracer));
+        t.records.push(TraceRecord {
+            ts: SimTime::from_micros(10 + rank as u64),
+            dur: SimDur::from_micros(3),
+            rank,
+            node: rank,
+            pid: 1,
+            uid: 0,
+            gid: 0,
+            call: IoCall::Write { fd: 3, len: 64 },
+            result: 64,
+        });
+        t
+    }
+
+    #[test]
+    fn ingests_every_source_kind() {
+        let mut u = UnifiedTraces::new();
+        u.add(TraceSource::Decoded(mk_trace("lanl-trace", 0))).unwrap();
+        u.add(TraceSource::Text(format_text(&mk_trace("partrace", 1))))
+            .unwrap();
+        let bin = encode_binary(&mk_trace("tracefs", 2), &BinaryOptions::default());
+        u.add(TraceSource::Binary(bin, None)).unwrap();
+        u.add(TraceSource::Replayable(ReplayableTrace {
+            app: "/app".into(),
+            sampling: 0.0,
+            traces: vec![mk_trace("partrace", 3)],
+            deps: Default::default(),
+        }))
+        .unwrap();
+
+        assert_eq!(u.trace_count(), 4);
+        assert_eq!(u.records().count(), 4);
+        assert_eq!(u.summary().count("SYS_write"), 4);
+        assert_eq!(
+            u.tracers(),
+            vec!["lanl-trace".to_string(), "partrace".into(), "tracefs".into()]
+        );
+        assert_eq!(u.stats().bytes_written, 4 * 64);
+    }
+
+    #[test]
+    fn bad_sources_error_cleanly() {
+        let mut u = UnifiedTraces::new();
+        assert!(matches!(
+            u.add(TraceSource::Text("# epoch: 0\nnot a record\n".into())),
+            Err(AggregationError::Text(_))
+        ));
+        assert!(matches!(
+            u.add(TraceSource::Binary(b"garbage".to_vec(), None)),
+            Err(AggregationError::Binary(_))
+        ));
+        assert_eq!(u.trace_count(), 0);
+    }
+
+    #[test]
+    fn layer_and_window_queries() {
+        let mut u = UnifiedTraces::new();
+        u.add(TraceSource::Decoded(mk_trace("x", 0))).unwrap();
+        u.add(TraceSource::Decoded(mk_trace("x", 5))).unwrap();
+        assert_eq!(u.layer(CallLayer::Sys).len(), 2);
+        assert_eq!(u.layer(CallLayer::Vfs).len(), 0);
+        let w = u.window(SimTime::from_micros(11), SimTime::from_micros(20));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].rank, 5);
+    }
+}

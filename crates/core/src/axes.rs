@@ -1,0 +1,281 @@
+//! The taxonomy's classification axes (paper §3.1) as types.
+//!
+//! Each axis is exactly one row of the paper's summary table (Table 1);
+//! the value vocabularies ("[Yes or No]", "[1 (V. Easy) thru 5
+//! (V. Difficult)]", …) are encoded so a classification can only hold
+//! values the taxonomy allows.
+
+use std::fmt;
+
+/// Yes/No axes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum YesNo {
+    Yes,
+    No,
+}
+
+impl fmt::Display for YesNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            YesNo::Yes => "Yes",
+            YesNo::No => "No",
+        })
+    }
+}
+
+impl From<bool> for YesNo {
+    fn from(b: bool) -> Self {
+        if b {
+            YesNo::Yes
+        } else {
+            YesNo::No
+        }
+    }
+}
+
+/// A 1..=5 ordinal with axis-specific pole labels (e.g. "1 (V. Easy)"
+/// … "5 (V. Difficult)").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Scale {
+    pub value: u8,
+    /// Label of the low pole (value 1).
+    pub low: &'static str,
+    /// Label of the high pole (value 5).
+    pub high: &'static str,
+}
+
+impl Scale {
+    pub fn new(value: u8, low: &'static str, high: &'static str) -> Self {
+        assert!((1..=5).contains(&value), "scale values are 1..=5");
+        Scale { value, low, high }
+    }
+
+    /// Ease-of-installation scale (1 V. Easy .. 5 V. Difficult).
+    pub fn ease(value: u8) -> Self {
+        Scale::new(value, "V. Easy", "V. Difficult")
+    }
+
+    /// Intrusiveness scale (1 V. Passive .. 5 V. Intrusive).
+    pub fn intrusiveness(value: u8) -> Self {
+        Scale::new(value, "V. Passive", "V. Intrusive")
+    }
+
+    /// Sophistication scale (1 Simple .. 5 V. Advanced).
+    pub fn sophistication(value: u8) -> Self {
+        Scale::new(value, "Simple", "V. Advanced")
+    }
+
+    fn qualifier(&self) -> &'static str {
+        match self.value {
+            1 => self.low,
+            5 => self.high,
+            2 => match self.low {
+                "V. Easy" => "Easy",
+                "V. Passive" => "Passive",
+                _ => "Basic",
+            },
+            4 => match self.high {
+                "V. Difficult" => "Difficult",
+                "V. Intrusive" => "Intrusive",
+                _ => "Advanced",
+            },
+            _ => "Moderate",
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.value, self.qualifier())
+    }
+}
+
+/// Anonymization axis: "[None or 1 (Simple) thru 5 (V. Advanced)]".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Anonymization {
+    NotSupported,
+    Grade(Scale),
+}
+
+impl fmt::Display for Anonymization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Anonymization::NotSupported => f.write_str("No"),
+            Anonymization::Grade(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Granularity-control axis: No, or a sophistication grade.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Granularity {
+    NotSupported,
+    Grade(Scale),
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Granularity::NotSupported => f.write_str("No"),
+            Granularity::Grade(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// What kinds of events a framework captures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventType {
+    SystemCalls,
+    LibraryCalls,
+    FsOperations,
+    IoSystemCalls,
+}
+
+impl fmt::Display for EventType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EventType::SystemCalls => "Systems calls",
+            EventType::LibraryCalls => "library calls",
+            EventType::FsOperations => "File system operations",
+            EventType::IoSystemCalls => "I/O System calls",
+        })
+    }
+}
+
+pub fn event_types_to_string(types: &[EventType]) -> String {
+    types
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Trace data format axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataFormat {
+    Binary,
+    HumanReadable,
+}
+
+impl fmt::Display for DataFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DataFormat::Binary => "Binary",
+            DataFormat::HumanReadable => "Human readable",
+        })
+    }
+}
+
+/// Yes/No/Not-applicable axes (skew & drift is "N/A" for Tracefs, which
+/// has no parallel story at all).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum YesNoNa {
+    Yes,
+    No,
+    NotApplicable,
+}
+
+impl fmt::Display for YesNoNa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            YesNoNa::Yes => "Yes",
+            YesNoNa::No => "No",
+            YesNoNa::NotApplicable => "N/A",
+        })
+    }
+}
+
+/// Replay-fidelity axis: descriptive or measured.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Fidelity {
+    NotApplicable,
+    /// Best measured elapsed-time replay error (fraction).
+    Measured { best_error: f64, note: String },
+}
+
+impl fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fidelity::NotApplicable => f.write_str("N/A"),
+            Fidelity::Measured { best_error, .. } => {
+                write!(f, "As low as {:.1}%", best_error * 100.0)
+            }
+        }
+    }
+}
+
+/// Elapsed-time overhead axis: descriptive or measured.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Overhead {
+    NotMeasured,
+    /// Measured min..max elapsed overhead (fractions).
+    Range { min: f64, max: f64, note: String },
+    /// Upper bound only (Tracefs's authors report ≤12.4%).
+    AtMost { max: f64, note: String },
+}
+
+impl fmt::Display for Overhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Overhead::NotMeasured => f.write_str("N/A"),
+            Overhead::Range { min, max, .. } => {
+                write!(f, "{:.0}% - {:.0}%", min * 100.0, max * 100.0)
+            }
+            Overhead::AtMost { max, .. } => write!(f, "<={:.1}%", max * 100.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yes_no_from_bool() {
+        assert_eq!(YesNo::from(true), YesNo::Yes);
+        assert_eq!(YesNo::from(false).to_string(), "No");
+    }
+
+    #[test]
+    fn scale_labels_match_paper() {
+        assert_eq!(Scale::ease(2).to_string(), "2 (Easy)");
+        assert_eq!(Scale::ease(4).to_string(), "4 (Difficult)");
+        assert_eq!(Scale::ease(1).to_string(), "1 (V. Easy)");
+        assert_eq!(Scale::intrusiveness(1).to_string(), "1 (V. Passive)");
+        assert_eq!(Scale::sophistication(5).to_string(), "5 (V. Advanced)");
+        assert_eq!(Scale::sophistication(1).to_string(), "1 (Simple)");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale values are 1..=5")]
+    fn scale_rejects_out_of_range() {
+        let _ = Scale::ease(6);
+    }
+
+    #[test]
+    fn axis_displays() {
+        assert_eq!(Anonymization::NotSupported.to_string(), "No");
+        assert_eq!(
+            Anonymization::Grade(Scale::sophistication(4)).to_string(),
+            "4 (Advanced)"
+        );
+        assert_eq!(
+            event_types_to_string(&[EventType::SystemCalls, EventType::LibraryCalls]),
+            "Systems calls, library calls"
+        );
+        assert_eq!(DataFormat::Binary.to_string(), "Binary");
+        assert_eq!(YesNoNa::NotApplicable.to_string(), "N/A");
+        assert_eq!(
+            Fidelity::Measured { best_error: 0.06, note: String::new() }.to_string(),
+            "As low as 6.0%"
+        );
+        assert_eq!(
+            Overhead::Range { min: 0.24, max: 2.22, note: String::new() }.to_string(),
+            "24% - 222%"
+        );
+        assert_eq!(
+            Overhead::AtMost { max: 0.124, note: String::new() }.to_string(),
+            "<=12.4%"
+        );
+    }
+}

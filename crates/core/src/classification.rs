@@ -1,0 +1,134 @@
+//! A complete taxonomy classification — one filled-in copy of the
+//! paper's summary table (Table 1) for one I/O Tracing Framework.
+
+use crate::axes::{
+    event_types_to_string, Anonymization, DataFormat, EventType, Fidelity, Granularity, Overhead,
+    Scale, YesNo, YesNoNa,
+};
+
+/// The thirteen axes of Table 1, in the paper's row order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Classification {
+    pub framework: String,
+    pub parallel_fs_compatibility: YesNo,
+    pub ease_of_installation: Scale,
+    pub anonymization: Anonymization,
+    pub event_types: Vec<EventType>,
+    pub granularity_control: Granularity,
+    pub replayable_generation: YesNo,
+    pub replay_fidelity: Fidelity,
+    pub reveals_dependencies: YesNo,
+    pub intrusiveness: Scale,
+    pub analysis_tools: YesNo,
+    pub data_format: DataFormat,
+    pub skew_drift: YesNoNa,
+    pub elapsed_overhead: Overhead,
+    /// Free-form notes per axis (classification is by inspection *and*
+    /// experiment; notes say which).
+    pub notes: Vec<String>,
+}
+
+/// The row labels of Table 1, in order.
+pub const AXIS_LABELS: [&str; 13] = [
+    "Parallel file system compatibility",
+    "Ease of installation and use",
+    "Anonymization",
+    "Events types",
+    "Control of trace granularity",
+    "Replayable trace generation",
+    "Trace replay fidelity",
+    "Reveals dependencies",
+    "Intrusive vs. Passive",
+    "Analysis tools",
+    "Trace data format",
+    "Accounts for time skew and drift",
+    "Elapsed time overhead",
+];
+
+impl Classification {
+    /// The axis values as display strings, in [`AXIS_LABELS`] order.
+    pub fn values(&self) -> [String; 13] {
+        [
+            self.parallel_fs_compatibility.to_string(),
+            self.ease_of_installation.to_string(),
+            self.anonymization.to_string(),
+            event_types_to_string(&self.event_types),
+            self.granularity_control.to_string(),
+            self.replayable_generation.to_string(),
+            self.replay_fidelity.to_string(),
+            self.reveals_dependencies.to_string(),
+            self.intrusiveness.to_string(),
+            self.analysis_tools.to_string(),
+            self.data_format.to_string(),
+            self.skew_drift.to_string(),
+            self.elapsed_overhead.to_string(),
+        ]
+    }
+
+    /// One framework's single-column summary table (Table 1 filled in).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<36} {}\n", "Feature", self.framework));
+        out.push_str(&"-".repeat(64));
+        out.push('\n');
+        for (label, value) in AXIS_LABELS.iter().zip(self.values()) {
+            out.push_str(&format!("{label:<36} {value}\n"));
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for (i, n) in self.notes.iter().enumerate() {
+                out.push_str(&format!("note {}: {n}\n", i + 1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample() -> Classification {
+        Classification {
+            framework: "test-tracer".into(),
+            parallel_fs_compatibility: YesNo::Yes,
+            ease_of_installation: Scale::ease(2),
+            anonymization: Anonymization::NotSupported,
+            event_types: vec![EventType::SystemCalls, EventType::LibraryCalls],
+            granularity_control: Granularity::Grade(Scale::sophistication(1)),
+            replayable_generation: YesNo::No,
+            replay_fidelity: Fidelity::NotApplicable,
+            reveals_dependencies: YesNo::No,
+            intrusiveness: Scale::intrusiveness(1),
+            analysis_tools: YesNo::No,
+            data_format: DataFormat::HumanReadable,
+            skew_drift: YesNoNa::Yes,
+            elapsed_overhead: Overhead::Range {
+                min: 0.24,
+                max: 2.22,
+                note: "measured".into(),
+            },
+            notes: vec!["a note".into()],
+        }
+    }
+
+    #[test]
+    fn values_align_with_labels() {
+        let c = sample();
+        let vals = c.values();
+        assert_eq!(vals.len(), AXIS_LABELS.len());
+        assert_eq!(vals[0], "Yes");
+        assert_eq!(vals[1], "2 (Easy)");
+        assert_eq!(vals[3], "Systems calls, library calls");
+        assert_eq!(vals[12], "24% - 222%");
+    }
+
+    #[test]
+    fn render_contains_every_axis() {
+        let out = sample().render();
+        for label in AXIS_LABELS {
+            assert!(out.contains(label), "missing row {label}");
+        }
+        assert!(out.contains("note 1"));
+    }
+}

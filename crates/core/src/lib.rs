@@ -1,0 +1,38 @@
+//! # iotrace-core — the I/O Tracing Framework taxonomy
+//!
+//! The paper's primary contribution: a taxonomy for characterizing any
+//! I/O Tracing Framework, with
+//!
+//! * [`axes`] — the thirteen classification axes of §3.1 with their
+//!   value vocabularies (Table 1);
+//! * [`classification`] / [`table`] — filled-in summary tables (the
+//!   Table 1 template and Table 2's three-framework comparison);
+//! * [`classify`] — the classification engine: inspection + live probes
+//!   against the simulated cluster, for LANL-Trace, Tracefs and //TRACE;
+//! * [`overhead`] — the empirical overhead-measurement methodology
+//!   (elapsed-time and bandwidth overheads on the `mpi_io_test`
+//!   benchmark), shared with the figure-regeneration benches;
+//! * [`aggregation`] — the unified trace-data API of the paper's future
+//!   work (§6).
+
+pub mod aggregation;
+pub mod axes;
+pub mod classification;
+pub mod classify;
+pub mod overhead;
+pub mod table;
+
+pub mod prelude {
+    pub use crate::aggregation::{TraceSource, UnifiedTraces};
+    pub use crate::axes::*;
+    pub use crate::classification::{Classification, AXIS_LABELS};
+    pub use crate::classify::{
+        classify_all, LanlFramework, PartraceFramework, ProbeConfig, TracefsFramework,
+        TracingFramework,
+    };
+    pub use crate::overhead::{
+        lanl_sweep, partrace_sweep, slower_env, tracefs_levels, Measurement, SamplingPoint,
+        SweepConfig, TracefsLevel,
+    };
+    pub use crate::table::{table1_template, table2};
+}

@@ -1,0 +1,298 @@
+//! The taxonomy's quantitative methodology (paper §3.1): empirical
+//! overhead measurement with a synthetic application benchmark. These
+//! sweep functions are shared by the classifier (quick configurations)
+//! and the figure/table benchmarks (paper-scale configurations).
+
+use iotrace_fs::vfs::Vfs;
+use iotrace_ioapi::harness::{bandwidth_overhead, elapsed_overhead, standard_cluster, standard_vfs};
+use iotrace_lanl::run::{untraced_baseline, LanlTrace};
+use iotrace_partrace::run::{Partrace, PartraceConfig};
+use iotrace_replay::fidelity::replay_and_measure;
+use iotrace_replay::pseudo::ReplayConfig;
+use iotrace_sim::engine::ClusterConfig;
+use iotrace_sim::time::SimDur;
+use iotrace_tracefs::filter::FilterPolicy;
+use iotrace_tracefs::framework::Tracefs;
+use iotrace_tracefs::options::TracefsOptions;
+use iotrace_workloads::mpi_io_test::MpiIoTest;
+use iotrace_workloads::pattern::AccessPattern;
+use iotrace_workloads::producer_consumer::ProducerConsumer;
+
+/// Sweep configuration.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    pub ranks: u32,
+    /// Total bytes written across ranks per run.
+    pub total_bytes: u64,
+    pub block_sizes: Vec<u64>,
+    pub patterns: Vec<AccessPattern>,
+    pub seed: u64,
+}
+
+impl SweepConfig {
+    /// Paper-scale: 32 processors, 64 KiB..8 MiB blocks, all patterns
+    /// (file sizes scaled down — overheads are ratios; see
+    /// EXPERIMENTS.md).
+    pub fn paper() -> Self {
+        SweepConfig {
+            ranks: 32,
+            total_bytes: 1 << 30,
+            block_sizes: vec![
+                64 * 1024,
+                128 * 1024,
+                256 * 1024,
+                512 * 1024,
+                1024 * 1024,
+                2048 * 1024,
+                4096 * 1024,
+                8192 * 1024,
+            ],
+            patterns: AccessPattern::ALL.to_vec(),
+            seed: 7,
+        }
+    }
+
+    /// Fast configuration for classifier probes and tests.
+    pub fn quick() -> Self {
+        SweepConfig {
+            ranks: 4,
+            total_bytes: 32 << 20,
+            block_sizes: vec![64 * 1024, 8192 * 1024],
+            patterns: vec![AccessPattern::NTo1Strided],
+            seed: 7,
+        }
+    }
+}
+
+/// One measured point of the Figures 2–4 experiments.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    pub pattern: AccessPattern,
+    pub block_size: u64,
+    /// Write-phase bandwidth (bytes/s), untraced and traced.
+    pub bw_untraced: f64,
+    pub bw_traced: f64,
+    /// `(bw_u - bw_t)/bw_u`.
+    pub bw_overhead: f64,
+    pub elapsed_untraced: SimDur,
+    pub elapsed_traced: SimDur,
+    /// `(t_t - t_u)/t_u`.
+    pub elapsed_overhead: f64,
+}
+
+fn vfs_for(w: &MpiIoTest, ranks: u32) -> Vfs {
+    let mut vfs = standard_vfs(ranks as usize);
+    vfs.setup_dir(&w.dir).expect("setup workload dir");
+    vfs
+}
+
+/// Run the full LANL-Trace overhead sweep (the data behind Figures 2–4
+/// and the §4.1.2 block-size table).
+pub fn lanl_sweep(cfg: &SweepConfig, lanl: &LanlTrace) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for &pattern in &cfg.patterns {
+        for &block in &cfg.block_sizes {
+            let w = MpiIoTest::new(pattern, cfg.ranks, block, 1).with_total_bytes(cfg.total_bytes);
+            let base = untraced_baseline(
+                standard_cluster(cfg.ranks as usize, cfg.seed),
+                vfs_for(&w, cfg.ranks),
+                w.programs(),
+            );
+            let traced = lanl.run(
+                standard_cluster(cfg.ranks as usize, cfg.seed),
+                vfs_for(&w, cfg.ranks),
+                w.programs(),
+                &w.cmdline(),
+            );
+            let bw_u = w.write_bandwidth(&base.run, false).unwrap_or(0.0);
+            let bw_t = w.write_bandwidth(&traced.report.run, true).unwrap_or(0.0);
+            out.push(Measurement {
+                pattern,
+                block_size: block,
+                bw_untraced: bw_u,
+                bw_traced: bw_t,
+                bw_overhead: bandwidth_overhead(bw_u, bw_t),
+                elapsed_untraced: base.elapsed(),
+                elapsed_traced: traced.report.elapsed(),
+                elapsed_overhead: elapsed_overhead(base.elapsed(), traced.report.elapsed()),
+            });
+        }
+    }
+    out
+}
+
+/// One Tracefs feature level of the granularity/feature cost experiment.
+#[derive(Clone, Debug)]
+pub struct TracefsLevel {
+    pub label: &'static str,
+    pub elapsed: SimDur,
+    pub elapsed_overhead: f64,
+    pub records: usize,
+}
+
+/// Measure Tracefs elapsed overhead across feature levels on an
+/// I/O-intensive *local* workload (the configuration its authors
+/// evaluated: ext3 under Tracefs; paper reports ≤ 12.4 % plus extra for
+/// advanced features). Small blocks keep per-op in-kernel costs visible,
+/// like the authors' metadata-rich benchmark.
+pub fn tracefs_levels(ranks: u32, total_bytes: u64, seed: u64) -> Vec<TracefsLevel> {
+    let mk_workload = || {
+        MpiIoTest::new(AccessPattern::NToN, ranks, 16 * 1024, 1)
+            .with_total_bytes(total_bytes)
+            .with_dir("/tmp/tracefs_bench")
+    };
+
+    let levels: Vec<(&'static str, Option<TracefsOptions>)> = vec![
+        ("untraced", None),
+        (
+            "mounted, tracing off",
+            Some(TracefsOptions {
+                policy: FilterPolicy::trace_none(),
+                ..Default::default()
+            }),
+        ),
+        (
+            "trace data ops",
+            Some(TracefsOptions {
+                policy: FilterPolicy::parse("trace data;").unwrap(),
+                ..Default::default()
+            }),
+        ),
+        ("trace all ops", Some(TracefsOptions::default())),
+        (
+            "all + checksum",
+            Some(TracefsOptions {
+                checksum: true,
+                ..Default::default()
+            }),
+        ),
+        (
+            "all + checksum + compress",
+            Some(TracefsOptions {
+                checksum: true,
+                compress: true,
+                ..Default::default()
+            }),
+        ),
+        (
+            "all + checksum + compress + encrypt",
+            Some(TracefsOptions {
+                checksum: true,
+                compress: true,
+                encrypt: Some((
+                    iotrace_model::xtea::Key::from_passphrase("tracefs"),
+                    iotrace_model::binary::FieldSel::ALL,
+                )),
+                ..Default::default()
+            }),
+        ),
+    ];
+
+    let mut out = Vec::new();
+    let mut baseline = SimDur::ZERO;
+    for (label, opts) in levels {
+        let w = mk_workload();
+        let mut vfs = vfs_for(&w, ranks);
+        let mut mounted = None;
+        if let Some(o) = opts {
+            let mut t = Tracefs::new(o);
+            t.mount(&mut vfs, "/tmp").expect("mount tracefs on /tmp");
+            mounted = Some(t);
+        }
+        let report = untraced_baseline(
+            standard_cluster(ranks as usize, seed),
+            vfs,
+            w.programs(),
+        );
+        let records = mounted.as_ref().map(|t| t.capture().records.len()).unwrap_or(0);
+        if label == "untraced" {
+            baseline = report.elapsed();
+        }
+        out.push(TracefsLevel {
+            label,
+            elapsed: report.elapsed(),
+            elapsed_overhead: elapsed_overhead(baseline, report.elapsed()),
+            records,
+        });
+    }
+    out
+}
+
+/// One point of the //TRACE sampling sweep.
+#[derive(Clone, Debug)]
+pub struct SamplingPoint {
+    pub sampling: f64,
+    /// Capture beginning-to-end overhead vs the untraced app.
+    pub capture_overhead: f64,
+    /// Replay-fidelity error *on a changed (4× slower) storage system* —
+    /// the deployment //TRACE exists for. Error is vs the original
+    /// application actually run on that system.
+    pub fidelity_error: f64,
+    pub dependencies: usize,
+}
+
+/// Sweep the //TRACE sampling knob on the producer/consumer pipeline.
+pub fn partrace_sweep(ranks: u32, seed: u64, samplings: &[f64]) -> Vec<SamplingPoint> {
+    const ROUNDS: u32 = 6;
+    let mk = move || {
+        let w = ProducerConsumer::new(ranks).with_rounds(ROUNDS);
+        let cluster = standard_cluster(ranks as usize, seed);
+        let mut vfs = standard_vfs(ranks as usize);
+        vfs.setup_dir(&w.dir).unwrap();
+        (cluster, vfs, w.programs())
+    };
+
+    // Untraced baseline (capture-cost denominator).
+    let w = ProducerConsumer::new(ranks).with_rounds(ROUNDS);
+    let mut vfs = standard_vfs(ranks as usize);
+    vfs.setup_dir(&w.dir).unwrap();
+    let untraced = untraced_baseline(
+        standard_cluster(ranks as usize, seed),
+        vfs,
+        w.programs(),
+    );
+
+    // Ground truth on the changed system: the original app run there.
+    let (cluster_b, vfs_b) = slower_env(ranks, seed);
+    let w_b = ProducerConsumer::new(ranks).with_rounds(ROUNDS);
+    let truth_b = untraced_baseline(cluster_b, vfs_b, w_b.programs());
+
+    let mut out = Vec::new();
+    for &s in samplings {
+        let cap = Partrace::new(PartraceConfig::with_sampling(s)).capture(mk, "/pipeline.exe");
+        let (cluster_b, vfs_b) = slower_env(ranks, seed);
+        let (_fid, rep) =
+            replay_and_measure(&cap.replayable, cluster_b, vfs_b, ReplayConfig::default());
+        let t_truth = truth_b.elapsed().as_secs_f64();
+        let fidelity_error = if t_truth > 0.0 {
+            (rep.run.elapsed.as_secs_f64() - t_truth).abs() / t_truth
+        } else {
+            0.0
+        };
+        out.push(SamplingPoint {
+            sampling: s,
+            capture_overhead: elapsed_overhead(untraced.elapsed(), cap.capture_elapsed),
+            fidelity_error,
+            dependencies: cap.replayable.deps.edges.len(),
+        });
+    }
+    out
+}
+
+/// The "changed system" replays target: a cluster whose PFS is 4× slower.
+pub fn slower_env(ranks: u32, seed: u64) -> (ClusterConfig, Vfs) {
+    use iotrace_fs::fs::{local_fs, striped_fs};
+    use iotrace_fs::params::{LocalParams, StripedParams};
+    let mut params = StripedParams::lanl_2007();
+    params.server.bandwidth_bps /= 4.0;
+    params.client_op_overhead = params.client_op_overhead * 4;
+    let mut vfs = Vfs::new(ranks as usize);
+    vfs.mount_shared("/pfs", striped_fs("panfs-slow", params))
+        .unwrap();
+    vfs.mount_per_node("/tmp", |i| {
+        local_fs("ext3", LocalParams::lanl_2007(), i as u64)
+    })
+    .unwrap();
+    vfs.setup_dir("/pfs/pipeline").unwrap();
+    (standard_cluster(ranks as usize, seed), vfs)
+}

@@ -1,0 +1,132 @@
+//! Summary-table rendering: the empty template of **Table 1** and the
+//! multi-framework comparison of **Table 2**.
+
+use crate::classification::{Classification, AXIS_LABELS};
+
+/// The Table 1 template: each axis with its allowed value vocabulary.
+pub fn table1_template() -> String {
+    const VOCAB: [&str; 13] = [
+        "[Yes or No]",
+        "[1 (V. Easy) thru 5 (V. Difficult)]",
+        "[None or 1 (Simple) thru 5 (V. Advanced)]",
+        "[Systems calls, library calls, FS events]",
+        "[Yes or No]",
+        "[Yes or No]",
+        "Describe experiment results",
+        "[Yes or No]",
+        "[1 (V. Passive), thru 5 (V. Intrusive)]",
+        "[Yes or No]",
+        "[Binary or Human readable]",
+        "[Yes or No]",
+        "Describe experiment results",
+    ];
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<36} {}\n",
+        "Feature", "<I/O Tracing Framework Name>"
+    ));
+    out.push_str(&"-".repeat(80));
+    out.push('\n');
+    for (label, vocab) in AXIS_LABELS.iter().zip(VOCAB) {
+        out.push_str(&format!("{label:<36} {vocab}\n"));
+    }
+    out
+}
+
+/// Table 2: classifications side by side.
+pub fn table2(classifications: &[Classification]) -> String {
+    let mut widths: Vec<usize> = classifications
+        .iter()
+        .map(|c| c.framework.len().max(12))
+        .collect();
+    let value_rows: Vec<[String; 13]> = classifications.iter().map(|c| c.values()).collect();
+    for (ci, rows) in value_rows.iter().enumerate() {
+        for v in rows {
+            widths[ci] = widths[ci].max(v.len());
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{:<36}", "Feature"));
+    for (c, w) in classifications.iter().zip(&widths) {
+        out.push_str(&format!("  {:<w$}", c.framework, w = w));
+    }
+    out.push('\n');
+    let total: usize = 36 + widths.iter().map(|w| w + 2).sum::<usize>();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for (ai, label) in AXIS_LABELS.iter().enumerate() {
+        out.push_str(&format!("{label:<36}"));
+        for (rows, w) in value_rows.iter().zip(&widths) {
+            out.push_str(&format!("  {:<w$}", rows[ai], w = w));
+        }
+        out.push('\n');
+    }
+    // Footnotes.
+    let mut note_no = 1;
+    let mut notes = String::new();
+    for c in classifications {
+        for n in &c.notes {
+            notes.push_str(&format!("{note_no}. [{}] {n}\n", c.framework));
+            note_no += 1;
+        }
+    }
+    if !notes.is_empty() {
+        out.push('\n');
+        out.push_str(&notes);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axes::*;
+
+    fn mini(name: &str) -> Classification {
+        Classification {
+            framework: name.into(),
+            parallel_fs_compatibility: YesNo::Yes,
+            ease_of_installation: Scale::ease(2),
+            anonymization: Anonymization::NotSupported,
+            event_types: vec![EventType::IoSystemCalls],
+            granularity_control: Granularity::NotSupported,
+            replayable_generation: YesNo::Yes,
+            replay_fidelity: Fidelity::NotApplicable,
+            reveals_dependencies: YesNo::Yes,
+            intrusiveness: Scale::intrusiveness(1),
+            analysis_tools: YesNo::No,
+            data_format: DataFormat::HumanReadable,
+            skew_drift: YesNoNa::No,
+            elapsed_overhead: Overhead::NotMeasured,
+            notes: vec![format!("{name} note")],
+        }
+    }
+
+    #[test]
+    fn template_lists_vocabularies() {
+        let t = table1_template();
+        assert!(t.contains("<I/O Tracing Framework Name>"));
+        assert!(t.contains("[1 (V. Easy) thru 5 (V. Difficult)]"));
+        assert!(t.contains("Accounts for time skew and drift"));
+        assert_eq!(t.lines().count(), 2 + 13);
+    }
+
+    #[test]
+    fn table2_has_all_columns_and_footnotes() {
+        let t = table2(&[mini("alpha"), mini("beta")]);
+        assert!(t.contains("alpha"));
+        assert!(t.contains("beta"));
+        assert!(t.contains("1. [alpha] alpha note"));
+        assert!(t.contains("2. [beta] beta note"));
+        for label in AXIS_LABELS {
+            assert!(t.contains(label));
+        }
+    }
+
+    #[test]
+    fn table2_empty_is_header_only() {
+        let t = table2(&[]);
+        assert!(t.starts_with("Feature"));
+    }
+}

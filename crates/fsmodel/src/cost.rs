@@ -1,0 +1,544 @@
+//! Cost models: map file-system operations to completion times.
+//!
+//! Each simulated file system is [`crate::fs::ModeledFs`] = a shared
+//! [`crate::inode::Namespace`] plus one of these models. Models keep
+//! per-server FCFS queues (`busy_until` horizons), so contention between
+//! ranks emerges naturally: when 32 clients hammer 28 stripe servers, ops
+//! queue and effective bandwidth saturates — the precondition for the
+//! paper's Figures 2–4 shapes.
+
+use iotrace_sim::ids::NodeId;
+use iotrace_sim::rng::DetRng;
+use iotrace_sim::time::{SimDur, SimTime};
+
+use crate::inode::InodeId;
+use crate::params::{LocalParams, NfsParams, StripedParams};
+
+/// Direction of a data operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataDir {
+    Read,
+    Write,
+}
+
+/// What kind of file system a mount is — the taxonomy's "parallel file
+/// system compatibility" axis keys off this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsKind {
+    /// Node-local disk (ext3-like).
+    Local,
+    /// Shared single-server NFS-like FS.
+    Nfs,
+    /// Striped parallel file system.
+    Parallel,
+    /// Zero-cost in-memory FS (test fixtures, staging).
+    Mem,
+    /// A stackable layer wrapping another FS (e.g. Tracefs).
+    Stacked,
+}
+
+/// Computes completion times for operations against one file system.
+pub trait CostModel: Send {
+    fn kind(&self) -> FsKind;
+
+    /// Completion time of a metadata operation (open/stat/mkdir/…)
+    /// issued by `node` at `now`.
+    fn meta(&mut self, node: NodeId, now: SimTime) -> SimTime;
+
+    /// Completion time of a data operation.
+    #[allow(clippy::too_many_arguments)]
+    fn data(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        dir: DataDir,
+        ino: InodeId,
+        offset: u64,
+        len: u64,
+        shared_file: bool,
+    ) -> SimTime;
+
+    /// Completion time of an fsync (flush outstanding writes).
+    fn fsync(&mut self, node: NodeId, now: SimTime) -> SimTime {
+        self.meta(node, now)
+    }
+}
+
+/// One service queue (a disk, a server).
+///
+/// Requests may be *booked at future times* (e.g. a //TRACE-throttled
+/// client issues its request late), so a naive `busy_until` horizon would
+/// wrongly queue an earlier-arriving request behind a later reservation.
+/// The queue therefore tracks busy intervals and backfills gaps: a
+/// request is served at the earliest idle span of sufficient length at or
+/// after its arrival. Old intervals are compacted into a floor to bound
+/// memory.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceQueue {
+    /// Booked (start, end) busy intervals, sorted, non-overlapping.
+    intervals: std::collections::VecDeque<(u64, u64)>,
+    /// Nothing may be booked before this compaction floor.
+    floor: u64,
+}
+
+impl ServiceQueue {
+    const MAX_INTERVALS: usize = 64;
+
+    /// Book a request of the given service time arriving at `now`;
+    /// returns its completion time.
+    pub fn serve(&mut self, now: SimTime, service: SimDur) -> SimTime {
+        let dur = service.as_nanos();
+        let mut start = now.as_nanos().max(self.floor);
+        let mut idx = self.intervals.len();
+        for (i, &(s, e)) in self.intervals.iter().enumerate() {
+            if e <= start {
+                continue; // interval entirely before the candidate
+            }
+            if start + dur <= s {
+                idx = i; // fits in the gap before interval i
+                break;
+            }
+            start = start.max(e);
+        }
+        let end = start + dur;
+        self.intervals.insert(idx, (start, end));
+        if self.intervals.len() > Self::MAX_INTERVALS {
+            let (_, e) = self.intervals.pop_front().unwrap();
+            self.floor = self.floor.max(e);
+        }
+        SimTime::from_nanos(end)
+    }
+
+    /// Latest booked completion time.
+    pub fn busy_until(&self) -> SimTime {
+        SimTime::from_nanos(
+            self.intervals
+                .iter()
+                .map(|&(_, e)| e)
+                .max()
+                .unwrap_or(self.floor),
+        )
+    }
+}
+
+/// Zero-cost model for in-memory test file systems.
+#[derive(Debug, Default)]
+pub struct MemModel;
+
+impl CostModel for MemModel {
+    fn kind(&self) -> FsKind {
+        FsKind::Mem
+    }
+    fn meta(&mut self, _node: NodeId, now: SimTime) -> SimTime {
+        now
+    }
+    fn data(
+        &mut self,
+        _node: NodeId,
+        now: SimTime,
+        _dir: DataDir,
+        _ino: InodeId,
+        _offset: u64,
+        _len: u64,
+        _shared: bool,
+    ) -> SimTime {
+        now
+    }
+}
+
+/// Node-local disk with a write-back page cache. One instance per node.
+///
+/// Cache-absorbed writes accumulate *writeback debt* that background I/O
+/// retires; only an `fsync` forces the caller to wait for it. Misses pay
+/// their own service time at the disk, not the entire backlog — matching
+/// how a real page cache decouples foreground writes from writeback.
+#[derive(Debug)]
+pub struct LocalModel {
+    params: LocalParams,
+    disk: ServiceQueue,
+    /// Unflushed cached-write bytes.
+    debt_bytes: u64,
+    rng: DetRng,
+}
+
+impl LocalModel {
+    pub fn new(params: LocalParams, seed: u64) -> Self {
+        LocalModel {
+            params,
+            disk: ServiceQueue::default(),
+            debt_bytes: 0,
+            rng: DetRng::new(seed),
+        }
+    }
+}
+
+impl CostModel for LocalModel {
+    fn kind(&self) -> FsKind {
+        FsKind::Local
+    }
+
+    fn meta(&mut self, _node: NodeId, now: SimTime) -> SimTime {
+        now + self.params.meta_latency
+    }
+
+    fn data(
+        &mut self,
+        _node: NodeId,
+        now: SimTime,
+        dir: DataDir,
+        _ino: InodeId,
+        _offset: u64,
+        len: u64,
+        _shared: bool,
+    ) -> SimTime {
+        match dir {
+            DataDir::Write if self.rng.unit_f64() < self.params.write_cache_hit => {
+                // Absorbed by the page cache: tiny CPU cost now, debt
+                // retired by background writeback (or a later fsync).
+                self.debt_bytes += len;
+                now + self.params.cached_write_cost
+            }
+            _ => self.disk.serve(now, self.params.disk.service(len)),
+        }
+    }
+
+    fn fsync(&mut self, _node: NodeId, now: SimTime) -> SimTime {
+        // Flush the outstanding writeback debt.
+        let debt = std::mem::take(&mut self.debt_bytes);
+        let finish = if debt > 0 {
+            self.disk.serve(now, self.params.disk.service(debt))
+        } else {
+            self.disk.busy_until().max_of(now)
+        };
+        finish + self.params.meta_latency
+    }
+}
+
+/// Single-server NFS-like model shared by all nodes.
+#[derive(Debug)]
+pub struct NfsModel {
+    params: NfsParams,
+    server: ServiceQueue,
+}
+
+impl NfsModel {
+    pub fn new(params: NfsParams) -> Self {
+        NfsModel {
+            params,
+            server: ServiceQueue::default(),
+        }
+    }
+}
+
+impl CostModel for NfsModel {
+    fn kind(&self) -> FsKind {
+        FsKind::Nfs
+    }
+
+    fn meta(&mut self, _node: NodeId, now: SimTime) -> SimTime {
+        self.server
+            .serve(now + self.params.rpc_overhead, self.params.meta_latency)
+    }
+
+    fn data(
+        &mut self,
+        _node: NodeId,
+        now: SimTime,
+        _dir: DataDir,
+        _ino: InodeId,
+        _offset: u64,
+        len: u64,
+        _shared: bool,
+    ) -> SimTime {
+        let service = self.params.server.service(len);
+        self.server.serve(now + self.params.rpc_overhead, service)
+    }
+}
+
+/// The striped RAID-5 parallel file system.
+#[derive(Debug)]
+pub struct StripedModel {
+    params: StripedParams,
+    servers: Vec<ServiceQueue>,
+    meta_service: ServiceQueue,
+}
+
+impl StripedModel {
+    pub fn new(params: StripedParams) -> Self {
+        StripedModel {
+            servers: vec![ServiceQueue::default(); params.servers],
+            meta_service: ServiceQueue::default(),
+            params,
+        }
+    }
+
+    pub fn params(&self) -> &StripedParams {
+        &self.params
+    }
+
+    /// Files start on a per-inode server so independent files (the N-N
+    /// pattern) spread over the array instead of convoying on server 0.
+    fn start_server(&self, ino: InodeId) -> usize {
+        // full splitmix64 finalizer: sequential inode ids disperse evenly
+        let mut z = ino.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % self.params.servers as u64) as usize
+    }
+
+    /// Split `[offset, offset+len)` into per-stripe-unit segments, each
+    /// `(server_index, seg_len, partial)`.
+    fn segments(&self, ino: InodeId, offset: u64, len: u64) -> Vec<(usize, u64, bool)> {
+        let sw = self.params.stripe_width;
+        let base = self.start_server(ino);
+        let mut out = Vec::new();
+        let mut off = offset;
+        let end = offset + len;
+        while off < end {
+            let stripe_idx = off / sw;
+            let within = off % sw;
+            let seg = (sw - within).min(end - off);
+            let server = (base + stripe_idx as usize) % self.params.servers;
+            let partial = seg < sw;
+            out.push((server, seg, partial));
+            off += seg;
+        }
+        out
+    }
+
+    /// Coalesce an op's stripe-unit segments into one request per server:
+    /// `(server, total_bytes, partial_units)`. A real OSD charges its
+    /// per-request overhead once per client request, not once per stripe
+    /// unit — this is what makes large blocks faster (the log-like
+    /// bandwidth growth of Figure 2).
+    fn per_server_requests(&self, ino: InodeId, offset: u64, len: u64) -> Vec<(usize, u64, u32)> {
+        let mut acc: Vec<(u64, u32)> = vec![(0, 0); self.params.servers];
+        for (server, seg, partial) in self.segments(ino, offset, len) {
+            acc[server].0 += seg;
+            acc[server].1 += partial as u32;
+        }
+        acc.into_iter()
+            .enumerate()
+            .filter(|(_, (bytes, _))| *bytes > 0)
+            .map(|(s, (bytes, partials))| (s, bytes, partials))
+            .collect()
+    }
+}
+
+impl CostModel for StripedModel {
+    fn kind(&self) -> FsKind {
+        FsKind::Parallel
+    }
+
+    fn meta(&mut self, _node: NodeId, now: SimTime) -> SimTime {
+        self.meta_service.serve(now, self.params.meta_latency)
+    }
+
+    fn data(
+        &mut self,
+        _node: NodeId,
+        now: SimTime,
+        dir: DataDir,
+        ino: InodeId,
+        offset: u64,
+        len: u64,
+        shared_file: bool,
+    ) -> SimTime {
+        let mut start = now + self.params.client_op_overhead;
+        if shared_file && dir == DataDir::Write {
+            start += self.params.shared_lock_overhead;
+        }
+        let mut finish = start;
+        let sw = self.params.stripe_width;
+        for (server, bytes, partials) in self.per_server_requests(ino, offset, len) {
+            // RAID-5 read-modify-write: each partial stripe unit costs an
+            // extra read of the old data + parity update, modelled as
+            // (rmw_factor - 1) extra stripe-unit transfers.
+            let mut effective = bytes;
+            if dir == DataDir::Write && partials > 0 {
+                effective +=
+                    ((partials as u64 * sw) as f64 * (self.params.rmw_factor - 1.0)) as u64;
+            }
+            let service = self.params.server.service(effective);
+            let done = self.servers[server].serve(start, service);
+            finish = finish.max_of(done);
+        }
+        finish
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn service_queue_fcfs() {
+        let mut q = ServiceQueue::default();
+        let f1 = q.serve(t(0), SimDur::from_millis(10));
+        assert_eq!(f1, t(10));
+        // arrives while busy -> queues
+        let f2 = q.serve(t(5), SimDur::from_millis(10));
+        assert_eq!(f2, t(20));
+        // arrives after idle -> starts immediately
+        let f3 = q.serve(t(100), SimDur::from_millis(1));
+        assert_eq!(f3, t(101));
+        assert_eq!(q.busy_until(), t(101));
+    }
+
+    #[test]
+    fn service_queue_backfills_gaps() {
+        let mut q = ServiceQueue::default();
+        // A future reservation at t=100 must not delay an earlier arrival.
+        let f1 = q.serve(t(100), SimDur::from_millis(10));
+        assert_eq!(f1, t(110));
+        let f2 = q.serve(t(0), SimDur::from_millis(10));
+        assert_eq!(f2, t(10), "early arrival backfills the idle gap");
+        // A request too large for the gap goes after the reservation.
+        let f3 = q.serve(t(15), SimDur::from_millis(90));
+        assert_eq!(f3, t(200));
+        // A small one still fits between t=10 and t=100.
+        let f4 = q.serve(t(12), SimDur::from_millis(5));
+        assert_eq!(f4, t(17));
+    }
+
+    #[test]
+    fn service_queue_compaction_bounds_memory() {
+        let mut q = ServiceQueue::default();
+        for i in 0..500u64 {
+            q.serve(SimTime::from_millis(i * 10), SimDur::from_millis(1));
+        }
+        // still functional and monotone at the tail
+        let f = q.serve(SimTime::from_millis(5000), SimDur::from_millis(1));
+        assert_eq!(f, SimTime::from_millis(5001));
+    }
+
+    #[test]
+    fn mem_model_is_free() {
+        let mut m = MemModel;
+        assert_eq!(m.meta(NodeId(0), t(3)), t(3));
+        assert_eq!(
+            m.data(NodeId(0), t(3), DataDir::Write, InodeId(1), 0, 1 << 30, false),
+            t(3)
+        );
+    }
+
+    #[test]
+    fn striped_segments_cover_range() {
+        let m = StripedModel::new(StripedParams::lanl_2007());
+        let segs = m.segments(InodeId(9), 10, 200_000);
+        let total: u64 = segs.iter().map(|s| s.1).sum();
+        assert_eq!(total, 200_000);
+        // first segment ends at a stripe boundary
+        assert_eq!(segs[0].1, 64 * 1024 - 10);
+    }
+
+    #[test]
+    fn aligned_full_stripe_is_not_partial() {
+        let m = StripedModel::new(StripedParams::lanl_2007());
+        let segs = m.segments(InodeId(3), 0, 128 * 1024);
+        assert_eq!(segs.len(), 2);
+        assert!(segs.iter().all(|s| !s.2), "full stripes, no RMW");
+        let segs = m.segments(InodeId(3), 0, 96 * 1024);
+        assert!(segs[1].2, "tail is partial");
+    }
+
+    #[test]
+    fn partial_stripe_write_pays_rmw() {
+        let mut m = StripedModel::new(StripedParams::lanl_2007());
+        let full = m.data(NodeId(0), t(0), DataDir::Write, InodeId(1), 0, 64 * 1024, false);
+        let mut m2 = StripedModel::new(StripedParams::lanl_2007());
+        let part = m2.data(NodeId(0), t(0), DataDir::Write, InodeId(1), 0, 32 * 1024, false);
+        // RMW makes the *smaller* write comparatively expensive: the
+        // 32 KiB write costs more than half the 64 KiB one.
+        let full_ns = full.as_nanos();
+        let part_ns = part.as_nanos();
+        assert!(part_ns * 2 > full_ns, "partial {part_ns} vs full {full_ns}");
+    }
+
+    #[test]
+    fn reads_do_not_pay_rmw() {
+        let mut w = StripedModel::new(StripedParams::lanl_2007());
+        let wf = w.data(NodeId(0), t(0), DataDir::Write, InodeId(1), 0, 1024, false);
+        let mut r = StripedModel::new(StripedParams::lanl_2007());
+        let rf = r.data(NodeId(0), t(0), DataDir::Read, InodeId(1), 0, 1024, false);
+        assert!(rf < wf);
+    }
+
+    #[test]
+    fn shared_file_write_pays_lock_overhead() {
+        let p = StripedParams::lanl_2007();
+        let mut a = StripedModel::new(p);
+        let fa = a.data(NodeId(0), t(0), DataDir::Write, InodeId(1), 0, 64 * 1024, false);
+        let mut b = StripedModel::new(p);
+        let fb = b.data(NodeId(0), t(0), DataDir::Write, InodeId(1), 0, 64 * 1024, true);
+        assert_eq!(
+            fb.as_nanos() - fa.as_nanos(),
+            p.shared_lock_overhead.as_nanos()
+        );
+    }
+
+    #[test]
+    fn different_inodes_spread_over_servers() {
+        let m = StripedModel::new(StripedParams::lanl_2007());
+        let servers: std::collections::HashSet<usize> = (0..100)
+            .map(|i| m.start_server(InodeId(i)))
+            .collect();
+        assert!(servers.len() > 10, "only {} distinct start servers", servers.len());
+    }
+
+    #[test]
+    fn contention_queues_requests() {
+        let mut m = StripedModel::new(StripedParams::lanl_2007());
+        // Two clients writing the same stripe unit at the same instant:
+        // second one queues behind the first.
+        let f1 = m.data(NodeId(0), t(0), DataDir::Write, InodeId(1), 0, 64 * 1024, false);
+        let f2 = m.data(NodeId(1), t(0), DataDir::Write, InodeId(1), 0, 64 * 1024, false);
+        assert!(f2 > f1);
+    }
+
+    #[test]
+    fn local_cache_hits_are_cheap_but_fsync_pays() {
+        let p = LocalParams {
+            write_cache_hit: 1.0, // force all hits
+            ..LocalParams::lanl_2007()
+        };
+        let mut m = LocalModel::new(p, 1);
+        let f = m.data(NodeId(0), t(0), DataDir::Write, InodeId(1), 0, 1 << 20, false);
+        assert!(f < t(1), "cached write returned immediately, got {f:?}");
+        // fsync waits for the disk debt (1 MiB at ~55 MB/s ≈ 18 ms)
+        let fs = m.fsync(NodeId(0), f);
+        assert!(fs > t(10), "fsync paid the writeback, got {fs:?}");
+        // a second fsync is cheap: debt already retired
+        let fs2 = m.fsync(NodeId(0), fs);
+        assert!(fs2.since(fs) < iotrace_sim::time::SimDur::from_millis(1));
+    }
+
+    #[test]
+    fn local_misses_do_not_pay_the_whole_backlog() {
+        let p = LocalParams {
+            write_cache_hit: 1.0,
+            ..LocalParams::lanl_2007()
+        };
+        let mut m = LocalModel::new(p, 1);
+        // Pile up 100 MiB of cached-write debt.
+        for i in 0..100u64 {
+            m.data(NodeId(0), t(i), DataDir::Write, InodeId(1), 0, 1 << 20, false);
+        }
+        // A read pays only its own service, not ~2 s of writeback.
+        let f = m.data(NodeId(0), t(200), DataDir::Read, InodeId(1), 0, 4096, false);
+        assert!(f.since(t(200)) < iotrace_sim::time::SimDur::from_millis(5), "{f:?}");
+    }
+
+    #[test]
+    fn nfs_charges_rpc_overhead() {
+        let p = NfsParams::lanl_2007();
+        let mut m = NfsModel::new(p);
+        let f = m.data(NodeId(0), t(0), DataDir::Read, InodeId(1), 0, 0, false);
+        assert!(f >= SimTime::ZERO + p.rpc_overhead + p.server.op_latency);
+    }
+}

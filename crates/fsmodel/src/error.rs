@@ -1,0 +1,90 @@
+//! Error type shared by every simulated file system.
+
+use std::fmt;
+
+/// POSIX-flavoured failures surfaced by simulated file systems.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsError {
+    /// Path (or a component of it) does not exist. `ENOENT`.
+    NotFound(String),
+    /// A non-final path component is not a directory. `ENOTDIR`.
+    NotADirectory(String),
+    /// Directory where a file was expected. `EISDIR`.
+    IsADirectory(String),
+    /// Target exists and exclusive creation was requested. `EEXIST`.
+    AlreadyExists(String),
+    /// Directory not empty on unlink/rmdir. `ENOTEMPTY`.
+    NotEmpty(String),
+    /// Bad file handle. `EBADF`.
+    BadHandle(u64),
+    /// Operation not supported by this file system. `ENOSYS`.
+    Unsupported(&'static str),
+    /// Write to a read-only mount or handle. `EROFS`/`EBADF`.
+    ReadOnly,
+    /// The mount/stacking configuration is invalid — e.g. Tracefs stacked
+    /// on a parallel file system without the compatibility patch (paper
+    /// §2.2: "not compatible out of the box with our parallel file
+    /// system").
+    Incompatible(String),
+    /// Caller lacks privileges (Tracefs needs root to load its module).
+    PermissionDenied(String),
+}
+
+pub type FsResult<T> = Result<T, FsError>;
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "ENOENT: no such file or directory: {p}"),
+            FsError::NotADirectory(p) => write!(f, "ENOTDIR: not a directory: {p}"),
+            FsError::IsADirectory(p) => write!(f, "EISDIR: is a directory: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "EEXIST: already exists: {p}"),
+            FsError::NotEmpty(p) => write!(f, "ENOTEMPTY: directory not empty: {p}"),
+            FsError::BadHandle(h) => write!(f, "EBADF: bad handle {h}"),
+            FsError::Unsupported(op) => write!(f, "ENOSYS: unsupported operation {op}"),
+            FsError::ReadOnly => write!(f, "EROFS: read-only"),
+            FsError::Incompatible(why) => write!(f, "incompatible configuration: {why}"),
+            FsError::PermissionDenied(why) => write!(f, "EACCES: permission denied: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Errno-style code, used by trace records so output matches the
+/// strace-like formats of Figure 1.
+impl FsError {
+    pub fn errno(&self) -> i32 {
+        match self {
+            FsError::NotFound(_) => 2,            // ENOENT
+            FsError::NotADirectory(_) => 20,      // ENOTDIR
+            FsError::IsADirectory(_) => 21,       // EISDIR
+            FsError::AlreadyExists(_) => 17,      // EEXIST
+            FsError::NotEmpty(_) => 39,           // ENOTEMPTY
+            FsError::BadHandle(_) => 9,           // EBADF
+            FsError::Unsupported(_) => 38,        // ENOSYS
+            FsError::ReadOnly => 30,              // EROFS
+            FsError::Incompatible(_) => 95,       // EOPNOTSUPP
+            FsError::PermissionDenied(_) => 13,   // EACCES
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_path() {
+        let e = FsError::NotFound("/a/b".into());
+        assert!(e.to_string().contains("/a/b"));
+        assert!(e.to_string().contains("ENOENT"));
+    }
+
+    #[test]
+    fn errnos_are_posix() {
+        assert_eq!(FsError::NotFound(String::new()).errno(), 2);
+        assert_eq!(FsError::BadHandle(0).errno(), 9);
+        assert_eq!(FsError::PermissionDenied(String::new()).errno(), 13);
+    }
+}

@@ -1,0 +1,489 @@
+//! Inode table and namespace operations shared by every simulated file
+//! system (local, NFS, striped parallel). Cost models are layered on top;
+//! this module is purely functional bookkeeping.
+
+use std::collections::{BTreeMap, HashMap};
+
+use iotrace_sim::time::SimTime;
+
+use crate::data::{SparseData, WritePayload};
+use crate::error::{FsError, FsResult};
+use crate::path;
+
+/// Identifier of an inode within one file system instance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InodeId(pub u64);
+
+pub const ROOT_INODE: InodeId = InodeId(1);
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InodeKind {
+    File,
+    Dir,
+}
+
+/// Ownership and permission metadata — the fields the paper's
+/// anonymization axis cares about (uid, gid, user name).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FileMeta {
+    pub uid: u32,
+    pub gid: u32,
+    pub owner: String,
+    pub mode: u32,
+    pub mtime: SimTime,
+    pub ctime: SimTime,
+}
+
+impl Default for FileMeta {
+    fn default() -> Self {
+        FileMeta {
+            uid: 1000,
+            gid: 100,
+            owner: "user".to_string(),
+            mode: 0o644,
+            mtime: SimTime::ZERO,
+            ctime: SimTime::ZERO,
+        }
+    }
+}
+
+/// Stat result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FileStat {
+    pub ino: InodeId,
+    pub kind: InodeKind,
+    pub size: u64,
+    pub meta: FileMeta,
+}
+
+#[derive(Debug)]
+pub struct Inode {
+    pub id: InodeId,
+    pub kind: InodeKind,
+    pub meta: FileMeta,
+    pub data: SparseData,
+    /// Directory entries; empty for files.
+    pub children: BTreeMap<String, InodeId>,
+}
+
+/// A complete in-memory namespace: directory tree plus file contents.
+#[derive(Debug)]
+pub struct Namespace {
+    inodes: HashMap<u64, Inode>,
+    next_id: u64,
+}
+
+impl Default for Namespace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Namespace {
+    pub fn new() -> Self {
+        let mut inodes = HashMap::new();
+        inodes.insert(
+            ROOT_INODE.0,
+            Inode {
+                id: ROOT_INODE,
+                kind: InodeKind::Dir,
+                meta: FileMeta {
+                    mode: 0o755,
+                    ..FileMeta::default()
+                },
+                data: SparseData::new(),
+                children: BTreeMap::new(),
+            },
+        );
+        Namespace { inodes, next_id: 2 }
+    }
+
+    pub fn get(&self, ino: InodeId) -> FsResult<&Inode> {
+        self.inodes.get(&ino.0).ok_or(FsError::BadHandle(ino.0))
+    }
+
+    pub fn get_mut(&mut self, ino: InodeId) -> FsResult<&mut Inode> {
+        self.inodes.get_mut(&ino.0).ok_or(FsError::BadHandle(ino.0))
+    }
+
+    pub fn len(&self) -> usize {
+        self.inodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inodes.is_empty()
+    }
+
+    /// Resolve a normalized absolute path to an inode.
+    pub fn resolve(&self, p: &str) -> FsResult<InodeId> {
+        let mut cur = ROOT_INODE;
+        for comp in path::components(p) {
+            let node = self.get(cur)?;
+            if node.kind != InodeKind::Dir {
+                return Err(FsError::NotADirectory(p.to_string()));
+            }
+            cur = *node
+                .children
+                .get(comp)
+                .ok_or_else(|| FsError::NotFound(p.to_string()))?;
+        }
+        Ok(cur)
+    }
+
+    fn resolve_parent<'a>(&self, p: &'a str) -> FsResult<(InodeId, &'a str)> {
+        let (parent, name) =
+            path::split_parent(p).ok_or_else(|| FsError::AlreadyExists("/".to_string()))?;
+        let pid = self.resolve(&parent)?;
+        if self.get(pid)?.kind != InodeKind::Dir {
+            return Err(FsError::NotADirectory(parent));
+        }
+        Ok((pid, name))
+    }
+
+    fn alloc(&mut self, kind: InodeKind, meta: FileMeta) -> InodeId {
+        let id = InodeId(self.next_id);
+        self.next_id += 1;
+        self.inodes.insert(
+            id.0,
+            Inode {
+                id,
+                kind,
+                meta,
+                data: SparseData::new(),
+                children: BTreeMap::new(),
+            },
+        );
+        id
+    }
+
+    /// Create a regular file. With `exclusive`, an existing entry is an
+    /// error; otherwise an existing *file* is returned as-is.
+    pub fn create_file(
+        &mut self,
+        p: &str,
+        meta: FileMeta,
+        exclusive: bool,
+    ) -> FsResult<InodeId> {
+        let (pid, name) = self.resolve_parent(p)?;
+        if let Some(&existing) = self.get(pid)?.children.get(name) {
+            if exclusive {
+                return Err(FsError::AlreadyExists(p.to_string()));
+            }
+            let node = self.get(existing)?;
+            if node.kind == InodeKind::Dir {
+                return Err(FsError::IsADirectory(p.to_string()));
+            }
+            return Ok(existing);
+        }
+        let id = self.alloc(InodeKind::File, meta);
+        self.get_mut(pid)?.children.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    pub fn mkdir(&mut self, p: &str, meta: FileMeta) -> FsResult<InodeId> {
+        let (pid, name) = self.resolve_parent(p)?;
+        if self.get(pid)?.children.contains_key(name) {
+            return Err(FsError::AlreadyExists(p.to_string()));
+        }
+        let id = self.alloc(InodeKind::Dir, meta);
+        self.get_mut(pid)?.children.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// `mkdir -p`: create all missing intermediate directories.
+    pub fn mkdir_all(&mut self, p: &str, meta: FileMeta) -> FsResult<InodeId> {
+        let mut cur = "/".to_string();
+        let mut id = ROOT_INODE;
+        for comp in path::components(p) {
+            cur = path::join(&cur, comp);
+            id = match self.resolve(&cur) {
+                Ok(existing) => {
+                    if self.get(existing)?.kind != InodeKind::Dir {
+                        return Err(FsError::NotADirectory(cur));
+                    }
+                    existing
+                }
+                Err(FsError::NotFound(_)) => self.mkdir(&cur, meta.clone())?,
+                Err(e) => return Err(e),
+            };
+        }
+        Ok(id)
+    }
+
+    /// Remove a file or an empty directory.
+    pub fn unlink(&mut self, p: &str) -> FsResult<()> {
+        let (pid, name) = match self.resolve_parent(p) {
+            Ok(v) => v,
+            Err(FsError::AlreadyExists(_)) => {
+                return Err(FsError::PermissionDenied("cannot unlink /".into()))
+            }
+            Err(e) => return Err(e),
+        };
+        let id = *self
+            .get(pid)?
+            .children
+            .get(name)
+            .ok_or_else(|| FsError::NotFound(p.to_string()))?;
+        let node = self.get(id)?;
+        if node.kind == InodeKind::Dir && !node.children.is_empty() {
+            return Err(FsError::NotEmpty(p.to_string()));
+        }
+        self.get_mut(pid)?.children.remove(name);
+        self.inodes.remove(&id.0);
+        Ok(())
+    }
+
+    pub fn rename(&mut self, from: &str, to: &str) -> FsResult<()> {
+        let (from_pid, from_name) = self.resolve_parent(from)?;
+        let id = *self
+            .get(from_pid)?
+            .children
+            .get(from_name)
+            .ok_or_else(|| FsError::NotFound(from.to_string()))?;
+        let (to_pid, to_name) = self.resolve_parent(to)?;
+        if self.get(to_pid)?.children.contains_key(to_name) {
+            return Err(FsError::AlreadyExists(to.to_string()));
+        }
+        let from_name = from_name.to_string();
+        let to_name = to_name.to_string();
+        self.get_mut(from_pid)?.children.remove(&from_name);
+        self.get_mut(to_pid)?.children.insert(to_name, id);
+        Ok(())
+    }
+
+    pub fn readdir(&self, p: &str) -> FsResult<Vec<String>> {
+        let id = self.resolve(p)?;
+        let node = self.get(id)?;
+        if node.kind != InodeKind::Dir {
+            return Err(FsError::NotADirectory(p.to_string()));
+        }
+        Ok(node.children.keys().cloned().collect())
+    }
+
+    pub fn stat_path(&self, p: &str) -> FsResult<FileStat> {
+        let id = self.resolve(p)?;
+        self.stat(id)
+    }
+
+    pub fn stat(&self, id: InodeId) -> FsResult<FileStat> {
+        let node = self.get(id)?;
+        Ok(FileStat {
+            ino: id,
+            kind: node.kind,
+            size: node.data.size(),
+            meta: node.meta.clone(),
+        })
+    }
+
+    /// Write through an inode, updating mtime.
+    pub fn write(
+        &mut self,
+        id: InodeId,
+        offset: u64,
+        payload: &WritePayload,
+        now: SimTime,
+    ) -> FsResult<u64> {
+        let node = self.get_mut(id)?;
+        if node.kind == InodeKind::Dir {
+            return Err(FsError::IsADirectory(format!("inode {}", id.0)));
+        }
+        node.data.write(offset, payload);
+        node.meta.mtime = now;
+        Ok(payload.len())
+    }
+
+    pub fn read(&self, id: InodeId, offset: u64, len: u64) -> FsResult<Vec<u8>> {
+        let node = self.get(id)?;
+        if node.kind == InodeKind::Dir {
+            return Err(FsError::IsADirectory(format!("inode {}", id.0)));
+        }
+        Ok(node.data.read(offset, len))
+    }
+
+    pub fn truncate(&mut self, id: InodeId, size: u64, now: SimTime) -> FsResult<()> {
+        let node = self.get_mut(id)?;
+        if node.kind == InodeKind::Dir {
+            return Err(FsError::IsADirectory(format!("inode {}", id.0)));
+        }
+        node.data.truncate(size);
+        node.meta.mtime = now;
+        Ok(())
+    }
+
+    /// Walk every file under `dir` (normalized path), depth-first.
+    pub fn walk_files(&self, dir: &str) -> FsResult<Vec<String>> {
+        let mut out = Vec::new();
+        let mut stack = vec![path::normalize(dir)];
+        while let Some(d) = stack.pop() {
+            let id = self.resolve(&d)?;
+            let node = self.get(id)?;
+            match node.kind {
+                InodeKind::File => out.push(d),
+                InodeKind::Dir => {
+                    for name in node.children.keys().rev() {
+                        stack.push(path::join(&d, name));
+                    }
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns() -> Namespace {
+        Namespace::new()
+    }
+
+    #[test]
+    fn root_resolves() {
+        let n = ns();
+        assert_eq!(n.resolve("/").unwrap(), ROOT_INODE);
+    }
+
+    #[test]
+    fn create_and_stat_file() {
+        let mut n = ns();
+        let id = n.create_file("/a.txt", FileMeta::default(), true).unwrap();
+        let st = n.stat_path("/a.txt").unwrap();
+        assert_eq!(st.ino, id);
+        assert_eq!(st.kind, InodeKind::File);
+        assert_eq!(st.size, 0);
+    }
+
+    #[test]
+    fn exclusive_create_conflicts() {
+        let mut n = ns();
+        n.create_file("/a", FileMeta::default(), true).unwrap();
+        assert!(matches!(
+            n.create_file("/a", FileMeta::default(), true),
+            Err(FsError::AlreadyExists(_))
+        ));
+        // non-exclusive returns the same inode
+        let id1 = n.resolve("/a").unwrap();
+        let id2 = n.create_file("/a", FileMeta::default(), false).unwrap();
+        assert_eq!(id1, id2);
+    }
+
+    #[test]
+    fn nested_requires_parents() {
+        let mut n = ns();
+        assert!(matches!(
+            n.create_file("/d/a", FileMeta::default(), true),
+            Err(FsError::NotFound(_))
+        ));
+        n.mkdir("/d", FileMeta::default()).unwrap();
+        n.create_file("/d/a", FileMeta::default(), true).unwrap();
+        assert!(n.resolve("/d/a").is_ok());
+    }
+
+    #[test]
+    fn mkdir_all_builds_chain() {
+        let mut n = ns();
+        n.mkdir_all("/x/y/z", FileMeta::default()).unwrap();
+        assert!(n.resolve("/x/y/z").is_ok());
+        // idempotent
+        n.mkdir_all("/x/y/z", FileMeta::default()).unwrap();
+    }
+
+    #[test]
+    fn file_component_in_middle_is_enotdir() {
+        let mut n = ns();
+        n.create_file("/f", FileMeta::default(), true).unwrap();
+        assert!(matches!(
+            n.resolve("/f/x"),
+            Err(FsError::NotADirectory(_))
+        ));
+        assert!(matches!(
+            n.mkdir_all("/f/x", FileMeta::default()),
+            Err(FsError::NotADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn unlink_file_and_empty_dir() {
+        let mut n = ns();
+        n.create_file("/a", FileMeta::default(), true).unwrap();
+        n.mkdir("/d", FileMeta::default()).unwrap();
+        n.unlink("/a").unwrap();
+        n.unlink("/d").unwrap();
+        assert!(n.resolve("/a").is_err());
+        assert!(n.resolve("/d").is_err());
+    }
+
+    #[test]
+    fn unlink_nonempty_dir_fails() {
+        let mut n = ns();
+        n.mkdir("/d", FileMeta::default()).unwrap();
+        n.create_file("/d/a", FileMeta::default(), true).unwrap();
+        assert!(matches!(n.unlink("/d"), Err(FsError::NotEmpty(_))));
+    }
+
+    #[test]
+    fn rename_moves_entry() {
+        let mut n = ns();
+        n.create_file("/a", FileMeta::default(), true).unwrap();
+        n.mkdir("/d", FileMeta::default()).unwrap();
+        n.rename("/a", "/d/b").unwrap();
+        assert!(n.resolve("/a").is_err());
+        assert!(n.resolve("/d/b").is_ok());
+    }
+
+    #[test]
+    fn rename_onto_existing_fails() {
+        let mut n = ns();
+        n.create_file("/a", FileMeta::default(), true).unwrap();
+        n.create_file("/b", FileMeta::default(), true).unwrap();
+        assert!(matches!(n.rename("/a", "/b"), Err(FsError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn readdir_sorted() {
+        let mut n = ns();
+        n.create_file("/b", FileMeta::default(), true).unwrap();
+        n.create_file("/a", FileMeta::default(), true).unwrap();
+        assert_eq!(n.readdir("/").unwrap(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn write_read_through_inode() {
+        let mut n = ns();
+        let id = n.create_file("/a", FileMeta::default(), true).unwrap();
+        n.write(id, 0, &WritePayload::Bytes(b"data".to_vec()), SimTime::from_secs(5))
+            .unwrap();
+        assert_eq!(n.read(id, 0, 4).unwrap(), b"data");
+        assert_eq!(n.stat(id).unwrap().size, 4);
+        assert_eq!(n.stat(id).unwrap().meta.mtime, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn dir_io_is_rejected() {
+        let mut n = ns();
+        let id = n.mkdir("/d", FileMeta::default()).unwrap();
+        assert!(n.read(id, 0, 1).is_err());
+        assert!(n
+            .write(id, 0, &WritePayload::Synthetic(1), SimTime::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn walk_files_recurses() {
+        let mut n = ns();
+        n.mkdir_all("/a/b", FileMeta::default()).unwrap();
+        n.create_file("/a/f1", FileMeta::default(), true).unwrap();
+        n.create_file("/a/b/f2", FileMeta::default(), true).unwrap();
+        n.create_file("/top", FileMeta::default(), true).unwrap();
+        let files = n.walk_files("/").unwrap();
+        assert_eq!(files, vec!["/a/b/f2", "/a/f1", "/top"]);
+    }
+
+    #[test]
+    fn unlink_root_is_denied() {
+        let mut n = ns();
+        assert!(matches!(n.unlink("/"), Err(FsError::PermissionDenied(_))));
+    }
+}

@@ -1,0 +1,46 @@
+//! # iotrace-fs — simulated storage substrate
+//!
+//! Everything the paper's evaluation hardware provided, rebuilt as
+//! deterministic models: a striped RAID-5 parallel file system (the
+//! 252-drive, 64 KiB-stripe array of §4.1.2), node-local ext3-like disks
+//! with a write-back cache, an NFS-like single-server FS, and a
+//! cluster-wide [`vfs::Vfs`] mount table supporting the *stackable* layers
+//! Tracefs needs.
+//!
+//! Cost realism lives in [`cost`]: per-server FCFS queues make contention,
+//! stripe alignment and RAID-5 read-modify-write penalties emerge from
+//! workload behaviour rather than being asserted.
+//!
+//! ```
+//! use iotrace_fs::prelude::*;
+//! use iotrace_sim::prelude::*;
+//!
+//! let mut vfs = Vfs::new(4);
+//! vfs.mount_shared("/pfs", striped_fs("panfs", StripedParams::lanl_2007())).unwrap();
+//! let (vn, t) = vfs.open(NodeId(0), "/pfs/out", OpenFlags::WRONLY | OpenFlags::CREAT,
+//!                        FileMeta::default(), SimTime::ZERO).unwrap();
+//! let rep = vfs.write(NodeId(0), vn, 0, &WritePayload::Synthetic(1 << 20), t).unwrap();
+//! assert_eq!(rep.bytes, 1 << 20);
+//! assert!(rep.finish > t); // the write took simulated time
+//! ```
+
+pub mod cost;
+pub mod data;
+pub mod error;
+pub mod fs;
+pub mod inode;
+pub mod params;
+pub mod path;
+pub mod vfs;
+
+pub mod prelude {
+    pub use crate::cost::{CostModel, DataDir, FsKind, ServiceQueue};
+    pub use crate::data::{SparseData, WritePayload};
+    pub use crate::error::{FsError, FsResult};
+    pub use crate::fs::{
+        local_fs, mem_fs, nfs_fs, striped_fs, FileSystem, IoReply, ModeledFs, OpenFlags,
+    };
+    pub use crate::inode::{FileMeta, FileStat, InodeId, InodeKind, Namespace, ROOT_INODE};
+    pub use crate::params::{DiskParams, LocalParams, NfsParams, StripedParams};
+    pub use crate::vfs::{Vfs, VnodeId};
+}

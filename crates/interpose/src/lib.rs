@@ -1,0 +1,228 @@
+//! # iotrace-interpose — a real `LD_PRELOAD` I/O interposition shim
+//!
+//! Everything else in this workspace runs against a simulated cluster;
+//! this crate is the one real-world component: a `cdylib` that, preloaded
+//! into any dynamically linked process, interposes the libc I/O entry
+//! points (`open`, `openat`, `read`, `write`, `close`, `lseek`, `fsync`)
+//! and appends one line per call to the file named by the
+//! `IOTRACE_TRACE_FILE` environment variable.
+//!
+//! This is the exact mechanism //TRACE uses ("dynamic library
+//! interposition", Curry '94, paper §2.3/§4.3) and demonstrates its
+//! taxonomy profile end-to-end on live processes: passive (no
+//! instrumentation of the target), human-readable output, all I/O system
+//! calls captured, no granularity control — and the same blind spot: it
+//! cannot see memory-mapped I/O.
+//!
+//! Build products: the `cdylib` (`libiotrace_interpose.so`) for
+//! preloading, plus this `rlib` with [`reader`] for parsing the output.
+//!
+//! ```text
+//! IOTRACE_TRACE_FILE=/tmp/t.log LD_PRELOAD=target/debug/libiotrace_interpose.so cat /etc/hostname
+//! ```
+
+pub mod reader;
+
+#[cfg(unix)]
+mod hooks {
+    use core::ffi::{c_char, c_int, c_long, c_void};
+    use std::sync::atomic::{AtomicI32, AtomicPtr, Ordering};
+
+    /// glibc's `RTLD_NEXT` pseudo-handle.
+    const RTLD_NEXT: *mut c_void = -1isize as *mut c_void;
+
+    extern "C" {
+        fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+        fn getenv(name: *const c_char) -> *mut c_char;
+    }
+
+    macro_rules! real {
+        ($cache:ident, $name:literal, $sig:ty) => {{
+            static $cache: AtomicPtr<c_void> = AtomicPtr::new(std::ptr::null_mut());
+            let mut p = $cache.load(Ordering::Relaxed);
+            if p.is_null() {
+                // SAFETY: dlsym with a NUL-terminated literal.
+                p = unsafe { dlsym(RTLD_NEXT, concat!($name, "\0").as_ptr() as *const c_char) };
+                $cache.store(p, Ordering::Relaxed);
+            }
+            // SAFETY: the symbol, if found, has the declared signature.
+            unsafe { std::mem::transmute::<*mut c_void, $sig>(p) }
+        }};
+    }
+
+    /// Trace output fd; 0 = uninitialized, -1 = disabled.
+    static TRACE_FD: AtomicI32 = AtomicI32::new(0);
+    // Re-entrancy guard (our own writes must not be traced).
+    thread_local! {
+        static IN_HOOK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    }
+
+    fn real_open() -> unsafe extern "C" fn(*const c_char, c_int, c_int) -> c_int {
+        real!(OPEN, "open", unsafe extern "C" fn(*const c_char, c_int, c_int) -> c_int)
+    }
+    fn real_write() -> unsafe extern "C" fn(c_int, *const c_void, usize) -> isize {
+        real!(WRITE, "write", unsafe extern "C" fn(c_int, *const c_void, usize) -> isize)
+    }
+
+    fn trace_fd() -> c_int {
+        let fd = TRACE_FD.load(Ordering::Relaxed);
+        if fd != 0 {
+            return fd;
+        }
+        // SAFETY: getenv with NUL-terminated literal; result checked.
+        let path = unsafe { getenv(c"IOTRACE_TRACE_FILE".as_ptr()) };
+        let new_fd = if path.is_null() {
+            -1
+        } else {
+            // O_WRONLY|O_CREAT|O_APPEND = 1 | 0o100 | 0o2000
+            let f = unsafe { (real_open())(path, 0o2101, 0o600) };
+            if f < 0 {
+                -1
+            } else {
+                f
+            }
+        };
+        TRACE_FD.store(new_fd, Ordering::Relaxed);
+        new_fd
+    }
+
+    fn emit(line: &str) {
+        let fd = trace_fd();
+        if fd < 0 {
+            return;
+        }
+        // SAFETY: valid buffer/len; short tracing lines, best-effort.
+        unsafe {
+            let _ = (real_write())(fd, line.as_bytes().as_ptr() as *const c_void, line.len());
+        }
+    }
+
+    /// Run `f` outside of tracing (guards recursion through allocation
+    /// or our own emit path).
+    fn guarded<R>(f: impl FnOnce() -> R, fallback: impl FnOnce() -> R) -> R {
+        IN_HOOK.with(|g| {
+            if g.get() {
+                return fallback();
+            }
+            g.set(true);
+            let r = f();
+            g.set(false);
+            r
+        })
+    }
+
+    fn cstr_lossy(p: *const c_char) -> String {
+        if p.is_null() {
+            return "<null>".into();
+        }
+        // SAFETY: caller passed a NUL-terminated C string.
+        unsafe { std::ffi::CStr::from_ptr(p) }
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    // ---- interposed entry points ----
+
+    /// # Safety
+    /// Standard libc `open` contract.
+    #[no_mangle]
+    pub unsafe extern "C" fn open(path: *const c_char, flags: c_int, mode: c_int) -> c_int {
+        let ret = (real_open())(path, flags, mode);
+        guarded(
+            || emit(&format!("open \"{}\" {:#o} = {}\n", cstr_lossy(path), flags, ret)),
+            || (),
+        );
+        ret
+    }
+
+    /// # Safety
+    /// Standard libc `open64` contract.
+    #[no_mangle]
+    pub unsafe extern "C" fn open64(path: *const c_char, flags: c_int, mode: c_int) -> c_int {
+        let real = real!(OPEN64, "open64", unsafe extern "C" fn(*const c_char, c_int, c_int) -> c_int);
+        let ret = real(path, flags, mode);
+        guarded(
+            || emit(&format!("open \"{}\" {:#o} = {}\n", cstr_lossy(path), flags, ret)),
+            || (),
+        );
+        ret
+    }
+
+    /// # Safety
+    /// Standard libc `openat` contract.
+    #[no_mangle]
+    pub unsafe extern "C" fn openat(
+        dirfd: c_int,
+        path: *const c_char,
+        flags: c_int,
+        mode: c_int,
+    ) -> c_int {
+        let real = real!(
+            OPENAT,
+            "openat",
+            unsafe extern "C" fn(c_int, *const c_char, c_int, c_int) -> c_int
+        );
+        let ret = real(dirfd, path, flags, mode);
+        guarded(
+            || emit(&format!("openat \"{}\" {:#o} = {}\n", cstr_lossy(path), flags, ret)),
+            || (),
+        );
+        ret
+    }
+
+    /// # Safety
+    /// Standard libc `read` contract.
+    #[no_mangle]
+    pub unsafe extern "C" fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize {
+        let real = real!(READ, "read", unsafe extern "C" fn(c_int, *mut c_void, usize) -> isize);
+        let ret = real(fd, buf, count);
+        guarded(|| emit(&format!("read {fd} {count} = {ret}\n")), || ());
+        ret
+    }
+
+    /// # Safety
+    /// Standard libc `write` contract.
+    #[no_mangle]
+    pub unsafe extern "C" fn write(fd: c_int, buf: *const c_void, count: usize) -> isize {
+        let ret = (real_write())(fd, buf, count);
+        guarded(|| emit(&format!("write {fd} {count} = {ret}\n")), || ());
+        ret
+    }
+
+    /// # Safety
+    /// Standard libc `close` contract.
+    #[no_mangle]
+    pub unsafe extern "C" fn close(fd: c_int) -> c_int {
+        // Never close our own trace fd out from under ourselves.
+        if fd == TRACE_FD.load(Ordering::Relaxed) {
+            return 0;
+        }
+        let real = real!(CLOSE, "close", unsafe extern "C" fn(c_int) -> c_int);
+        let ret = real(fd);
+        guarded(|| emit(&format!("close {fd} = {ret}\n")), || ());
+        ret
+    }
+
+    /// # Safety
+    /// Standard libc `lseek` contract.
+    #[no_mangle]
+    pub unsafe extern "C" fn lseek(fd: c_int, offset: c_long, whence: c_int) -> c_long {
+        let real = real!(LSEEK, "lseek", unsafe extern "C" fn(c_int, c_long, c_int) -> c_long);
+        let ret = real(fd, offset, whence);
+        guarded(
+            || emit(&format!("lseek {fd} {offset} {whence} = {ret}\n")),
+            || (),
+        );
+        ret
+    }
+
+    /// # Safety
+    /// Standard libc `fsync` contract.
+    #[no_mangle]
+    pub unsafe extern "C" fn fsync(fd: c_int) -> c_int {
+        let real = real!(FSYNC, "fsync", unsafe extern "C" fn(c_int) -> c_int);
+        let ret = real(fd);
+        guarded(|| emit(&format!("fsync {fd} = {ret}\n")), || ());
+        ret
+    }
+}

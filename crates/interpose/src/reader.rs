@@ -1,0 +1,107 @@
+//! Parser for the interposition shim's output lines
+//! (`open "<path>" <flags> = <fd>`, `read <fd> <count> = <ret>`, …).
+
+use std::collections::BTreeMap;
+
+/// One parsed interposition record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LiveRecord {
+    pub op: String,
+    /// Path for open/openat; empty otherwise.
+    pub path: String,
+    /// First numeric argument (fd or flags).
+    pub arg: i64,
+    /// Return value.
+    pub ret: i64,
+}
+
+/// Parse the shim's whole output; unparseable lines are skipped (a traced
+/// process may interleave its own stdout).
+pub fn parse(output: &str) -> Vec<LiveRecord> {
+    let mut out = Vec::new();
+    for line in output.lines() {
+        let Some((lhs, ret)) = line.rsplit_once(" = ") else {
+            continue;
+        };
+        let Ok(ret) = ret.trim().parse::<i64>() else {
+            continue;
+        };
+        let mut parts = lhs.split_whitespace();
+        let Some(op) = parts.next() else { continue };
+        let (path, arg) = if op == "open" || op == "openat" {
+            let rest = lhs[op.len()..].trim();
+            let Some(path_end) = rest.rfind('"') else {
+                continue;
+            };
+            if !rest.starts_with('"') || path_end == 0 {
+                continue;
+            }
+            let path = rest[1..path_end].to_string();
+            let arg = rest[path_end + 1..]
+                .split_whitespace()
+                .next()
+                .and_then(parse_int)
+                .unwrap_or(0);
+            (path, arg)
+        } else {
+            let arg = parts.next().and_then(parse_int).unwrap_or(0);
+            (String::new(), arg)
+        };
+        out.push(LiveRecord {
+            op: op.to_string(),
+            path,
+            arg,
+            ret,
+        });
+    }
+    out
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    if let Some(oct) = s.strip_prefix("0o") {
+        i64::from_str_radix(oct, 8).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Per-op call counts.
+pub fn counts(records: &[LiveRecord]) -> BTreeMap<String, usize> {
+    let mut m = BTreeMap::new();
+    for r in records {
+        *m.entry(r.op.clone()).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_shim_lines() {
+        let out = "open \"/etc/hosts\" 0o0 = 3\nread 3 4096 = 120\nwrite 1 120 = 120\nclose 3 = 0\nnoise line\n";
+        let recs = parse(out);
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs[0].op, "open");
+        assert_eq!(recs[0].path, "/etc/hosts");
+        assert_eq!(recs[0].ret, 3);
+        assert_eq!(recs[1].arg, 3);
+        assert_eq!(recs[1].ret, 120);
+        let c = counts(&recs);
+        assert_eq!(c["open"], 1);
+        assert_eq!(c["read"], 1);
+    }
+
+    #[test]
+    fn paths_with_spaces_survive() {
+        let recs = parse("openat \"/tmp/a b c\" 0o400 = 5\n");
+        assert_eq!(recs[0].path, "/tmp/a b c");
+        assert_eq!(recs[0].arg, 0o400);
+    }
+
+    #[test]
+    fn garbage_is_skipped() {
+        assert!(parse("random\nopen missing quote 0 = x\n").is_empty());
+    }
+}

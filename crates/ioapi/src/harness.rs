@@ -1,0 +1,177 @@
+//! Job harness: standard cluster construction and one-call job
+//! execution. Every experiment in the workspace — the LANL overhead
+//! figures, the Tracefs granularity sweep, the //TRACE throttling runs —
+//! is a sequence of [`run_job`] calls differing only in tracer and
+//! workload.
+
+use iotrace_fs::fs::{local_fs, nfs_fs, striped_fs};
+use iotrace_fs::params::{LocalParams, NfsParams, StripedParams};
+use iotrace_fs::vfs::Vfs;
+use iotrace_sim::engine::{ClusterConfig, Engine, RunReport};
+use iotrace_sim::program::RankProgram;
+use iotrace_sim::time::SimDur;
+
+use crate::executor::{IoExecutor, IoStats, Throttle, ThrottleWindow};
+use crate::op::{IoOp, IoRes};
+use crate::params::{IoApiParams, TraceCostParams};
+use crate::tracer::IoTracer;
+
+/// Standard mount layout used by the paper's experiments:
+/// `/pfs` striped parallel FS, `/nfs` shared NFS, `/tmp` per-node local.
+pub fn standard_vfs(nodes: usize) -> Vfs {
+    let mut vfs = Vfs::new(nodes);
+    vfs.mount_shared("/pfs", striped_fs("panfs", StripedParams::lanl_2007()))
+        .expect("mount /pfs");
+    vfs.mount_shared("/nfs", nfs_fs("nfs", NfsParams::lanl_2007()))
+        .expect("mount /nfs");
+    vfs.mount_per_node("/tmp", |i| {
+        local_fs("ext3", LocalParams::lanl_2007(), 0xC0FFEE ^ i as u64)
+    })
+    .expect("mount /tmp");
+    vfs
+}
+
+/// Standard cluster: `n` nodes, one rank per node, 2006 GigE, sampled
+/// clock skew (±0.9 ms) and drift (±35 ppm) — enough for the skew/drift
+/// analysis to have something real to find.
+pub fn standard_cluster(n: usize, seed: u64) -> ClusterConfig {
+    ClusterConfig::new(n).with_sampled_clocks(seed, 900_000, 35.0)
+}
+
+/// Everything a finished job leaves behind.
+pub struct JobReport {
+    pub run: RunReport,
+    pub stats: IoStats,
+    pub vfs: Vfs,
+    pub tracer: Box<dyn IoTracer>,
+}
+
+impl JobReport {
+    pub fn elapsed(&self) -> SimDur {
+        self.run.elapsed
+    }
+
+    /// Aggregate write bandwidth in bytes/second over the whole job.
+    pub fn write_bandwidth(&self) -> f64 {
+        let secs = self.run.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.stats.bytes_written as f64 / secs
+        }
+    }
+
+    pub fn read_bandwidth(&self) -> f64 {
+        let secs = self.run.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.stats.bytes_read as f64 / secs
+        }
+    }
+}
+
+/// Run one job: `programs` (one per rank) against `vfs` under `tracer`.
+pub fn run_job(
+    cfg: ClusterConfig,
+    vfs: Vfs,
+    tracer: Box<dyn IoTracer>,
+    programs: Vec<Box<dyn RankProgram<IoOp, IoRes>>>,
+    throttle: Option<Throttle>,
+) -> JobReport {
+    run_job_with_params(
+        cfg,
+        vfs,
+        tracer,
+        programs,
+        throttle,
+        IoApiParams::lanl_2007(),
+        TraceCostParams::lanl_2007(),
+    )
+}
+
+/// [`run_job`] with explicit cost parameters (ablations).
+pub fn run_job_with_params(
+    cfg: ClusterConfig,
+    vfs: Vfs,
+    tracer: Box<dyn IoTracer>,
+    programs: Vec<Box<dyn RankProgram<IoOp, IoRes>>>,
+    throttle: Option<Throttle>,
+    params: IoApiParams,
+    cost: TraceCostParams,
+) -> JobReport {
+    run_job_full(cfg, vfs, tracer, programs, throttle, Vec::new(), params, cost)
+}
+
+/// The fully general job runner: static throttle, time-sliced throttle
+/// plan, and explicit cost parameters.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_full(
+    cfg: ClusterConfig,
+    vfs: Vfs,
+    tracer: Box<dyn IoTracer>,
+    programs: Vec<Box<dyn RankProgram<IoOp, IoRes>>>,
+    throttle: Option<Throttle>,
+    plan: Vec<ThrottleWindow>,
+    params: IoApiParams,
+    cost: TraceCostParams,
+) -> JobReport {
+    let mut exec = IoExecutor::new(vfs, tracer).with_params(params, cost);
+    exec.set_throttle(throttle);
+    exec.set_throttle_plan(plan);
+    let mut engine = Engine::new(cfg, exec);
+    let run = engine.run(programs);
+    let exec = engine.into_executor();
+    let stats = exec.stats;
+    let (vfs, tracer) = exec.into_parts();
+    JobReport {
+        run,
+        stats,
+        vfs,
+        tracer,
+    }
+}
+
+/// Elapsed-time overhead as defined in paper §3.1:
+/// `(traced - untraced) / untraced`.
+pub fn elapsed_overhead(untraced: SimDur, traced: SimDur) -> f64 {
+    let u = untraced.as_secs_f64();
+    if u == 0.0 {
+        return 0.0;
+    }
+    (traced.as_secs_f64() - u) / u
+}
+
+/// Bandwidth overhead: `(bw_untraced - bw_traced) / bw_untraced`.
+pub fn bandwidth_overhead(untraced_bps: f64, traced_bps: f64) -> f64 {
+    if untraced_bps == 0.0 {
+        return 0.0;
+    }
+    (untraced_bps - traced_bps) / untraced_bps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_formulas() {
+        assert_eq!(
+            elapsed_overhead(SimDur::from_secs(10), SimDur::from_secs(15)),
+            0.5
+        );
+        assert_eq!(elapsed_overhead(SimDur::ZERO, SimDur::from_secs(1)), 0.0);
+        assert!((bandwidth_overhead(100.0, 50.0) - 0.5).abs() < 1e-12);
+        assert_eq!(bandwidth_overhead(0.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn standard_vfs_has_expected_mounts() {
+        let vfs = standard_vfs(4);
+        use iotrace_fs::cost::FsKind;
+        assert_eq!(vfs.kind_of("/pfs/x").unwrap(), FsKind::Parallel);
+        assert_eq!(vfs.kind_of("/nfs/x").unwrap(), FsKind::Nfs);
+        assert_eq!(vfs.kind_of("/tmp/x").unwrap(), FsKind::Local);
+        assert_eq!(vfs.kind_of("/etc/hosts").unwrap(), FsKind::Mem);
+    }
+}

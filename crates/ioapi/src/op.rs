@@ -1,0 +1,214 @@
+//! The I/O operations a simulated process can issue, and their results.
+//!
+//! These are the "custom" operations plugged into the simulation engine
+//! ([`iotrace_sim::engine::Executor`]); descriptors (`Fd`) are small
+//! rank-local integers exactly like POSIX file descriptors.
+
+use iotrace_fs::data::WritePayload;
+use iotrace_fs::fs::OpenFlags;
+use iotrace_fs::inode::FileStat;
+use iotrace_sim::time::SimTime;
+
+/// A rank-local file descriptor. 0/1/2 are reserved (never returned).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Fd(pub i32);
+
+/// I/O operation requested by a rank program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IoOp {
+    // --- POSIX-like ---
+    Open {
+        path: String,
+        flags: OpenFlags,
+        mode: u32,
+    },
+    Close {
+        fd: Fd,
+    },
+    /// Sequential read at the file position.
+    Read {
+        fd: Fd,
+        len: u64,
+    },
+    /// Sequential write at the file position.
+    Write {
+        fd: Fd,
+        payload: WritePayload,
+    },
+    /// Positional read (does not move the file position).
+    PRead {
+        fd: Fd,
+        offset: u64,
+        len: u64,
+    },
+    /// Positional write.
+    PWrite {
+        fd: Fd,
+        offset: u64,
+        payload: WritePayload,
+    },
+    Seek {
+        fd: Fd,
+        offset: i64,
+        whence: Whence,
+    },
+    Fsync {
+        fd: Fd,
+    },
+    Stat {
+        path: String,
+    },
+    Mkdir {
+        path: String,
+        mode: u32,
+    },
+    Unlink {
+        path: String,
+    },
+    Readdir {
+        path: String,
+    },
+    Rename {
+        from: String,
+        to: String,
+    },
+    /// Map a file region and write through the mapping: the *data
+    /// movement* is visible only at the VFS layer — syscall-level tracers
+    /// (strace/ltrace/preload) see just the `mmap` call. This is the
+    /// taxonomy's "cannot track memory-mapped I/Os" blind spot, made
+    /// executable.
+    MmapWrite {
+        fd: Fd,
+        offset: u64,
+        len: u64,
+    },
+    // --- MPI-IO library ---
+    MpiOpen {
+        path: String,
+        amode: u32,
+    },
+    MpiClose {
+        fd: Fd,
+    },
+    MpiWriteAt {
+        fd: Fd,
+        offset: u64,
+        payload: WritePayload,
+    },
+    MpiReadAt {
+        fd: Fd,
+        offset: u64,
+        len: u64,
+    },
+    /// Notify the tracer that an `MPI_Barrier` spanning
+    /// `[entered, exited]` (true time) just completed. Issued by the
+    /// [`crate::traced::Traced`] adapter after each engine barrier so
+    /// tracers observe barrier calls like ltrace does.
+    NoteBarrier {
+        entered: SimTime,
+        exited: SimTime,
+    },
+    /// Query of the process clock, traced as `MPI_Comm_rank`-style cheap
+    /// library call (used by timing jobs).
+    NoteCommRank,
+}
+
+/// Seek origin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Whence {
+    Set = 0,
+    Cur = 1,
+    End = 2,
+}
+
+/// Result of an [`IoOp`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum IoRes {
+    Fd(Fd),
+    Bytes(u64),
+    /// New file position after a seek.
+    Pos(u64),
+    Stat(FileStat),
+    Names(Vec<String>),
+    Done,
+    /// Failure with a POSIX errno.
+    Error(i32),
+}
+
+impl IoRes {
+    pub fn is_error(&self) -> bool {
+        matches!(self, IoRes::Error(_))
+    }
+
+    pub fn fd(&self) -> Option<Fd> {
+        match self {
+            IoRes::Fd(fd) => Some(*fd),
+            _ => None,
+        }
+    }
+
+    pub fn bytes(&self) -> Option<u64> {
+        match self {
+            IoRes::Bytes(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Collapse to a syscall-style integer (fd, count, 0 or -errno).
+    pub fn as_ret(&self) -> i64 {
+        match self {
+            IoRes::Fd(fd) => fd.0 as i64,
+            IoRes::Bytes(n) => *n as i64,
+            IoRes::Pos(p) => *p as i64,
+            IoRes::Stat(_) | IoRes::Names(_) | IoRes::Done => 0,
+            IoRes::Error(e) => -(*e as i64),
+        }
+    }
+}
+
+impl IoOp {
+    /// Bytes of data this operation moves (for workload accounting).
+    pub fn data_len(&self) -> u64 {
+        match self {
+            IoOp::Read { len, .. } | IoOp::PRead { len, .. } | IoOp::MpiReadAt { len, .. } => *len,
+            IoOp::Write { payload, .. } => payload.len(),
+            IoOp::PWrite { payload, .. } | IoOp::MpiWriteAt { payload, .. } => payload.len(),
+            IoOp::MmapWrite { len, .. } => *len,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn res_accessors() {
+        assert_eq!(IoRes::Fd(Fd(5)).fd(), Some(Fd(5)));
+        assert_eq!(IoRes::Bytes(42).bytes(), Some(42));
+        assert!(IoRes::Error(2).is_error());
+        assert_eq!(IoRes::Error(2).as_ret(), -2);
+        assert_eq!(IoRes::Fd(Fd(3)).as_ret(), 3);
+        assert_eq!(IoRes::Done.as_ret(), 0);
+    }
+
+    #[test]
+    fn data_len_covers_reads_and_writes() {
+        assert_eq!(
+            IoOp::PWrite {
+                fd: Fd(3),
+                offset: 0,
+                payload: WritePayload::Synthetic(100)
+            }
+            .data_len(),
+            100
+        );
+        assert_eq!(IoOp::Read { fd: Fd(3), len: 7 }.data_len(), 7);
+        assert_eq!(IoOp::Close { fd: Fd(3) }.data_len(), 0);
+        assert_eq!(
+            IoOp::MmapWrite { fd: Fd(3), offset: 0, len: 9 }.data_len(),
+            9
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Cost parameters for the I/O software stack and for tracer
+//! interception mechanisms.
+
+use iotrace_sim::time::SimDur;
+
+/// Baseline (untraced) software costs of the I/O stack.
+#[derive(Clone, Copy, Debug)]
+pub struct IoApiParams {
+    /// Kernel entry/exit + dispatch for one system call.
+    pub syscall_overhead: SimDur,
+    /// MPI-IO library software path per call (above the syscalls it makes).
+    pub mpi_lib_overhead: SimDur,
+}
+
+impl IoApiParams {
+    /// Linux 2.6.14 + mpich 1.2.6 era costs.
+    pub fn lanl_2007() -> Self {
+        IoApiParams {
+            syscall_overhead: SimDur::from_micros(2),
+            mpi_lib_overhead: SimDur::from_micros(5),
+        }
+    }
+}
+
+/// How a tracer intercepts events — each mechanism has a characteristic
+/// per-event cost structure (the root cause of Figures 2–4):
+///
+/// * `Ptrace` — strace/ltrace stop the tracee twice per event (entry and
+///   exit), each stop costing two context switches, then decode arguments
+///   by peeking tracee memory. This is LANL-Trace's mechanism and the
+///   reason its small-block overhead is so large.
+/// * `Preload` — `LD_PRELOAD` interposition (//TRACE, Curry '94): a plain
+///   function-call detour, orders of magnitude cheaper.
+/// * `InKernel` — a stackable kernel module (Tracefs): a few hundred
+///   nanoseconds of in-kernel bookkeeping per VFS op.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Interception {
+    Ptrace,
+    Preload,
+    InKernel,
+}
+
+/// Per-mechanism cost constants.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceCostParams {
+    /// One scheduler context switch.
+    pub ctx_switch: SimDur,
+    /// ptrace argument decode per event (ltrace-grade, includes PTRACE_PEEKDATA
+    /// of small argument structures).
+    pub ptrace_decode: SimDur,
+    /// Extra ptrace cost per data byte (argument buffer peeking &
+    /// formatting amortized); this is what makes bandwidth overhead
+    /// approach a constant *factor* at large block sizes (Figure 3).
+    pub ptrace_per_byte_ns: f64,
+    /// Preload hook per event.
+    pub preload_hook: SimDur,
+    /// Preload per-byte cost (buffer accounting only; cheap).
+    pub preload_per_byte_ns: f64,
+    /// In-kernel (Tracefs) hook per VFS op.
+    pub kernel_hook: SimDur,
+}
+
+impl TraceCostParams {
+    pub fn lanl_2007() -> Self {
+        TraceCostParams {
+            ctx_switch: SimDur::from_micros(15),
+            ptrace_decode: SimDur::from_micros(150),
+            ptrace_per_byte_ns: 1.25,
+            preload_hook: SimDur::from_micros(3),
+            preload_per_byte_ns: 0.02,
+            kernel_hook: SimDur::from_nanos(1_400),
+        }
+    }
+
+    /// Interception cost for one event moving `bytes` of data.
+    pub fn event_cost(&self, mech: Interception, bytes: u64) -> SimDur {
+        match mech {
+            Interception::Ptrace => {
+                // entry stop + exit stop: 2 switches each way
+                self.ctx_switch * 4
+                    + self.ptrace_decode
+                    + SimDur::from_nanos((bytes as f64 * self.ptrace_per_byte_ns) as u64)
+            }
+            Interception::Preload => {
+                self.preload_hook
+                    + SimDur::from_nanos((bytes as f64 * self.preload_per_byte_ns) as u64)
+            }
+            Interception::InKernel => self.kernel_hook,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ptrace_dominates_other_mechanisms() {
+        let p = TraceCostParams::lanl_2007();
+        let pt = p.event_cost(Interception::Ptrace, 0);
+        let pl = p.event_cost(Interception::Preload, 0);
+        let ik = p.event_cost(Interception::InKernel, 0);
+        assert!(pt > pl * 10, "ptrace {pt:?} vs preload {pl:?}");
+        assert!(pl > ik, "preload {pl:?} vs kernel {ik:?}");
+    }
+
+    #[test]
+    fn per_byte_cost_grows_with_block() {
+        let p = TraceCostParams::lanl_2007();
+        let small = p.event_cost(Interception::Ptrace, 64 * 1024);
+        let big = p.event_cost(Interception::Ptrace, 8 << 20);
+        assert!(big > small);
+        // 8 MiB at 0.32 ns/B ≈ 2.7 ms
+        assert!(big.as_secs_f64() > 0.002, "got {big:?}");
+    }
+
+    #[test]
+    fn kernel_hook_is_byte_independent() {
+        let p = TraceCostParams::lanl_2007();
+        assert_eq!(
+            p.event_cost(Interception::InKernel, 0),
+            p.event_cost(Interception::InKernel, 1 << 30)
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-rank process state: descriptor table and credentials.
+
+use iotrace_fs::fs::OpenFlags;
+use iotrace_fs::vfs::VnodeId;
+
+use crate::op::Fd;
+
+/// One open descriptor.
+#[derive(Clone, Debug)]
+pub struct OpenFile {
+    pub vn: VnodeId,
+    pub path: String,
+    pub pos: u64,
+    pub flags: OpenFlags,
+    /// Opened through the MPI-IO library (affects event expansion).
+    pub via_mpi: bool,
+}
+
+/// Simulated process state for one rank.
+#[derive(Clone, Debug)]
+pub struct ProcState {
+    pub pid: u32,
+    pub uid: u32,
+    pub gid: u32,
+    /// Slots 0..3 are reserved like stdin/stdout/stderr.
+    fds: Vec<Option<OpenFile>>,
+    /// Whether the tracer's per-rank startup cost has been charged.
+    pub started: bool,
+    /// I/O operations issued so far (drives deterministic throttle
+    /// sampling).
+    pub ops_issued: u64,
+}
+
+impl ProcState {
+    pub fn new(rank: u32) -> Self {
+        // Deterministic but staggered pids, like a real MPI launcher.
+        ProcState {
+            pid: 10_000 + rank * 317 % 9_000 + rank,
+            uid: 1_000,
+            gid: 100,
+            fds: vec![None, None, None],
+            started: false,
+            ops_issued: 0,
+        }
+    }
+
+    /// Allocate the lowest free descriptor ≥ 3 (POSIX semantics).
+    pub fn alloc_fd(&mut self, file: OpenFile) -> Fd {
+        for (i, slot) in self.fds.iter_mut().enumerate().skip(3) {
+            if slot.is_none() {
+                *slot = Some(file);
+                return Fd(i as i32);
+            }
+        }
+        self.fds.push(Some(file));
+        Fd((self.fds.len() - 1) as i32)
+    }
+
+    pub fn get(&self, fd: Fd) -> Option<&OpenFile> {
+        self.fds.get(fd.0.max(0) as usize)?.as_ref()
+    }
+
+    pub fn get_mut(&mut self, fd: Fd) -> Option<&mut OpenFile> {
+        self.fds.get_mut(fd.0.max(0) as usize)?.as_mut()
+    }
+
+    pub fn release(&mut self, fd: Fd) -> Option<OpenFile> {
+        self.fds.get_mut(fd.0.max(0) as usize)?.take()
+    }
+
+    pub fn open_count(&self) -> usize {
+        self.fds.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace_fs::inode::InodeId;
+
+    fn file(path: &str) -> OpenFile {
+        OpenFile {
+            vn: VnodeId {
+                mount: 0,
+                ino: InodeId(1),
+            },
+            path: path.into(),
+            pos: 0,
+            flags: OpenFlags::RDWR,
+            via_mpi: false,
+        }
+    }
+
+    #[test]
+    fn fds_start_at_three() {
+        let mut p = ProcState::new(0);
+        assert_eq!(p.alloc_fd(file("/a")), Fd(3));
+        assert_eq!(p.alloc_fd(file("/b")), Fd(4));
+    }
+
+    #[test]
+    fn lowest_free_slot_is_reused() {
+        let mut p = ProcState::new(0);
+        let a = p.alloc_fd(file("/a"));
+        let _b = p.alloc_fd(file("/b"));
+        p.release(a).unwrap();
+        assert_eq!(p.alloc_fd(file("/c")), a);
+        assert_eq!(p.open_count(), 2);
+    }
+
+    #[test]
+    fn get_release_semantics() {
+        let mut p = ProcState::new(0);
+        let fd = p.alloc_fd(file("/a"));
+        assert_eq!(p.get(fd).unwrap().path, "/a");
+        p.get_mut(fd).unwrap().pos = 42;
+        assert_eq!(p.get(fd).unwrap().pos, 42);
+        assert!(p.release(fd).is_some());
+        assert!(p.get(fd).is_none());
+        assert!(p.release(fd).is_none());
+        assert!(p.get(Fd(-1)).is_none());
+        assert!(p.get(Fd(999)).is_none());
+    }
+
+    #[test]
+    fn pids_are_distinct_across_ranks() {
+        let pids: std::collections::HashSet<u32> =
+            (0..64).map(|r| ProcState::new(r).pid).collect();
+        assert_eq!(pids.len(), 64);
+    }
+}

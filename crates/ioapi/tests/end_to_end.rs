@@ -1,0 +1,271 @@
+//! End-to-end tests: rank programs driving real I/O through the engine,
+//! the executor, the VFS and a tracer.
+
+use iotrace_fs::data::WritePayload;
+use iotrace_fs::fs::OpenFlags;
+use iotrace_ioapi::prelude::*;
+use iotrace_model::event::{CallLayer, IoCall, TraceRecord};
+use iotrace_sim::prelude::*;
+
+type P = Box<dyn RankProgram<IoOp, IoRes>>;
+
+/// A program writing `blocks` × `block_size` synthetic bytes to its own
+/// file under /pfs, barrier-fenced.
+fn writer(rank: u32, blocks: u64, block: u64) -> P {
+    let path = format!("/pfs/out/rank{rank}.dat");
+    let mut ops: Vec<Op<IoOp>> = vec![
+        Op::Io(IoOp::MpiOpen { path, amode: 37 }),
+        Op::Barrier(CommId::WORLD),
+    ];
+    for i in 0..blocks {
+        ops.push(Op::Io(IoOp::MpiWriteAt {
+            fd: Fd(3),
+            offset: i * block,
+            payload: WritePayload::Synthetic(block),
+        }));
+    }
+    ops.push(Op::Barrier(CommId::WORLD));
+    ops.push(Op::Io(IoOp::MpiClose { fd: Fd(3) }));
+    ops.push(Op::Exit);
+    traced(OpList::new(ops))
+}
+
+fn run(n: usize, tracer: Box<dyn IoTracer>, throttle: Option<Throttle>) -> JobReport {
+    let cfg = standard_cluster(n, 42);
+    let mut vfs = standard_vfs(n);
+    vfs.setup_dir("/pfs/out").unwrap();
+    let programs: Vec<P> = (0..n as u32).map(|r| writer(r, 8, 64 * 1024)).collect();
+    run_job(cfg, vfs, tracer, programs, throttle)
+}
+
+#[test]
+fn job_completes_and_writes_data() {
+    let mut rep = run(4, Box::new(NullTracer), None);
+    assert!(rep.run.is_clean());
+    assert_eq!(rep.stats.bytes_written, 4 * 8 * 64 * 1024);
+    // Files exist with the right sizes.
+    for r in 0..4u32 {
+        let (st, _) = rep
+            .vfs
+            .stat(NodeId(0), &format!("/pfs/out/rank{r}.dat"), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(st.size, 8 * 64 * 1024);
+    }
+}
+
+#[test]
+fn collector_sees_layered_events() {
+    let rep = run(2, Box::new(CollectingTracer::default()), None);
+    assert!(rep.run.is_clean());
+    let collector = iotrace_ioapi::tracer::downcast_tracer::<CollectingTracer>(rep.tracer.as_ref())
+        .expect("tracer is a CollectingTracer");
+    let recs = &collector.records;
+    assert!(!recs.is_empty());
+    // All three layers are present for an MPI write workload.
+    let layers: std::collections::HashSet<CallLayer> =
+        recs.iter().map(|r| r.call.layer()).collect();
+    assert!(layers.contains(&CallLayer::Mpi));
+    assert!(layers.contains(&CallLayer::Sys));
+    assert!(layers.contains(&CallLayer::Vfs));
+    // MPI_File_write_at wraps lseek + write: equal counts.
+    let count = |name: &str| recs.iter().filter(|r| r.call.name() == name).count();
+    assert_eq!(count("MPI_File_write_at"), 2 * 8);
+    assert_eq!(count("SYS_lseek"), 2 * 8);
+    assert_eq!(count("SYS_write"), 2 * 8);
+    assert_eq!(count("VFS_write_page"), 2 * 8);
+    // Barriers were surfaced via the Traced adapter (2 per rank).
+    assert_eq!(count("MPI_Barrier"), 2 * 2);
+    // The MPI wrapper's duration covers its syscalls.
+    let mpi = recs
+        .iter()
+        .find(|r| r.call.name() == "MPI_File_write_at")
+        .unwrap();
+    let sys = recs.iter().find(|r| r.call.name() == "SYS_write").unwrap();
+    assert!(mpi.dur >= sys.dur);
+}
+
+#[test]
+fn mmap_data_movement_is_invisible_to_syscall_layer() {
+    let cfg = ClusterConfig::new(1).with_net(NetworkParams::ideal());
+    let mut vfs = standard_vfs(1);
+    vfs.setup_dir("/pfs/m").unwrap();
+    let ops: Vec<Op<IoOp>> = vec![
+        Op::Io(IoOp::Open {
+            path: "/pfs/m/f".into(),
+            flags: OpenFlags::RDWR | OpenFlags::CREAT,
+            mode: 0o644,
+        }),
+        Op::Io(IoOp::MmapWrite {
+            fd: Fd(3),
+            offset: 0,
+            len: 1 << 20,
+        }),
+        Op::Io(IoOp::Close { fd: Fd(3) }),
+        Op::Exit,
+    ];
+    let programs: Vec<P> = vec![Box::new(OpList::new(ops))];
+    let rep = run_job(cfg, vfs, Box::new(CollectingTracer::default()), programs, None);
+    assert!(rep.run.is_clean());
+    let recs = &iotrace_ioapi::tracer::downcast_tracer::<CollectingTracer>(rep.tracer.as_ref())
+        .unwrap()
+        .records;
+    // Syscall layer saw only mmap (zero data bytes); the megabyte moved
+    // at the VFS layer — the taxonomy's mmap blind spot.
+    let sys_bytes: u64 = recs
+        .iter()
+        .filter(|r| r.call.layer() == CallLayer::Sys)
+        .map(|r| r.call.bytes())
+        .sum();
+    let vfs_bytes: u64 = recs
+        .iter()
+        .filter(|r| r.call.layer() == CallLayer::Vfs)
+        .map(|r| r.call.bytes())
+        .sum();
+    assert_eq!(vfs_bytes, 1 << 20);
+    assert!(sys_bytes >= 1 << 20, "mmap len visible as a call arg");
+    let sys_data_moved: u64 = recs
+        .iter()
+        .filter(|r| r.call.layer() == CallLayer::Sys && r.call.name() != "SYS_mmap")
+        .map(|r| r.call.bytes())
+        .sum();
+    assert_eq!(sys_data_moved, 0, "no read/write syscalls carried the data");
+}
+
+#[test]
+fn traced_run_is_slower_than_untraced() {
+    struct PtraceAll;
+    impl IoTracer for PtraceAll {
+        fn name(&self) -> &'static str {
+            "ptrace-all"
+        }
+        fn mechanism(&self) -> Option<Interception> {
+            Some(Interception::Ptrace)
+        }
+        fn wants(&self, call: &IoCall) -> bool {
+            call.layer() != CallLayer::Vfs
+        }
+        fn on_event(&mut self, _r: &TraceRecord, _c: &mut TracerCtx<'_>) -> SimDur {
+            SimDur::ZERO
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+    let untraced = run(4, Box::new(NullTracer), None);
+    let traced_rep = run(4, Box::new(PtraceAll), None);
+    assert!(untraced.run.is_clean() && traced_rep.run.is_clean());
+    let oh = elapsed_overhead(untraced.elapsed(), traced_rep.elapsed());
+    assert!(oh > 0.02, "expected measurable overhead, got {oh}");
+    assert!(traced_rep.stats.events_traced > 0);
+    assert!(traced_rep.stats.tracer_time > SimDur::ZERO);
+}
+
+#[test]
+fn throttle_delays_only_the_target_node() {
+    let base = run(4, Box::new(NullTracer), None);
+    let thr = run(
+        4,
+        Box::new(NullTracer),
+        Some(Throttle {
+            node: NodeId(2),
+            delay: SimDur::from_millis(5),
+        }),
+    );
+    assert!(thr.elapsed() > base.elapsed());
+}
+
+#[test]
+fn posix_fd_semantics_through_engine() {
+    let cfg = ClusterConfig::new(1).with_net(NetworkParams::ideal());
+    let vfs = standard_vfs(1);
+    let ops: Vec<Op<IoOp>> = vec![
+        Op::Io(IoOp::Open {
+            path: "/tmp/log".into(),
+            flags: OpenFlags::RDWR | OpenFlags::CREAT,
+            mode: 0o644,
+        }),
+        Op::Io(IoOp::Write {
+            fd: Fd(3),
+            payload: WritePayload::Bytes(b"hello ".to_vec()),
+        }),
+        Op::Io(IoOp::Write {
+            fd: Fd(3),
+            payload: WritePayload::Bytes(b"world".to_vec()),
+        }),
+        Op::Io(IoOp::Seek {
+            fd: Fd(3),
+            offset: 0,
+            whence: Whence::Set,
+        }),
+        Op::Io(IoOp::Read { fd: Fd(3), len: 11 }),
+        Op::Io(IoOp::Close { fd: Fd(3) }),
+        Op::Exit,
+    ];
+    let programs: Vec<P> = vec![Box::new(OpList::new(ops))];
+    let rep = run_job(cfg, vfs, Box::new(NullTracer), programs, None);
+    assert!(rep.run.is_clean());
+    assert_eq!(rep.stats.bytes_written, 11);
+    assert_eq!(rep.stats.bytes_read, 11);
+    // sequential writes landed back to back
+    let data = rep.vfs.fetch_file(NodeId(0), "/tmp/log").unwrap();
+    assert_eq!(data, b"hello world");
+}
+
+#[test]
+fn bad_fd_yields_ebadf_not_panic() {
+    let cfg = ClusterConfig::new(1).with_net(NetworkParams::ideal());
+    let vfs = standard_vfs(1);
+    let ops: Vec<Op<IoOp>> = vec![
+        Op::Io(IoOp::Write {
+            fd: Fd(9),
+            payload: WritePayload::Synthetic(10),
+        }),
+        Op::Io(IoOp::Close { fd: Fd(9) }),
+        Op::Exit,
+    ];
+    let programs: Vec<P> = vec![Box::new(OpList::new(ops))];
+    let rep = run_job(cfg, vfs, Box::new(NullTracer), programs, None);
+    assert!(rep.run.is_clean());
+    assert_eq!(rep.stats.bytes_written, 0);
+}
+
+#[test]
+fn open_missing_file_reports_enoent() {
+    let cfg = ClusterConfig::new(1).with_net(NetworkParams::ideal());
+    let vfs = standard_vfs(1);
+    // Capture the result via a closure program.
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    let seen: Rc<RefCell<Option<IoRes>>> = Rc::new(RefCell::new(None));
+    let sink = Rc::clone(&seen);
+    let prog = move |_r: RankId, last: &OpResult<IoRes>| -> Op<IoOp> {
+        match last {
+            OpResult::Start => Op::Io(IoOp::Open {
+                path: "/pfs/missing".into(),
+                flags: OpenFlags::RDONLY,
+                mode: 0,
+            }),
+            OpResult::Io(res) => {
+                *sink.borrow_mut() = Some(res.clone());
+                Op::Exit
+            }
+            _ => Op::Exit,
+        }
+    };
+    let programs: Vec<P> = vec![Box::new(prog)];
+    let rep = run_job(cfg, vfs, Box::new(NullTracer), programs, None);
+    assert!(rep.run.is_clean());
+    assert_eq!(*seen.borrow(), Some(IoRes::Error(2)));
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run(4, Box::new(NullTracer), None);
+    let b = run(4, Box::new(NullTracer), None);
+    assert_eq!(a.elapsed(), b.elapsed());
+    assert_eq!(a.stats.bytes_written, b.stats.bytes_written);
+    assert_eq!(a.stats.events_emitted, b.stats.events_emitted);
+}

@@ -1,0 +1,77 @@
+//! LANL-Trace configuration.
+
+use iotrace_sim::time::SimDur;
+
+/// Which wrapped tool does the interception (paper §2.1: "wraps the
+/// standard Linux/Unix library and system call tracing utility ltrace,
+/// or optionally, its system call only variant, strace").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WrapMode {
+    /// Library **and** system calls; slower (singlesteps unrelated
+    /// library calls too).
+    Ltrace,
+    /// System calls only; cheaper, but misses MPI-IO library calls.
+    Strace,
+}
+
+impl WrapMode {
+    pub fn tool_name(&self) -> &'static str {
+        match self {
+            WrapMode::Ltrace => "ltrace",
+            WrapMode::Strace => "strace",
+        }
+    }
+}
+
+/// Tuning knobs for the LANL-Trace wrapper.
+#[derive(Clone, Debug)]
+pub struct LanlConfig {
+    pub mode: WrapMode,
+    /// Node-local directory raw traces stream to.
+    pub local_dir: String,
+    /// Shared directory the aggregate outputs land in.
+    pub shared_dir: String,
+    /// Raw-trace buffer size before a flush to local disk.
+    pub flush_bytes: usize,
+    /// Per-rank startup: Perl wrapper + fork/exec + ptrace attach.
+    pub startup: SimDur,
+    /// Recordless ptrace stops per data op (ltrace singlestepping libc
+    /// internals: memcpy/malloc/locale…).
+    pub aux_stops: u32,
+    /// Keep decoded records in memory for analysis convenience.
+    pub keep_records: bool,
+}
+
+impl LanlConfig {
+    pub fn ltrace() -> Self {
+        LanlConfig {
+            mode: WrapMode::Ltrace,
+            local_dir: "/tmp/lanl-trace".to_string(),
+            shared_dir: "/pfs/lanl-trace".to_string(),
+            flush_bytes: 64 * 1024,
+            startup: SimDur::from_millis(150),
+            aux_stops: 25,
+            keep_records: true,
+        }
+    }
+
+    pub fn strace() -> Self {
+        LanlConfig {
+            mode: WrapMode::Strace,
+            aux_stops: 6,
+            ..Self::ltrace()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strace_is_cheaper_than_ltrace() {
+        assert!(LanlConfig::strace().aux_stops < LanlConfig::ltrace().aux_stops);
+        assert_eq!(LanlConfig::strace().mode, WrapMode::Strace);
+        assert_eq!(WrapMode::Ltrace.tool_name(), "ltrace");
+    }
+}

@@ -1,0 +1,19 @@
+//! # iotrace-lanl — LANL-Trace
+//!
+//! The paper's first surveyed framework (§2.1, §4.1): a wrapper around
+//! ltrace/strace that produces three human-readable outputs — raw
+//! per-rank traces, aggregate barrier timing (for clock skew/drift
+//! accounting), and a call summary (Figure 1). Simple to install and
+//! parallel-FS compatible, but its ptrace mechanism makes per-event
+//! overhead large: bandwidth overhead is severe at small block sizes and
+//! fades at large ones (Figures 2–4).
+
+pub mod config;
+pub mod run;
+pub mod tracer;
+
+pub mod prelude {
+    pub use crate::config::{LanlConfig, WrapMode};
+    pub use crate::run::{untraced_baseline, with_timing_jobs, LanlRun, LanlTrace};
+    pub use crate::tracer::{parse_raw_trace, LanlTracer};
+}

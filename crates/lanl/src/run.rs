@@ -1,0 +1,119 @@
+//! High-level LANL-Trace job runner.
+//!
+//! Mirrors the real wrapper's behaviour: launches a small MPI job before
+//! and after the traced application ("this job reports the observed time
+//! for each node, does a barrier, and then reports the time again",
+//! paper §4.1.1) so the aggregate timing output brackets the app with
+//! skew/drift reference points, then runs the application itself under
+//! the ptrace-based tracer.
+
+use iotrace_fs::vfs::Vfs;
+use iotrace_ioapi::harness::{run_job, JobReport};
+use iotrace_ioapi::op::{IoOp, IoRes};
+use iotrace_ioapi::tracer::{downcast_tracer, NullTracer};
+use iotrace_ioapi::traced::Traced;
+use iotrace_model::event::Trace;
+use iotrace_model::summary::CallSummary;
+use iotrace_model::timing::AggregateTiming;
+use iotrace_sim::engine::ClusterConfig;
+use iotrace_sim::ids::CommId;
+use iotrace_sim::program::{Op, OpList, RankProgram, Seq};
+use iotrace_sim::time::SimDur;
+
+use crate::config::LanlConfig;
+use crate::tracer::LanlTracer;
+
+type P = Box<dyn RankProgram<IoOp, IoRes>>;
+
+/// Launch cost of the small pre/post MPI timing job.
+const TIMING_JOB_LAUNCH: SimDur = SimDur(20_000_000); // 20 ms
+
+/// The pre/post clock-sampling MPI job: report time, barrier, report
+/// time again.
+fn timing_job() -> P {
+    Box::new(Traced::new(OpList::new(vec![
+        Op::Compute(TIMING_JOB_LAUNCH),
+        Op::Io(IoOp::NoteCommRank),
+        Op::ReadClock,
+        Op::Barrier(CommId::WORLD),
+        Op::ReadClock,
+        Op::Exit,
+    ])))
+}
+
+/// Wrap each rank's program with the pre/post timing jobs.
+pub fn with_timing_jobs(programs: Vec<P>) -> Vec<P> {
+    programs
+        .into_iter()
+        .map(|p| Box::new(Seq::new(vec![timing_job(), p, timing_job()])) as P)
+        .collect()
+}
+
+/// Everything a LANL-Trace run produces.
+pub struct LanlRun {
+    pub report: JobReport,
+    /// Decoded per-rank traces.
+    pub traces: Vec<Trace>,
+    /// Aggregate timing output (Figure 1, middle).
+    pub timing: AggregateTiming,
+    /// Call summary output (Figure 1, bottom).
+    pub summary: CallSummary,
+    /// `(rank, node-local path)` of each raw trace file.
+    pub raw_paths: Vec<(u32, String)>,
+}
+
+/// The LANL-Trace framework front-end.
+pub struct LanlTrace {
+    pub cfg: LanlConfig,
+}
+
+impl LanlTrace {
+    pub fn ltrace() -> Self {
+        LanlTrace {
+            cfg: LanlConfig::ltrace(),
+        }
+    }
+
+    pub fn strace() -> Self {
+        LanlTrace {
+            cfg: LanlConfig::strace(),
+        }
+    }
+
+    /// Run `programs` under LANL-Trace on the given cluster.
+    pub fn run(
+        &self,
+        cluster: ClusterConfig,
+        vfs: Vfs,
+        programs: Vec<P>,
+        app_cmdline: &str,
+    ) -> LanlRun {
+        let tracer = LanlTracer::new(self.cfg.clone(), app_cmdline);
+        let report = run_job(
+            cluster,
+            vfs,
+            Box::new(tracer),
+            with_timing_jobs(programs),
+            None,
+        );
+        let t = downcast_tracer::<LanlTracer>(report.tracer.as_ref())
+            .expect("tracer is a LanlTracer");
+        let traces = t.traces();
+        let timing = t.timing().clone();
+        let summary = t.summary().clone();
+        let raw_paths = t.raw_paths();
+        LanlRun {
+            report,
+            traces,
+            timing,
+            summary,
+            raw_paths,
+        }
+    }
+}
+
+/// Untraced baseline with the same pre/post jobs absent (the plain app,
+/// as `time ./app` would run it).
+pub fn untraced_baseline(cluster: ClusterConfig, vfs: Vfs, programs: Vec<P>) -> JobReport {
+    run_job(cluster, vfs, Box::new(NullTracer), programs, None)
+}

@@ -1,0 +1,194 @@
+//! LANL-Trace end-to-end: run mpi_io_test under the tracer and verify
+//! all three Figure 1 output types, replayability of the raw files, and
+//! emergent overhead.
+
+use iotrace_ioapi::prelude::*;
+use iotrace_lanl::prelude::*;
+use iotrace_model::event::CallLayer;
+use iotrace_model::summary::CallSummary;
+use iotrace_model::timing::AggregateTiming;
+use iotrace_sim::ids::NodeId;
+use iotrace_workloads::prelude::*;
+
+fn workload(n: u32) -> MpiIoTest {
+    MpiIoTest::new(AccessPattern::NTo1Strided, n, 64 * 1024, 8)
+}
+
+fn setup_vfs(n: usize, dir: &str) -> iotrace_fs::vfs::Vfs {
+    let mut vfs = standard_vfs(n);
+    vfs.setup_dir(dir).unwrap();
+    vfs
+}
+
+#[test]
+fn produces_all_three_output_types() {
+    let n = 4;
+    let w = workload(n);
+    let run = LanlTrace::ltrace().run(
+        standard_cluster(n as usize, 11),
+        setup_vfs(n as usize, &w.dir),
+        w.programs(),
+        &w.cmdline(),
+    );
+    assert!(run.report.run.is_clean());
+
+    // 1. Raw traces: one per rank, on that rank's node-local /tmp.
+    assert_eq!(run.raw_paths.len(), n as usize);
+    for (rank, path) in &run.raw_paths {
+        let trace = parse_raw_trace(&run.report.vfs, *rank, path).unwrap();
+        assert_eq!(trace.meta.rank, *rank);
+        assert!(!trace.records.is_empty(), "rank {rank} raw trace empty");
+        // ltrace mode captures MPI and Sys layers only
+        assert!(trace
+            .records
+            .iter()
+            .all(|r| r.call.layer() != CallLayer::Vfs));
+    }
+
+    // 2. Aggregate timing: barriers with every rank observed.
+    assert!(!run.timing.barriers.is_empty());
+    let first = &run.timing.barriers[0];
+    assert!(first.label.contains("Barrier before"));
+    assert_eq!(first.observations.len(), n as usize);
+    for b in &run.timing.barriers {
+        for o in &b.observations {
+            assert!(o.exited >= o.entered);
+        }
+    }
+    // The rendered document parses back (text format is µs precision).
+    let doc = run.timing.render();
+    let parsed = AggregateTiming::parse(&doc).unwrap();
+    assert_eq!(parsed.barriers.len(), run.timing.barriers.len());
+    for (a, b) in parsed.barriers.iter().zip(&run.timing.barriers) {
+        assert_eq!(a.label, b.label);
+        for (oa, ob) in a.observations.iter().zip(&b.observations) {
+            assert_eq!(oa.rank, ob.rank);
+            assert_eq!(oa.entered.as_nanos() / 1000, ob.entered.as_nanos() / 1000);
+            assert_eq!(oa.exited.as_nanos() / 1000, ob.exited.as_nanos() / 1000);
+        }
+    }
+
+    // 3. Call summary with the expected functions.
+    assert!(run.summary.count("MPI_File_write_at") == (n as u64) * 8);
+    assert!(run.summary.count("SYS_write") == (n as u64) * 8);
+    assert!(run.summary.count("MPI_Barrier") > 0);
+    let rendered = run.summary.render();
+    let back = CallSummary::parse(&rendered).unwrap();
+    assert_eq!(back.count("SYS_write"), run.summary.count("SYS_write"));
+
+    // Shared outputs landed on /pfs.
+    let timing_file = run
+        .report
+        .vfs
+        .fetch_file(NodeId(0), "/pfs/lanl-trace/aggregate_timing.txt")
+        .unwrap();
+    assert!(!timing_file.is_empty());
+    let summary_file = run
+        .report
+        .vfs
+        .fetch_file(NodeId(0), "/pfs/lanl-trace/call_summary.txt")
+        .unwrap();
+    assert!(String::from_utf8_lossy(&summary_file).contains("SUMMARY COUNT"));
+}
+
+#[test]
+fn strace_mode_omits_library_calls() {
+    let n = 2;
+    let w = workload(n);
+    let run = LanlTrace::strace().run(
+        standard_cluster(n as usize, 11),
+        setup_vfs(n as usize, &w.dir),
+        w.programs(),
+        &w.cmdline(),
+    );
+    assert!(run.report.run.is_clean());
+    assert_eq!(run.summary.count("MPI_File_write_at"), 0);
+    assert!(run.summary.count("SYS_write") > 0);
+    for t in &run.traces {
+        assert!(t.records.iter().all(|r| r.call.layer() == CallLayer::Sys));
+    }
+}
+
+#[test]
+fn tracing_overhead_emerges_and_strace_is_cheaper() {
+    let n = 4;
+    let w = workload(n).with_total_bytes(16 << 20);
+    let base = untraced_baseline(
+        standard_cluster(n as usize, 11),
+        setup_vfs(n as usize, &w.dir),
+        w.programs(),
+    );
+    let lt = LanlTrace::ltrace().run(
+        standard_cluster(n as usize, 11),
+        setup_vfs(n as usize, &w.dir),
+        w.programs(),
+        &w.cmdline(),
+    );
+    let st = LanlTrace::strace().run(
+        standard_cluster(n as usize, 11),
+        setup_vfs(n as usize, &w.dir),
+        w.programs(),
+        &w.cmdline(),
+    );
+    let oh_lt = elapsed_overhead(base.elapsed(), lt.report.elapsed());
+    let oh_st = elapsed_overhead(base.elapsed(), st.report.elapsed());
+    assert!(oh_lt > 0.10, "ltrace overhead too small: {oh_lt}");
+    assert!(oh_st > 0.0, "strace overhead should exist: {oh_st}");
+    assert!(oh_st < oh_lt, "strace {oh_st} should be cheaper than ltrace {oh_lt}");
+}
+
+#[test]
+fn skew_is_visible_in_timing_output() {
+    // With sampled clocks, different ranks' observed exit times for the
+    // same barrier differ by (roughly) their skews.
+    let n = 4;
+    let w = workload(n);
+    let run = LanlTrace::ltrace().run(
+        standard_cluster(n as usize, 99),
+        setup_vfs(n as usize, &w.dir),
+        w.programs(),
+        &w.cmdline(),
+    );
+    let b = &run.timing.barriers[0];
+    let exits: Vec<i128> = b
+        .observations
+        .iter()
+        .map(|o| o.exited.as_nanos() as i128)
+        .collect();
+    let spread = exits.iter().max().unwrap() - exits.iter().min().unwrap();
+    assert!(
+        spread > 10_000,
+        "expected visible clock skew in barrier exits, spread {spread} ns"
+    );
+}
+
+#[test]
+fn raw_trace_written_through_charged_path() {
+    // The tracer's own writes go to /tmp (node-local) and cost time:
+    // a tiny flush threshold forces many charged flushes and should be
+    // slower than a huge buffer.
+    let n = 2;
+    let w = workload(n);
+    let mut eager = LanlConfig::ltrace();
+    eager.flush_bytes = 128; // flush nearly every event
+    let mut lazy = LanlConfig::ltrace();
+    lazy.flush_bytes = 1 << 30;
+    let run_eager = LanlTrace { cfg: eager }.run(
+        standard_cluster(n as usize, 5),
+        setup_vfs(n as usize, &w.dir),
+        w.programs(),
+        &w.cmdline(),
+    );
+    let run_lazy = LanlTrace { cfg: lazy }.run(
+        standard_cluster(n as usize, 5),
+        setup_vfs(n as usize, &w.dir),
+        w.programs(),
+        &w.cmdline(),
+    );
+    assert!(run_eager.report.elapsed() >= run_lazy.report.elapsed());
+    // Both leave complete raw files behind.
+    for (rank, path) in &run_eager.raw_paths {
+        let t = parse_raw_trace(&run_eager.report.vfs, *rank, path).unwrap();
+        assert!(!t.records.is_empty());
+    }
+}

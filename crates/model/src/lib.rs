@@ -1,0 +1,37 @@
+//! # iotrace-model — trace records, codecs and transformations
+//!
+//! The data layer shared by every tracing framework in the workspace:
+//!
+//! * [`event`] — the [`event::TraceRecord`] schema covering MPI library
+//!   calls, POSIX syscalls and VFS operations (the paper's "event types"
+//!   axis);
+//! * [`text`] — the human-readable strace-style format of Figure 1,
+//!   fully parseable (so traces are replayable);
+//! * [`binary`] — the Tracefs-style binary format with optional
+//!   checksumming ([`crc`]), compression ([`lzss`]), per-field encryption
+//!   ([`xtea`]) and buffering;
+//! * [`anonymize`] — true randomization vs reversible encryption, with
+//!   field selection (the paper's anonymization axis);
+//! * [`summary`] / [`timing`] — LANL-Trace's call-summary and
+//!   aggregate-timing output types.
+
+pub mod anonymize;
+pub mod binary;
+pub mod crc;
+pub mod event;
+pub mod lzss;
+pub mod summary;
+pub mod text;
+pub mod timing;
+pub mod varint;
+pub mod xtea;
+
+pub mod prelude {
+    pub use crate::anonymize::{Anonymizer, Mode as AnonMode, Selection as AnonSelection};
+    pub use crate::binary::{decode_binary, encode_binary, BinError, BinaryOptions, FieldSel};
+    pub use crate::event::{CallLayer, IoCall, Trace, TraceMeta, TraceRecord};
+    pub use crate::summary::CallSummary;
+    pub use crate::text::{format_text, parse_text, ParseError};
+    pub use crate::timing::{AggregateTiming, BarrierObservation, BarrierTiming};
+    pub use crate::xtea::Key;
+}

@@ -1,0 +1,509 @@
+//! Human-readable trace format — the strace-style output LANL-Trace and
+//! //TRACE produce (paper Figure 1, "Raw Trace Data"):
+//!
+//! ```text
+//! # tracer: lanl-trace
+//! 1159808385.105818 SYS_open("/etc/hosts", 0, 438) = 3 <0.000034>
+//! 1159808385.105913 SYS_fcntl64(3, 1) = 0 <0.000017>
+//! ```
+//!
+//! The format is fully parseable: [`parse_text`] inverts [`format_text`],
+//! which is what makes LANL-Trace's output *replayable in principle* —
+//! the paper notes "it is trivial to imagine a replayer being built that
+//! reads and replays the raw trace files"; `iotrace-replay` is that
+//! replayer.
+
+use iotrace_sim::time::{SimDur, SimTime};
+
+use crate::event::{IoCall, Trace, TraceMeta, TraceRecord};
+
+/// Parse failure, with the 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+impl std::error::Error for ParseError {}
+
+fn fmt_epoch(meta: &TraceMeta, ts: SimTime) -> String {
+    let ns = ts.as_nanos();
+    let secs = meta.base_epoch + ns / 1_000_000_000;
+    let micros = (ns % 1_000_000_000) / 1_000;
+    format!("{secs}.{micros:06}")
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format one call as `name(arg, arg, ...)`.
+pub fn format_call(call: &IoCall) -> String {
+    use IoCall::*;
+    let args = match call {
+        Open { path, flags, mode } => format!("{}, {}, {:#o}", quote(path), flags, mode),
+        Close { fd } | Fsync { fd } | MpiFileClose { fd } => format!("{fd}"),
+        Read { fd, len } | Write { fd, len } => format!("{fd}, {len}"),
+        Pread { fd, offset, len } | Pwrite { fd, offset, len } => {
+            format!("{fd}, {offset}, {len}")
+        }
+        Lseek { fd, offset, whence } => format!("{fd}, {offset}, {whence}"),
+        Stat { path } | Statfs { path } | Unlink { path } | Readdir { path }
+        | VfsLookup { path } => quote(path),
+        Mkdir { path, mode } => format!("{}, {:#o}", quote(path), mode),
+        Rename { from, to } => format!("{}, {}", quote(from), quote(to)),
+        Fcntl { fd, cmd } => format!("{fd}, {cmd}"),
+        Mmap { len } => format!("{len}"),
+        MpiFileOpen { path, amode } => format!("{}, {}", quote(path), amode),
+        MpiFileWriteAt { fd, offset, len } | MpiFileReadAt { fd, offset, len } => {
+            format!("{fd}, {offset}, {len}")
+        }
+        MpiBarrier | MpiCommRank | MpiWait => String::new(),
+        VfsWritePage { path, offset, len } | VfsReadPage { path, offset, len } => {
+            format!("{}, {offset}, {len}", quote(path))
+        }
+    };
+    format!("{}({})", call.name(), args)
+}
+
+/// Serialize a whole trace to the human-readable format.
+pub fn format_text(trace: &Trace) -> String {
+    let m = &trace.meta;
+    let mut out = String::new();
+    out.push_str(&format!("# tracer: {}\n", m.tracer));
+    out.push_str(&format!("# app: {}\n", m.app));
+    out.push_str(&format!("# rank: {}\n", m.rank));
+    out.push_str(&format!("# node: {}\n", m.node));
+    out.push_str(&format!("# host: {}\n", m.host));
+    out.push_str(&format!("# epoch: {}\n", m.base_epoch));
+    if let Some(first) = trace.records.first() {
+        out.push_str(&format!(
+            "# pid: {} uid: {} gid: {}\n",
+            first.pid, first.uid, first.gid
+        ));
+    }
+    for r in &trace.records {
+        out.push_str(&format!(
+            "{} {} = {} <{:.6}>\n",
+            fmt_epoch(m, r.ts),
+            format_call(&r.call),
+            r.result,
+            r.dur.as_secs_f64(),
+        ));
+    }
+    out
+}
+
+// ----- parsing -----
+
+struct Lexer<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(s: &'a str) -> Self {
+        Lexer { s: s.as_bytes(), pos: 0 }
+    }
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && (self.s[self.pos] == b' ' || self.s[self.pos] == b'\t') {
+            self.pos += 1;
+        }
+    }
+    fn eat(&mut self, c: u8) -> bool {
+        self.skip_ws();
+        if self.pos < self.s.len() && self.s[self.pos] == c {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+    fn ident(&mut self) -> Option<&'a str> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.s.len()
+            && (self.s[self.pos].is_ascii_alphanumeric() || self.s[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            None
+        } else {
+            Some(std::str::from_utf8(&self.s[start..self.pos]).ok()?)
+        }
+    }
+    fn int(&mut self) -> Option<i64> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos < self.s.len() && (self.s[self.pos] == b'-' || self.s[self.pos] == b'+') {
+            self.pos += 1;
+        }
+        // allow 0o / 0x prefixes
+        let mut radix = 10;
+        if self.pos + 1 < self.s.len() && self.s[self.pos] == b'0' {
+            match self.s.get(self.pos + 1) {
+                Some(b'o') => {
+                    radix = 8;
+                    self.pos += 2;
+                }
+                Some(b'x') => {
+                    radix = 16;
+                    self.pos += 2;
+                }
+                _ => {}
+            }
+        }
+        let digits_start = self.pos;
+        while self.pos < self.s.len()
+            && (self.s[self.pos].is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        if self.pos == digits_start && radix == 10 && self.pos == start {
+            return None;
+        }
+        let txt = std::str::from_utf8(&self.s[digits_start..self.pos]).ok()?;
+        let neg = self.s[start] == b'-';
+        let v = i64::from_str_radix(txt, radix).ok()?;
+        Some(if neg { -v } else { v })
+    }
+    fn string(&mut self) -> Option<String> {
+        self.skip_ws();
+        if self.pos >= self.s.len() || self.s[self.pos] != b'"' {
+            return None;
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        while self.pos < self.s.len() {
+            match self.s[self.pos] {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.s.get(self.pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        &c => out.push(c as char),
+                    }
+                    self.pos += 1;
+                }
+                c => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+            }
+        }
+        None
+    }
+}
+
+fn parse_call(lex: &mut Lexer<'_>) -> Result<IoCall, String> {
+    let name = lex.ident().ok_or("expected call name")?.to_string();
+    if !lex.eat(b'(') {
+        return Err("expected '('".to_string());
+    }
+    macro_rules! s {
+        () => {
+            lex.string().ok_or("expected string arg")?
+        };
+    }
+    macro_rules! n {
+        () => {{
+            let v = lex.int().ok_or("expected int arg")?;
+            lex.eat(b',');
+            v
+        }};
+    }
+    let call = match name.as_str() {
+        "SYS_open" => {
+            let path = s!();
+            lex.eat(b',');
+            IoCall::Open {
+                path,
+                flags: n!() as u32,
+                mode: n!() as u32,
+            }
+        }
+        "SYS_close" => IoCall::Close { fd: n!() },
+        "SYS_read" => IoCall::Read { fd: n!(), len: n!() as u64 },
+        "SYS_write" => IoCall::Write { fd: n!(), len: n!() as u64 },
+        "SYS_pread" => IoCall::Pread { fd: n!(), offset: n!() as u64, len: n!() as u64 },
+        "SYS_pwrite" => IoCall::Pwrite { fd: n!(), offset: n!() as u64, len: n!() as u64 },
+        "SYS_lseek" => IoCall::Lseek { fd: n!(), offset: n!(), whence: n!() as u8 },
+        "SYS_fsync" => IoCall::Fsync { fd: n!() },
+        "SYS_stat" => IoCall::Stat { path: s!() },
+        "SYS_statfs64" => IoCall::Statfs { path: s!() },
+        "SYS_mkdir" => {
+            let path = s!();
+            lex.eat(b',');
+            IoCall::Mkdir { path, mode: n!() as u32 }
+        }
+        "SYS_unlink" => IoCall::Unlink { path: s!() },
+        "SYS_getdents64" => IoCall::Readdir { path: s!() },
+        "SYS_rename" => {
+            let from = s!();
+            lex.eat(b',');
+            IoCall::Rename { from, to: s!() }
+        }
+        "SYS_fcntl64" => IoCall::Fcntl { fd: n!(), cmd: n!() as u32 },
+        "SYS_mmap" => IoCall::Mmap { len: n!() as u64 },
+        "MPI_File_open" => {
+            let path = s!();
+            lex.eat(b',');
+            IoCall::MpiFileOpen { path, amode: n!() as u32 }
+        }
+        "MPI_File_close" => IoCall::MpiFileClose { fd: n!() },
+        "MPI_File_write_at" => IoCall::MpiFileWriteAt { fd: n!(), offset: n!() as u64, len: n!() as u64 },
+        "MPI_File_read_at" => IoCall::MpiFileReadAt { fd: n!(), offset: n!() as u64, len: n!() as u64 },
+        "MPI_Barrier" => IoCall::MpiBarrier,
+        "MPI_Comm_rank" => IoCall::MpiCommRank,
+        "MPIO_Wait" => IoCall::MpiWait,
+        "VFS_lookup" => IoCall::VfsLookup { path: s!() },
+        "VFS_write_page" => IoCall::VfsWritePage { path: s!(), offset: { lex.eat(b','); n!() as u64 }, len: n!() as u64 },
+        "VFS_read_page" => IoCall::VfsReadPage { path: s!(), offset: { lex.eat(b','); n!() as u64 }, len: n!() as u64 },
+        other => return Err(format!("unknown call {other}")),
+    };
+    if !lex.eat(b')') {
+        return Err("expected ')'".to_string());
+    }
+    Ok(call)
+}
+
+fn parse_ts(tok: &str, base_epoch: u64) -> Result<SimTime, String> {
+    let (secs, frac) = tok.split_once('.').ok_or("timestamp missing '.'")?;
+    let secs: u64 = secs.parse().map_err(|_| "bad timestamp seconds")?;
+    if frac.len() != 6 {
+        return Err("timestamp fraction must be 6 digits".to_string());
+    }
+    let micros: u64 = frac.parse().map_err(|_| "bad timestamp micros")?;
+    let rel = secs.checked_sub(base_epoch).ok_or("timestamp before epoch")?;
+    Ok(SimTime::from_nanos(rel * 1_000_000_000 + micros * 1_000))
+}
+
+/// Parse a trace previously produced by [`format_text`].
+pub fn parse_text(input: &str) -> Result<Trace, ParseError> {
+    let mut meta = TraceMeta::new("", 0, 0, "");
+    let mut pid = 0u32;
+    let mut uid = 0u32;
+    let mut gid = 0u32;
+    let mut records = Vec::new();
+    let err = |line: usize, m: &str| ParseError {
+        line,
+        message: m.to_string(),
+    };
+
+    for (i, line) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some((k, v)) = rest.split_once(':') {
+                let v = v.trim();
+                match k.trim() {
+                    "tracer" => meta.tracer = v.to_string(),
+                    "app" => meta.app = v.to_string(),
+                    "rank" => meta.rank = v.parse().map_err(|_| err(lineno, "bad rank"))?,
+                    "node" => meta.node = v.parse().map_err(|_| err(lineno, "bad node"))?,
+                    "host" => meta.host = v.to_string(),
+                    "epoch" => {
+                        meta.base_epoch = v.parse().map_err(|_| err(lineno, "bad epoch"))?
+                    }
+                    "pid" => {
+                        // "# pid: P uid: U gid: G"
+                        let mut parts = v.split_whitespace();
+                        pid = parts
+                            .next()
+                            .and_then(|p| p.parse().ok())
+                            .ok_or_else(|| err(lineno, "bad pid"))?;
+                        let rest: Vec<&str> = parts.collect();
+                        for pair in rest.chunks(2) {
+                            match pair {
+                                ["uid:", u] => {
+                                    uid = u.parse().map_err(|_| err(lineno, "bad uid"))?
+                                }
+                                ["gid:", g] => {
+                                    gid = g.parse().map_err(|_| err(lineno, "bad gid"))?
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        // record line: TS CALL = RESULT <DUR>
+        let (ts_tok, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| err(lineno, "missing timestamp"))?;
+        let ts = parse_ts(ts_tok, meta.base_epoch).map_err(|m| err(lineno, &m))?;
+        let mut lex = Lexer::new(rest);
+        let call = parse_call(&mut lex).map_err(|m| err(lineno, &m))?;
+        if !lex.eat(b'=') {
+            return Err(err(lineno, "expected '='"));
+        }
+        let result = lex.int().ok_or_else(|| err(lineno, "expected result"))?;
+        if !lex.eat(b'<') {
+            return Err(err(lineno, "expected '<dur>'"));
+        }
+        // duration: SECONDS.MICROS
+        lex.skip_ws();
+        let dur_start = lex.pos;
+        while lex.pos < lex.s.len() && lex.s[lex.pos] != b'>' {
+            lex.pos += 1;
+        }
+        let dur_txt = std::str::from_utf8(&lex.s[dur_start..lex.pos])
+            .map_err(|_| err(lineno, "bad duration"))?;
+        let dur_secs: f64 = dur_txt
+            .trim()
+            .parse()
+            .map_err(|_| err(lineno, "bad duration"))?;
+        records.push(TraceRecord {
+            ts,
+            dur: SimDur::from_secs_f64(dur_secs),
+            rank: meta.rank,
+            node: meta.node,
+            pid,
+            uid,
+            gid,
+            call,
+            result,
+        });
+    }
+    Ok(Trace { meta, records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let meta = TraceMeta::new("/mpi_io_test.exe -type 1", 7, 13, "lanl-trace");
+        let mut t = Trace::new(meta);
+        let base = |call, ts_us: u64, dur_us: u64, result| TraceRecord {
+            ts: SimTime::from_micros(ts_us),
+            dur: SimDur::from_micros(dur_us),
+            rank: 7,
+            node: 13,
+            pid: 10378,
+            uid: 1000,
+            gid: 100,
+            call,
+            result,
+        };
+        t.records = vec![
+            base(
+                IoCall::MpiFileOpen { path: "/pfs/out".into(), amode: 37 },
+                100,
+                900,
+                0,
+            ),
+            base(
+                IoCall::Open { path: "/etc/hosts".into(), flags: 0, mode: 0o666 },
+                1_200,
+                34,
+                3,
+            ),
+            base(IoCall::Fcntl { fd: 3, cmd: 1 }, 1_300, 17, 0),
+            base(IoCall::Write { fd: 3, len: 65536 }, 2_000, 210, 65536),
+            base(IoCall::Lseek { fd: 3, offset: -512, whence: 1 }, 2_300, 5, 0),
+            base(IoCall::Rename { from: "/a \"q\"".into(), to: "/b\\x".into() }, 3_000, 50, 0),
+            base(IoCall::MpiBarrier, 4_000, 2_000, 0),
+            base(IoCall::Close { fd: 3 }, 7_000, 12, 0),
+        ];
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let text = format_text(&t);
+        let back = parse_text(&text).unwrap();
+        assert_eq!(back.meta.tracer, t.meta.tracer);
+        assert_eq!(back.meta.rank, 7);
+        assert_eq!(back.meta.host, "host13.lanl.gov");
+        assert_eq!(back.records.len(), t.records.len());
+        for (a, b) in t.records.iter().zip(&back.records) {
+            assert_eq!(a.call, b.call);
+            assert_eq!(a.result, b.result);
+            assert_eq!(a.ts, b.ts);
+            assert_eq!(a.pid, b.pid);
+            assert_eq!(a.uid, b.uid);
+            // durations round-trip at µs precision
+            let da = a.dur.as_nanos() / 1000;
+            let db = b.dur.as_nanos() / 1000;
+            assert_eq!(da, db);
+        }
+    }
+
+    #[test]
+    fn output_looks_like_figure1() {
+        let text = format_text(&sample_trace());
+        assert!(text.contains("SYS_open(\"/etc/hosts\", 0, 0o666) = 3 <0.000034>"), "{text}");
+        assert!(text.contains("1159808385."));
+        assert!(text.contains("MPI_File_open(\"/pfs/out\", 37)"));
+    }
+
+    #[test]
+    fn negative_results_parse() {
+        let mut t = sample_trace();
+        t.records[1].result = -2; // ENOENT
+        let back = parse_text(&format_text(&t)).unwrap();
+        assert_eq!(back.records[1].result, -2);
+        assert!(back.records[1].is_error());
+    }
+
+    #[test]
+    fn bad_lines_report_line_numbers() {
+        let e = parse_text("# epoch: 10\n1159808385.000 garbage\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn unknown_call_is_error() {
+        let src = "# epoch: 0\n0.000000 SYS_bogus(1) = 0 <0.000001>\n";
+        let e = parse_text(src).unwrap_err();
+        assert!(e.message.contains("unknown call"), "{e}");
+    }
+
+    #[test]
+    fn timestamp_before_epoch_is_error() {
+        let src = "# epoch: 1000\n999.000000 SYS_close(1) = 0 <0.000001>\n";
+        assert!(parse_text(src).is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_trace() {
+        let t = parse_text("").unwrap();
+        assert!(t.records.is_empty());
+    }
+
+    #[test]
+    fn quoting_handles_specials() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

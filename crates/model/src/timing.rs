@@ -1,0 +1,223 @@
+//! Aggregate timing records — the second LANL-Trace output type (paper
+//! Figure 1):
+//!
+//! ```text
+//! # Barrier before /mpi_io_test.exe "-type" "1"
+//! 7: host13.lanl.gov (10378) Entered barrier at 1159808385.170918
+//! 7: host13.lanl.gov (10378) Exited barrier at 1159808385.173167
+//! ```
+//!
+//! Each rank reports its *locally observed* enter/exit times for shared
+//! barriers; because all ranks exit a barrier at (nearly) the same true
+//! instant, differences between reported exit times expose clock skew,
+//! and the change of those differences between the "before" and "after"
+//! barriers exposes drift. `iotrace-analysis::skew` consumes these.
+
+use iotrace_sim::time::SimTime;
+
+/// One rank's view of one barrier.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BarrierObservation {
+    pub rank: u32,
+    pub host: String,
+    pub pid: u32,
+    /// Observed (local clock) times.
+    pub entered: SimTime,
+    pub exited: SimTime,
+}
+
+/// A labelled barrier with every rank's observation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BarrierTiming {
+    /// e.g. `Barrier before /mpi_io_test.exe "-type" "1"`.
+    pub label: String,
+    pub observations: Vec<BarrierObservation>,
+}
+
+/// The full aggregate-timing document (a sequence of barriers).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AggregateTiming {
+    pub barriers: Vec<BarrierTiming>,
+    pub base_epoch: u64,
+}
+
+impl AggregateTiming {
+    pub fn new(base_epoch: u64) -> Self {
+        AggregateTiming {
+            barriers: Vec::new(),
+            base_epoch,
+        }
+    }
+
+    fn fmt_ts(&self, t: SimTime) -> String {
+        let ns = t.as_nanos();
+        format!(
+            "{}.{:06}",
+            self.base_epoch + ns / 1_000_000_000,
+            (ns % 1_000_000_000) / 1_000
+        )
+    }
+
+    /// Render in the Figure 1 layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# epoch: {}\n", self.base_epoch));
+        for b in &self.barriers {
+            out.push_str(&format!("# {}\n", b.label));
+            for o in &b.observations {
+                out.push_str(&format!(
+                    "{}: {} ({}) Entered barrier at {}\n",
+                    o.rank,
+                    o.host,
+                    o.pid,
+                    self.fmt_ts(o.entered)
+                ));
+                out.push_str(&format!(
+                    "{}: {} ({}) Exited barrier at {}\n",
+                    o.rank,
+                    o.host,
+                    o.pid,
+                    self.fmt_ts(o.exited)
+                ));
+            }
+        }
+        out
+    }
+
+    /// Parse a rendering produced by [`AggregateTiming::render`].
+    pub fn parse(input: &str) -> Result<AggregateTiming, String> {
+        let mut doc = AggregateTiming::new(0);
+        for raw in input.lines() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                let rest = rest.trim();
+                if let Some(e) = rest.strip_prefix("epoch:") {
+                    doc.base_epoch = e.trim().parse().map_err(|_| "bad epoch")?;
+                } else {
+                    doc.barriers.push(BarrierTiming {
+                        label: rest.to_string(),
+                        observations: Vec::new(),
+                    });
+                }
+                continue;
+            }
+            // "<rank>: <host> (<pid>) Entered|Exited barrier at <ts>"
+            let b = doc
+                .barriers
+                .last_mut()
+                .ok_or("observation before any barrier label")?;
+            let (rank_s, rest) = line.split_once(':').ok_or("missing rank")?;
+            let rank: u32 = rank_s.trim().parse().map_err(|_| "bad rank")?;
+            let rest = rest.trim();
+            let (host, rest) = rest.split_once(' ').ok_or("missing host")?;
+            let rest = rest.trim();
+            let pid_part = rest
+                .strip_prefix('(')
+                .and_then(|r| r.split_once(')'))
+                .ok_or("missing pid")?;
+            let pid: u32 = pid_part.0.parse().map_err(|_| "bad pid")?;
+            let action_rest = pid_part.1.trim();
+            let entered = action_rest.starts_with("Entered");
+            let ts_str = action_rest
+                .rsplit(' ')
+                .next()
+                .ok_or("missing timestamp")?;
+            let (secs, frac) = ts_str.split_once('.').ok_or("bad timestamp")?;
+            let secs: u64 = secs.parse().map_err(|_| "bad ts secs")?;
+            let micros: u64 = frac.parse().map_err(|_| "bad ts micros")?;
+            let t = SimTime::from_nanos(
+                secs.checked_sub(doc.base_epoch).ok_or("ts before epoch")? * 1_000_000_000
+                    + micros * 1_000,
+            );
+            if entered {
+                b.observations.push(BarrierObservation {
+                    rank,
+                    host: host.to_string(),
+                    pid,
+                    entered: t,
+                    exited: SimTime::ZERO,
+                });
+            } else {
+                let o = b
+                    .observations
+                    .iter_mut()
+                    .rev()
+                    .find(|o| o.rank == rank)
+                    .ok_or("Exited line without matching Entered")?;
+                o.exited = t;
+            }
+        }
+        Ok(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> AggregateTiming {
+        let mut d = AggregateTiming::new(1_159_808_385);
+        d.barriers.push(BarrierTiming {
+            label: "Barrier before /mpi_io_test.exe \"-type\" \"1\"".into(),
+            observations: vec![
+                BarrierObservation {
+                    rank: 7,
+                    host: "host13.lanl.gov".into(),
+                    pid: 10378,
+                    entered: SimTime::from_micros(170_918),
+                    exited: SimTime::from_micros(173_167),
+                },
+                BarrierObservation {
+                    rank: 3,
+                    host: "host17.lanl.gov".into(),
+                    pid: 11335,
+                    entered: SimTime::from_micros(166_396),
+                    exited: SimTime::from_micros(168_893),
+                },
+            ],
+        });
+        d.barriers.push(BarrierTiming {
+            label: "Barrier after /mpi_io_test.exe \"-type\" \"1\"".into(),
+            observations: vec![BarrierObservation {
+                rank: 7,
+                host: "host13.lanl.gov".into(),
+                pid: 10378,
+                entered: SimTime::from_secs(120),
+                exited: SimTime::from_secs(121),
+            }],
+        });
+        d
+    }
+
+    #[test]
+    fn render_matches_figure1() {
+        let out = doc().render();
+        assert!(out.contains("# Barrier before /mpi_io_test.exe"));
+        assert!(out.contains("7: host13.lanl.gov (10378) Entered barrier at 1159808385.170918"));
+        assert!(out.contains("7: host13.lanl.gov (10378) Exited barrier at 1159808385.173167"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = doc();
+        let back = AggregateTiming::parse(&d.render()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn parse_rejects_orphan_observation() {
+        let src = "# epoch: 0\n7: host (1) Entered barrier at 1.000000\n";
+        // first "# epoch" sets epoch; observation line then needs a label
+        assert!(AggregateTiming::parse(src).is_err());
+    }
+
+    #[test]
+    fn empty_doc_roundtrips() {
+        let d = AggregateTiming::new(42);
+        let back = AggregateTiming::parse(&d.render()).unwrap();
+        assert_eq!(back, d);
+    }
+}

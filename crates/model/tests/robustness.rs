@@ -1,0 +1,90 @@
+//! Decoder robustness: hostile or corrupted inputs must produce errors,
+//! never panics or hangs — trace files get shared between institutions
+//! (the paper's motivating use case), so parsers see untrusted bytes.
+
+use iotrace_model::binary::{decode_binary, encode_binary, BinaryOptions, FieldSel};
+use iotrace_model::event::{IoCall, Trace, TraceMeta, TraceRecord};
+use iotrace_model::lzss;
+use iotrace_model::text::parse_text;
+use iotrace_model::xtea::Key;
+use iotrace_sim::time::{SimDur, SimTime};
+use proptest::prelude::*;
+
+fn small_trace() -> Trace {
+    let mut t = Trace::new(TraceMeta::new("/app", 1, 1, "t"));
+    for i in 0..40u64 {
+        t.records.push(TraceRecord {
+            ts: SimTime::from_micros(i * 100),
+            dur: SimDur::from_micros(9),
+            rank: 1,
+            node: 1,
+            pid: 77,
+            uid: 0,
+            gid: 0,
+            call: IoCall::Write { fd: 3, len: 512 },
+            result: 512,
+        });
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary bytes never panic the binary decoder.
+    #[test]
+    fn binary_decoder_survives_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_binary(&data, None);
+        let key = Key::from_passphrase("k");
+        let _ = decode_binary(&data, Some(&key));
+    }
+
+    /// Garbage prefixed with a valid magic still never panics.
+    #[test]
+    fn binary_decoder_survives_magic_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut input = b"IOTB\x01".to_vec();
+        input.extend(&data);
+        let _ = decode_binary(&input, None);
+    }
+
+    /// Random single-byte corruption of a real trace: checksum mode must
+    /// flag it or decode to *something* without panicking.
+    #[test]
+    fn corrupted_real_traces_fail_cleanly(pos in 7usize..200, bit in 0u8..8) {
+        let t = small_trace();
+        let opts = BinaryOptions { checksum: true, ..Default::default() };
+        let mut bytes = encode_binary(&t, &opts);
+        let idx = pos % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let _ = decode_binary(&bytes, None); // error or (rarely) header-only change — no panic
+    }
+
+    /// Arbitrary text never panics the text parser.
+    #[test]
+    fn text_parser_survives_garbage(s in "[ -~\\n]{0,400}") {
+        let _ = parse_text(&s);
+    }
+
+    /// Arbitrary bytes never panic the LZSS decompressor.
+    #[test]
+    fn lzss_decoder_survives_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = lzss::decompress(&data);
+    }
+
+    /// Truncations of a valid encrypted+compressed+checksummed trace fail
+    /// cleanly at every cut point.
+    #[test]
+    fn truncation_always_errors_or_parses(cut in 0usize..100) {
+        let t = small_trace();
+        let key = Key::from_passphrase("secret");
+        let opts = BinaryOptions {
+            checksum: true,
+            compress: true,
+            encrypt: Some((key, FieldSel::ALL)),
+            block_records: 8,
+        };
+        let bytes = encode_binary(&t, &opts);
+        let cut = cut % bytes.len();
+        prop_assert!(decode_binary(&bytes[..cut], Some(&key)).is_err());
+    }
+}

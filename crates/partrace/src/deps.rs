@@ -1,0 +1,321 @@
+//! Inter-node dependency maps and their discovery by I/O throttling
+//! (paper §2.3: "determine inter-node data dependencies by using I/O
+//! throttling [9] … slowing the response time of a single node to I/O
+//! requests … and observing the behavior of other nodes looking for
+//! causal dependencies").
+//!
+//! Discovery compares a baseline capture against a throttled run in which
+//! each probed node is slowed during its own time-slice window. Any rank
+//! whose k-th operation starts ≥ half the injected delay later than in
+//! the baseline, while node *i* was being throttled, causally depends on
+//! node *i*'s I/O. Because the simulation engine is deterministic, every
+//! shift is attributable to the throttle — the same property the real
+//! technique approximates statistically.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use iotrace_model::event::Trace;
+use iotrace_sim::time::{SimDur, SimTime};
+
+/// One discovered causal edge: `to_rank`'s `to_op`-th captured operation
+/// waits on `from_node`'s I/O (witnessed by `from_rank`'s `from_op`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DependencyEdge {
+    pub from_node: u32,
+    pub from_rank: u32,
+    /// Index into the witness rank's captured record list.
+    pub from_op: usize,
+    pub to_rank: u32,
+    pub to_op: usize,
+    /// Observed shift magnitude.
+    pub shift: SimDur,
+}
+
+/// The dependency map //TRACE attaches to a replayable trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DependencyMap {
+    pub edges: Vec<DependencyEdge>,
+}
+
+impl DependencyMap {
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Distinct (from_node → to_rank) pairs.
+    pub fn pair_count(&self) -> usize {
+        let pairs: std::collections::BTreeSet<(u32, u32)> = self
+            .edges
+            .iter()
+            .map(|e| (e.from_node, e.to_rank))
+            .collect();
+        pairs.len()
+    }
+
+    /// Does any edge point from `node` to `rank`?
+    pub fn depends_on_node(&self, rank: u32, node: u32) -> bool {
+        self.edges
+            .iter()
+            .any(|e| e.to_rank == rank && e.from_node == node)
+    }
+
+    /// First edge incoming to `(rank, op)`, if any.
+    pub fn incoming(&self, rank: u32, op: usize) -> Option<&DependencyEdge> {
+        self.edges.iter().find(|e| e.to_rank == rank && e.to_op == op)
+    }
+}
+
+impl fmt::Display for DependencyMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# dependency map: {} edges", self.edges.len())?;
+        for e in &self.edges {
+            writeln!(
+                f,
+                "node{} (rank{}#{}) -> rank{}#{} shift={}",
+                e.from_node, e.from_rank, e.from_op, e.to_rank, e.to_op, e.shift
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The time window during which a node was throttled.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeWindow {
+    pub node: u32,
+    pub from: SimTime,
+    pub until: SimTime,
+}
+
+/// Core discovery: compare per-rank captures from a baseline and a
+/// throttled run. `active_node(t)` reports which node was being slowed at
+/// throttled-run time `t` (//TRACE's rotating schedule); `delay` is the
+/// per-op injected slowdown. A shifted op is attributed to the non-self
+/// node most often active during its stall interval.
+pub fn discover(
+    baseline: &[Trace],
+    throttled: &[Trace],
+    active_node: &dyn Fn(SimTime) -> Option<u32>,
+    delay: SimDur,
+) -> DependencyMap {
+    let threshold = delay.as_nanos() / 2;
+    let mut edges = Vec::new();
+
+    // Per-rank record lists, matched by index (deterministic runs emit
+    // identical op sequences).
+    let base_by_rank: BTreeMap<u32, &Trace> = baseline.iter().map(|t| (t.meta.rank, t)).collect();
+
+    for tt in throttled {
+        let rank = tt.meta.rank;
+        let Some(bt) = base_by_rank.get(&rank) else {
+            continue;
+        };
+        let node_of_rank = tt.meta.node;
+        let n = bt.records.len().min(tt.records.len());
+        let mut already: std::collections::BTreeSet<u32> = Default::default();
+        let mut prev_shift: u64 = 0;
+        for k in 0..n {
+            let b = &bt.records[k];
+            let t = &tt.records[k];
+            if t.ts.as_nanos() <= b.ts.as_nanos() {
+                prev_shift = 0;
+                continue;
+            }
+            let total_shift = t.ts.as_nanos() - b.ts.as_nanos();
+            // Only *newly acquired* stall counts: a shift inherited from
+            // this rank's own earlier slowdown is not a dependency.
+            let shift = total_shift.saturating_sub(prev_shift);
+            prev_shift = total_shift;
+            if shift < threshold {
+                continue;
+            }
+            // If this op itself was issued inside its own node's throttle
+            // window, the delta is (at least partly) self-inflicted — the
+            // injected delay, not a dependency.
+            let issue = SimTime::from_nanos(t.ts.as_nanos().saturating_sub(delay.as_nanos()));
+            if active_node(issue) == Some(node_of_rank) || active_node(t.ts) == Some(node_of_rank)
+            {
+                continue;
+            }
+            // Stall interval in the throttled run: from the previous op's
+            // end (or this op's shifted start) to this op's start.
+            let stall_start = if k > 0 {
+                tt.records[k - 1].end()
+            } else {
+                SimTime::from_nanos(t.ts.as_nanos().saturating_sub(shift))
+            };
+            let stall_end = t.ts;
+            if stall_end <= stall_start {
+                continue;
+            }
+            // Poll the rotating schedule across the stall; pick the
+            // non-self node most often active.
+            let mut votes: BTreeMap<u32, u32> = BTreeMap::new();
+            let span = stall_end.as_nanos() - stall_start.as_nanos();
+            const SAMPLES: u64 = 32;
+            for i in 0..SAMPLES {
+                let at = SimTime::from_nanos(stall_start.as_nanos() + span * i / SAMPLES);
+                if let Some(nd) = active_node(at) {
+                    if nd != node_of_rank {
+                        *votes.entry(nd).or_insert(0) += 1;
+                    }
+                }
+            }
+            let Some((&culprit, _)) = votes.iter().max_by_key(|(_, v)| **v) else {
+                continue;
+            };
+            if !already.insert(culprit) {
+                continue; // one edge per (probe node, rank)
+            }
+            // Witness: the last baseline op of a rank on the probed node
+            // completing at or before this op's baseline start.
+            let witness = baseline
+                .iter()
+                .filter(|t| t.meta.node == culprit)
+                .flat_map(|t| {
+                    t.records
+                        .iter()
+                        .enumerate()
+                        .map(move |(i, r)| (t.meta.rank, i, r))
+                })
+                .filter(|(_, _, r)| r.end() <= b.ts)
+                .max_by_key(|(_, _, r)| r.end());
+            let (from_rank, from_op) = match witness {
+                Some((fr, fo, _)) => (fr, fo),
+                None => (culprit, 0),
+            };
+            edges.push(DependencyEdge {
+                from_node: culprit,
+                from_rank,
+                from_op,
+                to_rank: rank,
+                to_op: k,
+                shift: SimDur::from_nanos(shift),
+            });
+        }
+    }
+    edges.sort_by_key(|e| (e.to_rank, e.to_op));
+    DependencyMap { edges }
+}
+
+/// Window-list convenience wrapper over [`discover`]: `windows` describe
+/// which node was slowed during which (throttled-run) interval.
+pub fn diff_captures(
+    baseline: &[Trace],
+    throttled: &[Trace],
+    windows: &[ProbeWindow],
+    delay: SimDur,
+) -> DependencyMap {
+    let active = |t: SimTime| -> Option<u32> {
+        windows
+            .iter()
+            .find(|w| t >= w.from && t < w.until)
+            .map(|w| w.node)
+    };
+    discover(baseline, throttled, &active, delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace_model::event::{IoCall, TraceMeta, TraceRecord};
+
+    fn trace(rank: u32, node: u32, starts_us: &[u64]) -> Trace {
+        let mut t = Trace::new(TraceMeta::new("/app", rank, node, "partrace"));
+        for &us in starts_us {
+            t.records.push(TraceRecord {
+                ts: SimTime::from_micros(us),
+                dur: SimDur::from_micros(10),
+                rank,
+                node,
+                pid: 1,
+                uid: 0,
+                gid: 0,
+                call: IoCall::Write { fd: 3, len: 64 },
+                result: 64,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn shifted_ops_create_edges() {
+        // baseline: rank1's op at 1000µs; throttled: shifted to 3000µs
+        // while node 0 was being probed.
+        let baseline = vec![trace(0, 0, &[500]), trace(1, 1, &[1000])];
+        let throttled = vec![trace(0, 0, &[500]), trace(1, 1, &[3000])];
+        let windows = [ProbeWindow {
+            node: 0,
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(1),
+        }];
+        let map = diff_captures(&baseline, &throttled, &windows, SimDur::from_millis(1));
+        assert_eq!(map.edges.len(), 1);
+        let e = &map.edges[0];
+        assert_eq!(e.from_node, 0);
+        assert_eq!(e.from_rank, 0);
+        assert_eq!(e.to_rank, 1);
+        assert!(map.depends_on_node(1, 0));
+        assert!(!map.depends_on_node(0, 1));
+    }
+
+    #[test]
+    fn small_shifts_are_ignored() {
+        let baseline = vec![trace(0, 0, &[500]), trace(1, 1, &[1000])];
+        let throttled = vec![trace(0, 0, &[500]), trace(1, 1, &[1100])]; // 100µs < 500µs threshold
+        let windows = [ProbeWindow {
+            node: 0,
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(1),
+        }];
+        let map = diff_captures(&baseline, &throttled, &windows, SimDur::from_millis(1));
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn self_shift_is_not_a_dependency() {
+        // rank on the probed node itself shifts: that's the throttle, not
+        // a dependency.
+        let baseline = vec![trace(0, 0, &[500])];
+        let throttled = vec![trace(0, 0, &[5000])];
+        let windows = [ProbeWindow {
+            node: 0,
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(1),
+        }];
+        let map = diff_captures(&baseline, &throttled, &windows, SimDur::from_millis(1));
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn one_edge_per_probe_rank_pair() {
+        let baseline = vec![trace(0, 0, &[100]), trace(1, 1, &[1000, 2000, 3000])];
+        let throttled = vec![trace(0, 0, &[100]), trace(1, 1, &[5000, 6000, 7000])];
+        let windows = [ProbeWindow {
+            node: 0,
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(1),
+        }];
+        let map = diff_captures(&baseline, &throttled, &windows, SimDur::from_millis(1));
+        assert_eq!(map.edges.len(), 1);
+        assert_eq!(map.pair_count(), 1);
+    }
+
+    #[test]
+    fn display_renders_edges() {
+        let map = DependencyMap {
+            edges: vec![DependencyEdge {
+                from_node: 0,
+                from_rank: 0,
+                from_op: 2,
+                to_rank: 3,
+                to_op: 7,
+                shift: SimDur::from_millis(2),
+            }],
+        };
+        let s = map.to_string();
+        assert!(s.contains("node0"));
+        assert!(s.contains("rank3#7"));
+    }
+}

@@ -1,0 +1,21 @@
+//! # iotrace-partrace — //TRACE
+//!
+//! The paper's third surveyed framework (§2.3, §4.3; Mesnier et al.,
+//! FAST'07): library-interposition capture of all I/O system calls,
+//! *replayable* trace generation, and inter-node causal dependency
+//! discovery by I/O throttling. Replay accuracy is the design goal; the
+//! cost is beginning-to-end capture time, tunable through the sampling
+//! knob ([`run::PartraceConfig::sampling`]) between ~0% and ~200%
+//! elapsed overhead.
+
+pub mod deps;
+pub mod replayable;
+pub mod run;
+pub mod tracer;
+
+pub mod prelude {
+    pub use crate::deps::{diff_captures, discover, DependencyEdge, DependencyMap, ProbeWindow};
+    pub use crate::replayable::ReplayableTrace;
+    pub use crate::run::{Partrace, PartraceCapture, PartraceConfig};
+    pub use crate::tracer::PartraceTracer;
+}

@@ -1,0 +1,221 @@
+//! The replayable trace //TRACE produces: per-rank captured traces plus
+//! the inter-node dependency map, in a human-readable multi-section
+//! document (the paper classifies //TRACE's trace data format as human
+//! readable).
+
+use iotrace_model::event::Trace;
+use iotrace_model::text::{format_text, parse_text, ParseError};
+use iotrace_sim::time::SimDur;
+
+use crate::deps::{DependencyEdge, DependencyMap};
+
+/// A complete replayable capture.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayableTrace {
+    pub app: String,
+    /// The sampling knob used at capture time (0.0 ..= 1.0).
+    pub sampling: f64,
+    /// Per-rank traces (sorted by rank).
+    pub traces: Vec<Trace>,
+    pub deps: DependencyMap,
+}
+
+impl ReplayableTrace {
+    pub fn world(&self) -> usize {
+        self.traces.len()
+    }
+
+    pub fn total_records(&self) -> usize {
+        self.traces.iter().map(|t| t.records.len()).sum()
+    }
+
+    /// Serialize as a multi-section text document.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("==== partrace replayable trace ====\n");
+        out.push_str(&format!("app: {}\n", self.app));
+        out.push_str(&format!("sampling: {:.3}\n", self.sampling));
+        out.push_str(&format!("ranks: {}\n", self.traces.len()));
+        for t in &self.traces {
+            out.push_str(&format!("==== rank {} ====\n", t.meta.rank));
+            out.push_str(&format_text(t));
+        }
+        out.push_str("==== deps ====\n");
+        for e in &self.deps.edges {
+            out.push_str(&format!(
+                "{} {} {} {} {} {}\n",
+                e.from_node,
+                e.from_rank,
+                e.from_op,
+                e.to_rank,
+                e.to_op,
+                e.shift.as_nanos()
+            ));
+        }
+        out
+    }
+
+    /// Parse a document produced by [`Self::to_text`].
+    pub fn parse(input: &str) -> Result<ReplayableTrace, ParseError> {
+        let err = |line: usize, m: &str| ParseError {
+            line,
+            message: m.to_string(),
+        };
+        let mut app = String::new();
+        let mut sampling = 0.0f64;
+        let mut traces = Vec::new();
+        let mut deps = DependencyMap::default();
+        let mut section: Option<String> = None; // accumulating rank section text
+        let mut in_deps = false;
+
+        let flush =
+            |buf: &mut Option<String>, traces: &mut Vec<Trace>| -> Result<(), ParseError> {
+                if let Some(text) = buf.take() {
+                    traces.push(parse_text(&text)?);
+                }
+                Ok(())
+            };
+
+        for (i, line) in input.lines().enumerate() {
+            let lineno = i + 1;
+            if line.starts_with("==== rank ") {
+                flush(&mut section, &mut traces)?;
+                in_deps = false;
+                section = Some(String::new());
+                continue;
+            }
+            if line.starts_with("==== deps ====") {
+                flush(&mut section, &mut traces)?;
+                in_deps = true;
+                continue;
+            }
+            if line.starts_with("==== partrace") {
+                continue;
+            }
+            if in_deps {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let parts: Vec<&str> = line.split_whitespace().collect();
+                if parts.len() != 6 {
+                    return Err(err(lineno, "dependency edge needs 6 fields"));
+                }
+                let p = |s: &str| -> Result<u64, ParseError> {
+                    s.parse().map_err(|_| err(lineno, "bad number in edge"))
+                };
+                deps.edges.push(DependencyEdge {
+                    from_node: p(parts[0])? as u32,
+                    from_rank: p(parts[1])? as u32,
+                    from_op: p(parts[2])? as usize,
+                    to_rank: p(parts[3])? as u32,
+                    to_op: p(parts[4])? as usize,
+                    shift: SimDur::from_nanos(p(parts[5])?),
+                });
+                continue;
+            }
+            if let Some(buf) = &mut section {
+                buf.push_str(line);
+                buf.push('\n');
+                continue;
+            }
+            // header
+            if let Some(v) = line.strip_prefix("app: ") {
+                app = v.to_string();
+            } else if let Some(v) = line.strip_prefix("sampling: ") {
+                sampling = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(lineno, "bad sampling"))?;
+            }
+        }
+        flush(&mut section, &mut traces)?;
+        traces.sort_by_key(|t| t.meta.rank);
+        Ok(ReplayableTrace {
+            app,
+            sampling,
+            traces,
+            deps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace_model::event::{IoCall, TraceMeta, TraceRecord};
+    use iotrace_sim::time::SimTime;
+
+    fn sample() -> ReplayableTrace {
+        let mut t0 = Trace::new(TraceMeta::new("/app -x", 0, 0, "partrace"));
+        t0.records.push(TraceRecord {
+            ts: SimTime::from_micros(100),
+            dur: SimDur::from_micros(50),
+            rank: 0,
+            node: 0,
+            pid: 7,
+            uid: 0,
+            gid: 0,
+            call: IoCall::Write { fd: 3, len: 4096 },
+            result: 4096,
+        });
+        let mut t1 = Trace::new(TraceMeta::new("/app -x", 1, 1, "partrace"));
+        t1.records.push(TraceRecord {
+            ts: SimTime::from_micros(900),
+            dur: SimDur::from_micros(30),
+            rank: 1,
+            node: 1,
+            pid: 8,
+            uid: 0,
+            gid: 0,
+            call: IoCall::Read { fd: 3, len: 4096 },
+            result: 4096,
+        });
+        ReplayableTrace {
+            app: "/app -x".into(),
+            sampling: 0.5,
+            traces: vec![t0, t1],
+            deps: DependencyMap {
+                edges: vec![DependencyEdge {
+                    from_node: 0,
+                    from_rank: 0,
+                    from_op: 0,
+                    to_rank: 1,
+                    to_op: 0,
+                    shift: SimDur::from_millis(3),
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let r = sample();
+        let text = r.to_text();
+        let back = ReplayableTrace::parse(&text).unwrap();
+        assert_eq!(back.app, r.app);
+        assert_eq!(back.sampling, r.sampling);
+        assert_eq!(back.world(), 2);
+        assert_eq!(back.deps, r.deps);
+        assert_eq!(back.traces[0].records, r.traces[0].records);
+        assert_eq!(back.traces[1].records[0].call, r.traces[1].records[0].call);
+    }
+
+    #[test]
+    fn totals() {
+        let r = sample();
+        assert_eq!(r.total_records(), 2);
+    }
+
+    #[test]
+    fn bad_edge_reports_error() {
+        let text = "==== deps ====\n1 2 3\n";
+        assert!(ReplayableTrace::parse(text).is_err());
+    }
+
+    #[test]
+    fn empty_document_parses() {
+        let r = ReplayableTrace::parse("").unwrap();
+        assert_eq!(r.world(), 0);
+        assert!(r.deps.is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! //TRACE capture orchestration.
+//!
+//! A capture is one preload-traced run (the replayable trace's timing
+//! source), plus — when the sampling knob is non-zero — one additional
+//! run under the rotating I/O throttle to discover inter-node
+//! dependencies. The *sampling* knob (paper §4.3: "user-control over
+//! replay accuracy by using sampling for their node-throttling
+//! technique") selects what fraction of nodes get probed: 0.0 means no
+//! throttling (cheap capture, no dependency map, lower replay fidelity),
+//! 1.0 probes every node (full dependency map, elapsed overhead up to
+//! ~200%).
+
+use iotrace_fs::vfs::Vfs;
+use iotrace_ioapi::executor::{IoExecutor, RotatingThrottle};
+use iotrace_ioapi::op::{IoOp, IoRes};
+use iotrace_ioapi::tracer::downcast_tracer;
+use iotrace_model::event::Trace;
+use iotrace_sim::engine::{ClusterConfig, Engine};
+use iotrace_sim::ids::NodeId;
+use iotrace_sim::program::RankProgram;
+use iotrace_sim::time::{SimDur, SimTime};
+
+use crate::deps::{discover, DependencyMap};
+use crate::replayable::ReplayableTrace;
+use crate::tracer::PartraceTracer;
+
+type P = Box<dyn RankProgram<IoOp, IoRes>>;
+
+/// Capture configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PartraceConfig {
+    /// Fraction of nodes probed by throttling (0.0 ..= 1.0).
+    pub sampling: f64,
+    /// Injected delay per I/O op on the throttled node.
+    pub delay: SimDur,
+    /// Rotation slice length.
+    pub slice: SimDur,
+}
+
+impl Default for PartraceConfig {
+    fn default() -> Self {
+        PartraceConfig {
+            sampling: 1.0,
+            // The injected delay must dominate natural storage-queue
+            // interference on the simulated PFS so that shifts ≥ delay/2
+            // are unambiguous dependencies, while staying small relative
+            // to the run so capture overhead lands in the paper's
+            // ~0-205% band.
+            delay: SimDur::from_millis(16),
+            slice: SimDur::from_millis(60),
+        }
+    }
+}
+
+impl PartraceConfig {
+    pub fn with_sampling(sampling: f64) -> Self {
+        PartraceConfig {
+            sampling: sampling.clamp(0.0, 1.0),
+            ..Default::default()
+        }
+    }
+}
+
+/// Everything a capture produces.
+pub struct PartraceCapture {
+    pub replayable: ReplayableTrace,
+    /// Elapsed time of the preload-traced run.
+    pub traced_elapsed: SimDur,
+    /// Elapsed time of the throttled discovery run, if performed.
+    pub throttled_elapsed: Option<SimDur>,
+    /// Beginning-to-end capture cost (all runs).
+    pub capture_elapsed: SimDur,
+    pub probed_nodes: usize,
+}
+
+/// The //TRACE framework front-end.
+pub struct Partrace {
+    pub cfg: PartraceConfig,
+}
+
+impl Partrace {
+    pub fn new(cfg: PartraceConfig) -> Self {
+        Partrace { cfg }
+    }
+
+    /// Capture a replayable trace of the workload produced by `mk`
+    /// (invoked once per run — //TRACE re-executes the application for
+    /// throttled probing).
+    pub fn capture<F>(&self, mk: F, app: &str) -> PartraceCapture
+    where
+        F: Fn() -> (ClusterConfig, Vfs, Vec<P>),
+    {
+        // Run 1: preload-traced capture.
+        let (cluster, vfs, programs) = mk();
+        let nodes = cluster.clocks.len();
+        let (base_traces, traced_elapsed) = run_capture(cluster, vfs, programs, app, None);
+
+        let probed = if self.cfg.sampling > 0.0 { nodes } else { 0 };
+        let mut capture_elapsed = traced_elapsed;
+        let mut throttled_elapsed = None;
+        let mut deps = DependencyMap::default();
+
+        if probed > 0 {
+            // Rotate over every node, but only delay a sampled fraction
+            // of the active node's I/O requests — //TRACE's sampling
+            // operates on I/Os, trading capture slowdown for the chance
+            // of missing causally-important requests.
+            let rot = RotatingThrottle {
+                nodes: (0..nodes as u32).map(NodeId).collect(),
+                slots: nodes,
+                slice: self.cfg.slice,
+                delay: self.cfg.delay,
+                probability: self.cfg.sampling,
+            };
+            let (cluster, vfs, programs) = mk();
+            let (thr_traces, thr_elapsed) =
+                run_capture(cluster, vfs, programs, app, Some(rot.clone()));
+            let active = |t: SimTime| rot.active_node(t).map(|n| n.0);
+            deps = discover(&base_traces, &thr_traces, &active, self.cfg.delay);
+            capture_elapsed += thr_elapsed;
+            throttled_elapsed = Some(thr_elapsed);
+        }
+
+        PartraceCapture {
+            replayable: ReplayableTrace {
+                app: app.to_string(),
+                sampling: self.cfg.sampling,
+                traces: base_traces,
+                deps,
+            },
+            traced_elapsed,
+            throttled_elapsed,
+            capture_elapsed,
+            probed_nodes: probed,
+        }
+    }
+}
+
+fn run_capture(
+    cluster: ClusterConfig,
+    vfs: Vfs,
+    programs: Vec<P>,
+    app: &str,
+    rotating: Option<RotatingThrottle>,
+) -> (Vec<Trace>, SimDur) {
+    let mut exec = IoExecutor::new(vfs, Box::new(PartraceTracer::new(app)));
+    exec.set_rotating_throttle(rotating);
+    let mut engine = Engine::new(cluster, exec);
+    let report = engine.run(programs);
+    assert!(
+        report.is_clean(),
+        "capture run deadlocked: {:?}",
+        report.deadlocked
+    );
+    let exec = engine.into_executor();
+    let (_vfs, tracer) = exec.into_parts();
+    let traces = downcast_tracer::<PartraceTracer>(tracer.as_ref())
+        .expect("tracer is PartraceTracer")
+        .traces();
+    (traces, report.elapsed)
+}

@@ -1,0 +1,108 @@
+//! //TRACE capture end-to-end: dependency discovery on a workload with
+//! real causal edges, and the sampling↔overhead trade-off.
+
+use iotrace_ioapi::prelude::*;
+use iotrace_partrace::prelude::*;
+use iotrace_sim::prelude::*;
+use iotrace_workloads::prelude::*;
+
+type Mk = Box<dyn Fn() -> (ClusterConfig, iotrace_fs::vfs::Vfs, Vec<Box<dyn RankProgram<IoOp, IoRes>>>)>;
+
+fn pipeline_mk(world: u32) -> Mk {
+    Box::new(move || {
+        let w = ProducerConsumer::new(world);
+        let cluster = standard_cluster(world as usize, 31);
+        let mut vfs = standard_vfs(world as usize);
+        vfs.setup_dir(&w.dir).unwrap();
+        (cluster, vfs, w.programs())
+    })
+}
+
+#[test]
+fn full_sampling_discovers_producer_dependency() {
+    let pt = Partrace::new(PartraceConfig::default());
+    let cap = pt.capture(pipeline_mk(4), "/pipeline.exe");
+    assert_eq!(cap.probed_nodes, 4);
+    assert_eq!(cap.replayable.world(), 4);
+    assert!(cap.replayable.total_records() > 0);
+    // At least one consumer is seen to depend on the producer's node 0.
+    let deps = &cap.replayable.deps;
+    assert!(
+        (1..4).any(|c| deps.depends_on_node(c, 0)),
+        "no consumer→producer dependency found: {deps}"
+    );
+    // Any edge into the producer targets only its barriers (waiting for
+    // consumers at the final barrier is a real dependency); its *data*
+    // operations depend on no one.
+    for e in deps.edges.iter().filter(|e| e.to_rank == 0) {
+        let rec = &cap.replayable.traces[0].records[e.to_op];
+        assert_eq!(
+            rec.call.name(),
+            "MPI_Barrier",
+            "producer data op flagged as dependent: {rec:?}"
+        );
+    }
+}
+
+#[test]
+fn zero_sampling_is_cheap_and_blind() {
+    let pt = Partrace::new(PartraceConfig::with_sampling(0.0));
+    let cap = pt.capture(pipeline_mk(4), "/pipeline.exe");
+    assert_eq!(cap.probed_nodes, 0);
+    assert!(cap.replayable.deps.is_empty());
+    assert!(cap.throttled_elapsed.is_none());
+    assert_eq!(cap.capture_elapsed, cap.traced_elapsed);
+}
+
+#[test]
+fn sampling_increases_capture_cost() {
+    let none = Partrace::new(PartraceConfig::with_sampling(0.0))
+        .capture(pipeline_mk(4), "/p")
+        .capture_elapsed;
+    let full = Partrace::new(PartraceConfig::with_sampling(1.0))
+        .capture(pipeline_mk(4), "/p")
+        .capture_elapsed;
+    assert!(
+        full.as_secs_f64() > none.as_secs_f64() * 1.8,
+        "full sampling {full} should cost ~2x+ of zero sampling {none}"
+    );
+}
+
+#[test]
+fn replayable_trace_roundtrips_through_text() {
+    let pt = Partrace::new(PartraceConfig::default());
+    let cap = pt.capture(pipeline_mk(3), "/pipeline.exe");
+    let text = cap.replayable.to_text();
+    let back = ReplayableTrace::parse(&text).unwrap();
+    assert_eq!(back.world(), cap.replayable.world());
+    assert_eq!(back.deps, cap.replayable.deps);
+    assert_eq!(back.total_records(), cap.replayable.total_records());
+}
+
+#[test]
+fn capture_is_deterministic() {
+    let a = Partrace::new(PartraceConfig::default()).capture(pipeline_mk(3), "/p");
+    let b = Partrace::new(PartraceConfig::default()).capture(pipeline_mk(3), "/p");
+    assert_eq!(a.capture_elapsed, b.capture_elapsed);
+    assert_eq!(a.replayable.deps, b.replayable.deps);
+}
+
+#[test]
+fn mpi_io_test_has_no_cross_node_data_deps() {
+    // A barrier-synchronized independent-writer workload: throttling a
+    // node stalls everyone *at barriers*, but data ops carry no
+    // producer/consumer edges. Discovery may attribute barrier waits —
+    // but never an edge into rank 0's own node from itself.
+    let mk: Mk = Box::new(|| {
+        let w = MpiIoTest::new(AccessPattern::NToN, 3, 64 * 1024, 4);
+        let cluster = standard_cluster(3, 7);
+        let mut vfs = standard_vfs(3);
+        vfs.setup_dir(&w.dir).unwrap();
+        (cluster, vfs, w.programs())
+    });
+    let cap = Partrace::new(PartraceConfig::default()).capture(mk, "/mpi_io_test.exe");
+    for e in &cap.replayable.deps.edges {
+        let own_node = cap.replayable.traces[e.to_rank as usize].meta.node;
+        assert_ne!(e.from_node, own_node, "self-edge discovered: {e:?}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # iotrace-replay — pseudo-application generation and replay fidelity
+//!
+//! Builds executable pseudo-applications from replayable traces
+//! ([`pseudo`]) and measures how faithfully they reproduce the original
+//! run ([`fidelity`]) — the taxonomy's "replayable trace generation" and
+//! "trace replay fidelity" axes. Also the concrete realization of the
+//! paper's remark that for LANL-Trace "it is trivial to imagine a
+//! replayer being built that reads and replays the raw trace files":
+//! any parsed [`iotrace_model::event::Trace`] can be replayed by wrapping
+//! it in a dependency-free [`iotrace_partrace::replayable::ReplayableTrace`].
+
+pub mod fidelity;
+pub mod pseudo;
+
+use iotrace_model::event::Trace;
+use iotrace_partrace::deps::DependencyMap;
+use iotrace_partrace::replayable::ReplayableTrace;
+
+/// Wrap plain per-rank traces (e.g. parsed LANL-Trace raw output) into a
+/// dependency-free replayable trace.
+pub fn replayable_from_traces(app: &str, mut traces: Vec<Trace>) -> ReplayableTrace {
+    traces.sort_by_key(|t| t.meta.rank);
+    ReplayableTrace {
+        app: app.to_string(),
+        sampling: 0.0,
+        traces,
+        deps: DependencyMap::default(),
+    }
+}
+
+pub mod prelude {
+    pub use crate::fidelity::{capture_span, replay_and_measure, signature_error, FidelityReport};
+    pub use crate::pseudo::{build_programs, prepare_vfs, ReplayConfig};
+    pub use crate::replayable_from_traces;
+}

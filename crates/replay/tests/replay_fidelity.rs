@@ -1,0 +1,163 @@
+//! End-to-end replay: capture with //TRACE, generate the
+//! pseudo-application, run it, and measure fidelity — with and without
+//! the dependency map (the sampling trade-off of paper §4.3).
+
+use iotrace_ioapi::prelude::*;
+use iotrace_partrace::prelude::*;
+use iotrace_replay::prelude::*;
+use iotrace_sim::prelude::*;
+use iotrace_workloads::prelude::*;
+
+type Env = (
+    ClusterConfig,
+    iotrace_fs::vfs::Vfs,
+    Vec<Box<dyn RankProgram<IoOp, IoRes>>>,
+);
+
+fn pipeline_mk(world: u32) -> impl Fn() -> Env {
+    move || {
+        let w = ProducerConsumer::new(world);
+        let cluster = standard_cluster(world as usize, 31);
+        let mut vfs = standard_vfs(world as usize);
+        vfs.setup_dir(&w.dir).unwrap();
+        (cluster, vfs, w.programs())
+    }
+}
+
+fn fresh_env(world: u32) -> (ClusterConfig, iotrace_fs::vfs::Vfs) {
+    let mut vfs = standard_vfs(world as usize);
+    vfs.setup_dir("/pfs/pipeline").unwrap();
+    (standard_cluster(world as usize, 31), vfs)
+}
+
+#[test]
+fn replay_reproduces_io_signature() {
+    let cap = Partrace::new(PartraceConfig::default()).capture(pipeline_mk(4), "/pipeline.exe");
+    let (cluster, vfs) = fresh_env(4);
+    let (fid, _rep) = replay_and_measure(&cap.replayable, cluster, vfs, ReplayConfig::default());
+    assert!(
+        fid.signature_error < 0.02,
+        "signature error too high: {}",
+        fid.signature_error
+    );
+    assert!(fid.bytes_replayed > 0);
+}
+
+#[test]
+fn full_sampling_replay_is_timing_accurate() {
+    let cap = Partrace::new(PartraceConfig::default()).capture(pipeline_mk(4), "/pipeline.exe");
+    let (cluster, vfs) = fresh_env(4);
+    let (fid, _rep) = replay_and_measure(&cap.replayable, cluster, vfs, ReplayConfig::default());
+    assert!(
+        fid.elapsed_error < 0.15,
+        "elapsed error with full deps: {:.3} (orig {} replay {})",
+        fid.elapsed_error,
+        fid.original_span,
+        fid.replay_elapsed
+    );
+}
+
+/// A replay environment whose parallel file system is markedly slower
+/// than the capture environment (replays are routinely run on other
+/// testbeds — exactly when causal replay beats gap-preserving replay).
+fn slower_env(world: u32) -> (ClusterConfig, iotrace_fs::vfs::Vfs) {
+    use iotrace_fs::prelude::*;
+    let mut params = StripedParams::lanl_2007();
+    params.server.bandwidth_bps /= 4.0;
+    params.client_op_overhead = params.client_op_overhead * 4;
+    let mut vfs = Vfs::new(world as usize);
+    vfs.mount_shared("/pfs", striped_fs("panfs-slow", params))
+        .unwrap();
+    vfs.mount_per_node("/tmp", |i| {
+        local_fs("ext3", LocalParams::lanl_2007(), i as u64)
+    })
+    .unwrap();
+    vfs.setup_dir("/pfs/pipeline").unwrap();
+    (standard_cluster(world as usize, 31), vfs)
+}
+
+#[test]
+fn missing_dependencies_degrade_fidelity_on_changed_storage() {
+    let cap = Partrace::new(PartraceConfig::default()).capture(pipeline_mk(4), "/pipeline.exe");
+
+    // Replay on 4x-slower storage. With causal edges the consumers wait
+    // for the (now slower) producer; with gap-preserving compute they
+    // charge ahead and the I/O overlaps wrongly.
+    let (cluster, vfs) = slower_env(4);
+    let (with_deps, with_rep) =
+        replay_and_measure(&cap.replayable, cluster, vfs, ReplayConfig::default());
+
+    let (cluster, vfs) = slower_env(4);
+    let cfg = ReplayConfig {
+        respect_deps: false,
+        ..Default::default()
+    };
+    let (without, without_rep) = replay_and_measure(&cap.replayable, cluster, vfs, cfg);
+
+    // Causal replay stretches with the storage; gap-preserving replay
+    // finishes unrealistically early relative to it.
+    assert!(
+        with_rep.run.elapsed > without_rep.run.elapsed,
+        "causal replay should adapt to slower storage: with {} vs without {}",
+        with_rep.run.elapsed,
+        without_rep.run.elapsed
+    );
+    let _ = (with_deps, without);
+}
+
+#[test]
+fn lanl_raw_traces_are_replayable_too() {
+    // The paper: "it is trivial to imagine a replayer being built that
+    // reads and replays the raw trace files." Parse LANL-Trace output and
+    // replay it.
+    use iotrace_lanl::prelude::*;
+    let w = MpiIoTest::new(AccessPattern::NTo1Strided, 3, 128 * 1024, 4);
+    let mut vfs = standard_vfs(3);
+    vfs.setup_dir(&w.dir).unwrap();
+    let run = LanlTrace::ltrace().run(standard_cluster(3, 5), vfs, w.programs(), &w.cmdline());
+    // Parse the on-disk raw traces back (true round trip through text).
+    let mut traces = Vec::new();
+    for (rank, path) in &run.raw_paths {
+        traces.push(parse_raw_trace(&run.report.vfs, *rank, path).unwrap());
+    }
+    let rt = replayable_from_traces(&w.cmdline(), traces);
+    let mut vfs = standard_vfs(3);
+    vfs.setup_dir(&w.dir).unwrap();
+    let (fid, rep) = replay_and_measure(&rt, standard_cluster(3, 5), vfs, ReplayConfig::default());
+    assert!(rep.run.is_clean());
+    // The replay re-issues the same number of write syscalls.
+    assert!(
+        fid.signature_error < 0.05,
+        "signature error: {}",
+        fid.signature_error
+    );
+    // Bytes written match the workload.
+    assert_eq!(rep.stats.bytes_written, w.total_bytes());
+}
+
+#[test]
+fn replay_of_independent_workload_is_accurate_without_deps() {
+    // mpi_io_test has no cross-node data dependencies: replay accuracy
+    // should not depend on sampling at all.
+    let mk = || {
+        let w = MpiIoTest::new(AccessPattern::NToN, 3, 256 * 1024, 4);
+        let cluster = standard_cluster(3, 7);
+        let mut vfs = standard_vfs(3);
+        vfs.setup_dir(&w.dir).unwrap();
+        (cluster, vfs, w.programs())
+    };
+    let cap = Partrace::new(PartraceConfig::with_sampling(0.0)).capture(mk, "/mpi_io_test.exe");
+    let mut vfs = standard_vfs(3);
+    vfs.setup_dir("/pfs/mpi_io_test").unwrap();
+    let (fid, _rep) = replay_and_measure(
+        &cap.replayable,
+        standard_cluster(3, 7),
+        vfs,
+        ReplayConfig::default(),
+    );
+    assert!(
+        fid.elapsed_error < 0.15,
+        "independent workload should replay accurately: {:.3}",
+        fid.elapsed_error
+    );
+}

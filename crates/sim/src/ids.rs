@@ -1,0 +1,70 @@
+//! Small typed identifiers used throughout the simulator.
+
+use std::fmt;
+
+/// An MPI-style rank: one simulated process in a parallel job.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RankId(pub u32);
+
+/// A physical compute node hosting one or more ranks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// A communicator (group of ranks). [`CommId::WORLD`] always contains
+/// every rank of the job.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CommId(pub u32);
+
+impl CommId {
+    pub const WORLD: CommId = CommId(0);
+}
+
+/// Wildcard source for [`crate::program::Op::Recv`], like `MPI_ANY_SOURCE`.
+pub const ANY_SOURCE: RankId = RankId(u32::MAX);
+/// Wildcard tag for [`crate::program::Op::Recv`], like `MPI_ANY_TAG`.
+pub const ANY_TAG: u32 = u32::MAX;
+
+impl RankId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl fmt::Display for CommId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_bare_number() {
+        assert_eq!(RankId(7).to_string(), "7");
+        assert_eq!(NodeId(3).to_string(), "3");
+        assert_eq!(CommId::WORLD.to_string(), "0");
+    }
+
+    #[test]
+    fn wildcards_are_distinct_from_real_ids() {
+        assert_ne!(ANY_SOURCE, RankId(0));
+        assert_ne!(ANY_TAG, 0);
+    }
+}

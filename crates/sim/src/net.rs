@@ -1,0 +1,109 @@
+//! Interconnect cost model.
+//!
+//! The paper's testbed was a 32-processor cluster on gigabit
+//! ethernet-over-copper (§4.1.2). We model the network with a classic
+//! LogGP-flavoured parameterization: per-message latency, per-byte
+//! serialization cost, a local CPU send overhead, and a barrier cost that
+//! grows with `log2(n)` (dissemination barrier).
+
+use crate::time::SimDur;
+
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkParams {
+    /// One-way wire latency per message.
+    pub latency: SimDur,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+    /// CPU time the sender spends handing a message to the NIC.
+    pub send_overhead: SimDur,
+    /// Fixed software cost of a barrier round.
+    pub barrier_base: SimDur,
+    /// Additional barrier cost per log2 round.
+    pub barrier_per_round: SimDur,
+}
+
+impl NetworkParams {
+    /// Gigabit ethernet circa 2006: ~55 µs MPI latency, ~110 MB/s
+    /// effective bandwidth (mpich 1.2.6 over GigE).
+    pub fn gige_2006() -> Self {
+        NetworkParams {
+            latency: SimDur::from_micros(55),
+            bandwidth_bps: 110.0e6,
+            send_overhead: SimDur::from_micros(8),
+            barrier_base: SimDur::from_micros(40),
+            barrier_per_round: SimDur::from_micros(60),
+        }
+    }
+
+    /// An idealized zero-cost network, useful in unit tests where only
+    /// ordering matters.
+    pub fn ideal() -> Self {
+        NetworkParams {
+            latency: SimDur::ZERO,
+            bandwidth_bps: f64::INFINITY,
+            send_overhead: SimDur::ZERO,
+            barrier_base: SimDur::ZERO,
+            barrier_per_round: SimDur::ZERO,
+        }
+    }
+
+    /// Time for `bytes` to cross one link (serialization only).
+    pub fn transfer_time(&self, bytes: u64) -> SimDur {
+        if self.bandwidth_bps.is_infinite() {
+            return SimDur::ZERO;
+        }
+        SimDur::from_secs_f64(bytes as f64 / self.bandwidth_bps)
+    }
+
+    /// End-to-end delivery time for an eager message of `bytes`.
+    pub fn delivery_time(&self, bytes: u64) -> SimDur {
+        self.latency + self.transfer_time(bytes)
+    }
+
+    /// Cost of an `n`-rank dissemination barrier, charged after the last
+    /// rank arrives.
+    pub fn barrier_cost(&self, n: usize) -> SimDur {
+        if n <= 1 {
+            return self.barrier_base;
+        }
+        let rounds = (usize::BITS - (n - 1).leading_zeros()) as u64; // ceil(log2 n)
+        self.barrier_base + self.barrier_per_round * rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_scales_with_bytes() {
+        let net = NetworkParams::gige_2006();
+        let t1 = net.transfer_time(1 << 20);
+        let t2 = net.transfer_time(2 << 20);
+        assert!(t2 > t1);
+        // ~9.5ms for 1 MiB at 110 MB/s
+        let s = t1.as_secs_f64();
+        assert!((0.008..0.011).contains(&s), "got {s}");
+    }
+
+    #[test]
+    fn ideal_network_is_free() {
+        let net = NetworkParams::ideal();
+        assert_eq!(net.delivery_time(1 << 30), SimDur::ZERO);
+        assert_eq!(net.barrier_cost(1024), SimDur::ZERO);
+    }
+
+    #[test]
+    fn barrier_cost_grows_logarithmically() {
+        let net = NetworkParams::gige_2006();
+        let c2 = net.barrier_cost(2);
+        let c32 = net.barrier_cost(32);
+        let c33 = net.barrier_cost(33);
+        assert!(c32 > c2);
+        // 32 ranks = 5 rounds, 33 ranks = 6 rounds
+        assert_eq!(c32, net.barrier_base + net.barrier_per_round * 5);
+        assert_eq!(c33, net.barrier_base + net.barrier_per_round * 6);
+        // single rank barrier still costs the base software time
+        assert_eq!(net.barrier_cost(1), net.barrier_base);
+    }
+}

@@ -1,0 +1,211 @@
+//! The operation model: what a simulated rank can do.
+//!
+//! A rank is driven by a [`RankProgram`]: a resumable state machine that,
+//! given the result of its previous operation, emits the next one. This is
+//! the simulator's equivalent of an application binary. Workloads
+//! (`iotrace-workloads`), the LANL-Trace skew/drift job, and the //TRACE
+//! replayer are all `RankProgram`s, so a captured trace can be replayed by
+//! the very same engine that produced it.
+//!
+//! The `C`/`R` type parameters are the *custom* (I/O) operation and result
+//! types supplied by the layer above (`iotrace-ioapi`); the engine itself
+//! only understands compute, clock reads, barriers and messages.
+
+use crate::ids::{CommId, RankId};
+use crate::time::{SimDur, SimTime};
+
+/// One operation issued by a rank.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op<C> {
+    /// Burn CPU for the given duration.
+    Compute(SimDur),
+    /// Read this node's local (skewed/drifting) clock.
+    ReadClock,
+    /// Enter a barrier on the given communicator; completes when every
+    /// member rank has arrived.
+    Barrier(CommId),
+    /// Eager point-to-point send. The sender resumes after the local send
+    /// overhead; the message is delivered after network latency plus
+    /// serialization time.
+    Send { dst: RankId, bytes: u64, tag: u32 },
+    /// Blocking receive matching `(src, tag)`; wildcards in [`crate::ids`].
+    Recv { src: RankId, tag: u32 },
+    /// A custom (I/O) operation executed by the installed
+    /// [`Executor`](crate::engine::Executor).
+    Io(C),
+    /// Terminate this rank.
+    Exit,
+}
+
+/// The result handed back to a program before it emits its next op.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpResult<R> {
+    /// First activation: no previous operation.
+    Start,
+    /// A `Compute` finished.
+    Computed,
+    /// A `ReadClock` finished. `observed` is in the node's local clock,
+    /// `truth` in global simulation time (programs modelling real tools
+    /// must only use `observed`; `truth` exists for test oracles).
+    Clock { observed: SimTime, truth: SimTime },
+    /// A barrier completed. Enter/exit are reported in both true and
+    /// node-observed time; observed values feed LANL-Trace's aggregate
+    /// timing output.
+    BarrierDone {
+        entered: SimTime,
+        exited: SimTime,
+        entered_obs: SimTime,
+        exited_obs: SimTime,
+    },
+    /// A `Send` was handed to the network.
+    Sent,
+    /// A `Recv` matched a message.
+    Received { from: RankId, bytes: u64, tag: u32 },
+    /// A custom (I/O) operation finished.
+    Io(R),
+}
+
+impl<R> OpResult<R> {
+    /// Convenience accessor for `Io` results.
+    pub fn io(&self) -> Option<&R> {
+        match self {
+            OpResult::Io(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A resumable per-rank state machine; see module docs.
+pub trait RankProgram<C, R> {
+    /// Produce the next operation given the result of the previous one.
+    /// Returning [`Op::Exit`] finishes the rank; `next_op` will not be
+    /// called again afterwards.
+    fn next_op(&mut self, rank: RankId, last: &OpResult<R>) -> Op<C>;
+}
+
+/// Blanket impl so closures can serve as quick programs in tests.
+impl<C, R, F> RankProgram<C, R> for F
+where
+    F: FnMut(RankId, &OpResult<R>) -> Op<C>,
+{
+    fn next_op(&mut self, rank: RankId, last: &OpResult<R>) -> Op<C> {
+        self(rank, last)
+    }
+}
+
+/// A program that replays a fixed list of operations, ignoring results.
+/// The workhorse for simple tests and for straight-line replay.
+pub struct OpList<C> {
+    ops: std::vec::IntoIter<Op<C>>,
+}
+
+impl<C> OpList<C> {
+    pub fn new(ops: Vec<Op<C>>) -> Self {
+        OpList {
+            ops: ops.into_iter(),
+        }
+    }
+}
+
+impl<C, R> RankProgram<C, R> for OpList<C> {
+    fn next_op(&mut self, _rank: RankId, _last: &OpResult<R>) -> Op<C> {
+        self.ops.next().unwrap_or(Op::Exit)
+    }
+}
+
+/// Run several programs back to back as one rank program: when part *k*
+/// returns [`Op::Exit`], part *k+1* starts (receiving [`OpResult::Start`]).
+/// Only the final part's `Exit` terminates the rank. Used to wrap an
+/// application with prologue/epilogue jobs (e.g. LANL-Trace's pre/post
+/// clock-sampling MPI jobs).
+pub struct Seq<C, R> {
+    parts: Vec<Box<dyn RankProgram<C, R>>>,
+    idx: usize,
+}
+
+impl<C, R> Seq<C, R> {
+    pub fn new(parts: Vec<Box<dyn RankProgram<C, R>>>) -> Self {
+        assert!(!parts.is_empty(), "Seq needs at least one part");
+        Seq { parts, idx: 0 }
+    }
+}
+
+impl<C, R> RankProgram<C, R> for Seq<C, R> {
+    fn next_op(&mut self, rank: RankId, last: &OpResult<R>) -> Op<C> {
+        loop {
+            let op = self.parts[self.idx].next_op(rank, last);
+            if matches!(op, Op::Exit) && self.idx + 1 < self.parts.len() {
+                self.idx += 1;
+                // The next part begins fresh.
+                let op = self.parts[self.idx].next_op(rank, &OpResult::Start);
+                if matches!(op, Op::Exit) && self.idx + 1 < self.parts.len() {
+                    continue;
+                }
+                return op;
+            }
+            return op;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_chains_parts() {
+        let a: OpList<()> = OpList::new(vec![Op::Compute(SimDur::from_secs(1))]);
+        let b: OpList<()> = OpList::new(vec![Op::Compute(SimDur::from_secs(2))]);
+        let mut s: Seq<(), ()> = Seq::new(vec![Box::new(a), Box::new(b)]);
+        let r: OpResult<()> = OpResult::Start;
+        assert_eq!(s.next_op(RankId(0), &r), Op::Compute(SimDur::from_secs(1)));
+        // part a exits -> part b starts transparently
+        assert_eq!(s.next_op(RankId(0), &r), Op::Compute(SimDur::from_secs(2)));
+        assert_eq!(s.next_op(RankId(0), &r), Op::Exit);
+        assert_eq!(s.next_op(RankId(0), &r), Op::Exit);
+    }
+
+    #[test]
+    fn seq_skips_empty_middle_parts() {
+        let a: OpList<()> = OpList::new(vec![]);
+        let b: OpList<()> = OpList::new(vec![]);
+        let c: OpList<()> = OpList::new(vec![Op::Compute(SimDur::from_secs(3))]);
+        let mut s: Seq<(), ()> = Seq::new(vec![Box::new(a), Box::new(b), Box::new(c)]);
+        let r: OpResult<()> = OpResult::Start;
+        assert_eq!(s.next_op(RankId(0), &r), Op::Compute(SimDur::from_secs(3)));
+        assert_eq!(s.next_op(RankId(0), &r), Op::Exit);
+    }
+
+    #[test]
+    fn oplist_exhausts_to_exit() {
+        let mut p: OpList<()> = OpList::new(vec![Op::Compute(SimDur::from_secs(1))]);
+        let r: OpResult<()> = OpResult::Start;
+        assert_eq!(
+            RankProgram::<(), ()>::next_op(&mut p, RankId(0), &r),
+            Op::Compute(SimDur::from_secs(1))
+        );
+        assert_eq!(RankProgram::<(), ()>::next_op(&mut p, RankId(0), &r), Op::Exit);
+        assert_eq!(RankProgram::<(), ()>::next_op(&mut p, RankId(0), &r), Op::Exit);
+    }
+
+    #[test]
+    fn closure_is_a_program() {
+        let mut calls = 0;
+        {
+            let mut prog = |_rank: RankId, _last: &OpResult<()>| -> Op<()> {
+                calls += 1;
+                Op::Exit
+            };
+            let _ = prog.next_op(RankId(3), &OpResult::Start);
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn io_accessor() {
+        let r: OpResult<u32> = OpResult::Io(9);
+        assert_eq!(r.io(), Some(&9));
+        let s: OpResult<u32> = OpResult::Computed;
+        assert_eq!(s.io(), None);
+    }
+}

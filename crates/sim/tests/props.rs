@@ -1,0 +1,126 @@
+//! Property-based tests for the simulation engine's core invariants.
+
+use iotrace_sim::prelude::*;
+use proptest::prelude::*;
+
+type P = Box<dyn RankProgram<(), ()>>;
+
+fn compute_barrier_prog(phases: &[u64]) -> P {
+    let mut ops = Vec::new();
+    for &ms in phases {
+        ops.push(Op::Compute(SimDur::from_millis(ms)));
+        ops.push(Op::Barrier(CommId::WORLD));
+    }
+    ops.push(Op::Exit);
+    Box::new(OpList::new(ops))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With an ideal network, a bulk-synchronous program's elapsed time is
+    /// exactly the sum over phases of the slowest rank in each phase.
+    #[test]
+    fn bsp_elapsed_is_sum_of_phase_maxima(
+        matrix in prop::collection::vec(
+            prop::collection::vec(1u64..200, 3), // 3 phases per rank
+            1..6,                                 // 1..5 ranks
+        )
+    ) {
+        let n = matrix.len();
+        let cfg = ClusterConfig::new(n).with_net(NetworkParams::ideal());
+        let mut eng = Engine::new(cfg, NullExecutor);
+        let programs: Vec<P> = matrix.iter().map(|p| compute_barrier_prog(p)).collect();
+        let report = eng.run(programs);
+        prop_assert!(report.is_clean());
+
+        let mut expect = 0u64;
+        for phase in 0..3 {
+            expect += matrix.iter().map(|p| p[phase]).max().unwrap();
+        }
+        prop_assert_eq!(report.elapsed, SimDur::from_millis(expect));
+        prop_assert_eq!(report.barriers.len(), 3);
+    }
+
+    /// Deterministic replay: identical inputs give identical reports.
+    #[test]
+    fn runs_are_reproducible(
+        matrix in prop::collection::vec(
+            prop::collection::vec(1u64..100, 2),
+            1..5,
+        ),
+        seed in 0u64..1000,
+    ) {
+        let run = || {
+            let n = matrix.len();
+            let cfg = ClusterConfig::new(n).with_sampled_clocks(seed, 500_000, 40.0);
+            let mut eng = Engine::new(cfg, NullExecutor);
+            let programs: Vec<P> = matrix.iter().map(|p| compute_barrier_prog(p)).collect();
+            let rep = eng.run(programs);
+            (
+                rep.elapsed,
+                rep.per_rank.iter().map(|s| s.finished_at).collect::<Vec<_>>(),
+                rep.barriers.iter().map(|b| b.entries.iter().map(|e| (e.entered, e.exited, e.entered_obs)).collect::<Vec<_>>()).collect::<Vec<_>>(),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Barrier exit time never precedes the latest entry.
+    #[test]
+    fn barrier_exit_after_all_entries(
+        phases in prop::collection::vec(prop::collection::vec(0u64..50, 2), 2..5)
+    ) {
+        let n = phases.len();
+        let cfg = ClusterConfig::new(n); // real (non-ideal) network
+        let mut eng = Engine::new(cfg, NullExecutor);
+        let programs: Vec<P> = phases.iter().map(|p| compute_barrier_prog(p)).collect();
+        let report = eng.run(programs);
+        prop_assert!(report.is_clean());
+        for rec in &report.barriers {
+            let latest_entry = rec.entries.iter().map(|e| e.entered).max().unwrap();
+            for e in &rec.entries {
+                prop_assert!(e.exited >= latest_entry);
+                prop_assert!(e.exited >= e.entered);
+            }
+        }
+    }
+
+    /// Pipelines: messages flow rank 0 -> 1 -> ... -> n-1 and everyone
+    /// terminates regardless of payload sizes.
+    #[test]
+    fn message_pipeline_terminates(
+        sizes in prop::collection::vec(1u64..(1 << 20), 2..6)
+    ) {
+        let n = sizes.len();
+        let cfg = ClusterConfig::new(n);
+        let mut eng = Engine::new(cfg, NullExecutor);
+        let mut programs: Vec<P> = Vec::new();
+        for (i, &sz) in sizes.iter().enumerate() {
+            let mut ops = Vec::new();
+            if i > 0 {
+                ops.push(Op::Recv { src: RankId(i as u32 - 1), tag: 1 });
+            }
+            if i + 1 < n {
+                ops.push(Op::Send { dst: RankId(i as u32 + 1), bytes: sz, tag: 1 });
+            }
+            ops.push(Op::Exit);
+            programs.push(Box::new(OpList::new(ops)));
+        }
+        let report = eng.run(programs);
+        prop_assert!(report.is_clean());
+        // Last rank can only finish after every hop's latency.
+        let min_time = SimDur::from_micros(55) * (n as u64 - 1);
+        prop_assert!(report.per_rank[n - 1].finished_at.since(SimTime::ZERO) >= min_time);
+    }
+
+    /// Clock observation is monotonic in true time for any skew/drift the
+    /// sampler can produce (drift > -1e6 ppm keeps the affine map increasing).
+    #[test]
+    fn observed_clocks_are_monotonic(seed in 0u64..500, a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let mut rng = DetRng::new(seed);
+        let clock = NodeClock::sample(&mut rng, 2_000_000, 100.0);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(clock.observe(SimTime(lo)) <= clock.observe(SimTime(hi)));
+    }
+}

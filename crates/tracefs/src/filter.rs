@@ -1,0 +1,574 @@
+//! The Tracefs granularity-control language — "a flexible declarative
+//! syntax … for user-level specification of file system operations to be
+//! traced" (paper §4.2). This is the feature that earns Tracefs a
+//! "5 (V. Advanced)" on the taxonomy's granularity axis.
+//!
+//! Grammar (rules evaluated in order, **last match wins**; the default is
+//! to trace nothing, so an empty policy disables tracing):
+//!
+//! ```text
+//! policy := rule (';' rule)* ';'?
+//! rule   := ('trace' | 'omit') target ('where' cond)?
+//! target := 'all' | 'data' | 'meta' | op (',' op)*
+//! op     := 'open' | 'close' | 'read' | 'write' | 'fsync' | 'stat'
+//!         | 'mkdir' | 'unlink' | 'readdir' | 'rename' | 'truncate'
+//! cond   := or ; or := and ('or' and)* ; and := not ('and' not)*
+//! not    := 'not' not | '(' cond ')' | atom
+//! atom   := 'path' ('glob' | '==') STRING
+//!         | ('uid' | 'gid') ('==' | '!=') NUM
+//!         | 'size' ('>' | '<' | '>=' | '<=' | '==') NUM
+//! ```
+//!
+//! Example: `trace data where path glob "/data/**"; omit write where size < 4096;`
+
+use iotrace_fs::path::glob_match;
+use std::fmt;
+
+/// File-system operation kinds Tracefs can filter on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FsOpKind {
+    Open,
+    Close,
+    Read,
+    Write,
+    Fsync,
+    Stat,
+    Mkdir,
+    Unlink,
+    Readdir,
+    Rename,
+    Truncate,
+}
+
+impl FsOpKind {
+    pub const ALL: [FsOpKind; 11] = [
+        FsOpKind::Open,
+        FsOpKind::Close,
+        FsOpKind::Read,
+        FsOpKind::Write,
+        FsOpKind::Fsync,
+        FsOpKind::Stat,
+        FsOpKind::Mkdir,
+        FsOpKind::Unlink,
+        FsOpKind::Readdir,
+        FsOpKind::Rename,
+        FsOpKind::Truncate,
+    ];
+
+    pub fn is_data(self) -> bool {
+        matches!(self, FsOpKind::Read | FsOpKind::Write)
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            FsOpKind::Open => "open",
+            FsOpKind::Close => "close",
+            FsOpKind::Read => "read",
+            FsOpKind::Write => "write",
+            FsOpKind::Fsync => "fsync",
+            FsOpKind::Stat => "stat",
+            FsOpKind::Mkdir => "mkdir",
+            FsOpKind::Unlink => "unlink",
+            FsOpKind::Readdir => "readdir",
+            FsOpKind::Rename => "rename",
+            FsOpKind::Truncate => "truncate",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<FsOpKind> {
+        FsOpKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// The facts a rule can condition on.
+#[derive(Clone, Debug)]
+pub struct OpFacts<'a> {
+    pub kind: FsOpKind,
+    pub path: &'a str,
+    pub uid: u32,
+    pub gid: u32,
+    /// Bytes moved (0 for metadata ops).
+    pub size: u64,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Cond {
+    True,
+    PathGlob(String),
+    PathEq(String),
+    UidCmp(bool, u32),  // (equal?, value)
+    GidCmp(bool, u32),
+    SizeCmp(Ordering2, u64),
+    And(Box<Cond>, Box<Cond>),
+    Or(Box<Cond>, Box<Cond>),
+    Not(Box<Cond>),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Ordering2 {
+    Gt,
+    Lt,
+    Ge,
+    Le,
+    Eq,
+}
+
+impl Cond {
+    fn eval(&self, f: &OpFacts<'_>) -> bool {
+        match self {
+            Cond::True => true,
+            Cond::PathGlob(g) => glob_match(g, f.path),
+            Cond::PathEq(p) => f.path == p,
+            Cond::UidCmp(eq, v) => (f.uid == *v) == *eq,
+            Cond::GidCmp(eq, v) => (f.gid == *v) == *eq,
+            Cond::SizeCmp(o, v) => match o {
+                Ordering2::Gt => f.size > *v,
+                Ordering2::Lt => f.size < *v,
+                Ordering2::Ge => f.size >= *v,
+                Ordering2::Le => f.size <= *v,
+                Ordering2::Eq => f.size == *v,
+            },
+            Cond::And(a, b) => a.eval(f) && b.eval(f),
+            Cond::Or(a, b) => a.eval(f) || b.eval(f),
+            Cond::Not(c) => !c.eval(f),
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct Rule {
+    trace: bool,
+    ops: Vec<FsOpKind>,
+    cond: Cond,
+}
+
+/// A parsed filter policy.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FilterPolicy {
+    rules: Vec<Rule>,
+    source: String,
+}
+
+/// Parse failure with byte position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FilterError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "filter syntax error at byte {}: {}", self.pos, self.message)
+    }
+}
+impl std::error::Error for FilterError {}
+
+struct P<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err<T>(&self, m: &str) -> Result<T, FilterError> {
+        Err(FilterError {
+            pos: self.pos,
+            message: m.to_string(),
+        })
+    }
+
+    fn ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_word(&mut self) -> Option<&'a str> {
+        self.ws();
+        let start = self.pos;
+        let mut end = start;
+        while end < self.s.len() && (self.s[end].is_ascii_alphanumeric() || self.s[end] == b'_') {
+            end += 1;
+        }
+        if end == start {
+            None
+        } else {
+            std::str::from_utf8(&self.s[start..end]).ok()
+        }
+    }
+
+    fn word(&mut self) -> Option<&'a str> {
+        let w = self.peek_word()?;
+        self.pos += w.len();
+        Some(w)
+    }
+
+    fn eat_word(&mut self, w: &str) -> bool {
+        if self.peek_word() == Some(w) {
+            self.pos += w.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        self.ws();
+        if self.s[self.pos..].starts_with(sym.as_bytes()) {
+            self.pos += sym.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<String, FilterError> {
+        self.ws();
+        if self.pos >= self.s.len() || self.s[self.pos] != b'"' {
+            return self.err("expected string literal");
+        }
+        self.pos += 1;
+        let start = self.pos;
+        while self.pos < self.s.len() && self.s[self.pos] != b'"' {
+            self.pos += 1;
+        }
+        if self.pos >= self.s.len() {
+            return self.err("unterminated string");
+        }
+        let out = std::str::from_utf8(&self.s[start..self.pos])
+            .map_err(|_| FilterError {
+                pos: start,
+                message: "invalid utf8".into(),
+            })?
+            .to_string();
+        self.pos += 1;
+        Ok(out)
+    }
+
+    fn number(&mut self) -> Result<u64, FilterError> {
+        self.ws();
+        let start = self.pos;
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected number");
+        }
+        std::str::from_utf8(&self.s[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|_| FilterError {
+                pos: start,
+                message: "number too large".into(),
+            })
+    }
+
+    fn atom(&mut self) -> Result<Cond, FilterError> {
+        if self.eat_word("not") {
+            return Ok(Cond::Not(Box::new(self.atom()?)));
+        }
+        if self.eat_sym("(") {
+            let c = self.cond()?;
+            if !self.eat_sym(")") {
+                return self.err("expected ')'");
+            }
+            return Ok(c);
+        }
+        match self.word() {
+            Some("path") => {
+                if self.eat_word("glob") {
+                    Ok(Cond::PathGlob(self.string()?))
+                } else if self.eat_sym("==") {
+                    Ok(Cond::PathEq(self.string()?))
+                } else {
+                    self.err("expected 'glob' or '==' after path")
+                }
+            }
+            Some(w @ ("uid" | "gid")) => {
+                let eq = if self.eat_sym("==") {
+                    true
+                } else if self.eat_sym("!=") {
+                    false
+                } else {
+                    return self.err("expected '==' or '!='");
+                };
+                let v = self.number()? as u32;
+                Ok(if w == "uid" {
+                    Cond::UidCmp(eq, v)
+                } else {
+                    Cond::GidCmp(eq, v)
+                })
+            }
+            Some("size") => {
+                let o = if self.eat_sym(">=") {
+                    Ordering2::Ge
+                } else if self.eat_sym("<=") {
+                    Ordering2::Le
+                } else if self.eat_sym("==") {
+                    Ordering2::Eq
+                } else if self.eat_sym(">") {
+                    Ordering2::Gt
+                } else if self.eat_sym("<") {
+                    Ordering2::Lt
+                } else {
+                    return self.err("expected comparison after size");
+                };
+                Ok(Cond::SizeCmp(o, self.number()?))
+            }
+            _ => self.err("expected condition"),
+        }
+    }
+
+    fn and(&mut self) -> Result<Cond, FilterError> {
+        let mut c = self.atom()?;
+        while self.eat_word("and") {
+            c = Cond::And(Box::new(c), Box::new(self.atom()?));
+        }
+        Ok(c)
+    }
+
+    fn cond(&mut self) -> Result<Cond, FilterError> {
+        let mut c = self.and()?;
+        while self.eat_word("or") {
+            c = Cond::Or(Box::new(c), Box::new(self.and()?));
+        }
+        Ok(c)
+    }
+
+    fn rule(&mut self) -> Result<Rule, FilterError> {
+        let trace = if self.eat_word("trace") {
+            true
+        } else if self.eat_word("omit") {
+            false
+        } else {
+            return self.err("expected 'trace' or 'omit'");
+        };
+        let ops = if self.eat_word("all") {
+            FsOpKind::ALL.to_vec()
+        } else if self.eat_word("data") {
+            FsOpKind::ALL.into_iter().filter(|k| k.is_data()).collect()
+        } else if self.eat_word("meta") {
+            FsOpKind::ALL.into_iter().filter(|k| !k.is_data()).collect()
+        } else {
+            let mut ops = Vec::new();
+            loop {
+                let w = match self.word() {
+                    Some(w) => w,
+                    None => return self.err("expected op name"),
+                };
+                match FsOpKind::from_name(w) {
+                    Some(k) => ops.push(k),
+                    None => {
+                        self.pos -= w.len();
+                        return self.err(&format!("unknown op '{w}'"));
+                    }
+                }
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            ops
+        };
+        let cond = if self.eat_word("where") {
+            self.cond()?
+        } else {
+            Cond::True
+        };
+        Ok(Rule { trace, ops, cond })
+    }
+}
+
+impl FilterPolicy {
+    /// Trace every file system operation.
+    pub fn trace_all() -> Self {
+        FilterPolicy::parse("trace all;").unwrap()
+    }
+
+    /// Trace nothing (tracing disabled).
+    pub fn trace_none() -> Self {
+        FilterPolicy::default()
+    }
+
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn parse(src: &str) -> Result<FilterPolicy, FilterError> {
+        let mut p = P {
+            s: src.as_bytes(),
+            pos: 0,
+        };
+        let mut rules = Vec::new();
+        loop {
+            p.ws();
+            if p.pos >= p.s.len() {
+                break;
+            }
+            rules.push(p.rule()?);
+            p.ws();
+            if p.pos >= p.s.len() {
+                break;
+            }
+            if !p.eat_sym(";") {
+                return p.err("expected ';'");
+            }
+        }
+        Ok(FilterPolicy {
+            rules,
+            source: src.to_string(),
+        })
+    }
+
+    /// Should this operation be traced? Last matching rule wins.
+    pub fn matches(&self, facts: &OpFacts<'_>) -> bool {
+        let mut verdict = false;
+        for r in &self.rules {
+            if r.ops.contains(&facts.kind) && r.cond.eval(facts) {
+                verdict = r.trace;
+            }
+        }
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts(kind: FsOpKind, path: &str, size: u64) -> OpFacts<'_> {
+        OpFacts {
+            kind,
+            path,
+            uid: 1000,
+            gid: 100,
+            size,
+        }
+    }
+
+    #[test]
+    fn trace_all_matches_everything() {
+        let p = FilterPolicy::trace_all();
+        for k in FsOpKind::ALL {
+            assert!(p.matches(&facts(k, "/any", 0)), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn empty_policy_traces_nothing() {
+        let p = FilterPolicy::trace_none();
+        assert!(!p.matches(&facts(FsOpKind::Write, "/x", 10)));
+    }
+
+    #[test]
+    fn op_list_targets() {
+        let p = FilterPolicy::parse("trace read, write;").unwrap();
+        assert!(p.matches(&facts(FsOpKind::Read, "/x", 1)));
+        assert!(p.matches(&facts(FsOpKind::Write, "/x", 1)));
+        assert!(!p.matches(&facts(FsOpKind::Open, "/x", 0)));
+    }
+
+    #[test]
+    fn data_and_meta_groups() {
+        let p = FilterPolicy::parse("trace meta;").unwrap();
+        assert!(p.matches(&facts(FsOpKind::Stat, "/x", 0)));
+        assert!(!p.matches(&facts(FsOpKind::Read, "/x", 1)));
+        let q = FilterPolicy::parse("trace data;").unwrap();
+        assert!(q.matches(&facts(FsOpKind::Read, "/x", 1)));
+        assert!(!q.matches(&facts(FsOpKind::Mkdir, "/x", 0)));
+    }
+
+    #[test]
+    fn path_glob_condition() {
+        let p = FilterPolicy::parse(r#"trace all where path glob "/data/**";"#).unwrap();
+        assert!(p.matches(&facts(FsOpKind::Write, "/data/a/b", 1)));
+        assert!(!p.matches(&facts(FsOpKind::Write, "/home/x", 1)));
+    }
+
+    #[test]
+    fn last_match_wins() {
+        let p = FilterPolicy::parse(
+            r#"trace all; omit write where size < 4096;"#,
+        )
+        .unwrap();
+        assert!(p.matches(&facts(FsOpKind::Write, "/x", 8192)));
+        assert!(!p.matches(&facts(FsOpKind::Write, "/x", 100)));
+        assert!(p.matches(&facts(FsOpKind::Read, "/x", 100)));
+        // reversed order: trace all overrides the omit
+        let q = FilterPolicy::parse(
+            r#"omit write where size < 4096; trace all;"#,
+        )
+        .unwrap();
+        assert!(q.matches(&facts(FsOpKind::Write, "/x", 100)));
+    }
+
+    #[test]
+    fn boolean_operators_and_parens() {
+        let p = FilterPolicy::parse(
+            r#"trace all where (uid == 1000 or gid == 55) and not path glob "/tmp/*";"#,
+        )
+        .unwrap();
+        assert!(p.matches(&facts(FsOpKind::Write, "/data/x", 1)));
+        assert!(!p.matches(&facts(FsOpKind::Write, "/tmp/x", 1)));
+        let mut f = facts(FsOpKind::Write, "/data/x", 1);
+        f.uid = 2000;
+        assert!(!p.matches(&f));
+        f.gid = 55;
+        assert!(p.matches(&f));
+    }
+
+    #[test]
+    fn uid_negation() {
+        let p = FilterPolicy::parse("trace all where uid != 0;").unwrap();
+        let mut f = facts(FsOpKind::Read, "/x", 1);
+        assert!(p.matches(&f));
+        f.uid = 0;
+        assert!(!p.matches(&f));
+    }
+
+    #[test]
+    fn size_comparisons() {
+        for (src, size, expect) in [
+            ("trace write where size > 10;", 11, true),
+            ("trace write where size > 10;", 10, false),
+            ("trace write where size >= 10;", 10, true),
+            ("trace write where size < 10;", 9, true),
+            ("trace write where size <= 9;", 9, true),
+            ("trace write where size == 7;", 7, true),
+            ("trace write where size == 7;", 8, false),
+        ] {
+            let p = FilterPolicy::parse(src).unwrap();
+            assert_eq!(
+                p.matches(&facts(FsOpKind::Write, "/x", size)),
+                expect,
+                "{src} size={size}"
+            );
+        }
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(FilterPolicy::parse("bogus all;").is_err());
+        assert!(FilterPolicy::parse("trace flurble;").is_err());
+        assert!(FilterPolicy::parse("trace all where path glob ;").is_err());
+        assert!(FilterPolicy::parse(r#"trace all where path glob "unterminated;"#).is_err());
+        assert!(FilterPolicy::parse("trace all where size ^ 4;").is_err());
+        let e = FilterPolicy::parse("trace read trace write;").unwrap_err();
+        assert!(e.message.contains("';'"), "{e}");
+    }
+
+    #[test]
+    fn trailing_semicolon_optional() {
+        assert!(FilterPolicy::parse("trace all").is_ok());
+        assert!(FilterPolicy::parse("trace all;").is_ok());
+        assert!(FilterPolicy::parse("  ").unwrap().rule_count() == 0);
+    }
+
+    #[test]
+    fn source_is_preserved() {
+        let src = "trace read;";
+        assert_eq!(FilterPolicy::parse(src).unwrap().source(), src);
+    }
+}

@@ -1,0 +1,554 @@
+//! The stackable tracing layer: a [`FileSystem`] that wraps a lower file
+//! system, forwards every operation, and — for operations the granularity
+//! policy selects — captures a record and charges the in-kernel costs on
+//! the operation's completion time.
+//!
+//! This is the faithful rendition of Tracefs's architecture (paper [1],
+//! built on FiST stackable file systems [7]): the tracer *is* the file
+//! system layer, so there is no per-event ptrace stop — which is exactly
+//! why its overhead stays under ~12% where LANL-Trace's reaches 200%+.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use iotrace_fs::cost::FsKind;
+use iotrace_fs::data::WritePayload;
+use iotrace_fs::error::FsResult;
+use iotrace_fs::fs::{FileSystem, IoReply, OpenFlags};
+use iotrace_fs::inode::{FileMeta, FileStat, InodeId, Namespace};
+use iotrace_sim::ids::NodeId;
+use iotrace_sim::time::{SimDur, SimTime};
+
+use iotrace_model::event::{IoCall, TraceRecord};
+
+use std::collections::BTreeMap;
+
+use crate::filter::{FsOpKind, OpFacts};
+use crate::options::{TracefsCosts, TracefsOptions};
+
+/// Shared capture state, harvested by the front-end after a run.
+#[derive(Default)]
+pub struct Capture {
+    pub records: Vec<TraceRecord>,
+    /// Aggregation "event counters" (paper §2.2).
+    pub counters: BTreeMap<FsOpKind, u64>,
+    /// Bytes of encoded trace data produced.
+    pub encoded_bytes: u64,
+    /// Flushes to the trace device.
+    pub flushes: u64,
+    /// Ops evaluated (traced or not).
+    pub ops_seen: u64,
+    buffered: u64,
+}
+
+pub type SharedCapture = Arc<Mutex<Capture>>;
+
+/// See module docs.
+pub struct TracefsLayer {
+    lower: Box<dyn FileSystem>,
+    opts: TracefsOptions,
+    costs: TracefsCosts,
+    capture: SharedCapture,
+    label: String,
+}
+
+impl TracefsLayer {
+    pub fn new(
+        lower: Box<dyn FileSystem>,
+        opts: TracefsOptions,
+        costs: TracefsCosts,
+        capture: SharedCapture,
+    ) -> Self {
+        let label = format!("tracefs({})", lower.label());
+        TracefsLayer {
+            lower,
+            opts,
+            costs,
+            capture,
+            label,
+        }
+    }
+
+    /// Estimated encoded size of a record (varint binary format).
+    fn encoded_len(call: &IoCall) -> u64 {
+        18 + call.path().map(|p| p.len() as u64).unwrap_or(2)
+    }
+
+    /// Evaluate the policy and, if selected, record + charge. Returns the
+    /// op's new completion time.
+    #[allow(clippy::too_many_arguments)]
+    fn observe(
+        &mut self,
+        node: NodeId,
+        kind: FsOpKind,
+        path: &str,
+        size: u64,
+        uid: u32,
+        gid: u32,
+        call: IoCall,
+        result: i64,
+        start: SimTime,
+        mut finish: SimTime,
+    ) -> SimTime {
+        let mut cap = self.capture.lock();
+        cap.ops_seen += 1;
+        finish += self.costs.filter_check;
+        let facts = OpFacts {
+            kind,
+            path,
+            uid,
+            gid,
+            size,
+        };
+        if !self.opts.policy.matches(&facts) {
+            return finish;
+        }
+        finish += self.costs.capture;
+        if self.opts.counters {
+            *cap.counters.entry(kind).or_insert(0) += 1;
+        }
+        let enc = Self::encoded_len(&call);
+        cap.encoded_bytes += enc;
+        cap.buffered += enc;
+        cap.records.push(TraceRecord {
+            ts: start,
+            dur: finish.since(start),
+            rank: node.0, // kernel-level capture: rank unknown, node id recorded
+            node: node.0,
+            pid: 0,
+            uid,
+            gid,
+            call,
+            result,
+        });
+        if cap.buffered >= self.opts.buffer_bytes as u64 {
+            let block = cap.buffered;
+            cap.buffered = 0;
+            cap.flushes += 1;
+            finish += self.costs.feature_cost(block, &self.opts);
+            finish += self.costs.flush_cost(block);
+        }
+        finish
+    }
+
+    fn meta_of(&self, ino: InodeId) -> (u32, u32) {
+        self.lower
+            .namespace()
+            .stat(ino)
+            .map(|s| (s.meta.uid, s.meta.gid))
+            .unwrap_or((0, 0))
+    }
+
+    fn path_of(&self, ino: InodeId) -> String {
+        // Inode→path reverse lookup is not tracked; record the inode id
+        // the way real kernel tracers often must.
+        format!("<ino:{}>", ino.0)
+    }
+}
+
+impl FileSystem for TracefsLayer {
+    fn kind(&self) -> FsKind {
+        FsKind::Stacked
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn open(
+        &mut self,
+        node: NodeId,
+        p: &str,
+        flags: OpenFlags,
+        meta: FileMeta,
+        now: SimTime,
+    ) -> FsResult<(InodeId, SimTime)> {
+        let (uid, gid) = (meta.uid, meta.gid);
+        let res = self.lower.open(node, p, flags, meta, now);
+        match res {
+            Ok((ino, finish)) => {
+                let f = self.observe(
+                    node,
+                    FsOpKind::Open,
+                    p,
+                    0,
+                    uid,
+                    gid,
+                    IoCall::Open {
+                        path: p.to_string(),
+                        flags: flags.0,
+                        mode: 0o644,
+                    },
+                    ino.0 as i64,
+                    now,
+                    finish,
+                );
+                Ok((ino, f))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn close(&mut self, node: NodeId, ino: InodeId, now: SimTime) -> FsResult<SimTime> {
+        let (uid, gid) = self.meta_of(ino);
+        let finish = self.lower.close(node, ino, now)?;
+        Ok(self.observe(
+            node,
+            FsOpKind::Close,
+            &self.path_of(ino),
+            0,
+            uid,
+            gid,
+            IoCall::Close { fd: ino.0 as i64 },
+            0,
+            now,
+            finish,
+        ))
+    }
+
+    fn read(
+        &mut self,
+        node: NodeId,
+        ino: InodeId,
+        offset: u64,
+        len: u64,
+        now: SimTime,
+    ) -> FsResult<IoReply> {
+        let (uid, gid) = self.meta_of(ino);
+        let rep = self.lower.read(node, ino, offset, len, now)?;
+        let path = self.path_of(ino);
+        let finish = self.observe(
+            node,
+            FsOpKind::Read,
+            &path.clone(),
+            rep.bytes,
+            uid,
+            gid,
+            IoCall::VfsReadPage {
+                path,
+                offset,
+                len: rep.bytes,
+            },
+            rep.bytes as i64,
+            now,
+            rep.finish,
+        );
+        Ok(IoReply {
+            bytes: rep.bytes,
+            finish,
+        })
+    }
+
+    fn write(
+        &mut self,
+        node: NodeId,
+        ino: InodeId,
+        offset: u64,
+        payload: &WritePayload,
+        now: SimTime,
+    ) -> FsResult<IoReply> {
+        let (uid, gid) = self.meta_of(ino);
+        let rep = self.lower.write(node, ino, offset, payload, now)?;
+        let path = self.path_of(ino);
+        let finish = self.observe(
+            node,
+            FsOpKind::Write,
+            &path.clone(),
+            rep.bytes,
+            uid,
+            gid,
+            IoCall::VfsWritePage {
+                path,
+                offset,
+                len: rep.bytes,
+            },
+            rep.bytes as i64,
+            now,
+            rep.finish,
+        );
+        Ok(IoReply {
+            bytes: rep.bytes,
+            finish,
+        })
+    }
+
+    fn fsync(&mut self, node: NodeId, ino: InodeId, now: SimTime) -> FsResult<SimTime> {
+        let (uid, gid) = self.meta_of(ino);
+        let finish = self.lower.fsync(node, ino, now)?;
+        Ok(self.observe(
+            node,
+            FsOpKind::Fsync,
+            &self.path_of(ino),
+            0,
+            uid,
+            gid,
+            IoCall::Fsync { fd: ino.0 as i64 },
+            0,
+            now,
+            finish,
+        ))
+    }
+
+    fn stat(&mut self, node: NodeId, p: &str, now: SimTime) -> FsResult<(FileStat, SimTime)> {
+        let (st, finish) = self.lower.stat(node, p, now)?;
+        let f = self.observe(
+            node,
+            FsOpKind::Stat,
+            p,
+            0,
+            st.meta.uid,
+            st.meta.gid,
+            IoCall::Stat { path: p.to_string() },
+            0,
+            now,
+            finish,
+        );
+        Ok((st, f))
+    }
+
+    fn mkdir(&mut self, node: NodeId, p: &str, meta: FileMeta, now: SimTime) -> FsResult<SimTime> {
+        let (uid, gid) = (meta.uid, meta.gid);
+        let finish = self.lower.mkdir(node, p, meta, now)?;
+        Ok(self.observe(
+            node,
+            FsOpKind::Mkdir,
+            p,
+            0,
+            uid,
+            gid,
+            IoCall::Mkdir {
+                path: p.to_string(),
+                mode: 0o755,
+            },
+            0,
+            now,
+            finish,
+        ))
+    }
+
+    fn unlink(&mut self, node: NodeId, p: &str, now: SimTime) -> FsResult<SimTime> {
+        let finish = self.lower.unlink(node, p, now)?;
+        Ok(self.observe(
+            node,
+            FsOpKind::Unlink,
+            p,
+            0,
+            0,
+            0,
+            IoCall::Unlink { path: p.to_string() },
+            0,
+            now,
+            finish,
+        ))
+    }
+
+    fn readdir(
+        &mut self,
+        node: NodeId,
+        p: &str,
+        now: SimTime,
+    ) -> FsResult<(Vec<String>, SimTime)> {
+        let (names, finish) = self.lower.readdir(node, p, now)?;
+        let f = self.observe(
+            node,
+            FsOpKind::Readdir,
+            p,
+            0,
+            0,
+            0,
+            IoCall::Readdir { path: p.to_string() },
+            names.len() as i64,
+            now,
+            finish,
+        );
+        Ok((names, f))
+    }
+
+    fn rename(&mut self, node: NodeId, from: &str, to: &str, now: SimTime) -> FsResult<SimTime> {
+        let finish = self.lower.rename(node, from, to, now)?;
+        Ok(self.observe(
+            node,
+            FsOpKind::Rename,
+            from,
+            0,
+            0,
+            0,
+            IoCall::Rename {
+                from: from.to_string(),
+                to: to.to_string(),
+            },
+            0,
+            now,
+            finish,
+        ))
+    }
+
+    fn truncate(
+        &mut self,
+        node: NodeId,
+        ino: InodeId,
+        size: u64,
+        now: SimTime,
+    ) -> FsResult<SimTime> {
+        let (uid, gid) = self.meta_of(ino);
+        let finish = self.lower.truncate(node, ino, size, now)?;
+        Ok(self.observe(
+            node,
+            FsOpKind::Truncate,
+            &self.path_of(ino),
+            size,
+            uid,
+            gid,
+            IoCall::Fcntl {
+                fd: ino.0 as i64,
+                cmd: 0,
+            },
+            0,
+            now,
+            finish,
+        ))
+    }
+
+    fn namespace(&self) -> &Namespace {
+        self.lower.namespace()
+    }
+
+    fn namespace_mut(&mut self) -> &mut Namespace {
+        self.lower.namespace_mut()
+    }
+
+    fn unwrap_lower(self: Box<Self>) -> Box<dyn FileSystem> {
+        self.lower
+    }
+}
+
+/// Final-flush cost, exposed so the front-end can account for the last
+/// partial buffer at unmount.
+pub fn final_flush(capture: &SharedCapture, costs: &TracefsCosts, opts: &TracefsOptions) -> SimDur {
+    let mut cap = capture.lock();
+    if cap.buffered == 0 {
+        return SimDur::ZERO;
+    }
+    let block = cap.buffered;
+    cap.buffered = 0;
+    cap.flushes += 1;
+    costs.feature_cost(block, opts) + costs.flush_cost(block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::FilterPolicy;
+    use iotrace_fs::fs::mem_fs;
+
+    fn layer(policy: &str) -> (TracefsLayer, SharedCapture) {
+        let cap: SharedCapture = Arc::default();
+        let opts = TracefsOptions {
+            policy: FilterPolicy::parse(policy).unwrap(),
+            ..Default::default()
+        };
+        (
+            TracefsLayer::new(mem_fs("lower"), opts, TracefsCosts::lanl_2007(), cap.clone()),
+            cap,
+        )
+    }
+
+    #[test]
+    fn traced_ops_are_recorded_and_charged() {
+        let (mut l, cap) = layer("trace all;");
+        let (ino, t1) = l
+            .open(
+                NodeId(0),
+                "/f",
+                OpenFlags::RDWR | OpenFlags::CREAT,
+                FileMeta::default(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert!(t1 > SimTime::ZERO, "capture cost charged");
+        let rep = l
+            .write(NodeId(0), ino, 0, &WritePayload::Synthetic(4096), t1)
+            .unwrap();
+        assert!(rep.finish > t1);
+        let cap = cap.lock();
+        assert_eq!(cap.records.len(), 2);
+        assert_eq!(cap.counters[&FsOpKind::Open], 1);
+        assert_eq!(cap.counters[&FsOpKind::Write], 1);
+    }
+
+    #[test]
+    fn omitted_ops_pay_only_filter_check() {
+        let (mut l, cap) = layer("trace read;"); // writes omitted
+        let (ino, t1) = l
+            .open(
+                NodeId(0),
+                "/f",
+                OpenFlags::RDWR | OpenFlags::CREAT,
+                FileMeta::default(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let rep = l
+            .write(NodeId(0), ino, 0, &WritePayload::Synthetic(4096), t1)
+            .unwrap();
+        let costs = TracefsCosts::lanl_2007();
+        // write finish = lower (free for mem fs) + filter check only
+        assert_eq!(rep.finish, t1 + costs.filter_check);
+        assert!(cap.lock().records.is_empty());
+        assert_eq!(cap.lock().ops_seen, 2);
+    }
+
+    #[test]
+    fn unwrap_lower_returns_wrapped_fs() {
+        let (l, _cap) = layer("trace all;");
+        let lower = Box::new(l).unwrap_lower();
+        assert_eq!(lower.label(), "lower");
+    }
+
+    #[test]
+    fn buffering_counts_flushes() {
+        let cap: SharedCapture = Arc::default();
+        let opts = TracefsOptions {
+            policy: FilterPolicy::trace_all(),
+            buffer_bytes: 32, // tiny: flush almost every record
+            ..Default::default()
+        };
+        let mut l = TracefsLayer::new(mem_fs("x"), opts, TracefsCosts::lanl_2007(), cap.clone());
+        let (ino, mut t) = l
+            .open(
+                NodeId(0),
+                "/f",
+                OpenFlags::RDWR | OpenFlags::CREAT,
+                FileMeta::default(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        for i in 0..10 {
+            t = l
+                .write(NodeId(0), ino, i * 100, &WritePayload::Synthetic(100), t)
+                .unwrap()
+                .finish;
+        }
+        assert!(cap.lock().flushes >= 5);
+    }
+
+    #[test]
+    fn final_flush_drains_buffer() {
+        let (mut l, cap) = layer("trace all;");
+        let (_ino, _t) = l
+            .open(
+                NodeId(0),
+                "/f",
+                OpenFlags::RDWR | OpenFlags::CREAT,
+                FileMeta::default(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let opts = TracefsOptions::default();
+        let d = final_flush(&cap, &TracefsCosts::lanl_2007(), &opts);
+        assert!(d > SimDur::ZERO);
+        let d2 = final_flush(&cap, &TracefsCosts::lanl_2007(), &opts);
+        assert_eq!(d2, SimDur::ZERO);
+    }
+}

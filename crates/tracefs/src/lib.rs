@@ -1,0 +1,26 @@
+//! # iotrace-tracefs — Tracefs, the stackable tracing file system
+//!
+//! The paper's second surveyed framework (§2.2, §4.2; Aranya, Wright &
+//! Zadok, FAST'04): a kernel-module file system that stacks over ext3,
+//! NFS, etc., and traces VFS operations with a rich feature set —
+//! declarative granularity control ([`filter`]), binary output with
+//! optional checksumming / compression / per-field encryption /
+//! buffering, and aggregation counters.
+//!
+//! Faithfully reproduced pain points: mounting requires root
+//! ([`framework::Tracefs::mount`]), and stacking on the parallel file
+//! system fails without an out-of-tree patch — both of which the
+//! taxonomy's "ease of installation" and "parallel file system
+//! compatibility" axes capture.
+
+pub mod filter;
+pub mod framework;
+pub mod layer;
+pub mod options;
+
+pub mod prelude {
+    pub use crate::filter::{FilterPolicy, FsOpKind, OpFacts};
+    pub use crate::framework::Tracefs;
+    pub use crate::layer::{Capture, SharedCapture, TracefsLayer};
+    pub use crate::options::{TracefsCosts, TracefsOptions};
+}

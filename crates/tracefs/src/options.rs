@@ -1,0 +1,127 @@
+//! Tracefs mount options and in-kernel cost constants.
+
+use iotrace_model::binary::FieldSel;
+use iotrace_model::xtea::Key;
+use iotrace_sim::time::SimDur;
+
+use crate::filter::FilterPolicy;
+
+/// Options chosen at mount time (paper §2.2/§4.2: granularity policy,
+/// binary output with optional checksumming, compression, encryption,
+/// buffering; the kernel module needs root; stacking on a parallel FS
+/// needs a patch the stock release lacks).
+#[derive(Clone, Debug)]
+pub struct TracefsOptions {
+    pub policy: FilterPolicy,
+    pub checksum: bool,
+    pub compress: bool,
+    pub encrypt: Option<(Key, FieldSel)>,
+    /// In-kernel buffer before a flush to the trace device.
+    pub buffer_bytes: usize,
+    /// Keep per-op aggregation counters.
+    pub counters: bool,
+    /// Installer has root (loading a kernel module requires it).
+    pub as_root: bool,
+    /// Apply the out-of-tree patch that lets Tracefs stack on the
+    /// parallel file system (the paper found stock Tracefs incompatible).
+    pub parallel_patch: bool,
+}
+
+impl Default for TracefsOptions {
+    fn default() -> Self {
+        TracefsOptions {
+            policy: FilterPolicy::trace_all(),
+            checksum: false,
+            compress: false,
+            encrypt: None,
+            buffer_bytes: 64 * 1024,
+            counters: true,
+            as_root: true,
+            parallel_patch: false,
+        }
+    }
+}
+
+/// Per-operation and per-byte in-kernel costs.
+#[derive(Clone, Copy, Debug)]
+pub struct TracefsCosts {
+    /// Policy evaluation per VFS op (paid even when the op is omitted).
+    pub filter_check: SimDur,
+    /// Record capture + encode for a traced op.
+    pub capture: SimDur,
+    /// Trace-device write setup per flush.
+    pub flush_latency: SimDur,
+    /// Trace-device streaming bandwidth (bytes/s).
+    pub device_bps: f64,
+    /// Extra per trace byte when checksumming.
+    pub checksum_ns_per_byte: f64,
+    /// Extra per trace byte when compressing.
+    pub compress_ns_per_byte: f64,
+    /// Extra per trace byte when encrypting selected fields.
+    pub encrypt_ns_per_byte: f64,
+}
+
+impl TracefsCosts {
+    pub fn lanl_2007() -> Self {
+        TracefsCosts {
+            filter_check: SimDur::from_nanos(160),
+            capture: SimDur::from_nanos(1_400),
+            // The flush hands the buffer to an async trace device; the
+            // synchronous part is the in-kernel copy.
+            flush_latency: SimDur::from_micros(60),
+            device_bps: 1.2e9,
+            checksum_ns_per_byte: 0.9,
+            compress_ns_per_byte: 14.0,
+            encrypt_ns_per_byte: 26.0,
+        }
+    }
+
+    /// CPU time to post-process one flushed block of `bytes`.
+    pub fn feature_cost(&self, bytes: u64, opts: &TracefsOptions) -> SimDur {
+        let mut ns = 0.0;
+        if opts.checksum {
+            ns += bytes as f64 * self.checksum_ns_per_byte;
+        }
+        if opts.compress {
+            ns += bytes as f64 * self.compress_ns_per_byte;
+        }
+        if opts.encrypt.is_some() {
+            ns += bytes as f64 * self.encrypt_ns_per_byte;
+        }
+        SimDur::from_nanos(ns as u64)
+    }
+
+    /// Time to write a flushed block to the trace device.
+    pub fn flush_cost(&self, bytes: u64) -> SimDur {
+        self.flush_latency + SimDur::from_secs_f64(bytes as f64 / self.device_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_costs_stack() {
+        let c = TracefsCosts::lanl_2007();
+        let base = TracefsOptions::default();
+        assert_eq!(c.feature_cost(1 << 20, &base), SimDur::ZERO);
+        let chk = TracefsOptions {
+            checksum: true,
+            ..base.clone()
+        };
+        let all = TracefsOptions {
+            checksum: true,
+            compress: true,
+            encrypt: Some((Key::from_passphrase("k"), FieldSel::ALL)),
+            ..base
+        };
+        assert!(c.feature_cost(1 << 20, &all) > c.feature_cost(1 << 20, &chk));
+    }
+
+    #[test]
+    fn flush_cost_scales() {
+        let c = TracefsCosts::lanl_2007();
+        assert!(c.flush_cost(1 << 20) > c.flush_cost(1 << 10));
+    }
+}

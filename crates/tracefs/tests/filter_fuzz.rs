@@ -1,0 +1,54 @@
+//! Filter-language robustness: arbitrary input never panics the parser,
+//! and valid policies evaluate without panicking on arbitrary facts.
+
+use iotrace_tracefs::filter::{FilterPolicy, FsOpKind, OpFacts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_survives_arbitrary_text(s in "[ -~\\n]{0,200}") {
+        let _ = FilterPolicy::parse(&s);
+    }
+
+    #[test]
+    fn parser_survives_arbitrary_bytes_as_lossy_utf8(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        let s = String::from_utf8_lossy(&data);
+        let _ = FilterPolicy::parse(&s);
+    }
+
+    /// Grammar-shaped random policies: parse, then evaluate on random
+    /// facts without panicking.
+    #[test]
+    fn valid_policies_evaluate(
+        verbs in prop::collection::vec(0usize..2, 1..5),
+        targets in prop::collection::vec(0usize..4, 1..5),
+        sizes in prop::collection::vec(0u64..1_000_000, 1..5),
+        path in "/[a-z]{1,6}/[a-z]{1,6}",
+        size in 0u64..1_000_000,
+        uid: u32,
+    ) {
+        let mut src = String::new();
+        for ((v, t), sz) in verbs.iter().zip(&targets).zip(&sizes) {
+            let verb = ["trace", "omit"][*v];
+            let target = ["all", "data", "meta", "read, write"][*t];
+            src.push_str(&format!("{verb} {target} where size < {sz} or uid == {uid}; "));
+        }
+        let policy = FilterPolicy::parse(&src).expect("grammar-shaped policy parses");
+        for kind in FsOpKind::ALL {
+            let _ = policy.matches(&OpFacts { kind, path: &path, uid, gid: 0, size });
+        }
+    }
+
+    /// Last-match-wins: appending `trace all` forces a match; appending
+    /// `omit all` forces a miss.
+    #[test]
+    fn terminal_rule_dominates(prefix in "(trace|omit) (all|data|meta); {0,3}", size in 0u64..100) {
+        let facts = OpFacts { kind: FsOpKind::Write, path: "/x", uid: 0, gid: 0, size };
+        let yes = FilterPolicy::parse(&format!("{prefix} trace all;")).unwrap();
+        prop_assert!(yes.matches(&facts));
+        let no = FilterPolicy::parse(&format!("{prefix} omit all;")).unwrap();
+        prop_assert!(!no.matches(&facts));
+    }
+}

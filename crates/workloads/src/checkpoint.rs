@@ -1,0 +1,151 @@
+//! A checkpointing scientific application — the "killer app" shape the
+//! paper's introduction motivates: long compute phases punctuated by
+//! synchronized N-1 checkpoint dumps.
+
+use iotrace_fs::data::WritePayload;
+use iotrace_ioapi::op::{Fd, IoOp, IoRes};
+use iotrace_ioapi::traced::Traced;
+use iotrace_sim::ids::CommId;
+use iotrace_sim::program::{Op, OpList, RankProgram};
+use iotrace_sim::time::SimDur;
+
+/// Configuration for the checkpoint workload.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    pub world: u32,
+    /// Simulation timesteps.
+    pub steps: u32,
+    /// Compute time per step per rank.
+    pub compute_per_step: SimDur,
+    /// Checkpoint every `interval` steps.
+    pub interval: u32,
+    /// Bytes each rank contributes per checkpoint.
+    pub bytes_per_rank: u64,
+    /// Write block size.
+    pub block_size: u64,
+    pub dir: String,
+}
+
+impl Checkpoint {
+    pub fn new(world: u32) -> Self {
+        Checkpoint {
+            world,
+            steps: 12,
+            compute_per_step: SimDur::from_millis(40),
+            interval: 4,
+            bytes_per_rank: 1 << 20,
+            block_size: 256 * 1024,
+            dir: "/pfs/ckpt".to_string(),
+        }
+    }
+
+    pub fn cmdline(&self) -> String {
+        format!(
+            "/ckpt_app.exe \"-steps\" \"{}\" \"-interval\" \"{}\" \"-bytes\" \"{}\"",
+            self.steps, self.interval, self.bytes_per_rank
+        )
+    }
+
+    /// Number of checkpoints the run performs.
+    pub fn checkpoints(&self) -> u32 {
+        self.steps / self.interval
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.checkpoints() as u64 * self.world as u64 * self.bytes_per_rank
+    }
+
+    fn ckpt_file(&self, epoch: u32) -> String {
+        format!("{}/ckpt{:03}.dump", self.dir, epoch)
+    }
+
+    pub fn ops_for(&self, rank: u32) -> Vec<Op<IoOp>> {
+        let mut ops: Vec<Op<IoOp>> = vec![Op::Barrier(CommId::WORLD)];
+        let blocks = (self.bytes_per_rank / self.block_size).max(1);
+        let mut epoch = 0;
+        for step in 1..=self.steps {
+            ops.push(Op::Compute(self.compute_per_step));
+            if step % self.interval == 0 {
+                // Synchronize, dump this rank's region of the shared file.
+                ops.push(Op::Barrier(CommId::WORLD));
+                ops.push(Op::Io(IoOp::MpiOpen {
+                    path: self.ckpt_file(epoch),
+                    amode: 37,
+                }));
+                let base = rank as u64 * self.bytes_per_rank;
+                for b in 0..blocks {
+                    ops.push(Op::Io(IoOp::MpiWriteAt {
+                        fd: Fd(3),
+                        offset: base + b * self.block_size,
+                        payload: WritePayload::Synthetic(self.block_size),
+                    }));
+                }
+                ops.push(Op::Io(IoOp::MpiClose { fd: Fd(3) }));
+                ops.push(Op::Barrier(CommId::WORLD));
+                epoch += 1;
+            }
+        }
+        ops.push(Op::Exit);
+        ops
+    }
+
+    pub fn programs(&self) -> Vec<Box<dyn RankProgram<IoOp, IoRes>>> {
+        (0..self.world)
+            .map(|r| {
+                Box::new(Traced::new(OpList::new(self.ops_for(r))))
+                    as Box<dyn RankProgram<IoOp, IoRes>>
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_count() {
+        let c = Checkpoint::new(4);
+        assert_eq!(c.checkpoints(), 3);
+        assert_eq!(c.total_bytes(), 3 * 4 * (1 << 20));
+    }
+
+    #[test]
+    fn ops_interleave_compute_and_io() {
+        let c = Checkpoint::new(2);
+        let ops = c.ops_for(0);
+        let computes = ops.iter().filter(|o| matches!(o, Op::Compute(_))).count();
+        assert_eq!(computes, 12);
+        let opens = ops
+            .iter()
+            .filter(|o| matches!(o, Op::Io(IoOp::MpiOpen { .. })))
+            .count();
+        assert_eq!(opens, 3);
+        // distinct checkpoint files per epoch
+        let paths: std::collections::HashSet<String> = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Io(IoOp::MpiOpen { path, .. }) => Some(path.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(paths.len(), 3);
+    }
+
+    #[test]
+    fn ranks_write_disjoint_regions() {
+        let c = Checkpoint::new(2);
+        let off = |rank: u32| -> Vec<u64> {
+            c.ops_for(rank)
+                .iter()
+                .filter_map(|o| match o {
+                    Op::Io(IoOp::MpiWriteAt { offset, .. }) => Some(*offset),
+                    _ => None,
+                })
+                .collect()
+        };
+        let o0 = off(0);
+        let o1 = off(1);
+        assert!(o0.iter().all(|o| !o1.contains(o)));
+    }
+}

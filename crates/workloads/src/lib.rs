@@ -1,0 +1,27 @@
+//! # iotrace-workloads — synthetic parallel applications
+//!
+//! The applications the paper evaluates tracing frameworks against:
+//!
+//! * [`mpi_io_test::MpiIoTest`] — the LANL bandwidth benchmark
+//!   (reference [4]) with the three access patterns of §4.1.2
+//!   ([`pattern::AccessPattern`]);
+//! * [`checkpoint::Checkpoint`] — compute/checkpoint cycles, the
+//!   "killer app" I/O shape from the introduction;
+//! * [`producer_consumer::ProducerConsumer`] — real inter-node causal
+//!   dependencies for //TRACE's throttling discovery;
+//! * [`metadata::MetadataStorm`] — many-events-few-bytes, the worst case
+//!   for per-event tracer overhead.
+
+pub mod checkpoint;
+pub mod metadata;
+pub mod mpi_io_test;
+pub mod pattern;
+pub mod producer_consumer;
+
+pub mod prelude {
+    pub use crate::checkpoint::Checkpoint;
+    pub use crate::metadata::MetadataStorm;
+    pub use crate::mpi_io_test::MpiIoTest;
+    pub use crate::pattern::AccessPattern;
+    pub use crate::producer_consumer::ProducerConsumer;
+}

@@ -1,0 +1,127 @@
+//! Metadata-intensive workload: many small files, stats, renames and
+//! unlinks. Stresses the taxonomy axes tracing-wise: lots of events, few
+//! bytes — the regime where per-event tracer overhead utterly dominates.
+
+use iotrace_fs::data::WritePayload;
+use iotrace_fs::fs::OpenFlags;
+use iotrace_ioapi::op::{Fd, IoOp, IoRes};
+use iotrace_ioapi::traced::Traced;
+use iotrace_sim::ids::CommId;
+use iotrace_sim::program::{Op, OpList, RankProgram};
+
+#[derive(Clone, Debug)]
+pub struct MetadataStorm {
+    pub world: u32,
+    /// Files per rank.
+    pub files: u32,
+    /// Bytes written to each small file.
+    pub small_size: u64,
+    pub dir: String,
+}
+
+impl MetadataStorm {
+    pub fn new(world: u32, files: u32) -> Self {
+        MetadataStorm {
+            world,
+            files,
+            small_size: 512,
+            dir: "/pfs/meta".to_string(),
+        }
+    }
+
+    pub fn with_dir(mut self, dir: &str) -> Self {
+        self.dir = dir.to_string();
+        self
+    }
+
+    pub fn cmdline(&self) -> String {
+        format!("/mdtest.exe \"-files\" \"{}\"", self.files)
+    }
+
+    fn rank_dir(&self, rank: u32) -> String {
+        format!("{}/rank{:03}", self.dir, rank)
+    }
+
+    pub fn ops_for(&self, rank: u32) -> Vec<Op<IoOp>> {
+        let d = self.rank_dir(rank);
+        let mut ops: Vec<Op<IoOp>> = vec![
+            Op::Barrier(CommId::WORLD),
+            Op::Io(IoOp::Mkdir {
+                path: d.clone(),
+                mode: 0o755,
+            }),
+        ];
+        // create + write + close
+        for f in 0..self.files {
+            let p = format!("{d}/f{f:04}");
+            ops.push(Op::Io(IoOp::Open {
+                path: p.clone(),
+                flags: OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::EXCL,
+                mode: 0o644,
+            }));
+            ops.push(Op::Io(IoOp::Write {
+                fd: Fd(3),
+                payload: WritePayload::Synthetic(self.small_size),
+            }));
+            ops.push(Op::Io(IoOp::Close { fd: Fd(3) }));
+        }
+        // stat each, list the dir
+        for f in 0..self.files {
+            ops.push(Op::Io(IoOp::Stat {
+                path: format!("{d}/f{f:04}"),
+            }));
+        }
+        ops.push(Op::Io(IoOp::Readdir { path: d.clone() }));
+        // rename half, then unlink everything
+        for f in 0..self.files / 2 {
+            ops.push(Op::Io(IoOp::Rename {
+                from: format!("{d}/f{f:04}"),
+                to: format!("{d}/renamed{f:04}"),
+            }));
+        }
+        for f in 0..self.files / 2 {
+            ops.push(Op::Io(IoOp::Unlink {
+                path: format!("{d}/renamed{f:04}"),
+            }));
+        }
+        for f in self.files / 2..self.files {
+            ops.push(Op::Io(IoOp::Unlink {
+                path: format!("{d}/f{f:04}"),
+            }));
+        }
+        ops.push(Op::Barrier(CommId::WORLD));
+        ops.push(Op::Exit);
+        ops
+    }
+
+    pub fn programs(&self) -> Vec<Box<dyn RankProgram<IoOp, IoRes>>> {
+        (0..self.world)
+            .map(|r| {
+                Box::new(Traced::new(OpList::new(self.ops_for(r))))
+                    as Box<dyn RankProgram<IoOp, IoRes>>
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_counts_are_consistent() {
+        let w = MetadataStorm::new(2, 10);
+        let ops = w.ops_for(0);
+        let count = |pred: fn(&Op<IoOp>) -> bool| ops.iter().filter(|o| pred(o)).count();
+        assert_eq!(count(|o| matches!(o, Op::Io(IoOp::Open { .. }))), 10);
+        assert_eq!(count(|o| matches!(o, Op::Io(IoOp::Stat { .. }))), 10);
+        assert_eq!(count(|o| matches!(o, Op::Io(IoOp::Rename { .. }))), 5);
+        assert_eq!(count(|o| matches!(o, Op::Io(IoOp::Unlink { .. }))), 10);
+    }
+
+    #[test]
+    fn ranks_use_disjoint_dirs() {
+        let w = MetadataStorm::new(4, 2);
+        assert_ne!(w.rank_dir(0), w.rank_dir(1));
+    }
+}

@@ -1,0 +1,253 @@
+//! A faithful clone of the LANL `mpi_io_test` synthetic application
+//! (paper reference [4]) — the workload behind Figures 2–4.
+//!
+//! Each rank: barrier → `MPI_File_open` → barrier → write its blocks
+//! (pattern-dependent offsets) → barrier → optional read-back → close →
+//! barrier. The surrounding barriers are what LANL-Trace's aggregate
+//! timing output records.
+
+use iotrace_fs::data::WritePayload;
+use iotrace_ioapi::op::{Fd, IoOp, IoRes};
+use iotrace_ioapi::traced::Traced;
+use iotrace_sim::ids::CommId;
+use iotrace_sim::program::{Op, OpList, RankProgram};
+
+use crate::pattern::AccessPattern;
+
+/// Configuration mirroring the real tool's command line.
+#[derive(Clone, Debug)]
+pub struct MpiIoTest {
+    pub pattern: AccessPattern,
+    /// Ranks in the job.
+    pub world: u32,
+    /// Bytes per write call (`-size`).
+    pub block_size: u64,
+    /// Blocks per rank (`-nobj`).
+    pub blocks_per_rank: u64,
+    /// Directory for output files.
+    pub dir: String,
+    /// Read everything back after writing (`-read`).
+    pub read_back: bool,
+}
+
+impl MpiIoTest {
+    pub fn new(pattern: AccessPattern, world: u32, block_size: u64, blocks_per_rank: u64) -> Self {
+        MpiIoTest {
+            pattern,
+            world,
+            block_size,
+            blocks_per_rank,
+            dir: "/pfs/mpi_io_test".to_string(),
+            read_back: false,
+        }
+    }
+
+    /// Scale so total bytes across ranks ≈ `total`, preserving pattern.
+    pub fn with_total_bytes(mut self, total: u64) -> Self {
+        let per_rank = total / self.world as u64;
+        self.blocks_per_rank = (per_rank / self.block_size).max(1);
+        self
+    }
+
+    pub fn with_dir(mut self, dir: &str) -> Self {
+        self.dir = dir.to_string();
+        self
+    }
+
+    pub fn with_read_back(mut self, yes: bool) -> Self {
+        self.read_back = yes;
+        self
+    }
+
+    /// Total bytes written by the whole job.
+    pub fn total_bytes(&self) -> u64 {
+        self.world as u64 * self.blocks_per_rank * self.block_size
+    }
+
+    /// The file a given rank writes to.
+    pub fn file_for(&self, rank: u32) -> String {
+        match self.pattern {
+            AccessPattern::NToN => format!("{}/rank{:04}.out", self.dir, rank),
+            _ => format!("{}/shared.out", self.dir),
+        }
+    }
+
+    /// The equivalent command line (used in trace metadata, exactly as
+    /// Figure 1 shows it).
+    pub fn cmdline(&self) -> String {
+        format!(
+            "/mpi_io_test.exe \"-type\" \"{}\" \"-strided\" \"{}\" \"-size\" \"{}\" \"-nobj\" \"{}\"",
+            self.pattern.type_flag(),
+            self.pattern.strided_flag(),
+            self.block_size,
+            self.blocks_per_rank
+        )
+    }
+
+    /// Build the op list for one rank.
+    pub fn ops_for(&self, rank: u32) -> Vec<Op<IoOp>> {
+        let mut ops: Vec<Op<IoOp>> = Vec::with_capacity(self.blocks_per_rank as usize + 8);
+        let fd = Fd(3); // first descriptor this process opens
+        ops.push(Op::Barrier(CommId::WORLD));
+        ops.push(Op::Io(IoOp::MpiOpen {
+            path: self.file_for(rank),
+            amode: 37, // MPI_MODE_CREATE | MPI_MODE_RDWR, as in Figure 1
+        }));
+        ops.push(Op::Barrier(CommId::WORLD));
+        for b in 0..self.blocks_per_rank {
+            let offset = self.pattern.offset(
+                rank,
+                self.world,
+                b,
+                self.block_size,
+                self.blocks_per_rank,
+            );
+            ops.push(Op::Io(IoOp::MpiWriteAt {
+                fd,
+                offset,
+                payload: WritePayload::Synthetic(self.block_size),
+            }));
+        }
+        ops.push(Op::Barrier(CommId::WORLD));
+        if self.read_back {
+            for b in 0..self.blocks_per_rank {
+                let offset = self.pattern.offset(
+                    rank,
+                    self.world,
+                    b,
+                    self.block_size,
+                    self.blocks_per_rank,
+                );
+                ops.push(Op::Io(IoOp::MpiReadAt {
+                    fd,
+                    offset,
+                    len: self.block_size,
+                }));
+            }
+            ops.push(Op::Barrier(CommId::WORLD));
+        }
+        ops.push(Op::Io(IoOp::MpiClose { fd }));
+        ops.push(Op::Barrier(CommId::WORLD));
+        ops.push(Op::Exit);
+        ops
+    }
+
+    /// The benchmark's self-timed write phase, like the real
+    /// `mpi_io_test`'s reported bandwidth window: from everyone exiting
+    /// the post-open barrier to the last writer entering the post-write
+    /// barrier. `wrapped` is true when the job ran under LANL-Trace's
+    /// pre/post timing jobs (which add one leading barrier).
+    pub fn write_phase(
+        &self,
+        run: &iotrace_sim::engine::RunReport,
+        wrapped: bool,
+    ) -> Option<iotrace_sim::time::SimDur> {
+        let base = 1 + wrapped as usize; // skip initial barrier(s)
+        let open_b = run.barriers.get(base)?;
+        let close_b = run.barriers.get(base + 1)?;
+        let start = open_b.entries.iter().map(|e| e.exited).max()?;
+        let end = close_b.entries.iter().map(|e| e.entered).max()?;
+        Some(end.since(start))
+    }
+
+    /// Write-phase bandwidth in bytes/sec (see [`Self::write_phase`]).
+    pub fn write_bandwidth(
+        &self,
+        run: &iotrace_sim::engine::RunReport,
+        wrapped: bool,
+    ) -> Option<f64> {
+        let phase = self.write_phase(run, wrapped)?.as_secs_f64();
+        if phase <= 0.0 {
+            return None;
+        }
+        Some(self.total_bytes() as f64 / phase)
+    }
+
+    /// One program per rank, with barrier tracing enabled.
+    pub fn programs(&self) -> Vec<Box<dyn RankProgram<IoOp, IoRes>>> {
+        (0..self.world)
+            .map(|r| {
+                Box::new(Traced::new(OpList::new(self.ops_for(r))))
+                    as Box<dyn RankProgram<IoOp, IoRes>>
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_bytes_scales() {
+        let w = MpiIoTest::new(AccessPattern::NToN, 8, 1024, 16);
+        assert_eq!(w.total_bytes(), 8 * 1024 * 16);
+        let scaled = w.with_total_bytes(1 << 20);
+        assert_eq!(scaled.total_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn with_total_bytes_never_zero_blocks() {
+        let w = MpiIoTest::new(AccessPattern::NToN, 32, 1 << 20, 1).with_total_bytes(1024);
+        assert_eq!(w.blocks_per_rank, 1);
+    }
+
+    #[test]
+    fn file_layout_matches_pattern() {
+        let n_n = MpiIoTest::new(AccessPattern::NToN, 4, 1024, 4);
+        assert_ne!(n_n.file_for(0), n_n.file_for(1));
+        let n_1 = MpiIoTest::new(AccessPattern::NTo1Strided, 4, 1024, 4);
+        assert_eq!(n_1.file_for(0), n_1.file_for(3));
+    }
+
+    #[test]
+    fn cmdline_matches_figure1_style() {
+        let w = MpiIoTest::new(AccessPattern::NTo1Strided, 8, 32768, 1);
+        assert_eq!(
+            w.cmdline(),
+            "/mpi_io_test.exe \"-type\" \"1\" \"-strided\" \"1\" \"-size\" \"32768\" \"-nobj\" \"1\""
+        );
+    }
+
+    #[test]
+    fn ops_have_expected_shape() {
+        let w = MpiIoTest::new(AccessPattern::NTo1NonStrided, 2, 100, 3);
+        let ops = w.ops_for(1);
+        let writes: Vec<u64> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Io(IoOp::MpiWriteAt { offset, .. }) => Some(*offset),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(writes, vec![300, 400, 500]);
+        let barriers = ops
+            .iter()
+            .filter(|op| matches!(op, Op::Barrier(_)))
+            .count();
+        assert_eq!(barriers, 4);
+        assert!(matches!(ops.last(), Some(Op::Exit)));
+    }
+
+    #[test]
+    fn read_back_adds_reads_and_barrier() {
+        let w = MpiIoTest::new(AccessPattern::NToN, 2, 100, 3).with_read_back(true);
+        let ops = w.ops_for(0);
+        let reads = ops
+            .iter()
+            .filter(|op| matches!(op, Op::Io(IoOp::MpiReadAt { .. })))
+            .count();
+        assert_eq!(reads, 3);
+        let barriers = ops
+            .iter()
+            .filter(|op| matches!(op, Op::Barrier(_)))
+            .count();
+        assert_eq!(barriers, 5);
+    }
+
+    #[test]
+    fn programs_one_per_rank() {
+        let w = MpiIoTest::new(AccessPattern::NToN, 5, 100, 1);
+        assert_eq!(w.programs().len(), 5);
+    }
+}

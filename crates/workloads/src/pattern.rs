@@ -1,0 +1,140 @@
+//! Parallel I/O access patterns (paper §4.1.2 and [12]):
+//!
+//! * **N-N** — N processes, N files, one per process;
+//! * **N-1 non-strided** — N processes, one shared file, each process
+//!   owning one contiguous region;
+//! * **N-1 strided** — N processes, one shared file, block *i* of rank
+//!   *r* at offset `(i*N + r) * block` (interleaved; "often used to keep
+//!   similar data grouped by proximity within the file").
+
+use std::fmt;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    NToN,
+    NTo1Strided,
+    NTo1NonStrided,
+}
+
+impl AccessPattern {
+    /// All three patterns, in the order the paper reports them.
+    pub const ALL: [AccessPattern; 3] = [
+        AccessPattern::NTo1Strided,
+        AccessPattern::NTo1NonStrided,
+        AccessPattern::NToN,
+    ];
+
+    /// Byte offset of block `block_idx` for `rank` out of `world`.
+    pub fn offset(
+        &self,
+        rank: u32,
+        world: u32,
+        block_idx: u64,
+        block_size: u64,
+        blocks_per_rank: u64,
+    ) -> u64 {
+        match self {
+            AccessPattern::NToN => block_idx * block_size,
+            AccessPattern::NTo1NonStrided => {
+                (rank as u64 * blocks_per_rank + block_idx) * block_size
+            }
+            AccessPattern::NTo1Strided => (block_idx * world as u64 + rank as u64) * block_size,
+        }
+    }
+
+    /// Whether all ranks share one file.
+    pub fn shared_file(&self) -> bool {
+        !matches!(self, AccessPattern::NToN)
+    }
+
+    /// The `mpi_io_test -type` flag value (1 = N-1, 2 = N-N, mirroring
+    /// the LANL tool's convention).
+    pub fn type_flag(&self) -> u32 {
+        match self {
+            AccessPattern::NToN => 2,
+            _ => 1,
+        }
+    }
+
+    pub fn strided_flag(&self) -> u32 {
+        matches!(self, AccessPattern::NTo1Strided) as u32
+    }
+}
+
+impl fmt::Display for AccessPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessPattern::NToN => "N-N",
+            AccessPattern::NTo1Strided => "N-1 strided",
+            AccessPattern::NTo1NonStrided => "N-1 non-strided",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn nton_offsets_are_per_file_sequential() {
+        let p = AccessPattern::NToN;
+        assert_eq!(p.offset(3, 8, 0, 1024, 10), 0);
+        assert_eq!(p.offset(3, 8, 2, 1024, 10), 2048);
+    }
+
+    #[test]
+    fn nonstrided_regions_are_contiguous_and_disjoint() {
+        let p = AccessPattern::NTo1NonStrided;
+        let mut seen = HashSet::new();
+        for rank in 0..4u32 {
+            for b in 0..10u64 {
+                let off = p.offset(rank, 4, b, 100, 10);
+                assert!(seen.insert(off), "offset {off} written twice");
+            }
+        }
+        // rank boundaries: rank r starts at r * 10 * 100
+        assert_eq!(p.offset(2, 4, 0, 100, 10), 2000);
+    }
+
+    #[test]
+    fn strided_interleaves_ranks() {
+        let p = AccessPattern::NTo1Strided;
+        // block 0: rank 0 at 0, rank 1 at B, rank 2 at 2B...
+        assert_eq!(p.offset(0, 4, 0, 100, 10), 0);
+        assert_eq!(p.offset(1, 4, 0, 100, 10), 100);
+        // block 1 of rank 0 lands after all ranks' block 0
+        assert_eq!(p.offset(0, 4, 1, 100, 10), 400);
+    }
+
+    #[test]
+    fn strided_covers_file_densely() {
+        let p = AccessPattern::NTo1Strided;
+        let mut offs: Vec<u64> = Vec::new();
+        for rank in 0..4u32 {
+            for b in 0..5u64 {
+                offs.push(p.offset(rank, 4, b, 10, 5));
+            }
+        }
+        offs.sort_unstable();
+        let expect: Vec<u64> = (0..20).map(|i| i * 10).collect();
+        assert_eq!(offs, expect);
+    }
+
+    #[test]
+    fn flags_match_lanl_convention() {
+        assert_eq!(AccessPattern::NToN.type_flag(), 2);
+        assert_eq!(AccessPattern::NTo1Strided.type_flag(), 1);
+        assert_eq!(AccessPattern::NTo1Strided.strided_flag(), 1);
+        assert_eq!(AccessPattern::NTo1NonStrided.strided_flag(), 0);
+        assert!(AccessPattern::NTo1Strided.shared_file());
+        assert!(!AccessPattern::NToN.shared_file());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AccessPattern::NToN.to_string(), "N-N");
+        assert_eq!(AccessPattern::NTo1Strided.to_string(), "N-1 strided");
+    }
+}

@@ -1,0 +1,184 @@
+//! Producer/consumer pipeline with real inter-node data dependencies —
+//! the workload //TRACE's throttling-based dependency discovery is built
+//! to expose: rank 0 writes segments and notifies consumers; each
+//! consumer reads its segment only after the notification, so its I/O
+//! *causally depends* on rank 0's.
+
+use iotrace_fs::data::WritePayload;
+use iotrace_ioapi::op::{Fd, IoOp, IoRes};
+use iotrace_ioapi::traced::Traced;
+use iotrace_sim::ids::{CommId, RankId};
+use iotrace_sim::program::{Op, OpList, RankProgram};
+use iotrace_sim::time::SimDur;
+
+#[derive(Clone, Debug)]
+pub struct ProducerConsumer {
+    pub world: u32,
+    /// Bytes per segment.
+    pub segment: u64,
+    /// Segments produced for (and consumed by) each consumer.
+    pub rounds: u32,
+    /// Consumer compute time per segment.
+    pub work: SimDur,
+    pub dir: String,
+}
+
+impl ProducerConsumer {
+    pub fn new(world: u32) -> Self {
+        assert!(world >= 2, "need a producer and at least one consumer");
+        ProducerConsumer {
+            world,
+            segment: 512 * 1024,
+            rounds: 1,
+            work: SimDur::from_millis(20),
+            dir: "/pfs/pipeline".to_string(),
+        }
+    }
+
+    /// Set how many segments each consumer receives.
+    pub fn with_rounds(mut self, rounds: u32) -> Self {
+        self.rounds = rounds.max(1);
+        self
+    }
+
+    pub fn cmdline(&self) -> String {
+        format!(
+            "/pipeline.exe \"-consumers\" \"{}\" \"-segment\" \"{}\"",
+            self.world - 1,
+            self.segment
+        )
+    }
+
+    fn seg_file(&self, consumer: u32, round: u32) -> String {
+        format!("{}/seg{:03}_{:03}.dat", self.dir, consumer, round)
+    }
+
+    fn producer_ops(&self) -> Vec<Op<IoOp>> {
+        let mut ops: Vec<Op<IoOp>> = vec![Op::Barrier(CommId::WORLD)];
+        // Write each consumer's segments round by round, notifying after
+        // each one (tag = round).
+        for round in 0..self.rounds {
+            for c in 1..self.world {
+                ops.push(Op::Io(IoOp::Open {
+                    path: self.seg_file(c, round),
+                    flags: iotrace_fs::fs::OpenFlags::WRONLY | iotrace_fs::fs::OpenFlags::CREAT,
+                    mode: 0o644,
+                }));
+                ops.push(Op::Io(IoOp::Write {
+                    fd: Fd(3),
+                    payload: WritePayload::Synthetic(self.segment),
+                }));
+                ops.push(Op::Io(IoOp::Close { fd: Fd(3) }));
+                ops.push(Op::Send {
+                    dst: RankId(c),
+                    bytes: 64,
+                    tag: 7 + round,
+                });
+            }
+        }
+        ops.push(Op::Barrier(CommId::WORLD));
+        ops.push(Op::Exit);
+        ops
+    }
+
+    fn consumer_ops(&self, rank: u32) -> Vec<Op<IoOp>> {
+        let mut ops: Vec<Op<IoOp>> = vec![Op::Barrier(CommId::WORLD)];
+        for round in 0..self.rounds {
+            ops.push(Op::Recv {
+                src: RankId(0),
+                tag: 7 + round,
+            });
+            ops.push(Op::Io(IoOp::Open {
+                path: self.seg_file(rank, round),
+                flags: iotrace_fs::fs::OpenFlags::RDONLY,
+                mode: 0,
+            }));
+            ops.push(Op::Io(IoOp::Read {
+                fd: Fd(3),
+                len: self.segment,
+            }));
+            ops.push(Op::Compute(self.work));
+            ops.push(Op::Io(IoOp::Close { fd: Fd(3) }));
+            ops.push(Op::Io(IoOp::Open {
+                path: format!("{}/result{:03}_{:03}.dat", self.dir, rank, round),
+                flags: iotrace_fs::fs::OpenFlags::WRONLY | iotrace_fs::fs::OpenFlags::CREAT,
+                mode: 0o644,
+            }));
+            ops.push(Op::Io(IoOp::Write {
+                fd: Fd(3),
+                payload: WritePayload::Synthetic(self.segment / 4),
+            }));
+            ops.push(Op::Io(IoOp::Close { fd: Fd(3) }));
+        }
+        ops.push(Op::Barrier(CommId::WORLD));
+        ops.push(Op::Exit);
+        ops
+    }
+
+    pub fn ops_for(&self, rank: u32) -> Vec<Op<IoOp>> {
+        if rank == 0 {
+            self.producer_ops()
+        } else {
+            self.consumer_ops(rank)
+        }
+    }
+
+    pub fn programs(&self) -> Vec<Box<dyn RankProgram<IoOp, IoRes>>> {
+        (0..self.world)
+            .map(|r| {
+                Box::new(Traced::new(OpList::new(self.ops_for(r))))
+                    as Box<dyn RankProgram<IoOp, IoRes>>
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn producer_notifies_each_consumer() {
+        let w = ProducerConsumer::new(4);
+        let sends = w
+            .producer_ops()
+            .iter()
+            .filter(|o| matches!(o, Op::Send { .. }))
+            .count();
+        assert_eq!(sends, 3);
+        let w = ProducerConsumer::new(3).with_rounds(4);
+        let sends = w
+            .producer_ops()
+            .iter()
+            .filter(|o| matches!(o, Op::Send { .. }))
+            .count();
+        assert_eq!(sends, 8);
+        let recvs = w
+            .consumer_ops(1)
+            .iter()
+            .filter(|o| matches!(o, Op::Recv { .. }))
+            .count();
+        assert_eq!(recvs, 4);
+    }
+
+    #[test]
+    fn consumer_reads_only_after_recv() {
+        let w = ProducerConsumer::new(3);
+        let ops = w.consumer_ops(2);
+        let recv_idx = ops
+            .iter()
+            .position(|o| matches!(o, Op::Recv { .. }))
+            .unwrap();
+        let read_idx = ops
+            .iter()
+            .position(|o| matches!(o, Op::Io(IoOp::Read { .. })))
+            .unwrap();
+        assert!(recv_idx < read_idx, "dependency ordering");
+    }
+
+    #[test]
+    #[should_panic(expected = "need a producer")]
+    fn rejects_single_rank() {
+        let _ = ProducerConsumer::new(1);
+    }
+}

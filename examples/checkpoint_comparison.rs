@@ -1,0 +1,98 @@
+//! Compare all three tracing frameworks on a checkpointing scientific
+//! application — the workload shape the paper's introduction motivates.
+//!
+//! Shows the taxonomy's core trade-off triangle: LANL-Trace is simple
+//! but slow; Tracefs is cheap but kernel-bound (and won't even mount on
+//! the parallel FS without a patch); //TRACE costs extra runs but yields
+//! a replayable trace with dependencies.
+//!
+//! ```text
+//! cargo run --release --example checkpoint_comparison
+//! ```
+
+use iotrace::prelude::*;
+
+fn fresh(ranks: u32, w: &Checkpoint) -> (iotrace::sim::engine::ClusterConfig, iotrace::fs::vfs::Vfs) {
+    let cluster = standard_cluster(ranks as usize, 9);
+    let mut vfs = standard_vfs(ranks as usize);
+    vfs.setup_dir(&w.dir).unwrap();
+    (cluster, vfs)
+}
+
+fn main() {
+    let ranks = 8u32;
+    let w = Checkpoint::new(ranks);
+    println!(
+        "workload: {} ({} checkpoints, {} MiB total)\n",
+        w.cmdline(),
+        w.checkpoints(),
+        w.total_bytes() >> 20
+    );
+
+    // --- untraced baseline ---
+    let (c, v) = fresh(ranks, &w);
+    let base = untraced_baseline(c, v, w.programs());
+    println!("untraced baseline:     {:>9.3} s", base.elapsed().as_secs_f64());
+
+    // --- LANL-Trace (ltrace mode) ---
+    let (c, v) = fresh(ranks, &w);
+    let lanl = LanlTrace::ltrace().run(c, v, w.programs(), &w.cmdline());
+    println!(
+        "LANL-Trace (ltrace):   {:>9.3} s  (+{:.1}%)  {} records, {} MPI barriers seen",
+        lanl.report.elapsed().as_secs_f64(),
+        elapsed_overhead(base.elapsed(), lanl.report.elapsed()) * 100.0,
+        lanl.traces.iter().map(|t| t.records.len()).sum::<usize>(),
+        lanl.summary.count("MPI_Barrier"),
+    );
+
+    // --- Tracefs: refuses the parallel FS out of the box ---
+    let (_c, mut v) = fresh(ranks, &w);
+    let mut stock = Tracefs::new(TracefsOptions::default());
+    match stock.mount(&mut v, "/pfs") {
+        Err(e) => println!("Tracefs (stock):       mount failed: {e}"),
+        Ok(()) => unreachable!("stock tracefs must not stack on the parallel FS"),
+    }
+
+    // With the compatibility patch it works, cheaply.
+    let (c, mut v) = fresh(ranks, &w);
+    let mut patched = Tracefs::new(TracefsOptions {
+        parallel_patch: true,
+        ..Default::default()
+    });
+    patched.mount(&mut v, "/pfs").unwrap();
+    let tfs_run = untraced_baseline(c, v, w.programs());
+    println!(
+        "Tracefs (patched):     {:>9.3} s  (+{:.1}%)  {} VFS records, counters: {:?}",
+        tfs_run.elapsed().as_secs_f64(),
+        elapsed_overhead(base.elapsed(), tfs_run.elapsed()) * 100.0,
+        patched.capture().records.len(),
+        patched
+            .counters()
+            .iter()
+            .map(|(k, v)| format!("{}={v}", k.name()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    // --- //TRACE: replayable capture with dependency discovery ---
+    let mk = move || {
+        let w = Checkpoint::new(ranks);
+        let cluster = standard_cluster(ranks as usize, 9);
+        let mut vfs = standard_vfs(ranks as usize);
+        vfs.setup_dir(&w.dir).unwrap();
+        (cluster, vfs, w.programs())
+    };
+    let cap = Partrace::new(PartraceConfig::default()).capture(mk, &w.cmdline());
+    println!(
+        "//TRACE (sampling 1): {:>9.3} s capture (+{:.1}%), {} records, {} dependency edges",
+        cap.capture_elapsed.as_secs_f64(),
+        elapsed_overhead(base.elapsed(), cap.capture_elapsed) * 100.0,
+        cap.replayable.total_records(),
+        cap.replayable.deps.edges.len(),
+    );
+
+    println!("\ntaxonomy takeaway (paper §5):");
+    println!("  - need simple distributable traces today  -> LANL-Trace");
+    println!("  - need cheap, rich, filtered FS tracing   -> Tracefs (if you have root + patches)");
+    println!("  - need accurate replayable traces         -> //TRACE (pay the capture time)");
+}

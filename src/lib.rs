@@ -1,0 +1,73 @@
+//! # iotrace — an I/O Tracing Framework taxonomy workbench
+//!
+//! A full reproduction of *"Towards an I/O Tracing Framework Taxonomy"*
+//! (Konwinski, Bent, Nunez, Quist; Supercomputing 2007): the three
+//! surveyed tracing frameworks re-implemented over a deterministic
+//! simulated HPC cluster, the taxonomy itself as an executable
+//! classification engine, and a benchmark harness that regenerates every
+//! table and figure of the paper.
+//!
+//! ## Crate map
+//!
+//! | facade module | crate | role |
+//! |---|---|---|
+//! | [`sim`] | `iotrace-sim` | deterministic discrete-event cluster (ranks, barriers, clocks with skew/drift) |
+//! | [`fs`] | `iotrace-fs` | striped RAID-5 parallel FS, NFS, local disks, stackable VFS |
+//! | [`ioapi`] | `iotrace-ioapi` | POSIX/MPI-IO layers, layered event expansion, tracer hooks |
+//! | [`model`] | `iotrace-model` | trace records, text/binary codecs, anonymization |
+//! | [`workloads`] | `iotrace-workloads` | `mpi_io_test` clone (N-N, N-1 strided/non-strided) and friends |
+//! | [`lanl`] | `iotrace-lanl` | LANL-Trace (ptrace wrapper, three human-readable outputs) |
+//! | [`tracefs`] | `iotrace-tracefs` | Tracefs (stackable FS, filters, binary output, encryption) |
+//! | [`partrace`] | `iotrace-partrace` | //TRACE (preload capture, throttling dependency discovery) |
+//! | [`replay`] | `iotrace-replay` | pseudo-application generation and replay fidelity |
+//! | [`analysis`] | `iotrace-analysis` | skew/drift correction, merging, statistics, hotspots |
+//! | [`core`] | `iotrace-core` | **the taxonomy**: axes, classifier, summary tables, overhead methodology |
+//!
+//! The real-world `LD_PRELOAD` shim lives in the separate
+//! `iotrace-interpose` cdylib crate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use iotrace::prelude::*;
+//!
+//! // Trace the LANL bandwidth benchmark with LANL-Trace on 4 ranks.
+//! let w = MpiIoTest::new(AccessPattern::NTo1Strided, 4, 64 * 1024, 4);
+//! let mut vfs = standard_vfs(4);
+//! vfs.setup_dir(&w.dir).unwrap();
+//! let run = LanlTrace::ltrace().run(
+//!     standard_cluster(4, 1),
+//!     vfs,
+//!     w.programs(),
+//!     &w.cmdline(),
+//! );
+//! assert!(run.report.run.is_clean());
+//! assert!(run.summary.count("SYS_write") > 0);
+//! ```
+
+pub use iotrace_analysis as analysis;
+pub use iotrace_core as core;
+pub use iotrace_fs as fs;
+pub use iotrace_ioapi as ioapi;
+pub use iotrace_lanl as lanl;
+pub use iotrace_model as model;
+pub use iotrace_partrace as partrace;
+pub use iotrace_replay as replay;
+pub use iotrace_sim as sim;
+pub use iotrace_tracefs as tracefs;
+pub use iotrace_workloads as workloads;
+
+/// Everything, for examples and quick experiments.
+pub mod prelude {
+    pub use iotrace_analysis::prelude::*;
+    pub use iotrace_core::prelude::*;
+    pub use iotrace_fs::prelude::*;
+    pub use iotrace_ioapi::prelude::*;
+    pub use iotrace_lanl::prelude::*;
+    pub use iotrace_model::prelude::*;
+    pub use iotrace_partrace::prelude::*;
+    pub use iotrace_replay::prelude::*;
+    pub use iotrace_sim::prelude::*;
+    pub use iotrace_tracefs::prelude::*;
+    pub use iotrace_workloads::prelude::*;
+}
