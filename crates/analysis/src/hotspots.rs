@@ -18,7 +18,9 @@ pub struct PathStats {
 /// Per-path aggregation over records carrying path arguments. Records
 /// without a path (fd-based calls) are attributed via the most recent
 /// successful `open` of that fd within the same (rank, pid).
-pub fn by_path<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> HashMap<String, PathStats> {
+pub fn by_path<'a>(
+    records: impl IntoIterator<Item = &'a TraceRecord>,
+) -> HashMap<String, PathStats> {
     let mut out: HashMap<String, PathStats> = HashMap::new();
     // (rank, fd) -> path
     let mut open_fds: HashMap<(u32, i64), String> = HashMap::new();
@@ -38,8 +40,13 @@ pub fn by_path<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> HashMa
                 Some(path.clone())
             }
             Close { fd } | MpiFileClose { fd } => open_fds.remove(&(r.rank, *fd)),
-            Read { fd, .. } | Write { fd, .. } | Pread { fd, .. } | Pwrite { fd, .. }
-            | Lseek { fd, .. } | Fsync { fd } | MpiFileWriteAt { fd, .. }
+            Read { fd, .. }
+            | Write { fd, .. }
+            | Pread { fd, .. }
+            | Pwrite { fd, .. }
+            | Lseek { fd, .. }
+            | Fsync { fd }
+            | MpiFileWriteAt { fd, .. }
             | MpiFileReadAt { fd, .. } => open_fds.get(&(r.rank, *fd)).cloned(),
             _ => r.call.path().map(|p| p.to_string()),
         };
@@ -85,12 +92,26 @@ mod tests {
     #[test]
     fn fd_calls_attributed_to_opened_path() {
         let recs = vec![
-            rec(IoCall::Open { path: "/data/a".into(), flags: 0, mode: 0 }, 3),
+            rec(
+                IoCall::Open {
+                    path: "/data/a".into(),
+                    flags: 0,
+                    mode: 0,
+                },
+                3,
+            ),
             rec(IoCall::Write { fd: 3, len: 100 }, 100),
             rec(IoCall::Write { fd: 3, len: 50 }, 50),
             rec(IoCall::Close { fd: 3 }, 0),
             // fd 3 reused for another file
-            rec(IoCall::Open { path: "/data/b".into(), flags: 0, mode: 0 }, 3),
+            rec(
+                IoCall::Open {
+                    path: "/data/b".into(),
+                    flags: 0,
+                    mode: 0,
+                },
+                3,
+            ),
             rec(IoCall::Write { fd: 3, len: 7 }, 7),
         ];
         let stats = by_path(&recs);
@@ -102,7 +123,14 @@ mod tests {
     #[test]
     fn failed_open_does_not_bind_fd() {
         let recs = vec![
-            rec(IoCall::Open { path: "/missing".into(), flags: 0, mode: 0 }, -2),
+            rec(
+                IoCall::Open {
+                    path: "/missing".into(),
+                    flags: 0,
+                    mode: 0,
+                },
+                -2,
+            ),
             rec(IoCall::Write { fd: 3, len: 10 }, -9),
         ];
         let stats = by_path(&recs);
@@ -113,9 +141,23 @@ mod tests {
 
     #[test]
     fn ranks_have_separate_fd_tables() {
-        let mut a = rec(IoCall::Open { path: "/a".into(), flags: 0, mode: 0 }, 3);
+        let mut a = rec(
+            IoCall::Open {
+                path: "/a".into(),
+                flags: 0,
+                mode: 0,
+            },
+            3,
+        );
         a.rank = 0;
-        let mut b = rec(IoCall::Open { path: "/b".into(), flags: 0, mode: 0 }, 3);
+        let mut b = rec(
+            IoCall::Open {
+                path: "/b".into(),
+                flags: 0,
+                mode: 0,
+            },
+            3,
+        );
         b.rank = 1;
         let mut wa = rec(IoCall::Write { fd: 3, len: 5 }, 5);
         wa.rank = 0;
@@ -129,10 +171,24 @@ mod tests {
     #[test]
     fn top_by_bytes_orders_desc() {
         let recs = vec![
-            rec(IoCall::Open { path: "/small".into(), flags: 0, mode: 0 }, 3),
+            rec(
+                IoCall::Open {
+                    path: "/small".into(),
+                    flags: 0,
+                    mode: 0,
+                },
+                3,
+            ),
             rec(IoCall::Write { fd: 3, len: 10 }, 10),
             rec(IoCall::Close { fd: 3 }, 0),
-            rec(IoCall::Open { path: "/big".into(), flags: 0, mode: 0 }, 3),
+            rec(
+                IoCall::Open {
+                    path: "/big".into(),
+                    flags: 0,
+                    mode: 0,
+                },
+                3,
+            ),
             rec(IoCall::Write { fd: 3, len: 1000 }, 1000),
         ];
         let stats = by_path(&recs);

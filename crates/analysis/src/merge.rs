@@ -6,9 +6,7 @@
 //! fast-running clock may actually be later); [`merge_corrected`] applies
 //! a [`crate::skew::SkewEstimate`] first. Parsing hundreds of per-rank
 //! text traces is embarrassingly parallel, so [`parse_parallel`] fans out
-//! across threads with `crossbeam::scope`.
-
-use crossbeam::thread;
+//! across scoped threads.
 
 use iotrace_model::event::{Trace, TraceRecord};
 use iotrace_model::text::{parse_text, ParseError};
@@ -18,7 +16,8 @@ use crate::skew::SkewEstimate;
 /// Merge per-rank traces into one timeline ordered by corrected
 /// timestamps.
 pub fn merge_corrected(traces: &[Trace], est: &SkewEstimate) -> Vec<TraceRecord> {
-    let mut all: Vec<TraceRecord> = Vec::with_capacity(traces.iter().map(|t| t.records.len()).sum());
+    let mut all: Vec<TraceRecord> =
+        Vec::with_capacity(traces.iter().map(|t| t.records.len()).sum());
     for t in traces {
         for r in &t.records {
             let mut r = r.clone();
@@ -53,16 +52,15 @@ pub fn parse_parallel(docs: &[String]) -> Vec<Result<Trace, ParseError>> {
             let chunk = docs.len().div_ceil(workers);
             out.chunks_mut(chunk).collect()
         };
-        thread::scope(|s| {
+        std::thread::scope(|s| {
             for ((_, docs_chunk), out_chunk) in chunks.into_iter().zip(out_chunks) {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (d, slot) in docs_chunk.iter().zip(out_chunk.iter_mut()) {
                         *slot = Some(parse_text(d));
                     }
                 });
             }
-        })
-        .expect("parser thread panicked");
+        });
     }
     out.into_iter().map(|o| o.expect("slot filled")).collect()
 }

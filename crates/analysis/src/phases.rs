@@ -48,12 +48,8 @@ impl Phase {
         if max == 0.0 || self.ranks.is_empty() {
             return 0.0;
         }
-        let mean: f64 = self
-            .ranks
-            .iter()
-            .map(|r| r.span.as_secs_f64())
-            .sum::<f64>()
-            / self.ranks.len() as f64;
+        let mean: f64 =
+            self.ranks.iter().map(|r| r.span.as_secs_f64()).sum::<f64>() / self.ranks.len() as f64;
         1.0 - mean / max
     }
 }
@@ -63,7 +59,8 @@ impl Phase {
 /// barrier counts are truncated to the common count.
 pub fn phases(traces: &[Trace]) -> Vec<Phase> {
     // Per rank: barrier boundaries (enter, exit) in observed time.
-    let mut rank_bounds: Vec<(u32, Vec<(SimTime, SimTime)>, &Trace)> = Vec::new();
+    type RankBounds<'a> = (u32, Vec<(SimTime, SimTime)>, &'a Trace);
+    let mut rank_bounds: Vec<RankBounds> = Vec::new();
     for t in traces {
         let bounds: Vec<(SimTime, SimTime)> = t
             .records

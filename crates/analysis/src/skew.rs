@@ -84,11 +84,7 @@ pub fn estimate(timing: &AggregateTiming) -> SkewEstimate {
         .unwrap_or(0);
 
     for b in &timing.barriers {
-        let Some(reference) = b
-            .observations
-            .iter()
-            .find(|o| o.rank == reference_rank)
-        else {
+        let Some(reference) = b.observations.iter().find(|o| o.rank == reference_rank) else {
             continue;
         };
         let t_ref = reference.exited.as_nanos() as f64;
@@ -177,8 +173,8 @@ mod tests {
     fn pure_skew_is_recovered() {
         let clocks = vec![
             NodeClock::PERFECT,
-            NodeClock::new(2_000_000, 0.0),  // +2 ms
-            NodeClock::new(-500_000, 0.0),   // −0.5 ms
+            NodeClock::new(2_000_000, 0.0), // +2 ms
+            NodeClock::new(-500_000, 0.0),  // −0.5 ms
         ];
         let est = estimate(&synth(&clocks, &[1_000, 30_000, 90_000]));
         assert_eq!(est.reference_rank, 0);

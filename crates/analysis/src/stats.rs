@@ -131,8 +131,24 @@ mod tests {
             rec(IoCall::Write { fd: 3, len: 100 }, 10, 100),
             rec(IoCall::Read { fd: 3, len: 40 }, 20, 40),
             rec(IoCall::MpiBarrier, 1000, 0),
-            rec(IoCall::VfsWritePage { path: "/x".into(), offset: 0, len: 100 }, 5, 100),
-            rec(IoCall::Open { path: "/x".into(), flags: 0, mode: 0 }, 3, -2),
+            rec(
+                IoCall::VfsWritePage {
+                    path: "/x".into(),
+                    offset: 0,
+                    len: 100,
+                },
+                5,
+                100,
+            ),
+            rec(
+                IoCall::Open {
+                    path: "/x".into(),
+                    flags: 0,
+                    mode: 0,
+                },
+                3,
+                -2,
+            ),
         ];
         let s = TraceStats::from_records(&recs);
         assert_eq!(s.records, 5);

@@ -13,10 +13,17 @@ use iotrace_sim::time::SimDur;
 use iotrace_workloads::mpi_io_test::MpiIoTest;
 use iotrace_workloads::pattern::AccessPattern;
 
-fn bandwidth(pattern: AccessPattern, block: u64, params: StripedParams, ranks: u32, total: u64) -> f64 {
+fn bandwidth(
+    pattern: AccessPattern,
+    block: u64,
+    params: StripedParams,
+    ranks: u32,
+    total: u64,
+) -> f64 {
     let w = MpiIoTest::new(pattern, ranks, block, 1).with_total_bytes(total);
     let mut vfs = Vfs::new(ranks as usize);
-    vfs.mount_shared("/pfs", striped_fs("panfs", params)).unwrap();
+    vfs.mount_shared("/pfs", striped_fs("panfs", params))
+        .unwrap();
     vfs.setup_dir(&w.dir).unwrap();
     let rep = run_job(
         standard_cluster(ranks as usize, 7),
@@ -29,7 +36,11 @@ fn bandwidth(pattern: AccessPattern, block: u64, params: StripedParams, ranks: u
 }
 
 fn main() {
-    let (ranks, total) = if quick_mode() { (8u32, 128u64 << 20) } else { (32, 1 << 30) };
+    let (ranks, total) = if quick_mode() {
+        (8u32, 128u64 << 20)
+    } else {
+        (32, 1 << 30)
+    };
     let base = StripedParams::lanl_2007();
     let variants: Vec<(&str, StripedParams)> = vec![
         ("full model", base),
@@ -56,10 +67,7 @@ fn main() {
         ),
         (
             "4 servers instead of 28",
-            StripedParams {
-                servers: 4,
-                ..base
-            },
+            StripedParams { servers: 4, ..base },
         ),
     ];
 

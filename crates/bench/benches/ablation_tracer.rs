@@ -56,7 +56,11 @@ fn measure(block: u64, cost: TraceCostParams, aux_stops: u32, ranks: u32, total:
 }
 
 fn main() {
-    let (ranks, total) = if quick_mode() { (8u32, 128u64 << 20) } else { (32, 1 << 30) };
+    let (ranks, total) = if quick_mode() {
+        (8u32, 128u64 << 20)
+    } else {
+        (32, 1 << 30)
+    };
     let full = TraceCostParams::lanl_2007();
     let default_aux = LanlConfig::ltrace().aux_stops;
 

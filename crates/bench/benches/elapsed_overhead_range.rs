@@ -15,7 +15,10 @@ fn main() {
         .iter()
         .map(|m| m.elapsed_overhead)
         .fold(f64::INFINITY, f64::min);
-    let max = rows.iter().map(|m| m.elapsed_overhead).fold(0.0f64, f64::max);
+    let max = rows
+        .iter()
+        .map(|m| m.elapsed_overhead)
+        .fold(0.0f64, f64::max);
 
     println!("== §4.1.1: LANL-Trace elapsed time overhead ==");
     println!("   (paper: 24% - 222%)");

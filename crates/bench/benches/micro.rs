@@ -26,7 +26,11 @@ fn sample_trace(n: usize) -> Trace {
                     mode: 0o644,
                 },
                 1 => IoCall::Write { fd: 5, len: 65536 },
-                2 => IoCall::Lseek { fd: 5, offset: (i * 65536) as i64, whence: 0 },
+                2 => IoCall::Lseek {
+                    fd: 5,
+                    offset: (i * 65536) as i64,
+                    whence: 0,
+                },
                 _ => IoCall::Close { fd: 5 },
             },
             result: 0,
@@ -43,7 +47,9 @@ fn bench_codecs(c: &mut Criterion) {
     let mut g = c.benchmark_group("codecs");
     g.throughput(Throughput::Elements(trace.records.len() as u64));
     g.bench_function("text_format", |b| b.iter(|| format_text(black_box(&trace))));
-    g.bench_function("text_parse", |b| b.iter(|| parse_text(black_box(&text)).unwrap()));
+    g.bench_function("text_parse", |b| {
+        b.iter(|| parse_text(black_box(&text)).unwrap())
+    });
     g.bench_function("binary_encode", |b| {
         b.iter(|| encode_binary(black_box(&trace), &BinaryOptions::default()))
     });
@@ -80,8 +86,7 @@ fn bench_anonymize(c: &mut Criterion) {
         b.iter_batched(
             || sample_trace(2_000),
             |mut t| {
-                Anonymizer::new(AnonMode::Randomize { seed: 3 }, AnonSelection::ALL)
-                    .apply(&mut t)
+                Anonymizer::new(AnonMode::Randomize { seed: 3 }, AnonSelection::ALL).apply(&mut t)
             },
             criterion::BatchSize::SmallInput,
         )
@@ -102,7 +107,9 @@ fn bench_filter(c: &mut Criterion) {
         gid: 100,
         size: 65536,
     };
-    c.bench_function("filter_match", |b| b.iter(|| policy.matches(black_box(&facts))));
+    c.bench_function("filter_match", |b| {
+        b.iter(|| policy.matches(black_box(&facts)))
+    });
 }
 
 fn bench_engine(c: &mut Criterion) {
@@ -114,7 +121,10 @@ fn bench_engine(c: &mut Criterion) {
             let mk = || -> Box<dyn RankProgram<(), ()>> {
                 let ops: Vec<Op<()>> = (0..50)
                     .flat_map(|_| {
-                        [Op::Compute(SimDur::from_micros(10)), Op::Barrier(CommId::WORLD)]
+                        [
+                            Op::Compute(SimDur::from_micros(10)),
+                            Op::Barrier(CommId::WORLD),
+                        ]
                     })
                     .chain([Op::Exit])
                     .collect();

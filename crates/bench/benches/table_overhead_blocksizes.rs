@@ -17,7 +17,10 @@ fn main() {
 
     println!("== §4.1.2: bandwidth overhead by pattern and block size ==");
     println!("   (paper: 64KiB -> 51.3/64.7/68.6%; 8192KiB -> 5.5/6.1/0.6%)");
-    println!("{:<18} {:>10} {:>14}", "pattern", "block KiB", "bw overhead");
+    println!(
+        "{:<18} {:>10} {:>14}",
+        "pattern", "block KiB", "bw overhead"
+    );
     for m in &rows {
         println!(
             "{:<18} {:>10} {:>13.1}%",

@@ -10,11 +10,18 @@ use iotrace_bench::quick_mode;
 use iotrace_core::overhead::tracefs_levels;
 
 fn main() {
-    let (ranks, total) = if quick_mode() { (4, 32 << 20) } else { (16, 256 << 20) };
+    let (ranks, total) = if quick_mode() {
+        (4, 32 << 20)
+    } else {
+        (16, 256 << 20)
+    };
     let rows = tracefs_levels(ranks, total, 7);
     println!("== Tracefs: elapsed overhead by granularity / feature level ==");
     println!("   (paper: <=12.4% for all-ops tracing; more with features)");
-    println!("{:<40} {:>10} {:>12} {:>10}", "level", "elapsed s", "overhead", "records");
+    println!(
+        "{:<40} {:>10} {:>12} {:>10}",
+        "level", "elapsed s", "overhead", "records"
+    );
     for l in &rows {
         println!(
             "{:<40} {:>10.3} {:>11.2}% {:>10}",

@@ -8,7 +8,9 @@ use iotrace_workloads::prelude::*;
 fn main() {
     let n = 32u32;
     let total: u64 = 1 << 30;
-    println!("pattern,block_kib,bw_untraced_mib,bw_traced_mib,bw_overhead_pct,elapsed_overhead_pct");
+    println!(
+        "pattern,block_kib,bw_untraced_mib,bw_traced_mib,bw_overhead_pct,elapsed_overhead_pct"
+    );
     for pattern in AccessPattern::ALL {
         for block_kib in [64u64, 256, 1024, 4096, 8192] {
             let w = MpiIoTest::new(pattern, n, block_kib * 1024, 1).with_total_bytes(total);
@@ -17,11 +19,7 @@ fn main() {
                 v.setup_dir(&w.dir).unwrap();
                 v
             };
-            let base = untraced_baseline(
-                standard_cluster(n as usize, 7),
-                mk_vfs(),
-                w.programs(),
-            );
+            let base = untraced_baseline(standard_cluster(n as usize, 7), mk_vfs(), w.programs());
             let tr = LanlTrace::ltrace().run(
                 standard_cluster(n as usize, 7),
                 mk_vfs(),

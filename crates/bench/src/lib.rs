@@ -28,7 +28,9 @@ pub fn sweep_config() -> SweepConfig {
 }
 
 pub fn quick_mode() -> bool {
-    std::env::var("IOTRACE_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("IOTRACE_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Run the LANL-Trace sweep for one access pattern.

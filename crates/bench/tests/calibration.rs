@@ -77,7 +77,10 @@ fn lanl_elapsed_range_spans_paper_band() {
         .iter()
         .map(|m| m.elapsed_overhead)
         .fold(f64::INFINITY, f64::min);
-    let max = rows.iter().map(|m| m.elapsed_overhead).fold(0.0f64, f64::max);
+    let max = rows
+        .iter()
+        .map(|m| m.elapsed_overhead)
+        .fold(0.0f64, f64::max);
     // Paper: 24% .. 222%.
     assert!(
         (0.10..0.60).contains(&min),

@@ -7,14 +7,100 @@ use iotrace_core::classify::{classify_all, ProbeConfig};
 use iotrace_core::table::{table1_template, table2};
 use iotrace_ioapi::harness::standard_cluster;
 use iotrace_ioapi::harness::standard_vfs;
+use iotrace_lint::{LintConfig, LintInput, Linter};
 use iotrace_model::anonymize::{Anonymizer, Mode, Selection};
 use iotrace_model::binary::{encode_binary, BinaryOptions, FieldSel};
+use iotrace_model::event::Trace;
 use iotrace_model::summary::CallSummary;
 use iotrace_model::text::format_text;
-use iotrace_replay::fidelity::replay_and_measure;
+use iotrace_partrace::deps::DependencyMap;
 use iotrace_replay::pseudo::ReplayConfig;
 
 use crate::io::{flag, key_from, load, load_traces, split_args, Loaded};
+
+/// Lint gate shared by the analysis and replay pipelines: run the
+/// default passes, report findings on stderr, and refuse to continue on
+/// error-severity ones. `--no-lint` skips the gate.
+fn lint_gate(
+    traces: &[Trace],
+    deps: Option<&DependencyMap>,
+    flags: &[(String, Option<String>)],
+) -> Result<(), String> {
+    if flag(flags, "no-lint").is_some() {
+        return Ok(());
+    }
+    let report = Linter::new(LintConfig::default()).run(&LintInput { traces, deps });
+    if report.has_errors() {
+        eprint!("{}", report.render_human());
+        return Err(format!(
+            "lint pre-flight found {} error(s); fix the trace, or pass --no-lint to override",
+            report.error_count()
+        ));
+    }
+    if !report.is_clean() {
+        eprintln!(
+            "iotrace: lint pre-flight: {} warning(s), {} note(s) (run `iotrace lint` for details)",
+            report.warning_count(),
+            report.info_count()
+        );
+    }
+    Ok(())
+}
+
+pub fn lint(args: &[String]) -> Result<(), String> {
+    let (paths, flags) = split_args(args);
+    if paths.is_empty() {
+        return Err("lint needs <trace>...".to_string());
+    }
+    let key = key_from(&flags, "key");
+    let mut traces = Vec::new();
+    let mut deps: Option<DependencyMap> = None;
+    for p in &paths {
+        match load(p, key.as_ref())? {
+            Loaded::Traces(ts) => traces.extend(ts),
+            Loaded::Replayable(rt) => {
+                traces.extend(rt.traces);
+                // Dependency maps refer to one capture's record indices;
+                // audit only a lone replayable document's map.
+                deps = if paths.len() == 1 {
+                    Some(rt.deps)
+                } else {
+                    None
+                };
+            }
+        }
+    }
+
+    let mut linter = Linter::new(LintConfig::default());
+    let selected: Vec<String> = flags
+        .iter()
+        .filter(|(n, _)| n == "pass")
+        .filter_map(|(_, v)| v.clone())
+        .collect();
+    if !selected.is_empty() {
+        let names: Vec<&str> = selected.iter().map(String::as_str).collect();
+        linter = linter.keep_passes(&names)?;
+    }
+
+    let report = linter.run(&LintInput {
+        traces: &traces,
+        deps: deps.as_ref(),
+    });
+    if flag(&flags, "json").is_some() {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    let deny_warnings = flag(&flags, "deny-warnings").is_some();
+    if report.has_errors() || (deny_warnings && report.warning_count() > 0) {
+        return Err(format!(
+            "{} error(s), {} warning(s)",
+            report.error_count(),
+            report.warning_count()
+        ));
+    }
+    Ok(())
+}
 
 pub fn summary(args: &[String]) -> Result<(), String> {
     let (paths, flags) = split_args(args);
@@ -32,6 +118,7 @@ pub fn summary(args: &[String]) -> Result<(), String> {
 pub fn stats(args: &[String]) -> Result<(), String> {
     let (paths, flags) = split_args(args);
     let traces = load_traces(&paths, key_from(&flags, "key").as_ref())?;
+    lint_gate(&traces, None, &flags)?;
     let mut all = TraceStats::default();
     for t in &traces {
         all.merge(&TraceStats::from_trace(t));
@@ -53,8 +140,12 @@ pub fn hotspots(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(10);
     let traces = load_traces(&paths, key_from(&flags, "key").as_ref())?;
+    lint_gate(&traces, None, &flags)?;
     let stats = by_path(traces.iter().flat_map(|t| t.records.iter()));
-    println!("{:<48} {:>10} {:>14} {:>12}", "path", "ops", "bytes", "time (s)");
+    println!(
+        "{:<48} {:>10} {:>14} {:>12}",
+        "path", "ops", "bytes", "time (s)"
+    );
     for (path, s) in top_by_bytes(&stats, top_n) {
         println!(
             "{:<48} {:>10} {:>14} {:>12.6}",
@@ -70,6 +161,7 @@ pub fn hotspots(args: &[String]) -> Result<(), String> {
 pub fn phases(args: &[String]) -> Result<(), String> {
     let (paths, flags) = split_args(args);
     let traces = load_traces(&paths, key_from(&flags, "key").as_ref())?;
+    lint_gate(&traces, None, &flags)?;
     let ps = phase_split(&traces);
     if ps.is_empty() {
         return Err("need traces with at least two MPI_Barrier records per rank".into());
@@ -83,7 +175,10 @@ pub fn convert(args: &[String]) -> Result<(), String> {
     let [input, output] = paths.as_slice() else {
         return Err("convert needs <in> <out>".to_string());
     };
-    let traces = load_traces(std::slice::from_ref(input), key_from(&flags, "key").as_ref())?;
+    let traces = load_traces(
+        std::slice::from_ref(input),
+        key_from(&flags, "key").as_ref(),
+    )?;
     let [trace] = traces.as_slice() else {
         return Err("convert handles single-trace files".to_string());
     };
@@ -115,7 +210,10 @@ pub fn anonymize(args: &[String]) -> Result<(), String> {
     let [input, output] = paths.as_slice() else {
         return Err("anonymize needs <in> <out>".to_string());
     };
-    let mut traces = load_traces(std::slice::from_ref(input), key_from(&flags, "key").as_ref())?;
+    let mut traces = load_traces(
+        std::slice::from_ref(input),
+        key_from(&flags, "key").as_ref(),
+    )?;
     let mode = if let Some(k) = key_from(&flags, "encrypt") {
         Mode::Encrypt { key: k }
     } else {
@@ -145,24 +243,31 @@ pub fn replay(args: &[String]) -> Result<(), String> {
         Loaded::Replayable(rt) => rt,
         Loaded::Traces(ts) => iotrace_replay::replayable_from_traces("<cli>", ts),
     };
+    lint_gate(&rt.traces, Some(&rt.deps), &flags)?;
     let ranks = rt.world().max(1);
     let mut vfs = standard_vfs(ranks);
     for t in &rt.traces {
         for r in &t.records {
             if let Some(p) = r.call.path() {
-                if let Some((dir, _)) = iotrace_fs::path::split_parent(&iotrace_fs::path::normalize(p)) {
+                if let Some((dir, _)) =
+                    iotrace_fs::path::split_parent(&iotrace_fs::path::normalize(p))
+                {
                     let _ = vfs.setup_dir(&dir);
                 }
             }
         }
     }
-    let (fid, rep) = replay_and_measure(
+    let (fid, rep) = iotrace_replay::fidelity::replay_and_measure(
         &rt,
         standard_cluster(ranks, 7),
         vfs,
         ReplayConfig::default(),
     );
-    println!("pseudo-application: {} ranks, {} records", ranks, rt.total_records());
+    println!(
+        "pseudo-application: {} ranks, {} records",
+        ranks,
+        rt.total_records()
+    );
     println!("original span:   {:.6} s", fid.original_span.as_secs_f64());
     println!("replay elapsed:  {:.6} s", fid.replay_elapsed.as_secs_f64());
     println!("elapsed error:   {:.2}%", fid.elapsed_error * 100.0);

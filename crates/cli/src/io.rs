@@ -54,10 +54,7 @@ pub fn split_args(args: &[String]) -> (Vec<String>, Vec<(String, Option<String>)
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            let takes_value = matches!(
-                name,
-                "encrypt" | "key" | "seed" | "top" | "ranks"
-            );
+            let takes_value = matches!(name, "encrypt" | "key" | "seed" | "top" | "ranks" | "pass");
             if takes_value && i + 1 < args.len() {
                 flags.push((name.to_string(), Some(args[i + 1].clone())));
                 i += 2;

@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let result = match cmd.as_str() {
+        "lint" => cmd::lint(rest),
         "summary" => cmd::summary(rest),
         "stats" => cmd::stats(rest),
         "hotspots" => cmd::hotspots(rest),
@@ -60,6 +61,9 @@ const USAGE: &str = "\
 iotrace — I/O trace tools (see `iotrace help`)
 
 commands:
+  lint      <trace>... [--json] [--pass <name>]... [--deny-warnings]
+                                            static analysis: fd lifecycle, causality,
+                                            clocks, dependency graph, anonymization
   summary   <trace>...                      call counts and total times
   stats     <trace>...                      bytes, layers, duration percentiles
   hotspots  <trace>... [--top N]            top files by bytes moved
@@ -69,4 +73,7 @@ commands:
   anonymize <in> <out> [--seed N | --encrypt <pass>] [--key <pass>]
   replay    <replayable.txt> [--ranks N]    simulate the pseudo-application
   taxonomy                                  print Tables 1 and 2 (quick probes)
-  demo      <dir>                           write sample trace files";
+  demo      <dir>                           write sample trace files
+
+stats/hotspots/phases/replay lint their input first and stop on
+error-severity findings; --no-lint skips that gate.";

@@ -96,7 +96,12 @@ fn convert_roundtrip_text_binary_text() {
     assert!(out.status.success(), "{out:?}");
     assert!(std::fs::read(&mid).unwrap().starts_with(b"IOTB"));
 
-    let out = run(&["convert", mid.to_str().unwrap(), back.to_str().unwrap(), "--text"]);
+    let out = run(&[
+        "convert",
+        mid.to_str().unwrap(),
+        back.to_str().unwrap(),
+        "--text",
+    ]);
     assert!(out.status.success(), "{out:?}");
 
     // Same call summary either way.
@@ -110,7 +115,13 @@ fn anonymize_removes_names_keeps_structure() {
     let d = demo_dir("anon");
     let src = d.join("lanl_rank00.txt");
     let dst = d.join("anon.txt");
-    let out = run(&["anonymize", src.to_str().unwrap(), dst.to_str().unwrap(), "--seed", "7"]);
+    let out = run(&[
+        "anonymize",
+        src.to_str().unwrap(),
+        dst.to_str().unwrap(),
+        "--seed",
+        "7",
+    ]);
     assert!(out.status.success(), "{out:?}");
     let text = std::fs::read_to_string(&dst).unwrap();
     assert!(!text.contains("mpi_io_test"), "name leaked");

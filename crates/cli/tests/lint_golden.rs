@@ -1,0 +1,110 @@
+//! Golden-file tests for `iotrace lint`: a known-bad fixture must
+//! produce byte-identical JSON diagnostics and a non-zero exit code, so
+//! the diagnostic schema cannot drift silently.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn iotrace(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_iotrace"))
+        .args(args)
+        .output()
+        .expect("spawn iotrace")
+}
+
+#[test]
+fn bad_trace_matches_golden_json_and_fails() {
+    let out = iotrace(&["lint", "--json", &fixture("bad_trace.txt")]);
+    assert_eq!(out.status.code(), Some(1), "error findings must exit 1");
+    let expected = std::fs::read_to_string(fixture("bad_trace.expected.json")).unwrap();
+    let got = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        got, expected,
+        "JSON diagnostics drifted from the golden file; if the change is \
+         intentional, regenerate bad_trace.expected.json"
+    );
+}
+
+#[test]
+fn bad_trace_covers_the_expected_defect_classes() {
+    let out = iotrace(&["lint", "--json", &fixture("bad_trace.txt")]);
+    let got = String::from_utf8(out.stdout).unwrap();
+    for rule in [
+        "fd-double-close",
+        "fd-use-after-close",
+        "fd-leak",
+        "clock-nonmonotonic",
+        "anon-path-leak",
+        "anon-host-leak",
+    ] {
+        assert!(
+            got.contains(&format!("\"rule\": \"{rule}\"")),
+            "missing {rule}"
+        );
+    }
+}
+
+#[test]
+fn bad_replayable_trips_causality_and_depgraph() {
+    let out = iotrace(&["lint", "--json", &fixture("bad_replayable.txt")]);
+    assert_eq!(out.status.code(), Some(1));
+    let got = String::from_utf8(out.stdout).unwrap();
+    assert!(got.contains("\"rule\": \"hb-write-race\""), "{got}");
+    assert!(got.contains("\"rule\": \"dep-cycle\""), "{got}");
+}
+
+#[test]
+fn clean_trace_lints_clean_and_exits_zero() {
+    let out = iotrace(&["lint", &fixture("clean_trace.txt")]);
+    assert_eq!(out.status.code(), Some(0));
+    let got = String::from_utf8(out.stdout).unwrap();
+    assert!(got.contains("no findings"), "{got}");
+}
+
+#[test]
+fn replay_pre_flight_gate_blocks_bad_input() {
+    let out = iotrace(&["replay", &fixture("bad_replayable.txt")]);
+    assert_eq!(out.status.code(), Some(1), "gated replay must refuse");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("lint pre-flight"), "{err}");
+
+    // --no-lint bypasses the gate; the replayer itself must then cope,
+    // so just check the gate message is gone and lint stops blocking.
+    let out = iotrace(&["stats", "--no-lint", &fixture("bad_trace.txt")]);
+    assert_eq!(out.status.code(), Some(0), "--no-lint must bypass the gate");
+}
+
+#[test]
+fn analysis_pipeline_is_gated_too() {
+    let out = iotrace(&["stats", &fixture("bad_trace.txt")]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("lint pre-flight"), "{err}");
+}
+
+#[test]
+fn pass_selection_restricts_rules() {
+    let out = iotrace(&[
+        "lint",
+        "--json",
+        "--pass",
+        "clock",
+        &fixture("bad_trace.txt"),
+    ]);
+    let got = String::from_utf8(out.stdout).unwrap();
+    assert!(got.contains("clock-nonmonotonic"), "{got}");
+    assert!(!got.contains("fd-double-close"), "{got}");
+
+    let out = iotrace(&["lint", "--pass", "bogus", &fixture("bad_trace.txt")]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown lint pass"), "{err}");
+}

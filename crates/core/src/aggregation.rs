@@ -149,7 +149,8 @@ mod tests {
     #[test]
     fn ingests_every_source_kind() {
         let mut u = UnifiedTraces::new();
-        u.add(TraceSource::Decoded(mk_trace("lanl-trace", 0))).unwrap();
+        u.add(TraceSource::Decoded(mk_trace("lanl-trace", 0)))
+            .unwrap();
         u.add(TraceSource::Text(format_text(&mk_trace("partrace", 1))))
             .unwrap();
         let bin = encode_binary(&mk_trace("tracefs", 2), &BinaryOptions::default());
@@ -167,7 +168,11 @@ mod tests {
         assert_eq!(u.summary().count("SYS_write"), 4);
         assert_eq!(
             u.tracers(),
-            vec!["lanl-trace".to_string(), "partrace".into(), "tracefs".into()]
+            vec![
+                "lanl-trace".to_string(),
+                "partrace".into(),
+                "tracefs".into()
+            ]
         );
         assert_eq!(u.stats().bytes_written, 4 * 64);
     }

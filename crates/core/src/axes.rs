@@ -190,7 +190,10 @@ impl fmt::Display for YesNoNa {
 pub enum Fidelity {
     NotApplicable,
     /// Best measured elapsed-time replay error (fraction).
-    Measured { best_error: f64, note: String },
+    Measured {
+        best_error: f64,
+        note: String,
+    },
 }
 
 impl fmt::Display for Fidelity {
@@ -209,9 +212,16 @@ impl fmt::Display for Fidelity {
 pub enum Overhead {
     NotMeasured,
     /// Measured min..max elapsed overhead (fractions).
-    Range { min: f64, max: f64, note: String },
+    Range {
+        min: f64,
+        max: f64,
+        note: String,
+    },
     /// Upper bound only (Tracefs's authors report ≤12.4%).
-    AtMost { max: f64, note: String },
+    AtMost {
+        max: f64,
+        note: String,
+    },
 }
 
 impl fmt::Display for Overhead {
@@ -266,15 +276,28 @@ mod tests {
         assert_eq!(DataFormat::Binary.to_string(), "Binary");
         assert_eq!(YesNoNa::NotApplicable.to_string(), "N/A");
         assert_eq!(
-            Fidelity::Measured { best_error: 0.06, note: String::new() }.to_string(),
+            Fidelity::Measured {
+                best_error: 0.06,
+                note: String::new()
+            }
+            .to_string(),
             "As low as 6.0%"
         );
         assert_eq!(
-            Overhead::Range { min: 0.24, max: 2.22, note: String::new() }.to_string(),
+            Overhead::Range {
+                min: 0.24,
+                max: 2.22,
+                note: String::new()
+            }
+            .to_string(),
             "24% - 222%"
         );
         assert_eq!(
-            Overhead::AtMost { max: 0.124, note: String::new() }.to_string(),
+            Overhead::AtMost {
+                max: 0.124,
+                note: String::new()
+            }
+            .to_string(),
             "<=12.4%"
         );
     }

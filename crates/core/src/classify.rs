@@ -129,11 +129,7 @@ impl TracingFramework for TracefsFramework {
 
         // Experiment 2: elapsed overhead across feature levels (on NFS,
         // where it works out of the box).
-        let levels = tracefs_levels(
-            probe.sweep.ranks,
-            probe.sweep.total_bytes,
-            probe.sweep.seed,
-        );
+        let levels = tracefs_levels(probe.sweep.ranks, probe.sweep.total_bytes, probe.sweep.seed);
         // Headline number, as the paper reports it: the cost of tracing
         // ALL file system operations (advanced features add more; see
         // the granularity bench for the full ladder).
@@ -159,8 +155,7 @@ impl TracingFramework for TracefsFramework {
             skew_drift: YesNoNa::NotApplicable,
             elapsed_overhead: Overhead::AtMost {
                 max: max_oh,
-                note: "maximum over granularity/feature levels on an I/O-intensive workload"
-                    .into(),
+                note: "maximum over granularity/feature levels on an I/O-intensive workload".into(),
             },
             notes: vec![
                 "kernel module: requires root on compute nodes".into(),
@@ -186,17 +181,15 @@ impl TracingFramework for PartraceFramework {
         let ranks = probe.sweep.ranks;
         let seed = probe.sweep.seed;
         let mk = move || {
-            let w = MpiIoTest::new(AccessPattern::NToN, ranks, 256 * 1024, 1)
-                .with_total_bytes(8 << 20);
+            let w =
+                MpiIoTest::new(AccessPattern::NToN, ranks, 256 * 1024, 1).with_total_bytes(8 << 20);
             let cluster = standard_cluster(ranks as usize, seed);
             let mut vfs = standard_vfs(ranks as usize);
             vfs.setup_dir(&w.dir).unwrap();
             (cluster, vfs, w.programs())
         };
-        let cap = Partrace::new(PartraceConfig::with_sampling(self.sampling)).capture(
-            mk,
-            "/mpi_io_test.exe",
-        );
+        let cap = Partrace::new(PartraceConfig::with_sampling(self.sampling))
+            .capture(mk, "/mpi_io_test.exe");
         let pfs_ok = cap.replayable.total_records() > 0;
 
         // Experiment 2: replay fidelity at full sampling (same system,

@@ -4,7 +4,9 @@
 //! and the figure/table benchmarks (paper-scale configurations).
 
 use iotrace_fs::vfs::Vfs;
-use iotrace_ioapi::harness::{bandwidth_overhead, elapsed_overhead, standard_cluster, standard_vfs};
+use iotrace_ioapi::harness::{
+    bandwidth_overhead, elapsed_overhead, standard_cluster, standard_vfs,
+};
 use iotrace_lanl::run::{untraced_baseline, LanlTrace};
 use iotrace_partrace::run::{Partrace, PartraceConfig};
 use iotrace_replay::fidelity::replay_and_measure;
@@ -199,12 +201,11 @@ pub fn tracefs_levels(ranks: u32, total_bytes: u64, seed: u64) -> Vec<TracefsLev
             t.mount(&mut vfs, "/tmp").expect("mount tracefs on /tmp");
             mounted = Some(t);
         }
-        let report = untraced_baseline(
-            standard_cluster(ranks as usize, seed),
-            vfs,
-            w.programs(),
-        );
-        let records = mounted.as_ref().map(|t| t.capture().records.len()).unwrap_or(0);
+        let report = untraced_baseline(standard_cluster(ranks as usize, seed), vfs, w.programs());
+        let records = mounted
+            .as_ref()
+            .map(|t| t.capture().records.len())
+            .unwrap_or(0);
         if label == "untraced" {
             baseline = report.elapsed();
         }
@@ -246,11 +247,7 @@ pub fn partrace_sweep(ranks: u32, seed: u64, samplings: &[f64]) -> Vec<SamplingP
     let w = ProducerConsumer::new(ranks).with_rounds(ROUNDS);
     let mut vfs = standard_vfs(ranks as usize);
     vfs.setup_dir(&w.dir).unwrap();
-    let untraced = untraced_baseline(
-        standard_cluster(ranks as usize, seed),
-        vfs,
-        w.programs(),
-    );
+    let untraced = untraced_baseline(standard_cluster(ranks as usize, seed), vfs, w.programs());
 
     // Ground truth on the changed system: the original app run there.
     let (cluster_b, vfs_b) = slower_env(ranks, seed);

@@ -104,7 +104,12 @@ fn strace_mode_classification_differs() {
         Overhead::Range { max, .. } => *max,
         _ => f64::NAN,
     };
-    assert!(max(&st) < max(&lt), "strace {} vs ltrace {}", max(&st), max(&lt));
+    assert!(
+        max(&st) < max(&lt),
+        "strace {} vs ltrace {}",
+        max(&st),
+        max(&lt)
+    );
 }
 
 #[test]

@@ -422,7 +422,15 @@ mod tests {
         let mut m = MemModel;
         assert_eq!(m.meta(NodeId(0), t(3)), t(3));
         assert_eq!(
-            m.data(NodeId(0), t(3), DataDir::Write, InodeId(1), 0, 1 << 30, false),
+            m.data(
+                NodeId(0),
+                t(3),
+                DataDir::Write,
+                InodeId(1),
+                0,
+                1 << 30,
+                false
+            ),
             t(3)
         );
     }
@@ -450,9 +458,25 @@ mod tests {
     #[test]
     fn partial_stripe_write_pays_rmw() {
         let mut m = StripedModel::new(StripedParams::lanl_2007());
-        let full = m.data(NodeId(0), t(0), DataDir::Write, InodeId(1), 0, 64 * 1024, false);
+        let full = m.data(
+            NodeId(0),
+            t(0),
+            DataDir::Write,
+            InodeId(1),
+            0,
+            64 * 1024,
+            false,
+        );
         let mut m2 = StripedModel::new(StripedParams::lanl_2007());
-        let part = m2.data(NodeId(0), t(0), DataDir::Write, InodeId(1), 0, 32 * 1024, false);
+        let part = m2.data(
+            NodeId(0),
+            t(0),
+            DataDir::Write,
+            InodeId(1),
+            0,
+            32 * 1024,
+            false,
+        );
         // RMW makes the *smaller* write comparatively expensive: the
         // 32 KiB write costs more than half the 64 KiB one.
         let full_ns = full.as_nanos();
@@ -473,9 +497,25 @@ mod tests {
     fn shared_file_write_pays_lock_overhead() {
         let p = StripedParams::lanl_2007();
         let mut a = StripedModel::new(p);
-        let fa = a.data(NodeId(0), t(0), DataDir::Write, InodeId(1), 0, 64 * 1024, false);
+        let fa = a.data(
+            NodeId(0),
+            t(0),
+            DataDir::Write,
+            InodeId(1),
+            0,
+            64 * 1024,
+            false,
+        );
         let mut b = StripedModel::new(p);
-        let fb = b.data(NodeId(0), t(0), DataDir::Write, InodeId(1), 0, 64 * 1024, true);
+        let fb = b.data(
+            NodeId(0),
+            t(0),
+            DataDir::Write,
+            InodeId(1),
+            0,
+            64 * 1024,
+            true,
+        );
         assert_eq!(
             fb.as_nanos() - fa.as_nanos(),
             p.shared_lock_overhead.as_nanos()
@@ -485,10 +525,13 @@ mod tests {
     #[test]
     fn different_inodes_spread_over_servers() {
         let m = StripedModel::new(StripedParams::lanl_2007());
-        let servers: std::collections::HashSet<usize> = (0..100)
-            .map(|i| m.start_server(InodeId(i)))
-            .collect();
-        assert!(servers.len() > 10, "only {} distinct start servers", servers.len());
+        let servers: std::collections::HashSet<usize> =
+            (0..100).map(|i| m.start_server(InodeId(i))).collect();
+        assert!(
+            servers.len() > 10,
+            "only {} distinct start servers",
+            servers.len()
+        );
     }
 
     #[test]
@@ -496,8 +539,24 @@ mod tests {
         let mut m = StripedModel::new(StripedParams::lanl_2007());
         // Two clients writing the same stripe unit at the same instant:
         // second one queues behind the first.
-        let f1 = m.data(NodeId(0), t(0), DataDir::Write, InodeId(1), 0, 64 * 1024, false);
-        let f2 = m.data(NodeId(1), t(0), DataDir::Write, InodeId(1), 0, 64 * 1024, false);
+        let f1 = m.data(
+            NodeId(0),
+            t(0),
+            DataDir::Write,
+            InodeId(1),
+            0,
+            64 * 1024,
+            false,
+        );
+        let f2 = m.data(
+            NodeId(1),
+            t(0),
+            DataDir::Write,
+            InodeId(1),
+            0,
+            64 * 1024,
+            false,
+        );
         assert!(f2 > f1);
     }
 
@@ -508,7 +567,15 @@ mod tests {
             ..LocalParams::lanl_2007()
         };
         let mut m = LocalModel::new(p, 1);
-        let f = m.data(NodeId(0), t(0), DataDir::Write, InodeId(1), 0, 1 << 20, false);
+        let f = m.data(
+            NodeId(0),
+            t(0),
+            DataDir::Write,
+            InodeId(1),
+            0,
+            1 << 20,
+            false,
+        );
         assert!(f < t(1), "cached write returned immediately, got {f:?}");
         // fsync waits for the disk debt (1 MiB at ~55 MB/s ≈ 18 ms)
         let fs = m.fsync(NodeId(0), f);
@@ -527,11 +594,22 @@ mod tests {
         let mut m = LocalModel::new(p, 1);
         // Pile up 100 MiB of cached-write debt.
         for i in 0..100u64 {
-            m.data(NodeId(0), t(i), DataDir::Write, InodeId(1), 0, 1 << 20, false);
+            m.data(
+                NodeId(0),
+                t(i),
+                DataDir::Write,
+                InodeId(1),
+                0,
+                1 << 20,
+                false,
+            );
         }
         // A read pays only its own service, not ~2 s of writeback.
         let f = m.data(NodeId(0), t(200), DataDir::Read, InodeId(1), 0, 4096, false);
-        assert!(f.since(t(200)) < iotrace_sim::time::SimDur::from_millis(5), "{f:?}");
+        assert!(
+            f.since(t(200)) < iotrace_sim::time::SimDur::from_millis(5),
+            "{f:?}"
+        );
     }
 
     #[test]

@@ -113,11 +113,7 @@ impl SparseData {
         let end = offset + len;
         // Find extents potentially overlapping: the last one starting at or
         // before `offset` plus everything in (offset, end).
-        let first = self
-            .extents
-            .range(..=offset)
-            .next_back()
-            .map(|(&s, _)| s);
+        let first = self.extents.range(..=offset).next_back().map(|(&s, _)| s);
         let starts: Vec<u64> = first
             .into_iter()
             .chain(self.extents.range(offset + 1..end).map(|(&s, _)| s))
@@ -131,8 +127,7 @@ impl SparseData {
             let copy_start = offset.max(s);
             let copy_end = end.min(e_end);
             let src = &d[(copy_start - s) as usize..(copy_end - s) as usize];
-            out[(copy_start - offset) as usize..(copy_end - offset) as usize]
-                .copy_from_slice(src);
+            out[(copy_start - offset) as usize..(copy_end - offset) as usize].copy_from_slice(src);
         }
         out
     }

@@ -56,16 +56,16 @@ impl std::error::Error for FsError {}
 impl FsError {
     pub fn errno(&self) -> i32 {
         match self {
-            FsError::NotFound(_) => 2,            // ENOENT
-            FsError::NotADirectory(_) => 20,      // ENOTDIR
-            FsError::IsADirectory(_) => 21,       // EISDIR
-            FsError::AlreadyExists(_) => 17,      // EEXIST
-            FsError::NotEmpty(_) => 39,           // ENOTEMPTY
-            FsError::BadHandle(_) => 9,           // EBADF
-            FsError::Unsupported(_) => 38,        // ENOSYS
-            FsError::ReadOnly => 30,              // EROFS
-            FsError::Incompatible(_) => 95,       // EOPNOTSUPP
-            FsError::PermissionDenied(_) => 13,   // EACCES
+            FsError::NotFound(_) => 2,          // ENOENT
+            FsError::NotADirectory(_) => 20,    // ENOTDIR
+            FsError::IsADirectory(_) => 21,     // EISDIR
+            FsError::AlreadyExists(_) => 17,    // EEXIST
+            FsError::NotEmpty(_) => 39,         // ENOTEMPTY
+            FsError::BadHandle(_) => 9,         // EBADF
+            FsError::Unsupported(_) => 38,      // ENOSYS
+            FsError::ReadOnly => 30,            // EROFS
+            FsError::Incompatible(_) => 95,     // EOPNOTSUPP
+            FsError::PermissionDenied(_) => 13, // EACCES
         }
     }
 }

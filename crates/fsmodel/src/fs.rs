@@ -101,15 +101,15 @@ pub trait FileSystem: Send {
     fn stat(&mut self, node: NodeId, p: &str, now: SimTime) -> FsResult<(FileStat, SimTime)>;
     fn mkdir(&mut self, node: NodeId, p: &str, meta: FileMeta, now: SimTime) -> FsResult<SimTime>;
     fn unlink(&mut self, node: NodeId, p: &str, now: SimTime) -> FsResult<SimTime>;
-    fn readdir(
+    fn readdir(&mut self, node: NodeId, p: &str, now: SimTime) -> FsResult<(Vec<String>, SimTime)>;
+    fn rename(&mut self, node: NodeId, from: &str, to: &str, now: SimTime) -> FsResult<SimTime>;
+    fn truncate(
         &mut self,
         node: NodeId,
-        p: &str,
+        ino: InodeId,
+        size: u64,
         now: SimTime,
-    ) -> FsResult<(Vec<String>, SimTime)>;
-    fn rename(&mut self, node: NodeId, from: &str, to: &str, now: SimTime) -> FsResult<SimTime>;
-    fn truncate(&mut self, node: NodeId, ino: InodeId, size: u64, now: SimTime)
-        -> FsResult<SimTime>;
+    ) -> FsResult<SimTime>;
 
     /// Uncharged access to the namespace, for analysis tools and tests.
     /// Stacked layers delegate to the lowest layer.
@@ -286,12 +286,7 @@ impl<M: CostModel + 'static> FileSystem for ModeledFs<M> {
         Ok(self.model.meta(node, now))
     }
 
-    fn readdir(
-        &mut self,
-        node: NodeId,
-        p: &str,
-        now: SimTime,
-    ) -> FsResult<(Vec<String>, SimTime)> {
+    fn readdir(&mut self, node: NodeId, p: &str, now: SimTime) -> FsResult<(Vec<String>, SimTime)> {
         let names = self.ns.readdir(&path::normalize(p))?;
         Ok((names, self.model.meta(node, now)))
     }
@@ -365,7 +360,13 @@ mod tests {
     fn open_missing_without_creat_fails() {
         let mut fs = mem();
         assert!(matches!(
-            fs.open(NodeId(0), "/nope", OpenFlags::RDONLY, FileMeta::default(), SimTime::ZERO),
+            fs.open(
+                NodeId(0),
+                "/nope",
+                OpenFlags::RDONLY,
+                FileMeta::default(),
+                SimTime::ZERO
+            ),
             Err(FsError::NotFound(_))
         ));
     }
@@ -417,7 +418,13 @@ mod tests {
             .unwrap();
         // same inode opened from node 1 too
         let (ino2, t1) = fs
-            .open(NodeId(1), "/shared", OpenFlags::RDWR, FileMeta::default(), SimTime::ZERO)
+            .open(
+                NodeId(1),
+                "/shared",
+                OpenFlags::RDWR,
+                FileMeta::default(),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(ino, ino2);
         // shared write now pays the lock overhead: compare two fresh fs
@@ -426,11 +433,20 @@ mod tests {
             .unwrap();
         fs.close(NodeId(1), ino, w_shared.finish).unwrap();
         let w_excl = fs
-            .write(NodeId(0), ino, 1 << 20, &WritePayload::Synthetic(64 * 1024), w_shared.finish)
+            .write(
+                NodeId(0),
+                ino,
+                1 << 20,
+                &WritePayload::Synthetic(64 * 1024),
+                w_shared.finish,
+            )
             .unwrap();
         let d_shared = w_shared.finish.since(t1);
         let d_excl = w_excl.finish.since(w_shared.finish);
-        assert!(d_shared > d_excl, "shared {d_shared:?} vs exclusive {d_excl:?}");
+        assert!(
+            d_shared > d_excl,
+            "shared {d_shared:?} vs exclusive {d_excl:?}"
+        );
     }
 
     #[test]
@@ -445,8 +461,14 @@ mod tests {
                 SimTime::ZERO,
             )
             .unwrap();
-        fs.write(NodeId(0), ino, 0, &WritePayload::Synthetic(100), SimTime::ZERO)
-            .unwrap();
+        fs.write(
+            NodeId(0),
+            ino,
+            0,
+            &WritePayload::Synthetic(100),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let r = fs.read(NodeId(0), ino, 90, 100, SimTime::ZERO).unwrap();
         assert_eq!(r.bytes, 10);
         let r2 = fs.read(NodeId(0), ino, 200, 10, SimTime::ZERO).unwrap();

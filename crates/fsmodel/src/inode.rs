@@ -158,12 +158,7 @@ impl Namespace {
 
     /// Create a regular file. With `exclusive`, an existing entry is an
     /// error; otherwise an existing *file* is returned as-is.
-    pub fn create_file(
-        &mut self,
-        p: &str,
-        meta: FileMeta,
-        exclusive: bool,
-    ) -> FsResult<InodeId> {
+    pub fn create_file(&mut self, p: &str, meta: FileMeta, exclusive: bool) -> FsResult<InodeId> {
         let (pid, name) = self.resolve_parent(p)?;
         if let Some(&existing) = self.get(pid)?.children.get(name) {
             if exclusive {
@@ -394,10 +389,7 @@ mod tests {
     fn file_component_in_middle_is_enotdir() {
         let mut n = ns();
         n.create_file("/f", FileMeta::default(), true).unwrap();
-        assert!(matches!(
-            n.resolve("/f/x"),
-            Err(FsError::NotADirectory(_))
-        ));
+        assert!(matches!(n.resolve("/f/x"), Err(FsError::NotADirectory(_))));
         assert!(matches!(
             n.mkdir_all("/f/x", FileMeta::default()),
             Err(FsError::NotADirectory(_))
@@ -438,7 +430,10 @@ mod tests {
         let mut n = ns();
         n.create_file("/a", FileMeta::default(), true).unwrap();
         n.create_file("/b", FileMeta::default(), true).unwrap();
-        assert!(matches!(n.rename("/a", "/b"), Err(FsError::AlreadyExists(_))));
+        assert!(matches!(
+            n.rename("/a", "/b"),
+            Err(FsError::AlreadyExists(_))
+        ));
     }
 
     #[test]
@@ -446,15 +441,23 @@ mod tests {
         let mut n = ns();
         n.create_file("/b", FileMeta::default(), true).unwrap();
         n.create_file("/a", FileMeta::default(), true).unwrap();
-        assert_eq!(n.readdir("/").unwrap(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            n.readdir("/").unwrap(),
+            vec!["a".to_string(), "b".to_string()]
+        );
     }
 
     #[test]
     fn write_read_through_inode() {
         let mut n = ns();
         let id = n.create_file("/a", FileMeta::default(), true).unwrap();
-        n.write(id, 0, &WritePayload::Bytes(b"data".to_vec()), SimTime::from_secs(5))
-            .unwrap();
+        n.write(
+            id,
+            0,
+            &WritePayload::Bytes(b"data".to_vec()),
+            SimTime::from_secs(5),
+        )
+        .unwrap();
         assert_eq!(n.read(id, 0, 4).unwrap(), b"data");
         assert_eq!(n.stat(id).unwrap().size, 4);
         assert_eq!(n.stat(id).unwrap().meta.mtime, SimTime::from_secs(5));

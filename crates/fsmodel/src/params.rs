@@ -140,7 +140,10 @@ mod tests {
             bandwidth_bps: 1.0e6,
         };
         // 1 ms latency + 1 MB / 1 MB/s = 1 s
-        assert_eq!(d.service(1_000_000), SimDur::from_millis(1) + SimDur::from_secs(1));
+        assert_eq!(
+            d.service(1_000_000),
+            SimDur::from_millis(1) + SimDur::from_secs(1)
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub fn split_parent(path: &str) -> Option<(String, &str)> {
     }
     let idx = path.rfind('/').unwrap();
     let name = &path[idx + 1..];
-    let parent = if idx == 0 { "/".to_string() } else { path[..idx].to_string() };
+    let parent = if idx == 0 {
+        "/".to_string()
+    } else {
+        path[..idx].to_string()
+    };
     Some((parent, name))
 }
 

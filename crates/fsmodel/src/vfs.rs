@@ -250,7 +250,8 @@ impl Vfs {
         len: u64,
         now: SimTime,
     ) -> FsResult<IoReply> {
-        self.backend(vn.mount, node)?.read(node, vn.ino, offset, len, now)
+        self.backend(vn.mount, node)?
+            .read(node, vn.ino, offset, len, now)
     }
 
     pub fn write(
@@ -308,7 +309,13 @@ impl Vfs {
         self.backend(mount, node)?.readdir(node, &rel, now)
     }
 
-    pub fn rename(&mut self, node: NodeId, from: &str, to: &str, now: SimTime) -> FsResult<SimTime> {
+    pub fn rename(
+        &mut self,
+        node: NodeId,
+        from: &str,
+        to: &str,
+        now: SimTime,
+    ) -> FsResult<SimTime> {
         let from = path::normalize(from);
         let to = path::normalize(to);
         let (m1, r1) = self.resolve_mount(&from)?;
@@ -327,7 +334,8 @@ impl Vfs {
         size: u64,
         now: SimTime,
     ) -> FsResult<SimTime> {
-        self.backend(vn.mount, node)?.truncate(node, vn.ino, size, now)
+        self.backend(vn.mount, node)?
+            .truncate(node, vn.ino, size, now)
     }
 
     // ----- uncharged helpers -----
@@ -510,7 +518,10 @@ mod tests {
         v.put_file(NodeId(0), "/pfs/d/one", b"1").unwrap();
         v.put_file(NodeId(0), "/pfs/d/two", b"2").unwrap();
         let files = v.list_files(NodeId(0), "/pfs/d").unwrap();
-        assert_eq!(files, vec!["/pfs/d/one".to_string(), "/pfs/d/two".to_string()]);
+        assert_eq!(
+            files,
+            vec!["/pfs/d/one".to_string(), "/pfs/d/two".to_string()]
+        );
     }
 
     #[test]

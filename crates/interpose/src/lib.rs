@@ -58,10 +58,18 @@ mod hooks {
     }
 
     fn real_open() -> unsafe extern "C" fn(*const c_char, c_int, c_int) -> c_int {
-        real!(OPEN, "open", unsafe extern "C" fn(*const c_char, c_int, c_int) -> c_int)
+        real!(
+            OPEN,
+            "open",
+            unsafe extern "C" fn(*const c_char, c_int, c_int) -> c_int
+        )
     }
     fn real_write() -> unsafe extern "C" fn(c_int, *const c_void, usize) -> isize {
-        real!(WRITE, "write", unsafe extern "C" fn(c_int, *const c_void, usize) -> isize)
+        real!(
+            WRITE,
+            "write",
+            unsafe extern "C" fn(c_int, *const c_void, usize) -> isize
+        )
     }
 
     fn trace_fd() -> c_int {
@@ -129,7 +137,14 @@ mod hooks {
     pub unsafe extern "C" fn open(path: *const c_char, flags: c_int, mode: c_int) -> c_int {
         let ret = (real_open())(path, flags, mode);
         guarded(
-            || emit(&format!("open \"{}\" {:#o} = {}\n", cstr_lossy(path), flags, ret)),
+            || {
+                emit(&format!(
+                    "open \"{}\" {:#o} = {}\n",
+                    cstr_lossy(path),
+                    flags,
+                    ret
+                ))
+            },
             || (),
         );
         ret
@@ -139,10 +154,21 @@ mod hooks {
     /// Standard libc `open64` contract.
     #[no_mangle]
     pub unsafe extern "C" fn open64(path: *const c_char, flags: c_int, mode: c_int) -> c_int {
-        let real = real!(OPEN64, "open64", unsafe extern "C" fn(*const c_char, c_int, c_int) -> c_int);
+        let real = real!(
+            OPEN64,
+            "open64",
+            unsafe extern "C" fn(*const c_char, c_int, c_int) -> c_int
+        );
         let ret = real(path, flags, mode);
         guarded(
-            || emit(&format!("open \"{}\" {:#o} = {}\n", cstr_lossy(path), flags, ret)),
+            || {
+                emit(&format!(
+                    "open \"{}\" {:#o} = {}\n",
+                    cstr_lossy(path),
+                    flags,
+                    ret
+                ))
+            },
             || (),
         );
         ret
@@ -164,7 +190,14 @@ mod hooks {
         );
         let ret = real(dirfd, path, flags, mode);
         guarded(
-            || emit(&format!("openat \"{}\" {:#o} = {}\n", cstr_lossy(path), flags, ret)),
+            || {
+                emit(&format!(
+                    "openat \"{}\" {:#o} = {}\n",
+                    cstr_lossy(path),
+                    flags,
+                    ret
+                ))
+            },
             || (),
         );
         ret
@@ -174,7 +207,11 @@ mod hooks {
     /// Standard libc `read` contract.
     #[no_mangle]
     pub unsafe extern "C" fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize {
-        let real = real!(READ, "read", unsafe extern "C" fn(c_int, *mut c_void, usize) -> isize);
+        let real = real!(
+            READ,
+            "read",
+            unsafe extern "C" fn(c_int, *mut c_void, usize) -> isize
+        );
         let ret = real(fd, buf, count);
         guarded(|| emit(&format!("read {fd} {count} = {ret}\n")), || ());
         ret
@@ -207,7 +244,11 @@ mod hooks {
     /// Standard libc `lseek` contract.
     #[no_mangle]
     pub unsafe extern "C" fn lseek(fd: c_int, offset: c_long, whence: c_int) -> c_long {
-        let real = real!(LSEEK, "lseek", unsafe extern "C" fn(c_int, c_long, c_int) -> c_long);
+        let real = real!(
+            LSEEK,
+            "lseek",
+            unsafe extern "C" fn(c_int, c_long, c_int) -> c_long
+        );
         let ret = real(fd, offset, whence);
         guarded(
             || emit(&format!("lseek {fd} {offset} {whence} = {ret}\n")),

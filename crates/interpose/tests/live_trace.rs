@@ -14,7 +14,10 @@ fn shim_path() -> PathBuf {
     root.pop();
     root.pop();
     for profile in ["debug", "release"] {
-        let p = root.join("target").join(profile).join("libiotrace_interpose.so");
+        let p = root
+            .join("target")
+            .join(profile)
+            .join("libiotrace_interpose.so");
         if p.exists() {
             return p;
         }
@@ -25,7 +28,9 @@ fn shim_path() -> PathBuf {
         .status()
         .expect("spawn cargo build");
     assert!(status.success(), "building the cdylib failed");
-    root.join("target").join("debug").join("libiotrace_interpose.so")
+    root.join("target")
+        .join("debug")
+        .join("libiotrace_interpose.so")
 }
 
 #[test]
@@ -52,8 +57,10 @@ fn traces_a_real_cat_process() {
 
     // cat must have opened the file, read it, written it out, closed it.
     let c = counts(&records);
-    assert!(c.get("open").copied().unwrap_or(0) + c.get("openat").copied().unwrap_or(0) >= 1,
-        "no open captured: {c:?}");
+    assert!(
+        c.get("open").copied().unwrap_or(0) + c.get("openat").copied().unwrap_or(0) >= 1,
+        "no open captured: {c:?}"
+    );
     assert!(c.get("read").copied().unwrap_or(0) >= 1, "no read: {c:?}");
     assert!(c.get("write").copied().unwrap_or(0) >= 1, "no write: {c:?}");
     assert!(c.get("close").copied().unwrap_or(0) >= 1, "no close: {c:?}");

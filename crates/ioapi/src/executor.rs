@@ -372,11 +372,21 @@ fn dispatch(
             match proc.release(*fd) {
                 Some(of) => {
                     let _ = e.vfs.close(e.node, of.vn, e.now);
-                    e.emit(IoCall::Close { fd: fd.0 as i64 }, start, e.now.since(start), 0);
+                    e.emit(
+                        IoCall::Close { fd: fd.0 as i64 },
+                        start,
+                        e.now.since(start),
+                        0,
+                    );
                     IoRes::Done
                 }
                 None => {
-                    e.emit(IoCall::Close { fd: fd.0 as i64 }, start, e.now.since(start), -9);
+                    e.emit(
+                        IoCall::Close { fd: fd.0 as i64 },
+                        start,
+                        e.now.since(start),
+                        -9,
+                    );
                     IoRes::Error(9)
                 }
             }
@@ -384,7 +394,16 @@ fn dispatch(
         IoOp::Read { fd, len } => {
             let pos = match proc.get(*fd) {
                 Some(of) => of.pos,
-                None => return bad_fd(e, IoCall::Read { fd: fd.0 as i64, len: *len }, sys_oh),
+                None => {
+                    return bad_fd(
+                        e,
+                        IoCall::Read {
+                            fd: fd.0 as i64,
+                            len: *len,
+                        },
+                        sys_oh,
+                    )
+                }
             };
             let res = do_read(e, proc, *fd, pos, *len, sys_oh, false, stats);
             if let IoRes::Bytes(n) = res {
@@ -400,7 +419,10 @@ fn dispatch(
                 None => {
                     return bad_fd(
                         e,
-                        IoCall::Write { fd: fd.0 as i64, len: payload.len() },
+                        IoCall::Write {
+                            fd: fd.0 as i64,
+                            len: payload.len(),
+                        },
                         sys_oh,
                     )
                 }
@@ -413,10 +435,14 @@ fn dispatch(
             }
             res
         }
-        IoOp::PRead { fd, offset, len } => do_read(e, proc, *fd, *offset, *len, sys_oh, true, stats),
-        IoOp::PWrite { fd, offset, payload } => {
-            do_write(e, proc, *fd, *offset, payload, sys_oh, true, stats)
+        IoOp::PRead { fd, offset, len } => {
+            do_read(e, proc, *fd, *offset, *len, sys_oh, true, stats)
         }
+        IoOp::PWrite {
+            fd,
+            offset,
+            payload,
+        } => do_write(e, proc, *fd, *offset, payload, sys_oh, true, stats),
         IoOp::Seek { fd, offset, whence } => {
             let start = e.now;
             e.now += sys_oh;
@@ -425,9 +451,12 @@ fn dispatch(
                 offset: *offset,
                 whence: *whence as u8,
             };
-            let size = proc
-                .get(*fd)
-                .map(|of| e.vfs.backend_ref(of.vn.mount, e.node).ok().map(|b| b.namespace().stat(of.vn.ino).map(|s| s.size).unwrap_or(0)));
+            let size = proc.get(*fd).map(|of| {
+                e.vfs
+                    .backend_ref(of.vn.mount, e.node)
+                    .ok()
+                    .map(|b| b.namespace().stat(of.vn.ino).map(|s| s.size).unwrap_or(0))
+            });
             match proc.get_mut(*fd) {
                 Some(of) => {
                     let base = match whence {
@@ -453,7 +482,12 @@ fn dispatch(
                 Some(of) => match e.vfs.fsync(e.node, of.vn, e.now) {
                     Ok(finish) => {
                         e.now = finish;
-                        e.emit(IoCall::Fsync { fd: fd.0 as i64 }, start, e.now.since(start), 0);
+                        e.emit(
+                            IoCall::Fsync { fd: fd.0 as i64 },
+                            start,
+                            e.now.since(start),
+                            0,
+                        );
                         IoRes::Done
                     }
                     Err(err) => {
@@ -473,11 +507,21 @@ fn dispatch(
         IoOp::Stat { path } => {
             let start = e.now;
             e.now += sys_oh;
-            e.emit(IoCall::VfsLookup { path: path.clone() }, start, SimDur::ZERO, 0);
+            e.emit(
+                IoCall::VfsLookup { path: path.clone() },
+                start,
+                SimDur::ZERO,
+                0,
+            );
             match e.vfs.stat(e.node, path, e.now) {
                 Ok((st, finish)) => {
                     e.now = finish;
-                    e.emit(IoCall::Stat { path: path.clone() }, start, e.now.since(start), 0);
+                    e.emit(
+                        IoCall::Stat { path: path.clone() },
+                        start,
+                        e.now.since(start),
+                        0,
+                    );
                     IoRes::Stat(st)
                 }
                 Err(err) => {
@@ -492,16 +536,21 @@ fn dispatch(
                 }
             }
         }
-        IoOp::Mkdir { path, mode } => {
-            meta_op(e, sys_oh, IoCall::Mkdir { path: path.clone(), mode: *mode }, |v, n, t| {
-                v.mkdir(n, path, file_meta(1000, 100, t), t)
-            })
-        }
-        IoOp::Unlink { path } => {
-            meta_op(e, sys_oh, IoCall::Unlink { path: path.clone() }, |v, n, t| {
-                v.unlink(n, path, t)
-            })
-        }
+        IoOp::Mkdir { path, mode } => meta_op(
+            e,
+            sys_oh,
+            IoCall::Mkdir {
+                path: path.clone(),
+                mode: *mode,
+            },
+            |v, n, t| v.mkdir(n, path, file_meta(1000, 100, t), t),
+        ),
+        IoOp::Unlink { path } => meta_op(
+            e,
+            sys_oh,
+            IoCall::Unlink { path: path.clone() },
+            |v, n, t| v.unlink(n, path, t),
+        ),
         IoOp::Readdir { path } => {
             let start = e.now;
             e.now += sys_oh;
@@ -531,7 +580,10 @@ fn dispatch(
         IoOp::Rename { from, to } => meta_op(
             e,
             sys_oh,
-            IoCall::Rename { from: from.clone(), to: to.clone() },
+            IoCall::Rename {
+                from: from.clone(),
+                to: to.clone(),
+            },
             |v, n, t| v.rename(n, from, to, t),
         ),
         IoOp::MmapWrite { fd, offset, len } => {
@@ -545,12 +597,19 @@ fn dispatch(
                 None => return IoRes::Error(9),
             };
             let w_start = e.now;
-            match e.vfs.write(e.node, vn, *offset, &WritePayload::Synthetic(*len), e.now) {
+            match e
+                .vfs
+                .write(e.node, vn, *offset, &WritePayload::Synthetic(*len), e.now)
+            {
                 Ok(rep) => {
                     e.now = rep.finish;
                     stats.bytes_written += rep.bytes;
                     e.emit(
-                        IoCall::VfsWritePage { path, offset: *offset, len: rep.bytes },
+                        IoCall::VfsWritePage {
+                            path,
+                            offset: *offset,
+                            len: rep.bytes,
+                        },
                         w_start,
                         e.now.since(w_start),
                         rep.bytes as i64,
@@ -581,7 +640,10 @@ fn dispatch(
                 _ => 0,
             };
             e.emit(
-                IoCall::MpiFileOpen { path: path.clone(), amode: *amode },
+                IoCall::MpiFileOpen {
+                    path: path.clone(),
+                    amode: *amode,
+                },
                 op_start,
                 e.now.since(op_start),
                 ret,
@@ -597,11 +659,21 @@ fn dispatch(
             let res = match proc.release(*fd) {
                 Some(of) => {
                     let _ = e.vfs.close(e.node, of.vn, e.now);
-                    e.emit(IoCall::Close { fd: fd.0 as i64 }, s_start, e.now.since(s_start), 0);
+                    e.emit(
+                        IoCall::Close { fd: fd.0 as i64 },
+                        s_start,
+                        e.now.since(s_start),
+                        0,
+                    );
                     IoRes::Done
                 }
                 None => {
-                    e.emit(IoCall::Close { fd: fd.0 as i64 }, s_start, e.now.since(s_start), -9);
+                    e.emit(
+                        IoCall::Close { fd: fd.0 as i64 },
+                        s_start,
+                        e.now.since(s_start),
+                        -9,
+                    );
                     IoRes::Error(9)
                 }
             };
@@ -613,14 +685,22 @@ fn dispatch(
             );
             res
         }
-        IoOp::MpiWriteAt { fd, offset, payload } => {
+        IoOp::MpiWriteAt {
+            fd,
+            offset,
+            payload,
+        } => {
             let op_start = e.now;
             e.now += lib_oh;
             // MPI-IO seeks then writes (Figure 1 raw trace shape).
             let l_start = e.now;
             e.now += sys_oh;
             e.emit(
-                IoCall::Lseek { fd: fd.0 as i64, offset: *offset as i64, whence: 0 },
+                IoCall::Lseek {
+                    fd: fd.0 as i64,
+                    offset: *offset as i64,
+                    whence: 0,
+                },
                 l_start,
                 e.now.since(l_start),
                 *offset as i64,
@@ -645,14 +725,22 @@ fn dispatch(
             let l_start = e.now;
             e.now += sys_oh;
             e.emit(
-                IoCall::Lseek { fd: fd.0 as i64, offset: *offset as i64, whence: 0 },
+                IoCall::Lseek {
+                    fd: fd.0 as i64,
+                    offset: *offset as i64,
+                    whence: 0,
+                },
                 l_start,
                 e.now.since(l_start),
                 *offset as i64,
             );
             let res = do_read(e, proc, *fd, *offset, *len, sys_oh, false, stats);
             e.emit(
-                IoCall::MpiFileReadAt { fd: fd.0 as i64, offset: *offset, len: *len },
+                IoCall::MpiFileReadAt {
+                    fd: fd.0 as i64,
+                    offset: *offset,
+                    len: *len,
+                },
                 op_start,
                 e.now.since(op_start),
                 res.as_ret(),
@@ -661,12 +749,7 @@ fn dispatch(
             res
         }
         IoOp::NoteBarrier { entered, exited } => {
-            e.emit(
-                IoCall::MpiBarrier,
-                *entered,
-                exited.since(*entered),
-                0,
-            );
+            e.emit(IoCall::MpiBarrier, *entered, exited.since(*entered), 0);
             IoRes::Done
         }
         IoOp::NoteCommRank => {
@@ -695,7 +778,14 @@ fn do_open(
 ) -> IoRes {
     let start = e.now;
     e.now += sys_oh;
-    e.emit(IoCall::VfsLookup { path: path.to_string() }, start, SimDur::ZERO, 0);
+    e.emit(
+        IoCall::VfsLookup {
+            path: path.to_string(),
+        },
+        start,
+        SimDur::ZERO,
+        0,
+    );
     match e
         .vfs
         .open(e.node, path, flags, file_meta(e.uid, e.gid, e.now), e.now)
@@ -710,7 +800,11 @@ fn do_open(
                 via_mpi,
             });
             e.emit(
-                IoCall::Open { path: path.to_string(), flags: flags.0, mode },
+                IoCall::Open {
+                    path: path.to_string(),
+                    flags: flags.0,
+                    mode,
+                },
                 start,
                 e.now.since(start),
                 fd.0 as i64,
@@ -720,7 +814,11 @@ fn do_open(
         Err(err) => {
             let en = errno_of(&err);
             e.emit(
-                IoCall::Open { path: path.to_string(), flags: flags.0, mode },
+                IoCall::Open {
+                    path: path.to_string(),
+                    flags: flags.0,
+                    mode,
+                },
                 start,
                 e.now.since(start),
                 -(en as i64),
@@ -745,9 +843,16 @@ fn do_read(
         Some(of) => (of.vn, of.path.clone()),
         None => {
             let call = if positional {
-                IoCall::Pread { fd: fd.0 as i64, offset, len }
+                IoCall::Pread {
+                    fd: fd.0 as i64,
+                    offset,
+                    len,
+                }
             } else {
-                IoCall::Read { fd: fd.0 as i64, len }
+                IoCall::Read {
+                    fd: fd.0 as i64,
+                    len,
+                }
             };
             return bad_fd(e, call, sys_oh);
         }
@@ -760,15 +865,26 @@ fn do_read(
             e.now = rep.finish;
             stats.bytes_read += rep.bytes;
             e.emit(
-                IoCall::VfsReadPage { path, offset, len: rep.bytes },
+                IoCall::VfsReadPage {
+                    path,
+                    offset,
+                    len: rep.bytes,
+                },
                 v_start,
                 rep.finish.since(v_start),
                 rep.bytes as i64,
             );
             let call = if positional {
-                IoCall::Pread { fd: fd.0 as i64, offset, len }
+                IoCall::Pread {
+                    fd: fd.0 as i64,
+                    offset,
+                    len,
+                }
             } else {
-                IoCall::Read { fd: fd.0 as i64, len }
+                IoCall::Read {
+                    fd: fd.0 as i64,
+                    len,
+                }
             };
             e.emit(call, start, e.now.since(start), rep.bytes as i64);
             IoRes::Bytes(rep.bytes)
@@ -792,15 +908,25 @@ fn do_write(
         Some(of) => (of.vn, of.path.clone(), of.flags.writable()),
         None => {
             let call = if positional {
-                IoCall::Pwrite { fd: fd.0 as i64, offset, len: payload.len() }
+                IoCall::Pwrite {
+                    fd: fd.0 as i64,
+                    offset,
+                    len: payload.len(),
+                }
             } else {
-                IoCall::Write { fd: fd.0 as i64, len: payload.len() }
+                IoCall::Write {
+                    fd: fd.0 as i64,
+                    len: payload.len(),
+                }
             };
             return bad_fd(e, call, sys_oh);
         }
     };
     if !writable {
-        let call = IoCall::Write { fd: fd.0 as i64, len: payload.len() };
+        let call = IoCall::Write {
+            fd: fd.0 as i64,
+            len: payload.len(),
+        };
         let start = e.now;
         e.now += sys_oh;
         e.emit(call, start, e.now.since(start), -9);
@@ -814,15 +940,26 @@ fn do_write(
             e.now = rep.finish;
             stats.bytes_written += rep.bytes;
             e.emit(
-                IoCall::VfsWritePage { path, offset, len: rep.bytes },
+                IoCall::VfsWritePage {
+                    path,
+                    offset,
+                    len: rep.bytes,
+                },
                 v_start,
                 rep.finish.since(v_start),
                 rep.bytes as i64,
             );
             let call = if positional {
-                IoCall::Pwrite { fd: fd.0 as i64, offset, len: payload.len() }
+                IoCall::Pwrite {
+                    fd: fd.0 as i64,
+                    offset,
+                    len: payload.len(),
+                }
             } else {
-                IoCall::Write { fd: fd.0 as i64, len: payload.len() }
+                IoCall::Write {
+                    fd: fd.0 as i64,
+                    len: payload.len(),
+                }
             };
             e.emit(call, start, e.now.since(start), rep.bytes as i64);
             IoRes::Bytes(rep.bytes)

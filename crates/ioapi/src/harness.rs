@@ -100,7 +100,16 @@ pub fn run_job_with_params(
     params: IoApiParams,
     cost: TraceCostParams,
 ) -> JobReport {
-    run_job_full(cfg, vfs, tracer, programs, throttle, Vec::new(), params, cost)
+    run_job_full(
+        cfg,
+        vfs,
+        tracer,
+        programs,
+        throttle,
+        Vec::new(),
+        params,
+        cost,
+    )
 }
 
 /// The fully general job runner: static throttle, time-sliced throttle

@@ -207,7 +207,12 @@ mod tests {
         assert_eq!(IoOp::Read { fd: Fd(3), len: 7 }.data_len(), 7);
         assert_eq!(IoOp::Close { fd: Fd(3) }.data_len(), 0);
         assert_eq!(
-            IoOp::MmapWrite { fd: Fd(3), offset: 0, len: 9 }.data_len(),
+            IoOp::MmapWrite {
+                fd: Fd(3),
+                offset: 0,
+                len: 9
+            }
+            .data_len(),
             9
         );
     }

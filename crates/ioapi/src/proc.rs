@@ -124,8 +124,7 @@ mod tests {
 
     #[test]
     fn pids_are_distinct_across_ranks() {
-        let pids: std::collections::HashSet<u32> =
-            (0..64).map(|r| ProcState::new(r).pid).collect();
+        let pids: std::collections::HashSet<u32> = (0..64).map(|r| ProcState::new(r).pid).collect();
         assert_eq!(pids.len(), 64);
     }
 }

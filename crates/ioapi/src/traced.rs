@@ -18,7 +18,9 @@ enum St {
     Passthrough,
     /// A barrier completed; we've issued `NoteBarrier` and owe the inner
     /// program its original `BarrierDone` result.
-    AwaitNote { saved: OpResult<IoRes> },
+    AwaitNote {
+        saved: OpResult<IoRes>,
+    },
 }
 
 /// See module docs.
@@ -49,8 +51,13 @@ impl<P: RankProgram<IoOp, IoRes>> RankProgram<IoOp, IoRes> for Traced<P> {
                 self.inner.next_op(rank, &saved)
             }
             St::Passthrough => {
-                if let OpResult::BarrierDone { entered, exited, .. } = last {
-                    self.st = St::AwaitNote { saved: last.clone() };
+                if let OpResult::BarrierDone {
+                    entered, exited, ..
+                } = last
+                {
+                    self.st = St::AwaitNote {
+                        saved: last.clone(),
+                    };
                     return Op::Io(IoOp::NoteBarrier {
                         entered: *entered,
                         exited: *exited,
@@ -63,9 +70,7 @@ impl<P: RankProgram<IoOp, IoRes>> RankProgram<IoOp, IoRes> for Traced<P> {
 }
 
 /// Convenience: box a program with barrier tracing.
-pub fn traced(
-    inner: impl RankProgram<IoOp, IoRes> + 'static,
-) -> Box<dyn RankProgram<IoOp, IoRes>> {
+pub fn traced(inner: impl RankProgram<IoOp, IoRes> + 'static) -> Box<dyn RankProgram<IoOp, IoRes>> {
     Box::new(Traced::new(inner))
 }
 
@@ -103,10 +108,8 @@ mod tests {
 
     #[test]
     fn non_barrier_results_pass_through() {
-        let inner: OpList<IoOp> = OpList::new(vec![
-            Op::Io(IoOp::Stat { path: "/x".into() }),
-            Op::Exit,
-        ]);
+        let inner: OpList<IoOp> =
+            OpList::new(vec![Op::Io(IoOp::Stat { path: "/x".into() }), Op::Exit]);
         let mut t = Traced::new(inner);
         assert!(matches!(
             t.next_op(RankId(0), &OpResult::Start),

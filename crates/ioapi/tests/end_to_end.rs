@@ -104,7 +104,13 @@ fn mmap_data_movement_is_invisible_to_syscall_layer() {
         Op::Exit,
     ];
     let programs: Vec<P> = vec![Box::new(OpList::new(ops))];
-    let rep = run_job(cfg, vfs, Box::new(CollectingTracer::default()), programs, None);
+    let rep = run_job(
+        cfg,
+        vfs,
+        Box::new(CollectingTracer::default()),
+        programs,
+        None,
+    );
     assert!(rep.run.is_clean());
     let recs = &iotrace_ioapi::tracer::downcast_tracer::<CollectingTracer>(rep.tracer.as_ref())
         .unwrap()

@@ -10,8 +10,8 @@
 use iotrace_fs::vfs::Vfs;
 use iotrace_ioapi::harness::{run_job, JobReport};
 use iotrace_ioapi::op::{IoOp, IoRes};
-use iotrace_ioapi::tracer::{downcast_tracer, NullTracer};
 use iotrace_ioapi::traced::Traced;
+use iotrace_ioapi::tracer::{downcast_tracer, NullTracer};
 use iotrace_model::event::Trace;
 use iotrace_model::summary::CallSummary;
 use iotrace_model::timing::AggregateTiming;
@@ -96,8 +96,8 @@ impl LanlTrace {
             with_timing_jobs(programs),
             None,
         );
-        let t = downcast_tracer::<LanlTracer>(report.tracer.as_ref())
-            .expect("tracer is a LanlTracer");
+        let t =
+            downcast_tracer::<LanlTracer>(report.tracer.as_ref()).expect("tracer is a LanlTracer");
         let traces = t.traces();
         let timing = t.timing().clone();
         let summary = t.summary().clone();

@@ -175,12 +175,7 @@ impl IoTracer for LanlTracer {
                 entered: rec.ts,
                 exited: rec.ts + rec.dur,
             };
-            if let Some(b) = self
-                .timing
-                .barriers
-                .iter_mut()
-                .find(|b| b.label == label)
-            {
+            if let Some(b) = self.timing.barriers.iter_mut().find(|b| b.label == label) {
                 b.observations.push(obs);
             } else {
                 self.timing.barriers.push(BarrierTiming {

@@ -134,7 +134,10 @@ fn tracing_overhead_emerges_and_strace_is_cheaper() {
     let oh_st = elapsed_overhead(base.elapsed(), st.report.elapsed());
     assert!(oh_lt > 0.10, "ltrace overhead too small: {oh_lt}");
     assert!(oh_st > 0.0, "strace overhead should exist: {oh_st}");
-    assert!(oh_st < oh_lt, "strace {oh_st} should be cheaper than ltrace {oh_lt}");
+    assert!(
+        oh_st < oh_lt,
+        "strace {oh_st} should be cheaper than ltrace {oh_lt}"
+    );
 }
 
 #[test]

@@ -1,0 +1,57 @@
+//! Lint thresholds.
+//!
+//! Clock bounds default to comfortably above what `iotrace-sim`'s
+//! sampled cluster clocks produce (`NodeClock::sample` with ±500 µs skew
+//! and ±40 ppm drift in the generators), so healthy generated traces lint
+//! clean while grossly desynchronized ones do not.
+
+/// Tunable thresholds shared by every pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LintConfig {
+    /// Largest tolerated per-node clock offset from true time, ns. The
+    /// cross-rank spread allowance at a barrier is twice this (two nodes
+    /// skewed in opposite directions) plus the drift term.
+    pub max_skew_ns: i64,
+    /// Largest tolerated clock drift, parts-per-million of elapsed time.
+    pub max_drift_ppm: f64,
+    /// Longest plausible single call; anything above is flagged.
+    pub max_call_ns: u64,
+    /// Per-trace cap on repeated findings of one rule; the overflow is
+    /// summarized in a single note so floods stay readable.
+    pub max_reports_per_rule: usize,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            max_skew_ns: 2_000_000,       // 2 ms
+            max_drift_ppm: 100.0,         // quartz is ±50 ppm; double it
+            max_call_ns: 600_000_000_000, // 10 minutes
+            max_reports_per_rule: 8,
+        }
+    }
+}
+
+impl LintConfig {
+    /// Cross-rank timestamp spread tolerated at a sync point observed at
+    /// `at_ns`: opposing skews plus opposing drift accumulated since boot.
+    pub fn skew_allowance_ns(&self, at_ns: u64) -> u64 {
+        let skew = 2 * self.max_skew_ns.unsigned_abs();
+        let drift = 2.0 * self.max_drift_ppm.abs() * at_ns as f64 / 1_000_000.0;
+        skew + drift as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowance_grows_with_time() {
+        let cfg = LintConfig::default();
+        let early = cfg.skew_allowance_ns(0);
+        let late = cfg.skew_allowance_ns(3_600_000_000_000);
+        assert_eq!(early, 4_000_000);
+        assert!(late > early);
+    }
+}

@@ -1,0 +1,236 @@
+//! `iotrace-lint`: multi-pass static analysis of I/O traces.
+//!
+//! The paper's taxonomy treats a trace as a publishable artifact — it is
+//! replayed, mined for dependencies, anonymized, and shared. Every one of
+//! those consumers silently misbehaves on a malformed trace: a replayer
+//! deadlocks on a cyclic dependency map, skew correction is garbage when
+//! timestamps run backwards, and an "anonymized" trace with raw paths is
+//! a disclosure. This crate lints traces *before* they reach those
+//! consumers, the way a compiler front-end rejects ill-formed programs.
+//!
+//! Five passes ship by default (rule catalog in `DESIGN.md`):
+//!
+//! | pass | defect class |
+//! |------|--------------|
+//! | [`passes::fd_lifecycle`] | use-after-close, double-close, leaked fds |
+//! | [`passes::causality`] | torn barriers, unordered overlapping writes |
+//! | [`passes::clock`] | non-monotonic timestamps, skew beyond budget |
+//! | [`passes::depgraph`] | cyclic or dangling dependency maps |
+//! | [`passes::anonleak`] | raw identifiers under an anonymization claim |
+//!
+//! Drive it with [`Linter`]:
+//!
+//! ```
+//! use iotrace_lint::{LintConfig, Linter, LintInput};
+//! let traces: Vec<iotrace_model::event::Trace> = Vec::new();
+//! let report = Linter::new(LintConfig::default()).run(&LintInput::from_traces(&traces));
+//! assert!(!report.has_errors());
+//! ```
+//!
+//! The CLI front-end is `iotrace lint`; `iotrace-replay` uses the same
+//! passes as a pre-flight gate.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod config;
+pub mod diag;
+pub mod passes;
+
+pub use config::LintConfig;
+pub use diag::{Diagnostic, LintReport, Severity};
+pub use passes::{LintInput, LintPass};
+
+use iotrace_model::event::Trace;
+use iotrace_partrace::deps::DependencyMap;
+use iotrace_partrace::replayable::ReplayableTrace;
+
+/// Runs a configured set of passes over one input and collects a sorted
+/// report.
+pub struct Linter {
+    cfg: LintConfig,
+    passes: Vec<Box<dyn LintPass>>,
+}
+
+impl Linter {
+    /// All default passes under `cfg`.
+    pub fn new(cfg: LintConfig) -> Self {
+        Linter {
+            cfg,
+            passes: passes::default_passes(),
+        }
+    }
+
+    /// Restrict to the passes whose [`LintPass::name`] appears in
+    /// `names`; unknown names are reported back as an error.
+    pub fn keep_passes(mut self, names: &[&str]) -> Result<Self, String> {
+        for n in names {
+            if !self.passes.iter().any(|p| p.name() == *n) {
+                let known: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
+                return Err(format!(
+                    "unknown lint pass \"{n}\" (known: {})",
+                    known.join(", ")
+                ));
+            }
+        }
+        self.passes.retain(|p| names.contains(&p.name()));
+        Ok(self)
+    }
+
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    pub fn run(&self, input: &LintInput<'_>) -> LintReport {
+        let mut diagnostics = Vec::new();
+        for pass in &self.passes {
+            pass.run(input, &self.cfg, &mut diagnostics);
+        }
+        let mut report = LintReport { diagnostics };
+        report.sort();
+        report
+    }
+}
+
+/// Lint a set of per-rank traces (optionally with their dependency map)
+/// using the default passes and configuration.
+pub fn lint_traces(traces: &[Trace], deps: Option<&DependencyMap>) -> LintReport {
+    Linter::new(LintConfig::default()).run(&LintInput { traces, deps })
+}
+
+/// Lint a //TRACE replayable capture with the default passes.
+pub fn lint_replayable(rt: &ReplayableTrace) -> LintReport {
+    Linter::new(LintConfig::default()).run(&LintInput::from_replayable(rt))
+}
+
+/// Shared constructors for pass unit tests.
+#[cfg(test)]
+pub(crate) mod testutil {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use iotrace_model::event::{IoCall, Trace, TraceMeta, TraceRecord};
+    use iotrace_sim::time::{SimDur, SimTime};
+
+    /// A record at time zero (fd-lifecycle and anonleak ignore time).
+    pub fn rec(rank: u32, call: IoCall, result: i64) -> TraceRecord {
+        rec_at(rank, 0, 0, call, result)
+    }
+
+    pub fn rec_at(rank: u32, ts_ns: u64, dur_ns: u64, call: IoCall, result: i64) -> TraceRecord {
+        TraceRecord {
+            ts: SimTime::from_nanos(ts_ns),
+            dur: SimDur::from_nanos(dur_ns),
+            rank,
+            node: rank,
+            pid: 100 + rank,
+            uid: 0,
+            gid: 0,
+            call,
+            result,
+        }
+    }
+
+    /// A single-rank trace from (call, result) pairs, timestamps spaced
+    /// 1 µs apart so the clock pass stays quiet.
+    pub fn trace_of(rank: u32, calls: Vec<(IoCall, i64)>) -> Trace {
+        trace_of_records(
+            rank,
+            calls
+                .into_iter()
+                .enumerate()
+                .map(|(i, (call, result))| rec_at(rank, i as u64 * 1_000, 100, call, result))
+                .collect(),
+        )
+    }
+
+    pub fn trace_of_records(rank: u32, records: Vec<TraceRecord>) -> Trace {
+        let mut t = Trace::new(TraceMeta::new("/app", rank, rank, "test"));
+        t.records = records;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::testutil::trace_of;
+    use iotrace_model::event::IoCall;
+
+    #[test]
+    fn default_linter_runs_all_five_passes() {
+        let names = Linter::new(LintConfig::default()).pass_names();
+        assert_eq!(
+            names,
+            vec!["fd-lifecycle", "causality", "clock", "depgraph", "anonleak"]
+        );
+    }
+
+    #[test]
+    fn keep_passes_filters_and_rejects_unknown() {
+        let l = Linter::new(LintConfig::default())
+            .keep_passes(&["clock"])
+            .unwrap();
+        assert_eq!(l.pass_names(), vec!["clock"]);
+        assert!(Linter::new(LintConfig::default())
+            .keep_passes(&["nope"])
+            .is_err());
+    }
+
+    #[test]
+    fn report_is_sorted_errors_first() {
+        // One leak (warning) in rank 0, one use-after-close (error) in
+        // rank 1: the error must lead regardless of rank order.
+        let a = trace_of(
+            0,
+            vec![(
+                IoCall::Open {
+                    path: "/f".into(),
+                    flags: 0,
+                    mode: 0,
+                },
+                3,
+            )],
+        );
+        let b = trace_of(
+            1,
+            vec![
+                (
+                    IoCall::Open {
+                        path: "/f".into(),
+                        flags: 0,
+                        mode: 0,
+                    },
+                    3,
+                ),
+                (IoCall::Close { fd: 3 }, 0),
+                (IoCall::Read { fd: 3, len: 1 }, 1),
+            ],
+        );
+        let report = lint_traces(&[a, b], None);
+        assert!(report.has_errors());
+        assert_eq!(report.diagnostics[0].severity, Severity::Error);
+        assert_eq!(report.diagnostics[0].rule, "fd-use-after-close");
+    }
+
+    #[test]
+    fn clean_traces_produce_clean_report() {
+        let t = trace_of(
+            0,
+            vec![
+                (
+                    IoCall::Open {
+                        path: "/f".into(),
+                        flags: 0,
+                        mode: 0,
+                    },
+                    3,
+                ),
+                (IoCall::Write { fd: 3, len: 64 }, 64),
+                (IoCall::Close { fd: 3 }, 0),
+            ],
+        );
+        let report = lint_traces(std::slice::from_ref(&t), None);
+        assert!(report.is_clean(), "{}", report.render_human());
+    }
+}

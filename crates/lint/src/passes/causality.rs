@@ -1,0 +1,350 @@
+//! Happens-before checking across ranks (pass `causality`).
+//!
+//! In these traces the only cross-rank synchronization visible is
+//! `MPI_Barrier`, so each rank's history factors into *epochs*: the runs
+//! of records between successive barriers. With barriers as the sole
+//! sync edges, the vector clock of an event collapses to its epoch
+//! number — two events on different ranks are ordered iff their epochs
+//! differ, and concurrent iff equal. The pass checks:
+//!
+//! * every rank completed the same number of barriers
+//!   (`hb-barrier-mismatch`) — unequal counts mean the collective was
+//!   torn and no epoch alignment exists;
+//! * no two ranks write overlapping byte ranges of the same file within
+//!   one epoch (`hb-write-race`) — such writes are unordered, so replay
+//!   may legally commit them in either order and diverge;
+//! * no rank reads a region another rank concurrently writes
+//!   (`hb-read-race`).
+//!
+//! Only calls with explicit offsets (`pwrite`, `MPI_File_write_at`, VFS
+//! page I/O) are checked; cursor-relative `write` would require lseek
+//! emulation and is out of scope (documented in DESIGN.md).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use iotrace_model::event::{IoCall, Trace};
+
+use crate::config::LintConfig;
+use crate::diag::{Diagnostic, Severity};
+use crate::passes::{LintInput, LintPass};
+
+pub struct Causality;
+
+/// One explicit-offset access, located by (rank, record) and aligned to
+/// its barrier epoch.
+struct Access {
+    rank: u32,
+    record: usize,
+    epoch: usize,
+    path: String,
+    start: u64,
+    end: u64,
+    write: bool,
+}
+
+/// Collect explicit-offset accesses from one rank, resolving fds through
+/// the opens seen so far.
+fn collect_accesses(trace: &Trace, out: &mut Vec<Access>) {
+    let mut fd_path: BTreeMap<i64, String> = BTreeMap::new();
+    let mut epoch = 0usize;
+    for (i, r) in trace.records.iter().enumerate() {
+        if r.is_error() {
+            continue;
+        }
+        let (path, offset, len, write) = match &r.call {
+            IoCall::MpiBarrier => {
+                epoch += 1;
+                continue;
+            }
+            IoCall::Open { path, .. } | IoCall::MpiFileOpen { path, .. } => {
+                fd_path.insert(r.result, path.clone());
+                continue;
+            }
+            IoCall::Pwrite { fd, offset, len } | IoCall::MpiFileWriteAt { fd, offset, len } => {
+                match fd_path.get(fd) {
+                    Some(p) => (p.clone(), *offset, *len, true),
+                    None => continue,
+                }
+            }
+            IoCall::Pread { fd, offset, len } | IoCall::MpiFileReadAt { fd, offset, len } => {
+                match fd_path.get(fd) {
+                    Some(p) => (p.clone(), *offset, *len, false),
+                    None => continue,
+                }
+            }
+            IoCall::VfsWritePage { path, offset, len } => (path.clone(), *offset, *len, true),
+            IoCall::VfsReadPage { path, offset, len } => (path.clone(), *offset, *len, false),
+            _ => continue,
+        };
+        if len == 0 {
+            continue;
+        }
+        out.push(Access {
+            rank: trace.meta.rank,
+            record: i,
+            epoch,
+            path,
+            start: offset,
+            end: offset.saturating_add(len),
+            write,
+        });
+    }
+}
+
+fn barrier_count(trace: &Trace) -> usize {
+    trace
+        .records
+        .iter()
+        .filter(|r| !r.is_error() && r.call == IoCall::MpiBarrier)
+        .count()
+}
+
+impl LintPass for Causality {
+    fn name(&self) -> &'static str {
+        "causality"
+    }
+
+    fn run(&self, input: &LintInput<'_>, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        if input.traces.len() < 2 {
+            return; // single-rank traces have no cross-rank ordering to check
+        }
+
+        // Barrier structure must agree before epochs mean anything.
+        let counts: Vec<(u32, usize)> = input
+            .traces
+            .iter()
+            .map(|t| (t.meta.rank, barrier_count(t)))
+            .collect();
+        let distinct: BTreeSet<usize> = counts.iter().map(|&(_, c)| c).collect();
+        if distinct.len() > 1 {
+            let (lo_rank, lo) = counts
+                .iter()
+                .min_by_key(|&&(_, c)| c)
+                .copied()
+                .unwrap_or((0, 0));
+            let (hi_rank, hi) = counts
+                .iter()
+                .max_by_key(|&&(_, c)| c)
+                .copied()
+                .unwrap_or((0, 0));
+            out.push(
+                Diagnostic::new(
+                    "hb-barrier-mismatch",
+                    Severity::Error,
+                    format!(
+                        "ranks completed unequal barrier counts: rank{lo_rank} saw {lo}, \
+                         rank{hi_rank} saw {hi}"
+                    ),
+                )
+                .with_hint("a torn collective breaks the happens-before structure; re-capture"),
+            );
+        }
+
+        // Overlap scan: group accesses by (epoch, path), sweep by start
+        // offset, compare only across ranks.
+        let mut accesses = Vec::new();
+        for t in input.traces {
+            collect_accesses(t, &mut accesses);
+        }
+        let mut groups: BTreeMap<(usize, &str), Vec<&Access>> = BTreeMap::new();
+        for a in &accesses {
+            groups
+                .entry((a.epoch, a.path.as_str()))
+                .or_default()
+                .push(a);
+        }
+        // One diagnostic per (epoch, path, rank pair, kind) so a torn
+        // stripe pattern doesn't flood the report.
+        let mut seen: BTreeSet<(usize, String, u32, u32, bool)> = BTreeSet::new();
+        for ((epoch, path), mut group) in groups {
+            group.sort_by_key(|a| (a.start, a.rank, a.record));
+            for (i, a) in group.iter().enumerate() {
+                for b in group.iter().skip(i + 1) {
+                    if b.start >= a.end {
+                        break; // sorted by start: nothing later overlaps a
+                    }
+                    if a.rank == b.rank || (!a.write && !b.write) {
+                        continue;
+                    }
+                    let (lo, hi) = if a.rank < b.rank { (a, b) } else { (b, a) };
+                    let both_write = a.write && b.write;
+                    if !seen.insert((epoch, path.to_string(), lo.rank, hi.rank, both_write)) {
+                        continue;
+                    }
+                    let overlap_start = a.start.max(b.start);
+                    let overlap_end = a.end.min(b.end);
+                    if both_write {
+                        out.push(
+                            Diagnostic::new(
+                                "hb-write-race",
+                                Severity::Error,
+                                format!(
+                                    "rank{}#{} and rank{}#{} write overlapping bytes \
+                                     [{overlap_start}, {overlap_end}) of {path} in barrier \
+                                     epoch {epoch} with no ordering between them",
+                                    lo.rank, lo.record, hi.rank, hi.record
+                                ),
+                            )
+                            .with_hint(
+                                "replay may commit these writes in either order; separate them \
+                                 with a barrier or disjoint offsets",
+                            ),
+                        );
+                    } else {
+                        let (w, r) = if a.write { (a, b) } else { (b, a) };
+                        out.push(Diagnostic::new(
+                            "hb-read-race",
+                            Severity::Warning,
+                            format!(
+                                "rank{}#{} reads bytes [{overlap_start}, {overlap_end}) of \
+                                     {path} while rank{}#{} concurrently writes them \
+                                     (barrier epoch {epoch})",
+                                r.rank, r.record, w.rank, w.record
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::trace_of;
+
+    fn open(path: &str) -> (IoCall, i64) {
+        (
+            IoCall::Open {
+                path: path.into(),
+                flags: 0,
+                mode: 0,
+            },
+            3,
+        )
+    }
+
+    fn pwrite(off: u64, len: u64) -> (IoCall, i64) {
+        (
+            IoCall::Pwrite {
+                fd: 3,
+                offset: off,
+                len,
+            },
+            len as i64,
+        )
+    }
+
+    fn run(traces: &[Trace]) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        Causality.run(
+            &LintInput::from_traces(traces),
+            &LintConfig::default(),
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn disjoint_writes_in_one_epoch_are_clean() {
+        let a = trace_of(0, vec![open("/f"), pwrite(0, 100)]);
+        let b = trace_of(1, vec![open("/f"), pwrite(100, 100)]);
+        assert!(run(&[a, b]).is_empty());
+    }
+
+    #[test]
+    fn overlapping_unordered_writes_race() {
+        let a = trace_of(0, vec![open("/f"), pwrite(0, 100)]);
+        let b = trace_of(1, vec![open("/f"), pwrite(50, 100)]);
+        let out = run(&[a, b]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "hb-write-race");
+        assert_eq!(out[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn barrier_orders_the_same_writes() {
+        let a = trace_of(0, vec![open("/f"), pwrite(0, 100), (IoCall::MpiBarrier, 0)]);
+        let b = trace_of(
+            1,
+            vec![open("/f"), (IoCall::MpiBarrier, 0), pwrite(50, 100)],
+        );
+        assert!(run(&[a, b]).is_empty());
+    }
+
+    #[test]
+    fn same_rank_overlap_is_program_ordered() {
+        let a = trace_of(0, vec![open("/f"), pwrite(0, 100), pwrite(0, 100)]);
+        let b = trace_of(1, vec![open("/f")]);
+        assert!(run(&[a, b]).is_empty());
+    }
+
+    #[test]
+    fn concurrent_read_of_written_region_warns() {
+        let a = trace_of(0, vec![open("/f"), pwrite(0, 100)]);
+        let b = trace_of(
+            1,
+            vec![
+                open("/f"),
+                (
+                    IoCall::Pread {
+                        fd: 3,
+                        offset: 10,
+                        len: 10,
+                    },
+                    10,
+                ),
+            ],
+        );
+        let out = run(&[a, b]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "hb-read-race");
+        assert_eq!(out[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn unequal_barrier_counts_error() {
+        let a = trace_of(0, vec![(IoCall::MpiBarrier, 0), (IoCall::MpiBarrier, 0)]);
+        let b = trace_of(1, vec![(IoCall::MpiBarrier, 0)]);
+        let out = run(&[a, b]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "hb-barrier-mismatch");
+    }
+
+    #[test]
+    fn different_files_never_race() {
+        let a = trace_of(0, vec![open("/f"), pwrite(0, 100)]);
+        let b = trace_of(1, vec![open("/g"), pwrite(0, 100)]);
+        assert!(run(&[a, b]).is_empty());
+    }
+
+    #[test]
+    fn vfs_pages_participate() {
+        let a = trace_of(
+            0,
+            vec![(
+                IoCall::VfsWritePage {
+                    path: "/f".into(),
+                    offset: 0,
+                    len: 4096,
+                },
+                0,
+            )],
+        );
+        let b = trace_of(
+            1,
+            vec![(
+                IoCall::VfsWritePage {
+                    path: "/f".into(),
+                    offset: 2048,
+                    len: 4096,
+                },
+                0,
+            )],
+        );
+        let out = run(&[a, b]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "hb-write-race");
+    }
+}

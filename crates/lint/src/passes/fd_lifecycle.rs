@@ -1,0 +1,391 @@
+//! File-descriptor lifecycle checking (pass `fd-lifecycle`).
+//!
+//! Tracks every successful open/close per rank and flags records that
+//! use a descriptor after it was closed, close one twice, operate on one
+//! never opened in the trace, or leak one at trace end. Failed calls
+//! (negative result) neither mutate state nor get flagged — a trace that
+//! records `write → -EBADF` on a closed fd is self-consistent.
+//!
+//! Descriptors are tracked per capture layer: LANL-Trace-style dual
+//! capture records both `MPI_File_open` and the `SYS_open` it wraps, and
+//! the MPI file handle is a different namespace from the POSIX fd even
+//! when numerically equal. Descriptors 0–2 are exempt from unknown-fd
+//! reporting: traces routinely start with the standard streams open.
+
+use std::collections::BTreeMap;
+
+use iotrace_model::event::{CallLayer, IoCall, Trace};
+
+use crate::config::LintConfig;
+use crate::diag::{Diagnostic, Severity};
+use crate::passes::{LintInput, LintPass};
+
+pub struct FdLifecycle;
+
+/// Descriptor argument of calls that *use* (not open/close) an fd.
+fn used_fd(call: &IoCall) -> Option<i64> {
+    use IoCall::*;
+    match call {
+        Read { fd, .. }
+        | Write { fd, .. }
+        | Pread { fd, .. }
+        | Pwrite { fd, .. }
+        | Lseek { fd, .. }
+        | Fsync { fd }
+        | Fcntl { fd, .. }
+        | MpiFileWriteAt { fd, .. }
+        | MpiFileReadAt { fd, .. } => Some(*fd),
+        _ => None,
+    }
+}
+
+fn lint_trace(trace: &Trace, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    let rank = trace.meta.rank;
+    // (layer, fd) → record index of the witnessing open / close.
+    let mut open: BTreeMap<(CallLayer, i64), usize> = BTreeMap::new();
+    let mut closed: BTreeMap<(CallLayer, i64), usize> = BTreeMap::new();
+    let mut suppressed_unknown = 0usize;
+    let mut reported_unknown = 0usize;
+
+    for (i, r) in trace.records.iter().enumerate() {
+        if r.is_error() {
+            continue;
+        }
+        let layer = r.call.layer();
+        match &r.call {
+            IoCall::Open { .. } | IoCall::MpiFileOpen { .. } => {
+                let fd = (layer, r.result);
+                if let Some(prev) = open.insert(fd, i) {
+                    out.push(
+                        Diagnostic::new(
+                            "fd-reopen",
+                            Severity::Warning,
+                            format!(
+                                "{} returned fd {}, still open since record #{prev}",
+                                r.call.name(),
+                                fd.1
+                            ),
+                        )
+                        .at_record(rank, i)
+                        .with_hint("a close for this descriptor is missing from the trace"),
+                    );
+                }
+                closed.remove(&fd);
+            }
+            IoCall::Close { fd } | IoCall::MpiFileClose { fd } => {
+                let fd = (layer, *fd);
+                if open.remove(&fd).is_some() {
+                    closed.insert(fd, i);
+                } else if let Some(prev) = closed.get(&fd) {
+                    out.push(
+                        Diagnostic::new(
+                            "fd-double-close",
+                            Severity::Error,
+                            format!(
+                                "{} of fd {} already closed at record #{prev}",
+                                r.call.name(),
+                                fd.1
+                            ),
+                        )
+                        .at_record(rank, i)
+                        .with_hint("drop the redundant close or re-capture the trace"),
+                    );
+                } else if fd.1 > 2 {
+                    out.push(
+                        Diagnostic::new(
+                            "fd-unknown",
+                            Severity::Warning,
+                            format!(
+                                "{} of fd {} never opened in this trace",
+                                r.call.name(),
+                                fd.1
+                            ),
+                        )
+                        .at_record(rank, i),
+                    );
+                }
+            }
+            call => {
+                if let Some(fd) = used_fd(call).map(|fd| (layer, fd)) {
+                    if open.contains_key(&fd) {
+                        // healthy
+                    } else if let Some(prev) = closed.get(&fd) {
+                        out.push(
+                            Diagnostic::new(
+                                "fd-use-after-close",
+                                Severity::Error,
+                                format!(
+                                    "{} on fd {} succeeded after close at record #{prev}",
+                                    call.name(),
+                                    fd.1
+                                ),
+                            )
+                            .at_record(rank, i)
+                            .with_hint(
+                                "successful I/O on a closed descriptor means records were \
+                                 reordered or dropped at capture time",
+                            ),
+                        );
+                    } else if fd.1 > 2 {
+                        if reported_unknown < cfg.max_reports_per_rule {
+                            reported_unknown += 1;
+                            out.push(
+                                Diagnostic::new(
+                                    "fd-unknown",
+                                    Severity::Warning,
+                                    format!(
+                                        "{} on fd {} never opened in this trace",
+                                        call.name(),
+                                        fd.1
+                                    ),
+                                )
+                                .at_record(rank, i)
+                                .with_hint("the open may predate the capture window"),
+                            );
+                        } else {
+                            suppressed_unknown += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for ((_, fd), opened_at) in &open {
+        out.push(
+            Diagnostic::new(
+                "fd-leak",
+                Severity::Warning,
+                format!("fd {fd} opened at record #{opened_at} is never closed"),
+            )
+            .at_record(rank, *opened_at),
+        );
+    }
+    if suppressed_unknown > 0 {
+        out.push(
+            Diagnostic::new(
+                "fd-unknown",
+                Severity::Info,
+                format!("{suppressed_unknown} further unknown-fd finding(s) suppressed"),
+            )
+            .at_rank(rank),
+        );
+    }
+}
+
+impl LintPass for FdLifecycle {
+    fn name(&self) -> &'static str {
+        "fd-lifecycle"
+    }
+
+    fn run(&self, input: &LintInput<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        for trace in input.traces {
+            lint_trace(trace, cfg, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{rec, trace_of};
+
+    fn run(calls: Vec<(IoCall, i64)>) -> Vec<Diagnostic> {
+        let t = trace_of(0, calls);
+        let mut out = Vec::new();
+        FdLifecycle.run(
+            &LintInput::from_traces(std::slice::from_ref(&t)),
+            &LintConfig::default(),
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn clean_lifecycle_has_no_findings() {
+        let out = run(vec![
+            (
+                IoCall::Open {
+                    path: "/f".into(),
+                    flags: 0,
+                    mode: 0,
+                },
+                3,
+            ),
+            (IoCall::Write { fd: 3, len: 10 }, 10),
+            (IoCall::Close { fd: 3 }, 0),
+        ]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn use_after_close_is_an_error() {
+        let out = run(vec![
+            (
+                IoCall::Open {
+                    path: "/f".into(),
+                    flags: 0,
+                    mode: 0,
+                },
+                3,
+            ),
+            (IoCall::Close { fd: 3 }, 0),
+            (IoCall::Write { fd: 3, len: 10 }, 10),
+        ]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "fd-use-after-close");
+        assert_eq!(out[0].severity, Severity::Error);
+        assert_eq!(out[0].record, Some(2));
+    }
+
+    #[test]
+    fn double_close_is_an_error() {
+        let out = run(vec![
+            (
+                IoCall::Open {
+                    path: "/f".into(),
+                    flags: 0,
+                    mode: 0,
+                },
+                3,
+            ),
+            (IoCall::Close { fd: 3 }, 0),
+            (IoCall::Close { fd: 3 }, 0),
+        ]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "fd-double-close");
+    }
+
+    #[test]
+    fn leaked_fd_is_a_warning() {
+        let out = run(vec![(
+            IoCall::Open {
+                path: "/f".into(),
+                flags: 0,
+                mode: 0,
+            },
+            4,
+        )]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "fd-leak");
+        assert_eq!(out[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn failed_calls_do_not_mutate_state_or_fire() {
+        let mut t = trace_of(
+            0,
+            vec![
+                (
+                    IoCall::Open {
+                        path: "/f".into(),
+                        flags: 0,
+                        mode: 0,
+                    },
+                    3,
+                ),
+                (IoCall::Close { fd: 3 }, 0),
+            ],
+        );
+        // A failed write on the closed fd is consistent (-EBADF).
+        t.records.push(rec(0, IoCall::Write { fd: 3, len: 1 }, -9));
+        let mut out = Vec::new();
+        FdLifecycle.run(
+            &LintInput::from_traces(std::slice::from_ref(&t)),
+            &LintConfig::default(),
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn stdio_fds_are_exempt() {
+        let out = run(vec![(IoCall::Write { fd: 1, len: 5 }, 5)]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn fd_reuse_after_close_is_clean() {
+        let out = run(vec![
+            (
+                IoCall::Open {
+                    path: "/a".into(),
+                    flags: 0,
+                    mode: 0,
+                },
+                3,
+            ),
+            (IoCall::Close { fd: 3 }, 0),
+            (
+                IoCall::Open {
+                    path: "/b".into(),
+                    flags: 0,
+                    mode: 0,
+                },
+                3,
+            ),
+            (IoCall::Read { fd: 3, len: 8 }, 8),
+            (IoCall::Close { fd: 3 }, 0),
+        ]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn dual_layer_capture_is_not_a_double_close() {
+        // LANL-Trace records both the MPI call and the syscall it wraps;
+        // fd 3 exists in both namespaces and each is closed once.
+        let out = run(vec![
+            (
+                IoCall::Open {
+                    path: "/f".into(),
+                    flags: 0,
+                    mode: 0,
+                },
+                3,
+            ),
+            (
+                IoCall::MpiFileOpen {
+                    path: "/f".into(),
+                    amode: 37,
+                },
+                3,
+            ),
+            (IoCall::Write { fd: 3, len: 8 }, 8),
+            (
+                IoCall::MpiFileWriteAt {
+                    fd: 3,
+                    offset: 0,
+                    len: 8,
+                },
+                8,
+            ),
+            (IoCall::Close { fd: 3 }, 0),
+            (IoCall::MpiFileClose { fd: 3 }, 0),
+        ]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn mpi_descriptors_are_tracked_too() {
+        let out = run(vec![
+            (
+                IoCall::MpiFileOpen {
+                    path: "/f".into(),
+                    amode: 5,
+                },
+                7,
+            ),
+            (IoCall::MpiFileClose { fd: 7 }, 0),
+            (
+                IoCall::MpiFileWriteAt {
+                    fd: 7,
+                    offset: 0,
+                    len: 8,
+                },
+                8,
+            ),
+        ]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "fd-use-after-close");
+    }
+}

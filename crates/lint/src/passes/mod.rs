@@ -1,0 +1,54 @@
+//! The pass registry.
+
+use iotrace_model::event::Trace;
+use iotrace_partrace::deps::DependencyMap;
+use iotrace_partrace::replayable::ReplayableTrace;
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+
+pub mod anonleak;
+pub mod causality;
+pub mod clock;
+pub mod depgraph;
+pub mod fd_lifecycle;
+
+/// Everything a lint run can look at: the per-rank traces and, when the
+/// input was a replayable capture, its dependency map.
+#[derive(Clone, Copy)]
+pub struct LintInput<'a> {
+    pub traces: &'a [Trace],
+    pub deps: Option<&'a DependencyMap>,
+}
+
+impl<'a> LintInput<'a> {
+    pub fn from_traces(traces: &'a [Trace]) -> Self {
+        LintInput { traces, deps: None }
+    }
+
+    pub fn from_replayable(rt: &'a ReplayableTrace) -> Self {
+        LintInput {
+            traces: &rt.traces,
+            deps: Some(&rt.deps),
+        }
+    }
+}
+
+/// One analysis pass. Passes are pure: they read the input and append
+/// diagnostics; ordering between passes carries no meaning.
+pub trait LintPass {
+    /// Stable pass name (used by `iotrace lint --pass <name>`).
+    fn name(&self) -> &'static str;
+    fn run(&self, input: &LintInput<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>);
+}
+
+/// The default pass set, in catalog order.
+pub fn default_passes() -> Vec<Box<dyn LintPass>> {
+    vec![
+        Box::new(fd_lifecycle::FdLifecycle),
+        Box::new(causality::Causality),
+        Box::new(clock::ClockSanity),
+        Box::new(depgraph::DepGraph),
+        Box::new(anonleak::AnonLeakage),
+    ]
+}

@@ -88,7 +88,10 @@ impl Anonymizer {
     fn anon_component(&self, comp: &str) -> String {
         match &self.mode {
             Mode::Randomize { seed } => {
-                format!("a{:012x}", keyed_hash(*seed, comp.as_bytes()) & 0xFFFF_FFFF_FFFF)
+                format!(
+                    "a{:012x}",
+                    keyed_hash(*seed, comp.as_bytes()) & 0xFFFF_FFFF_FFFF
+                )
             }
             Mode::Encrypt { key } => {
                 let iv = keyed_hash(0, comp.as_bytes());
@@ -139,6 +142,9 @@ impl Anonymizer {
     /// as well as records do.
     pub fn apply(&self, trace: &mut Trace) -> usize {
         let mut changed = 0;
+        if self.sel.paths || self.sel.uids || self.sel.gids {
+            trace.meta.anonymized = true;
+        }
         if self.sel.paths {
             trace.meta.app = format!("app_{}", self.anon_component(&trace.meta.app));
             trace.meta.host = format!("host_{}", self.anon_component(&trace.meta.host));
@@ -267,7 +273,10 @@ mod tests {
         Anonymizer::new(Mode::Encrypt { key }, Selection::ALL).apply(&mut t);
         let p = path_of(&t, 0);
         assert!(!p.contains("jdoe"));
-        assert!(p.split('/').filter(|c| !c.is_empty()).all(|c| c.starts_with('e')));
+        assert!(p
+            .split('/')
+            .filter(|c| !c.is_empty())
+            .all(|c| c.starts_with('e')));
     }
 
     #[test]

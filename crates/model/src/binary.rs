@@ -78,7 +78,9 @@ impl Default for BinaryOptions {
 pub enum BinError {
     BadMagic,
     BadVersion(u8),
-    ChecksumMismatch { block: usize },
+    ChecksumMismatch {
+        block: usize,
+    },
     Truncated,
     UnknownTag(u8),
     Cipher(CipherError),
@@ -229,7 +231,10 @@ fn encode_record(out: &mut Vec<u8>, r: &TraceRecord, prev_ts: &mut u64, fc: &Fie
             put_i64(out, *offset);
             put_u64(out, *whence as u64);
         }
-        Stat { path } | Statfs { path } | Unlink { path } | Readdir { path }
+        Stat { path }
+        | Statfs { path }
+        | Unlink { path }
+        | Readdir { path }
         | VfsLookup { path } => fc.put_path(out, 3, path),
         Mkdir { path, mode } => {
             fc.put_path(out, 3, path);
@@ -284,30 +289,86 @@ fn decode_record(
             mode: c.get_u64()? as u32,
         },
         1 => Close { fd: c.get_i64()? },
-        2 => Read { fd: c.get_i64()?, len: c.get_u64()? },
-        3 => Write { fd: c.get_i64()?, len: c.get_u64()? },
-        4 => Pread { fd: c.get_i64()?, offset: c.get_u64()?, len: c.get_u64()? },
-        5 => Pwrite { fd: c.get_i64()?, offset: c.get_u64()?, len: c.get_u64()? },
-        6 => Lseek { fd: c.get_i64()?, offset: c.get_i64()?, whence: c.get_u64()? as u8 },
+        2 => Read {
+            fd: c.get_i64()?,
+            len: c.get_u64()?,
+        },
+        3 => Write {
+            fd: c.get_i64()?,
+            len: c.get_u64()?,
+        },
+        4 => Pread {
+            fd: c.get_i64()?,
+            offset: c.get_u64()?,
+            len: c.get_u64()?,
+        },
+        5 => Pwrite {
+            fd: c.get_i64()?,
+            offset: c.get_u64()?,
+            len: c.get_u64()?,
+        },
+        6 => Lseek {
+            fd: c.get_i64()?,
+            offset: c.get_i64()?,
+            whence: c.get_u64()? as u8,
+        },
         7 => Fsync { fd: c.get_i64()? },
-        8 => Stat { path: fc.get_path(c, 3)? },
-        9 => Statfs { path: fc.get_path(c, 3)? },
-        10 => Mkdir { path: fc.get_path(c, 3)?, mode: c.get_u64()? as u32 },
-        11 => Unlink { path: fc.get_path(c, 3)? },
-        12 => Readdir { path: fc.get_path(c, 3)? },
-        13 => Rename { from: fc.get_path(c, 3)?, to: fc.get_path(c, 4)? },
-        14 => Fcntl { fd: c.get_i64()?, cmd: c.get_u64()? as u32 },
+        8 => Stat {
+            path: fc.get_path(c, 3)?,
+        },
+        9 => Statfs {
+            path: fc.get_path(c, 3)?,
+        },
+        10 => Mkdir {
+            path: fc.get_path(c, 3)?,
+            mode: c.get_u64()? as u32,
+        },
+        11 => Unlink {
+            path: fc.get_path(c, 3)?,
+        },
+        12 => Readdir {
+            path: fc.get_path(c, 3)?,
+        },
+        13 => Rename {
+            from: fc.get_path(c, 3)?,
+            to: fc.get_path(c, 4)?,
+        },
+        14 => Fcntl {
+            fd: c.get_i64()?,
+            cmd: c.get_u64()? as u32,
+        },
         15 => Mmap { len: c.get_u64()? },
-        16 => MpiFileOpen { path: fc.get_path(c, 3)?, amode: c.get_u64()? as u32 },
+        16 => MpiFileOpen {
+            path: fc.get_path(c, 3)?,
+            amode: c.get_u64()? as u32,
+        },
         17 => MpiFileClose { fd: c.get_i64()? },
-        18 => MpiFileWriteAt { fd: c.get_i64()?, offset: c.get_u64()?, len: c.get_u64()? },
-        19 => MpiFileReadAt { fd: c.get_i64()?, offset: c.get_u64()?, len: c.get_u64()? },
+        18 => MpiFileWriteAt {
+            fd: c.get_i64()?,
+            offset: c.get_u64()?,
+            len: c.get_u64()?,
+        },
+        19 => MpiFileReadAt {
+            fd: c.get_i64()?,
+            offset: c.get_u64()?,
+            len: c.get_u64()?,
+        },
         20 => MpiBarrier,
         21 => MpiCommRank,
         22 => MpiWait,
-        23 => VfsLookup { path: fc.get_path(c, 3)? },
-        24 => VfsWritePage { path: fc.get_path(c, 3)?, offset: c.get_u64()?, len: c.get_u64()? },
-        25 => VfsReadPage { path: fc.get_path(c, 3)?, offset: c.get_u64()?, len: c.get_u64()? },
+        23 => VfsLookup {
+            path: fc.get_path(c, 3)?,
+        },
+        24 => VfsWritePage {
+            path: fc.get_path(c, 3)?,
+            offset: c.get_u64()?,
+            len: c.get_u64()?,
+        },
+        25 => VfsReadPage {
+            path: fc.get_path(c, 3)?,
+            offset: c.get_u64()?,
+            len: c.get_u64()?,
+        },
         t => return Err(BinError::UnknownTag(t)),
     };
     Ok(TraceRecord {
@@ -347,6 +408,7 @@ pub fn encode_binary(trace: &Trace, opts: &BinaryOptions) -> Vec<u8> {
     put_str(&mut out, &m.host);
     put_str(&mut out, &m.tracer);
     put_u64(&mut out, m.base_epoch);
+    put_u64(&mut out, m.anonymized as u64);
     put_u64(&mut out, trace.records.len() as u64);
 
     let sel = opts.encrypt.map(|(_, s)| s).unwrap_or(FieldSel::NONE);
@@ -407,6 +469,7 @@ pub fn decode_binary(bytes: &[u8], key: Option<&Key>) -> Result<DecodedBinary, B
     let host = c.get_str()?;
     let tracer = c.get_str()?;
     let base_epoch = c.get_u64()?;
+    let anonymized = c.get_u64()? != 0;
     let n_records = c.get_u64()? as usize;
     let meta = TraceMeta {
         app,
@@ -415,6 +478,7 @@ pub fn decode_binary(bytes: &[u8], key: Option<&Key>) -> Result<DecodedBinary, B
         host,
         tracer,
         base_epoch,
+        anonymized,
     };
 
     let sel = if encrypted { field_sel } else { FieldSel::NONE };
@@ -580,7 +644,10 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert_eq!(decode_binary(&bytes, None).unwrap_err(), BinError::KeyRequired);
+        assert_eq!(
+            decode_binary(&bytes, None).unwrap_err(),
+            BinError::KeyRequired
+        );
     }
 
     #[test]
@@ -633,10 +700,16 @@ mod tests {
 
     #[test]
     fn bad_magic_and_version() {
-        assert_eq!(decode_binary(b"NOPE\x01\x00\x00", None).unwrap_err(), BinError::BadMagic);
+        assert_eq!(
+            decode_binary(b"NOPE\x01\x00\x00", None).unwrap_err(),
+            BinError::BadMagic
+        );
         let mut ok = encode_binary(&sample(), &BinaryOptions::default());
         ok[4] = 99;
-        assert_eq!(decode_binary(&ok, None).unwrap_err(), BinError::BadVersion(99));
+        assert_eq!(
+            decode_binary(&ok, None).unwrap_err(),
+            BinError::BadVersion(99)
+        );
     }
 
     #[test]

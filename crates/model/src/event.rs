@@ -27,35 +27,103 @@ pub enum CallLayer {
 #[derive(Clone, Debug, PartialEq)]
 pub enum IoCall {
     // --- POSIX system calls ---
-    Open { path: String, flags: u32, mode: u32 },
-    Close { fd: i64 },
-    Read { fd: i64, len: u64 },
-    Write { fd: i64, len: u64 },
-    Pread { fd: i64, offset: u64, len: u64 },
-    Pwrite { fd: i64, offset: u64, len: u64 },
-    Lseek { fd: i64, offset: i64, whence: u8 },
-    Fsync { fd: i64 },
-    Stat { path: String },
-    Statfs { path: String },
-    Mkdir { path: String, mode: u32 },
-    Unlink { path: String },
-    Readdir { path: String },
-    Rename { from: String, to: String },
-    Fcntl { fd: i64, cmd: u32 },
+    Open {
+        path: String,
+        flags: u32,
+        mode: u32,
+    },
+    Close {
+        fd: i64,
+    },
+    Read {
+        fd: i64,
+        len: u64,
+    },
+    Write {
+        fd: i64,
+        len: u64,
+    },
+    Pread {
+        fd: i64,
+        offset: u64,
+        len: u64,
+    },
+    Pwrite {
+        fd: i64,
+        offset: u64,
+        len: u64,
+    },
+    Lseek {
+        fd: i64,
+        offset: i64,
+        whence: u8,
+    },
+    Fsync {
+        fd: i64,
+    },
+    Stat {
+        path: String,
+    },
+    Statfs {
+        path: String,
+    },
+    Mkdir {
+        path: String,
+        mode: u32,
+    },
+    Unlink {
+        path: String,
+    },
+    Readdir {
+        path: String,
+    },
+    Rename {
+        from: String,
+        to: String,
+    },
+    Fcntl {
+        fd: i64,
+        cmd: u32,
+    },
     /// Memory-map: visible as a call, but subsequent loads/stores are not.
-    Mmap { len: u64 },
+    Mmap {
+        len: u64,
+    },
     // --- MPI / MPI-IO library calls ---
-    MpiFileOpen { path: String, amode: u32 },
-    MpiFileClose { fd: i64 },
-    MpiFileWriteAt { fd: i64, offset: u64, len: u64 },
-    MpiFileReadAt { fd: i64, offset: u64, len: u64 },
+    MpiFileOpen {
+        path: String,
+        amode: u32,
+    },
+    MpiFileClose {
+        fd: i64,
+    },
+    MpiFileWriteAt {
+        fd: i64,
+        offset: u64,
+        len: u64,
+    },
+    MpiFileReadAt {
+        fd: i64,
+        offset: u64,
+        len: u64,
+    },
     MpiBarrier,
     MpiCommRank,
     MpiWait,
     // --- VFS operations (what Tracefs sees) ---
-    VfsLookup { path: String },
-    VfsWritePage { path: String, offset: u64, len: u64 },
-    VfsReadPage { path: String, offset: u64, len: u64 },
+    VfsLookup {
+        path: String,
+    },
+    VfsWritePage {
+        path: String,
+        offset: u64,
+        len: u64,
+    },
+    VfsReadPage {
+        path: String,
+        offset: u64,
+        len: u64,
+    },
 }
 
 impl IoCall {
@@ -63,8 +131,13 @@ impl IoCall {
     pub fn layer(&self) -> CallLayer {
         use IoCall::*;
         match self {
-            MpiFileOpen { .. } | MpiFileClose { .. } | MpiFileWriteAt { .. }
-            | MpiFileReadAt { .. } | MpiBarrier | MpiCommRank | MpiWait => CallLayer::Mpi,
+            MpiFileOpen { .. }
+            | MpiFileClose { .. }
+            | MpiFileWriteAt { .. }
+            | MpiFileReadAt { .. }
+            | MpiBarrier
+            | MpiCommRank
+            | MpiWait => CallLayer::Mpi,
             VfsLookup { .. } | VfsWritePage { .. } | VfsReadPage { .. } => CallLayer::Vfs,
             _ => CallLayer::Sys,
         }
@@ -210,6 +283,10 @@ pub struct TraceMeta {
     /// Epoch base added to simulated seconds when formatting wall-clock
     /// timestamps (the paper's examples sit at ~1159808385).
     pub base_epoch: u64,
+    /// Claim that identifying fields (paths, host, credentials) have
+    /// been anonymized. Set by [`crate::anonymize::Anonymizer::apply`];
+    /// `iotrace-lint`'s leakage pass audits traces carrying this claim.
+    pub anonymized: bool,
 }
 
 impl TraceMeta {
@@ -221,6 +298,7 @@ impl TraceMeta {
             host: format!("host{:02}.lanl.gov", node),
             tracer: tracer.to_string(),
             base_epoch: 1_159_808_385,
+            anonymized: false,
         }
     }
 }
@@ -247,7 +325,10 @@ impl Trace {
 
     /// Span from first record start to last record end.
     pub fn span(&self) -> SimDur {
-        match (self.records.first(), self.records.iter().map(|r| r.end()).max()) {
+        match (
+            self.records.first(),
+            self.records.iter().map(|r| r.end()).max(),
+        ) {
             (Some(first), Some(end)) => end.since(first.ts),
             _ => SimDur::ZERO,
         }
@@ -284,15 +365,33 @@ mod tests {
 
     #[test]
     fn names_match_figure1_style() {
-        assert_eq!(IoCall::Open { path: "/etc/hosts".into(), flags: 0, mode: 0o666 }.name(), "SYS_open");
-        assert_eq!(IoCall::MpiFileOpen { path: "/f".into(), amode: 37 }.name(), "MPI_File_open");
+        assert_eq!(
+            IoCall::Open {
+                path: "/etc/hosts".into(),
+                flags: 0,
+                mode: 0o666
+            }
+            .name(),
+            "SYS_open"
+        );
+        assert_eq!(
+            IoCall::MpiFileOpen {
+                path: "/f".into(),
+                amode: 37
+            }
+            .name(),
+            "MPI_File_open"
+        );
         assert_eq!(IoCall::MpiWait.name(), "MPIO_Wait");
         assert_eq!(IoCall::Statfs { path: "/".into() }.name(), "SYS_statfs64");
     }
 
     #[test]
     fn path_extraction() {
-        let mut c = IoCall::Rename { from: "/a".into(), to: "/b".into() };
+        let mut c = IoCall::Rename {
+            from: "/a".into(),
+            to: "/b".into(),
+        };
         assert_eq!(c.path(), Some("/a"));
         assert_eq!(c.paths_mut().len(), 2);
         assert_eq!(IoCall::Close { fd: 1 }.path(), None);
@@ -323,10 +422,7 @@ mod tests {
         r2.ts = SimTime::from_millis(10);
         t.records.push(r2);
         assert_eq!(t.total_bytes(), 150);
-        assert_eq!(
-            t.span(),
-            SimDur::from_millis(5) + SimDur::from_micros(100)
-        );
+        assert_eq!(t.span(), SimDur::from_millis(5) + SimDur::from_micros(100));
     }
 
     #[test]

@@ -64,7 +64,10 @@ pub fn format_call(call: &IoCall) -> String {
             format!("{fd}, {offset}, {len}")
         }
         Lseek { fd, offset, whence } => format!("{fd}, {offset}, {whence}"),
-        Stat { path } | Statfs { path } | Unlink { path } | Readdir { path }
+        Stat { path }
+        | Statfs { path }
+        | Unlink { path }
+        | Readdir { path }
         | VfsLookup { path } => quote(path),
         Mkdir { path, mode } => format!("{}, {:#o}", quote(path), mode),
         Rename { from, to } => format!("{}, {}", quote(from), quote(to)),
@@ -92,6 +95,9 @@ pub fn format_text(trace: &Trace) -> String {
     out.push_str(&format!("# node: {}\n", m.node));
     out.push_str(&format!("# host: {}\n", m.host));
     out.push_str(&format!("# epoch: {}\n", m.base_epoch));
+    if m.anonymized {
+        out.push_str("# anonymized: true\n");
+    }
     if let Some(first) = trace.records.first() {
         out.push_str(&format!(
             "# pid: {} uid: {} gid: {}\n",
@@ -119,7 +125,10 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(s: &'a str) -> Self {
-        Lexer { s: s.as_bytes(), pos: 0 }
+        Lexer {
+            s: s.as_bytes(),
+            pos: 0,
+        }
     }
     fn skip_ws(&mut self) {
         while self.pos < self.s.len() && (self.s[self.pos] == b' ' || self.s[self.pos] == b'\t') {
@@ -171,9 +180,7 @@ impl<'a> Lexer<'a> {
             }
         }
         let digits_start = self.pos;
-        while self.pos < self.s.len()
-            && (self.s[self.pos].is_ascii_alphanumeric())
-        {
+        while self.pos < self.s.len() && (self.s[self.pos].is_ascii_alphanumeric()) {
             self.pos += 1;
         }
         if self.pos == digits_start && radix == 10 && self.pos == start {
@@ -245,18 +252,39 @@ fn parse_call(lex: &mut Lexer<'_>) -> Result<IoCall, String> {
             }
         }
         "SYS_close" => IoCall::Close { fd: n!() },
-        "SYS_read" => IoCall::Read { fd: n!(), len: n!() as u64 },
-        "SYS_write" => IoCall::Write { fd: n!(), len: n!() as u64 },
-        "SYS_pread" => IoCall::Pread { fd: n!(), offset: n!() as u64, len: n!() as u64 },
-        "SYS_pwrite" => IoCall::Pwrite { fd: n!(), offset: n!() as u64, len: n!() as u64 },
-        "SYS_lseek" => IoCall::Lseek { fd: n!(), offset: n!(), whence: n!() as u8 },
+        "SYS_read" => IoCall::Read {
+            fd: n!(),
+            len: n!() as u64,
+        },
+        "SYS_write" => IoCall::Write {
+            fd: n!(),
+            len: n!() as u64,
+        },
+        "SYS_pread" => IoCall::Pread {
+            fd: n!(),
+            offset: n!() as u64,
+            len: n!() as u64,
+        },
+        "SYS_pwrite" => IoCall::Pwrite {
+            fd: n!(),
+            offset: n!() as u64,
+            len: n!() as u64,
+        },
+        "SYS_lseek" => IoCall::Lseek {
+            fd: n!(),
+            offset: n!(),
+            whence: n!() as u8,
+        },
         "SYS_fsync" => IoCall::Fsync { fd: n!() },
         "SYS_stat" => IoCall::Stat { path: s!() },
         "SYS_statfs64" => IoCall::Statfs { path: s!() },
         "SYS_mkdir" => {
             let path = s!();
             lex.eat(b',');
-            IoCall::Mkdir { path, mode: n!() as u32 }
+            IoCall::Mkdir {
+                path,
+                mode: n!() as u32,
+            }
         }
         "SYS_unlink" => IoCall::Unlink { path: s!() },
         "SYS_getdents64" => IoCall::Readdir { path: s!() },
@@ -265,22 +293,50 @@ fn parse_call(lex: &mut Lexer<'_>) -> Result<IoCall, String> {
             lex.eat(b',');
             IoCall::Rename { from, to: s!() }
         }
-        "SYS_fcntl64" => IoCall::Fcntl { fd: n!(), cmd: n!() as u32 },
+        "SYS_fcntl64" => IoCall::Fcntl {
+            fd: n!(),
+            cmd: n!() as u32,
+        },
         "SYS_mmap" => IoCall::Mmap { len: n!() as u64 },
         "MPI_File_open" => {
             let path = s!();
             lex.eat(b',');
-            IoCall::MpiFileOpen { path, amode: n!() as u32 }
+            IoCall::MpiFileOpen {
+                path,
+                amode: n!() as u32,
+            }
         }
         "MPI_File_close" => IoCall::MpiFileClose { fd: n!() },
-        "MPI_File_write_at" => IoCall::MpiFileWriteAt { fd: n!(), offset: n!() as u64, len: n!() as u64 },
-        "MPI_File_read_at" => IoCall::MpiFileReadAt { fd: n!(), offset: n!() as u64, len: n!() as u64 },
+        "MPI_File_write_at" => IoCall::MpiFileWriteAt {
+            fd: n!(),
+            offset: n!() as u64,
+            len: n!() as u64,
+        },
+        "MPI_File_read_at" => IoCall::MpiFileReadAt {
+            fd: n!(),
+            offset: n!() as u64,
+            len: n!() as u64,
+        },
         "MPI_Barrier" => IoCall::MpiBarrier,
         "MPI_Comm_rank" => IoCall::MpiCommRank,
         "MPIO_Wait" => IoCall::MpiWait,
         "VFS_lookup" => IoCall::VfsLookup { path: s!() },
-        "VFS_write_page" => IoCall::VfsWritePage { path: s!(), offset: { lex.eat(b','); n!() as u64 }, len: n!() as u64 },
-        "VFS_read_page" => IoCall::VfsReadPage { path: s!(), offset: { lex.eat(b','); n!() as u64 }, len: n!() as u64 },
+        "VFS_write_page" => IoCall::VfsWritePage {
+            path: s!(),
+            offset: {
+                lex.eat(b',');
+                n!() as u64
+            },
+            len: n!() as u64,
+        },
+        "VFS_read_page" => IoCall::VfsReadPage {
+            path: s!(),
+            offset: {
+                lex.eat(b',');
+                n!() as u64
+            },
+            len: n!() as u64,
+        },
         other => return Err(format!("unknown call {other}")),
     };
     if !lex.eat(b')') {
@@ -296,7 +352,9 @@ fn parse_ts(tok: &str, base_epoch: u64) -> Result<SimTime, String> {
         return Err("timestamp fraction must be 6 digits".to_string());
     }
     let micros: u64 = frac.parse().map_err(|_| "bad timestamp micros")?;
-    let rel = secs.checked_sub(base_epoch).ok_or("timestamp before epoch")?;
+    let rel = secs
+        .checked_sub(base_epoch)
+        .ok_or("timestamp before epoch")?;
     Ok(SimTime::from_nanos(rel * 1_000_000_000 + micros * 1_000))
 }
 
@@ -328,9 +386,8 @@ pub fn parse_text(input: &str) -> Result<Trace, ParseError> {
                     "rank" => meta.rank = v.parse().map_err(|_| err(lineno, "bad rank"))?,
                     "node" => meta.node = v.parse().map_err(|_| err(lineno, "bad node"))?,
                     "host" => meta.host = v.to_string(),
-                    "epoch" => {
-                        meta.base_epoch = v.parse().map_err(|_| err(lineno, "bad epoch"))?
-                    }
+                    "epoch" => meta.base_epoch = v.parse().map_err(|_| err(lineno, "bad epoch"))?,
+                    "anonymized" => meta.anonymized = v == "true",
                     "pid" => {
                         // "# pid: P uid: U gid: G"
                         let mut parts = v.split_whitespace();
@@ -417,21 +474,45 @@ mod tests {
         };
         t.records = vec![
             base(
-                IoCall::MpiFileOpen { path: "/pfs/out".into(), amode: 37 },
+                IoCall::MpiFileOpen {
+                    path: "/pfs/out".into(),
+                    amode: 37,
+                },
                 100,
                 900,
                 0,
             ),
             base(
-                IoCall::Open { path: "/etc/hosts".into(), flags: 0, mode: 0o666 },
+                IoCall::Open {
+                    path: "/etc/hosts".into(),
+                    flags: 0,
+                    mode: 0o666,
+                },
                 1_200,
                 34,
                 3,
             ),
             base(IoCall::Fcntl { fd: 3, cmd: 1 }, 1_300, 17, 0),
             base(IoCall::Write { fd: 3, len: 65536 }, 2_000, 210, 65536),
-            base(IoCall::Lseek { fd: 3, offset: -512, whence: 1 }, 2_300, 5, 0),
-            base(IoCall::Rename { from: "/a \"q\"".into(), to: "/b\\x".into() }, 3_000, 50, 0),
+            base(
+                IoCall::Lseek {
+                    fd: 3,
+                    offset: -512,
+                    whence: 1,
+                },
+                2_300,
+                5,
+                0,
+            ),
+            base(
+                IoCall::Rename {
+                    from: "/a \"q\"".into(),
+                    to: "/b\\x".into(),
+                },
+                3_000,
+                50,
+                0,
+            ),
             base(IoCall::MpiBarrier, 4_000, 2_000, 0),
             base(IoCall::Close { fd: 3 }, 7_000, 12, 0),
         ];
@@ -463,7 +544,10 @@ mod tests {
     #[test]
     fn output_looks_like_figure1() {
         let text = format_text(&sample_trace());
-        assert!(text.contains("SYS_open(\"/etc/hosts\", 0, 0o666) = 3 <0.000034>"), "{text}");
+        assert!(
+            text.contains("SYS_open(\"/etc/hosts\", 0, 0o666) = 3 <0.000034>"),
+            "{text}"
+        );
         assert!(text.contains("1159808385."));
         assert!(text.contains("MPI_File_open(\"/pfs/out\", 37)"));
     }

@@ -121,10 +121,7 @@ impl AggregateTiming {
             let pid: u32 = pid_part.0.parse().map_err(|_| "bad pid")?;
             let action_rest = pid_part.1.trim();
             let entered = action_rest.starts_with("Entered");
-            let ts_str = action_rest
-                .rsplit(' ')
-                .next()
-                .ok_or("missing timestamp")?;
+            let ts_str = action_rest.rsplit(' ').next().ok_or("missing timestamp")?;
             let (secs, frac) = ts_str.split_once('.').ok_or("bad timestamp")?;
             let secs: u64 = secs.parse().map_err(|_| "bad ts secs")?;
             let micros: u64 = frac.parse().map_err(|_| "bad ts micros")?;

@@ -39,7 +39,8 @@ fn encrypt_block(k: &Key, block: [u32; 2]) -> [u32; 2] {
     let mut sum: u32 = 0;
     for _ in 0..ROUNDS {
         v0 = v0.wrapping_add(
-            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(k.0[(sum & 3) as usize])),
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                ^ (sum.wrapping_add(k.0[(sum & 3) as usize])),
         );
         sum = sum.wrapping_add(DELTA);
         v1 = v1.wrapping_add(
@@ -60,7 +61,8 @@ fn decrypt_block(k: &Key, block: [u32; 2]) -> [u32; 2] {
         );
         sum = sum.wrapping_sub(DELTA);
         v0 = v0.wrapping_sub(
-            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(k.0[(sum & 3) as usize])),
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                ^ (sum.wrapping_add(k.0[(sum & 3) as usize])),
         );
     }
     [v0, v1]
@@ -193,7 +195,10 @@ mod tests {
     #[test]
     fn bad_lengths_rejected() {
         assert_eq!(decrypt_cbc(&key(), 0, &[]), Err(CipherError::BadLength));
-        assert_eq!(decrypt_cbc(&key(), 0, &[1, 2, 3]), Err(CipherError::BadLength));
+        assert_eq!(
+            decrypt_cbc(&key(), 0, &[1, 2, 3]),
+            Err(CipherError::BadLength)
+        );
     }
 
     #[test]

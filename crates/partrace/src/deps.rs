@@ -62,7 +62,9 @@ impl DependencyMap {
 
     /// First edge incoming to `(rank, op)`, if any.
     pub fn incoming(&self, rank: u32, op: usize) -> Option<&DependencyEdge> {
-        self.edges.iter().find(|e| e.to_rank == rank && e.to_op == op)
+        self.edges
+            .iter()
+            .find(|e| e.to_rank == rank && e.to_op == op)
     }
 }
 
@@ -134,8 +136,7 @@ pub fn discover(
             // window, the delta is (at least partly) self-inflicted — the
             // injected delay, not a dependency.
             let issue = SimTime::from_nanos(t.ts.as_nanos().saturating_sub(delay.as_nanos()));
-            if active_node(issue) == Some(node_of_rank) || active_node(t.ts) == Some(node_of_rank)
-            {
+            if active_node(issue) == Some(node_of_rank) || active_node(t.ts) == Some(node_of_rank) {
                 continue;
             }
             // Stall interval in the throttled run: from the previous op's

@@ -68,13 +68,12 @@ impl ReplayableTrace {
         let mut section: Option<String> = None; // accumulating rank section text
         let mut in_deps = false;
 
-        let flush =
-            |buf: &mut Option<String>, traces: &mut Vec<Trace>| -> Result<(), ParseError> {
-                if let Some(text) = buf.take() {
-                    traces.push(parse_text(&text)?);
-                }
-                Ok(())
-            };
+        let flush = |buf: &mut Option<String>, traces: &mut Vec<Trace>| -> Result<(), ParseError> {
+            if let Some(text) = buf.take() {
+                traces.push(parse_text(&text)?);
+            }
+            Ok(())
+        };
 
         for (i, line) in input.lines().enumerate() {
             let lineno = i + 1;
@@ -122,10 +121,7 @@ impl ReplayableTrace {
             if let Some(v) = line.strip_prefix("app: ") {
                 app = v.to_string();
             } else if let Some(v) = line.strip_prefix("sampling: ") {
-                sampling = v
-                    .trim()
-                    .parse()
-                    .map_err(|_| err(lineno, "bad sampling"))?;
+                sampling = v.trim().parse().map_err(|_| err(lineno, "bad sampling"))?;
             }
         }
         flush(&mut section, &mut traces)?;

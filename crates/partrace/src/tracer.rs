@@ -90,9 +90,8 @@ impl IoTracer for PartraceTracer {
         let mut rec = rec.clone();
         // Subtract the tracer's own accumulated delay from the recorded
         // timestamp (overhead compensation).
-        rec.ts = iotrace_sim::time::SimTime::from_nanos(
-            rec.ts.as_nanos().saturating_sub(buf.debt_ns),
-        );
+        rec.ts =
+            iotrace_sim::time::SimTime::from_nanos(rec.ts.as_nanos().saturating_sub(buf.debt_ns));
         buf.records.push(rec);
         // In-memory ring buffer append: sub-microsecond.
         SimDur::from_nanos(350)
@@ -115,7 +114,11 @@ mod tests {
         let t = PartraceTracer::new("/app");
         assert!(t.wants(&IoCall::Write { fd: 3, len: 8 }));
         assert!(t.wants(&IoCall::MpiBarrier));
-        assert!(!t.wants(&IoCall::MpiFileWriteAt { fd: 3, offset: 0, len: 8 }));
+        assert!(!t.wants(&IoCall::MpiFileWriteAt {
+            fd: 3,
+            offset: 0,
+            len: 8
+        }));
         assert!(!t.wants(&IoCall::VfsWritePage {
             path: "/x".into(),
             offset: 0,

@@ -6,7 +6,13 @@ use iotrace_partrace::prelude::*;
 use iotrace_sim::prelude::*;
 use iotrace_workloads::prelude::*;
 
-type Mk = Box<dyn Fn() -> (ClusterConfig, iotrace_fs::vfs::Vfs, Vec<Box<dyn RankProgram<IoOp, IoRes>>>)>;
+type Mk = Box<
+    dyn Fn() -> (
+        ClusterConfig,
+        iotrace_fs::vfs::Vfs,
+        Vec<Box<dyn RankProgram<IoOp, IoRes>>>,
+    ),
+>;
 
 fn pipeline_mk(world: u32) -> Mk {
     Box::new(move || {

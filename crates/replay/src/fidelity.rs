@@ -49,9 +49,9 @@ pub fn capture_span(traces: &[Trace]) -> SimDur {
 }
 
 fn replayable_sys(records: &[TraceRecord]) -> impl Iterator<Item = &TraceRecord> {
-    records.iter().filter(|r| {
-        r.call.layer() == CallLayer::Sys && !matches!(r.call, IoCall::Mmap { .. })
-    })
+    records
+        .iter()
+        .filter(|r| r.call.layer() == CallLayer::Sys && !matches!(r.call, IoCall::Mmap { .. }))
 }
 
 /// Compare I/O signatures: per-function call counts of the original vs
@@ -80,11 +80,8 @@ pub fn signature_error(original: &[Trace], replayed: &[TraceRecord]) -> f64 {
             other => other,
         }
     }
-    let names: std::collections::BTreeSet<&str> = orig
-        .functions()
-        .chain(rep.functions())
-        .map(canon)
-        .collect();
+    let names: std::collections::BTreeSet<&str> =
+        orig.functions().chain(rep.functions()).map(canon).collect();
     let count_canon = |s: &CallSummary, name: &str| -> u64 {
         s.functions()
             .filter(|f| canon(f) == name)
@@ -123,10 +120,9 @@ pub fn replay_and_measure(
         "pseudo-application deadlocked: {:?}",
         report.run.deadlocked
     );
-    let collected: Vec<TraceRecord> =
-        downcast_tracer::<CollectingTracer>(report.tracer.as_ref())
-            .map(|c| c.records.clone())
-            .unwrap_or_default();
+    let collected: Vec<TraceRecord> = downcast_tracer::<CollectingTracer>(report.tracer.as_ref())
+        .map(|c| c.records.clone())
+        .unwrap_or_default();
 
     let original_span = capture_span(&rt.traces);
     let replay_elapsed = report.run.elapsed;

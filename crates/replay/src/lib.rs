@@ -10,6 +10,7 @@
 //! it in a dependency-free [`iotrace_partrace::replayable::ReplayableTrace`].
 
 pub mod fidelity;
+pub mod preflight;
 pub mod pseudo;
 
 use iotrace_model::event::Trace;
@@ -30,6 +31,7 @@ pub fn replayable_from_traces(app: &str, mut traces: Vec<Trace>) -> ReplayableTr
 
 pub mod prelude {
     pub use crate::fidelity::{capture_span, replay_and_measure, signature_error, FidelityReport};
+    pub use crate::preflight::{preflight, replay_and_measure_checked};
     pub use crate::pseudo::{build_programs, prepare_vfs, ReplayConfig};
     pub use crate::replayable_from_traces;
 }

@@ -1,0 +1,110 @@
+//! Lint pre-flight for replay: refuse to build a pseudo-application from
+//! a trace that static analysis already knows will replay wrong.
+//!
+//! A cyclic dependency map deadlocks [`crate::pseudo`]'s wait loops; a
+//! dangling edge silently drops an ordering; non-monotonic timestamps
+//! corrupt the think-time reconstruction. Running `iotrace-lint`'s
+//! default passes first turns those runtime failures into diagnostics.
+
+use iotrace_fs::vfs::Vfs;
+use iotrace_ioapi::harness::JobReport;
+use iotrace_lint::{lint_replayable, LintReport};
+use iotrace_partrace::replayable::ReplayableTrace;
+use iotrace_sim::engine::ClusterConfig;
+
+use crate::fidelity::{replay_and_measure, FidelityReport};
+use crate::pseudo::ReplayConfig;
+
+/// Run the default lint passes over a replayable capture.
+pub fn preflight(rt: &ReplayableTrace) -> LintReport {
+    lint_replayable(rt)
+}
+
+/// [`replay_and_measure`] guarded by the lint gate: error-severity
+/// findings abort before any simulation runs, returning the report so
+/// the caller can render it.
+pub fn replay_and_measure_checked(
+    rt: &ReplayableTrace,
+    cluster: ClusterConfig,
+    vfs: Vfs,
+    cfg: ReplayConfig,
+) -> Result<(FidelityReport, JobReport), Box<LintReport>> {
+    let report = preflight(rt);
+    if report.has_errors() {
+        return Err(Box::new(report));
+    }
+    Ok(replay_and_measure(rt, cluster, vfs, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace_ioapi::harness::{standard_cluster, standard_vfs};
+    use iotrace_model::event::{IoCall, Trace, TraceMeta, TraceRecord};
+    use iotrace_partrace::deps::{DependencyEdge, DependencyMap};
+    use iotrace_sim::time::{SimDur, SimTime};
+
+    fn tiny_trace(rank: u32) -> Trace {
+        let mut t = Trace::new(TraceMeta::new("/app", rank, rank, "test"));
+        for i in 0..3u64 {
+            t.records.push(TraceRecord {
+                ts: SimTime::from_micros(i * 10),
+                dur: SimDur::from_micros(1),
+                rank,
+                node: rank,
+                pid: 1,
+                uid: 0,
+                gid: 0,
+                call: IoCall::Fsync { fd: 1 },
+                result: 0,
+            });
+        }
+        t
+    }
+
+    fn capture(deps: DependencyMap) -> ReplayableTrace {
+        ReplayableTrace {
+            app: "/app".into(),
+            sampling: 1.0,
+            traces: vec![tiny_trace(0), tiny_trace(1)],
+            deps,
+        }
+    }
+
+    #[test]
+    fn clean_capture_passes_the_gate() {
+        let rt = capture(DependencyMap::default());
+        let result = replay_and_measure_checked(
+            &rt,
+            standard_cluster(2, 7),
+            standard_vfs(2),
+            ReplayConfig::default(),
+        );
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn cyclic_map_is_rejected_before_replay() {
+        let edge = |from_rank: u32, from_op: usize, to_rank: u32, to_op: usize| DependencyEdge {
+            from_node: from_rank,
+            from_rank,
+            from_op,
+            to_rank,
+            to_op,
+            shift: SimDur::from_millis(1),
+        };
+        let rt = capture(DependencyMap {
+            edges: vec![edge(0, 1, 1, 0), edge(1, 1, 0, 0)],
+        });
+        let report = match replay_and_measure_checked(
+            &rt,
+            standard_cluster(2, 7),
+            standard_vfs(2),
+            ReplayConfig::default(),
+        ) {
+            Err(report) => report,
+            Ok(_) => panic!("cycle must not replay"),
+        };
+        assert!(report.diagnostics.iter().any(|d| d.rule == "dep-cycle"));
+    }
+}

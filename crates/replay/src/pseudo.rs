@@ -119,8 +119,13 @@ fn op_of(call: &IoCall) -> Option<IoOp> {
         Mmap { .. } => return None,
         // MPI wrappers duplicate their syscalls; sys-layer replay skips
         // them. Barriers are handled separately.
-        MpiFileOpen { .. } | MpiFileClose { .. } | MpiFileWriteAt { .. }
-        | MpiFileReadAt { .. } | MpiBarrier | MpiCommRank | MpiWait => return None,
+        MpiFileOpen { .. }
+        | MpiFileClose { .. }
+        | MpiFileWriteAt { .. }
+        | MpiFileReadAt { .. }
+        | MpiBarrier
+        | MpiCommRank
+        | MpiWait => return None,
         VfsLookup { .. } | VfsWritePage { .. } | VfsReadPage { .. } => return None,
     })
 }
@@ -208,11 +213,10 @@ pub fn prepare_vfs(rt: &ReplayableTrace, vfs: &mut Vfs) {
         let mut pos: HashMap<i64, u64> = HashMap::new();
         for rec in &t.records {
             match &rec.call {
-                IoCall::Open { path, .. }
-                    if rec.result >= 0 => {
-                        fd_path.insert(rec.result, path.clone());
-                        pos.insert(rec.result, 0);
-                    }
+                IoCall::Open { path, .. } if rec.result >= 0 => {
+                    fd_path.insert(rec.result, path.clone());
+                    pos.insert(rec.result, 0);
+                }
                 IoCall::Read { fd, len } => {
                     if let Some(p) = fd_path.get(fd) {
                         let at = pos.entry(*fd).or_insert(0);

@@ -94,7 +94,15 @@ pub struct BarrierRecord {
 /// this exists for analysis tooling and tests.
 pub trait EngineObserver {
     fn on_barrier(&mut self, _rec: &BarrierRecord) {}
-    fn on_message(&mut self, _src: RankId, _dst: RankId, _bytes: u64, _tag: u32, _deliver: SimTime) {}
+    fn on_message(
+        &mut self,
+        _src: RankId,
+        _dst: RankId,
+        _bytes: u64,
+        _tag: u32,
+        _deliver: SimTime,
+    ) {
+    }
     fn on_rank_finished(&mut self, _rank: RankId, _at: SimTime) {}
 }
 
@@ -199,7 +207,10 @@ enum RankState {
     /// Blocked in a barrier; the comm id is kept for Debug output when a
     /// deadlocked run is reported.
     WaitingBarrier(#[allow(dead_code)] CommId),
-    WaitingRecv { src: RankId, tag: u32 },
+    WaitingRecv {
+        src: RankId,
+        tag: u32,
+    },
     Finished,
     /// Transient marker while the rank's program is being polled.
     Polling,
@@ -249,10 +260,7 @@ impl<E: Executor> Engine<E> {
     }
 
     /// Run `programs` (one per rank) to completion with a no-op observer.
-    pub fn run(
-        &mut self,
-        programs: Vec<Box<dyn RankProgram<E::Op, E::Res>>>,
-    ) -> RunReport {
+    pub fn run(&mut self, programs: Vec<Box<dyn RankProgram<E::Op, E::Res>>>) -> RunReport {
         self.run_observed(programs, &mut NullObserver)
     }
 

@@ -184,8 +184,14 @@ mod tests {
             RankProgram::<(), ()>::next_op(&mut p, RankId(0), &r),
             Op::Compute(SimDur::from_secs(1))
         );
-        assert_eq!(RankProgram::<(), ()>::next_op(&mut p, RankId(0), &r), Op::Exit);
-        assert_eq!(RankProgram::<(), ()>::next_op(&mut p, RankId(0), &r), Op::Exit);
+        assert_eq!(
+            RankProgram::<(), ()>::next_op(&mut p, RankId(0), &r),
+            Op::Exit
+        );
+        assert_eq!(
+            RankProgram::<(), ()>::next_op(&mut p, RankId(0), &r),
+            Op::Exit
+        );
     }
 
     #[test]

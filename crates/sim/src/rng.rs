@@ -3,11 +3,8 @@
 //! The engine must be bit-for-bit reproducible across runs and platforms so
 //! that //TRACE-style throttling experiments (which diff two runs of the
 //! same program) see *only* the injected perturbation. We therefore use a
-//! self-contained splitmix64/xoshiro256** generator rather than relying on
-//! `rand`'s unspecified-by-default algorithms. `rand` is still used by
-//! workloads through the [`rand::RngCore`] impl below.
-
-use rand::RngCore;
+//! self-contained splitmix64/xoshiro256** generator rather than an
+//! external crate's unspecified-by-default algorithms.
 
 /// xoshiro256** seeded via splitmix64. Public domain algorithm
 /// (Blackman & Vigna).
@@ -46,10 +43,7 @@ impl DetRng {
 
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -91,22 +85,18 @@ impl DetRng {
     }
 }
 
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        (DetRng::next_u64(self) >> 32) as u32
+impl DetRng {
+    /// High 32 bits of the next draw.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
-    fn next_u64(&mut self) -> u64 {
-        DetRng::next_u64(self)
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+
+    /// Fill a byte slice from the stream (little-endian 64-bit chunks).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
-            let v = DetRng::next_u64(self).to_le_bytes();
+            let v = self.next_u64().to_le_bytes();
             chunk.copy_from_slice(&v[..chunk.len()]);
         }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 
@@ -150,7 +140,10 @@ mod tests {
             counts[r.below(8) as usize] += 1;
         }
         for &c in &counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} far from 10k");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from 10k"
+            );
         }
     }
 

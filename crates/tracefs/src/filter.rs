@@ -96,7 +96,7 @@ enum Cond {
     True,
     PathGlob(String),
     PathEq(String),
-    UidCmp(bool, u32),  // (equal?, value)
+    UidCmp(bool, u32), // (equal?, value)
     GidCmp(bool, u32),
     SizeCmp(Ordering2, u64),
     And(Box<Cond>, Box<Cond>),
@@ -158,7 +158,11 @@ pub struct FilterError {
 
 impl fmt::Display for FilterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "filter syntax error at byte {}: {}", self.pos, self.message)
+        write!(
+            f,
+            "filter syntax error at byte {}: {}",
+            self.pos, self.message
+        )
     }
 }
 impl std::error::Error for FilterError {}
@@ -489,18 +493,12 @@ mod tests {
 
     #[test]
     fn last_match_wins() {
-        let p = FilterPolicy::parse(
-            r#"trace all; omit write where size < 4096;"#,
-        )
-        .unwrap();
+        let p = FilterPolicy::parse(r#"trace all; omit write where size < 4096;"#).unwrap();
         assert!(p.matches(&facts(FsOpKind::Write, "/x", 8192)));
         assert!(!p.matches(&facts(FsOpKind::Write, "/x", 100)));
         assert!(p.matches(&facts(FsOpKind::Read, "/x", 100)));
         // reversed order: trace all overrides the omit
-        let q = FilterPolicy::parse(
-            r#"omit write where size < 4096; trace all;"#,
-        )
-        .unwrap();
+        let q = FilterPolicy::parse(r#"omit write where size < 4096; trace all;"#).unwrap();
         assert!(q.matches(&facts(FsOpKind::Write, "/x", 100)));
     }
 

@@ -58,8 +58,7 @@ impl Tracefs {
             |lower| {
                 if lower.kind() == FsKind::Parallel && !parallel_patch {
                     return Err(FsError::Incompatible(
-                        "tracefs does not stack on the parallel file system out of the box"
-                            .into(),
+                        "tracefs does not stack on the parallel file system out of the box".into(),
                     ));
                 }
                 if lower.kind() == FsKind::Stacked {
@@ -96,7 +95,7 @@ impl Tracefs {
     }
 
     /// Direct access to the capture state.
-    pub fn capture(&self) -> parking_lot::MutexGuard<'_, Capture> {
+    pub fn capture(&self) -> crate::sync::MutexGuard<'_, Capture> {
         self.capture.lock()
     }
 
@@ -193,13 +192,15 @@ mod tests {
         assert!(t.is_mounted());
         // file still visible through the stack
         assert_eq!(
-            v.fetch_file(iotrace_sim::ids::NodeId(0), "/nfs/keep").unwrap(),
+            v.fetch_file(iotrace_sim::ids::NodeId(0), "/nfs/keep")
+                .unwrap(),
             b"data"
         );
         t.unmount(&mut v).unwrap();
         assert!(!t.is_mounted());
         assert_eq!(
-            v.fetch_file(iotrace_sim::ids::NodeId(0), "/nfs/keep").unwrap(),
+            v.fetch_file(iotrace_sim::ids::NodeId(0), "/nfs/keep")
+                .unwrap(),
             b"data"
         );
         assert!(t.unmount(&mut v).is_err(), "double unmount rejected");
@@ -224,7 +225,8 @@ mod tests {
             ..Default::default()
         });
         t.mount(&mut v, "/nfs").unwrap();
-        v.put_file(iotrace_sim::ids::NodeId(0), "/nfs/x", b"1").unwrap();
+        v.put_file(iotrace_sim::ids::NodeId(0), "/nfs/x", b"1")
+            .unwrap();
         assert!(t.capture().records.is_empty());
     }
 }

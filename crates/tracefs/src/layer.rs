@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use iotrace_fs::cost::FsKind;
 use iotrace_fs::data::WritePayload;
@@ -299,7 +299,9 @@ impl FileSystem for TracefsLayer {
             0,
             st.meta.uid,
             st.meta.gid,
-            IoCall::Stat { path: p.to_string() },
+            IoCall::Stat {
+                path: p.to_string(),
+            },
             0,
             now,
             finish,
@@ -336,19 +338,16 @@ impl FileSystem for TracefsLayer {
             0,
             0,
             0,
-            IoCall::Unlink { path: p.to_string() },
+            IoCall::Unlink {
+                path: p.to_string(),
+            },
             0,
             now,
             finish,
         ))
     }
 
-    fn readdir(
-        &mut self,
-        node: NodeId,
-        p: &str,
-        now: SimTime,
-    ) -> FsResult<(Vec<String>, SimTime)> {
+    fn readdir(&mut self, node: NodeId, p: &str, now: SimTime) -> FsResult<(Vec<String>, SimTime)> {
         let (names, finish) = self.lower.readdir(node, p, now)?;
         let f = self.observe(
             node,
@@ -357,7 +356,9 @@ impl FileSystem for TracefsLayer {
             0,
             0,
             0,
-            IoCall::Readdir { path: p.to_string() },
+            IoCall::Readdir {
+                path: p.to_string(),
+            },
             names.len() as i64,
             now,
             finish,
@@ -449,7 +450,12 @@ mod tests {
             ..Default::default()
         };
         (
-            TracefsLayer::new(mem_fs("lower"), opts, TracefsCosts::lanl_2007(), cap.clone()),
+            TracefsLayer::new(
+                mem_fs("lower"),
+                opts,
+                TracefsCosts::lanl_2007(),
+                cap.clone(),
+            ),
             cap,
         )
     }

@@ -17,6 +17,7 @@ pub mod filter;
 pub mod framework;
 pub mod layer;
 pub mod options;
+pub mod sync;
 
 pub mod prelude {
     pub use crate::filter::{FilterPolicy, FsOpKind, OpFacts};

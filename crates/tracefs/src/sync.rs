@@ -1,0 +1,25 @@
+//! Minimal poison-free mutex, parking_lot-style.
+//!
+//! Capture state is shared between the stacked layer and the framework
+//! handle; a panic mid-operation must not wedge later harvests, so locks
+//! recover the inner value from poisoning instead of propagating it.
+
+use std::sync::PoisonError;
+
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A `std::sync::Mutex` whose `lock()` never fails: poisoning is
+/// recovered by taking the inner value (the capture buffers stay valid —
+/// at worst one record from the panicking operation is missing).
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}

@@ -95,13 +95,9 @@ impl MpiIoTest {
         }));
         ops.push(Op::Barrier(CommId::WORLD));
         for b in 0..self.blocks_per_rank {
-            let offset = self.pattern.offset(
-                rank,
-                self.world,
-                b,
-                self.block_size,
-                self.blocks_per_rank,
-            );
+            let offset =
+                self.pattern
+                    .offset(rank, self.world, b, self.block_size, self.blocks_per_rank);
             ops.push(Op::Io(IoOp::MpiWriteAt {
                 fd,
                 offset,
@@ -111,13 +107,9 @@ impl MpiIoTest {
         ops.push(Op::Barrier(CommId::WORLD));
         if self.read_back {
             for b in 0..self.blocks_per_rank {
-                let offset = self.pattern.offset(
-                    rank,
-                    self.world,
-                    b,
-                    self.block_size,
-                    self.blocks_per_rank,
-                );
+                let offset =
+                    self.pattern
+                        .offset(rank, self.world, b, self.block_size, self.blocks_per_rank);
                 ops.push(Op::Io(IoOp::MpiReadAt {
                     fd,
                     offset,
@@ -221,10 +213,7 @@ mod tests {
             })
             .collect();
         assert_eq!(writes, vec![300, 400, 500]);
-        let barriers = ops
-            .iter()
-            .filter(|op| matches!(op, Op::Barrier(_)))
-            .count();
+        let barriers = ops.iter().filter(|op| matches!(op, Op::Barrier(_))).count();
         assert_eq!(barriers, 4);
         assert!(matches!(ops.last(), Some(Op::Exit)));
     }
@@ -238,10 +227,7 @@ mod tests {
             .filter(|op| matches!(op, Op::Io(IoOp::MpiReadAt { .. })))
             .count();
         assert_eq!(reads, 3);
-        let barriers = ops
-            .iter()
-            .filter(|op| matches!(op, Op::Barrier(_)))
-            .count();
+        let barriers = ops.iter().filter(|op| matches!(op, Op::Barrier(_))).count();
         assert_eq!(barriers, 5);
     }
 

@@ -79,7 +79,10 @@ fn main() {
         block_records: 128,
     };
     let bytes = encode_binary(&rnd, &opts);
-    println!("\nrelease artifact: {} bytes (binary, CRC-checked, LZSS)", bytes.len());
+    println!(
+        "\nrelease artifact: {} bytes (binary, CRC-checked, LZSS)",
+        bytes.len()
+    );
 
     // A collaborator decodes it without any secret.
     let decoded = decode_binary(&bytes, None).unwrap();

@@ -12,7 +12,10 @@
 
 use iotrace::prelude::*;
 
-fn fresh(ranks: u32, w: &Checkpoint) -> (iotrace::sim::engine::ClusterConfig, iotrace::fs::vfs::Vfs) {
+fn fresh(
+    ranks: u32,
+    w: &Checkpoint,
+) -> (iotrace::sim::engine::ClusterConfig, iotrace::fs::vfs::Vfs) {
     let cluster = standard_cluster(ranks as usize, 9);
     let mut vfs = standard_vfs(ranks as usize);
     vfs.setup_dir(&w.dir).unwrap();
@@ -32,7 +35,10 @@ fn main() {
     // --- untraced baseline ---
     let (c, v) = fresh(ranks, &w);
     let base = untraced_baseline(c, v, w.programs());
-    println!("untraced baseline:     {:>9.3} s", base.elapsed().as_secs_f64());
+    println!(
+        "untraced baseline:     {:>9.3} s",
+        base.elapsed().as_secs_f64()
+    );
 
     // --- LANL-Trace (ltrace mode) ---
     let (c, v) = fresh(ranks, &w);

@@ -45,7 +45,10 @@ fn main() {
         .output()
         .expect("spawn /bin/cat");
     assert!(out.status.success());
-    println!("process output: {}", String::from_utf8_lossy(&out.stdout).trim());
+    println!(
+        "process output: {}",
+        String::from_utf8_lossy(&out.stdout).trim()
+    );
 
     let raw = std::fs::read_to_string(&trace_file).unwrap_or_default();
     println!("\ncaptured I/O calls:");
@@ -53,9 +56,7 @@ fn main() {
 
     let records = parse(&raw);
     println!("per-call counts: {:?}", counts(&records));
-    println!(
-        "\ntaxonomy profile demonstrated: passive (zero instrumentation of cat),"
-    );
+    println!("\ntaxonomy profile demonstrated: passive (zero instrumentation of cat),");
     println!("human readable output, all I/O system calls captured, no granularity control.");
     let _ = std::fs::remove_file(&trace_file);
 }

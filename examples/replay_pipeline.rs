@@ -27,7 +27,10 @@ fn main() {
         cap.replayable.total_records(),
         cap.capture_elapsed.as_secs_f64()
     );
-    println!("  dependency map:\n{}", indent(&cap.replayable.deps.to_string()));
+    println!(
+        "  dependency map:\n{}",
+        indent(&cap.replayable.deps.to_string())
+    );
 
     // The replayable trace is a self-contained text document.
     let doc = cap.replayable.to_text();
@@ -59,7 +62,10 @@ fn main() {
         let w = ProducerConsumer::new(ranks);
         untraced_baseline(cluster_b, vfs_b, w.programs())
     };
-    println!("  ground truth (original app on slow system): {:.3} s", truth.elapsed().as_secs_f64());
+    println!(
+        "  ground truth (original app on slow system): {:.3} s",
+        truth.elapsed().as_secs_f64()
+    );
 
     for (label, cfg) in [
         ("with dependency map   ", ReplayConfig::default()),

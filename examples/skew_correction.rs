@@ -65,7 +65,11 @@ fn main() {
     // Barrier exits happen at (nearly) the same true instant — compare
     // observed vs corrected spread for the first barrier.
     let b = &run.timing.barriers[0];
-    let raw: Vec<i64> = b.observations.iter().map(|o| o.exited.as_nanos() as i64).collect();
+    let raw: Vec<i64> = b
+        .observations
+        .iter()
+        .map(|o| o.exited.as_nanos() as i64)
+        .collect();
     let fixed: Vec<i64> = b
         .observations
         .iter()
@@ -79,7 +83,9 @@ fn main() {
         "  corrected spread: {:>8.3} ms",
         (fixed.iter().max().unwrap() - fixed.iter().min().unwrap()) as f64 / 1e6
     );
-    println!("  (uncorrected cross-rank event inversions touched {uncorrected_inversions} records)");
+    println!(
+        "  (uncorrected cross-rank event inversions touched {uncorrected_inversions} records)"
+    );
 }
 
 /// Rough count of records whose observed order contradicts barrier

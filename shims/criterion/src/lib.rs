@@ -1,0 +1,275 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This build environment has no crates.io access, so the workspace
+//! vendors an API-compatible subset: `Criterion`, benchmark groups,
+//! `Bencher::iter`/`iter_batched`, `Throughput`, `BatchSize`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is honest but simple: each routine is warmed up, then
+//! timed over enough iterations to fill `measurement_time`, reporting
+//! mean wall-clock per iteration (plus derived throughput). There is no
+//! statistical analysis, HTML report, or baseline comparison. Passing
+//! `--test` (as `cargo test --benches` does) runs each routine once.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the shim treats all variants the
+/// same (per-iteration setup, excluded from timing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Units for derived per-second rates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level handle: bench registry + measurement settings.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Parse CLI args (filter/`--bench`/`--test`); the shim only honors
+    /// `--test`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = self.run_one(&mut f);
+        print_report(id, None, &report);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, f: &mut F) -> Sample {
+        let mut b = Bencher {
+            mode: if self.test_mode {
+                Mode::Test
+            } else {
+                Mode::Warmup(self.warm_up_time)
+            },
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        // Warm-up (or single test pass).
+        f(&mut b);
+        if self.test_mode {
+            return Sample {
+                per_iter: Duration::ZERO,
+                iters: b.iters,
+            };
+        }
+        // Measurement.
+        b.mode = Mode::Measure(self.measurement_time);
+        b.total = Duration::ZERO;
+        b.iters = 0;
+        f(&mut b);
+        Sample {
+            per_iter: if b.iters == 0 {
+                Duration::ZERO
+            } else {
+                b.total / b.iters as u32
+            },
+            iters: b.iters,
+        }
+    }
+}
+
+struct Sample {
+    per_iter: Duration,
+    iters: u64,
+}
+
+fn print_report(group: &str, throughput: Option<&Throughput>, s: &Sample) {
+    let per = s.per_iter.as_nanos();
+    let rate = throughput.map(|t| {
+        let per_sec = if per == 0 {
+            f64::INFINITY
+        } else {
+            1e9 / per as f64
+        };
+        match t {
+            Throughput::Elements(n) => format!("  ({:.3e} elem/s)", *n as f64 * per_sec),
+            Throughput::Bytes(n) => {
+                format!("  ({:.1} MiB/s)", *n as f64 * per_sec / (1024.0 * 1024.0))
+            }
+        }
+    });
+    println!(
+        "{group:<40} {:>12.3} µs/iter  [{} iters]{}",
+        per as f64 / 1000.0,
+        s.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+enum Mode {
+    /// `--test`: run the routine once, don't measure.
+    Test,
+    Warmup(Duration),
+    Measure(Duration),
+}
+
+/// Passed to bench closures; `iter` repeats the routine until the time
+/// budget for the current phase is exhausted.
+pub struct Bencher {
+    mode: Mode,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let budget = match self.mode {
+            Mode::Test => {
+                black_box(routine());
+                self.iters += 1;
+                return;
+            }
+            Mode::Warmup(d) | Mode::Measure(d) => d,
+        };
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            let t = Instant::now();
+            black_box(routine());
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let budget = match self.mode {
+            Mode::Test => {
+                black_box(routine(setup()));
+                self.iters += 1;
+                return;
+            }
+            Mode::Warmup(d) | Mode::Measure(d) => d,
+        };
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Group of related benches sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    c: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = self.c.run_one(&mut f);
+        print_report(
+            &format!("{}/{id}", self.name),
+            self.throughput.as_ref(),
+            &report,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// `criterion_group!` — both the simple and the `name/config/targets`
+/// forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// `criterion_main!` — run the given groups from `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

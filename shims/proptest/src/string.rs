@@ -1,0 +1,261 @@
+//! String generation from a regex subset, mirroring proptest's use of
+//! string literals as strategies.
+//!
+//! Supported syntax: literal characters, escapes (`\n`, `\t`, `\r`,
+//! `\\`, `\.` …), character classes `[a-z0-9._-]` (ranges + literals,
+//! leading `^` negates over printable ASCII), groups with alternation
+//! `(foo|bar)`, the quantifiers `{m}`, `{m,n}`, `{m,}`, `*`, `+`, `?`,
+//! and `.` (printable ASCII). Unbounded quantifiers are capped at
+//! `min + 8` — tests generate, they don't match.
+
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Lit(char),
+    /// Inclusive ranges; `negated` samples printable ASCII outside them.
+    Class {
+        ranges: Vec<(char, char)>,
+        negated: bool,
+    },
+    /// Printable ASCII.
+    Dot,
+    /// Alternation of sequences.
+    Group(Vec<Vec<Node>>),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut rest: &[char] = &chars;
+    let mut alts = vec![parse_seq(&mut rest, pattern)];
+    while rest.first() == Some(&'|') {
+        rest = &rest[1..];
+        alts.push(parse_seq(&mut rest, pattern));
+    }
+    assert!(rest.is_empty(), "unbalanced ')' in pattern {pattern:?}");
+    let pick = rng.below(alts.len() as u64) as usize;
+    let mut out = String::new();
+    gen_seq(&alts[pick], rng, &mut out);
+    out
+}
+
+fn gen_seq(nodes: &[Node], rng: &mut TestRng, out: &mut String) {
+    for node in nodes {
+        let span = (node.max - node.min) as u64;
+        let count = node.min + rng.below(span + 1) as u32;
+        for _ in 0..count {
+            gen_atom(&node.atom, rng, out);
+        }
+    }
+}
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Lit(c) => out.push(*c),
+        Atom::Dot => out.push((0x20 + rng.below(0x5F) as u8) as char),
+        Atom::Class { ranges, negated } => {
+            if *negated {
+                // Rejection-sample printable ASCII outside the class.
+                for _ in 0..64 {
+                    let c = (0x20 + rng.below(0x5F) as u8) as char;
+                    if !ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi) {
+                        out.push(c);
+                        return;
+                    }
+                }
+                out.push('\u{FFFD}');
+            } else {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                    .sum();
+                let mut pick = rng.below(total);
+                for &(lo, hi) in ranges {
+                    let n = hi as u64 - lo as u64 + 1;
+                    if pick < n {
+                        out.push(char::from_u32(lo as u32 + pick as u32).unwrap_or('\u{FFFD}'));
+                        return;
+                    }
+                    pick -= n;
+                }
+            }
+        }
+        Atom::Group(alts) => {
+            let i = rng.below(alts.len() as u64) as usize;
+            gen_seq(&alts[i], rng, out);
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// Parse a sequence until end of input, `)` or `|` (left unconsumed).
+fn parse_seq(input: &mut &[char], pattern: &str) -> Vec<Node> {
+    let mut nodes: Vec<Node> = Vec::new();
+    while let Some(&c) = input.first() {
+        match c {
+            ')' | '|' => break,
+            '(' => {
+                *input = &input[1..];
+                let mut alts = vec![parse_seq(input, pattern)];
+                while input.first() == Some(&'|') {
+                    *input = &input[1..];
+                    alts.push(parse_seq(input, pattern));
+                }
+                assert!(
+                    input.first() == Some(&')'),
+                    "unclosed group in pattern {pattern:?}"
+                );
+                *input = &input[1..];
+                nodes.push(with_quantifier(Atom::Group(alts), input, pattern));
+            }
+            '[' => {
+                *input = &input[1..];
+                let negated = if input.first() == Some(&'^') {
+                    *input = &input[1..];
+                    true
+                } else {
+                    false
+                };
+                let mut ranges = Vec::new();
+                loop {
+                    let Some(&c) = input.first() else {
+                        panic!("unclosed class in pattern {pattern:?}");
+                    };
+                    *input = &input[1..];
+                    if c == ']' {
+                        break;
+                    }
+                    let lo = if c == '\\' {
+                        let e = input.first().copied().expect("trailing escape");
+                        *input = &input[1..];
+                        unescape(e)
+                    } else {
+                        c
+                    };
+                    // A `-` between two chars makes a range; a trailing
+                    // `-` is a literal.
+                    if input.first() == Some(&'-') && input.get(1).is_some_and(|&n| n != ']') {
+                        *input = &input[1..];
+                        let hi = input.first().copied().expect("range end");
+                        *input = &input[1..];
+                        let hi = if hi == '\\' {
+                            let e = input.first().copied().expect("trailing escape");
+                            *input = &input[1..];
+                            unescape(e)
+                        } else {
+                            hi
+                        };
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                nodes.push(with_quantifier(
+                    Atom::Class { ranges, negated },
+                    input,
+                    pattern,
+                ));
+            }
+            '.' => {
+                *input = &input[1..];
+                nodes.push(with_quantifier(Atom::Dot, input, pattern));
+            }
+            '\\' => {
+                *input = &input[1..];
+                let e = input.first().copied().expect("trailing escape");
+                *input = &input[1..];
+                nodes.push(with_quantifier(Atom::Lit(unescape(e)), input, pattern));
+            }
+            _ => {
+                *input = &input[1..];
+                nodes.push(with_quantifier(Atom::Lit(c), input, pattern));
+            }
+        }
+    }
+    nodes
+}
+
+/// Attach a following quantifier, if any, to the atom.
+fn with_quantifier(atom: Atom, input: &mut &[char], pattern: &str) -> Node {
+    match input.first() {
+        Some('*') => {
+            *input = &input[1..];
+            Node {
+                atom,
+                min: 0,
+                max: 8,
+            }
+        }
+        Some('+') => {
+            *input = &input[1..];
+            Node {
+                atom,
+                min: 1,
+                max: 9,
+            }
+        }
+        Some('?') => {
+            *input = &input[1..];
+            Node {
+                atom,
+                min: 0,
+                max: 1,
+            }
+        }
+        Some('{') => {
+            *input = &input[1..];
+            let mut digits = String::new();
+            while input.first().is_some_and(|c| c.is_ascii_digit()) {
+                digits.push(input[0]);
+                *input = &input[1..];
+            }
+            let min: u32 = digits.parse().expect("quantifier lower bound");
+            let max = match input.first() {
+                Some(',') => {
+                    *input = &input[1..];
+                    let mut digits = String::new();
+                    while input.first().is_some_and(|c| c.is_ascii_digit()) {
+                        digits.push(input[0]);
+                        *input = &input[1..];
+                    }
+                    if digits.is_empty() {
+                        min + 8
+                    } else {
+                        digits.parse().expect("quantifier upper bound")
+                    }
+                }
+                _ => min,
+            };
+            assert!(
+                input.first() == Some(&'}'),
+                "unclosed quantifier in pattern {pattern:?}"
+            );
+            *input = &input[1..];
+            assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+            Node { atom, min, max }
+        }
+        _ => Node {
+            atom,
+            min: 1,
+            max: 1,
+        },
+    }
+}

@@ -1,0 +1,134 @@
+//! Deterministic case runner: per-test seeds, case RNG, failure report.
+
+use std::fmt;
+
+/// Mirror of `proptest::test_runner::Config` (only the fields this
+/// workspace uses).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a test case failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// Assertion failure or explicit `TestCaseError::fail`.
+    Fail(String),
+    /// Case rejected (`prop_assume` in real proptest; unused here).
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// splitmix64 stream: small, fast, and good enough for case generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; 0 when `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift; the slight modulo bias is irrelevant for test
+        // case generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Drives one property: owns the config and the per-test base seed.
+pub struct TestRunner {
+    config: Config,
+    name: &'static str,
+    base_seed: u64,
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl TestRunner {
+    pub fn new(config: Config, name: &'static str) -> Self {
+        let env = std::env::var("PROPTEST_BASE_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRunner {
+            config,
+            name,
+            base_seed: fnv1a(name.as_bytes()) ^ env,
+        }
+    }
+
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The deterministic RNG for one case.
+    pub fn rng_for(&self, case: u32) -> TestRng {
+        TestRng::new(self.base_seed ^ (case as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+    }
+
+    /// Report a failing case. Rejections are skipped silently.
+    pub fn fail(&self, case: u32, err: &TestCaseError) {
+        if let TestCaseError::Reject(_) = err {
+            return;
+        }
+        panic!(
+            "proptest shim: property '{}' failed at case {case}/{} \
+             (base seed {:#x}): {err}",
+            self.name, self.config.cases, self.base_seed,
+        );
+    }
+}

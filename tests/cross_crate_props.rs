@@ -8,10 +8,19 @@ fn arb_call() -> impl Strategy<Value = IoCall> {
     prop_oneof![
         ("/[a-z]{1,8}/[a-z0-9._-]{1,12}", any::<u32>(), any::<u32>())
             .prop_map(|(path, flags, mode)| IoCall::Open { path, flags, mode }),
-        (0i64..64, any::<u32>()).prop_map(|(fd, len)| IoCall::Write { fd, len: len as u64 }),
-        (0i64..64, any::<u32>()).prop_map(|(fd, len)| IoCall::Read { fd, len: len as u64 }),
-        (0i64..64, any::<i64>(), 0u8..3)
-            .prop_map(|(fd, offset, whence)| IoCall::Lseek { fd, offset, whence }),
+        (0i64..64, any::<u32>()).prop_map(|(fd, len)| IoCall::Write {
+            fd,
+            len: len as u64
+        }),
+        (0i64..64, any::<u32>()).prop_map(|(fd, len)| IoCall::Read {
+            fd,
+            len: len as u64
+        }),
+        (0i64..64, any::<i64>(), 0u8..3).prop_map(|(fd, offset, whence)| IoCall::Lseek {
+            fd,
+            offset,
+            whence
+        }),
         (0i64..64).prop_map(|fd| IoCall::Close { fd }),
         ("/[a-z]{1,8}", any::<u32>()).prop_map(|(path, amode)| IoCall::MpiFileOpen { path, amode }),
         Just(IoCall::MpiBarrier),
@@ -22,7 +31,15 @@ fn arb_call() -> impl Strategy<Value = IoCall> {
 
 fn arb_trace() -> impl Strategy<Value = Trace> {
     (
-        prop::collection::vec((arb_call(), 0u64..1_000_000_000u64, 0u64..1_000_000, any::<i16>()), 0..60),
+        prop::collection::vec(
+            (
+                arb_call(),
+                0u64..1_000_000_000u64,
+                0u64..1_000_000,
+                any::<i16>(),
+            ),
+            0..60,
+        ),
         0u32..16,
     )
         .prop_map(|(items, rank)| {

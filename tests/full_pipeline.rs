@@ -44,7 +44,11 @@ fn capture_share_aggregate_analyze_replay() {
     let top = top_by_bytes(&hot, 1);
     // Hotspot attribution also sees both layers (MPI + syscall) of every
     // write to the one shared file.
-    assert_eq!(top[0].1.bytes, 2 * w.total_bytes(), "one shared file dominates");
+    assert_eq!(
+        top[0].1.bytes,
+        2 * w.total_bytes(),
+        "one shared file dominates"
+    );
 
     // 4. Skew analysis from the aggregate timing output.
     let est = estimate(&run.timing);
@@ -65,7 +69,11 @@ fn capture_share_aggregate_analyze_replay() {
     );
     assert!(rep.run.is_clean());
     assert_eq!(rep.stats.bytes_written, w.total_bytes());
-    assert!(fid.signature_error < 0.05, "signature error {}", fid.signature_error);
+    assert!(
+        fid.signature_error < 0.05,
+        "signature error {}",
+        fid.signature_error
+    );
 }
 
 #[test]
