@@ -21,7 +21,9 @@ pub mod stats;
 
 pub mod prelude {
     pub use crate::hotspots::{by_path, top_by_bytes, PathStats};
-    pub use crate::merge::{merge_corrected, parse_parallel};
+    pub use crate::merge::{
+        merge_corrected, merge_partial, merge_strict, parse_parallel, MergeError, RankCoverage,
+    };
     pub use crate::phases::{phases, render as render_phases, Phase, RankPhase};
     pub use crate::skew::{estimate, ClockFit, SkewEstimate};
     pub use crate::stats::TraceStats;

@@ -13,6 +13,108 @@ use iotrace_model::text::{parse_text, ParseError};
 
 use crate::skew::SkewEstimate;
 
+/// Typed failure of a strict cross-rank merge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeError {
+    /// The rank set has a hole: a rank below the highest present rank
+    /// produced no trace (lost file, crashed node).
+    MissingRank { rank: u32 },
+    /// No traces at all.
+    Empty,
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::MissingRank { rank } => {
+                write!(f, "rank {rank} has no trace (lost or never collected)")
+            }
+            MergeError::Empty => write!(f, "no traces to merge"),
+        }
+    }
+}
+impl std::error::Error for MergeError {}
+
+/// Which ranks a set of per-rank traces actually covers, and how
+/// complete each present trace claims to be. The expected world is
+/// inferred as `0..=max_rank` — a hole below the highest present rank is
+/// unambiguous loss, while truly absent trailing ranks are invisible (no
+/// evidence they ever existed).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankCoverage {
+    /// Ranks with a trace, ascending.
+    pub present: Vec<u32>,
+    /// Ranks in `0..=max(present)` without a trace, ascending.
+    pub missing: Vec<u32>,
+    /// `(rank, completeness)` of present traces claiming record loss.
+    pub incomplete: Vec<(u32, f64)>,
+}
+
+impl RankCoverage {
+    pub fn of(traces: &[Trace]) -> Self {
+        let mut present: Vec<u32> = traces.iter().map(|t| t.meta.rank).collect();
+        present.sort_unstable();
+        present.dedup();
+        let missing = match present.last() {
+            Some(&max) => (0..=max).filter(|r| !present.contains(r)).collect(),
+            None => Vec::new(),
+        };
+        let mut incomplete: Vec<(u32, f64)> = traces
+            .iter()
+            .filter(|t| !t.meta.is_complete())
+            .map(|t| (t.meta.rank, t.meta.completeness))
+            .collect();
+        incomplete.sort_by_key(|a| a.0);
+        RankCoverage {
+            present,
+            missing,
+            incomplete,
+        }
+    }
+
+    /// No holes and every present trace claims full completeness.
+    pub fn is_full(&self) -> bool {
+        self.missing.is_empty() && self.incomplete.is_empty()
+    }
+
+    /// Human-readable degradation warnings, one per line; empty when
+    /// full.
+    pub fn warnings(&self) -> Vec<String> {
+        let mut w = Vec::new();
+        for r in &self.missing {
+            w.push(format!(
+                "warning: rank {r} has no trace — results cover a partial rank set"
+            ));
+        }
+        for (r, c) in &self.incomplete {
+            w.push(format!(
+                "warning: rank {r} trace is incomplete (completeness {c:.3}) — \
+                 counts and totals are lower bounds"
+            ));
+        }
+        w
+    }
+}
+
+/// Strict merge: refuses a rank set with holes so pipelines that assume
+/// a full world fail loudly instead of silently under-counting.
+pub fn merge_strict(traces: &[Trace], est: &SkewEstimate) -> Result<Vec<TraceRecord>, MergeError> {
+    if traces.is_empty() {
+        return Err(MergeError::Empty);
+    }
+    let cov = RankCoverage::of(traces);
+    if let Some(&rank) = cov.missing.first() {
+        return Err(MergeError::MissingRank { rank });
+    }
+    Ok(merge_corrected(traces, est))
+}
+
+/// Merge whatever ranks are present, reporting coverage alongside the
+/// timeline so callers can surface missing-rank warnings explicitly.
+pub fn merge_partial(traces: &[Trace], est: &SkewEstimate) -> (Vec<TraceRecord>, RankCoverage) {
+    (merge_corrected(traces, est), RankCoverage::of(traces))
+}
+
 /// Merge per-rank traces into one timeline ordered by corrected
 /// timestamps.
 pub fn merge_corrected(traces: &[Trace], est: &SkewEstimate) -> Vec<TraceRecord> {
@@ -62,7 +164,19 @@ pub fn parse_parallel(docs: &[String]) -> Vec<Result<Trace, ParseError>> {
             }
         });
     }
-    out.into_iter().map(|o| o.expect("slot filled")).collect()
+    out.into_iter()
+        .map(|o| {
+            // Every slot is zipped against exactly one input document, so
+            // an unfilled slot can only mean a worker died before writing
+            // it; surface that as a parse error instead of panicking.
+            o.unwrap_or_else(|| {
+                Err(ParseError {
+                    line: 0,
+                    message: "parser worker produced no result for this document".into(),
+                })
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -149,5 +263,71 @@ mod tests {
     #[test]
     fn parallel_parse_empty() {
         assert!(parse_parallel(&[]).is_empty());
+    }
+
+    #[test]
+    fn equal_timestamps_break_ties_by_rank_deterministically() {
+        // Two ranks with identical corrected timestamps: order must be
+        // rank-ascending, and identical across repeated merges.
+        let traces = vec![
+            trace_with(1, &[100, 100, 200]),
+            trace_with(0, &[100, 200, 200]),
+        ];
+        let est = SkewEstimate::default();
+        let a = merge_corrected(&traces, &est);
+        let keys: Vec<(u64, u32)> = a.iter().map(|r| (r.ts.as_nanos(), r.rank)).collect();
+        assert_eq!(
+            keys,
+            vec![
+                (100_000, 0),
+                (100_000, 1),
+                (100_000, 1),
+                (200_000, 0),
+                (200_000, 0),
+                (200_000, 1),
+            ]
+        );
+        for _ in 0..4 {
+            let b = merge_corrected(&traces, &est);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn coverage_reports_holes_and_incompleteness() {
+        let mut t2 = trace_with(2, &[50]);
+        t2.meta.record_loss(1, 4);
+        let traces = vec![trace_with(0, &[10]), t2];
+        let cov = RankCoverage::of(&traces);
+        assert_eq!(cov.present, vec![0, 2]);
+        assert_eq!(cov.missing, vec![1]);
+        assert_eq!(cov.incomplete.len(), 1);
+        assert_eq!(cov.incomplete[0].0, 2);
+        assert!(!cov.is_full());
+        let w = cov.warnings();
+        assert_eq!(w.len(), 2);
+        assert!(w[0].contains("rank 1 has no trace"));
+        assert!(w[1].contains("incomplete"));
+    }
+
+    #[test]
+    fn strict_merge_names_the_first_missing_rank() {
+        let traces = vec![trace_with(0, &[10]), trace_with(3, &[20])];
+        let est = SkewEstimate::default();
+        assert_eq!(
+            merge_strict(&traces, &est),
+            Err(MergeError::MissingRank { rank: 1 })
+        );
+        assert_eq!(merge_strict(&[], &est), Err(MergeError::Empty));
+        let ok = merge_strict(&[trace_with(0, &[10]), trace_with(1, &[5])], &est).unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    fn partial_merge_completes_with_explicit_accounting() {
+        let traces = vec![trace_with(0, &[10, 20]), trace_with(2, &[15])];
+        let (timeline, cov) = merge_partial(&traces, &SkewEstimate::default());
+        assert_eq!(timeline.len(), 3, "present ranks fully merged");
+        assert_eq!(cov.missing, vec![1]);
     }
 }

@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 use iotrace_analysis::hotspots::{by_path, top_by_bytes};
+use iotrace_analysis::merge::RankCoverage;
 use iotrace_analysis::phases::{phases as phase_split, render as render_phases};
 use iotrace_analysis::stats::TraceStats;
 use iotrace_core::classify::{classify_all, ProbeConfig};
@@ -15,8 +16,46 @@ use iotrace_model::summary::CallSummary;
 use iotrace_model::text::format_text;
 use iotrace_partrace::deps::DependencyMap;
 use iotrace_replay::pseudo::ReplayConfig;
+use iotrace_sim::fault::{FaultPlan, CANNED_PLANS};
 
 use crate::io::{flag, key_from, load, load_traces, split_args, Loaded};
+
+/// Resolve `--fault-plan <name|file>`: a canned plan name (seeded by
+/// `--seed`, default 42) or a plan file in the `FaultPlan::parse`
+/// format. `None` when the flag is absent.
+fn fault_plan_from(flags: &[(String, Option<String>)]) -> Result<Option<FaultPlan>, String> {
+    let Some(v) = flag(flags, "fault-plan") else {
+        return Ok(None);
+    };
+    let Some(v) = v.as_deref() else {
+        return Err(format!(
+            "--fault-plan needs a value: one of {CANNED_PLANS:?} or a plan file"
+        ));
+    };
+    let seed: u64 = flag(flags, "seed")
+        .and_then(|s| s.as_deref())
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(42);
+    if let Some(plan) = FaultPlan::named(v, seed) {
+        return Ok(Some(plan));
+    }
+    let text = std::fs::read_to_string(v)
+        .map_err(|e| format!("--fault-plan {v}: not a canned plan ({CANNED_PLANS:?}) and {e}"))?;
+    let plan = FaultPlan::parse(&text).map_err(|e| format!("{v}: {e}"))?;
+    Ok(Some(plan))
+}
+
+/// Report degraded input on stderr: missing ranks and traces that
+/// document record loss. Analysis proceeds either way — results over a
+/// partial rank set are lower bounds, not errors.
+fn coverage_report(traces: &[Trace]) -> RankCoverage {
+    let cov = RankCoverage::of(traces);
+    for w in cov.warnings() {
+        eprintln!("iotrace: {w}");
+    }
+    cov
+}
 
 /// Lint gate shared by the analysis and replay pipelines: run the
 /// default passes, report findings on stderr, and refuse to continue on
@@ -105,6 +144,7 @@ pub fn lint(args: &[String]) -> Result<(), String> {
 pub fn summary(args: &[String]) -> Result<(), String> {
     let (paths, flags) = split_args(args);
     let traces = load_traces(&paths, key_from(&flags, "key").as_ref())?;
+    coverage_report(&traces);
     let mut s = CallSummary::new();
     for t in &traces {
         for r in &t.records {
@@ -119,15 +159,21 @@ pub fn stats(args: &[String]) -> Result<(), String> {
     let (paths, flags) = split_args(args);
     let traces = load_traces(&paths, key_from(&flags, "key").as_ref())?;
     lint_gate(&traces, None, &flags)?;
+    let cov = coverage_report(&traces);
     let mut all = TraceStats::default();
     for t in &traces {
         all.merge(&TraceStats::from_trace(t));
     }
-    println!("traces: {} (ranks: {:?})", traces.len(), {
-        let mut r: Vec<u32> = traces.iter().map(|t| t.meta.rank).collect();
-        r.sort_unstable();
-        r
-    });
+    println!("traces: {} (ranks: {:?})", traces.len(), cov.present);
+    if !cov.missing.is_empty() {
+        println!(
+            "missing ranks: {:?} — totals are lower bounds over a partial rank set",
+            cov.missing
+        );
+    }
+    for (r, c) in &cov.incomplete {
+        println!("rank {r}: incomplete trace (completeness {c:.3})");
+    }
     print!("{}", all.render());
     Ok(())
 }
@@ -141,6 +187,7 @@ pub fn hotspots(args: &[String]) -> Result<(), String> {
         .unwrap_or(10);
     let traces = load_traces(&paths, key_from(&flags, "key").as_ref())?;
     lint_gate(&traces, None, &flags)?;
+    coverage_report(&traces);
     let stats = by_path(traces.iter().flat_map(|t| t.records.iter()));
     println!(
         "{:<48} {:>10} {:>14} {:>12}",
@@ -162,6 +209,7 @@ pub fn phases(args: &[String]) -> Result<(), String> {
     let (paths, flags) = split_args(args);
     let traces = load_traces(&paths, key_from(&flags, "key").as_ref())?;
     lint_gate(&traces, None, &flags)?;
+    coverage_report(&traces);
     let ps = phase_split(&traces);
     if ps.is_empty() {
         return Err("need traces with at least two MPI_Barrier records per rank".into());
@@ -244,8 +292,16 @@ pub fn replay(args: &[String]) -> Result<(), String> {
         Loaded::Traces(ts) => iotrace_replay::replayable_from_traces("<cli>", ts),
     };
     lint_gate(&rt.traces, Some(&rt.deps), &flags)?;
+    coverage_report(&rt.traces);
     let ranks = rt.world().max(1);
     let mut vfs = standard_vfs(ranks);
+    if let Some(plan) = fault_plan_from(&flags)? {
+        iotrace_ioapi::harness::degrade_vfs(&mut vfs, &plan);
+        eprintln!(
+            "iotrace: replaying against fault-degraded storage (seed {})",
+            plan.seed
+        );
+    }
     for t in &rt.traces {
         for r in &t.records {
             if let Some(p) = r.call.path() {
@@ -280,6 +336,30 @@ pub fn replay(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `iotrace faults <name|file>`: describe a fault plan, or emit it in
+/// the plan-file format with `--text` (for editing / CI fixtures).
+pub fn faults(args: &[String]) -> Result<(), String> {
+    let (paths, flags) = split_args(args);
+    let plan = match paths.as_slice() {
+        [] => fault_plan_from(&flags)?.ok_or_else(|| {
+            format!("faults needs a plan: one of {CANNED_PLANS:?}, a plan file, or --fault-plan")
+        })?,
+        [spec] => {
+            // Positional spec reuses the --fault-plan resolution.
+            let mut f = flags.clone();
+            f.push(("fault-plan".to_string(), Some(spec.clone())));
+            fault_plan_from(&f)?.ok_or("unreachable: fault-plan flag set")?
+        }
+        _ => return Err("faults takes one plan name or file".to_string()),
+    };
+    if flag(&flags, "text").is_some() {
+        print!("{}", plan.to_text());
+    } else {
+        print!("{}", plan.describe());
+    }
+    Ok(())
+}
+
 pub fn taxonomy(_args: &[String]) -> Result<(), String> {
     println!("{}", table1_template());
     println!();
@@ -295,17 +375,30 @@ pub fn demo(args: &[String]) -> Result<(), String> {
     use iotrace_workloads::pattern::AccessPattern;
     use iotrace_workloads::producer_consumer::ProducerConsumer;
 
-    let (paths, _flags) = split_args(args);
+    let (paths, flags) = split_args(args);
     let [dir] = paths.as_slice() else {
         return Err("demo needs <dir>".to_string());
     };
     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let plan = fault_plan_from(&flags)?.unwrap_or_else(FaultPlan::clean);
+    if !plan.is_clean() {
+        eprint!("iotrace: running demo under {}", plan.describe());
+    }
 
     // 1. LANL-Trace text traces.
     let w = MpiIoTest::new(AccessPattern::NTo1Strided, 4, 64 * 1024, 8);
     let mut vfs = standard_vfs(4);
     vfs.setup_dir(&w.dir).unwrap();
-    let run = LanlTrace::ltrace().run(standard_cluster(4, 1), vfs, w.programs(), &w.cmdline());
+    let run = LanlTrace::ltrace().run_with_faults(
+        standard_cluster(4, 1),
+        vfs,
+        w.programs(),
+        &w.cmdline(),
+        &plan,
+    );
+    if run.traces.is_empty() {
+        return Err("fault plan lost every rank's trace — nothing to write".to_string());
+    }
     for t in &run.traces {
         let p = format!("{dir}/lanl_rank{:02}.txt", t.meta.rank);
         std::fs::write(&p, format_text(t)).map_err(|e| e.to_string())?;
@@ -332,7 +425,14 @@ pub fn demo(args: &[String]) -> Result<(), String> {
         vfs.setup_dir(&w.dir).unwrap();
         (cluster, vfs, w.programs())
     };
-    let cap = Partrace::new(PartraceConfig::default()).capture(mk, "/pipeline.exe");
+    let cap =
+        Partrace::new(PartraceConfig::default()).capture_with_faults(mk, "/pipeline.exe", &plan);
+    if cap.lost_edges > 0 {
+        eprintln!(
+            "iotrace: warning: fault plan dropped {} dependency edge(s) from the capture",
+            cap.lost_edges
+        );
+    }
     let p = format!("{dir}/pipeline.replayable.txt");
     std::fs::write(&p, cap.replayable.to_text()).map_err(|e| e.to_string())?;
     println!("wrote {p}");

@@ -1,8 +1,8 @@
-//! Trace-file loading with format auto-detection.
+//! Trace-file loading with format auto-detection and salvage decoding.
 
-use iotrace_model::binary::decode_binary;
+use iotrace_model::binary::decode_binary_salvage;
 use iotrace_model::event::Trace;
-use iotrace_model::text::parse_text;
+use iotrace_model::text::parse_text_salvage;
 use iotrace_model::xtea::Key;
 use iotrace_partrace::replayable::ReplayableTrace;
 
@@ -13,20 +13,35 @@ pub enum Loaded {
 }
 
 /// Load one trace file, auto-detecting the format.
+///
+/// Damaged trace files are *salvaged*, not rejected: the decodable
+/// record prefix is returned with `meta.completeness` stamped, and the
+/// salvage report lands on stderr. Container-level problems (bad magic,
+/// missing key, truncated header) are still hard errors.
 pub fn load(path: &str, key: Option<&Key>) -> Result<Loaded, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
     if bytes.starts_with(b"IOTB") {
-        let d = decode_binary(&bytes, key)
+        let s = decode_binary_salvage(&bytes, key)
             .map_err(|e| format!("{path}: binary decode failed: {e} (need --key?)"))?;
-        return Ok(Loaded::Traces(vec![d.trace]));
+        if let Some(report) = &s.report {
+            eprintln!("iotrace: warning: {path}: {report}");
+        }
+        return Ok(Loaded::Traces(vec![s.decoded.trace]));
     }
     let text = String::from_utf8_lossy(&bytes);
     if text.contains("==== partrace") {
         let rt = ReplayableTrace::parse(&text).map_err(|e| format!("{path}: {e}"))?;
         return Ok(Loaded::Replayable(rt));
     }
-    let t = parse_text(&text).map_err(|e| format!("{path}: {e}"))?;
-    Ok(Loaded::Traces(vec![t]))
+    let s = parse_text_salvage(&text);
+    if let Some(report) = &s.report {
+        if s.trace.records.is_empty() {
+            // Nothing salvageable: not a damaged trace, just not a trace.
+            return Err(format!("{path}: {}", report.error));
+        }
+        eprintln!("iotrace: warning: {path}: {report}");
+    }
+    Ok(Loaded::Traces(vec![s.trace]))
 }
 
 /// Load many files as a flat trace list (replayable docs contribute their
@@ -54,7 +69,10 @@ pub fn split_args(args: &[String]) -> (Vec<String>, Vec<(String, Option<String>)
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            let takes_value = matches!(name, "encrypt" | "key" | "seed" | "top" | "ranks" | "pass");
+            let takes_value = matches!(
+                name,
+                "encrypt" | "key" | "seed" | "top" | "ranks" | "pass" | "fault-plan"
+            );
             if takes_value && i + 1 < args.len() {
                 flags.push((name.to_string(), Some(args[i + 1].clone())));
                 i += 2;

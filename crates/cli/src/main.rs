@@ -42,6 +42,7 @@ fn main() -> ExitCode {
         "replay" => cmd::replay(rest),
         "taxonomy" => cmd::taxonomy(rest),
         "demo" => cmd::demo(rest),
+        "faults" => cmd::faults(rest),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             Ok(())
@@ -71,9 +72,18 @@ commands:
   convert   <in> <out> [--binary|--text] [--checksum] [--compress]
             [--encrypt <pass>] [--key <pass>]
   anonymize <in> <out> [--seed N | --encrypt <pass>] [--key <pass>]
-  replay    <replayable.txt> [--ranks N]    simulate the pseudo-application
+  replay    <replayable.txt> [--ranks N] [--fault-plan <name|file>]
+                                            simulate the pseudo-application
   taxonomy                                  print Tables 1 and 2 (quick probes)
-  demo      <dir>                           write sample trace files
+  demo      <dir> [--fault-plan <name|file>] [--seed N]
+                                            write sample trace files
+  faults    <name|file> [--seed N] [--text] describe a fault plan (canned:
+                                            clean, lossy-tracer, degraded-storage)
 
 stats/hotspots/phases/replay lint their input first and stop on
-error-severity findings; --no-lint skips that gate.";
+error-severity findings; --no-lint skips that gate.
+
+fault injection: --fault-plan takes a canned plan name or a plan file
+(emit one with `iotrace faults lossy-tracer --text`). Faulted runs are
+deterministic per seed; degraded traces carry `completeness < 1.0` and
+analysis commands warn on missing ranks instead of failing.";

@@ -161,3 +161,128 @@ fn missing_file_is_a_clean_error() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("/nonexistent/trace.txt"));
 }
+
+#[test]
+fn faults_describes_canned_plans_and_rejects_unknown() {
+    for name in ["clean", "lossy-tracer", "degraded-storage"] {
+        let out = run(&["faults", name, "--seed", "7"]);
+        assert!(out.status.success(), "{name}: {out:?}");
+        let s = String::from_utf8_lossy(&out.stdout);
+        assert!(s.contains("fault plan"), "{name}: {s}");
+    }
+    let out = run(&["faults", "no-such-plan"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn faults_text_roundtrips_through_a_plan_file() {
+    let d = tmpdir("plantext");
+    let out = run(&["faults", "lossy-tracer", "--seed", "9", "--text"]);
+    assert!(out.status.success(), "{out:?}");
+    let plan_path = d.join("plan.txt");
+    std::fs::write(&plan_path, &out.stdout).unwrap();
+    let from_file = run(&["faults", plan_path.to_str().unwrap()]);
+    assert!(from_file.status.success(), "{from_file:?}");
+    let canned = run(&["faults", "lossy-tracer", "--seed", "9"]);
+    assert_eq!(from_file.stdout, canned.stdout, "file == canned plan");
+}
+
+/// The reproducibility acceptance test: the same seed + plan must
+/// produce bit-for-bit identical trace files across two invocations.
+#[test]
+fn faulted_demo_is_bit_for_bit_reproducible() {
+    let d1 = tmpdir("repro1");
+    let d2 = tmpdir("repro2");
+    for d in [&d1, &d2] {
+        let out = run(&[
+            "demo",
+            d.to_str().unwrap(),
+            "--fault-plan",
+            "lossy-tracer",
+            "--seed",
+            "5",
+        ]);
+        assert!(out.status.success(), "{out:?}");
+    }
+    let mut names: Vec<String> = std::fs::read_dir(&d1)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    assert!(!names.is_empty());
+    for n in &names {
+        let a = std::fs::read(d1.join(n)).unwrap();
+        let b = std::fs::read(d2.join(n)).unwrap();
+        assert_eq!(a, b, "{n} differs between identical faulted runs");
+    }
+    // And the fault plan really degraded something: fewer than 4 rank
+    // files, or at least one trace documenting loss.
+    let rank_files: Vec<&String> = names
+        .iter()
+        .filter(|n| n.starts_with("lanl_rank"))
+        .collect();
+    let lossy = rank_files.len() < 5 // 4 text + 1 binary when nothing lost
+        || names.iter().any(|n| {
+            n.ends_with(".txt")
+                && std::fs::read_to_string(d1.join(n))
+                    .unwrap()
+                    .contains("# completeness:")
+        });
+    assert!(lossy, "lossy-tracer plan had no visible effect: {names:?}");
+}
+
+/// The missing-rank acceptance test: stats over a partial rank set
+/// completes and names the hole instead of panicking.
+#[test]
+fn stats_on_partial_rank_set_reports_missing_ranks() {
+    let d = tmpdir("missing");
+    let plan = d.join("plan.txt");
+    std::fs::write(
+        &plan,
+        "seed 3\ntrace-file-loss rank=1\ntrace-truncation rank=2 keep=0.5\n",
+    )
+    .unwrap();
+    let out = run(&[
+        "demo",
+        d.to_str().unwrap(),
+        "--fault-plan",
+        plan.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(!d.join("lanl_rank01.txt").exists(), "rank 1 file lost");
+
+    let args: Vec<String> = ["lanl_rank00.txt", "lanl_rank02.txt", "lanl_rank03.txt"]
+        .iter()
+        .map(|n| d.join(n).to_str().unwrap().to_string())
+        .collect();
+    let mut cmd = vec!["stats".to_string()];
+    cmd.extend(args);
+    let argv: Vec<&str> = cmd.iter().map(String::as_str).collect();
+    let out = run(&argv);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("missing ranks: [1]"), "{stdout}");
+    assert!(stderr.contains("rank 1 has no trace"), "{stderr}");
+    assert!(
+        stdout.contains("rank 2: incomplete trace"),
+        "truncated rank documented: {stdout}"
+    );
+}
+
+#[test]
+fn replay_accepts_a_degraded_storage_fault_plan() {
+    let d = demo_dir("repfault");
+    let doc = d.join("pipeline.replayable.txt");
+    let out = run(&[
+        "replay",
+        doc.to_str().unwrap(),
+        "--fault-plan",
+        "degraded-storage",
+        "--seed",
+        "4",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("run clean: true"), "{s}");
+}

@@ -7,12 +7,13 @@
 //! queue and effective bandwidth saturates — the precondition for the
 //! paper's Figures 2–4 shapes.
 
+use iotrace_sim::fault::DegradedWindow;
 use iotrace_sim::ids::NodeId;
 use iotrace_sim::rng::DetRng;
 use iotrace_sim::time::{SimDur, SimTime};
 
 use crate::inode::InodeId;
-use crate::params::{LocalParams, NfsParams, StripedParams};
+use crate::params::{LocalParams, NfsParams, RetryPolicy, StripedParams};
 
 /// Direction of a data operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,6 +63,11 @@ pub trait CostModel: Send {
     fn fsync(&mut self, node: NodeId, now: SimTime) -> SimTime {
         self.meta(node, now)
     }
+
+    /// Apply fault-injection degradation windows and the retry policy
+    /// clients use against them. Default no-op: models without
+    /// per-server structure have nothing to degrade.
+    fn degrade(&mut self, _windows: &[DegradedWindow], _policy: RetryPolicy) {}
 }
 
 /// One service queue (a disk, a server).
@@ -261,6 +267,11 @@ pub struct StripedModel {
     params: StripedParams,
     servers: Vec<ServiceQueue>,
     meta_service: ServiceQueue,
+    /// Fault-injected degradation windows (empty on a healthy array).
+    degraded: Vec<DegradedWindow>,
+    retry: RetryPolicy,
+    /// Failed probes issued against unavailable servers so far.
+    retries: u64,
 }
 
 impl StripedModel {
@@ -269,11 +280,66 @@ impl StripedModel {
             servers: vec![ServiceQueue::default(); params.servers],
             meta_service: ServiceQueue::default(),
             params,
+            degraded: Vec::new(),
+            retry: RetryPolicy::lanl_2007(),
+            retries: 0,
         }
+    }
+
+    /// Builder form of [`CostModel::degrade`].
+    pub fn with_degradation(mut self, windows: Vec<DegradedWindow>, policy: RetryPolicy) -> Self {
+        self.degraded = windows;
+        self.retry = policy;
+        self
     }
 
     pub fn params(&self) -> &StripedParams {
         &self.params
+    }
+
+    /// How many failed probes degraded servers have absorbed.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Serve one request on `server`, honouring degradation windows.
+    /// Against an unavailable server the client probes, backs off
+    /// exponentially, and — once the retry budget is spent — blocks
+    /// until the outage ends. Probes are booked on the server queue so
+    /// they surface as extra queue events in overhead accounting.
+    fn serve_degraded(&mut self, server: usize, start: SimTime, service: SimDur) -> SimTime {
+        let mut at = start;
+        let mut attempt = 0u32;
+        loop {
+            let outage = self
+                .degraded
+                .iter()
+                .find(|w| w.server == server && w.unavailable && w.covers(at))
+                .copied();
+            let Some(w) = outage else {
+                let slowdown = self
+                    .degraded
+                    .iter()
+                    .filter(|w| w.server == server && !w.unavailable && w.covers(at))
+                    .map(|w| w.slowdown)
+                    .fold(1.0, f64::max);
+                let service = if slowdown > 1.0 {
+                    service.mul_f64(slowdown)
+                } else {
+                    service
+                };
+                return self.servers[server].serve(at, service);
+            };
+            if attempt < self.retry.max_retries {
+                let probe_done = self.servers[server].serve(at, self.retry.probe_cost);
+                self.retries += 1;
+                at = probe_done + self.retry.backoff(attempt);
+                attempt += 1;
+            } else {
+                // Retry budget exhausted: block until the outage lifts.
+                at = at.max_of(w.until);
+            }
+        }
     }
 
     /// Files start on a per-inode server so independent files (the N-N
@@ -361,10 +427,15 @@ impl CostModel for StripedModel {
                     ((partials as u64 * sw) as f64 * (self.params.rmw_factor - 1.0)) as u64;
             }
             let service = self.params.server.service(effective);
-            let done = self.servers[server].serve(start, service);
+            let done = self.serve_degraded(server, start, service);
             finish = finish.max_of(done);
         }
         finish
+    }
+
+    fn degrade(&mut self, windows: &[DegradedWindow], policy: RetryPolicy) {
+        self.degraded.extend_from_slice(windows);
+        self.retry = policy;
     }
 }
 
@@ -610,6 +681,126 @@ mod tests {
             f.since(t(200)) < iotrace_sim::time::SimDur::from_millis(5),
             "{f:?}"
         );
+    }
+
+    #[test]
+    fn slowdown_window_stretches_service_time() {
+        let p = StripedParams::lanl_2007();
+        let op = |m: &mut StripedModel| {
+            m.data(
+                NodeId(0),
+                t(0),
+                DataDir::Write,
+                InodeId(1),
+                0,
+                64 * 1024,
+                false,
+            )
+        };
+        let mut healthy = StripedModel::new(p);
+        let base = op(&mut healthy);
+        let all_slow: Vec<DegradedWindow> = (0..p.servers)
+            .map(|s| DegradedWindow {
+                server: s,
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(100),
+                slowdown: 4.0,
+                unavailable: false,
+            })
+            .collect();
+        let mut slow = StripedModel::new(p).with_degradation(all_slow, RetryPolicy::lanl_2007());
+        let degraded = op(&mut slow);
+        assert!(degraded > base, "degraded {degraded:?} vs base {base:?}");
+        // outside the window nothing changes
+        let windowed = vec![DegradedWindow {
+            server: 0,
+            from: SimTime::from_secs(50),
+            until: SimTime::from_secs(60),
+            slowdown: 4.0,
+            unavailable: false,
+        }];
+        let mut later = StripedModel::new(p).with_degradation(windowed, RetryPolicy::lanl_2007());
+        assert_eq!(op(&mut later), base);
+    }
+
+    #[test]
+    fn unavailable_server_costs_retries_then_blocks() {
+        let p = StripedParams::lanl_2007();
+        let policy = RetryPolicy::lanl_2007();
+        let m = StripedModel::new(p);
+        let server = m.start_server(InodeId(1));
+        let windows = vec![DegradedWindow {
+            server,
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(1),
+            slowdown: 1.0,
+            unavailable: true,
+        }];
+        let mut m = m.with_degradation(windows, policy);
+        let finish = m.data(
+            NodeId(0),
+            t(0),
+            DataDir::Write,
+            InodeId(1),
+            0,
+            4 * 1024, // one stripe unit: hits exactly the dead server
+            false,
+        );
+        // 5 + 10 + 20 ms of backoff < 1 s outage, so the op blocks to the
+        // end of the window and completes after it.
+        assert!(finish > SimTime::from_secs(1), "{finish:?}");
+        assert_eq!(m.retries(), policy.max_retries as u64);
+        // retries surface as queue events: the server is busy with probes
+        assert!(m.servers[server].busy_until() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn short_outage_resolves_within_retry_budget() {
+        let p = StripedParams::lanl_2007();
+        let m = StripedModel::new(p);
+        let server = m.start_server(InodeId(1));
+        let windows = vec![DegradedWindow {
+            server,
+            from: SimTime::ZERO,
+            until: SimTime::from_millis(4),
+            slowdown: 1.0,
+            unavailable: true,
+        }];
+        let mut m = m.with_degradation(windows, RetryPolicy::lanl_2007());
+        let finish = m.data(NodeId(0), t(0), DataDir::Read, InodeId(1), 0, 4096, false);
+        // first probe + 5 ms backoff clears the 4 ms outage
+        assert!(finish < SimTime::from_millis(20), "{finish:?}");
+        assert_eq!(m.retries(), 1);
+    }
+
+    #[test]
+    fn degraded_runs_stay_deterministic() {
+        let p = StripedParams::lanl_2007();
+        let run = || {
+            let windows = vec![DegradedWindow {
+                server: 3,
+                from: SimTime::ZERO,
+                until: SimTime::from_millis(500),
+                slowdown: 1.0,
+                unavailable: true,
+            }];
+            let mut m = StripedModel::new(p).with_degradation(windows, RetryPolicy::lanl_2007());
+            (0..40u64)
+                .map(|i| {
+                    m.data(
+                        NodeId((i % 4) as u32),
+                        SimTime::from_micros(i * 700),
+                        DataDir::Write,
+                        InodeId(i % 6),
+                        i * 4096,
+                        8192,
+                        i % 2 == 0,
+                    )
+                    .as_nanos()
+                })
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -125,6 +125,16 @@ pub trait FileSystem: Send {
     /// non-stacked file systems. Used when unmounting stackable layers
     /// like Tracefs.
     fn unwrap_lower(self: Box<Self>) -> Box<dyn FileSystem>;
+
+    /// Apply fault-injection degradation windows to this file system's
+    /// cost model. Default no-op; modeled file systems forward to their
+    /// [`CostModel::degrade`], stacked layers forward to the lower FS.
+    fn degrade_storage(
+        &mut self,
+        _windows: &[iotrace_sim::fault::DegradedWindow],
+        _policy: crate::params::RetryPolicy,
+    ) {
+    }
 }
 
 /// Namespace + cost model = a usable simulated file system.
@@ -149,6 +159,10 @@ impl<M: CostModel> ModeledFs<M> {
 
     pub fn model(&self) -> &M {
         &self.model
+    }
+
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
     }
 
     fn is_shared(&self, ino: InodeId) -> bool {
@@ -318,6 +332,14 @@ impl<M: CostModel + 'static> FileSystem for ModeledFs<M> {
 
     fn unwrap_lower(self: Box<Self>) -> Box<dyn FileSystem> {
         self
+    }
+
+    fn degrade_storage(
+        &mut self,
+        windows: &[iotrace_sim::fault::DegradedWindow],
+        policy: crate::params::RetryPolicy,
+    ) {
+        self.model.degrade(windows, policy);
     }
 }
 

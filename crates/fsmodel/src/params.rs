@@ -82,6 +82,48 @@ impl StripedParams {
     }
 }
 
+/// How a striped-FS client reacts to a degraded (unavailable) storage
+/// server: probe, back off exponentially, and after the retry budget is
+/// spent, block until the server answers again. Every probe is booked on
+/// the server's queue, so retries show up in overhead figures the same
+/// way real retry RPCs would.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Attempts before falling back to blocking until the outage ends.
+    pub max_retries: u32,
+    /// Wait after the first failed attempt; doubles per retry via
+    /// `backoff_multiplier`.
+    pub base_backoff: SimDur,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub backoff_multiplier: f64,
+    /// Client-side cost of one failed probe RPC (timeout detection).
+    pub probe_cost: SimDur,
+}
+
+impl RetryPolicy {
+    pub fn lanl_2007() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: SimDur::from_millis(5),
+            backoff_multiplier: 2.0,
+            probe_cost: SimDur::from_micros(500),
+        }
+    }
+
+    /// The backoff to wait after failed attempt number `attempt`
+    /// (0-based).
+    pub fn backoff(&self, attempt: u32) -> SimDur {
+        self.base_backoff
+            .mul_f64(self.backoff_multiplier.powi(attempt as i32))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::lanl_2007()
+    }
+}
+
 /// NFS-like single-server file system.
 #[derive(Clone, Copy, Debug)]
 pub struct NfsParams {

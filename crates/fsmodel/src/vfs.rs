@@ -214,6 +214,27 @@ impl Vfs {
         Ok(())
     }
 
+    /// Apply fault-injection degradation windows to every mounted
+    /// backend. Backends without degradable structure (mem, local, NFS)
+    /// ignore the call; the striped parallel FS picks up the windows
+    /// matching its server indices.
+    pub fn degrade_storage(
+        &mut self,
+        windows: &[iotrace_sim::fault::DegradedWindow],
+        policy: crate::params::RetryPolicy,
+    ) {
+        for m in &mut self.mounts {
+            match &mut m.backend {
+                MountBackend::Shared(fs) => fs.degrade_storage(windows, policy),
+                MountBackend::PerNode(v) => {
+                    for fs in v {
+                        fs.degrade_storage(windows, policy);
+                    }
+                }
+            }
+        }
+    }
+
     /// The `FsKind` of the backend serving `p` (as node 0 sees it).
     pub fn kind_of(&self, p: &str) -> FsResult<FsKind> {
         let (mount, _) = self.resolve_mount(p)?;
@@ -522,6 +543,45 @@ mod tests {
             files,
             vec!["/pfs/d/one".to_string(), "/pfs/d/two".to_string()]
         );
+    }
+
+    #[test]
+    fn degrade_storage_reaches_mounted_striped_fs() {
+        use crate::params::{RetryPolicy, StripedParams};
+        use iotrace_sim::fault::DegradedWindow;
+        let run = |degrade: bool| {
+            let mut v = Vfs::new(1);
+            v.mount_shared(
+                "/pfs",
+                crate::fs::striped_fs("panfs", StripedParams::lanl_2007()),
+            )
+            .unwrap();
+            if degrade {
+                let windows: Vec<DegradedWindow> = (0..28)
+                    .map(|s| DegradedWindow {
+                        server: s,
+                        from: SimTime::ZERO,
+                        until: SimTime::from_secs(10),
+                        slowdown: 8.0,
+                        unavailable: false,
+                    })
+                    .collect();
+                v.degrade_storage(&windows, RetryPolicy::lanl_2007());
+            }
+            let (vn, t) = v
+                .open(
+                    NodeId(0),
+                    "/pfs/f",
+                    OpenFlags::RDWR | OpenFlags::CREAT,
+                    FileMeta::default(),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            v.write(NodeId(0), vn, 0, &WritePayload::Synthetic(1 << 20), t)
+                .unwrap()
+                .finish
+        };
+        assert!(run(true) > run(false));
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! workload.
 
 use iotrace_fs::fs::{local_fs, nfs_fs, striped_fs};
-use iotrace_fs::params::{LocalParams, NfsParams, StripedParams};
+use iotrace_fs::params::{LocalParams, NfsParams, RetryPolicy, StripedParams};
 use iotrace_fs::vfs::Vfs;
 use iotrace_sim::engine::{ClusterConfig, Engine, RunReport};
+use iotrace_sim::fault::FaultPlan;
 use iotrace_sim::program::RankProgram;
 use iotrace_sim::time::SimDur;
 
@@ -69,6 +70,32 @@ impl JobReport {
             self.stats.bytes_read as f64 / secs
         }
     }
+}
+
+/// Apply a fault plan's storage degradation windows to a VFS before a
+/// run (the client-side reaction is the standard retry policy). Clean
+/// plans are a no-op, so callers can thread a plan unconditionally.
+pub fn degrade_vfs(vfs: &mut Vfs, plan: &FaultPlan) {
+    let windows = plan.storage_windows();
+    if !windows.is_empty() {
+        vfs.degrade_storage(&windows, RetryPolicy::lanl_2007());
+    }
+}
+
+/// [`run_job`] under a fault plan: the plan's storage windows degrade
+/// the VFS before the job starts. Tracer-level faults (overflow, file
+/// loss) are applied by the individual framework front-ends, which know
+/// how their capture path loses data.
+pub fn run_job_faulted(
+    cfg: ClusterConfig,
+    mut vfs: Vfs,
+    tracer: Box<dyn IoTracer>,
+    programs: Vec<Box<dyn RankProgram<IoOp, IoRes>>>,
+    throttle: Option<Throttle>,
+    plan: &FaultPlan,
+) -> JobReport {
+    degrade_vfs(&mut vfs, plan);
+    run_job(cfg, vfs, tracer, programs, throttle)
 }
 
 /// Run one job: `programs` (one per rank) against `vfs` under `tracer`.

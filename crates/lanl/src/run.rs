@@ -7,6 +7,7 @@
 //! skew/drift reference points, then runs the application itself under
 //! the ptrace-based tracer.
 
+use iotrace_fs::params::RetryPolicy;
 use iotrace_fs::vfs::Vfs;
 use iotrace_ioapi::harness::{run_job, JobReport};
 use iotrace_ioapi::op::{IoOp, IoRes};
@@ -16,6 +17,7 @@ use iotrace_model::event::Trace;
 use iotrace_model::summary::CallSummary;
 use iotrace_model::timing::AggregateTiming;
 use iotrace_sim::engine::ClusterConfig;
+use iotrace_sim::fault::FaultPlan;
 use iotrace_sim::ids::CommId;
 use iotrace_sim::program::{Op, OpList, RankProgram, Seq};
 use iotrace_sim::time::SimDur;
@@ -80,6 +82,25 @@ impl LanlTrace {
         }
     }
 
+    /// [`LanlTrace::run`] under an injected fault plan: storage windows
+    /// degrade the VFS before the job starts, and afterwards the plan's
+    /// trace-level faults are applied the way LANL-Trace actually loses
+    /// data — whole per-rank files vanish, files are truncated, and a
+    /// crashed node's records stop at the crash instant.
+    pub fn run_with_faults(
+        &self,
+        cluster: ClusterConfig,
+        mut vfs: Vfs,
+        programs: Vec<P>,
+        app_cmdline: &str,
+        plan: &FaultPlan,
+    ) -> LanlRun {
+        vfs.degrade_storage(&plan.storage_windows(), RetryPolicy::lanl_2007());
+        let mut run = self.run(cluster, vfs, programs, app_cmdline);
+        apply_fault_plan(&mut run.traces, plan);
+        run
+    }
+
     /// Run `programs` under LANL-Trace on the given cluster.
     pub fn run(
         &self,
@@ -116,4 +137,103 @@ impl LanlTrace {
 /// as `time ./app` would run it).
 pub fn untraced_baseline(cluster: ClusterConfig, vfs: Vfs, programs: Vec<P>) -> JobReport {
     run_job(cluster, vfs, Box::new(NullTracer), programs, None)
+}
+
+/// Apply a fault plan's trace-level faults to a set of decoded per-rank
+/// traces, the way LANL-Trace loses data in the field:
+///
+/// - a lost trace file removes the rank's trace entirely (the analysis
+///   side must cope with the missing rank);
+/// - a truncated trace file keeps only the leading fraction of records;
+/// - a node crash cuts every record at or after the crash instant
+///   (per-rank buffers on that node never reach the collection step).
+///
+/// Partial losses are stamped into `meta.completeness` via
+/// [`iotrace_model::event::TraceMeta::record_loss`].
+pub fn apply_fault_plan(traces: &mut Vec<Trace>, plan: &FaultPlan) {
+    traces.retain(|t| !plan.file_lost(t.meta.rank));
+    for t in traces.iter_mut() {
+        if let Some(crash) = plan.crash_time(t.meta.node) {
+            let total = t.records.len();
+            t.records.retain(|r| r.ts < crash);
+            t.meta.record_loss(t.records.len(), total);
+        }
+        if let Some(keep) = plan.truncation(t.meta.rank) {
+            let total = t.records.len();
+            let kept = (total as f64 * keep.clamp(0.0, 1.0)).floor() as usize;
+            t.records.truncate(kept);
+            t.meta.record_loss(kept, total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace_model::event::{IoCall, TraceMeta, TraceRecord};
+    use iotrace_sim::fault::Fault;
+    use iotrace_sim::time::SimTime;
+
+    fn trace_with(rank: u32, node: u32, n: usize) -> Trace {
+        let meta = TraceMeta::new("app", rank, node, "lanl-trace");
+        let records = (0..n)
+            .map(|i| TraceRecord {
+                ts: SimTime::from_millis(i as u64),
+                dur: SimDur::from_micros(10),
+                rank,
+                node,
+                pid: 100 + rank,
+                uid: 4242,
+                gid: 4242,
+                call: IoCall::Write { fd: 5, len: 64 },
+                result: 64,
+            })
+            .collect();
+        Trace { meta, records }
+    }
+
+    #[test]
+    fn lost_file_removes_the_rank() {
+        let mut traces = vec![trace_with(0, 0, 10), trace_with(1, 1, 10)];
+        let plan = FaultPlan {
+            seed: 1,
+            faults: vec![Fault::TraceFileLoss { rank: 1 }],
+        };
+        apply_fault_plan(&mut traces, &plan);
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].meta.rank, 0);
+        assert!(traces[0].meta.is_complete());
+    }
+
+    #[test]
+    fn truncation_keeps_leading_fraction_and_stamps_completeness() {
+        let mut traces = vec![trace_with(0, 0, 10)];
+        let plan = FaultPlan {
+            seed: 1,
+            faults: vec![Fault::TraceTruncation { rank: 0, keep: 0.5 }],
+        };
+        apply_fault_plan(&mut traces, &plan);
+        assert_eq!(traces[0].records.len(), 5);
+        // Prefix survives: timestamps still start at 0 and ascend.
+        assert_eq!(traces[0].records[0].ts, SimTime::from_millis(0));
+        assert!((traces[0].meta.completeness - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_crash_cuts_records_at_the_crash_instant() {
+        let mut traces = vec![trace_with(0, 2, 10), trace_with(1, 3, 10)];
+        let plan = FaultPlan {
+            seed: 1,
+            faults: vec![Fault::NodeCrash {
+                node: 2,
+                at: SimTime::from_millis(4),
+            }],
+        };
+        apply_fault_plan(&mut traces, &plan);
+        // Node 2's rank loses records at ts >= 4 ms; node 3 untouched.
+        assert_eq!(traces[0].records.len(), 4);
+        assert!(traces[0].meta.completeness < 1.0);
+        assert_eq!(traces[1].records.len(), 10);
+        assert!(traces[1].meta.is_complete());
+    }
 }

@@ -85,9 +85,64 @@ impl Linter {
         for pass in &self.passes {
             pass.run(input, &self.cfg, &mut diagnostics);
         }
+        downgrade_for_documented_loss(input, &mut diagnostics);
         let mut report = LintReport { diagnostics };
         report.sort();
         report
+    }
+}
+
+/// Rules whose findings are expected artifacts of documented record
+/// loss: a "leaked" fd may have its close in the lost suffix, a
+/// use-after-close may be missing an intervening reopen, and
+/// happens-before evidence is structurally unreliable when records or
+/// dependency edges are known to be missing.
+const LOSS_TOLERANT_RULES: &[&str] = &[
+    "fd-leak",
+    "fd-unknown",
+    "fd-reopen",
+    "fd-double-close",
+    "fd-use-after-close",
+    "hb-barrier-mismatch",
+    "hb-write-race",
+    "hb-read-race",
+];
+
+/// Cap loss-tolerant findings at [`Severity::Warning`] when the trace
+/// they point into documents incomplete capture
+/// (`meta.completeness < 1.0`). A degraded trace is still worth linting,
+/// but a gap the tracer itself disclosed must not hard-fail pipelines
+/// (replay preflight, CI gates) the way true corruption does.
+fn downgrade_for_documented_loss(input: &LintInput<'_>, diagnostics: &mut [Diagnostic]) {
+    let incomplete: std::collections::BTreeSet<u32> = input
+        .traces
+        .iter()
+        .filter(|t| !t.meta.is_complete())
+        .map(|t| t.meta.rank)
+        .collect();
+    if incomplete.is_empty() {
+        return;
+    }
+    for d in diagnostics.iter_mut() {
+        if d.severity != Severity::Error || !LOSS_TOLERANT_RULES.contains(&d.rule) {
+            continue;
+        }
+        // Rank-local findings downgrade only when their own trace is
+        // incomplete; cross-rank findings downgrade if any trace is.
+        let applies = match d.rank {
+            Some(r) => incomplete.contains(&r),
+            None => true,
+        };
+        if applies {
+            d.severity = Severity::Warning;
+            let note = "downgraded from error: the trace documents record loss \
+                        (completeness < 1.0), so the contradicting evidence may \
+                        sit in the lost records";
+            d.hint = Some(match d.hint.take() {
+                Some(h) => format!("{h}; {note}"),
+                None => note.to_string(),
+            });
+        }
     }
 }
 
@@ -211,6 +266,101 @@ mod tests {
         assert!(report.has_errors());
         assert_eq!(report.diagnostics[0].severity, Severity::Error);
         assert_eq!(report.diagnostics[0].rule, "fd-use-after-close");
+    }
+
+    #[test]
+    fn documented_loss_downgrades_fd_and_causality_errors() {
+        // use-after-close is normally an Error…
+        let mk = || {
+            trace_of(
+                0,
+                vec![
+                    (
+                        IoCall::Open {
+                            path: "/f".into(),
+                            flags: 0,
+                            mode: 0,
+                        },
+                        3,
+                    ),
+                    (IoCall::Close { fd: 3 }, 0),
+                    (IoCall::Read { fd: 3, len: 1 }, 1),
+                ],
+            )
+        };
+        let complete = lint_traces(&[mk()], None);
+        assert!(complete.has_errors());
+
+        // …but with documented record loss it caps at Warning.
+        let mut t = mk();
+        t.meta.record_loss(3, 4);
+        let degraded = lint_traces(&[t], None);
+        assert!(!degraded.has_errors(), "{}", degraded.render_human());
+        let d = degraded
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == "fd-use-after-close")
+            .unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.hint.as_deref().unwrap().contains("record loss"));
+    }
+
+    #[test]
+    fn loss_in_one_rank_does_not_shield_another() {
+        let bad = |rank| {
+            trace_of(
+                rank,
+                vec![
+                    (
+                        IoCall::Open {
+                            path: "/f".into(),
+                            flags: 0,
+                            mode: 0,
+                        },
+                        3,
+                    ),
+                    (IoCall::Close { fd: 3 }, 0),
+                    (IoCall::Read { fd: 3, len: 1 }, 1),
+                ],
+            )
+        };
+        let mut lossy = bad(0);
+        lossy.meta.record_loss(1, 2);
+        let report = lint_traces(&[lossy, bad(1)], None);
+        // Rank 0's finding downgrades, rank 1's stays an error.
+        assert!(report.has_errors());
+        for d in &report.diagnostics {
+            if d.rule == "fd-use-after-close" {
+                match d.rank {
+                    Some(0) => assert_eq!(d.severity, Severity::Warning),
+                    Some(1) => assert_eq!(d.severity, Severity::Error),
+                    r => panic!("unexpected rank {r:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clock_errors_are_not_excused_by_loss() {
+        use crate::testutil::{rec_at, trace_of_records};
+        // Timestamps running backwards are corruption, not loss.
+        let mut t = trace_of_records(
+            0,
+            vec![
+                rec_at(0, 2_000, 100, IoCall::Close { fd: 3 }, 0),
+                rec_at(0, 1_000, 100, IoCall::Close { fd: 4 }, 0),
+            ],
+        );
+        t.meta.record_loss(1, 2);
+        let report = lint_traces(std::slice::from_ref(&t), None);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == "clock-nonmonotonic" && d.severity == Severity::Error),
+            "{}",
+            report.render_human()
+        );
     }
 
     #[test]

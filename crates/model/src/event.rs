@@ -287,6 +287,13 @@ pub struct TraceMeta {
     /// been anonymized. Set by [`crate::anonymize::Anonymizer::apply`];
     /// `iotrace-lint`'s leakage pass audits traces carrying this claim.
     pub anonymized: bool,
+    /// Fraction of the originally captured records this trace still
+    /// holds, in `[0, 1]`. `1.0` means a complete capture; anything less
+    /// documents record loss (buffer overflow, file truncation, node
+    /// crash, salvage of a corrupt file). Analysis warns on and lint
+    /// downgrades findings for incomplete traces instead of treating the
+    /// gaps as application bugs.
+    pub completeness: f64,
 }
 
 impl TraceMeta {
@@ -299,7 +306,23 @@ impl TraceMeta {
             tracer: tracer.to_string(),
             base_epoch: 1_159_808_385,
             anonymized: false,
+            completeness: 1.0,
         }
+    }
+
+    /// Whether the capture is documented as complete.
+    pub fn is_complete(&self) -> bool {
+        self.completeness >= 1.0
+    }
+
+    /// Record that only `kept` of `total` captured records survived.
+    /// Never *raises* completeness: repeated degradation compounds.
+    pub fn record_loss(&mut self, kept: usize, total: usize) {
+        if total == 0 {
+            return;
+        }
+        let frac = (kept as f64 / total as f64).clamp(0.0, 1.0);
+        self.completeness = (self.completeness * frac).clamp(0.0, 1.0);
     }
 }
 

@@ -20,6 +20,7 @@ pub mod binary;
 pub mod crc;
 pub mod event;
 pub mod lzss;
+pub mod salvage;
 pub mod summary;
 pub mod text;
 pub mod timing;
@@ -28,10 +29,14 @@ pub mod xtea;
 
 pub mod prelude {
     pub use crate::anonymize::{Anonymizer, Mode as AnonMode, Selection as AnonSelection};
-    pub use crate::binary::{decode_binary, encode_binary, BinError, BinaryOptions, FieldSel};
+    pub use crate::binary::{
+        decode_binary, decode_binary_salvage, encode_binary, BinError, BinaryOptions, FieldSel,
+        SalvagedBinary,
+    };
     pub use crate::event::{CallLayer, IoCall, Trace, TraceMeta, TraceRecord};
+    pub use crate::salvage::{SalvageReport, TraceError};
     pub use crate::summary::CallSummary;
-    pub use crate::text::{format_text, parse_text, ParseError};
+    pub use crate::text::{format_text, parse_text, parse_text_salvage, ParseError, SalvagedText};
     pub use crate::timing::{AggregateTiming, BarrierObservation, BarrierTiming};
     pub use crate::xtea::Key;
 }

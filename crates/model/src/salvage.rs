@@ -1,0 +1,112 @@
+//! Salvage decoding: recover the usable prefix of a damaged trace.
+//!
+//! The paper's robustness axis hinges on what a framework does when a
+//! trace file is truncated (node crash mid-flush), corrupted (checksum
+//! mismatch), or half-written. The strict decoders in [`crate::binary`]
+//! and [`crate::text`] abort on the first bad byte; the salvage variants
+//! return every record up to the damage plus a [`SalvageReport`] saying
+//! exactly what was lost and why, and stamp the recovered trace's
+//! [`crate::event::TraceMeta::completeness`] accordingly.
+
+use crate::binary::BinError;
+
+/// Why decoding stopped early — the typed form of a mid-stream failure,
+/// carrying enough position information to act on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// Input ended before the declared record count was reached.
+    Truncated { offset: usize },
+    /// A block failed its CRC; its records are untrusted and dropped.
+    Checksum { block: usize },
+    /// Field decryption failed (wrong key or corrupt ciphertext).
+    Cipher { offset: usize },
+    /// An unknown record tag — corruption or a future format.
+    UnknownTag { tag: u8, offset: usize },
+    /// A compressed block failed to decompress.
+    Decompress { block: usize },
+    /// A text trace line failed to parse.
+    Syntax { line: usize, message: String },
+}
+
+impl TraceError {
+    /// Classify a [`BinError`] raised mid-stream at container offset
+    /// `offset` while decoding block `block`.
+    pub fn from_bin(e: &BinError, offset: usize, block: usize) -> Self {
+        match e {
+            BinError::ChecksumMismatch { block } => TraceError::Checksum { block: *block },
+            BinError::UnknownTag(tag) => TraceError::UnknownTag { tag: *tag, offset },
+            BinError::Cipher(_) => TraceError::Cipher { offset },
+            BinError::Decompress => TraceError::Decompress { block },
+            _ => TraceError::Truncated { offset },
+        }
+    }
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Truncated { offset } => {
+                write!(f, "input truncated at byte {offset}")
+            }
+            TraceError::Checksum { block } => {
+                write!(f, "checksum mismatch in block {block}")
+            }
+            TraceError::Cipher { offset } => {
+                write!(f, "field decryption failed at byte {offset}")
+            }
+            TraceError::UnknownTag { tag, offset } => {
+                write!(f, "unknown record tag {tag} at byte {offset}")
+            }
+            TraceError::Decompress { block } => {
+                write!(f, "decompression failed in block {block}")
+            }
+            TraceError::Syntax { line, message } => {
+                write!(f, "syntax error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// What a salvage decode recovered and what it gave up on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Records successfully decoded before the damage.
+    pub records_recovered: usize,
+    /// Records the header (binary) or line count (text) promised, when
+    /// known.
+    pub records_expected: Option<usize>,
+    /// Why decoding stopped.
+    pub error: TraceError,
+}
+
+impl SalvageReport {
+    /// Fraction of the expected records recovered; `1.0` when the
+    /// expected count is unknown or zero.
+    pub fn completeness(&self) -> f64 {
+        match self.records_expected {
+            Some(expected) if expected > 0 => {
+                (self.records_recovered as f64 / expected as f64).clamp(0.0, 1.0)
+            }
+            _ => 1.0,
+        }
+    }
+}
+
+impl std::fmt::Display for SalvageReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.records_expected {
+            Some(expected) => write!(
+                f,
+                "salvaged {}/{} records ({})",
+                self.records_recovered, expected, self.error
+            ),
+            None => write!(
+                f,
+                "salvaged {} records ({})",
+                self.records_recovered, self.error
+            ),
+        }
+    }
+}

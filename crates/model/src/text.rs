@@ -16,6 +16,7 @@
 use iotrace_sim::time::{SimDur, SimTime};
 
 use crate::event::{IoCall, Trace, TraceMeta, TraceRecord};
+use crate::salvage::{SalvageReport, TraceError};
 
 /// Parse failure, with the 1-based line number.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -97,6 +98,9 @@ pub fn format_text(trace: &Trace) -> String {
     out.push_str(&format!("# epoch: {}\n", m.base_epoch));
     if m.anonymized {
         out.push_str("# anonymized: true\n");
+    }
+    if m.completeness < 1.0 {
+        out.push_str(&format!("# completeness: {}\n", m.completeness));
     }
     if let Some(first) = trace.records.first() {
         out.push_str(&format!(
@@ -358,28 +362,36 @@ fn parse_ts(tok: &str, base_epoch: u64) -> Result<SimTime, String> {
     Ok(SimTime::from_nanos(rel * 1_000_000_000 + micros * 1_000))
 }
 
-/// Parse a trace previously produced by [`format_text`].
-pub fn parse_text(input: &str) -> Result<Trace, ParseError> {
-    let mut meta = TraceMeta::new("", 0, 0, "");
-    let mut pid = 0u32;
-    let mut uid = 0u32;
-    let mut gid = 0u32;
-    let mut records = Vec::new();
-    let err = |line: usize, m: &str| ParseError {
-        line,
-        message: m.to_string(),
-    };
+struct Parser {
+    meta: TraceMeta,
+    pid: u32,
+    uid: u32,
+    gid: u32,
+    records: Vec<TraceRecord>,
+}
 
-    for (i, line) in input.lines().enumerate() {
-        let lineno = i + 1;
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
+impl Parser {
+    fn new() -> Self {
+        Parser {
+            meta: TraceMeta::new("", 0, 0, ""),
+            pid: 0,
+            uid: 0,
+            gid: 0,
+            records: Vec::new(),
         }
+    }
+
+    /// Consume one trimmed, non-empty line.
+    fn line(&mut self, lineno: usize, line: &str) -> Result<(), ParseError> {
+        let err = |line: usize, m: &str| ParseError {
+            line,
+            message: m.to_string(),
+        };
         if let Some(rest) = line.strip_prefix('#') {
             let rest = rest.trim();
             if let Some((k, v)) = rest.split_once(':') {
                 let v = v.trim();
+                let meta = &mut self.meta;
                 match k.trim() {
                     "tracer" => meta.tracer = v.to_string(),
                     "app" => meta.app = v.to_string(),
@@ -388,10 +400,14 @@ pub fn parse_text(input: &str) -> Result<Trace, ParseError> {
                     "host" => meta.host = v.to_string(),
                     "epoch" => meta.base_epoch = v.parse().map_err(|_| err(lineno, "bad epoch"))?,
                     "anonymized" => meta.anonymized = v == "true",
+                    "completeness" => {
+                        let c: f64 = v.parse().map_err(|_| err(lineno, "bad completeness"))?;
+                        meta.completeness = c.clamp(0.0, 1.0);
+                    }
                     "pid" => {
                         // "# pid: P uid: U gid: G"
                         let mut parts = v.split_whitespace();
-                        pid = parts
+                        self.pid = parts
                             .next()
                             .and_then(|p| p.parse().ok())
                             .ok_or_else(|| err(lineno, "bad pid"))?;
@@ -399,10 +415,10 @@ pub fn parse_text(input: &str) -> Result<Trace, ParseError> {
                         for pair in rest.chunks(2) {
                             match pair {
                                 ["uid:", u] => {
-                                    uid = u.parse().map_err(|_| err(lineno, "bad uid"))?
+                                    self.uid = u.parse().map_err(|_| err(lineno, "bad uid"))?
                                 }
                                 ["gid:", g] => {
-                                    gid = g.parse().map_err(|_| err(lineno, "bad gid"))?
+                                    self.gid = g.parse().map_err(|_| err(lineno, "bad gid"))?
                                 }
                                 _ => {}
                             }
@@ -411,13 +427,13 @@ pub fn parse_text(input: &str) -> Result<Trace, ParseError> {
                     _ => {}
                 }
             }
-            continue;
+            return Ok(());
         }
         // record line: TS CALL = RESULT <DUR>
         let (ts_tok, rest) = line
             .split_once(' ')
             .ok_or_else(|| err(lineno, "missing timestamp"))?;
-        let ts = parse_ts(ts_tok, meta.base_epoch).map_err(|m| err(lineno, &m))?;
+        let ts = parse_ts(ts_tok, self.meta.base_epoch).map_err(|m| err(lineno, &m))?;
         let mut lex = Lexer::new(rest);
         let call = parse_call(&mut lex).map_err(|m| err(lineno, &m))?;
         if !lex.eat(b'=') {
@@ -439,19 +455,94 @@ pub fn parse_text(input: &str) -> Result<Trace, ParseError> {
             .trim()
             .parse()
             .map_err(|_| err(lineno, "bad duration"))?;
-        records.push(TraceRecord {
+        self.records.push(TraceRecord {
             ts,
             dur: SimDur::from_secs_f64(dur_secs),
-            rank: meta.rank,
-            node: meta.node,
-            pid,
-            uid,
-            gid,
+            rank: self.meta.rank,
+            node: self.meta.node,
+            pid: self.pid,
+            uid: self.uid,
+            gid: self.gid,
             call,
             result,
         });
+        Ok(())
     }
-    Ok(Trace { meta, records })
+
+    fn into_trace(self) -> Trace {
+        Trace {
+            meta: self.meta,
+            records: self.records,
+        }
+    }
+}
+
+/// Parse a trace previously produced by [`format_text`].
+pub fn parse_text(input: &str) -> Result<Trace, ParseError> {
+    let mut p = Parser::new();
+    for (i, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        p.line(i + 1, line)?;
+    }
+    Ok(p.into_trace())
+}
+
+/// A salvage parse: the recovered trace plus the damage report, if the
+/// input was damaged. `trace.meta.completeness` already reflects any
+/// loss.
+#[derive(Debug)]
+pub struct SalvagedText {
+    pub trace: Trace,
+    pub report: Option<SalvageReport>,
+}
+
+/// Parse as much of a (possibly truncated or corrupt) text trace as
+/// possible. Stops at the first malformed line, keeping every record
+/// before it; the unparsed remainder is counted against
+/// [`TraceMeta::completeness`]. Never fails — worst case is an empty
+/// trace whose report blames line 1.
+pub fn parse_text_salvage(input: &str) -> SalvagedText {
+    let mut p = Parser::new();
+    for (i, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Err(e) = p.line(i + 1, line) {
+            // Everything from the failed line down is lost; estimate the
+            // expected record count from the remaining record-like lines.
+            let lost = input
+                .lines()
+                .skip(e.line - 1)
+                .filter(|l| {
+                    let l = l.trim();
+                    !l.is_empty() && !l.starts_with('#')
+                })
+                .count();
+            let recovered = p.records.len();
+            let expected = recovered + lost.max(1);
+            let mut trace = p.into_trace();
+            trace.meta.record_loss(recovered, expected);
+            return SalvagedText {
+                trace,
+                report: Some(SalvageReport {
+                    records_recovered: recovered,
+                    records_expected: Some(expected),
+                    error: TraceError::Syntax {
+                        line: e.line,
+                        message: e.message,
+                    },
+                }),
+            };
+        }
+    }
+    SalvagedText {
+        trace: p.into_trace(),
+        report: None,
+    }
 }
 
 #[cfg(test)]
@@ -589,5 +680,68 @@ mod tests {
     #[test]
     fn quoting_handles_specials() {
         assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn completeness_header_roundtrips() {
+        let mut t = sample_trace();
+        t.meta.completeness = 0.75;
+        let text = format_text(&t);
+        assert!(text.contains("# completeness: 0.75"), "{text}");
+        let back = parse_text(&text).unwrap();
+        assert_eq!(back.meta.completeness, 0.75);
+        // complete traces don't emit the header at all
+        let clean = format_text(&sample_trace());
+        assert!(!clean.contains("completeness"));
+        assert_eq!(parse_text(&clean).unwrap().meta.completeness, 1.0);
+    }
+
+    #[test]
+    fn salvage_keeps_the_prefix_of_a_damaged_trace() {
+        let t = sample_trace();
+        let mut text = format_text(&t);
+        // chop the file mid-record: keep the first 5 record lines, then a
+        // torn half-line, then garbage that would otherwise abort parsing
+        let lines: Vec<&str> = text.lines().collect();
+        let header_lines = lines.iter().filter(|l| l.starts_with('#')).count();
+        let keep = header_lines + 5;
+        let mut damaged: Vec<String> = lines[..keep].iter().map(|s| s.to_string()).collect();
+        damaged.push(lines[keep][..lines[keep].len() / 2].to_string());
+        damaged.push(lines[keep + 1].to_string());
+        text = damaged.join("\n");
+
+        let s = parse_text_salvage(&text);
+        assert_eq!(s.trace.records.len(), 5);
+        for (a, b) in t.records.iter().zip(&s.trace.records) {
+            assert_eq!(a.call, b.call);
+        }
+        let report = s.report.expect("damage must be reported");
+        assert_eq!(report.records_recovered, 5);
+        assert_eq!(report.records_expected, Some(7));
+        assert!(matches!(report.error, TraceError::Syntax { .. }));
+        assert!((s.trace.meta.completeness - 5.0 / 7.0).abs() < 1e-9);
+        // strict parser rejects the same input
+        assert!(parse_text(&text).is_err());
+    }
+
+    #[test]
+    fn salvage_on_clean_input_reports_nothing() {
+        let t = sample_trace();
+        let s = parse_text_salvage(&format_text(&t));
+        assert!(s.report.is_none());
+        assert_eq!(s.trace.records.len(), t.records.len());
+        assert_eq!(s.trace.meta.completeness, 1.0);
+    }
+
+    #[test]
+    fn salvage_never_panics_on_arbitrary_truncation() {
+        let text = format_text(&sample_trace());
+        for cut in 0..text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            let s = parse_text_salvage(&text[..cut]);
+            assert!(s.trace.records.len() <= sample_trace().records.len());
+        }
     }
 }

@@ -10,12 +10,14 @@
 //! 1.0 probes every node (full dependency map, elapsed overhead up to
 //! ~200%).
 
+use iotrace_fs::params::RetryPolicy;
 use iotrace_fs::vfs::Vfs;
 use iotrace_ioapi::executor::{IoExecutor, RotatingThrottle};
 use iotrace_ioapi::op::{IoOp, IoRes};
 use iotrace_ioapi::tracer::downcast_tracer;
 use iotrace_model::event::Trace;
 use iotrace_sim::engine::{ClusterConfig, Engine};
+use iotrace_sim::fault::FaultPlan;
 use iotrace_sim::ids::NodeId;
 use iotrace_sim::program::RankProgram;
 use iotrace_sim::time::{SimDur, SimTime};
@@ -71,6 +73,8 @@ pub struct PartraceCapture {
     /// Beginning-to-end capture cost (all runs).
     pub capture_elapsed: SimDur,
     pub probed_nodes: usize,
+    /// Dependency edges lost to injected faults (0 on a clean capture).
+    pub lost_edges: usize,
 }
 
 /// The //TRACE framework front-end.
@@ -132,7 +136,53 @@ impl Partrace {
             throttled_elapsed,
             capture_elapsed,
             probed_nodes: probed,
+            lost_edges: 0,
         }
+    }
+
+    /// [`Partrace::capture`] under an injected fault plan: the plan's
+    /// storage windows degrade the VFS of every run, and afterwards the
+    /// plan's dependency-edge loss deterministically removes discovered
+    /// edges — the way //TRACE's sampled throttling genuinely misses
+    /// causal links. The causal incompleteness is stamped into every
+    /// trace's `meta.completeness`.
+    pub fn capture_with_faults<F>(&self, mk: F, app: &str, plan: &FaultPlan) -> PartraceCapture
+    where
+        F: Fn() -> (ClusterConfig, Vfs, Vec<P>),
+    {
+        let windows = plan.storage_windows();
+        let mut cap = self.capture(
+            || {
+                let (cluster, mut vfs, programs) = mk();
+                if !windows.is_empty() {
+                    vfs.degrade_storage(&windows, RetryPolicy::lanl_2007());
+                }
+                (cluster, vfs, programs)
+            },
+            app,
+        );
+        let fraction = plan.edge_loss();
+        let total = cap.replayable.deps.edges.len();
+        if fraction > 0.0 && total > 0 {
+            let mut rng = plan.rng(0xED6E);
+            cap.replayable
+                .deps
+                .edges
+                .retain(|_| rng.unit_f64() >= fraction);
+            let kept = cap.replayable.deps.edges.len();
+            cap.lost_edges = total - kept;
+            if cap.lost_edges > 0 {
+                // The records themselves survive; only causal context is
+                // lost. Weight the loss against each trace's record count
+                // so completeness reads as "records + known edges", not as
+                // if the records were gone too.
+                for t in &mut cap.replayable.traces {
+                    let n = t.records.len();
+                    t.meta.record_loss(n + kept, n + total);
+                }
+            }
+        }
+        cap
     }
 }
 

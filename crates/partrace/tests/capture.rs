@@ -94,6 +94,46 @@ fn capture_is_deterministic() {
 }
 
 #[test]
+fn edge_loss_fault_drops_deps_deterministically() {
+    let plan = FaultPlan {
+        seed: 11,
+        faults: vec![Fault::DepEdgeLoss { fraction: 0.5 }],
+    };
+    let clean = Partrace::new(PartraceConfig::default()).capture(pipeline_mk(4), "/p");
+    let a =
+        Partrace::new(PartraceConfig::default()).capture_with_faults(pipeline_mk(4), "/p", &plan);
+    let b =
+        Partrace::new(PartraceConfig::default()).capture_with_faults(pipeline_mk(4), "/p", &plan);
+    assert_eq!(a.replayable.deps, b.replayable.deps, "loss is seeded");
+    assert_eq!(a.lost_edges, b.lost_edges);
+    assert!(a.lost_edges > 0, "a 50% loss on a real dep map drops edges");
+    assert_eq!(
+        a.replayable.deps.edges.len() + a.lost_edges,
+        clean.replayable.deps.edges.len()
+    );
+    // Causal incompleteness is stamped on every trace.
+    for t in &a.replayable.traces {
+        assert!(t.meta.completeness < 1.0);
+    }
+    for t in &clean.replayable.traces {
+        assert!(t.meta.is_complete());
+    }
+}
+
+#[test]
+fn clean_plan_capture_matches_plain_capture() {
+    let clean = Partrace::new(PartraceConfig::default()).capture(pipeline_mk(3), "/p");
+    let faulted = Partrace::new(PartraceConfig::default()).capture_with_faults(
+        pipeline_mk(3),
+        "/p",
+        &FaultPlan::clean(),
+    );
+    assert_eq!(clean.capture_elapsed, faulted.capture_elapsed);
+    assert_eq!(clean.replayable.deps, faulted.replayable.deps);
+    assert_eq!(faulted.lost_edges, 0);
+}
+
+#[test]
 fn mpi_io_test_has_no_cross_node_data_deps() {
     // A barrier-synchronized independent-writer workload: throttling a
     // node stalls everyone *at barriers*, but data ops carry no

@@ -84,6 +84,56 @@ mod tests {
     }
 
     #[test]
+    fn degraded_capture_passes_the_gate_with_warnings() {
+        // An fd used after close is normally a gate-failing error, but a
+        // capture that documents record loss (tracer overflow, truncated
+        // file) downgrades it: the close/reopen evidence may sit in the
+        // lost records, and refusing to replay every degraded trace would
+        // make fault-tolerant capture useless.
+        let mut rt = capture(DependencyMap::default());
+        let rec = |us: u64, call: IoCall, result: i64| TraceRecord {
+            ts: SimTime::from_micros(us),
+            dur: SimDur::from_micros(1),
+            rank: 0,
+            node: 0,
+            pid: 1,
+            uid: 0,
+            gid: 0,
+            call,
+            result,
+        };
+        rt.traces[0].records.push(rec(
+            40,
+            IoCall::Open {
+                path: "/f".into(),
+                flags: 0,
+                mode: 0,
+            },
+            3,
+        ));
+        rt.traces[0]
+            .records
+            .push(rec(50, IoCall::Close { fd: 3 }, 0));
+        rt.traces[0]
+            .records
+            .push(rec(60, IoCall::Read { fd: 3, len: 1 }, 1));
+        // Without documented loss: the gate rejects.
+        let gate = preflight(&rt);
+        assert!(gate.has_errors());
+        // With documented loss: warnings only, replay proceeds.
+        rt.traces[0].meta.record_loss(5, 6);
+        let result = replay_and_measure_checked(
+            &rt,
+            standard_cluster(2, 7),
+            standard_vfs(2),
+            ReplayConfig::default(),
+        );
+        assert!(result.is_ok(), "degraded capture must pass the gate");
+        let report = preflight(&rt);
+        assert!(report.warning_count() > 0);
+    }
+
+    #[test]
     fn cyclic_map_is_rejected_before_replay() {
         let edge = |from_rank: u32, from_op: usize, to_rank: u32, to_op: usize| DependencyEdge {
             from_node: from_rank,

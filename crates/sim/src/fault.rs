@@ -1,0 +1,647 @@
+//! Deterministic fault injection.
+//!
+//! The paper's taxonomy scores tracing frameworks on how they behave when
+//! tracing goes *wrong* — LANL-Trace per-rank files get lost or truncated,
+//! Tracefs buffers overflow, //TRACE dependency discovery misses edges,
+//! and the parallel file system's storage servers slow down or drop out.
+//! A [`FaultPlan`] schedules those events at simulated timestamps. Plans
+//! are plain data: each consuming layer (fsmodel, the tracers, the
+//! harness) queries the plan for the faults it knows how to apply.
+//!
+//! Determinism is the point. Canned plans are generated from a seed via
+//! [`crate::rng::DetRng`], so the same seed always produces the same
+//! fault sequence, and a faulted run is as bit-for-bit reproducible as a
+//! clean one.
+
+use crate::rng::DetRng;
+use crate::time::{SimDur, SimTime};
+
+/// One scheduled fault.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Fault {
+    /// The node dies at `at`: its trace records past that point are lost.
+    NodeCrash { node: u32, at: SimTime },
+    /// A storage server serves requests `factor`× slower inside the window.
+    StorageSlowdown {
+        server: usize,
+        from: SimTime,
+        until: SimTime,
+        factor: f64,
+    },
+    /// A storage server answers nothing inside the window; clients retry
+    /// per their [`RetryPolicy`](DegradedWindow) and eventually block.
+    StorageUnavailable {
+        server: usize,
+        from: SimTime,
+        until: SimTime,
+    },
+    /// The tracer's in-memory buffer overflows on `node` at `at`; records
+    /// buffered but not yet flushed are dropped (Tracefs-style loss).
+    TracerOverflow { node: u32, at: SimTime },
+    /// A whole per-rank trace file is lost (LANL-Trace-style loss).
+    TraceFileLoss { rank: u32 },
+    /// A per-rank trace file is truncated, keeping only the leading
+    /// `keep` fraction of its records.
+    TraceTruncation { rank: u32, keep: f64 },
+    /// //TRACE dependency discovery loses this fraction of its edges.
+    DepEdgeLoss { fraction: f64 },
+}
+
+/// A degradation window over one striped storage server, derived from
+/// the storage faults of a plan. `slowdown` multiplies service time;
+/// `unavailable` means requests fail until the window closes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradedWindow {
+    pub server: usize,
+    pub from: SimTime,
+    pub until: SimTime,
+    pub slowdown: f64,
+    pub unavailable: bool,
+}
+
+impl DegradedWindow {
+    /// Whether the window covers instant `t`.
+    pub fn covers(&self, t: SimTime) -> bool {
+        self.from <= t && t < self.until
+    }
+}
+
+/// A seeded, deterministic fault schedule.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub faults: Vec<Fault>,
+}
+
+/// Names accepted by [`FaultPlan::named`], in display order.
+pub const CANNED_PLANS: &[&str] = &["clean", "lossy-tracer", "degraded-storage"];
+
+impl FaultPlan {
+    /// The empty plan: nothing goes wrong.
+    pub fn clean() -> Self {
+        FaultPlan::default()
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// A canned plan by name (`clean`, `lossy-tracer`, `degraded-storage`),
+    /// generated for the standard demo cluster (4 ranks, 28 servers).
+    pub fn named(name: &str, seed: u64) -> Option<Self> {
+        match name {
+            "clean" => Some(FaultPlan::clean()),
+            "lossy-tracer" => Some(FaultPlan::lossy_tracer(seed, 4)),
+            "degraded-storage" => Some(FaultPlan::degraded_storage(seed, 28)),
+            _ => None,
+        }
+    }
+
+    /// Canned plan: every tracer loses data somewhere. One rank's file is
+    /// lost outright, another's is truncated, one node's buffer overflows,
+    /// and dependency discovery drops a fraction of its edges.
+    pub fn lossy_tracer(seed: u64, ranks: u32) -> Self {
+        let ranks = ranks.max(2);
+        let mut rng = DetRng::new(seed).fork(0x1055);
+        let lost = rng.below(ranks as u64) as u32;
+        let truncated = (lost + 1 + rng.below(ranks as u64 - 1) as u32) % ranks;
+        let keep = 0.3 + 0.5 * rng.unit_f64();
+        let overflow_node = rng.below(ranks as u64) as u32;
+        let overflow_at = SimTime::from_millis(20 + rng.below(180));
+        let fraction = 0.1 + 0.3 * rng.unit_f64();
+        FaultPlan {
+            seed,
+            faults: vec![
+                Fault::TraceFileLoss { rank: lost },
+                Fault::TraceTruncation {
+                    rank: truncated,
+                    keep,
+                },
+                Fault::TracerOverflow {
+                    node: overflow_node,
+                    at: overflow_at,
+                },
+                Fault::DepEdgeLoss { fraction },
+            ],
+        }
+    }
+
+    /// Canned plan: the parallel file system misbehaves. One server slows
+    /// down for a long window and another drops out entirely for a short
+    /// one, exercising the retry/backoff path.
+    pub fn degraded_storage(seed: u64, servers: usize) -> Self {
+        let servers = servers.max(2);
+        let mut rng = DetRng::new(seed).fork(0xdeb7);
+        let slow = rng.below(servers as u64) as usize;
+        let dead = (slow + 1 + rng.below(servers as u64 - 1) as usize) % servers;
+        let factor = 2.0 + 6.0 * rng.unit_f64();
+        let slow_from = SimTime::from_millis(rng.below(50));
+        let slow_until = slow_from + SimDur::from_millis(200 + rng.below(400));
+        let dead_from = SimTime::from_millis(10 + rng.below(100));
+        let dead_until = dead_from + SimDur::from_millis(30 + rng.below(80));
+        FaultPlan {
+            seed,
+            faults: vec![
+                Fault::StorageSlowdown {
+                    server: slow,
+                    from: slow_from,
+                    until: slow_until,
+                    factor,
+                },
+                Fault::StorageUnavailable {
+                    server: dead,
+                    from: dead_from,
+                    until: dead_until,
+                },
+            ],
+        }
+    }
+
+    /// An independent random stream tied to this plan's seed. Consumers
+    /// salt with a domain constant so their draws never interfere.
+    pub fn rng(&self, salt: u64) -> DetRng {
+        DetRng::new(self.seed).fork(salt)
+    }
+
+    // ----- per-layer queries -----
+
+    /// Storage-server degradation windows, for `fsmodel`.
+    pub fn storage_windows(&self) -> Vec<DegradedWindow> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::StorageSlowdown {
+                    server,
+                    from,
+                    until,
+                    factor,
+                } => Some(DegradedWindow {
+                    server,
+                    from,
+                    until,
+                    slowdown: factor,
+                    unavailable: false,
+                }),
+                Fault::StorageUnavailable {
+                    server,
+                    from,
+                    until,
+                } => Some(DegradedWindow {
+                    server,
+                    from,
+                    until,
+                    slowdown: 1.0,
+                    unavailable: true,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// When (if ever) `node` crashes.
+    pub fn crash_time(&self, node: u32) -> Option<SimTime> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::NodeCrash { node: n, at } if n == node => Some(at),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Buffer-overflow instants scheduled for `node`, ascending.
+    pub fn overflow_times(&self, node: u32) -> Vec<SimTime> {
+        let mut v: Vec<SimTime> = self
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::TracerOverflow { node: n, at } if n == node => Some(at),
+                _ => None,
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Whether `rank`'s whole trace file is lost.
+    pub fn file_lost(&self, rank: u32) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(*f, Fault::TraceFileLoss { rank: r } if r == rank))
+    }
+
+    /// The keep-fraction for `rank`'s truncated file, if truncated.
+    pub fn truncation(&self, rank: u32) -> Option<f64> {
+        self.faults.iter().find_map(|f| match *f {
+            Fault::TraceTruncation { rank: r, keep } if r == rank => Some(keep),
+            _ => None,
+        })
+    }
+
+    /// The fraction of dependency edges //TRACE loses (0.0 when none).
+    pub fn edge_loss(&self) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::DepEdgeLoss { fraction } => Some(fraction),
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+            .clamp(0.0, 1.0)
+    }
+
+    // ----- text form -----
+
+    /// Serialize to the plan file format parsed by [`FaultPlan::parse`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# iotrace fault plan v1\n");
+        out.push_str(&format!("seed {}\n", self.seed));
+        for f in &self.faults {
+            match *f {
+                Fault::NodeCrash { node, at } => {
+                    out.push_str(&format!(
+                        "node-crash node={} at={}ns\n",
+                        node,
+                        at.as_nanos()
+                    ));
+                }
+                Fault::StorageSlowdown {
+                    server,
+                    from,
+                    until,
+                    factor,
+                } => {
+                    out.push_str(&format!(
+                        "storage-slowdown server={} from={}ns until={}ns factor={}\n",
+                        server,
+                        from.as_nanos(),
+                        until.as_nanos(),
+                        factor
+                    ));
+                }
+                Fault::StorageUnavailable {
+                    server,
+                    from,
+                    until,
+                } => {
+                    out.push_str(&format!(
+                        "storage-unavailable server={} from={}ns until={}ns\n",
+                        server,
+                        from.as_nanos(),
+                        until.as_nanos()
+                    ));
+                }
+                Fault::TracerOverflow { node, at } => {
+                    out.push_str(&format!(
+                        "tracer-overflow node={} at={}ns\n",
+                        node,
+                        at.as_nanos()
+                    ));
+                }
+                Fault::TraceFileLoss { rank } => {
+                    out.push_str(&format!("trace-file-loss rank={}\n", rank));
+                }
+                Fault::TraceTruncation { rank, keep } => {
+                    out.push_str(&format!("trace-truncation rank={} keep={}\n", rank, keep));
+                }
+                Fault::DepEdgeLoss { fraction } => {
+                    out.push_str(&format!("dep-edge-loss fraction={}\n", fraction));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse a plan file. Lines are `<kind> key=value ...`; `#` comments
+    /// and blank lines are ignored. Durations accept `ns`/`us`/`ms`/`s`
+    /// suffixes (bare integers are nanoseconds).
+    pub fn parse(text: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut plan = FaultPlan::clean();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let lineno = idx + 1;
+            let err = |message: String| PlanParseError {
+                line: lineno,
+                message,
+            };
+            let mut parts = line.split_whitespace();
+            let kind = parts.next().unwrap_or("");
+            if kind == "seed" {
+                let v = parts
+                    .next()
+                    .ok_or_else(|| err("seed needs a value".into()))?;
+                plan.seed = v.parse().map_err(|_| err(format!("bad seed `{v}`")))?;
+                continue;
+            }
+            let mut fields = Fields::default();
+            for part in parts {
+                let (k, v) = part
+                    .split_once('=')
+                    .ok_or_else(|| err(format!("expected key=value, got `{part}`")))?;
+                fields.pairs.push((k.to_string(), v.to_string()));
+            }
+            match kind {
+                "node-crash" => plan.faults.push(Fault::NodeCrash {
+                    node: fields.int(lineno, "node")? as u32,
+                    at: fields.time(lineno, "at")?,
+                }),
+                "storage-slowdown" => plan.faults.push(Fault::StorageSlowdown {
+                    server: fields.int(lineno, "server")? as usize,
+                    from: fields.time(lineno, "from")?,
+                    until: fields.time(lineno, "until")?,
+                    factor: fields.float(lineno, "factor")?,
+                }),
+                "storage-unavailable" => plan.faults.push(Fault::StorageUnavailable {
+                    server: fields.int(lineno, "server")? as usize,
+                    from: fields.time(lineno, "from")?,
+                    until: fields.time(lineno, "until")?,
+                }),
+                "tracer-overflow" => plan.faults.push(Fault::TracerOverflow {
+                    node: fields.int(lineno, "node")? as u32,
+                    at: fields.time(lineno, "at")?,
+                }),
+                "trace-file-loss" => plan.faults.push(Fault::TraceFileLoss {
+                    rank: fields.int(lineno, "rank")? as u32,
+                }),
+                "trace-truncation" => plan.faults.push(Fault::TraceTruncation {
+                    rank: fields.int(lineno, "rank")? as u32,
+                    keep: fields.float(lineno, "keep")?,
+                }),
+                "dep-edge-loss" => plan.faults.push(Fault::DepEdgeLoss {
+                    fraction: fields.float(lineno, "fraction")?,
+                }),
+                other => return Err(err(format!("unknown fault kind `{other}`"))),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// A human-oriented summary for `iotrace faults`.
+    pub fn describe(&self) -> String {
+        let mut out = format!("fault plan (seed {}):\n", self.seed);
+        if self.is_clean() {
+            out.push_str("  clean — no faults scheduled\n");
+            return out;
+        }
+        for f in &self.faults {
+            let line = match *f {
+                Fault::NodeCrash { node, at } => {
+                    format!("node {} crashes at {:.3}s", node, at.as_secs_f64())
+                }
+                Fault::StorageSlowdown {
+                    server,
+                    from,
+                    until,
+                    factor,
+                } => format!(
+                    "storage server {} runs {:.1}x slower during [{:.3}s, {:.3}s)",
+                    server,
+                    factor,
+                    from.as_secs_f64(),
+                    until.as_secs_f64()
+                ),
+                Fault::StorageUnavailable {
+                    server,
+                    from,
+                    until,
+                } => format!(
+                    "storage server {} unavailable during [{:.3}s, {:.3}s)",
+                    server,
+                    from.as_secs_f64(),
+                    until.as_secs_f64()
+                ),
+                Fault::TracerOverflow { node, at } => format!(
+                    "tracer buffer on node {} overflows at {:.3}s (buffered records dropped)",
+                    node,
+                    at.as_secs_f64()
+                ),
+                Fault::TraceFileLoss { rank } => {
+                    format!("rank {} trace file lost entirely", rank)
+                }
+                Fault::TraceTruncation { rank, keep } => format!(
+                    "rank {} trace file truncated to the leading {:.0}% of records",
+                    rank,
+                    keep * 100.0
+                ),
+                Fault::DepEdgeLoss { fraction } => format!(
+                    "dependency discovery loses {:.0}% of causal edges",
+                    fraction * 100.0
+                ),
+            };
+            out.push_str("  - ");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A plan file failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fault plan line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+#[derive(Default)]
+struct Fields {
+    pairs: Vec<(String, String)>,
+}
+
+impl Fields {
+    fn get(&self, line: usize, key: &str) -> Result<&str, PlanParseError> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .ok_or_else(|| PlanParseError {
+                line,
+                message: format!("missing field `{key}`"),
+            })
+    }
+
+    fn int(&self, line: usize, key: &str) -> Result<u64, PlanParseError> {
+        let v = self.get(line, key)?;
+        v.parse().map_err(|_| PlanParseError {
+            line,
+            message: format!("bad integer `{v}` for `{key}`"),
+        })
+    }
+
+    fn float(&self, line: usize, key: &str) -> Result<f64, PlanParseError> {
+        let v = self.get(line, key)?;
+        v.parse().map_err(|_| PlanParseError {
+            line,
+            message: format!("bad number `{v}` for `{key}`"),
+        })
+    }
+
+    fn time(&self, line: usize, key: &str) -> Result<SimTime, PlanParseError> {
+        let v = self.get(line, key)?;
+        let (digits, scale) = if let Some(d) = v.strip_suffix("ns") {
+            (d, 1u64)
+        } else if let Some(d) = v.strip_suffix("us") {
+            (d, 1_000)
+        } else if let Some(d) = v.strip_suffix("ms") {
+            (d, 1_000_000)
+        } else if let Some(d) = v.strip_suffix('s') {
+            (d, 1_000_000_000)
+        } else {
+            (v, 1)
+        };
+        let n: u64 = digits.parse().map_err(|_| PlanParseError {
+            line,
+            message: format!("bad duration `{v}` for `{key}`"),
+        })?;
+        Ok(SimTime::from_nanos(n.saturating_mul(scale)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canned_plans_are_seed_deterministic() {
+        for name in CANNED_PLANS {
+            let a = FaultPlan::named(name, 42).expect("canned plan exists");
+            let b = FaultPlan::named(name, 42).expect("canned plan exists");
+            assert_eq!(a, b, "{name} must be reproducible");
+            assert_eq!(a.to_text(), b.to_text());
+        }
+        let a = FaultPlan::lossy_tracer(1, 4);
+        let b = FaultPlan::lossy_tracer(2, 4);
+        assert_ne!(a, b, "different seeds should give different plans");
+    }
+
+    #[test]
+    fn text_roundtrip_is_lossless() {
+        let plan = FaultPlan {
+            seed: 9,
+            faults: vec![
+                Fault::NodeCrash {
+                    node: 2,
+                    at: SimTime::from_millis(250),
+                },
+                Fault::StorageSlowdown {
+                    server: 5,
+                    from: SimTime::ZERO,
+                    until: SimTime::from_millis(800),
+                    factor: 4.0,
+                },
+                Fault::StorageUnavailable {
+                    server: 3,
+                    from: SimTime::from_millis(100),
+                    until: SimTime::from_millis(300),
+                },
+                Fault::TracerOverflow {
+                    node: 1,
+                    at: SimTime::from_millis(150),
+                },
+                Fault::TraceFileLoss { rank: 3 },
+                Fault::TraceTruncation { rank: 1, keep: 0.6 },
+                Fault::DepEdgeLoss { fraction: 0.25 },
+            ],
+        };
+        let text = plan.to_text();
+        let parsed = FaultPlan::parse(&text).expect("roundtrip parse");
+        assert_eq!(parsed, plan);
+    }
+
+    #[test]
+    fn parse_accepts_suffixes_and_comments() {
+        let plan = FaultPlan::parse(
+            "# comment\n\nseed 7\nstorage-unavailable server=1 from=5ms until=1s\n",
+        )
+        .expect("parse");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(
+            plan.faults,
+            vec![Fault::StorageUnavailable {
+                server: 1,
+                from: SimTime::from_millis(5),
+                until: SimTime::from_secs(1),
+            }]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_numbers() {
+        let err = FaultPlan::parse("seed 1\nbogus-kind rank=1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = FaultPlan::parse("trace-file-loss\n").unwrap_err();
+        assert!(err.message.contains("rank"));
+    }
+
+    #[test]
+    fn queries_pick_out_the_right_faults() {
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![
+                Fault::StorageSlowdown {
+                    server: 2,
+                    from: SimTime::ZERO,
+                    until: SimTime::from_millis(10),
+                    factor: 3.0,
+                },
+                Fault::StorageUnavailable {
+                    server: 4,
+                    from: SimTime::from_millis(1),
+                    until: SimTime::from_millis(2),
+                },
+                Fault::TraceFileLoss { rank: 1 },
+                Fault::TraceTruncation { rank: 2, keep: 0.5 },
+                Fault::TracerOverflow {
+                    node: 0,
+                    at: SimTime::from_millis(3),
+                },
+                Fault::NodeCrash {
+                    node: 3,
+                    at: SimTime::from_millis(9),
+                },
+                Fault::DepEdgeLoss { fraction: 0.4 },
+            ],
+        };
+        let windows = plan.storage_windows();
+        assert_eq!(windows.len(), 2);
+        assert!(!windows[0].unavailable && windows[0].slowdown == 3.0);
+        assert!(windows[1].unavailable);
+        assert!(windows[1].covers(SimTime::from_millis(1)));
+        assert!(!windows[1].covers(SimTime::from_millis(2)));
+        assert!(plan.file_lost(1) && !plan.file_lost(0));
+        assert_eq!(plan.truncation(2), Some(0.5));
+        assert_eq!(plan.truncation(1), None);
+        assert_eq!(plan.overflow_times(0), vec![SimTime::from_millis(3)]);
+        assert!(plan.overflow_times(1).is_empty());
+        assert_eq!(plan.crash_time(3), Some(SimTime::from_millis(9)));
+        assert_eq!(plan.crash_time(0), None);
+        assert_eq!(plan.edge_loss(), 0.4);
+        assert!(FaultPlan::clean().edge_loss() == 0.0);
+    }
+
+    #[test]
+    fn plan_rng_streams_are_stable() {
+        let plan = FaultPlan {
+            seed: 11,
+            ..FaultPlan::clean()
+        };
+        let mut r1 = plan.rng(0xE);
+        let mut r2 = plan.rng(0xE);
+        for _ in 0..8 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+        let mut other = plan.rng(0xF);
+        assert_ne!(r1.next_u64(), other.next_u64());
+    }
+}

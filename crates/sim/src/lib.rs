@@ -34,6 +34,7 @@
 
 pub mod clock;
 pub mod engine;
+pub mod fault;
 pub mod ids;
 pub mod net;
 pub mod program;
@@ -47,6 +48,7 @@ pub mod prelude {
         BarrierEntry, BarrierRecord, ClusterConfig, Engine, EngineObserver, ExecCtx, ExecOutcome,
         Executor, NullExecutor, NullObserver, RankStats, RunReport,
     };
+    pub use crate::fault::{DegradedWindow, Fault, FaultPlan};
     pub use crate::ids::{CommId, NodeId, RankId, ANY_SOURCE, ANY_TAG};
     pub use crate::net::NetworkParams;
     pub use crate::program::{Op, OpList, OpResult, RankProgram, Seq};

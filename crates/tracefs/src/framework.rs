@@ -8,6 +8,7 @@ use iotrace_fs::error::{FsError, FsResult};
 use iotrace_fs::vfs::Vfs;
 use iotrace_model::binary::{encode_binary, BinaryOptions};
 use iotrace_model::event::{Trace, TraceMeta};
+use iotrace_sim::fault::{Fault, FaultPlan};
 
 use crate::filter::FsOpKind;
 use crate::layer::{final_flush, Capture, SharedCapture, TracefsLayer};
@@ -110,12 +111,34 @@ impl Tracefs {
             .collect()
     }
 
+    /// Schedule the fault plan's tracer-buffer overflows on this mount.
+    /// When the simulated clock passes an overflow instant, the unflushed
+    /// in-kernel buffer is lost; [`Tracefs::trace`] stamps the resulting
+    /// record loss into `meta.completeness`.
+    pub fn inject_faults(&mut self, plan: &FaultPlan) {
+        let times: Vec<_> = plan
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::TracerOverflow { at, .. } => Some(*at),
+                _ => None,
+            })
+            .collect();
+        if !times.is_empty() {
+            self.capture.lock().schedule_overflows(times);
+        }
+    }
+
     /// Harvest the captured records as a `Trace` (kernel-side capture:
     /// one trace for the whole mount).
     pub fn trace(&self, app: &str) -> Trace {
         let cap = self.capture.lock();
+        let mut meta = TraceMeta::new(app, 0, 0, "tracefs");
+        if cap.dropped > 0 {
+            meta.record_loss(cap.records.len(), cap.records.len() + cap.dropped as usize);
+        }
         Trace {
-            meta: TraceMeta::new(app, 0, 0, "tracefs"),
+            meta,
             records: cap.records.clone(),
         }
     }
@@ -215,6 +238,65 @@ mod tests {
             t.mount(&mut v, "/nfs"),
             Err(FsError::AlreadyExists(_))
         ));
+    }
+
+    #[test]
+    fn injected_overflow_shows_up_as_incomplete_trace() {
+        let mut v = vfs();
+        let mut t = Tracefs::new(TracefsOptions {
+            buffer_bytes: 1 << 20, // never flush: everything stays buffered
+            ..Default::default()
+        });
+        t.mount(&mut v, "/nfs").unwrap();
+        let plan = FaultPlan {
+            seed: 7,
+            faults: vec![Fault::TracerOverflow {
+                node: 0,
+                at: iotrace_sim::time::SimTime::ZERO,
+            }],
+        };
+        t.inject_faults(&plan);
+        let node = iotrace_sim::ids::NodeId(0);
+        let (vn, now) = v
+            .open(
+                node,
+                "/nfs/a",
+                iotrace_fs::fs::OpenFlags::RDWR | iotrace_fs::fs::OpenFlags::CREAT,
+                iotrace_fs::inode::FileMeta::default(),
+                iotrace_sim::time::SimTime::ZERO,
+            )
+            .unwrap();
+        let now = v
+            .write(
+                node,
+                vn,
+                0,
+                &iotrace_fs::data::WritePayload::Synthetic(128),
+                now,
+            )
+            .unwrap()
+            .finish;
+        v.close(node, vn, now).unwrap();
+        let trace = t.trace("app");
+        assert!(trace.meta.completeness < 1.0, "loss stamped in metadata");
+        assert!(t.capture().dropped > 0);
+
+        // The same ops without the fault plan leave a complete trace.
+        let mut v2 = vfs();
+        let mut t2 = Tracefs::new(TracefsOptions::default());
+        t2.mount(&mut v2, "/nfs").unwrap();
+        let (vn, now) = v2
+            .open(
+                node,
+                "/nfs/a",
+                iotrace_fs::fs::OpenFlags::RDWR | iotrace_fs::fs::OpenFlags::CREAT,
+                iotrace_fs::inode::FileMeta::default(),
+                iotrace_sim::time::SimTime::ZERO,
+            )
+            .unwrap();
+        v2.close(node, vn, now).unwrap();
+        assert!(t2.trace("app").meta.is_complete());
+        assert!(!t2.trace("app").records.is_empty());
     }
 
     #[test]

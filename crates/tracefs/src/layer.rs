@@ -39,7 +39,39 @@ pub struct Capture {
     pub flushes: u64,
     /// Ops evaluated (traced or not).
     pub ops_seen: u64,
+    /// Records lost to in-kernel buffer overflows.
+    pub dropped: u64,
+    /// Overflow events suffered.
+    pub overflows: u64,
     buffered: u64,
+    /// Records sitting in the current unflushed buffer — exactly what an
+    /// overflow loses.
+    buffered_records: usize,
+    /// Injected overflow instants still pending, sorted descending so the
+    /// next one is `last()`.
+    overflow_at: Vec<SimTime>,
+}
+
+impl Capture {
+    /// Schedule injected buffer-overflow faults. When the simulated clock
+    /// passes one of these instants, the current unflushed buffer is lost
+    /// (the trace device could not keep up), exactly like the real
+    /// module's ring buffer wrapping under load.
+    pub fn schedule_overflows(&mut self, mut times: Vec<SimTime>) {
+        self.overflow_at.append(&mut times);
+        self.overflow_at.sort_unstable_by(|a, b| b.cmp(a));
+    }
+
+    /// Drop the current buffer's records, accounting for the loss.
+    fn overflow(&mut self) {
+        let lost = self.buffered_records;
+        let keep = self.records.len().saturating_sub(lost);
+        self.records.truncate(keep);
+        self.dropped += lost as u64;
+        self.overflows += 1;
+        self.buffered = 0;
+        self.buffered_records = 0;
+    }
 }
 
 pub type SharedCapture = Arc<Mutex<Capture>>;
@@ -111,6 +143,7 @@ impl TracefsLayer {
         let enc = Self::encoded_len(&call);
         cap.encoded_bytes += enc;
         cap.buffered += enc;
+        cap.buffered_records += 1;
         cap.records.push(TraceRecord {
             ts: start,
             dur: finish.since(start),
@@ -122,9 +155,14 @@ impl TracefsLayer {
             call,
             result,
         });
+        while cap.overflow_at.last().is_some_and(|t| *t <= finish) {
+            cap.overflow_at.pop();
+            cap.overflow();
+        }
         if cap.buffered >= self.opts.buffer_bytes as u64 {
             let block = cap.buffered;
             cap.buffered = 0;
+            cap.buffered_records = 0;
             cap.flushes += 1;
             finish += self.costs.feature_cost(block, &self.opts);
             finish += self.costs.flush_cost(block);
@@ -422,6 +460,16 @@ impl FileSystem for TracefsLayer {
     fn unwrap_lower(self: Box<Self>) -> Box<dyn FileSystem> {
         self.lower
     }
+
+    fn degrade_storage(
+        &mut self,
+        windows: &[iotrace_sim::fault::DegradedWindow],
+        policy: iotrace_fs::params::RetryPolicy,
+    ) {
+        // Degradation targets the storage under the tracer, not the
+        // tracing layer itself.
+        self.lower.degrade_storage(windows, policy);
+    }
 }
 
 /// Final-flush cost, exposed so the front-end can account for the last
@@ -433,6 +481,7 @@ pub fn final_flush(capture: &SharedCapture, costs: &TracefsCosts, opts: &Tracefs
     }
     let block = cap.buffered;
     cap.buffered = 0;
+    cap.buffered_records = 0;
     cap.flushes += 1;
     costs.feature_cost(block, opts) + costs.flush_cost(block)
 }
@@ -537,6 +586,49 @@ mod tests {
                 .finish;
         }
         assert!(cap.lock().flushes >= 5);
+    }
+
+    #[test]
+    fn injected_overflow_drops_only_the_buffered_records() {
+        let cap: SharedCapture = Arc::default();
+        let opts = TracefsOptions {
+            policy: FilterPolicy::trace_all(),
+            buffer_bytes: 64, // ~3 records per flush
+            ..Default::default()
+        };
+        let mut l = TracefsLayer::new(mem_fs("x"), opts, TracefsCosts::lanl_2007(), cap.clone());
+        let (ino, mut t) = l
+            .open(
+                NodeId(0),
+                "/f",
+                OpenFlags::RDWR | OpenFlags::CREAT,
+                FileMeta::default(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        for i in 0..6 {
+            t = l
+                .write(NodeId(0), ino, i * 100, &WritePayload::Synthetic(100), t)
+                .unwrap()
+                .finish;
+        }
+        let flushed = cap.lock().records.len();
+        assert!(cap.lock().flushes >= 1, "records reached the trace device");
+        // Schedule an overflow in the past: the very next traced op drops
+        // whatever is buffered at that point, but never flushed records.
+        cap.lock()
+            .schedule_overflows(vec![SimTime::ZERO + SimDur::from_nanos(1)]);
+        for i in 6..8 {
+            t = l
+                .write(NodeId(0), ino, i * 100, &WritePayload::Synthetic(100), t)
+                .unwrap()
+                .finish;
+        }
+        let cap = cap.lock();
+        assert_eq!(cap.overflows, 1);
+        assert!(cap.dropped >= 1);
+        assert!(cap.records.len() >= flushed.saturating_sub(3));
+        assert!(cap.overflow_at.is_empty(), "instant consumed");
     }
 
     #[test]
