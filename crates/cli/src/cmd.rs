@@ -313,6 +313,15 @@ pub fn replay(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    // Degradation attribution: the gate accepts degraded captures, but
+    // the operator should know *which* ranks and fault kinds the replay
+    // results are a lower bound over.
+    let degradation = iotrace_replay::preflight::DegradationReport::of(&rt);
+    if degradation.is_degraded() {
+        for line in degradation.render().lines() {
+            eprintln!("iotrace: {line}");
+        }
+    }
     let (fid, rep) = iotrace_replay::fidelity::replay_and_measure(
         &rt,
         standard_cluster(ranks, 7),
@@ -368,34 +377,57 @@ pub fn taxonomy(_args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-pub fn demo(args: &[String]) -> Result<(), String> {
+/// Records per sealed journal segment in demo output: small enough that
+/// the short demo run seals several segments per rank.
+const DEMO_SEGMENT_RECORDS: usize = 32;
+
+/// Default checkpoint cadence (events between snapshots) for `demo`.
+const DEMO_CHECKPOINT_EVERY: u64 = 64;
+
+/// Run the demo's stage-1 LANL-Trace capture under `limits`, returning
+/// the (deterministic) cluster used and the run. Both `demo` and
+/// `resume` go through this one function so a resumed run re-executes
+/// exactly the interrupted one.
+fn demo_stage1(
+    plan: &FaultPlan,
+    limits: iotrace_sim::engine::RunLimits,
+    samples: &mut Vec<iotrace_ioapi::harness::CheckpointSample>,
+) -> (
+    iotrace_sim::engine::ClusterConfig,
+    iotrace_lanl::run::LanlRun,
+) {
     use iotrace_lanl::run::LanlTrace;
-    use iotrace_partrace::run::{Partrace, PartraceConfig};
     use iotrace_workloads::mpi_io_test::MpiIoTest;
     use iotrace_workloads::pattern::AccessPattern;
-    use iotrace_workloads::producer_consumer::ProducerConsumer;
 
-    let (paths, flags) = split_args(args);
-    let [dir] = paths.as_slice() else {
-        return Err("demo needs <dir>".to_string());
-    };
-    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-    let plan = fault_plan_from(&flags)?.unwrap_or_else(FaultPlan::clean);
-    if !plan.is_clean() {
-        eprint!("iotrace: running demo under {}", plan.describe());
-    }
-
-    // 1. LANL-Trace text traces.
     let w = MpiIoTest::new(AccessPattern::NTo1Strided, 4, 64 * 1024, 8);
     let mut vfs = standard_vfs(4);
     vfs.setup_dir(&w.dir).unwrap();
-    let run = LanlTrace::ltrace().run_with_faults(
-        standard_cluster(4, 1),
+    let cluster = standard_cluster(4, 1);
+    let run = LanlTrace::ltrace().run_with_faults_controlled(
+        cluster.clone(),
         vfs,
         w.programs(),
         &w.cmdline(),
-        &plan,
+        plan,
+        limits,
+        samples,
     );
+    (cluster, run)
+}
+
+/// Write every output of a *completed* demo run: per-rank text traces
+/// and journals, the encrypted binary of rank 0, and the //TRACE
+/// replayable capture.
+fn demo_outputs(
+    dir: &str,
+    plan: &FaultPlan,
+    run: &iotrace_lanl::run::LanlRun,
+) -> Result<(), String> {
+    use iotrace_model::journal::encode_journal;
+    use iotrace_partrace::run::{Partrace, PartraceConfig};
+    use iotrace_workloads::producer_consumer::ProducerConsumer;
+
     if run.traces.is_empty() {
         return Err("fault plan lost every rank's trace — nothing to write".to_string());
     }
@@ -403,6 +435,9 @@ pub fn demo(args: &[String]) -> Result<(), String> {
         let p = format!("{dir}/lanl_rank{:02}.txt", t.meta.rank);
         std::fs::write(&p, format_text(t)).map_err(|e| e.to_string())?;
         println!("wrote {p}");
+        let p = format!("{dir}/lanl_rank{:02}.iotj", t.meta.rank);
+        std::fs::write(&p, encode_journal(t, DEMO_SEGMENT_RECORDS)).map_err(|e| e.to_string())?;
+        println!("wrote {p}  (journal; inspect with `iotrace fsck`)");
     }
 
     // 2. A binary version of rank 0 with everything enabled.
@@ -426,7 +461,7 @@ pub fn demo(args: &[String]) -> Result<(), String> {
         (cluster, vfs, w.programs())
     };
     let cap =
-        Partrace::new(PartraceConfig::default()).capture_with_faults(mk, "/pipeline.exe", &plan);
+        Partrace::new(PartraceConfig::default()).capture_with_faults(mk, "/pipeline.exe", plan);
     if cap.lost_edges > 0 {
         eprintln!(
             "iotrace: warning: fault plan dropped {} dependency edge(s) from the capture",
@@ -437,5 +472,201 @@ pub fn demo(args: &[String]) -> Result<(), String> {
     std::fs::write(&p, cap.replayable.to_text()).map_err(|e| e.to_string())?;
     println!("wrote {p}");
     println!("\ntry:\n  iotrace summary {dir}/lanl_rank*.txt\n  iotrace stats {dir}/lanl_rank00.iotb --key demo\n  iotrace replay {dir}/pipeline.replayable.txt");
+    Ok(())
+}
+
+/// The demo run was killed mid-flight by a `run-abort` fault: persist
+/// what a real crash leaves behind — the torn rank-0 journal (sealed
+/// segments recoverable, in-flight segment cut mid-write) and the last
+/// checkpoint taken before the kill.
+fn demo_aborted(
+    dir: &str,
+    plan: &FaultPlan,
+    every: u64,
+    cluster: &iotrace_sim::engine::ClusterConfig,
+    run: &iotrace_lanl::run::LanlRun,
+    samples: &[iotrace_ioapi::harness::CheckpointSample],
+) -> Result<(), String> {
+    use iotrace_model::journal::JournalWriter;
+    use iotrace_sim::checkpoint::Checkpoint;
+
+    let events = run.report.run.events;
+    eprintln!("iotrace: run-abort fault killed the capture at event {events}");
+    if let Some(t) = run.traces.first() {
+        let mut w = JournalWriter::new(&t.meta, DEMO_SEGMENT_RECORDS);
+        w.append_all(&t.records);
+        let p = format!("{dir}/lanl_rank{:02}.iotj", t.meta.rank);
+        std::fs::write(&p, w.torn()).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {p}  (torn journal: {} sealed segment(s) recoverable; run `iotrace fsck {p}`)",
+            w.sealed_segments()
+        );
+    }
+    let Some(last) = samples.last() else {
+        return Err(format!(
+            "run died at event {events}, before the first checkpoint (cadence {every}); \
+             nothing to resume from — lower --checkpoint-every"
+        ));
+    };
+    let ckpt = Checkpoint {
+        scenario: "demo".into(),
+        out_dir: dir.to_string(),
+        plan_text: plan.to_text(),
+        checkpoint_every: every,
+        events: last.events,
+        sim_time_ns: last.sim_time_ns,
+        clocks: cluster
+            .clocks
+            .iter()
+            .map(|c| (c.skew_ns, c.drift_ppm.to_bits()))
+            .collect(),
+        tracer_state: last.tracer_state.clone(),
+    };
+    let p = format!("{dir}/checkpoint.ckpt");
+    std::fs::write(&p, ckpt.to_text()).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {p}  (checkpoint at event {}; complete the run with `iotrace resume {p}`)",
+        last.events
+    );
+    Ok(())
+}
+
+pub fn demo(args: &[String]) -> Result<(), String> {
+    let (paths, flags) = split_args(args);
+    let [dir] = paths.as_slice() else {
+        return Err("demo needs <dir>".to_string());
+    };
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let plan = fault_plan_from(&flags)?.unwrap_or_else(FaultPlan::clean);
+    let every: u64 = flag(&flags, "checkpoint-every")
+        .and_then(|v| v.as_deref())
+        .map(|v| v.parse().map_err(|_| "bad --checkpoint-every"))
+        .transpose()?
+        .unwrap_or(DEMO_CHECKPOINT_EVERY)
+        .max(1);
+    if !plan.is_clean() {
+        eprint!("iotrace: running demo under {}", plan.describe());
+    }
+
+    // 1. LANL-Trace capture, checkpointed, honouring any run-abort kill.
+    let limits = iotrace_sim::engine::RunLimits {
+        max_events: plan.abort_event(),
+        checkpoint_every: Some(every),
+    };
+    let mut samples = Vec::new();
+    let (cluster, run) = demo_stage1(&plan, limits, &mut samples);
+    if run.report.run.aborted {
+        return demo_aborted(dir, &plan, every, &cluster, &run, &samples);
+    }
+    demo_outputs(dir, &plan, &run)
+}
+
+/// `iotrace fsck <journal.iotj>`: recover every sealed segment from a
+/// (possibly torn) journal and print the recovery report.
+pub fn fsck(args: &[String]) -> Result<(), String> {
+    use iotrace_model::journal::fsck_journal;
+
+    let (paths, flags) = split_args(args);
+    let [input] = paths.as_slice() else {
+        return Err("fsck needs <journal.iotj>".to_string());
+    };
+    let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let (trace, report) = fsck_journal(&bytes).map_err(|e| format!("{input}: {e}"))?;
+    println!("{input}: {report}");
+    println!(
+        "tracer: {}  app: {}  rank: {}  node: {}  records: {}  completeness: {:.6}",
+        trace.meta.tracer,
+        trace.meta.app,
+        trace.meta.rank,
+        trace.meta.node,
+        trace.records.len(),
+        trace.meta.completeness,
+    );
+    if let Some(out) = flag(&flags, "out").and_then(|v| v.as_deref()) {
+        std::fs::write(out, format_text(&trace)).map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {out}  (recovered records as text)");
+    }
+    Ok(())
+}
+
+/// `iotrace resume <checkpoint.ckpt>`: verify the checkpoint against a
+/// deterministic re-execution of the interrupted run, then complete the
+/// run. The completed output directory is byte-identical to a run that
+/// was never killed.
+pub fn resume(args: &[String]) -> Result<(), String> {
+    use iotrace_sim::checkpoint::Checkpoint;
+    use iotrace_sim::engine::RunLimits;
+
+    let (paths, _flags) = split_args(args);
+    let [ckpt_path] = paths.as_slice() else {
+        return Err("resume needs <checkpoint.ckpt>".to_string());
+    };
+    let text = std::fs::read_to_string(ckpt_path).map_err(|e| format!("{ckpt_path}: {e}"))?;
+    let ckpt = Checkpoint::parse(&text).map_err(|e| format!("{ckpt_path}: {e}"))?;
+    if ckpt.scenario != "demo" {
+        return Err(format!(
+            "{ckpt_path}: unknown checkpoint scenario `{}` (this build resumes `demo`)",
+            ckpt.scenario
+        ));
+    }
+    let plan = FaultPlan::parse(&ckpt.plan_text)
+        .map_err(|e| format!("{ckpt_path}: embedded fault plan: {e}"))?;
+    let dir = ckpt.out_dir.clone();
+
+    // Pass 1: re-execute up to the checkpointed event and demand that
+    // every piece of verification state matches. The engine is
+    // deterministic, so any divergence means the environment or binary
+    // changed and the checkpoint must not be trusted.
+    let limits = RunLimits {
+        max_events: Some(ckpt.events),
+        checkpoint_every: Some(ckpt.checkpoint_every.max(1)),
+    };
+    let mut samples = Vec::new();
+    let (cluster, _run) = demo_stage1(&plan, limits, &mut samples);
+    let clocks: Vec<(i64, u64)> = cluster
+        .clocks
+        .iter()
+        .map(|c| (c.skew_ns, c.drift_ppm.to_bits()))
+        .collect();
+    if clocks != ckpt.clocks {
+        return Err(
+            "resume verification failed: cluster clock state diverges from the checkpoint"
+                .to_string(),
+        );
+    }
+    let Some(last) = samples.last() else {
+        return Err("resume verification failed: re-execution reached no checkpoint".to_string());
+    };
+    if last.events != ckpt.events
+        || last.sim_time_ns != ckpt.sim_time_ns
+        || last.tracer_state != ckpt.tracer_state
+    {
+        return Err(format!(
+            "resume verification failed: re-executed state at event {} diverges from the \
+             checkpoint (tracer digests or simulated clock differ)",
+            ckpt.events
+        ));
+    }
+    println!(
+        "checkpoint verified: event {}, sim time {:.6} s, {} tracer snapshot(s) match",
+        ckpt.events,
+        ckpt.sim_time().as_secs_f64(),
+        ckpt.tracer_state.len()
+    );
+
+    // Pass 2: complete the run with the kill stripped from the plan.
+    // Deterministic re-execution from the start *is* the resume: the
+    // trace output cannot tell the difference.
+    let full_plan = plan.without_aborts();
+    let mut ignored = Vec::new();
+    let (_, run) = demo_stage1(&full_plan, RunLimits::default(), &mut ignored);
+    // Drop the crash artifacts before writing the completed outputs: the
+    // torn rank-0 journal is superseded (or, if the plan loses rank 0's
+    // file, must not linger), and the checkpoint is consumed.
+    let _ = std::fs::remove_file(format!("{dir}/lanl_rank00.iotj"));
+    demo_outputs(&dir, &full_plan, &run)?;
+    let _ = std::fs::remove_file(format!("{dir}/checkpoint.ckpt"));
+    let _ = std::fs::remove_file(ckpt_path);
+    println!("resume complete: {dir} now matches an uninterrupted run");
     Ok(())
 }

@@ -20,6 +20,16 @@ pub enum Loaded {
 /// missing key, truncated header) are still hard errors.
 pub fn load(path: &str, key: Option<&Key>) -> Result<Loaded, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if bytes.starts_with(b"IOTJ") {
+        // Journaled capture: recover the sealed segments, report any
+        // torn tail, and hand the salvaged trace to the pipeline.
+        let (trace, report) = iotrace_model::journal::fsck_journal(&bytes)
+            .map_err(|e| format!("{path}: journal: {e}"))?;
+        if report.is_damaged() {
+            eprintln!("iotrace: warning: {path}: {report}");
+        }
+        return Ok(Loaded::Traces(vec![trace]));
+    }
     if bytes.starts_with(b"IOTB") {
         let s = decode_binary_salvage(&bytes, key)
             .map_err(|e| format!("{path}: binary decode failed: {e} (need --key?)"))?;
@@ -71,7 +81,15 @@ pub fn split_args(args: &[String]) -> (Vec<String>, Vec<(String, Option<String>)
         if let Some(name) = a.strip_prefix("--") {
             let takes_value = matches!(
                 name,
-                "encrypt" | "key" | "seed" | "top" | "ranks" | "pass" | "fault-plan"
+                "encrypt"
+                    | "key"
+                    | "seed"
+                    | "top"
+                    | "ranks"
+                    | "pass"
+                    | "fault-plan"
+                    | "checkpoint-every"
+                    | "out"
             );
             if takes_value && i + 1 < args.len() {
                 flags.push((name.to_string(), Some(args[i + 1].clone())));

@@ -14,11 +14,14 @@
 //! iotrace replay    <replayable.txt>         simulate the pseudo-application
 //! iotrace taxonomy                           print Tables 1 and 2 (quick probes)
 //! iotrace demo      <dir>                    generate sample trace files to play with
+//! iotrace fsck      <journal.iotj>           recover sealed segments from a torn journal
+//! iotrace resume    <checkpoint.ckpt>        verify and complete a killed run
 //! ```
 //!
-//! Format detection: files starting with the `IOTB` magic are binary;
-//! documents containing `==== partrace` are replayable; everything else
-//! is parsed as text. Encrypted binaries need `--key`.
+//! Format detection: files starting with the `IOTB` magic are binary,
+//! `IOTJ` are journaled captures (fsck-salvaged on load); documents
+//! containing `==== partrace` are replayable; everything else is parsed
+//! as text. Encrypted binaries need `--key`.
 
 use std::process::ExitCode;
 
@@ -42,6 +45,8 @@ fn main() -> ExitCode {
         "replay" => cmd::replay(rest),
         "taxonomy" => cmd::taxonomy(rest),
         "demo" => cmd::demo(rest),
+        "fsck" => cmd::fsck(rest),
+        "resume" => cmd::resume(rest),
         "faults" => cmd::faults(rest),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
@@ -75,8 +80,11 @@ commands:
   replay    <replayable.txt> [--ranks N] [--fault-plan <name|file>]
                                             simulate the pseudo-application
   taxonomy                                  print Tables 1 and 2 (quick probes)
-  demo      <dir> [--fault-plan <name|file>] [--seed N]
+  demo      <dir> [--fault-plan <name|file>] [--seed N] [--checkpoint-every N]
                                             write sample trace files
+  fsck      <journal.iotj> [--out <file>]   recover sealed segments from a
+                                            (possibly torn) trace journal
+  resume    <checkpoint.ckpt>               verify and complete a killed run
   faults    <name|file> [--seed N] [--text] describe a fault plan (canned:
                                             clean, lossy-tracer, degraded-storage)
 
@@ -86,4 +94,10 @@ error-severity findings; --no-lint skips that gate.
 fault injection: --fault-plan takes a canned plan name or a plan file
 (emit one with `iotrace faults lossy-tracer --text`). Faulted runs are
 deterministic per seed; degraded traces carry `completeness < 1.0` and
-analysis commands warn on missing ranks instead of failing.";
+analysis commands warn on missing ranks instead of failing.
+
+crash consistency: demo writes per-rank `.iotj` journals (sealed,
+CRC-framed segments). A plan with `run-abort at-event=N` kills the run
+mid-flight, leaving a torn journal and a `checkpoint.ckpt`; `iotrace
+resume` re-verifies the checkpoint against a deterministic re-execution
+and completes the run bit-for-bit identically to one never killed.";

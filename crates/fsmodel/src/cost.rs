@@ -270,6 +270,9 @@ pub struct StripedModel {
     /// Fault-injected degradation windows (empty on a healthy array).
     degraded: Vec<DegradedWindow>,
     retry: RetryPolicy,
+    /// Seeded stream for retry jitter; inert while `jitter_frac == 0`
+    /// (the calibrated default), so the fixed schedule stays bit-exact.
+    retry_rng: DetRng,
     /// Failed probes issued against unavailable servers so far.
     retries: u64,
 }
@@ -282,6 +285,7 @@ impl StripedModel {
             params,
             degraded: Vec::new(),
             retry: RetryPolicy::lanl_2007(),
+            retry_rng: DetRng::new(0x0BAC_C0FF),
             retries: 0,
         }
     }
@@ -333,7 +337,7 @@ impl StripedModel {
             if attempt < self.retry.max_retries {
                 let probe_done = self.servers[server].serve(at, self.retry.probe_cost);
                 self.retries += 1;
-                at = probe_done + self.retry.backoff(attempt);
+                at = probe_done + self.retry.backoff_jittered(attempt, &mut self.retry_rng);
                 attempt += 1;
             } else {
                 // Retry budget exhausted: block until the outage lifts.

@@ -3,6 +3,7 @@
 //! (see DESIGN.md §4 for the calibration rationale and
 //! `iotrace-bench/tests/calibration.rs` for the asserted bands).
 
+use iotrace_sim::rng::DetRng;
 use iotrace_sim::time::SimDur;
 
 /// A single disk / storage server service model.
@@ -96,6 +97,16 @@ pub struct RetryPolicy {
     pub base_backoff: SimDur,
     /// Multiplier applied to the backoff after each failed attempt.
     pub backoff_multiplier: f64,
+    /// Ceiling on any single backoff wait, jitter included. Real clients
+    /// cap the exponential curve so a long outage doesn't push waits into
+    /// minutes.
+    pub max_backoff: SimDur,
+    /// Fraction of the (capped) backoff randomized away per attempt, in
+    /// `[0, 1]`: the wait becomes `backoff * (1 - jitter_frac * u)` with
+    /// `u` uniform in `[0, 1)`. Zero (the calibrated default) keeps every
+    /// retry schedule exactly on the deterministic curve; nonzero decorrelates
+    /// clients hammering a recovering server in lockstep.
+    pub jitter_frac: f64,
     /// Client-side cost of one failed probe RPC (timeout detection).
     pub probe_cost: SimDur,
 }
@@ -106,15 +117,31 @@ impl RetryPolicy {
             max_retries: 3,
             base_backoff: SimDur::from_millis(5),
             backoff_multiplier: 2.0,
+            max_backoff: SimDur::from_millis(100),
+            jitter_frac: 0.0,
             probe_cost: SimDur::from_micros(500),
         }
     }
 
-    /// The backoff to wait after failed attempt number `attempt`
-    /// (0-based).
+    /// The deterministic backoff after failed attempt number `attempt`
+    /// (0-based), capped at `max_backoff`.
     pub fn backoff(&self, attempt: u32) -> SimDur {
-        self.base_backoff
-            .mul_f64(self.backoff_multiplier.powi(attempt as i32))
+        let b = self
+            .base_backoff
+            .mul_f64(self.backoff_multiplier.powi(attempt as i32));
+        b.min(self.max_backoff)
+    }
+
+    /// The backoff with seeded jitter applied. With `jitter_frac == 0`
+    /// this *is* [`RetryPolicy::backoff`] and the rng is untouched, so a
+    /// jitter-free policy draws nothing and stays bit-identical to the
+    /// historical fixed schedule.
+    pub fn backoff_jittered(&self, attempt: u32, rng: &mut DetRng) -> SimDur {
+        let b = self.backoff(attempt);
+        if self.jitter_frac <= 0.0 {
+            return b;
+        }
+        b.mul_f64(1.0 - self.jitter_frac.min(1.0) * rng.unit_f64())
     }
 }
 
@@ -203,5 +230,59 @@ mod tests {
         let s = StripedParams::lanl_2007();
         let agg = s.server.bandwidth_bps * s.servers as f64;
         assert!((1.0e9..3.0e9).contains(&agg), "aggregate {agg}");
+    }
+
+    #[test]
+    fn backoff_curve_is_capped() {
+        let p = RetryPolicy::lanl_2007();
+        // The calibrated 5/10/20 ms curve is untouched by the cap...
+        assert_eq!(p.backoff(0), SimDur::from_millis(5));
+        assert_eq!(p.backoff(1), SimDur::from_millis(10));
+        assert_eq!(p.backoff(2), SimDur::from_millis(20));
+        // ...but a deep retry budget saturates at max_backoff.
+        let deep = RetryPolicy {
+            max_retries: 12,
+            ..p
+        };
+        assert_eq!(deep.backoff(4), SimDur::from_millis(80));
+        assert_eq!(deep.backoff(5), SimDur::from_millis(100));
+        assert_eq!(deep.backoff(11), SimDur::from_millis(100));
+    }
+
+    #[test]
+    fn zero_jitter_never_touches_the_rng() {
+        let p = RetryPolicy::lanl_2007();
+        let mut rng = DetRng::new(7);
+        let before = rng.clone();
+        for a in 0..4 {
+            assert_eq!(p.backoff_jittered(a, &mut rng), p.backoff(a));
+        }
+        let mut untouched = before;
+        assert_eq!(
+            rng.next_u64(),
+            untouched.next_u64(),
+            "jitter-free policies must not consume randomness"
+        );
+    }
+
+    #[test]
+    fn jittered_backoff_is_seed_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            jitter_frac: 0.5,
+            ..RetryPolicy::lanl_2007()
+        };
+        let draw = |seed: u64| -> Vec<SimDur> {
+            let mut rng = DetRng::new(seed);
+            (0..3).map(|a| p.backoff_jittered(a, &mut rng)).collect()
+        };
+        assert_eq!(draw(42), draw(42), "same seed, same schedule");
+        assert_ne!(draw(42), draw(43), "different seeds decorrelate");
+        let mut rng = DetRng::new(9);
+        for a in 0..3 {
+            let j = p.backoff_jittered(a, &mut rng);
+            let full = p.backoff(a);
+            assert!(j <= full, "jitter only shortens the wait");
+            assert!(j >= full.mul_f64(0.5), "jitter is bounded by jitter_frac");
+        }
     }
 }

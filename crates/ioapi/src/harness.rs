@@ -7,7 +7,7 @@
 use iotrace_fs::fs::{local_fs, nfs_fs, striped_fs};
 use iotrace_fs::params::{LocalParams, NfsParams, RetryPolicy, StripedParams};
 use iotrace_fs::vfs::Vfs;
-use iotrace_sim::engine::{ClusterConfig, Engine, RunReport};
+use iotrace_sim::engine::{ClusterConfig, Engine, NullObserver, RunLimits, RunReport};
 use iotrace_sim::fault::FaultPlan;
 use iotrace_sim::program::RankProgram;
 use iotrace_sim::time::SimDur;
@@ -96,6 +96,66 @@ pub fn run_job_faulted(
 ) -> JobReport {
     degrade_vfs(&mut vfs, plan);
     run_job(cfg, vfs, tracer, programs, throttle)
+}
+
+/// One checkpoint taken during a controlled run: the event cursor, the
+/// simulated time, and each active tracer's frozen capture state (as
+/// [`TracerSnapshot`](iotrace_model::journal::TracerSnapshot) lines).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointSample {
+    pub events: u64,
+    pub sim_time_ns: u64,
+    pub tracer_state: Vec<String>,
+}
+
+/// [`run_job_faulted`] under [`RunLimits`]: aborts after
+/// `limits.max_events` (deterministic kill injection) and pushes one
+/// [`CheckpointSample`] per `limits.checkpoint_every` events. An aborted
+/// job's tracer never sees `end_run`, so its unflushed buffers are lost —
+/// the crash the checkpoint exists to survive.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_controlled(
+    cfg: ClusterConfig,
+    mut vfs: Vfs,
+    tracer: Box<dyn IoTracer>,
+    programs: Vec<Box<dyn RankProgram<IoOp, IoRes>>>,
+    throttle: Option<Throttle>,
+    plan: &FaultPlan,
+    limits: RunLimits,
+    samples: &mut Vec<CheckpointSample>,
+) -> JobReport {
+    degrade_vfs(&mut vfs, plan);
+    let mut exec = IoExecutor::new(vfs, tracer)
+        .with_params(IoApiParams::lanl_2007(), TraceCostParams::lanl_2007());
+    exec.set_throttle(throttle);
+    let mut engine = Engine::new(cfg, exec);
+    let run = engine.run_controlled(
+        programs,
+        &mut NullObserver,
+        limits,
+        &mut |exec: &mut IoExecutor, events, now| {
+            let tracer_state = exec
+                .tracer()
+                .snapshot()
+                .map(|s| s.to_line())
+                .into_iter()
+                .collect();
+            samples.push(CheckpointSample {
+                events,
+                sim_time_ns: now.as_nanos(),
+                tracer_state,
+            });
+        },
+    );
+    let exec = engine.into_executor();
+    let stats = exec.stats;
+    let (vfs, tracer) = exec.into_parts();
+    JobReport {
+        run,
+        stats,
+        vfs,
+        tracer,
+    }
 }
 
 /// Run one job: `programs` (one per rank) against `vfs` under `tracer`.

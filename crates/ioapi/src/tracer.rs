@@ -116,6 +116,15 @@ pub trait IoTracer: Send {
     /// End of run: flush buffers etc. (uncharged: the engine has ended).
     fn end_run(&mut self, _vfs: &mut Vfs, _now: SimTime) {}
 
+    /// Freeze this tracer's capture state for a checkpoint: record count,
+    /// volatile (crash-lost) buffer bytes, and a digest of the captured
+    /// records. `None` (the default) means the tracer has no capture state
+    /// worth checkpointing; returning `Some` opts the framework into the
+    /// resume divergence check.
+    fn snapshot(&self) -> Option<iotrace_model::journal::TracerSnapshot> {
+        None
+    }
+
     /// Downcasting support so harnesses can recover concrete tracer state
     /// (collected records, trace directories) after a run.
     fn as_any(&self) -> &dyn Any;

@@ -9,7 +9,7 @@
 
 use iotrace_fs::params::RetryPolicy;
 use iotrace_fs::vfs::Vfs;
-use iotrace_ioapi::harness::{run_job, JobReport};
+use iotrace_ioapi::harness::{run_job, run_job_controlled, CheckpointSample, JobReport};
 use iotrace_ioapi::op::{IoOp, IoRes};
 use iotrace_ioapi::traced::Traced;
 use iotrace_ioapi::tracer::{downcast_tracer, NullTracer};
@@ -98,6 +98,55 @@ impl LanlTrace {
         vfs.degrade_storage(&plan.storage_windows(), RetryPolicy::lanl_2007());
         let mut run = self.run(cluster, vfs, programs, app_cmdline);
         apply_fault_plan(&mut run.traces, plan);
+        run
+    }
+
+    /// [`LanlTrace::run_with_faults`] under [`RunLimits`]: the engine
+    /// aborts after `limits.max_events` (the plan's `run-abort` kill) and
+    /// records one [`CheckpointSample`] per `checkpoint_every` events. On
+    /// an aborted run the plan's trace-level faults are *not* applied —
+    /// the run died before the wrapper's collection step — and the traces
+    /// are whatever the tracer held in memory at the kill, unflushed
+    /// buffers included only insofar as they were already captured.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_faults_controlled(
+        &self,
+        cluster: ClusterConfig,
+        vfs: Vfs,
+        programs: Vec<P>,
+        app_cmdline: &str,
+        plan: &FaultPlan,
+        limits: iotrace_sim::engine::RunLimits,
+        samples: &mut Vec<CheckpointSample>,
+    ) -> LanlRun {
+        let tracer = LanlTracer::new(self.cfg.clone(), app_cmdline);
+        let report = run_job_controlled(
+            cluster,
+            vfs,
+            Box::new(tracer),
+            with_timing_jobs(programs),
+            None,
+            plan,
+            limits,
+            samples,
+        );
+        let t =
+            downcast_tracer::<LanlTracer>(report.tracer.as_ref()).expect("tracer is a LanlTracer");
+        let traces = t.traces();
+        let timing = t.timing().clone();
+        let summary = t.summary().clone();
+        let raw_paths = t.raw_paths();
+        let aborted = report.run.aborted;
+        let mut run = LanlRun {
+            report,
+            traces,
+            timing,
+            summary,
+            raw_paths,
+        };
+        if !aborted {
+            apply_fault_plan(&mut run.traces, plan);
+        }
         run
     }
 

@@ -246,6 +246,24 @@ impl IoTracer for LanlTracer {
         );
     }
 
+    fn snapshot(&self) -> Option<iotrace_model::journal::TracerSnapshot> {
+        // Records in rank order (BTreeMap iteration), so the digest is a
+        // stable function of the capture state. Buffered bytes are the
+        // text still sitting in per-rank memory buffers — exactly what a
+        // kill -9 of the wrapper scripts would lose.
+        let records: Vec<TraceRecord> = self
+            .sinks
+            .values()
+            .flat_map(|s| s.records.iter().cloned())
+            .collect();
+        Some(iotrace_model::journal::TracerSnapshot {
+            tracer: "lanl-trace".into(),
+            records: records.len(),
+            buffered_bytes: self.sinks.values().map(|s| s.buffer.len() as u64).sum(),
+            digest: iotrace_model::journal::records_digest(&records),
+        })
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

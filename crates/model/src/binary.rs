@@ -385,6 +385,31 @@ fn decode_record(
     })
 }
 
+/// Encode one record with no field encryption (the journal's segment
+/// payload encoding). Timestamps stay delta-coded against `prev_ts`.
+pub(crate) fn encode_record_plain(out: &mut Vec<u8>, r: &TraceRecord, prev_ts: &mut u64) {
+    let fc = FieldCipher {
+        key: None,
+        sel: FieldSel::NONE,
+        seq: 0,
+    };
+    encode_record(out, r, prev_ts, &fc);
+}
+
+/// Decode one plain (unencrypted) record; `meta` supplies rank/node.
+pub(crate) fn decode_record_plain(
+    c: &mut Cursor<'_>,
+    prev_ts: &mut u64,
+    meta: &TraceMeta,
+) -> Result<TraceRecord, BinError> {
+    let fc = FieldCipher {
+        key: None,
+        sel: FieldSel::NONE,
+        seq: 0,
+    };
+    decode_record(c, prev_ts, &fc, meta)
+}
+
 /// Encode a trace to the binary format.
 pub fn encode_binary(trace: &Trace, opts: &BinaryOptions) -> Vec<u8> {
     let mut out = Vec::new();

@@ -1,0 +1,600 @@
+//! Crash-consistent trace journal (IOTJ) — sealed, CRC-framed segments.
+//!
+//! The binary format ([`crate::binary`]) writes its record count up
+//! front, so a capture killed mid-run leaves a file whose header lies
+//! about its body. The journal is the append-only alternative: records
+//! are grouped into *segments*, and each segment is only trusted once
+//! its footer — seal magic, payload CRC, record count — has hit the
+//! file. A torn tail (the segment being written when the run died)
+//! therefore never corrupts what came before it.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "IOTJ" | version u8
+//! header frame:  varint len | crc32 LE | meta payload
+//! segment*:      varint len | payload  | footer: "SEAL" + crc32 LE + varint n
+//! ```
+//!
+//! Timestamp deltas reset at each segment boundary so every sealed
+//! segment decodes independently of the torn tail. [`fsck_journal`] is
+//! the recovery path behind `iotrace fsck`: it salvages every sealed
+//! segment from a damaged journal and reports what the tear cost.
+
+use crate::binary::{decode_record_plain, encode_record_plain, BinError};
+use crate::crc::crc32;
+use crate::event::{Trace, TraceMeta, TraceRecord};
+use crate::varint::{put_str, put_u64, Cursor};
+
+const MAGIC: &[u8; 4] = b"IOTJ";
+const VERSION: u8 = 1;
+const SEAL: &[u8; 4] = b"SEAL";
+
+/// A journal failed to open. Damage *after* the header is never an
+/// error for [`fsck_journal`] — only for the strict [`read_journal`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalError {
+    BadMagic,
+    BadVersion(u8),
+    /// The header frame is truncated or fails its CRC: there is no
+    /// trustworthy metadata to hang recovered records on.
+    HeaderCorrupt,
+    /// Strict read only: the journal has a torn or corrupt tail at this
+    /// byte offset (run `iotrace fsck` to salvage the sealed segments).
+    Torn {
+        offset: usize,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::BadMagic => write!(f, "not a trace journal (IOTJ magic missing)"),
+            JournalError::BadVersion(v) => write!(f, "unsupported journal version {v}"),
+            JournalError::HeaderCorrupt => write!(f, "journal header truncated or corrupt"),
+            JournalError::Torn { offset } => {
+                write!(
+                    f,
+                    "journal torn at byte {offset} (fsck recovers sealed segments)"
+                )
+            }
+        }
+    }
+}
+impl std::error::Error for JournalError {}
+
+/// What `iotrace fsck` found and recovered.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    pub segments_recovered: usize,
+    pub records_recovered: usize,
+    /// Bytes past the last sealed segment (the torn tail), zero for a
+    /// clean journal.
+    pub torn_tail_bytes: usize,
+    /// Human description of what stopped the scan, when anything did.
+    pub damage: Option<String>,
+}
+
+impl FsckReport {
+    pub fn is_damaged(&self) -> bool {
+        self.damage.is_some() || self.torn_tail_bytes > 0
+    }
+}
+
+impl std::fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "recovered {} record(s) from {} sealed segment(s)",
+            self.records_recovered, self.segments_recovered
+        )?;
+        if self.torn_tail_bytes > 0 {
+            write!(
+                f,
+                "; torn tail of {} byte(s) discarded",
+                self.torn_tail_bytes
+            )?;
+        }
+        if let Some(d) = &self.damage {
+            write!(f, " ({d})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental journal writer. Records accumulate in a pending segment;
+/// every `segment_records` appends the segment is sealed into the
+/// durable buffer. Only sealed bytes are ever recoverable — exactly the
+/// guarantee a real incremental tracer gets from fsync-after-seal.
+pub struct JournalWriter {
+    buf: Vec<u8>,
+    pending: Vec<TraceRecord>,
+    segment_records: usize,
+    sealed_segments: usize,
+    sealed_records: usize,
+}
+
+impl JournalWriter {
+    pub fn new(meta: &TraceMeta, segment_records: usize) -> Self {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(VERSION);
+        let mut hdr = Vec::new();
+        put_str(&mut hdr, &meta.app);
+        put_u64(&mut hdr, meta.rank as u64);
+        put_u64(&mut hdr, meta.node as u64);
+        put_str(&mut hdr, &meta.host);
+        put_str(&mut hdr, &meta.tracer);
+        put_u64(&mut hdr, meta.base_epoch);
+        put_u64(&mut hdr, meta.anonymized as u64);
+        put_u64(
+            &mut hdr,
+            (meta.completeness.clamp(0.0, 1.0) * 1_000_000.0).round() as u64,
+        );
+        put_u64(&mut buf, hdr.len() as u64);
+        buf.extend_from_slice(&crc32(&hdr).to_le_bytes());
+        buf.extend_from_slice(&hdr);
+        JournalWriter {
+            buf,
+            pending: Vec::new(),
+            segment_records: segment_records.max(1),
+            sealed_segments: 0,
+            sealed_records: 0,
+        }
+    }
+
+    pub fn append(&mut self, rec: &TraceRecord) {
+        self.pending.push(rec.clone());
+        if self.pending.len() >= self.segment_records {
+            self.seal_segment();
+        }
+    }
+
+    pub fn append_all(&mut self, recs: &[TraceRecord]) {
+        for r in recs {
+            self.append(r);
+        }
+    }
+
+    /// Seal the pending records into a durable segment (no-op when
+    /// nothing is pending).
+    pub fn seal_segment(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.buf.extend_from_slice(&segment_bytes(&self.pending));
+        self.sealed_segments += 1;
+        self.sealed_records += self.pending.len();
+        self.pending.clear();
+    }
+
+    pub fn sealed_segments(&self) -> usize {
+        self.sealed_segments
+    }
+
+    pub fn sealed_records(&self) -> usize {
+        self.sealed_records
+    }
+
+    pub fn pending_records(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The durable journal bytes: header plus sealed segments only.
+    pub fn sealed_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Seal everything pending and return the finished journal.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.seal_segment();
+        self.buf
+    }
+
+    /// The journal as a crash would leave it: sealed segments intact,
+    /// the in-flight segment torn mid-write. Always leaves a non-empty
+    /// tail — a killed writer was, by construction, mid-append.
+    pub fn torn(&self) -> Vec<u8> {
+        let mut out = self.buf.clone();
+        if self.pending.is_empty() {
+            // Killed before any payload of the next frame landed: only a
+            // dangling length prefix made it out.
+            put_u64(&mut out, 57);
+        } else {
+            let seg = segment_bytes(&self.pending);
+            let cut = (seg.len() / 2).max(1).min(seg.len() - 1);
+            out.extend_from_slice(&seg[..cut]);
+        }
+        out
+    }
+}
+
+/// Encode one sealed segment: frame length, payload (delta timestamps
+/// reset per segment), then the footer that makes it trustworthy.
+fn segment_bytes(records: &[TraceRecord]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    let mut prev_ts = 0u64;
+    for r in records {
+        encode_record_plain(&mut payload, r, &mut prev_ts);
+    }
+    let mut out = Vec::new();
+    put_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(SEAL);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    put_u64(&mut out, records.len() as u64);
+    out
+}
+
+/// One-shot encoding of a whole trace as a finished journal.
+pub fn encode_journal(trace: &Trace, segment_records: usize) -> Vec<u8> {
+    let mut w = JournalWriter::new(&trace.meta, segment_records);
+    w.append_all(&trace.records);
+    w.finish()
+}
+
+fn read_header(bytes: &[u8]) -> Result<(TraceMeta, usize), JournalError> {
+    if bytes.len() < 5 || &bytes[..4] != MAGIC {
+        return Err(JournalError::BadMagic);
+    }
+    if bytes[4] != VERSION {
+        return Err(JournalError::BadVersion(bytes[4]));
+    }
+    let mut c = Cursor::new(&bytes[5..]);
+    let hlen = c.get_u64().map_err(|_| JournalError::HeaderCorrupt)? as usize;
+    let stored = c.take(4).map_err(|_| JournalError::HeaderCorrupt)?;
+    let stored = u32::from_le_bytes([stored[0], stored[1], stored[2], stored[3]]);
+    let hdr = c.take(hlen).map_err(|_| JournalError::HeaderCorrupt)?;
+    if crc32(hdr) != stored {
+        return Err(JournalError::HeaderCorrupt);
+    }
+    let mut h = Cursor::new(hdr);
+    let meta = (|| -> Result<TraceMeta, crate::varint::VarintError> {
+        Ok(TraceMeta {
+            app: h.get_str()?,
+            rank: h.get_u64()? as u32,
+            node: h.get_u64()? as u32,
+            host: h.get_str()?,
+            tracer: h.get_str()?,
+            base_epoch: h.get_u64()?,
+            anonymized: h.get_u64()? != 0,
+            completeness: (h.get_u64()? as f64 / 1_000_000.0).clamp(0.0, 1.0),
+        })
+    })()
+    .map_err(|_| JournalError::HeaderCorrupt)?;
+    Ok((meta, 5 + c.position()))
+}
+
+/// Walk segments from `offset`, appending decoded records. Returns the
+/// sealed-segment count and the byte offset just past the last sealed
+/// segment, plus what (if anything) stopped the scan.
+fn walk_segments(
+    bytes: &[u8],
+    offset: usize,
+    meta: &TraceMeta,
+    records: &mut Vec<TraceRecord>,
+) -> (usize, usize, Option<String>) {
+    let mut segments = 0usize;
+    let mut consumed = offset;
+    let mut c = Cursor::new(&bytes[offset..]);
+    loop {
+        if c.is_empty() {
+            return (segments, consumed, None);
+        }
+        let damage = (|| -> Result<Vec<TraceRecord>, String> {
+            let plen = c.get_u64().map_err(|_| "truncated segment frame")? as usize;
+            let payload = c.take(plen).map_err(|_| "segment payload cut short")?;
+            let seal = c.take(4).map_err(|_| "segment footer missing")?;
+            if seal != SEAL {
+                return Err("segment seal magic missing".into());
+            }
+            let stored = c.take(4).map_err(|_| "segment footer missing")?;
+            let stored = u32::from_le_bytes([stored[0], stored[1], stored[2], stored[3]]);
+            if crc32(payload) != stored {
+                return Err("segment payload fails its checksum".into());
+            }
+            let n = c.get_u64().map_err(|_| "segment footer missing")? as usize;
+            let mut pc = Cursor::new(payload);
+            let mut recs = Vec::with_capacity(n.min(1 << 16));
+            let mut prev_ts = 0u64;
+            while !pc.is_empty() {
+                match decode_record_plain(&mut pc, &mut prev_ts, meta) {
+                    Ok(r) => recs.push(r),
+                    Err(BinError::UnknownTag(t)) => {
+                        return Err(format!("unknown call tag {t} inside sealed segment"))
+                    }
+                    Err(_) => return Err("undecodable record inside sealed segment".into()),
+                }
+            }
+            if recs.len() != n {
+                return Err(format!(
+                    "segment footer promises {n} records, payload holds {}",
+                    recs.len()
+                ));
+            }
+            Ok(recs)
+        })();
+        match damage {
+            Ok(mut recs) => {
+                records.append(&mut recs);
+                segments += 1;
+                consumed = offset + c.position();
+            }
+            Err(d) => return (segments, consumed, Some(d)),
+        }
+    }
+}
+
+/// Strict decode: every segment must be sealed and consistent.
+pub fn read_journal(bytes: &[u8]) -> Result<Trace, JournalError> {
+    let (meta, body) = read_header(bytes)?;
+    let mut records = Vec::new();
+    let (_, consumed, damage) = walk_segments(bytes, body, &meta, &mut records);
+    if damage.is_some() || consumed != bytes.len() {
+        return Err(JournalError::Torn { offset: consumed });
+    }
+    Ok(Trace { meta, records })
+}
+
+/// Salvage decode: recover every sealed segment of a (possibly torn)
+/// journal. Only an unreadable container — bad magic/version, corrupt
+/// header — is a hard error. A recovered trace with a torn tail carries
+/// `completeness < 1.0`: the tail is one lost flush batch, stamped via
+/// [`TraceMeta::record_loss`] as `n / (n + 1)`.
+pub fn fsck_journal(bytes: &[u8]) -> Result<(Trace, FsckReport), JournalError> {
+    let (mut meta, body) = read_header(bytes)?;
+    let mut records = Vec::new();
+    let (segments, consumed, damage) = walk_segments(bytes, body, &meta, &mut records);
+    let torn_tail_bytes = bytes.len() - consumed;
+    if torn_tail_bytes > 0 {
+        meta.record_loss(records.len(), records.len() + 1);
+    }
+    let report = FsckReport {
+        segments_recovered: segments,
+        records_recovered: records.len(),
+        torn_tail_bytes,
+        damage,
+    };
+    Ok((Trace { meta, records }, report))
+}
+
+/// Order-sensitive digest of a record sequence: FNV-1a 64 over the
+/// plain segment encoding. Two tracers hold identical capture state iff
+/// their digests match — the checkpoint/resume divergence check.
+pub fn records_digest(records: &[TraceRecord]) -> u64 {
+    let mut buf = Vec::new();
+    let mut prev_ts = 0u64;
+    for r in records {
+        encode_record_plain(&mut buf, r, &mut prev_ts);
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in &buf {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// Bytes the records occupy in the plain segment encoding — the honest
+/// "unsynced state" size for in-memory tracers.
+pub fn encoded_size(records: &[TraceRecord]) -> u64 {
+    let mut buf = Vec::new();
+    let mut prev_ts = 0u64;
+    for r in records {
+        encode_record_plain(&mut buf, r, &mut prev_ts);
+    }
+    buf.len() as u64
+}
+
+/// A framework's capture state frozen at a checkpoint: how many records
+/// it holds, how many bytes sit in volatile buffers (lost on a crash),
+/// and a digest of the records for byte-exact resume verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TracerSnapshot {
+    pub tracer: String,
+    pub records: usize,
+    pub buffered_bytes: u64,
+    pub digest: u64,
+}
+
+impl TracerSnapshot {
+    /// Stable single-line form used inside checkpoint files.
+    pub fn to_line(&self) -> String {
+        format!(
+            "tracer={} records={} buffered={} digest={:#018x}",
+            self.tracer, self.records, self.buffered_bytes, self.digest
+        )
+    }
+
+    pub fn parse_line(s: &str) -> Option<TracerSnapshot> {
+        let mut tracer = None;
+        let mut records = None;
+        let mut buffered = None;
+        let mut digest = None;
+        for part in s.split_whitespace() {
+            let (k, v) = part.split_once('=')?;
+            match k {
+                "tracer" => tracer = Some(v.to_string()),
+                "records" => records = v.parse().ok(),
+                "buffered" => buffered = v.parse().ok(),
+                "digest" => digest = u64::from_str_radix(v.strip_prefix("0x")?, 16).ok(),
+                _ => return None,
+            }
+        }
+        Some(TracerSnapshot {
+            tracer: tracer?,
+            records: records?,
+            buffered_bytes: buffered?,
+            digest: digest?,
+        })
+    }
+}
+
+impl std::fmt::Display for TracerSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_line())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::IoCall;
+    use iotrace_sim::time::{SimDur, SimTime};
+
+    fn sample(n: usize) -> Trace {
+        let mut t = Trace::new(TraceMeta::new("/mpi_io_test.exe", 1, 1, "lanl-trace"));
+        for i in 0..n as u64 {
+            t.records.push(TraceRecord {
+                ts: SimTime::from_micros(500 + i * 13),
+                dur: SimDur::from_micros(3 + i % 5),
+                rank: 1,
+                node: 1,
+                pid: 4242,
+                uid: 1000,
+                gid: 100,
+                call: match i % 3 {
+                    0 => IoCall::Open {
+                        path: format!("/pfs/out/f{}", i / 3),
+                        flags: 0o101,
+                        mode: 0o644,
+                    },
+                    1 => IoCall::Pwrite {
+                        fd: 5,
+                        offset: i * 4096,
+                        len: 4096,
+                    },
+                    _ => IoCall::Close { fd: 5 },
+                },
+                result: 0,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn finished_journal_roundtrips() {
+        for seg in [1usize, 3, 7, 100] {
+            let t = sample(40);
+            let bytes = encode_journal(&t, seg);
+            let back = read_journal(&bytes).expect("clean journal reads");
+            assert_eq!(back, t, "segment size {seg}");
+            let (salvaged, report) = fsck_journal(&bytes).unwrap();
+            assert_eq!(salvaged, t);
+            assert!(!report.is_damaged());
+            assert_eq!(report.records_recovered, 40);
+        }
+    }
+
+    #[test]
+    fn empty_trace_journal_roundtrips() {
+        let t = Trace::new(TraceMeta::new("/app", 0, 0, "lanl-trace"));
+        let bytes = encode_journal(&t, 8);
+        assert_eq!(read_journal(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn writer_seals_at_the_configured_cadence() {
+        let t = sample(10);
+        let mut w = JournalWriter::new(&t.meta, 4);
+        w.append_all(&t.records);
+        assert_eq!(w.sealed_segments(), 2);
+        assert_eq!(w.sealed_records(), 8);
+        assert_eq!(w.pending_records(), 2);
+        // Sealed bytes alone are a valid journal holding the sealed prefix.
+        let sealed = w.sealed_bytes().to_vec();
+        let partial = read_journal(&sealed).unwrap();
+        assert_eq!(partial.records.as_slice(), &t.records[..8]);
+        let full = read_journal(&w.finish()).unwrap();
+        assert_eq!(full, t);
+    }
+
+    #[test]
+    fn torn_journal_keeps_sealed_segments_and_reports_the_tail() {
+        let t = sample(11);
+        let mut w = JournalWriter::new(&t.meta, 4);
+        w.append_all(&t.records); // 2 sealed segments, 3 pending
+        let torn = w.torn();
+        assert!(matches!(
+            read_journal(&torn),
+            Err(JournalError::Torn { .. })
+        ));
+        let (rec, report) = fsck_journal(&torn).unwrap();
+        assert_eq!(rec.records.as_slice(), &t.records[..8]);
+        assert_eq!(report.segments_recovered, 2);
+        assert_eq!(report.records_recovered, 8);
+        assert!(report.torn_tail_bytes > 0);
+        assert!(report.is_damaged());
+        assert!(rec.meta.completeness < 1.0, "tear stamps completeness");
+    }
+
+    #[test]
+    fn torn_with_empty_pending_still_leaves_a_tail() {
+        let t = sample(8);
+        let mut w = JournalWriter::new(&t.meta, 4);
+        w.append_all(&t.records); // exactly two sealed segments, none pending
+        assert_eq!(w.pending_records(), 0);
+        let torn = w.torn();
+        let (rec, report) = fsck_journal(&torn).unwrap();
+        assert_eq!(rec.records.len(), 8);
+        assert!(report.torn_tail_bytes > 0);
+    }
+
+    #[test]
+    fn flipped_bit_in_a_segment_stops_the_scan_there() {
+        let t = sample(20);
+        let mut bytes = encode_journal(&t, 5);
+        let n = bytes.len();
+        bytes[n - 12] ^= 0x40; // damage inside the last segment
+        let (rec, report) = fsck_journal(&bytes).unwrap();
+        assert_eq!(report.segments_recovered, 3);
+        assert_eq!(rec.records.as_slice(), &t.records[..15]);
+        assert!(report.damage.is_some());
+    }
+
+    #[test]
+    fn container_problems_are_hard_errors() {
+        assert_eq!(
+            fsck_journal(b"NOPE\x01").unwrap_err(),
+            JournalError::BadMagic
+        );
+        let t = sample(4);
+        let mut bytes = encode_journal(&t, 4);
+        bytes[4] = 9;
+        assert_eq!(
+            fsck_journal(&bytes).unwrap_err(),
+            JournalError::BadVersion(9)
+        );
+        let mut bytes = encode_journal(&t, 4);
+        bytes[8] ^= 0xFF; // header CRC or payload byte
+        assert_eq!(
+            fsck_journal(&bytes).unwrap_err(),
+            JournalError::HeaderCorrupt
+        );
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let t = sample(12);
+        let a = records_digest(&t.records);
+        assert_eq!(a, records_digest(&t.records), "deterministic");
+        let mut rev = t.records.clone();
+        rev.reverse();
+        assert_ne!(a, records_digest(&rev));
+        assert_ne!(a, records_digest(&t.records[..11]));
+        assert_ne!(records_digest(&[]), 0);
+    }
+
+    #[test]
+    fn snapshot_line_roundtrips() {
+        let s = TracerSnapshot {
+            tracer: "lanl-trace".into(),
+            records: 123,
+            buffered_bytes: 4096,
+            digest: 0xDEAD_BEEF_0123_4567,
+        };
+        let line = s.to_line();
+        assert_eq!(TracerSnapshot::parse_line(&line), Some(s));
+        assert_eq!(TracerSnapshot::parse_line("tracer=x records=nope"), None);
+    }
+}

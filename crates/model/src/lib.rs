@@ -19,6 +19,7 @@ pub mod anonymize;
 pub mod binary;
 pub mod crc;
 pub mod event;
+pub mod journal;
 pub mod lzss;
 pub mod salvage;
 pub mod summary;
@@ -34,6 +35,10 @@ pub mod prelude {
         SalvagedBinary,
     };
     pub use crate::event::{CallLayer, IoCall, Trace, TraceMeta, TraceRecord};
+    pub use crate::journal::{
+        encode_journal, encoded_size, fsck_journal, read_journal, records_digest, FsckReport,
+        JournalError, JournalWriter, TracerSnapshot,
+    };
     pub use crate::salvage::{SalvageReport, TraceError};
     pub use crate::summary::CallSummary;
     pub use crate::text::{format_text, parse_text, parse_text_salvage, ParseError, SalvagedText};

@@ -97,6 +97,23 @@ impl IoTracer for PartraceTracer {
         SimDur::from_nanos(350)
     }
 
+    fn snapshot(&self) -> Option<iotrace_model::journal::TracerSnapshot> {
+        // //TRACE holds *everything* in memory until the run ends, so the
+        // whole capture is volatile: buffered_bytes is the full encoded
+        // size, which is exactly what a mid-run kill loses.
+        let records: Vec<TraceRecord> = self
+            .bufs
+            .values()
+            .flat_map(|b| b.records.iter().cloned())
+            .collect();
+        Some(iotrace_model::journal::TracerSnapshot {
+            tracer: "partrace".into(),
+            records: records.len(),
+            buffered_bytes: iotrace_model::journal::encoded_size(&records),
+            digest: iotrace_model::journal::records_digest(&records),
+        })
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

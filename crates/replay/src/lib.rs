@@ -31,7 +31,9 @@ pub fn replayable_from_traces(app: &str, mut traces: Vec<Trace>) -> ReplayableTr
 
 pub mod prelude {
     pub use crate::fidelity::{capture_span, replay_and_measure, signature_error, FidelityReport};
-    pub use crate::preflight::{preflight, replay_and_measure_checked};
+    pub use crate::preflight::{
+        preflight, replay_and_measure_checked, DegradationCause, DegradationReport,
+    };
     pub use crate::pseudo::{build_programs, prepare_vfs, ReplayConfig};
     pub use crate::replayable_from_traces;
 }

@@ -1,0 +1,259 @@
+//! Deterministic run checkpoints.
+//!
+//! The engine is a single-threaded deterministic simulator, so a
+//! checkpoint does not need to serialize the event heap or the rank
+//! program closures (which are arbitrary boxed state machines): it is a
+//! *replay recipe* — everything needed to re-execute the run up to the
+//! checkpointed event — plus *verification state* — per-node clock
+//! parameters and per-framework tracer digests that the resumed run must
+//! reproduce bit-for-bit before its output can be trusted. If any digest
+//! diverges on resume, the environment changed and the checkpoint is
+//! rejected rather than silently producing a different trace.
+//!
+//! The format is line-oriented text sealed by a trailing FNV-1a 64
+//! checksum, so a torn checkpoint write is detected the same way a torn
+//! journal segment is.
+
+use crate::time::SimTime;
+
+/// A serialized run checkpoint. See the module docs for the philosophy;
+/// the fields are exactly what `iotrace resume` needs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Checkpoint {
+    /// Which pipeline produced this checkpoint (today: `demo`).
+    pub scenario: String,
+    /// Output directory the interrupted run was writing into.
+    pub out_dir: String,
+    /// The full fault-plan text the run was executing (including the
+    /// abort fault that killed it).
+    pub plan_text: String,
+    /// Checkpoint cadence the run was using.
+    pub checkpoint_every: u64,
+    /// Events processed when this checkpoint was taken.
+    pub events: u64,
+    /// Simulated time at the checkpoint.
+    pub sim_time_ns: u64,
+    /// Per-node clock state as `(skew_ns, drift_ppm.to_bits())` — bits,
+    /// not decimal, so drift survives the text roundtrip bit-exactly.
+    pub clocks: Vec<(i64, u64)>,
+    /// One [`TracerSnapshot`](super) line per active framework, in a
+    /// stable order (the snapshot format lives in `iotrace-model`; the
+    /// sim layer treats the lines as opaque).
+    pub tracer_state: Vec<String>,
+}
+
+/// A checkpoint file failed to load.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Missing magic line, unknown key, or a bad value.
+    Malformed(String),
+    /// The trailing seal is missing or does not match the content — the
+    /// file was torn mid-write or edited.
+    BadSeal,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+            CheckpointError::BadSeal => {
+                write!(f, "checkpoint seal mismatch (torn write or edited file)")
+            }
+        }
+    }
+}
+impl std::error::Error for CheckpointError {}
+
+const MAGIC_LINE: &str = "# iotrace checkpoint v1";
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+impl Checkpoint {
+    pub fn sim_time(&self) -> SimTime {
+        SimTime::from_nanos(self.sim_time_ns)
+    }
+
+    /// Serialize to the sealed text form parsed by [`Checkpoint::parse`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MAGIC_LINE);
+        out.push('\n');
+        out.push_str(&format!("scenario {}\n", self.scenario));
+        out.push_str(&format!("out-dir {}\n", self.out_dir));
+        out.push_str(&format!("checkpoint-every {}\n", self.checkpoint_every));
+        out.push_str(&format!("events {}\n", self.events));
+        out.push_str(&format!("sim-time-ns {}\n", self.sim_time_ns));
+        for (i, (skew, drift_bits)) in self.clocks.iter().enumerate() {
+            out.push_str(&format!(
+                "clock {i} skew={skew} drift-bits={drift_bits:#018x}\n"
+            ));
+        }
+        for line in self.plan_text.lines() {
+            out.push_str(&format!("plan {line}\n"));
+        }
+        for line in &self.tracer_state {
+            out.push_str(&format!("tracer-state {line}\n"));
+        }
+        let seal = fnv64(out.as_bytes());
+        out.push_str(&format!("seal {seal:#018x}\n"));
+        out
+    }
+
+    /// Parse and verify a sealed checkpoint file.
+    pub fn parse(text: &str) -> Result<Checkpoint, CheckpointError> {
+        let bad = |m: &str| CheckpointError::Malformed(m.to_string());
+        // Seal first: everything before the `seal` line must hash to its
+        // value, or the file cannot be trusted at all.
+        let body_end = text.rfind("seal ").ok_or(CheckpointError::BadSeal)?;
+        if body_end == 0 || text.as_bytes()[body_end - 1] != b'\n' {
+            return Err(CheckpointError::BadSeal);
+        }
+        let seal_line = text[body_end..].trim_end();
+        let stored = seal_line
+            .strip_prefix("seal 0x")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or(CheckpointError::BadSeal)?;
+        if fnv64(&text.as_bytes()[..body_end]) != stored {
+            return Err(CheckpointError::BadSeal);
+        }
+
+        let mut ckpt = Checkpoint::default();
+        let mut lines = text[..body_end].lines();
+        if lines.next() != Some(MAGIC_LINE) {
+            return Err(bad("missing magic line"));
+        }
+        for line in lines {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            // Values may be empty (e.g. a blank out-dir), in which case the
+            // trailing space was trimmed with the line ending.
+            let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match key {
+                "scenario" => ckpt.scenario = rest.to_string(),
+                "out-dir" => ckpt.out_dir = rest.to_string(),
+                "checkpoint-every" => {
+                    ckpt.checkpoint_every = rest.parse().map_err(|_| bad("bad checkpoint-every"))?
+                }
+                "events" => ckpt.events = rest.parse().map_err(|_| bad("bad events"))?,
+                "sim-time-ns" => {
+                    ckpt.sim_time_ns = rest.parse().map_err(|_| bad("bad sim-time-ns"))?
+                }
+                "clock" => {
+                    let mut skew = None;
+                    let mut drift = None;
+                    for part in rest.split_whitespace().skip(1) {
+                        match part.split_once('=') {
+                            Some(("skew", v)) => skew = v.parse::<i64>().ok(),
+                            Some(("drift-bits", v)) => {
+                                drift = v
+                                    .strip_prefix("0x")
+                                    .and_then(|h| u64::from_str_radix(h, 16).ok())
+                            }
+                            _ => return Err(bad("bad clock field")),
+                        }
+                    }
+                    ckpt.clocks.push((
+                        skew.ok_or_else(|| bad("clock missing skew"))?,
+                        drift.ok_or_else(|| bad("clock missing drift-bits"))?,
+                    ));
+                }
+                "plan" => {
+                    ckpt.plan_text.push_str(rest);
+                    ckpt.plan_text.push('\n');
+                }
+                "tracer-state" => ckpt.tracer_state.push(rest.to_string()),
+                other => return Err(bad(&format!("unknown key `{other}`"))),
+            }
+        }
+        if ckpt.scenario.is_empty() {
+            return Err(bad("missing scenario"));
+        }
+        Ok(ckpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            scenario: "demo".into(),
+            out_dir: "/tmp/iotrace demo out".into(),
+            plan_text: "seed 42\ntrace-file-loss rank=1\nrun-abort at-event=300\n".into(),
+            checkpoint_every: 64,
+            events: 256,
+            sim_time_ns: 123_456_789,
+            clocks: vec![
+                (812_345, 35.25f64.to_bits()),
+                (-44_000, (-3.5f64).to_bits()),
+            ],
+            tracer_state: vec![
+                "tracer=lanl-trace records=40 buffered=512 digest=0x00000000deadbeef".into(),
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrips_bit_exactly() {
+        let c = sample();
+        let parsed = Checkpoint::parse(&c.to_text()).expect("roundtrip");
+        assert_eq!(parsed, c);
+        // The drift f64 comes back bit-identical, not merely close.
+        assert_eq!(f64::from_bits(parsed.clocks[0].1), 35.25);
+        assert_eq!(f64::from_bits(parsed.clocks[1].1), -3.5);
+        assert_eq!(parsed.sim_time(), SimTime::from_nanos(123_456_789));
+    }
+
+    #[test]
+    fn any_tampered_body_byte_breaks_the_seal() {
+        let text = c_text();
+        let body_end = text.rfind("seal ").unwrap();
+        for i in 0..body_end {
+            let mut t = text.clone().into_bytes();
+            t[i] ^= 0x20;
+            let Ok(t) = String::from_utf8(t) else {
+                continue;
+            };
+            assert_eq!(
+                Checkpoint::parse(&t),
+                Err(CheckpointError::BadSeal),
+                "flip at byte {i} must break the seal"
+            );
+        }
+    }
+
+    fn c_text() -> String {
+        sample().to_text()
+    }
+
+    #[test]
+    fn truncation_is_a_bad_seal() {
+        let text = c_text();
+        for cut in [0, 1, text.len() / 2, text.len() - 2] {
+            let r = Checkpoint::parse(&text[..cut]);
+            assert!(r.is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicked() {
+        for t in ["", "seal 0x0", "# iotrace checkpoint v1\nseal 0xzz\n"] {
+            assert!(Checkpoint::parse(t).is_err());
+        }
+        let c = Checkpoint {
+            scenario: "demo".into(),
+            ..Default::default()
+        };
+        assert_eq!(Checkpoint::parse(&c.to_text()).unwrap(), c);
+    }
+}

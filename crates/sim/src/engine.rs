@@ -169,6 +169,18 @@ impl ClusterConfig {
     }
 }
 
+/// Execution limits for a controlled run: abort after a fixed number of
+/// processed events (deterministic kill injection) and/or invoke a
+/// checkpoint hook every `checkpoint_every` events. The default is an
+/// unlimited run with no checkpoints — exactly [`Engine::run_observed`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Stop (abort) the run after this many events have been processed.
+    pub max_events: Option<u64>,
+    /// Invoke the checkpoint hook every N processed events.
+    pub checkpoint_every: Option<u64>,
+}
+
 /// Statistics for one rank after a run.
 #[derive(Clone, Debug, Default)]
 pub struct RankStats {
@@ -192,11 +204,17 @@ pub struct RunReport {
     /// Ranks that were still blocked when the event queue drained
     /// (deadlock); empty on a clean run.
     pub deadlocked: Vec<RankId>,
+    /// Total events (rank op-polls) processed.
+    pub events: u64,
+    /// True when the run was killed by [`RunLimits::max_events`] before the
+    /// event queue drained. An aborted run never saw `end_run`: tracer
+    /// buffers were left unflushed, exactly as a real `kill -9` leaves them.
+    pub aborted: bool,
 }
 
 impl RunReport {
     pub fn is_clean(&self) -> bool {
-        self.deadlocked.is_empty()
+        self.deadlocked.is_empty() && !self.aborted
     }
 }
 
@@ -267,8 +285,24 @@ impl<E: Executor> Engine<E> {
     /// Run with an observer receiving engine-level events.
     pub fn run_observed(
         &mut self,
+        programs: Vec<Box<dyn RankProgram<E::Op, E::Res>>>,
+        observer: &mut dyn EngineObserver,
+    ) -> RunReport {
+        self.run_controlled(programs, observer, RunLimits::default(), &mut |_, _, _| {})
+    }
+
+    /// Run under [`RunLimits`]: the checkpoint hook fires with the executor,
+    /// the event count and the simulated time every `checkpoint_every`
+    /// events, and the run aborts mid-flight after `max_events`. Because the
+    /// engine is deterministic, re-running the same programs up to the same
+    /// event index reproduces the aborted run's state exactly — the basis of
+    /// checkpoint/resume.
+    pub fn run_controlled(
+        &mut self,
         mut programs: Vec<Box<dyn RankProgram<E::Op, E::Res>>>,
         observer: &mut dyn EngineObserver,
+        limits: RunLimits,
+        on_checkpoint: &mut dyn FnMut(&mut E, u64, SimTime),
     ) -> RunReport {
         let world = programs.len();
         assert!(world > 0, "need at least one rank program");
@@ -300,6 +334,8 @@ impl<E: Executor> Engine<E> {
 
         let mut now = SimTime::ZERO;
         let mut finished = 0usize;
+        let mut events: u64 = 0;
+        let mut aborted = false;
 
         while let Some(Reverse((t, _, ridx))) = heap.pop() {
             debug_assert!(t >= now, "time went backwards");
@@ -315,6 +351,10 @@ impl<E: Executor> Engine<E> {
             // cheap) are dropped here.
             if !matches!(states[ri], RankState::Scheduled) {
                 continue;
+            }
+            if limits.max_events.is_some_and(|m| events >= m) {
+                aborted = true;
+                break;
             }
 
             let last = pending[ri].take().unwrap_or(OpResult::Computed);
@@ -463,23 +503,39 @@ impl<E: Executor> Engine<E> {
                     observer.on_rank_finished(rank, now);
                 }
             }
+
+            events += 1;
+            if limits
+                .checkpoint_every
+                .is_some_and(|k| k > 0 && events.is_multiple_of(k))
+            {
+                on_checkpoint(&mut self.executor, events, now);
+            }
         }
 
-        self.executor.end_run(now);
-
-        let deadlocked: Vec<RankId> = states
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !matches!(s, RankState::Finished))
-            .map(|(i, _)| RankId(i as u32))
-            .collect();
-        debug_assert_eq!(finished + deadlocked.len(), world);
+        // A killed run never reaches end_run: whatever the tracers held in
+        // volatile buffers dies with the process.
+        let deadlocked: Vec<RankId> = if aborted {
+            Vec::new()
+        } else {
+            self.executor.end_run(now);
+            let d: Vec<RankId> = states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !matches!(s, RankState::Finished))
+                .map(|(i, _)| RankId(i as u32))
+                .collect();
+            debug_assert_eq!(finished + d.len(), world);
+            d
+        };
 
         RunReport {
             elapsed: now.since(SimTime::ZERO),
             per_rank: stats,
             barriers: barrier_records,
             deadlocked,
+            events,
+            aborted,
         }
     }
 
@@ -805,5 +861,68 @@ mod tests {
         assert!(report.is_clean());
         assert_eq!(obs.barriers, 1);
         assert_eq!(obs.finished, 2);
+    }
+
+    fn long_progs() -> Vec<P> {
+        (0..3u64)
+            .map(|r| -> P {
+                Box::new(OpList::new(
+                    (0..20)
+                        .map(|i| Op::Compute(SimDur::from_millis(1 + (r + i) % 7)))
+                        .chain(std::iter::once(Op::Exit))
+                        .collect(),
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn max_events_aborts_mid_run() {
+        let cfg = ClusterConfig::new(3).with_net(NetworkParams::ideal());
+        let mut eng = Engine::new(cfg, NullExecutor);
+        let full = eng.run(long_progs());
+        assert!(full.is_clean());
+        assert_eq!(full.events, 63); // 3 ranks x (20 computes + exit)
+
+        let mut eng = Engine::new(
+            ClusterConfig::new(3).with_net(NetworkParams::ideal()),
+            NullExecutor,
+        );
+        let limits = RunLimits {
+            max_events: Some(10),
+            checkpoint_every: None,
+        };
+        let cut = eng.run_controlled(long_progs(), &mut NullObserver, limits, &mut |_, _, _| {});
+        assert!(cut.aborted);
+        assert!(!cut.is_clean());
+        assert_eq!(cut.events, 10, "aborts after exactly max_events events");
+        assert!(cut.deadlocked.is_empty(), "an abort is not a deadlock");
+    }
+
+    #[test]
+    fn checkpoint_hook_fires_on_cadence_and_deterministically() {
+        let capture = |every: u64, max: Option<u64>| {
+            let cfg = ClusterConfig::new(3).with_net(NetworkParams::ideal());
+            let mut eng = Engine::new(cfg, NullExecutor);
+            let mut seen: Vec<(u64, SimTime)> = Vec::new();
+            let limits = RunLimits {
+                max_events: max,
+                checkpoint_every: Some(every),
+            };
+            eng.run_controlled(long_progs(), &mut NullObserver, limits, &mut |_, e, t| {
+                seen.push((e, t))
+            });
+            seen
+        };
+        let full = capture(8, None);
+        assert_eq!(
+            full.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            vec![8, 16, 24, 32, 40, 48, 56]
+        );
+        assert_eq!(full, capture(8, None), "hook sequence is deterministic");
+        // A run killed at event 24 saw exactly the first three checkpoints,
+        // each identical to the uninterrupted run's.
+        let cut = capture(8, Some(24));
+        assert_eq!(cut.as_slice(), &full[..3]);
     }
 }

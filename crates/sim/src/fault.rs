@@ -45,6 +45,11 @@ pub enum Fault {
     TraceTruncation { rank: u32, keep: f64 },
     /// //TRACE dependency discovery loses this fraction of its edges.
     DepEdgeLoss { fraction: f64 },
+    /// The whole capture run is killed after `at_event` simulation events
+    /// (kill -9 of the workbench itself). Checkpoint/resume turns this
+    /// into an end-to-end crash-recovery test: sealed journal segments
+    /// and the last checkpoint survive, everything else is lost.
+    RunAbort { at_event: u64 },
 }
 
 /// A degradation window over one striped storage server, derived from
@@ -238,6 +243,32 @@ impl FaultPlan {
         })
     }
 
+    /// The event index at which the run is killed, if any ([`Fault::RunAbort`];
+    /// earliest wins when several are scheduled).
+    pub fn abort_event(&self) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::RunAbort { at_event } => Some(at_event),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// This plan with every [`Fault::RunAbort`] removed — what the resumed
+    /// run executes, since the kill already happened.
+    pub fn without_aborts(&self) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            faults: self
+                .faults
+                .iter()
+                .filter(|f| !matches!(f, Fault::RunAbort { .. }))
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// The fraction of dependency edges //TRACE loses (0.0 when none).
     pub fn edge_loss(&self) -> f64 {
         self.faults
@@ -307,6 +338,9 @@ impl FaultPlan {
                 Fault::DepEdgeLoss { fraction } => {
                     out.push_str(&format!("dep-edge-loss fraction={}\n", fraction));
                 }
+                Fault::RunAbort { at_event } => {
+                    out.push_str(&format!("run-abort at-event={}\n", at_event));
+                }
             }
         }
         out
@@ -323,24 +357,25 @@ impl FaultPlan {
                 continue;
             }
             let lineno = idx + 1;
-            let err = |message: String| PlanParseError {
+            let err = |message: String, token: &str| PlanParseError {
                 line: lineno,
                 message,
+                token: Some(token.to_string()),
             };
             let mut parts = line.split_whitespace();
             let kind = parts.next().unwrap_or("");
             if kind == "seed" {
                 let v = parts
                     .next()
-                    .ok_or_else(|| err("seed needs a value".into()))?;
-                plan.seed = v.parse().map_err(|_| err(format!("bad seed `{v}`")))?;
+                    .ok_or_else(|| err("seed needs a value".into(), kind))?;
+                plan.seed = v.parse().map_err(|_| err(format!("bad seed `{v}`"), v))?;
                 continue;
             }
             let mut fields = Fields::default();
             for part in parts {
                 let (k, v) = part
                     .split_once('=')
-                    .ok_or_else(|| err(format!("expected key=value, got `{part}`")))?;
+                    .ok_or_else(|| err(format!("expected key=value, got `{part}`"), part))?;
                 fields.pairs.push((k.to_string(), v.to_string()));
             }
             match kind {
@@ -373,7 +408,16 @@ impl FaultPlan {
                 "dep-edge-loss" => plan.faults.push(Fault::DepEdgeLoss {
                     fraction: fields.float(lineno, "fraction")?,
                 }),
-                other => return Err(err(format!("unknown fault kind `{other}`"))),
+                "run-abort" => plan.faults.push(Fault::RunAbort {
+                    at_event: fields.int(lineno, "at-event")?,
+                }),
+                other => {
+                    return Err(PlanParseError {
+                        line: lineno,
+                        message: format!("unknown fault kind `{other}`"),
+                        token: Some(other.to_string()),
+                    })
+                }
             }
         }
         Ok(plan)
@@ -430,6 +474,9 @@ impl FaultPlan {
                     "dependency discovery loses {:.0}% of causal edges",
                     fraction * 100.0
                 ),
+                Fault::RunAbort { at_event } => {
+                    format!("capture run killed after {} simulation events", at_event)
+                }
             };
             out.push_str("  - ");
             out.push_str(&line);
@@ -444,11 +491,19 @@ impl FaultPlan {
 pub struct PlanParseError {
     pub line: usize,
     pub message: String,
+    /// The offending token, when one can be pinned down (a bad value, an
+    /// unknown kind, a malformed pair) — shown so the user can grep the
+    /// plan file for it.
+    pub token: Option<String>,
 }
 
 impl std::fmt::Display for PlanParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "fault plan line {}: {}", self.line, self.message)
+        write!(f, "fault plan line {}: {}", self.line, self.message)?;
+        if let Some(t) = &self.token {
+            write!(f, " (offending token: `{t}`)")?;
+        }
+        Ok(())
     }
 }
 
@@ -468,6 +523,7 @@ impl Fields {
             .ok_or_else(|| PlanParseError {
                 line,
                 message: format!("missing field `{key}`"),
+                token: Some(key.to_string()),
             })
     }
 
@@ -476,6 +532,7 @@ impl Fields {
         v.parse().map_err(|_| PlanParseError {
             line,
             message: format!("bad integer `{v}` for `{key}`"),
+            token: Some(v.to_string()),
         })
     }
 
@@ -484,6 +541,7 @@ impl Fields {
         v.parse().map_err(|_| PlanParseError {
             line,
             message: format!("bad number `{v}` for `{key}`"),
+            token: Some(v.to_string()),
         })
     }
 
@@ -503,6 +561,7 @@ impl Fields {
         let n: u64 = digits.parse().map_err(|_| PlanParseError {
             line,
             message: format!("bad duration `{v}` for `{key}`"),
+            token: Some(v.to_string()),
         })?;
         Ok(SimTime::from_nanos(n.saturating_mul(scale)))
     }
@@ -552,11 +611,30 @@ mod tests {
                 Fault::TraceFileLoss { rank: 3 },
                 Fault::TraceTruncation { rank: 1, keep: 0.6 },
                 Fault::DepEdgeLoss { fraction: 0.25 },
+                Fault::RunAbort { at_event: 4096 },
             ],
         };
         let text = plan.to_text();
         let parsed = FaultPlan::parse(&text).expect("roundtrip parse");
         assert_eq!(parsed, plan);
+    }
+
+    #[test]
+    fn run_abort_queries_and_stripping() {
+        let plan = FaultPlan {
+            seed: 3,
+            faults: vec![
+                Fault::RunAbort { at_event: 900 },
+                Fault::TraceFileLoss { rank: 0 },
+                Fault::RunAbort { at_event: 120 },
+            ],
+        };
+        assert_eq!(plan.abort_event(), Some(120), "earliest abort wins");
+        let resumed = plan.without_aborts();
+        assert_eq!(resumed.abort_event(), None);
+        assert_eq!(resumed.seed, 3);
+        assert_eq!(resumed.faults, vec![Fault::TraceFileLoss { rank: 0 }]);
+        assert_eq!(FaultPlan::clean().abort_event(), None);
     }
 
     #[test]
@@ -582,6 +660,30 @@ mod tests {
         assert_eq!(err.line, 2);
         let err = FaultPlan::parse("trace-file-loss\n").unwrap_err();
         assert!(err.message.contains("rank"));
+    }
+
+    #[test]
+    fn parse_errors_carry_the_offending_token() {
+        let err = FaultPlan::parse("seed 1\nbogus-kind rank=1\n").unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("bogus-kind"));
+        assert!(err.to_string().contains("line 2"));
+        assert!(err.to_string().contains("`bogus-kind`"));
+
+        let err = FaultPlan::parse("trace-truncation rank=0 keep=lots\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.token.as_deref(), Some("lots"));
+
+        let err = FaultPlan::parse("node-crash node=1 at\n").unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("at"));
+
+        let err = FaultPlan::parse("run-abort at-event=soon\n").unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("soon"));
+
+        let err = FaultPlan::parse("tracer-overflow node=0 at=4x\n").unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("4x"));
+
+        let err = FaultPlan::parse("trace-file-loss\n").unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("rank"));
     }
 
     #[test]

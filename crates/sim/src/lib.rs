@@ -32,6 +32,7 @@
 //! assert_eq!(report.elapsed, SimDur::from_millis(30));
 //! ```
 
+pub mod checkpoint;
 pub mod clock;
 pub mod engine;
 pub mod fault;
@@ -43,10 +44,14 @@ pub mod time;
 
 /// One-stop imports for downstream crates and examples.
 pub mod prelude {
+    // `checkpoint::Checkpoint` is deliberately NOT in the prelude: the
+    // name collides with the `Checkpoint` workload re-exported through
+    // the umbrella crate's prelude. Use the full path.
+    pub use crate::checkpoint::CheckpointError;
     pub use crate::clock::NodeClock;
     pub use crate::engine::{
         BarrierEntry, BarrierRecord, ClusterConfig, Engine, EngineObserver, ExecCtx, ExecOutcome,
-        Executor, NullExecutor, NullObserver, RankStats, RunReport,
+        Executor, NullExecutor, NullObserver, RankStats, RunLimits, RunReport,
     };
     pub use crate::fault::{DegradedWindow, Fault, FaultPlan};
     pub use crate::ids::{CommId, NodeId, RankId, ANY_SOURCE, ANY_TAG};

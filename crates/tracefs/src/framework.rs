@@ -143,6 +143,19 @@ impl Tracefs {
         }
     }
 
+    /// Freeze this mount's capture state for a checkpoint: captured
+    /// record count, bytes still in the in-kernel buffer (lost on a
+    /// crash), and a digest for resume verification.
+    pub fn snapshot(&self) -> iotrace_model::journal::TracerSnapshot {
+        let cap = self.capture.lock();
+        iotrace_model::journal::TracerSnapshot {
+            tracer: "tracefs".into(),
+            records: cap.records.len(),
+            buffered_bytes: cap.buffered_bytes(),
+            digest: iotrace_model::journal::records_digest(&cap.records),
+        }
+    }
+
     /// Encode the captured trace in Tracefs's binary format with the
     /// mount's options (checksum/compress/encrypt/buffering).
     pub fn encode(&self, app: &str) -> Vec<u8> {

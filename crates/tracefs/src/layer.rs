@@ -62,6 +62,12 @@ impl Capture {
         self.overflow_at.sort_unstable_by(|a, b| b.cmp(a));
     }
 
+    /// Bytes sitting in the unflushed in-kernel buffer — what a crash or
+    /// overflow loses.
+    pub fn buffered_bytes(&self) -> u64 {
+        self.buffered
+    }
+
     /// Drop the current buffer's records, accounting for the loss.
     fn overflow(&mut self) {
         let lost = self.buffered_records;
