@@ -5,6 +5,7 @@
 use std::collections::HashMap;
 
 use iotrace_model::event::TraceRecord;
+use iotrace_model::intern::{Interner, Sym};
 use iotrace_sim::time::SimDur;
 
 /// Aggregate for one path.
@@ -15,29 +16,27 @@ pub struct PathStats {
     pub time: SimDur,
 }
 
-/// Per-path aggregation over records carrying path arguments. Records
-/// without a path (fd-based calls) are attributed via the most recent
-/// successful `open` of that fd within the same (rank, pid).
-pub fn by_path<'a>(
+/// Per-path aggregation keyed by interned symbols — the allocation-free
+/// core of [`by_path`]. Each distinct path is interned once; every
+/// record after that hashes and copies a `u32` instead of a `String`.
+/// Records without a path (fd-based calls) are attributed via the most
+/// recent successful `open` of that fd within the same rank.
+pub fn by_path_interned<'a>(
     records: impl IntoIterator<Item = &'a TraceRecord>,
-) -> HashMap<String, PathStats> {
-    let mut out: HashMap<String, PathStats> = HashMap::new();
+    paths: &mut Interner,
+) -> HashMap<Sym, PathStats> {
+    let mut out: HashMap<Sym, PathStats> = HashMap::new();
     // (rank, fd) -> path
-    let mut open_fds: HashMap<(u32, i64), String> = HashMap::new();
+    let mut open_fds: HashMap<(u32, i64), Sym> = HashMap::new();
     for r in records {
         use iotrace_model::event::IoCall::*;
-        let path: Option<String> = match &r.call {
-            Open { path, .. } => {
+        let path: Option<Sym> = match &r.call {
+            Open { path, .. } | MpiFileOpen { path, .. } => {
+                let sym = paths.intern(path);
                 if r.result >= 0 {
-                    open_fds.insert((r.rank, r.result), path.clone());
+                    open_fds.insert((r.rank, r.result), sym);
                 }
-                Some(path.clone())
-            }
-            MpiFileOpen { path, .. } => {
-                if r.result >= 0 {
-                    open_fds.insert((r.rank, r.result), path.clone());
-                }
-                Some(path.clone())
+                Some(sym)
             }
             Close { fd } | MpiFileClose { fd } => open_fds.remove(&(r.rank, *fd)),
             Read { fd, .. }
@@ -47,8 +46,8 @@ pub fn by_path<'a>(
             | Lseek { fd, .. }
             | Fsync { fd }
             | MpiFileWriteAt { fd, .. }
-            | MpiFileReadAt { fd, .. } => open_fds.get(&(r.rank, *fd)).cloned(),
-            _ => r.call.path().map(|p| p.to_string()),
+            | MpiFileReadAt { fd, .. } => open_fds.get(&(r.rank, *fd)).copied(),
+            _ => r.call.path().map(|p| paths.intern(p)),
         };
         if let Some(p) = path {
             let e = out.entry(p).or_default();
@@ -60,12 +59,65 @@ pub fn by_path<'a>(
     out
 }
 
-/// The `n` paths with the most bytes moved, descending.
+/// Per-path aggregation with `String` keys — a thin resolve layer over
+/// [`by_path_interned`] kept for callers that want owned paths.
+pub fn by_path<'a>(
+    records: impl IntoIterator<Item = &'a TraceRecord>,
+) -> HashMap<String, PathStats> {
+    let mut paths = Interner::new();
+    by_path_interned(records, &mut paths)
+        .into_iter()
+        .map(|(sym, s)| (paths.resolve(sym).to_string(), s))
+        .collect()
+}
+
+/// The `n` paths with the most bytes moved, descending; ties break by
+/// path ascending.
+///
+/// Uses partial selection: `select_nth_unstable_by` pulls the top `n`
+/// to the front in O(len), then only that slice is sorted — O(len +
+/// n log n) instead of sorting the whole map. The comparator is a total
+/// order (paths are unique map keys), so the unstable selection cannot
+/// perturb the result.
 pub fn top_by_bytes(stats: &HashMap<String, PathStats>, n: usize) -> Vec<(String, PathStats)> {
     let mut v: Vec<(String, PathStats)> =
         stats.iter().map(|(k, s)| (k.clone(), s.clone())).collect();
-    v.sort_by(|a, b| b.1.bytes.cmp(&a.1.bytes).then(a.0.cmp(&b.0)));
-    v.truncate(n);
+    let cmp = |a: &(String, PathStats), b: &(String, PathStats)| {
+        b.1.bytes.cmp(&a.1.bytes).then_with(|| a.0.cmp(&b.0))
+    };
+    if n == 0 {
+        return Vec::new();
+    }
+    if n < v.len() {
+        v.select_nth_unstable_by(n - 1, cmp);
+        v.truncate(n);
+    }
+    v.sort_by(cmp);
+    v
+}
+
+/// [`top_by_bytes`] over interned stats. Ties still break by *resolved*
+/// path (lexicographic), not symbol id, so the ranking matches the
+/// `String`-keyed variant exactly.
+pub fn top_by_bytes_interned(
+    stats: &HashMap<Sym, PathStats>,
+    paths: &Interner,
+    n: usize,
+) -> Vec<(Sym, PathStats)> {
+    let mut v: Vec<(Sym, PathStats)> = stats.iter().map(|(&k, s)| (k, s.clone())).collect();
+    let cmp = |a: &(Sym, PathStats), b: &(Sym, PathStats)| {
+        b.1.bytes
+            .cmp(&a.1.bytes)
+            .then_with(|| paths.resolve(a.0).cmp(paths.resolve(b.0)))
+    };
+    if n == 0 {
+        return Vec::new();
+    }
+    if n < v.len() {
+        v.select_nth_unstable_by(n - 1, cmp);
+        v.truncate(n);
+    }
+    v.sort_by(cmp);
     v
 }
 
@@ -195,5 +247,65 @@ mod tests {
         let top = top_by_bytes(&stats, 1);
         assert_eq!(top.len(), 1);
         assert_eq!(top[0].0, "/big");
+    }
+
+    #[test]
+    fn top_by_bytes_selection_matches_full_sort_with_ties() {
+        // Many paths, deliberate byte-count ties: partial selection must
+        // agree with an exhaustive sort at every cutoff.
+        let mut stats: HashMap<String, PathStats> = HashMap::new();
+        for i in 0..40u64 {
+            stats.insert(
+                format!("/f/{i:02}"),
+                PathStats {
+                    ops: 1,
+                    bytes: i % 7, // ties everywhere
+                    time: SimDur::from_micros(1),
+                },
+            );
+        }
+        let mut full: Vec<(String, PathStats)> =
+            stats.iter().map(|(k, s)| (k.clone(), s.clone())).collect();
+        full.sort_by(|a, b| b.1.bytes.cmp(&a.1.bytes).then_with(|| a.0.cmp(&b.0)));
+        for n in [0, 1, 5, 39, 40, 100] {
+            let top = top_by_bytes(&stats, n);
+            assert_eq!(top, full[..n.min(full.len())].to_vec(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn interned_aggregation_matches_string_keyed() {
+        let recs = vec![
+            rec(
+                IoCall::Open {
+                    path: "/data/a".into(),
+                    flags: 0,
+                    mode: 0,
+                },
+                3,
+            ),
+            rec(IoCall::Write { fd: 3, len: 100 }, 100),
+            rec(
+                IoCall::Stat {
+                    path: "/data/b".into(),
+                },
+                0,
+            ),
+            rec(IoCall::Close { fd: 3 }, 0),
+        ];
+        let plain = by_path(&recs);
+        let mut paths = Interner::new();
+        let interned = by_path_interned(&recs, &mut paths);
+        assert_eq!(plain.len(), interned.len());
+        for (sym, s) in &interned {
+            assert_eq!(plain[paths.resolve(*sym)], *s);
+        }
+        let top_plain = top_by_bytes(&plain, 2);
+        let top_interned = top_by_bytes_interned(&interned, &paths, 2);
+        assert_eq!(top_plain.len(), top_interned.len());
+        for (p, i) in top_plain.iter().zip(&top_interned) {
+            assert_eq!(p.0, paths.resolve(i.0));
+            assert_eq!(p.1, i.1);
+        }
     }
 }

@@ -117,7 +117,46 @@ pub fn merge_partial(traces: &[Trace], est: &SkewEstimate) -> (Vec<TraceRecord>,
 
 /// Merge per-rank traces into one timeline ordered by corrected
 /// timestamps.
+///
+/// Per-rank tracers emit records in capture order, so each corrected
+/// trace is almost always already sorted by `(ts, rank)`; this merges
+/// those sorted runs with a binary heap in O(N log k) for k traces,
+/// instead of re-sorting the whole world in O(N log N). A sortedness
+/// pre-check guards the fast path: a pathological skew fit (e.g. a
+/// drift estimate that inverts record order within a rank) drops the
+/// merge back to the stable global sort of [`merge_by_sort`], so the
+/// output is bit-for-bit identical either way.
 pub fn merge_corrected(traces: &[Trace], est: &SkewEstimate) -> Vec<TraceRecord> {
+    // Pass 1 (cheap, no cloning): corrected timestamps per record, plus
+    // the per-trace sortedness check that guards the streaming path.
+    let mut keys: Vec<Vec<iotrace_sim::time::SimTime>> = Vec::with_capacity(traces.len());
+    let mut sorted = true;
+    for t in traces {
+        let mut ks = Vec::with_capacity(t.records.len());
+        let mut prev: Option<(iotrace_sim::time::SimTime, u32)> = None;
+        for r in &t.records {
+            let ts = est.correct(r.rank, r.ts);
+            if let Some(p) = prev {
+                if (ts, r.rank) < p {
+                    sorted = false;
+                }
+            }
+            prev = Some((ts, r.rank));
+            ks.push(ts);
+        }
+        keys.push(ks);
+    }
+    if !sorted {
+        return merge_by_sort(traces, est);
+    }
+    merge_runs(traces, &keys)
+}
+
+/// The pre-k-way merge: clone every record, correct it, and stable-sort
+/// the concatenation by `(ts, rank)`. Kept as the documented fallback
+/// (and the reference implementation the equivalence property tests and
+/// `bench-pipeline` compare [`merge_corrected`] against).
+pub fn merge_by_sort(traces: &[Trace], est: &SkewEstimate) -> Vec<TraceRecord> {
     let mut all: Vec<TraceRecord> =
         Vec::with_capacity(traces.iter().map(|t| t.records.len()).sum());
     for t in traces {
@@ -131,52 +170,47 @@ pub fn merge_corrected(traces: &[Trace], est: &SkewEstimate) -> Vec<TraceRecord>
     all
 }
 
+/// K-way merge of per-trace runs, each already sorted by corrected
+/// `(ts, rank)` (with `keys[i][j]` the corrected timestamp of record `j`
+/// of trace `i`).
+///
+/// The heap holds only small `(ts, rank, run)` keys and the traces are
+/// read through per-run cursors, so each record is cloned exactly once,
+/// straight into its final output slot — no staging pass, and heap sifts
+/// shuffle 24-byte keys, never whole records. The trailing run index in
+/// the key reproduces the stable sort's tie-break: records with equal
+/// `(ts, rank)` keep concatenation (= input trace) order.
+fn merge_runs(traces: &[Trace], keys: &[Vec<iotrace_sim::time::SimTime>]) -> Vec<TraceRecord> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    type Key = (iotrace_sim::time::SimTime, u32, usize);
+    let mut cursors = vec![0usize; traces.len()];
+    let mut heap: BinaryHeap<Reverse<Key>> = BinaryHeap::with_capacity(traces.len());
+    for (run, t) in traces.iter().enumerate() {
+        if let Some(r) = t.records.first() {
+            heap.push(Reverse((keys[run][0], r.rank, run)));
+        }
+    }
+    let mut out: Vec<TraceRecord> =
+        Vec::with_capacity(traces.iter().map(|t| t.records.len()).sum());
+    while let Some(Reverse((ts, _, run))) = heap.pop() {
+        let i = cursors[run];
+        let mut rec = traces[run].records[i].clone();
+        rec.ts = ts;
+        out.push(rec);
+        cursors[run] = i + 1;
+        if let Some(r) = traces[run].records.get(i + 1) {
+            heap.push(Reverse((keys[run][i + 1], r.rank, run)));
+        }
+    }
+    out
+}
+
 /// Parse many trace documents concurrently; results keep input order.
-/// Errors are reported per document.
+/// Errors are reported per document. Fan-out and chunking live in
+/// [`iotrace_model::par`], shared with the parallel journal decode.
 pub fn parse_parallel(docs: &[String]) -> Vec<Result<Trace, ParseError>> {
-    if docs.is_empty() {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(docs.len());
-    let mut out: Vec<Option<Result<Trace, ParseError>>> = (0..docs.len()).map(|_| None).collect();
-    {
-        let chunks: Vec<(usize, &[String])> = {
-            let chunk = docs.len().div_ceil(workers);
-            docs.chunks(chunk)
-                .enumerate()
-                .map(|(i, c)| (i * chunk, c))
-                .collect()
-        };
-        let out_chunks: Vec<&mut [Option<Result<Trace, ParseError>>]> = {
-            let chunk = docs.len().div_ceil(workers);
-            out.chunks_mut(chunk).collect()
-        };
-        std::thread::scope(|s| {
-            for ((_, docs_chunk), out_chunk) in chunks.into_iter().zip(out_chunks) {
-                s.spawn(move || {
-                    for (d, slot) in docs_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *slot = Some(parse_text(d));
-                    }
-                });
-            }
-        });
-    }
-    out.into_iter()
-        .map(|o| {
-            // Every slot is zipped against exactly one input document, so
-            // an unfilled slot can only mean a worker died before writing
-            // it; surface that as a parse error instead of panicking.
-            o.unwrap_or_else(|| {
-                Err(ParseError {
-                    line: 0,
-                    message: "parser worker produced no result for this document".into(),
-                })
-            })
-        })
-        .collect()
+    iotrace_model::par::par_map(docs, |d| parse_text(d))
 }
 
 #[cfg(test)]

@@ -57,6 +57,14 @@ impl Phase {
 /// Decompose per-rank traces (which include `MPI_Barrier` records, as
 /// LANL-Trace and //TRACE captures do) into phases. Ranks with differing
 /// barrier counts are truncated to the common count.
+///
+/// Each rank is attributed independently (and on its own scoped thread,
+/// via [`iotrace_model::par`]): when its records are time-sorted and its
+/// phase windows are disjoint — the normal shape of a captured trace —
+/// one pass over the records fills every phase, instead of re-scanning
+/// all records once per phase. Out-of-order records or overlapping
+/// barrier windows fall back to the per-phase scan, which also counts a
+/// record into every window containing it, exactly as before.
 pub fn phases(traces: &[Trace]) -> Vec<Phase> {
     // Per rank: barrier boundaries (enter, exit) in observed time.
     type RankBounds<'a> = (u32, Vec<(SimTime, SimTime)>, &'a Trace);
@@ -78,38 +86,77 @@ pub fn phases(traces: &[Trace]) -> Vec<Phase> {
     if n_phases < 2 {
         return Vec::new();
     }
+    let n = n_phases - 1;
 
-    let mut out = Vec::with_capacity(n_phases - 1);
-    for p in 0..n_phases - 1 {
-        let mut ranks = Vec::with_capacity(rank_bounds.len());
-        for (rank, bounds, trace) in &rank_bounds {
-            let start = bounds[p].1; // exit of barrier p
-            let end = bounds[p + 1].0; // entry of barrier p+1
-            let span = end.since(start);
-            let mut io_time = SimDur::ZERO;
-            let mut io_calls = 0;
-            let mut bytes = 0;
+    let per_rank: Vec<Vec<RankPhase>> =
+        iotrace_model::par::par_map(&rank_bounds, |(rank, bounds, trace)| {
+            rank_phases(*rank, bounds, trace, n)
+        });
+    (0..n)
+        .map(|p| Phase {
+            index: p,
+            ranks: per_rank.iter().map(|r| r[p].clone()).collect(),
+        })
+        .collect()
+}
+
+/// One rank's activity across all `n` phases. `bounds[p].1` (exit of
+/// barrier p) opens phase p; `bounds[p + 1].0` (entry of barrier p+1)
+/// closes it.
+fn rank_phases(
+    rank: u32,
+    bounds: &[(SimTime, SimTime)],
+    trace: &Trace,
+    n: usize,
+) -> Vec<RankPhase> {
+    let mut acc: Vec<RankPhase> = (0..n)
+        .map(|p| RankPhase {
+            rank,
+            span: bounds[p + 1].0.since(bounds[p].1),
+            io_time: SimDur::ZERO,
+            io_calls: 0,
+            bytes: 0,
+        })
+        .collect();
+    let records_sorted = trace.records.windows(2).all(|w| w[0].ts <= w[1].ts);
+    let windows_disjoint = (0..n).all(|p| bounds[p].1 <= bounds[p + 1].0);
+    if records_sorted && windows_disjoint {
+        // Single pass: each record lands in at most one phase window, and
+        // the windows advance monotonically with the records.
+        let mut p = 0usize;
+        for r in &trace.records {
+            if matches!(r.call, IoCall::MpiBarrier) {
+                continue;
+            }
+            while p < n && r.ts >= bounds[p + 1].0 {
+                p += 1;
+            }
+            if p >= n {
+                break;
+            }
+            if r.ts >= bounds[p].1 {
+                acc[p].io_time += r.dur;
+                acc[p].io_calls += 1;
+                acc[p].bytes += r.call.bytes();
+            }
+        }
+    } else {
+        for (p, a) in acc.iter_mut().enumerate() {
+            let start = bounds[p].1;
+            let end = bounds[p + 1].0;
             for r in &trace.records {
                 if matches!(r.call, IoCall::MpiBarrier) {
                     continue;
                 }
                 if r.ts >= start && r.ts < end {
-                    io_time += r.dur;
-                    io_calls += 1;
-                    bytes += r.call.bytes();
+                    a.io_time += r.dur;
+                    a.io_calls += 1;
+                    a.bytes += r.call.bytes();
                 }
             }
-            ranks.push(RankPhase {
-                rank: *rank,
-                span,
-                io_time,
-                io_calls,
-                bytes,
-            });
         }
-        out.push(Phase { index: p, ranks });
     }
-    out
+    acc
 }
 
 /// Render a per-phase bottleneck report.

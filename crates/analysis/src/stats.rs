@@ -67,6 +67,19 @@ impl TraceStats {
         Self::from_records(&t.records)
     }
 
+    /// Per-rank statistics computed on scoped threads, then folded with
+    /// [`TraceStats::merge`]. Counts and byte totals are exact; the
+    /// percentile fields inherit `merge`'s documented max-approximation,
+    /// exactly as if callers had merged per-rank stats by hand.
+    pub fn from_traces_parallel(traces: &[Trace]) -> Self {
+        let per_rank = iotrace_model::par::par_map(traces, Self::from_trace);
+        let mut total = TraceStats::default();
+        for s in &per_rank {
+            total.merge(s);
+        }
+        total
+    }
+
     /// Combine statistics from several ranks (percentiles are merged
     /// approximately by max).
     pub fn merge(&mut self, other: &TraceStats) {

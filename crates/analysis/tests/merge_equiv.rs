@@ -1,0 +1,200 @@
+//! Equivalence properties for the fast analysis pipeline: the k-way
+//! streaming merge must be bit-for-bit interchangeable with the
+//! clone+global-sort reference on *every* input shape — sorted captures,
+//! shuffled (unsorted) captures that force the fallback, partial rank
+//! sets, skew-corrected timestamps, and pathological skew fits that
+//! invert record order. Likewise, interned-path hotspot aggregation must
+//! agree exactly with the `String`-keyed variant.
+
+use iotrace_analysis::hotspots::{by_path, by_path_interned, top_by_bytes, top_by_bytes_interned};
+use iotrace_analysis::merge::{merge_by_sort, merge_corrected, merge_partial, merge_strict};
+use iotrace_analysis::skew::{ClockFit, SkewEstimate};
+use iotrace_model::event::{IoCall, Trace, TraceMeta, TraceRecord};
+use iotrace_model::intern::Interner;
+use iotrace_sim::time::{SimDur, SimTime};
+use proptest::prelude::*;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Deterministic trace set: `ranks` per-rank traces (every third rank
+/// dropped when `gaps`, modelling lost files), small timestamp steps so
+/// cross-rank ties by `(ts, rank)` — the interesting ordering case —
+/// occur constantly. `shuffle` reverses half of each trace so records
+/// are *not* time-sorted, forcing the merge onto its fallback path.
+fn build_traces(seed: u64, ranks: u32, records: usize, shuffle: bool, gaps: bool) -> Vec<Trace> {
+    const PATHS: [&str; 4] = ["/pfs/a", "/pfs/b", "/scratch/c", "/pfs/a/deep/file"];
+    let mut state = seed | 1;
+    let mut out = Vec::new();
+    for rank in 0..ranks {
+        if gaps && ranks > 1 && rank % 3 == 1 {
+            continue;
+        }
+        let mut t = Trace::new(TraceMeta::new("/app", rank, rank, "t"));
+        if xorshift(&mut state).is_multiple_of(4) {
+            t.meta.record_loss(1, 10);
+        }
+        let mut ts = xorshift(&mut state) % 50;
+        for i in 0..records {
+            // Step 0..=2 µs: zero steps create intra- and cross-rank ties.
+            ts += xorshift(&mut state) % 3;
+            let call = match xorshift(&mut state) % 5 {
+                0 => IoCall::Open {
+                    path: PATHS[(xorshift(&mut state) % 4) as usize].to_string(),
+                    flags: 0,
+                    mode: 0o600,
+                },
+                1 => IoCall::Write {
+                    fd: 3,
+                    len: xorshift(&mut state) % 4096,
+                },
+                2 => IoCall::Pread {
+                    fd: 3,
+                    offset: xorshift(&mut state) % (1 << 20),
+                    len: 128,
+                },
+                3 => IoCall::Close { fd: 3 },
+                _ => IoCall::MpiBarrier,
+            };
+            t.records.push(TraceRecord {
+                ts: SimTime::from_micros(ts),
+                dur: SimDur::from_nanos(xorshift(&mut state) % 5_000),
+                rank,
+                node: rank,
+                pid: 1,
+                uid: 0,
+                gid: 0,
+                call,
+                result: (i % 7) as i64,
+            });
+        }
+        if shuffle {
+            let half = t.records.len() / 2;
+            t.records[..half].reverse();
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// Random skew estimate; `pathological` adds a fit whose drift is strong
+/// enough to invert record order within its rank, which must knock the
+/// merge off the streaming fast path (detected by the sortedness check).
+fn build_skew(seed: u64, ranks: u32, pathological: bool) -> SkewEstimate {
+    let mut state = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+    let mut est = SkewEstimate::default();
+    for rank in 0..ranks {
+        if xorshift(&mut state).is_multiple_of(2) {
+            est.fits.insert(
+                rank,
+                ClockFit {
+                    skew_ns: (xorshift(&mut state) % 2_000) as f64 - 1_000.0,
+                    drift_ppm: (xorshift(&mut state) % 200) as f64 - 100.0,
+                    samples: 4,
+                },
+            );
+        }
+    }
+    if pathological && ranks > 0 {
+        est.fits.insert(
+            0,
+            ClockFit {
+                skew_ns: 0.0,
+                // A divisor of (1 + drift/1e6) < 0 reverses the time axis:
+                // corrected order within rank 0 inverts.
+                drift_ppm: -3_000_000.0,
+                samples: 2,
+            },
+        );
+    }
+    est
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The k-way streaming merge and the sort-based reference agree
+    /// bit-for-bit on every generated input: full and partial rank sets,
+    /// sorted and shuffled records, benign and pathological skew.
+    #[test]
+    fn kway_merge_is_bit_identical_to_sort_merge(
+        seed in 1u64..u64::MAX,
+        ranks in 1u32..10,
+        records in 0usize..90,
+        shuffle in 0u8..2,
+        gaps in 0u8..2,
+        patho in 0u8..2,
+    ) {
+        let traces = build_traces(seed, ranks, records, shuffle == 1, gaps == 1);
+        let est = build_skew(seed, ranks, patho == 1);
+        let kway = merge_corrected(&traces, &est);
+        let sorted = merge_by_sort(&traces, &est);
+        prop_assert_eq!(kway, sorted);
+    }
+
+    /// Degraded captures (missing ranks): the partial merge's timeline
+    /// equals the reference too, and strict merge stays consistent with
+    /// the corrected merge whenever it accepts the rank set.
+    #[test]
+    fn partial_and_strict_merges_match_the_reference(
+        seed in 1u64..u64::MAX,
+        ranks in 1u32..8,
+        records in 0usize..60,
+    ) {
+        let traces = build_traces(seed, ranks, records, false, true);
+        let est = build_skew(seed, ranks, false);
+        let (timeline, _cov) = merge_partial(&traces, &est);
+        prop_assert_eq!(&timeline, &merge_by_sort(&traces, &est));
+        if let Ok(strict) = merge_strict(&traces, &est) {
+            prop_assert_eq!(strict, timeline);
+        }
+    }
+
+    /// Interned-path hotspot aggregation matches the String-keyed
+    /// results exactly, including the top-N ranking with its
+    /// lexicographic tie-break.
+    #[test]
+    fn interned_hotspots_match_string_keyed(
+        seed in 1u64..u64::MAX,
+        ranks in 1u32..6,
+        records in 0usize..120,
+        n in 0usize..12,
+    ) {
+        let traces = build_traces(seed, ranks, records, false, false);
+        let est = build_skew(seed, ranks, false);
+        let timeline = merge_corrected(&traces, &est);
+
+        let plain = by_path(&timeline);
+        let mut paths = Interner::new();
+        let interned = by_path_interned(&timeline, &mut paths);
+        prop_assert_eq!(plain.len(), interned.len());
+        for (sym, stats) in &interned {
+            prop_assert_eq!(plain.get(paths.resolve(*sym)), Some(stats));
+        }
+
+        let top_plain = top_by_bytes(&plain, n);
+        let top_interned = top_by_bytes_interned(&interned, &paths, n);
+        prop_assert_eq!(top_plain.len(), top_interned.len());
+        for (p, i) in top_plain.iter().zip(&top_interned) {
+            prop_assert_eq!(&p.0, paths.resolve(i.0));
+            prop_assert_eq!(&p.1, &i.1);
+        }
+    }
+
+    /// Determinism: merging the same input twice yields identical output
+    /// (the heap tie-break is total, so no run-to-run wobble).
+    #[test]
+    fn merge_is_deterministic(
+        seed in 1u64..u64::MAX,
+        ranks in 1u32..8,
+        records in 0usize..60,
+    ) {
+        let traces = build_traces(seed, ranks, records, false, false);
+        let est = build_skew(seed, ranks, false);
+        prop_assert_eq!(merge_corrected(&traces, &est), merge_corrected(&traces, &est));
+    }
+}

@@ -1,0 +1,183 @@
+//! Criterion microbenchmarks for the fast analysis pipeline: the k-way
+//! streaming merge against its global-sort reference, interned-path
+//! hotspot aggregation against the `String`-keyed variant, parallel
+//! journal decode, and the default lint pass set. These are the same
+//! stages `iotrace bench-pipeline` times end-to-end; here each is
+//! isolated so a regression points at one primitive.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use iotrace_analysis::prelude::*;
+use iotrace_bench::quick_mode;
+use iotrace_lint::{LintConfig, LintInput, Linter};
+use iotrace_model::prelude::*;
+use iotrace_sim::prelude::*;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Per-rank traces with monotone timestamps (the streaming merge's fast
+/// path) and a small path population so interning has strings to fold.
+fn synth_traces(ranks: u32, records: usize) -> Vec<Trace> {
+    const PATHS: [&str; 6] = [
+        "/pfs/ckpt/rank.dat",
+        "/pfs/out/results.h5",
+        "/pfs/in/mesh.bin",
+        "/scratch/tmp.0",
+        "/scratch/tmp.1",
+        "/home/log.txt",
+    ];
+    (0..ranks)
+        .map(|rank| {
+            let mut state = 0x9E37_79B9 ^ (rank as u64 + 1);
+            let mut t = Trace::new(TraceMeta::new("/app", rank, rank % 8, "bench"));
+            let mut ts = 0u64;
+            for i in 0..records {
+                ts += 500 + xorshift(&mut state) % 1500;
+                let call = match i % 100 {
+                    0 => IoCall::MpiBarrier,
+                    1 => IoCall::Open {
+                        path: PATHS[(xorshift(&mut state) % 6) as usize].to_string(),
+                        flags: 0o2,
+                        mode: 0o644,
+                    },
+                    99 => IoCall::Close { fd: 4 },
+                    n if n % 3 == 0 => IoCall::Pwrite {
+                        fd: 4,
+                        offset: ((rank as u64) << 32) | ((i as u64) << 8),
+                        len: 4096,
+                    },
+                    n if n % 3 == 1 => IoCall::Pread {
+                        fd: 4,
+                        offset: ((rank as u64) << 32) | ((i as u64) << 8),
+                        len: 4096,
+                    },
+                    _ => IoCall::Lseek {
+                        fd: 4,
+                        offset: (i as i64) << 8,
+                        whence: 0,
+                    },
+                };
+                t.records.push(TraceRecord {
+                    ts: SimTime::from_nanos(ts),
+                    dur: SimDur::from_nanos(200 + xorshift(&mut state) % 800),
+                    rank,
+                    node: rank % 8,
+                    pid: 1000 + rank,
+                    uid: 0,
+                    gid: 0,
+                    call,
+                    result: 0,
+                });
+            }
+            t
+        })
+        .collect()
+}
+
+fn synth_skew(ranks: u32) -> SkewEstimate {
+    let mut est = SkewEstimate::default();
+    for rank in 1..ranks {
+        est.fits.insert(
+            rank,
+            ClockFit {
+                skew_ns: (rank % 7) as f64 * 40.0,
+                drift_ppm: 0.0,
+                samples: 8,
+            },
+        );
+    }
+    est
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let (ranks, records) = if quick_mode() {
+        (16, 1_000)
+    } else {
+        (32, 5_000)
+    };
+    let traces = synth_traces(ranks, records);
+    let est = synth_skew(ranks);
+    let total = traces.iter().map(|t| t.records.len()).sum::<usize>() as u64;
+
+    let mut g = c.benchmark_group("merge");
+    g.throughput(Throughput::Elements(total));
+    g.bench_function("kway_streaming", |b| {
+        b.iter(|| merge_corrected(black_box(&traces), black_box(&est)))
+    });
+    g.bench_function("global_sort_reference", |b| {
+        b.iter(|| merge_by_sort(black_box(&traces), black_box(&est)))
+    });
+    g.finish();
+}
+
+fn bench_hotspots(c: &mut Criterion) {
+    let (ranks, records) = if quick_mode() {
+        (8, 1_000)
+    } else {
+        (16, 5_000)
+    };
+    let traces = synth_traces(ranks, records);
+    let timeline = merge_corrected(&traces, &synth_skew(ranks));
+
+    let mut g = c.benchmark_group("hotspots");
+    g.throughput(Throughput::Elements(timeline.len() as u64));
+    g.bench_function("interned", |b| {
+        b.iter(|| {
+            let mut paths = Interner::new();
+            let stats = by_path_interned(black_box(&timeline), &mut paths);
+            top_by_bytes_interned(&stats, &paths, 10)
+        })
+    });
+    g.bench_function("string_keyed", |b| {
+        b.iter(|| {
+            let stats = by_path(black_box(&timeline));
+            top_by_bytes(&stats, 10)
+        })
+    });
+    g.finish();
+}
+
+fn bench_journal_decode(c: &mut Criterion) {
+    let records = if quick_mode() { 2_000 } else { 10_000 };
+    let trace = &synth_traces(1, records)[0];
+    let journal = encode_journal(trace, 256);
+
+    let mut g = c.benchmark_group("journal");
+    g.throughput(Throughput::Elements(records as u64));
+    g.bench_function("decode_parallel_segments", |b| {
+        b.iter(|| read_journal(black_box(&journal)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_lint(c: &mut Criterion) {
+    let (ranks, records) = if quick_mode() { (8, 500) } else { (16, 2_000) };
+    let traces = synth_traces(ranks, records);
+    let total = traces.iter().map(|t| t.records.len()).sum::<usize>() as u64;
+
+    let mut g = c.benchmark_group("lint");
+    g.throughput(Throughput::Elements(total));
+    g.bench_function("default_passes", |b| {
+        b.iter(|| {
+            Linter::new(LintConfig::default()).run(&LintInput {
+                traces: black_box(&traces),
+                deps: None,
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_merge,
+    bench_hotspots,
+    bench_journal_decode,
+    bench_lint
+);
+criterion_main!(benches);

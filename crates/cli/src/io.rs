@@ -55,11 +55,14 @@ pub fn load(path: &str, key: Option<&Key>) -> Result<Loaded, String> {
 }
 
 /// Load many files as a flat trace list (replayable docs contribute their
-/// per-rank traces).
+/// per-rank traces). Files decode concurrently — per-rank captures are
+/// independent containers — and results keep command-line order, with the
+/// first failing file reported.
 pub fn load_traces(paths: &[String], key: Option<&Key>) -> Result<Vec<Trace>, String> {
+    let loaded = iotrace_model::par::par_map(paths, |p| load(p, key));
     let mut out = Vec::new();
-    for p in paths {
-        match load(p, key)? {
+    for l in loaded {
+        match l? {
             Loaded::Traces(ts) => out.extend(ts),
             Loaded::Replayable(rt) => out.extend(rt.traces),
         }
@@ -90,6 +93,7 @@ pub fn split_args(args: &[String]) -> (Vec<String>, Vec<(String, Option<String>)
                     | "fault-plan"
                     | "checkpoint-every"
                     | "out"
+                    | "records"
             );
             if takes_value && i + 1 < args.len() {
                 flags.push((name.to_string(), Some(args[i + 1].clone())));

@@ -25,6 +25,7 @@
 
 use std::process::ExitCode;
 
+mod bench_pipeline;
 mod cmd;
 mod io;
 
@@ -48,6 +49,7 @@ fn main() -> ExitCode {
         "fsck" => cmd::fsck(rest),
         "resume" => cmd::resume(rest),
         "faults" => cmd::faults(rest),
+        "bench-pipeline" => bench_pipeline::run(rest),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             Ok(())
@@ -87,6 +89,11 @@ commands:
   resume    <checkpoint.ckpt>               verify and complete a killed run
   faults    <name|file> [--seed N] [--text] describe a fault plan (canned:
                                             clean, lossy-tracer, degraded-storage)
+  bench-pipeline [--quick] [--ranks N] [--records N] [--out <file>]
+                                            time encode/decode/merge/lint/hotspots
+                                            on a synthetic capture and write
+                                            BENCH_pipeline.json (exits 1 if a
+                                            determinism check fails)
 
 stats/hotspots/phases/replay lint their input first and stop on
 error-severity findings; --no-lint skips that gate.

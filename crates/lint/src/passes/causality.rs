@@ -23,6 +23,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use iotrace_model::event::{IoCall, Trace};
+use iotrace_model::intern::{Interner, Sym};
 
 use crate::config::LintConfig;
 use crate::diag::{Diagnostic, Severity};
@@ -31,12 +32,13 @@ use crate::passes::{LintInput, LintPass};
 pub struct Causality;
 
 /// One explicit-offset access, located by (rank, record) and aligned to
-/// its barrier epoch.
+/// its barrier epoch. The path is interned: the overlap scan compares
+/// and groups millions of accesses, so it hashes `u32`s, not strings.
 struct Access {
     rank: u32,
     record: usize,
     epoch: usize,
-    path: String,
+    path: Sym,
     start: u64,
     end: u64,
     write: bool,
@@ -44,8 +46,8 @@ struct Access {
 
 /// Collect explicit-offset accesses from one rank, resolving fds through
 /// the opens seen so far.
-fn collect_accesses(trace: &Trace, out: &mut Vec<Access>) {
-    let mut fd_path: BTreeMap<i64, String> = BTreeMap::new();
+fn collect_accesses(trace: &Trace, paths: &mut Interner, out: &mut Vec<Access>) {
+    let mut fd_path: BTreeMap<i64, Sym> = BTreeMap::new();
     let mut epoch = 0usize;
     for (i, r) in trace.records.iter().enumerate() {
         if r.is_error() {
@@ -57,23 +59,23 @@ fn collect_accesses(trace: &Trace, out: &mut Vec<Access>) {
                 continue;
             }
             IoCall::Open { path, .. } | IoCall::MpiFileOpen { path, .. } => {
-                fd_path.insert(r.result, path.clone());
+                fd_path.insert(r.result, paths.intern(path));
                 continue;
             }
             IoCall::Pwrite { fd, offset, len } | IoCall::MpiFileWriteAt { fd, offset, len } => {
                 match fd_path.get(fd) {
-                    Some(p) => (p.clone(), *offset, *len, true),
+                    Some(&p) => (p, *offset, *len, true),
                     None => continue,
                 }
             }
             IoCall::Pread { fd, offset, len } | IoCall::MpiFileReadAt { fd, offset, len } => {
                 match fd_path.get(fd) {
-                    Some(p) => (p.clone(), *offset, *len, false),
+                    Some(&p) => (p, *offset, *len, false),
                     None => continue,
                 }
             }
-            IoCall::VfsWritePage { path, offset, len } => (path.clone(), *offset, *len, true),
-            IoCall::VfsReadPage { path, offset, len } => (path.clone(), *offset, *len, false),
+            IoCall::VfsWritePage { path, offset, len } => (paths.intern(path), *offset, *len, true),
+            IoCall::VfsReadPage { path, offset, len } => (paths.intern(path), *offset, *len, false),
             _ => continue,
         };
         if len == 0 {
@@ -141,21 +143,24 @@ impl LintPass for Causality {
         }
 
         // Overlap scan: group accesses by (epoch, path), sweep by start
-        // offset, compare only across ranks.
+        // offset, compare only across ranks. Groups are keyed by the
+        // *resolved* path so report order stays lexicographic (symbol
+        // ids follow first-intern order, not path order).
+        let mut paths = Interner::new();
         let mut accesses = Vec::new();
         for t in input.traces {
-            collect_accesses(t, &mut accesses);
+            collect_accesses(t, &mut paths, &mut accesses);
         }
         let mut groups: BTreeMap<(usize, &str), Vec<&Access>> = BTreeMap::new();
         for a in &accesses {
             groups
-                .entry((a.epoch, a.path.as_str()))
+                .entry((a.epoch, paths.resolve(a.path)))
                 .or_default()
                 .push(a);
         }
         // One diagnostic per (epoch, path, rank pair, kind) so a torn
         // stripe pattern doesn't flood the report.
-        let mut seen: BTreeSet<(usize, String, u32, u32, bool)> = BTreeSet::new();
+        let mut seen: BTreeSet<(usize, Sym, u32, u32, bool)> = BTreeSet::new();
         for ((epoch, path), mut group) in groups {
             group.sort_by_key(|a| (a.start, a.rank, a.record));
             for (i, a) in group.iter().enumerate() {
@@ -168,7 +173,7 @@ impl LintPass for Causality {
                     }
                     let (lo, hi) = if a.rank < b.rank { (a, b) } else { (b, a) };
                     let both_write = a.write && b.write;
-                    if !seen.insert((epoch, path.to_string(), lo.rank, hi.rank, both_write)) {
+                    if !seen.insert((epoch, a.path, lo.rank, hi.rank, both_write)) {
                         continue;
                     }
                     let overlap_start = a.start.max(b.start);

@@ -15,6 +15,7 @@
 use std::collections::BTreeMap;
 
 use iotrace_model::event::{CallLayer, IoCall, Trace};
+use iotrace_model::intern::{Interner, Sym};
 
 use crate::config::LintConfig;
 use crate::diag::{Diagnostic, Severity};
@@ -41,8 +42,12 @@ fn used_fd(call: &IoCall) -> Option<i64> {
 
 fn lint_trace(trace: &Trace, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
     let rank = trace.meta.rank;
-    // (layer, fd) → record index of the witnessing open / close.
-    let mut open: BTreeMap<(CallLayer, i64), usize> = BTreeMap::new();
+    // Paths are interned once per distinct string; the open table then
+    // carries a `u32` symbol per descriptor instead of a cloned String.
+    let mut paths = Interner::new();
+    // (layer, fd) → record index of the witnessing open (plus the opened
+    // path, for the leak report) / close.
+    let mut open: BTreeMap<(CallLayer, i64), (usize, Sym)> = BTreeMap::new();
     let mut closed: BTreeMap<(CallLayer, i64), usize> = BTreeMap::new();
     let mut suppressed_unknown = 0usize;
     let mut reported_unknown = 0usize;
@@ -53,9 +58,10 @@ fn lint_trace(trace: &Trace, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
         }
         let layer = r.call.layer();
         match &r.call {
-            IoCall::Open { .. } | IoCall::MpiFileOpen { .. } => {
+            IoCall::Open { path, .. } | IoCall::MpiFileOpen { path, .. } => {
                 let fd = (layer, r.result);
-                if let Some(prev) = open.insert(fd, i) {
+                let sym = paths.intern(path);
+                if let Some((prev, _)) = open.insert(fd, (i, sym)) {
                     out.push(
                         Diagnostic::new(
                             "fd-reopen",
@@ -151,14 +157,18 @@ fn lint_trace(trace: &Trace, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
         }
     }
 
-    for ((_, fd), opened_at) in &open {
+    for ((_, fd), (opened_at, path)) in &open {
         out.push(
             Diagnostic::new(
                 "fd-leak",
                 Severity::Warning,
                 format!("fd {fd} opened at record #{opened_at} is never closed"),
             )
-            .at_record(rank, *opened_at),
+            .at_record(rank, *opened_at)
+            .with_hint(format!(
+                "the leaked descriptor maps to \"{}\"",
+                paths.resolve(*path)
+            )),
         );
     }
     if suppressed_unknown > 0 {

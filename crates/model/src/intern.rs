@@ -1,0 +1,134 @@
+//! Path/string interning for the analysis pipeline.
+//!
+//! HPC traces repeat a handful of paths millions of times (one shared
+//! checkpoint file, a few metadata targets), so analysis passes that key
+//! maps by `String` spend most of their time hashing and cloning the
+//! same bytes. An [`Interner`] maps each distinct string to a dense
+//! [`Sym`] exactly once; afterwards every lookup, clone and comparison
+//! is a `u32` copy.
+//!
+//! Symbols are deterministic: ids are assigned in first-intern order, so
+//! two runs that intern the same strings in the same order agree on
+//! every `Sym` — which keeps interned analysis results reproducible and
+//! lets tests compare them against their `String`-keyed equivalents.
+
+use std::collections::HashMap;
+
+/// A interned string: a dense id into one [`Interner`]. Meaningless
+/// without the interner that issued it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The raw dense id (stable within one interner, first-intern order).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+/// String → [`Sym`] table. Double-stores each distinct string (map key +
+/// resolve table): two small allocations per *unique* path instead of
+/// one clone per *record*.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<String, Sym>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its symbol (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Sym(u32::try_from(self.strings.len()).expect("more than u32::MAX symbols"));
+        self.map.insert(s.to_string(), sym);
+        self.strings.push(s.to_string());
+        sym
+    }
+
+    /// The string behind a symbol.
+    ///
+    /// # Panics
+    /// On a symbol from a different interner (id out of range).
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Symbol for `s` if it was interned, without inserting.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.map.get(s).copied()
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// All interned strings with their symbols, in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("/pfs/out");
+        let b = i.intern("/pfs/in");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("/pfs/out"), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(a.id(), 0);
+        assert_eq!(b.id(), 1);
+    }
+
+    #[test]
+    fn resolve_inverts_intern() {
+        let mut i = Interner::new();
+        let s = i.intern("/scratch/ckpt.0001");
+        assert_eq!(i.resolve(s), "/scratch/ckpt.0001");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("/x"), None);
+        let s = i.intern("/x");
+        assert_eq!(i.get("/x"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn ids_follow_first_intern_order() {
+        let mut a = Interner::new();
+        let mut b = Interner::new();
+        for p in ["/c", "/a", "/b", "/a", "/c"] {
+            assert_eq!(a.intern(p).id(), b.intern(p).id(), "determinism");
+        }
+        let order: Vec<&str> = a.iter().map(|(_, s)| s).collect();
+        assert_eq!(order, vec!["/c", "/a", "/b"]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

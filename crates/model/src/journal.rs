@@ -265,64 +265,134 @@ fn read_header(bytes: &[u8]) -> Result<(TraceMeta, usize), JournalError> {
     Ok((meta, 5 + c.position()))
 }
 
-/// Walk segments from `offset`, appending decoded records. Returns the
-/// sealed-segment count and the byte offset just past the last sealed
-/// segment, plus what (if anything) stopped the scan.
-fn walk_segments(
-    bytes: &[u8],
-    offset: usize,
-    meta: &TraceMeta,
-    records: &mut Vec<TraceRecord>,
-) -> (usize, usize, Option<String>) {
-    let mut segments = 0usize;
-    let mut consumed = offset;
+/// One fully framed segment found by the scan pass: where its payload
+/// sits, the CRC its footer stores, the record count it promises, and
+/// the container offset just past its footer.
+struct SegFrame<'a> {
+    payload: &'a [u8],
+    stored_crc: u32,
+    promised: usize,
+    end: usize,
+}
+
+/// Scan segment *framing* from `offset` without touching payloads:
+/// lengths, seal magic, footers. Returns the complete frames plus the
+/// damage message (if anything stopped the scan). CRC verification and
+/// record decode are deferred so they can run in parallel — except for
+/// a frame whose footer is cut off mid-way, whose CRC is checked here
+/// so the damage message matches what a serial walk would report
+/// (checksum failures outrank a missing record count).
+fn scan_frames(bytes: &[u8], offset: usize) -> (Vec<SegFrame<'_>>, Option<String>) {
+    let mut frames = Vec::new();
     let mut c = Cursor::new(&bytes[offset..]);
     loop {
         if c.is_empty() {
-            return (segments, consumed, None);
+            return (frames, None);
         }
-        let damage = (|| -> Result<Vec<TraceRecord>, String> {
+        let damage = (|| -> Result<SegFrame<'_>, String> {
             let plen = c.get_u64().map_err(|_| "truncated segment frame")? as usize;
             let payload = c.take(plen).map_err(|_| "segment payload cut short")?;
             let seal = c.take(4).map_err(|_| "segment footer missing")?;
             if seal != SEAL {
                 return Err("segment seal magic missing".into());
             }
-            let stored = c.take(4).map_err(|_| "segment footer missing")?;
-            let stored = u32::from_le_bytes([stored[0], stored[1], stored[2], stored[3]]);
-            if crc32(payload) != stored {
-                return Err("segment payload fails its checksum".into());
-            }
-            let n = c.get_u64().map_err(|_| "segment footer missing")? as usize;
-            let mut pc = Cursor::new(payload);
-            let mut recs = Vec::with_capacity(n.min(1 << 16));
-            let mut prev_ts = 0u64;
-            while !pc.is_empty() {
-                match decode_record_plain(&mut pc, &mut prev_ts, meta) {
-                    Ok(r) => recs.push(r),
-                    Err(BinError::UnknownTag(t)) => {
-                        return Err(format!("unknown call tag {t} inside sealed segment"))
-                    }
-                    Err(_) => return Err("undecodable record inside sealed segment".into()),
+            let footer_missing = |payload: &[u8], stored: Option<u32>| -> String {
+                // A serial walk checks the CRC before reading the record
+                // count, so a torn footer on a corrupt payload reports
+                // the corruption, not the tear.
+                match stored {
+                    Some(crc) if crc32(payload) != crc => "segment payload fails its checksum",
+                    _ => "segment footer missing",
                 }
-            }
-            if recs.len() != n {
-                return Err(format!(
-                    "segment footer promises {n} records, payload holds {}",
-                    recs.len()
-                ));
-            }
-            Ok(recs)
+                .to_string()
+            };
+            let stored = c.take(4).map_err(|_| footer_missing(payload, None))?;
+            let stored = u32::from_le_bytes([stored[0], stored[1], stored[2], stored[3]]);
+            let promised =
+                c.get_u64()
+                    .map_err(|_| footer_missing(payload, Some(stored)))? as usize;
+            Ok(SegFrame {
+                payload,
+                stored_crc: stored,
+                promised,
+                end: offset + c.position(),
+            })
         })();
         match damage {
+            Ok(f) => frames.push(f),
+            Err(d) => return (frames, Some(d)),
+        }
+    }
+}
+
+/// Verify and decode one sealed segment. Timestamp deltas reset at every
+/// segment boundary, which is exactly what makes this independently
+/// callable per segment (and therefore parallelizable).
+fn decode_frame(f: &SegFrame<'_>, meta: &TraceMeta) -> Result<Vec<TraceRecord>, String> {
+    if crc32(f.payload) != f.stored_crc {
+        return Err("segment payload fails its checksum".into());
+    }
+    let mut pc = Cursor::new(f.payload);
+    let mut recs = Vec::with_capacity(f.promised.min(1 << 16));
+    let mut prev_ts = 0u64;
+    while !pc.is_empty() {
+        match decode_record_plain(&mut pc, &mut prev_ts, meta) {
+            Ok(r) => recs.push(r),
+            Err(BinError::UnknownTag(t)) => {
+                return Err(format!("unknown call tag {t} inside sealed segment"))
+            }
+            Err(_) => return Err("undecodable record inside sealed segment".into()),
+        }
+    }
+    if recs.len() != f.promised {
+        return Err(format!(
+            "segment footer promises {} records, payload holds {}",
+            f.promised,
+            recs.len()
+        ));
+    }
+    Ok(recs)
+}
+
+/// Fewer sealed segments than this decode serially: below it, thread
+/// spawn overhead outweighs the per-segment CRC + decode work.
+const PARALLEL_SEGMENT_THRESHOLD: usize = 8;
+
+/// Walk segments from `offset`, appending decoded records. Returns the
+/// sealed-segment count and the byte offset just past the last sealed
+/// segment, plus what (if anything) stopped the scan.
+///
+/// Framing is scanned serially (it is a pointer walk over lengths), then
+/// CRC verification and record decode fan out across segments. Damage
+/// semantics match a serial walk exactly: segments are accepted in order
+/// up to the first bad one, and nothing after it counts — the parallel
+/// pass merely wastes a little work on segments past the damage.
+fn walk_segments(
+    bytes: &[u8],
+    offset: usize,
+    meta: &TraceMeta,
+    records: &mut Vec<TraceRecord>,
+) -> (usize, usize, Option<String>) {
+    let (frames, scan_damage) = scan_frames(bytes, offset);
+    let decoded: Vec<Result<Vec<TraceRecord>, String>> =
+        if frames.len() >= PARALLEL_SEGMENT_THRESHOLD {
+            crate::par::par_map(&frames, |f| decode_frame(f, meta))
+        } else {
+            frames.iter().map(|f| decode_frame(f, meta)).collect()
+        };
+    let mut segments = 0usize;
+    let mut consumed = offset;
+    for (f, d) in frames.iter().zip(decoded) {
+        match d {
             Ok(mut recs) => {
                 records.append(&mut recs);
                 segments += 1;
-                consumed = offset + c.position();
+                consumed = f.end;
             }
             Err(d) => return (segments, consumed, Some(d)),
         }
     }
+    (segments, consumed, scan_damage)
 }
 
 /// Strict decode: every segment must be sealed and consistent.

@@ -13,14 +13,18 @@
 //! * [`anonymize`] — true randomization vs reversible encryption, with
 //!   field selection (the paper's anonymization axis);
 //! * [`summary`] / [`timing`] — LANL-Trace's call-summary and
-//!   aggregate-timing output types.
+//!   aggregate-timing output types;
+//! * [`intern`] / [`par`] — the analysis pipeline's shared
+//!   infrastructure: path interning and scoped-thread fan-out.
 
 pub mod anonymize;
 pub mod binary;
 pub mod crc;
 pub mod event;
+pub mod intern;
 pub mod journal;
 pub mod lzss;
+pub mod par;
 pub mod salvage;
 pub mod summary;
 pub mod text;
@@ -35,10 +39,12 @@ pub mod prelude {
         SalvagedBinary,
     };
     pub use crate::event::{CallLayer, IoCall, Trace, TraceMeta, TraceRecord};
+    pub use crate::intern::{Interner, Sym};
     pub use crate::journal::{
         encode_journal, encoded_size, fsck_journal, read_journal, records_digest, FsckReport,
         JournalError, JournalWriter, TracerSnapshot,
     };
+    pub use crate::par::par_map;
     pub use crate::salvage::{SalvageReport, TraceError};
     pub use crate::summary::CallSummary;
     pub use crate::text::{format_text, parse_text, parse_text_salvage, ParseError, SalvagedText};

@@ -77,18 +77,20 @@ impl CallSummary {
 
     /// Render in the Figure 1 layout.
     pub fn render(&self) -> String {
-        let mut out = String::new();
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(220 + self.entries.len() * 70);
         out.push_str("#                     SUMMARY COUNT OF TRACED CALL(S)\n");
         out.push_str("#  Function Name            Number of Calls            Total time (s)\n");
         out.push_str(&"=".repeat(77));
         out.push('\n');
         for (name, (count, time)) in &self.entries {
-            out.push_str(&format!(
-                "   {:<24} {:>15} {:>25.6}\n",
+            let _ = writeln!(
+                out,
+                "   {:<24} {:>15} {:>25.6}",
                 name,
                 count,
                 time.as_secs_f64()
-            ));
+            );
         }
         out
     }

@@ -87,35 +87,43 @@ pub fn format_call(call: &IoCall) -> String {
 }
 
 /// Serialize a whole trace to the human-readable format.
+///
+/// Builds one pre-sized buffer and formats into it directly (no per-line
+/// intermediate `String`s), so writing a trace is a single allocation in
+/// the common case.
 pub fn format_text(trace: &Trace) -> String {
+    use std::fmt::Write as _;
     let m = &trace.meta;
-    let mut out = String::new();
-    out.push_str(&format!("# tracer: {}\n", m.tracer));
-    out.push_str(&format!("# app: {}\n", m.app));
-    out.push_str(&format!("# rank: {}\n", m.rank));
-    out.push_str(&format!("# node: {}\n", m.node));
-    out.push_str(&format!("# host: {}\n", m.host));
-    out.push_str(&format!("# epoch: {}\n", m.base_epoch));
+    // ~64 bytes covers a typical formatted line; growth is amortized for
+    // the path-heavy outliers.
+    let mut out = String::with_capacity(128 + trace.records.len() * 64);
+    let _ = write!(
+        out,
+        "# tracer: {}\n# app: {}\n# rank: {}\n# node: {}\n# host: {}\n# epoch: {}\n",
+        m.tracer, m.app, m.rank, m.node, m.host, m.base_epoch
+    );
     if m.anonymized {
         out.push_str("# anonymized: true\n");
     }
     if m.completeness < 1.0 {
-        out.push_str(&format!("# completeness: {}\n", m.completeness));
+        let _ = writeln!(out, "# completeness: {}", m.completeness);
     }
     if let Some(first) = trace.records.first() {
-        out.push_str(&format!(
-            "# pid: {} uid: {} gid: {}\n",
+        let _ = writeln!(
+            out,
+            "# pid: {} uid: {} gid: {}",
             first.pid, first.uid, first.gid
-        ));
+        );
     }
     for r in &trace.records {
-        out.push_str(&format!(
-            "{} {} = {} <{:.6}>\n",
+        let _ = writeln!(
+            out,
+            "{} {} = {} <{:.6}>",
             fmt_epoch(m, r.ts),
             format_call(&r.call),
             r.result,
             r.dur.as_secs_f64(),
-        ));
+        );
     }
     out
 }

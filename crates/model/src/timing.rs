@@ -60,25 +60,29 @@ impl AggregateTiming {
 
     /// Render in the Figure 1 layout.
     pub fn render(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!("# epoch: {}\n", self.base_epoch));
+        use std::fmt::Write as _;
+        let per_barrier: usize = self.barriers.iter().map(|b| b.observations.len()).sum();
+        let mut out = String::with_capacity(32 + per_barrier * 120);
+        let _ = writeln!(out, "# epoch: {}", self.base_epoch);
         for b in &self.barriers {
-            out.push_str(&format!("# {}\n", b.label));
+            let _ = writeln!(out, "# {}", b.label);
             for o in &b.observations {
-                out.push_str(&format!(
-                    "{}: {} ({}) Entered barrier at {}\n",
+                let _ = writeln!(
+                    out,
+                    "{}: {} ({}) Entered barrier at {}",
                     o.rank,
                     o.host,
                     o.pid,
                     self.fmt_ts(o.entered)
-                ));
-                out.push_str(&format!(
-                    "{}: {} ({}) Exited barrier at {}\n",
+                );
+                let _ = writeln!(
+                    out,
+                    "{}: {} ({}) Exited barrier at {}",
                     o.rank,
                     o.host,
                     o.pid,
                     self.fmt_ts(o.exited)
-                ));
+                );
             }
         }
         out

@@ -185,6 +185,75 @@ fn tracefs_binary_artifact_round_trips_with_key() {
     assert_eq!(decoded.trace.records.len(), tfs.capture().records.len());
 }
 
+/// The streaming k-way merge must be bit-for-bit identical to the
+/// sort-based reference on every capture the pipeline can produce:
+/// clean runs, fault-degraded runs (missing/truncated rank files), and
+/// traces recovered by `fsck` from torn journals.
+#[test]
+fn kway_merge_matches_reference_on_clean_faulted_and_recovered_captures() {
+    let ranks = 4u32;
+    let workload = || {
+        let w = MpiIoTest::new(AccessPattern::NTo1Strided, ranks, 64 * 1024, 3);
+        let mut vfs = standard_vfs(ranks as usize);
+        vfs.setup_dir(&w.dir).unwrap();
+        (w, vfs)
+    };
+
+    // Clean capture.
+    let (w, vfs) = workload();
+    let clean = LanlTrace::ltrace().run(
+        standard_cluster(ranks as usize, 13),
+        vfs,
+        w.programs(),
+        &w.cmdline(),
+    );
+    let est = estimate(&clean.timing);
+    assert_eq!(
+        merge_corrected(&clean.traces, &est),
+        merge_by_sort(&clean.traces, &est),
+        "clean capture: streaming merge diverged from reference"
+    );
+
+    // Faulted capture: lossy tracer drops and truncates rank files, so
+    // the merge sees a degraded, partial rank set.
+    let (w, vfs) = workload();
+    let faulted = LanlTrace::ltrace().run_with_faults(
+        standard_cluster(ranks as usize, 13),
+        vfs,
+        w.programs(),
+        &w.cmdline(),
+        &FaultPlan::lossy_tracer(29, ranks),
+    );
+    let est = estimate(&faulted.timing);
+    let (timeline, coverage) = merge_partial(&faulted.traces, &est);
+    assert!(!coverage.present.is_empty());
+    assert_eq!(
+        timeline,
+        merge_by_sort(&faulted.traces, &est),
+        "faulted capture: streaming merge diverged from reference"
+    );
+
+    // Fsck-recovered capture: journal every clean trace, tear off the
+    // tail mid-segment, recover the sealed prefix, then merge.
+    let est = estimate(&clean.timing);
+    let recovered: Vec<Trace> = clean
+        .traces
+        .iter()
+        .map(|t| {
+            let bytes = encode_journal(t, 16);
+            let torn = &bytes[..bytes.len() - 7];
+            let (trace, report) = fsck_journal(torn).unwrap();
+            assert!(report.is_damaged());
+            trace
+        })
+        .collect();
+    assert_eq!(
+        merge_corrected(&recovered, &est),
+        merge_by_sort(&recovered, &est),
+        "fsck-recovered capture: streaming merge diverged from reference"
+    );
+}
+
 #[test]
 fn deterministic_end_to_end() {
     let go = || {
