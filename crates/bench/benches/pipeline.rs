@@ -167,6 +167,7 @@ fn bench_lint(c: &mut Criterion) {
             Linter::new(LintConfig::default()).run(&LintInput {
                 traces: black_box(&traces),
                 deps: None,
+                policy: None,
             })
         })
     });

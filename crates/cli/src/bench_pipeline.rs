@@ -2,17 +2,20 @@
 //!
 //! Times the offline analysis pipeline end to end on a deterministic
 //! synthetic multi-rank capture — encode, decode, journal decode, merge
-//! (k-way vs. the global-sort fallback), lint, hotspots — and writes the
-//! results as machine-readable JSON (`BENCH_pipeline.json`, schema
+//! (k-way vs. the global-sort fallback), lint, hotspots, provenance
+//! (lineage-graph build plus an upstream query) — and writes the results
+//! as machine-readable JSON (`BENCH_pipeline.json`, schema
 //! `iotrace-bench-pipeline/v1`) so every future PR is measured against
 //! the same yardstick.
 //!
-//! Two properties are *checked*, not just reported, and fail the command
-//! (exit 1) when violated:
+//! Three properties are *checked*, not just reported, and fail the
+//! command (exit 1) when violated:
 //!
 //! * determinism — repeated merges produce identical record digests;
 //! * merge equivalence — the k-way merge and the sort fallback produce
-//!   bit-identical timelines.
+//!   bit-identical timelines;
+//! * provenance determinism — the lineage graph digests identically when
+//!   rebuilt with a single extraction worker.
 //!
 //! Wall-clock numbers are reported but never gated on: CI runners are
 //! too noisy for that (the `perf-smoke` job only fails on panics or a
@@ -29,6 +32,7 @@ use iotrace_model::binary::{decode_binary, encode_binary, BinaryOptions};
 use iotrace_model::event::{IoCall, Trace, TraceMeta, TraceRecord};
 use iotrace_model::intern::Interner;
 use iotrace_model::journal::{encode_journal, read_journal, records_digest};
+use iotrace_provenance::{upstream, EdgeKind, LineageGraph};
 use iotrace_sim::time::{SimDur, SimTime};
 
 use crate::io::{flag, split_args};
@@ -118,6 +122,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         Linter::new(LintConfig::default()).run(&LintInput {
             traces: &traces,
             deps: None,
+            policy: None,
         })
     });
     stages.push(Stage::new("lint", total, lint_s));
@@ -133,7 +138,20 @@ pub fn run(args: &[String]) -> Result<(), String> {
     });
     stages.push(Stage::new("hotspots", total, hot_s));
 
-    let determinism_ok = decode_ok && journal_ok && merge_equivalent && merge_deterministic;
+    // provenance (lineage graph build + one upstream query)
+    let (graph, prov_s) = timed(|| LineageGraph::build(&traces, None));
+    stages.push(Stage::new("provenance", total, prov_s));
+    let lineage = upstream(&graph, "/pfs/out/result.dat");
+    // The graph must be byte-identical regardless of how many extraction
+    // workers built it.
+    let serial = LineageGraph::build_with_workers(&traces, None, 1);
+    let provenance_deterministic = graph_digest(&graph) == graph_digest(&serial);
+
+    let determinism_ok = decode_ok
+        && journal_ok
+        && merge_equivalent
+        && merge_deterministic
+        && provenance_deterministic;
     let json = render_json(&Report {
         quick,
         ranks,
@@ -146,6 +164,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
         merge_deterministic,
         lint_findings: report.diagnostics.len(),
         top_path: top.first().map(|(p, _)| p.clone()),
+        graph_nodes: graph.nodes.len(),
+        graph_edges: graph.edges.len(),
+        graph_orphans: graph.orphans.len(),
+        upstream_nodes: lineage.nodes.len(),
+        provenance_deterministic,
         determinism_ok,
     });
     std::fs::write(&out_path, json).map_err(|e| format!("{out_path}: {e}"))?;
@@ -159,10 +182,38 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return Err(format!(
             "bench-pipeline determinism check failed \
              (decode_ok={decode_ok} journal_ok={journal_ok} \
-             merge_equivalent={merge_equivalent} merge_deterministic={merge_deterministic})"
+             merge_equivalent={merge_equivalent} merge_deterministic={merge_deterministic} \
+             provenance_deterministic={provenance_deterministic})"
         ));
     }
     Ok(())
+}
+
+/// FNV-1a fold over every node and edge of a lineage graph: two graphs
+/// digest equal iff their node/edge sequences are identical.
+fn graph_digest(g: &LineageGraph) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(PRIME);
+    };
+    for n in &g.nodes {
+        mix(u64::from(n.rank));
+        mix(n.record as u64);
+        mix(n.ts_ns);
+        mix(n.start);
+        mix(n.end ^ u64::from(n.path.map(|p| p.id()).unwrap_or(u32::MAX)));
+    }
+    for e in &g.edges {
+        mix(u64::from(e.from));
+        mix(u64::from(e.to));
+        match e.kind {
+            EdgeKind::Flow { start, end } => mix(start ^ end.rotate_left(32)),
+            EdgeKind::Dep { shift_ns } => mix(shift_ns ^ 1),
+        }
+    }
+    h
 }
 
 struct Stage {
@@ -196,6 +247,11 @@ struct Report<'a> {
     merge_deterministic: bool,
     lint_findings: usize,
     top_path: Option<String>,
+    graph_nodes: usize,
+    graph_edges: usize,
+    graph_orphans: usize,
+    upstream_nodes: usize,
+    provenance_deterministic: bool,
     determinism_ok: bool,
 }
 
@@ -356,6 +412,13 @@ fn render_json(r: &Report<'_>) -> String {
     let _ = writeln!(out, "    \"deterministic\": {}", r.merge_deterministic);
     out.push_str("  },\n");
     let _ = writeln!(out, "  \"lint_findings\": {},", r.lint_findings);
+    let _ = writeln!(out, "  \"provenance\": {{");
+    let _ = writeln!(out, "    \"nodes\": {},", r.graph_nodes);
+    let _ = writeln!(out, "    \"edges\": {},", r.graph_edges);
+    let _ = writeln!(out, "    \"orphan_spans\": {},", r.graph_orphans);
+    let _ = writeln!(out, "    \"upstream_nodes\": {},", r.upstream_nodes);
+    let _ = writeln!(out, "    \"deterministic\": {}", r.provenance_deterministic);
+    out.push_str("  },\n");
     match &r.top_path {
         Some(p) => {
             let _ = writeln!(out, "  \"top_path\": \"{p}\",");

@@ -68,7 +68,11 @@ fn lint_gate(
     if flag(flags, "no-lint").is_some() {
         return Ok(());
     }
-    let report = Linter::new(LintConfig::default()).run(&LintInput { traces, deps });
+    let report = Linter::new(LintConfig::default()).run(&LintInput {
+        traces,
+        deps,
+        policy: None,
+    });
     if report.has_errors() {
         eprint!("{}", report.render_human());
         return Err(format!(
@@ -111,19 +115,29 @@ pub fn lint(args: &[String]) -> Result<(), String> {
     }
 
     let mut linter = Linter::new(LintConfig::default());
+    // --pass <name> (repeatable) and --only <name>[,<name>...] both
+    // restrict the pass set; an unknown name errors with the known list.
     let selected: Vec<String> = flags
         .iter()
-        .filter(|(n, _)| n == "pass")
+        .filter(|(n, _)| n == "pass" || n == "only")
         .filter_map(|(_, v)| v.clone())
+        .flat_map(|v| {
+            v.split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect::<Vec<_>>()
+        })
         .collect();
     if !selected.is_empty() {
         let names: Vec<&str> = selected.iter().map(String::as_str).collect();
         linter = linter.keep_passes(&names)?;
     }
 
+    let policy = crate::provenance::load_policy(&flags)?;
     let report = linter.run(&LintInput {
         traces: &traces,
         deps: deps.as_ref(),
+        policy: policy.as_ref(),
     });
     if flag(&flags, "json").is_some() {
         print!("{}", report.to_json());

@@ -90,6 +90,10 @@ pub fn split_args(args: &[String]) -> (Vec<String>, Vec<(String, Option<String>)
                     | "top"
                     | "ranks"
                     | "pass"
+                    | "only"
+                    | "policy"
+                    | "query"
+                    | "taint"
                     | "fault-plan"
                     | "checkpoint-every"
                     | "out"

@@ -12,6 +12,8 @@
 //!                   [--encrypt <pass>] [--key <pass>]
 //! iotrace anonymize <in> <out> [--seed N | --encrypt <pass>] [--key <pass>]
 //! iotrace replay    <replayable.txt>         simulate the pseudo-application
+//! iotrace provenance <trace>... [--query <path> | --taint <rank:N|path>]
+//!                                            byte-range lineage queries
 //! iotrace taxonomy                           print Tables 1 and 2 (quick probes)
 //! iotrace demo      <dir>                    generate sample trace files to play with
 //! iotrace fsck      <journal.iotj>           recover sealed segments from a torn journal
@@ -28,6 +30,7 @@ use std::process::ExitCode;
 mod bench_pipeline;
 mod cmd;
 mod io;
+mod provenance;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +47,7 @@ fn main() -> ExitCode {
         "convert" => cmd::convert(rest),
         "anonymize" => cmd::anonymize(rest),
         "replay" => cmd::replay(rest),
+        "provenance" => provenance::run(rest),
         "taxonomy" => cmd::taxonomy(rest),
         "demo" => cmd::demo(rest),
         "fsck" => cmd::fsck(rest),
@@ -69,9 +73,11 @@ const USAGE: &str = "\
 iotrace — I/O trace tools (see `iotrace help`)
 
 commands:
-  lint      <trace>... [--json] [--pass <name>]... [--deny-warnings]
+  lint      <trace>... [--json] [--pass <name>]... [--only <p>[,<p>...]]
+            [--policy <file>] [--deny-warnings]
                                             static analysis: fd lifecycle, causality,
-                                            clocks, dependency graph, anonymization
+                                            clocks, dependency graph, anonymization,
+                                            conflicts, policy flows, lineage
   summary   <trace>...                      call counts and total times
   stats     <trace>...                      bytes, layers, duration percentiles
   hotspots  <trace>... [--top N]            top files by bytes moved
@@ -81,6 +87,9 @@ commands:
   anonymize <in> <out> [--seed N | --encrypt <pass>] [--key <pass>]
   replay    <replayable.txt> [--ranks N] [--fault-plan <name|file>]
                                             simulate the pseudo-application
+  provenance <trace>... [--query <path> | --taint <rank:N|path>] [--json]
+                                            byte-range lineage: who produced a
+                                            file's bytes, what a rank influenced
   taxonomy                                  print Tables 1 and 2 (quick probes)
   demo      <dir> [--fault-plan <name|file>] [--seed N] [--checkpoint-every N]
                                             write sample trace files
@@ -97,6 +106,11 @@ commands:
 
 stats/hotspots/phases/replay lint their input first and stop on
 error-severity findings; --no-lint skips that gate.
+
+policy lint: --policy labels path globs with confidentiality/integrity
+levels (`conf /pfs/secret/** 3`, `integ /pfs/in/** 2`, one rule per
+line); the policy-flow pass errors when lineage shows labeled data
+flowing to a lower-labeled sink.
 
 fault injection: --fault-plan takes a canned plan name or a plan file
 (emit one with `iotrace faults lossy-tracer --text`). Faulted runs are

@@ -91,6 +91,104 @@ fn analysis_pipeline_is_gated_too() {
 }
 
 #[test]
+fn conflict_fixture_trips_the_conflict_pass() {
+    // Two ranks write overlapping byte ranges of the same file through
+    // cursor-relative `write` (invisible to the causality pass), and the
+    // dependency map carries no ordering edge between the writes.
+    let out = iotrace(&["lint", "--json", &fixture("conflict_replayable.txt")]);
+    assert_eq!(out.status.code(), Some(1), "unordered writes must exit 1");
+    let got = String::from_utf8(out.stdout).unwrap();
+    assert!(got.contains("\"rule\": \"conflict-write-write\""), "{got}");
+    assert!(!got.contains("\"rule\": \"hb-write-race\""), "{got}");
+    assert!(
+        got.contains("[2048, 4096)"),
+        "overlap range reported: {got}"
+    );
+}
+
+#[test]
+fn conflict_fixture_is_deterministic() {
+    let a = iotrace(&["lint", "--json", &fixture("conflict_replayable.txt")]);
+    let b = iotrace(&["lint", "--json", &fixture("conflict_replayable.txt")]);
+    assert_eq!(a.stdout, b.stdout);
+}
+
+#[test]
+fn policy_violation_fixture_leaks_only_under_a_policy() {
+    // Without a policy the capture is clean: the flow exists, but
+    // nothing labels it.
+    let out = iotrace(&["lint", &fixture("policy_violation.txt")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // With the committed policy the secret→report flow is an error.
+    let out = iotrace(&[
+        "lint",
+        "--json",
+        "--policy",
+        &fixture("policy.txt"),
+        &fixture("policy_violation.txt"),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "labeled leak must exit 1");
+    let got = String::from_utf8(out.stdout).unwrap();
+    assert!(got.contains("\"rule\": \"policy-conf-leak\""), "{got}");
+    assert!(got.contains("/pfs/secret/keys.dat"), "{got}");
+    assert!(got.contains("/pfs/out/report.dat"), "{got}");
+}
+
+#[test]
+fn clean_fixtures_stay_clean_under_the_new_passes() {
+    // The dataflow passes (conflict, policy-flow, lineage) must not
+    // invent findings on the known-good fixtures, policy or not.
+    let out = iotrace(&["lint", &fixture("clean_trace.txt")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let out = iotrace(&[
+        "lint",
+        "--policy",
+        &fixture("policy.txt"),
+        &fixture("clean_trace.txt"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let got = String::from_utf8(out.stdout).unwrap();
+    assert!(got.contains("no findings"), "{got}");
+}
+
+#[test]
+fn only_flag_selects_comma_separated_passes() {
+    let out = iotrace(&[
+        "lint",
+        "--json",
+        "--only",
+        "clock,anonleak",
+        &fixture("bad_trace.txt"),
+    ]);
+    let got = String::from_utf8(out.stdout).unwrap();
+    assert!(got.contains("clock-nonmonotonic"), "{got}");
+    assert!(got.contains("anon-path-leak"), "{got}");
+    assert!(!got.contains("fd-double-close"), "{got}");
+
+    // conflict alone exonerates bad_trace (single rank, no deps).
+    let out = iotrace(&["lint", "--only", "conflict", &fixture("bad_trace.txt")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn unknown_pass_error_lists_valid_names() {
+    let out = iotrace(&["lint", "--only", "bogus", &fixture("bad_trace.txt")]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown lint pass"), "{err}");
+    for name in [
+        "fd-lifecycle",
+        "causality",
+        "conflict",
+        "policy-flow",
+        "lineage",
+    ] {
+        assert!(err.contains(name), "valid pass {name} not listed: {err}");
+    }
+}
+
+#[test]
 fn pass_selection_restricts_rules() {
     let out = iotrace(&[
         "lint",

@@ -101,7 +101,8 @@ impl LanlTrace {
         run
     }
 
-    /// [`LanlTrace::run_with_faults`] under [`RunLimits`]: the engine
+    /// [`LanlTrace::run_with_faults`] under
+    /// [`RunLimits`](iotrace_sim::engine::RunLimits): the engine
     /// aborts after `limits.max_events` (the plan's `run-abort` kill) and
     /// records one [`CheckpointSample`] per `checkpoint_every` events. On
     /// an aborted run the plan's trace-level faults are *not* applied —

@@ -8,7 +8,7 @@
 //! a disclosure. This crate lints traces *before* they reach those
 //! consumers, the way a compiler front-end rejects ill-formed programs.
 //!
-//! Five passes ship by default (rule catalog in `DESIGN.md`):
+//! Eight passes ship by default (rule catalog in `DESIGN.md`):
 //!
 //! | pass | defect class |
 //! |------|--------------|
@@ -17,6 +17,14 @@
 //! | [`passes::clock`] | non-monotonic timestamps, skew beyond budget |
 //! | [`passes::depgraph`] | cyclic or dangling dependency maps |
 //! | [`passes::anonleak`] | raw identifiers under an anonymization claim |
+//! | [`passes::conflict`] | byte-range races no dependency edge orders |
+//! | [`passes::policy_flow`] | lineage flows violating a label policy |
+//! | [`passes::lineage`] | reads whose bytes have no recorded producer |
+//!
+//! The last three are dataflow passes built on the
+//! [`iotrace_provenance`] lineage graph; `policy-flow` only activates
+//! when the caller attaches a [`Policy`](iotrace_provenance::Policy)
+//! via [`LintInput::with_policy`].
 //!
 //! Drive it with [`Linter`]:
 //!
@@ -106,6 +114,8 @@ const LOSS_TOLERANT_RULES: &[&str] = &[
     "hb-barrier-mismatch",
     "hb-write-race",
     "hb-read-race",
+    "conflict-write-write",
+    "conflict-read-write",
 ];
 
 /// Cap loss-tolerant findings at [`Severity::Warning`] when the trace
@@ -149,7 +159,11 @@ fn downgrade_for_documented_loss(input: &LintInput<'_>, diagnostics: &mut [Diagn
 /// Lint a set of per-rank traces (optionally with their dependency map)
 /// using the default passes and configuration.
 pub fn lint_traces(traces: &[Trace], deps: Option<&DependencyMap>) -> LintReport {
-    Linter::new(LintConfig::default()).run(&LintInput { traces, deps })
+    Linter::new(LintConfig::default()).run(&LintInput {
+        traces,
+        deps,
+        policy: None,
+    })
 }
 
 /// Lint a //TRACE replayable capture with the default passes.
@@ -213,11 +227,20 @@ mod tests {
     use iotrace_model::event::IoCall;
 
     #[test]
-    fn default_linter_runs_all_five_passes() {
+    fn default_linter_runs_all_eight_passes() {
         let names = Linter::new(LintConfig::default()).pass_names();
         assert_eq!(
             names,
-            vec!["fd-lifecycle", "causality", "clock", "depgraph", "anonleak"]
+            vec![
+                "fd-lifecycle",
+                "causality",
+                "clock",
+                "depgraph",
+                "anonleak",
+                "conflict",
+                "policy-flow",
+                "lineage"
+            ]
         );
     }
 

@@ -1,6 +1,7 @@
 //! Dependency-map validation (pass `depgraph`).
 //!
-//! //TRACE replays wait on the edges of a [`DependencyMap`]; a malformed
+//! //TRACE replays wait on the edges of a
+//! [`DependencyMap`](iotrace_partrace::deps::DependencyMap); a malformed
 //! map either deadlocks the replayer or silently drops ordering. Before
 //! replay this pass checks that every edge endpoint names a rank and
 //! record that exist (`dep-dangling-rank`, `dep-dangling-op`), that no
@@ -191,17 +192,40 @@ impl LintPass for DepGraph {
         }
 
         if let Some(cycle) = find_cycle(&adj) {
-            let chain: Vec<String> = cycle.into_iter().map(fmt_node).collect();
+            let ranks: BTreeSet<u32> = cycle.iter().map(|&(rank, _)| rank).collect();
+            let ranks: Vec<String> = ranks.into_iter().map(|r| format!("rank{r}")).collect();
+            // The hint carries the full cycle path — each node annotated
+            // with the call it names, when the traces are at hand — so the
+            // deadlock can be read off without re-deriving the walk.
+            let call_of = |(rank, op): Node| -> Option<&'static str> {
+                input
+                    .traces
+                    .iter()
+                    .find(|t| t.meta.rank == rank)
+                    .and_then(|t| t.records.get(op))
+                    .map(|r| r.call.name())
+            };
+            let chain: Vec<String> = cycle
+                .into_iter()
+                .map(|n| match call_of(n) {
+                    Some(call) => format!("{} ({call})", fmt_node(n)),
+                    None => fmt_node(n),
+                })
+                .collect();
             out.push(
                 Diagnostic::new(
                     "dep-cycle",
                     Severity::Error,
                     format!(
-                        "dependency edges and program order form a cycle: {}",
-                        chain.join(" -> ")
+                        "dependency edges and program order form a cycle among {}",
+                        ranks.join(", ")
                     ),
                 )
-                .with_hint("replaying this map deadlocks; drop or re-derive the offending edges"),
+                .with_hint(format!(
+                    "cycle path: {}; replaying this map deadlocks — drop or re-derive \
+                     the offending edges",
+                    chain.join(" -> ")
+                )),
             );
         }
     }
@@ -209,6 +233,8 @@ impl LintPass for DepGraph {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::testutil::trace_of;
     use iotrace_model::event::{IoCall, Trace};
@@ -244,6 +270,7 @@ mod tests {
             &LintInput {
                 traces,
                 deps: Some(map),
+                policy: None,
             },
             &LintConfig::default(),
             &mut out,
@@ -283,7 +310,34 @@ mod tests {
         let cycles: Vec<_> = out.iter().filter(|d| d.rule == "dep-cycle").collect();
         assert_eq!(cycles.len(), 1);
         assert_eq!(cycles[0].severity, Severity::Error);
-        assert!(cycles[0].message.contains("->"));
+        assert!(
+            cycles[0].message.contains("rank0, rank1"),
+            "{}",
+            cycles[0].message
+        );
+        // The full walk — with the call each node performs — lives in
+        // the hint.
+        let hint = cycles[0].hint.as_deref().unwrap_or_default();
+        assert!(hint.contains("cycle path:"), "{hint}");
+        assert!(hint.contains("->"), "{hint}");
+        assert!(hint.contains("(SYS_fsync)"), "{hint}");
+        assert!(hint.contains("rank0#"), "{hint}");
+        assert!(hint.contains("rank1#"), "{hint}");
+    }
+
+    #[test]
+    fn cycle_hint_omits_calls_without_traces() {
+        let map = DependencyMap {
+            edges: vec![edge(0, 1, 1, 0), edge(1, 1, 0, 0)],
+        };
+        let out = run(&[], &map);
+        let cycle = out
+            .iter()
+            .find(|d| d.rule == "dep-cycle")
+            .expect("cycle diagnostic");
+        let hint = cycle.hint.as_deref().unwrap_or_default();
+        assert!(hint.contains("cycle path:"), "{hint}");
+        assert!(!hint.contains('('), "{hint}");
     }
 
     #[test]

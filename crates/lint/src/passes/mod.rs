@@ -3,6 +3,7 @@
 use iotrace_model::event::Trace;
 use iotrace_partrace::deps::DependencyMap;
 use iotrace_partrace::replayable::ReplayableTrace;
+use iotrace_provenance::Policy;
 
 use crate::config::LintConfig;
 use crate::diag::Diagnostic;
@@ -10,27 +11,43 @@ use crate::diag::Diagnostic;
 pub mod anonleak;
 pub mod causality;
 pub mod clock;
+pub mod conflict;
 pub mod depgraph;
 pub mod fd_lifecycle;
+pub mod lineage;
+pub mod policy_flow;
 
-/// Everything a lint run can look at: the per-rank traces and, when the
-/// input was a replayable capture, its dependency map.
+/// Everything a lint run can look at: the per-rank traces, the
+/// dependency map when the input was a replayable capture, and an
+/// information-flow policy when the caller supplied one.
 #[derive(Clone, Copy)]
 pub struct LintInput<'a> {
     pub traces: &'a [Trace],
     pub deps: Option<&'a DependencyMap>,
+    pub policy: Option<&'a Policy>,
 }
 
 impl<'a> LintInput<'a> {
     pub fn from_traces(traces: &'a [Trace]) -> Self {
-        LintInput { traces, deps: None }
+        LintInput {
+            traces,
+            deps: None,
+            policy: None,
+        }
     }
 
     pub fn from_replayable(rt: &'a ReplayableTrace) -> Self {
         LintInput {
             traces: &rt.traces,
             deps: Some(&rt.deps),
+            policy: None,
         }
+    }
+
+    /// Attach a flow policy (enables the `policy-flow` pass).
+    pub fn with_policy(mut self, policy: &'a Policy) -> Self {
+        self.policy = Some(policy);
+        self
     }
 }
 
@@ -50,5 +67,8 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(clock::ClockSanity),
         Box::new(depgraph::DepGraph),
         Box::new(anonleak::AnonLeakage),
+        Box::new(conflict::Conflict),
+        Box::new(policy_flow::PolicyFlow),
+        Box::new(lineage::LineageCompleteness),
     ]
 }

@@ -139,6 +139,7 @@ fn depgraph_report(traces: &[Trace], map: &DependencyMap) -> iotrace_lint::LintR
         .run(&LintInput {
             traces,
             deps: Some(map),
+            policy: None,
         })
 }
 

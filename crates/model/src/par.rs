@@ -38,7 +38,19 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = workers_for(items.len());
+    par_map_with(items, workers_for(items.len()), f)
+}
+
+/// [`par_map`] with an explicit worker count. Results are identical for
+/// every `workers` value — only the chunking changes — which is what the
+/// provenance determinism property tests sweep.
+pub fn par_map_with<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.min(items.len()).max(1);
     if workers <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -96,6 +108,15 @@ mod tests {
         assert_eq!(workers_for(0), 1);
         assert_eq!(workers_for(1), 1);
         assert!(workers_for(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn worker_count_is_invisible_in_results() {
+        let items: Vec<u32> = (0..97).collect();
+        let base = par_map_with(&items, 1, |&x| x * x);
+        for workers in [2, 3, 8, 200] {
+            assert_eq!(par_map_with(&items, workers, |&x| x * x), base);
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Inter-node dependency maps and their discovery by I/O throttling
 //! (paper §2.3: "determine inter-node data dependencies by using I/O
-//! throttling [9] … slowing the response time of a single node to I/O
+//! throttling \[9\] … slowing the response time of a single node to I/O
 //! requests … and observing the behavior of other nodes looking for
 //! causal dependencies").
 //!

@@ -1,0 +1,160 @@
+//! A byte-interval map: which lineage node last wrote each byte.
+//!
+//! One [`RangeMap`] per file tracks disjoint, half-open segments
+//! `[start, end) -> owner`. A write overwrites (splitting partially
+//! covered segments); a read query returns every owning segment it
+//! overlaps plus any uncovered gaps. Both operations are `O(log n +
+//! touched)` on a `BTreeMap` keyed by segment start, so a trace that
+//! rewrites the same extents millions of times stays cheap.
+
+use std::collections::BTreeMap;
+
+/// Disjoint half-open segments over `u64` byte offsets, each owned by a
+/// `u32` id (a lineage node).
+#[derive(Clone, Debug, Default)]
+pub struct RangeMap {
+    /// start -> (end, owner); invariant: segments are disjoint, non-empty.
+    segs: BTreeMap<u64, (u64, u32)>,
+}
+
+impl RangeMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Record that `owner` wrote `[start, end)`, replacing anything there.
+    pub fn write(&mut self, start: u64, end: u64, owner: u32) {
+        if start >= end {
+            return;
+        }
+        // A predecessor segment may straddle `start`: split it.
+        if let Some((&s, &(e, o))) = self.segs.range(..start).next_back() {
+            if e > start {
+                self.segs.insert(s, (start, o));
+                if e > end {
+                    self.segs.insert(end, (e, o));
+                }
+            }
+        }
+        // Segments starting inside [start, end): consumed; a tail
+        // extending past `end` is re-inserted.
+        let inside: Vec<u64> = self.segs.range(start..end).map(|(&s, _)| s).collect();
+        for s in inside {
+            if let Some((e, o)) = self.segs.remove(&s) {
+                if e > end {
+                    self.segs.insert(end, (e, o));
+                }
+            }
+        }
+        self.segs.insert(start, (end, owner));
+    }
+
+    /// Segments of `[start, end)` with a recorded owner, in offset order:
+    /// `(overlap_start, overlap_end, owner)`.
+    pub fn covered(&self, start: u64, end: u64) -> Vec<(u64, u64, u32)> {
+        if start >= end {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        // Predecessor straddling `start` contributes its tail.
+        if let Some((_, &(e, o))) = self.segs.range(..start).next_back() {
+            if e > start {
+                out.push((start, e.min(end), o));
+            }
+        }
+        for (&s, &(e, o)) in self.segs.range(start..end) {
+            out.push((s, e.min(end), o));
+        }
+        out
+    }
+
+    /// Sub-ranges of `[start, end)` with *no* recorded owner, in order.
+    pub fn gaps(&self, start: u64, end: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut at = start;
+        for (s, e, _) in self.covered(start, end) {
+            if s > at {
+                out.push((at, s));
+            }
+            at = at.max(e);
+        }
+        if at < end {
+            out.push((at, end));
+        }
+        out
+    }
+
+    /// Every live segment, in offset order (the file's final producers).
+    pub fn segments(&self) -> impl Iterator<Item = (u64, u64, u32)> + '_ {
+        self.segs.iter().map(|(&s, &(e, o))| (s, e, o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_writer_wins_with_splits() {
+        let mut m = RangeMap::new();
+        m.write(0, 100, 1);
+        m.write(40, 60, 2);
+        assert_eq!(
+            m.segments().collect::<Vec<_>>(),
+            vec![(0, 40, 1), (40, 60, 2), (60, 100, 1)]
+        );
+        assert_eq!(
+            m.covered(30, 70),
+            vec![(30, 40, 1), (40, 60, 2), (60, 70, 1)]
+        );
+    }
+
+    #[test]
+    fn overwrite_consumes_whole_segments() {
+        let mut m = RangeMap::new();
+        m.write(0, 10, 1);
+        m.write(20, 30, 2);
+        m.write(0, 40, 3);
+        assert_eq!(m.segments().collect::<Vec<_>>(), vec![(0, 40, 3)]);
+    }
+
+    #[test]
+    fn gaps_are_reported() {
+        let mut m = RangeMap::new();
+        m.write(10, 20, 1);
+        m.write(30, 40, 2);
+        assert_eq!(m.gaps(0, 50), vec![(0, 10), (20, 30), (40, 50)]);
+        assert!(m.gaps(12, 18).is_empty());
+        assert_eq!(m.gaps(0, 5), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn straddling_tail_survives_an_interior_write() {
+        let mut m = RangeMap::new();
+        m.write(0, 100, 1);
+        m.write(10, 20, 2);
+        m.write(15, 18, 3);
+        assert_eq!(
+            m.covered(0, 100),
+            vec![
+                (0, 10, 1),
+                (10, 15, 2),
+                (15, 18, 3),
+                (18, 20, 2),
+                (20, 100, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_ranges_are_inert() {
+        let mut m = RangeMap::new();
+        m.write(5, 5, 1);
+        assert!(m.is_empty());
+        assert!(m.covered(0, 0).is_empty());
+    }
+}

@@ -3,8 +3,8 @@
 //! policy selects — captures a record and charges the in-kernel costs on
 //! the operation's completion time.
 //!
-//! This is the faithful rendition of Tracefs's architecture (paper [1],
-//! built on FiST stackable file systems [7]): the tracer *is* the file
+//! This is the faithful rendition of Tracefs's architecture (paper \[1\],
+//! built on FiST stackable file systems \[7\]): the tracer *is* the file
 //! system layer, so there is no per-event ptrace stop — which is exactly
 //! why its overhead stays under ~12% where LANL-Trace's reaches 200%+.
 

@@ -3,7 +3,7 @@
 //! The applications the paper evaluates tracing frameworks against:
 //!
 //! * [`mpi_io_test::MpiIoTest`] — the LANL bandwidth benchmark
-//!   (reference [4]) with the three access patterns of §4.1.2
+//!   (reference \[4\]) with the three access patterns of §4.1.2
 //!   ([`pattern::AccessPattern`]);
 //! * [`checkpoint::Checkpoint`] — compute/checkpoint cycles, the
 //!   "killer app" I/O shape from the introduction;

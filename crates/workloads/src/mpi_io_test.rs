@@ -1,5 +1,5 @@
 //! A faithful clone of the LANL `mpi_io_test` synthetic application
-//! (paper reference [4]) — the workload behind Figures 2–4.
+//! (paper reference \[4\]) — the workload behind Figures 2–4.
 //!
 //! Each rank: barrier → `MPI_File_open` → barrier → write its blocks
 //! (pattern-dependent offsets) → barrier → optional read-back → close →

@@ -1,4 +1,4 @@
-//! Parallel I/O access patterns (paper §4.1.2 and [12]):
+//! Parallel I/O access patterns (paper §4.1.2 and \[12\]):
 //!
 //! * **N-N** — N processes, N files, one per process;
 //! * **N-1 non-strided** — N processes, one shared file, each process
