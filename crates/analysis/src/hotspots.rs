@@ -25,38 +25,64 @@ pub fn by_path_interned<'a>(
     records: impl IntoIterator<Item = &'a TraceRecord>,
     paths: &mut Interner,
 ) -> HashMap<Sym, PathStats> {
-    let mut out: HashMap<Sym, PathStats> = HashMap::new();
-    // (rank, fd) -> path
-    let mut open_fds: HashMap<(u32, i64), Sym> = HashMap::new();
-    for r in records {
-        use iotrace_model::event::IoCall::*;
-        let path: Option<Sym> = match &r.call {
-            Open { path, .. } | MpiFileOpen { path, .. } => {
-                let sym = paths.intern(path);
-                if r.result >= 0 {
-                    open_fds.insert((r.rank, r.result), sym);
+    let mut fold = PathFold::default();
+    fold.fold(records, paths);
+    fold.stats
+}
+
+/// Resumable per-path aggregation state: the running [`PathStats`] map
+/// plus the open-fd attribution table. The collector folds each sealed
+/// journal segment as it lands, so hotspot answers are available *while*
+/// capture runs — fd attribution must survive segment boundaries (an
+/// `open` in one segment names the I/O of the next), hence this struct
+/// rather than repeated [`by_path_interned`] calls.
+#[derive(Clone, Debug, Default)]
+pub struct PathFold {
+    pub stats: HashMap<Sym, PathStats>,
+    /// (rank, fd) -> path of the most recent successful open.
+    open_fds: HashMap<(u32, i64), Sym>,
+}
+
+impl PathFold {
+    /// Fold a batch of records into the running aggregation. Folding a
+    /// record stream in any batching yields the same map as one call
+    /// over the whole stream.
+    pub fn fold<'a>(
+        &mut self,
+        records: impl IntoIterator<Item = &'a TraceRecord>,
+        paths: &mut Interner,
+    ) {
+        let out = &mut self.stats;
+        let open_fds = &mut self.open_fds;
+        for r in records {
+            use iotrace_model::event::IoCall::*;
+            let path: Option<Sym> = match &r.call {
+                Open { path, .. } | MpiFileOpen { path, .. } => {
+                    let sym = paths.intern(path);
+                    if r.result >= 0 {
+                        open_fds.insert((r.rank, r.result), sym);
+                    }
+                    Some(sym)
                 }
-                Some(sym)
+                Close { fd } | MpiFileClose { fd } => open_fds.remove(&(r.rank, *fd)),
+                Read { fd, .. }
+                | Write { fd, .. }
+                | Pread { fd, .. }
+                | Pwrite { fd, .. }
+                | Lseek { fd, .. }
+                | Fsync { fd }
+                | MpiFileWriteAt { fd, .. }
+                | MpiFileReadAt { fd, .. } => open_fds.get(&(r.rank, *fd)).copied(),
+                _ => r.call.path().map(|p| paths.intern(p)),
+            };
+            if let Some(p) = path {
+                let e = out.entry(p).or_default();
+                e.ops += 1;
+                e.bytes += r.call.bytes();
+                e.time += r.dur;
             }
-            Close { fd } | MpiFileClose { fd } => open_fds.remove(&(r.rank, *fd)),
-            Read { fd, .. }
-            | Write { fd, .. }
-            | Pread { fd, .. }
-            | Pwrite { fd, .. }
-            | Lseek { fd, .. }
-            | Fsync { fd }
-            | MpiFileWriteAt { fd, .. }
-            | MpiFileReadAt { fd, .. } => open_fds.get(&(r.rank, *fd)).copied(),
-            _ => r.call.path().map(|p| paths.intern(p)),
-        };
-        if let Some(p) = path {
-            let e = out.entry(p).or_default();
-            e.ops += 1;
-            e.bytes += r.call.bytes();
-            e.time += r.dur;
         }
     }
-    out
 }
 
 /// Per-path aggregation with `String` keys — a thin resolve layer over

@@ -15,7 +15,10 @@
 //! * merge equivalence — the k-way merge and the sort fallback produce
 //!   bit-identical timelines;
 //! * provenance determinism — the lineage graph digests identically when
-//!   rebuilt with a single extraction worker.
+//!   rebuilt with a single extraction worker;
+//! * serve determinism — two independent collector soaks (16 clients
+//!   streaming the same synthetic captures through the framed channel
+//!   protocol into journaled spools) produce identical merged digests.
 //!
 //! Wall-clock numbers are reported but never gated on: CI runners are
 //! too noisy for that (the `perf-smoke` job only fails on panics or a
@@ -27,12 +30,14 @@ use std::time::Instant;
 use iotrace_analysis::hotspots::{by_path_interned, top_by_bytes_interned};
 use iotrace_analysis::merge::{merge_by_sort, merge_corrected};
 use iotrace_analysis::skew::{ClockFit, SkewEstimate};
+use iotrace_collector::{run_soak, SoakConfig};
 use iotrace_lint::{LintConfig, LintInput, Linter};
 use iotrace_model::binary::{decode_binary, encode_binary, BinaryOptions};
 use iotrace_model::event::{IoCall, Trace, TraceMeta, TraceRecord};
 use iotrace_model::intern::Interner;
 use iotrace_model::journal::{encode_journal, read_journal, records_digest};
 use iotrace_provenance::{upstream, EdgeKind, LineageGraph};
+use iotrace_sim::fault::FaultPlan;
 use iotrace_sim::time::{SimDur, SimTime};
 
 use crate::io::{flag, split_args};
@@ -147,11 +152,38 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let serial = LineageGraph::build_with_workers(&traces, None, 1);
     let provenance_deterministic = graph_digest(&graph) == graph_digest(&serial);
 
+    // serve-soak (collector daemon: 16 clients streaming sessions over
+    // the framed channel protocol into a journaled spool, clean plan).
+    // Two fully independent soaks must merge to the same digest.
+    let soak_cfg = SoakConfig {
+        clients: 16,
+        records_per_client: (records / 4).max(16),
+        ..SoakConfig::default()
+    };
+    let soak_total = soak_cfg.clients as usize * soak_cfg.records_per_client;
+    let plan = FaultPlan::clean();
+    let spool_a = std::env::temp_dir().join(format!("iotrace-bench-soak-a-{}", std::process::id()));
+    let spool_b = std::env::temp_dir().join(format!("iotrace-bench-soak-b-{}", std::process::id()));
+    for d in [&spool_a, &spool_b] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    let (soak, soak_s) = timed(|| run_soak(&spool_a, &soak_cfg, &plan, None));
+    let soak = soak?;
+    stages.push(Stage::new("serve-soak", soak_total, soak_s));
+    let rerun = run_soak(&spool_b, &soak_cfg, &plan, None)?;
+    let serve_deterministic = soak.merged_digest == rerun.merged_digest
+        && soak.merged_records == rerun.merged_records
+        && soak.merged_records == soak_total as u64;
+    for d in [&spool_a, &spool_b] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+
     let determinism_ok = decode_ok
         && journal_ok
         && merge_equivalent
         && merge_deterministic
-        && provenance_deterministic;
+        && provenance_deterministic
+        && serve_deterministic;
     let json = render_json(&Report {
         quick,
         ranks,
@@ -169,6 +201,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
         graph_orphans: graph.orphans.len(),
         upstream_nodes: lineage.nodes.len(),
         provenance_deterministic,
+        soak_clients: soak_cfg.clients,
+        soak_records_per_client: soak_cfg.records_per_client,
+        soak_busy_refusals: soak.busy_refusals,
+        soak_retries: soak.total_retries,
+        soak_queue_high_watermark: soak.queue_high_watermark,
+        soak_merged_records: soak.merged_records,
+        serve_deterministic,
         determinism_ok,
     });
     std::fs::write(&out_path, json).map_err(|e| format!("{out_path}: {e}"))?;
@@ -183,7 +222,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "bench-pipeline determinism check failed \
              (decode_ok={decode_ok} journal_ok={journal_ok} \
              merge_equivalent={merge_equivalent} merge_deterministic={merge_deterministic} \
-             provenance_deterministic={provenance_deterministic})"
+             provenance_deterministic={provenance_deterministic} \
+             serve_deterministic={serve_deterministic})"
         ));
     }
     Ok(())
@@ -252,6 +292,13 @@ struct Report<'a> {
     graph_orphans: usize,
     upstream_nodes: usize,
     provenance_deterministic: bool,
+    soak_clients: u32,
+    soak_records_per_client: usize,
+    soak_busy_refusals: u64,
+    soak_retries: u64,
+    soak_queue_high_watermark: usize,
+    soak_merged_records: u64,
+    serve_deterministic: bool,
     determinism_ok: bool,
 }
 
@@ -418,6 +465,23 @@ fn render_json(r: &Report<'_>) -> String {
     let _ = writeln!(out, "    \"orphan_spans\": {},", r.graph_orphans);
     let _ = writeln!(out, "    \"upstream_nodes\": {},", r.upstream_nodes);
     let _ = writeln!(out, "    \"deterministic\": {}", r.provenance_deterministic);
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"serve\": {{");
+    let _ = writeln!(out, "    \"clients\": {},", r.soak_clients);
+    let _ = writeln!(
+        out,
+        "    \"records_per_client\": {},",
+        r.soak_records_per_client
+    );
+    let _ = writeln!(out, "    \"busy_refusals\": {},", r.soak_busy_refusals);
+    let _ = writeln!(out, "    \"retries\": {},", r.soak_retries);
+    let _ = writeln!(
+        out,
+        "    \"queue_high_watermark\": {},",
+        r.soak_queue_high_watermark
+    );
+    let _ = writeln!(out, "    \"merged_records\": {},", r.soak_merged_records);
+    let _ = writeln!(out, "    \"deterministic\": {}", r.serve_deterministic);
     out.push_str("  },\n");
     match &r.top_path {
         Some(p) => {

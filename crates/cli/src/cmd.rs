@@ -23,7 +23,7 @@ use crate::io::{flag, key_from, load, load_traces, split_args, Loaded};
 /// Resolve `--fault-plan <name|file>`: a canned plan name (seeded by
 /// `--seed`, default 42) or a plan file in the `FaultPlan::parse`
 /// format. `None` when the flag is absent.
-fn fault_plan_from(flags: &[(String, Option<String>)]) -> Result<Option<FaultPlan>, String> {
+pub fn fault_plan_from(flags: &[(String, Option<String>)]) -> Result<Option<FaultPlan>, String> {
     let Some(v) = flag(flags, "fault-plan") else {
         return Ok(None);
     };
@@ -575,15 +575,28 @@ pub fn demo(args: &[String]) -> Result<(), String> {
     demo_outputs(dir, &plan, &run)
 }
 
-/// `iotrace fsck <journal.iotj>`: recover every sealed segment from a
-/// (possibly torn) journal and print the recovery report.
+/// `iotrace fsck <journal.iotj | spool-dir>`: recover every sealed
+/// segment from a (possibly torn) journal and print the recovery
+/// report. Given a directory, recover all `*.iotj` spools in one pass
+/// with a per-journal summary table — the same path a restarting
+/// collector (`iotrace serve`) takes.
 pub fn fsck(args: &[String]) -> Result<(), String> {
     use iotrace_model::journal::fsck_journal;
 
     let (paths, flags) = split_args(args);
     let [input] = paths.as_slice() else {
-        return Err("fsck needs <journal.iotj>".to_string());
+        return Err("fsck needs <journal.iotj> or a spool directory".to_string());
     };
+    if std::path::Path::new(input).is_dir() {
+        let segment_records = flag(&flags, "segment-records")
+            .and_then(|v| v.as_deref())
+            .map(|v| v.parse().map_err(|_| "bad --segment-records"))
+            .transpose()?
+            .unwrap_or(64);
+        let rep = iotrace_collector::recover_spool(std::path::Path::new(input), segment_records)?;
+        print!("{}", rep.render());
+        return Ok(());
+    }
     let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
     let (trace, report) = fsck_journal(&bytes).map_err(|e| format!("{input}: {e}"))?;
     println!("{input}: {report}");

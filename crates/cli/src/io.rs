@@ -98,6 +98,13 @@ pub fn split_args(args: &[String]) -> (Vec<String>, Vec<(String, Option<String>)
                     | "checkpoint-every"
                     | "out"
                     | "records"
+                    | "clients"
+                    | "frame-records"
+                    | "segment-records"
+                    | "queue-capacity"
+                    | "drain-per-tick"
+                    | "kill-at-frame"
+                    | "status-every"
             );
             if takes_value && i + 1 < args.len() {
                 flags.push((name.to_string(), Some(args[i + 1].clone())));

@@ -16,7 +16,9 @@
 //!                                            byte-range lineage queries
 //! iotrace taxonomy                           print Tables 1 and 2 (quick probes)
 //! iotrace demo      <dir>                    generate sample trace files to play with
-//! iotrace fsck      <journal.iotj>           recover sealed segments from a torn journal
+//! iotrace fsck      <journal.iotj|dir>       recover sealed segments from torn journals
+//! iotrace serve     <spool-dir>              run the collector daemon soak
+//! iotrace sessions  <spool-dir>              list a spool's capture sessions
 //! iotrace resume    <checkpoint.ckpt>        verify and complete a killed run
 //! ```
 //!
@@ -31,6 +33,7 @@ mod bench_pipeline;
 mod cmd;
 mod io;
 mod provenance;
+mod serve;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +54,8 @@ fn main() -> ExitCode {
         "taxonomy" => cmd::taxonomy(rest),
         "demo" => cmd::demo(rest),
         "fsck" => cmd::fsck(rest),
+        "serve" => serve::serve(rest),
+        "sessions" => serve::sessions(rest),
         "resume" => cmd::resume(rest),
         "faults" => cmd::faults(rest),
         "bench-pipeline" => bench_pipeline::run(rest),
@@ -94,10 +99,21 @@ commands:
   demo      <dir> [--fault-plan <name|file>] [--seed N] [--checkpoint-every N]
                                             write sample trace files
   fsck      <journal.iotj> [--out <file>]   recover sealed segments from a
-                                            (possibly torn) trace journal
+                                            (possibly torn) trace journal; given a
+                                            spool directory, recover every *.iotj
+                                            in one pass with a per-journal table
+  serve     <spool-dir> [--clients N] [--records N] [--queue-capacity N]
+            [--segment-records N] [--kill-at-frame N] [--fault-plan <name|file>]
+            [--seed N] [--status-every N] [--recover-only] [--out <file>]
+                                            run the collector daemon soak: N
+                                            capture clients stream sessions into
+                                            journaled spools with backpressure;
+                                            recovers orphaned sessions on startup
+  sessions  <spool-dir>                     list a spool's capture sessions
   resume    <checkpoint.ckpt>               verify and complete a killed run
   faults    <name|file> [--seed N] [--text] describe a fault plan (canned:
-                                            clean, lossy-tracer, degraded-storage)
+                                            clean, lossy-tracer, degraded-storage,
+                                            collector-chaos)
   bench-pipeline [--quick] [--ranks N] [--records N] [--out <file>]
                                             time encode/decode/merge/lint/hotspots
                                             on a synthetic capture and write

@@ -1,0 +1,188 @@
+//! `iotrace serve` / `iotrace sessions` — the collector daemon front
+//! end.
+//!
+//! `serve` runs the deterministic multi-client soak over a spool
+//! directory: N simulated capture clients stream their traces through
+//! one collector under an optional fault plan. On startup it checks the
+//! spool for orphaned sessions from a previous (killed) collector and
+//! recovers them first — the same fsck path `iotrace fsck <dir>` uses.
+//! `sessions` prints the spool's session table without touching it.
+
+use std::collections::BTreeMap;
+
+use iotrace_collector::recovery::{needs_recovery, recover_spool};
+use iotrace_collector::soak::{run_soak, SoakConfig, SoakOutcome};
+use iotrace_collector::CollectorConfig;
+use iotrace_model::journal::fsck_journal;
+use iotrace_sim::fault::FaultPlan;
+
+use crate::cmd::fault_plan_from;
+use crate::io::{flag, split_args};
+
+fn parse_flag<T: std::str::FromStr>(
+    flags: &[(String, Option<String>)],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag(flags, name).and_then(|v| v.as_deref()) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} wants a number, got `{v}`")),
+        None => Ok(default),
+    }
+}
+
+/// `iotrace serve <spool-dir>`: recover the spool if needed, then run a
+/// multi-client capture soak into it.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let (paths, flags) = split_args(args);
+    let [dir] = paths.as_slice() else {
+        return Err("serve needs <spool-dir>".to_string());
+    };
+    let dir = std::path::Path::new(dir);
+    let segment_records = parse_flag(&flags, "segment-records", 64usize)?;
+
+    // Startup recovery: a spool left torn by a killed collector is
+    // fscked before any new session is accepted.
+    if dir.is_dir() && needs_recovery(dir)? {
+        println!("spool needs recovery — fscking orphaned session journals:");
+        let rep = recover_spool(dir, segment_records)?;
+        print!("{}", rep.render());
+    } else if flag(&flags, "recover-only").is_some() {
+        println!("spool clean: nothing to recover");
+    }
+    if flag(&flags, "recover-only").is_some() {
+        return Ok(());
+    }
+
+    let plan = fault_plan_from(&flags)?.unwrap_or_else(FaultPlan::clean);
+    let cfg = SoakConfig {
+        clients: parse_flag(&flags, "clients", 4u32)?,
+        records_per_client: parse_flag(&flags, "records", 256usize)?,
+        frame_records: parse_flag(&flags, "frame-records", 16usize)?,
+        collector: CollectorConfig {
+            segment_records,
+            queue_capacity: parse_flag(&flags, "queue-capacity", 8usize)?,
+            drain_per_tick: parse_flag(&flags, "drain-per-tick", 4usize)?,
+        },
+        kill_at_frame: match flag(&flags, "kill-at-frame").and_then(|v| v.as_deref()) {
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("--kill-at-frame wants a number, got `{v}`"))?,
+            ),
+            None => None,
+        },
+        seed: parse_flag(&flags, "seed", 42u64)?,
+        status_every: parse_flag(&flags, "status-every", 0u64)?,
+        ..SoakConfig::default()
+    };
+
+    let started = std::time::Instant::now();
+    let rep = run_soak(dir, &cfg, &plan, None)?;
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // mid-capture status lines: the incremental stats are queryable
+    // while sessions stream — these snapshots prove it
+    for (tick, snap) in &rep.snapshots {
+        println!(
+            "[tick {tick:>6}] sealed={} records  read={} B  written={} B",
+            snap.folded_records, snap.stats.bytes_read, snap.stats.bytes_written
+        );
+    }
+    print!("{}", rep.render());
+
+    if let Some(out) = flag(&flags, "out").and_then(|v| v.as_deref()) {
+        let outcome = match rep.outcome {
+            SoakOutcome::Completed => "completed".to_string(),
+            SoakOutcome::Killed { at_frame } => format!("killed@{at_frame}"),
+        };
+        let json = format!(
+            "{{\n  \"clients\": {},\n  \"records_per_client\": {},\n  \"outcome\": \"{}\",\n  \
+             \"ticks\": {},\n  \"busy_refusals\": {},\n  \"retries\": {},\n  \
+             \"queue_high_watermark\": {},\n  \"merged_records\": {},\n  \
+             \"merged_digest\": \"{:#018x}\",\n  \"wall_ms\": {:.3}\n}}\n",
+            cfg.clients,
+            cfg.records_per_client,
+            outcome,
+            rep.ticks,
+            rep.busy_refusals,
+            rep.total_retries,
+            rep.queue_high_watermark,
+            rep.merged_records,
+            rep.merged_digest,
+            wall_ms
+        );
+        std::fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    if matches!(rep.outcome, SoakOutcome::Killed { .. }) {
+        println!(
+            "restart `iotrace serve {}` to recover the spool",
+            dir.display()
+        );
+    }
+    Ok(())
+}
+
+/// `iotrace sessions <spool-dir>`: print the session table from the
+/// spool's cards and journals, read-only.
+pub fn sessions(args: &[String]) -> Result<(), String> {
+    let (paths, _flags) = split_args(args);
+    let [dir] = paths.as_slice() else {
+        return Err("sessions needs <spool-dir>".to_string());
+    };
+    let dir = std::path::Path::new(dir);
+    let mut cards = BTreeMap::new();
+    let mut journals = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))? {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(stem) = name.strip_suffix(".card") {
+            let text = std::fs::read_to_string(entry.path()).map_err(|e| format!("{name}: {e}"))?;
+            let card = iotrace_collector::SessionCard::parse_line(text.trim())
+                .ok_or_else(|| format!("{name}: unparseable session card"))?;
+            cards.insert(stem.to_string(), card);
+        } else if let Some(stem) = name.strip_suffix(".iotj") {
+            let bytes = std::fs::read(entry.path()).map_err(|e| format!("{name}: {e}"))?;
+            journals.insert(stem.to_string(), fsck_journal(&bytes));
+        }
+    }
+    if cards.is_empty() && journals.is_empty() {
+        println!("{}: no sessions", dir.display());
+        return Ok(());
+    }
+    println!("session  expected  records  state      completeness  journal");
+    for (stem, card) in &cards {
+        let journal = match journals.get(stem) {
+            Some(Ok((_, rep))) if rep.is_damaged() => format!(
+                "torn ({} records salvageable, {} tail bytes)",
+                rep.records_recovered, rep.torn_tail_bytes
+            ),
+            Some(Ok((_, rep))) => format!("clean ({} records)", rep.records_recovered),
+            Some(Err(e)) => format!("unreadable: {e}"),
+            None => "missing".to_string(),
+        };
+        println!(
+            "{:<8} {:<9} {:<8} {:<10} {:<13.6} {}",
+            card.session,
+            card.expected,
+            card.records,
+            card.state.to_string(),
+            card.completeness,
+            journal
+        );
+    }
+    for stem in journals.keys() {
+        if !cards.contains_key(stem) {
+            println!("{stem}: journal without a session card");
+        }
+    }
+    let orphaned = cards.values().filter(|c| !c.state.is_terminal()).count();
+    if orphaned > 0 {
+        println!(
+            "{orphaned} orphaned session(s) — run `iotrace serve {} --recover-only`",
+            dir.display()
+        );
+    }
+    Ok(())
+}

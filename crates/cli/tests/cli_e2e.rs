@@ -481,3 +481,183 @@ fn replay_accepts_a_degraded_storage_fault_plan() {
     let s = String::from_utf8_lossy(&out.stdout);
     assert!(s.contains("run clean: true"), "{s}");
 }
+
+#[test]
+fn serve_clean_soak_closes_all_sessions() {
+    let d = tmpdir("serve");
+    let spool = d.join("spool");
+    let out = run(&[
+        "serve",
+        spool.to_str().unwrap(),
+        "--clients",
+        "3",
+        "--records",
+        "90",
+        "--status-every",
+        "5",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("completed in"), "{s}");
+    assert!(
+        s.contains("retries"),
+        "summary table has a retry column: {s}"
+    );
+    assert!(s.contains("[tick "), "mid-capture status lines: {s}");
+    assert_eq!(s.matches(" closed ").count(), 3, "{s}");
+    assert!(s.contains("270 record(s) merged"), "{s}");
+    // the spool holds journals + cards + the merged digest
+    assert!(spool.join("sess000.iotj").is_file());
+    assert!(spool.join("sess000.card").is_file());
+    assert!(spool.join("merged.digest").is_file());
+
+    let out = run(&["sessions", spool.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(s.matches("closed").count(), 3, "{s}");
+}
+
+#[test]
+fn serve_kill_then_restart_recovers_the_spool() {
+    let d = tmpdir("servekill");
+    let spool = d.join("spool");
+    let out = run(&[
+        "serve",
+        spool.to_str().unwrap(),
+        "--clients",
+        "4",
+        "--records",
+        "200",
+        "--kill-at-frame",
+        "20",
+        "--out",
+        d.join("soak.json").to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "a simulated kill is not a CLI error: {out:?}"
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("KILLED"), "{s}");
+    let json = std::fs::read_to_string(d.join("soak.json")).unwrap();
+    assert!(json.contains("\"outcome\": \"killed@20\""), "{json}");
+
+    // sessions on the torn spool shows orphans
+    let out = run(&["sessions", spool.to_str().unwrap()]);
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("orphaned session(s)"), "{s}");
+    assert!(s.contains("torn ("), "{s}");
+
+    // restart: startup recovery fscks the orphans, then a fresh soak
+    // runs without colliding with the recovered session ids
+    let out = run(&[
+        "serve",
+        spool.to_str().unwrap(),
+        "--clients",
+        "2",
+        "--records",
+        "40",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("spool needs recovery"), "{s}");
+    assert!(s.contains("orphan(s) recovered"), "{s}");
+    assert!(s.contains("completed in"), "{s}");
+    // recovered sessions kept ids 0..3; the new soak got 4 and 5
+    assert!(spool.join("sess004.iotj").is_file());
+    assert!(spool.join("sess005.iotj").is_file());
+
+    // now everything is terminal
+    let out = run(&["sessions", spool.to_str().unwrap()]);
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(!s.contains("orphaned session(s)"), "{s}");
+}
+
+#[test]
+fn fsck_recovers_a_whole_spool_directory() {
+    let d = tmpdir("fsckdir");
+    let spool = d.join("spool");
+    let out = run(&[
+        "serve",
+        spool.to_str().unwrap(),
+        "--clients",
+        "3",
+        "--records",
+        "150",
+        "--kill-at-frame",
+        "15",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    let out = run(&["fsck", spool.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("journal"), "{s}");
+    assert!(s.contains("sess000.iotj"), "{s}");
+    assert!(s.contains("orphan(s) recovered"), "{s}");
+    assert!(s.contains("merged digest"), "{s}");
+
+    // a second pass finds nothing to do
+    let out = run(&["fsck", spool.to_str().unwrap()]);
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("0 orphan(s) recovered"), "{s}");
+}
+
+#[test]
+fn faults_unknown_kind_lists_the_valid_kinds_sorted() {
+    let d = tmpdir("badfault");
+    let plan = d.join("bad.plan");
+    std::fs::write(&plan, "warp-core-breach at-frame=3\n").unwrap();
+    let out = run(&["faults", plan.to_str().unwrap()]);
+    assert!(!out.status.success(), "unknown fault kind must fail");
+    let e = String::from_utf8_lossy(&out.stderr);
+    assert!(e.contains("unknown fault kind `warp-core-breach`"), "{e}");
+    assert!(e.contains("known:"), "{e}");
+    // the list is complete and sorted
+    let known: Vec<&str> = e
+        .split("known: ")
+        .nth(1)
+        .expect("list present")
+        .trim_end_matches(['\n', ')'])
+        .split(", ")
+        .map(str::trim)
+        .collect();
+    let mut sorted = known.clone();
+    sorted.sort_unstable();
+    assert_eq!(known, sorted, "kinds are listed sorted");
+    for k in ["client-disconnect", "collector-kill", "slow-consumer"] {
+        assert!(known.contains(&k), "{k} missing from {known:?}");
+    }
+}
+
+#[test]
+fn faults_describes_the_collector_chaos_plan() {
+    let out = run(&["faults", "collector-chaos", "--seed", "9"]);
+    assert!(out.status.success(), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("client"), "{s}");
+
+    let out = run(&["faults", "collector-chaos", "--text"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("client-disconnect"), "{text}");
+    assert!(text.contains("slow-consumer"), "{text}");
+
+    // a chaos soak survives end to end
+    let d = tmpdir("chaosserve");
+    let spool = d.join("spool");
+    let out = run(&[
+        "serve",
+        spool.to_str().unwrap(),
+        "--clients",
+        "6",
+        "--records",
+        "60",
+        "--fault-plan",
+        "collector-chaos",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("completed in"), "{s}");
+}

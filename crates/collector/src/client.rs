@@ -1,0 +1,283 @@
+//! A simulated capture client: streams one trace to the collector over
+//! the framed protocol, honouring backpressure with the fsmodel
+//! [`RetryPolicy`] (exponential backoff + seeded jitter).
+//!
+//! The client keeps exactly one frame in flight: it sends, waits for
+//! the `Ack`, then sends the next. A `Busy` refusal increments the
+//! retry counter and parks the client for a jittered backoff — one
+//! simulation tick per millisecond of backoff — before re-offering the
+//! *same* frame. Fault hooks let a soak plan make the client vanish
+//! mid-frame (leaving torn bytes in the channel) or stream only a
+//! truncated prefix before closing early.
+
+use iotrace_fs::params::RetryPolicy;
+use iotrace_model::event::{TraceMeta, TraceRecord};
+use iotrace_sim::rng::DetRng;
+
+use crate::collector::Collector;
+use crate::proto::{encode_frame, Frame};
+
+/// Client lifecycle, mirroring the session states on the far side.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientPhase {
+    /// `Hello` not yet accepted.
+    Greet,
+    /// Streaming record frames.
+    Stream,
+    /// All records acked; `Bye` owed or in flight.
+    Close,
+    /// `ByeAck` received — clean exit.
+    Done,
+    /// Died mid-stream (fault-injected disconnect).
+    Dead,
+}
+
+/// Per-client transfer ledger, the ground truth tests compare against.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientLedger {
+    /// Records placed into accepted frames.
+    pub sent_records: u64,
+    /// Records the collector acknowledged as appended.
+    pub acked_records: u64,
+    /// Durable watermark from the latest `Sealed` frame.
+    pub durable_records: u64,
+    /// Backoff rounds taken after `Busy` refusals.
+    pub retries: u64,
+    /// `Busy` refusals observed (>= retries bounded by max_retries resets).
+    pub busy: u64,
+}
+
+/// One simulated capture client.
+pub struct SimClient {
+    pub id: u32,
+    pub phase: ClientPhase,
+    pub ledger: ClientLedger,
+    /// Session id granted by `HelloAck`, once streaming.
+    pub session: Option<u32>,
+    meta: TraceMeta,
+    /// Records this client will actually stream (post-truncation).
+    records: Vec<TraceRecord>,
+    /// Records the tracer *intended* to deliver — declared in `Hello`
+    /// so the collector can stamp exact completeness.
+    expected: u64,
+    frame_records: usize,
+    /// Next record index to frame.
+    cursor: usize,
+    /// Frame awaiting an `Ack`: (seq, record count, wire bytes).
+    in_flight: Option<(u64, u64, Vec<u8>)>,
+    /// The in-flight frame was accepted by the queue; don't re-send
+    /// until it's acked (or the send was refused with `Busy`).
+    sent: bool,
+    next_seq: u64,
+    /// Ticks to stay parked before retrying (backpressure backoff).
+    parked: u64,
+    /// Consecutive `Busy` refusals for the current frame.
+    attempt: u32,
+    policy: RetryPolicy,
+    rng: DetRng,
+    /// Vanish (leaving a torn frame) once this many record frames sent.
+    disconnect_at: Option<u64>,
+}
+
+impl SimClient {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: u32,
+        meta: TraceMeta,
+        records: Vec<TraceRecord>,
+        expected: u64,
+        frame_records: usize,
+        policy: RetryPolicy,
+        seed: u64,
+        disconnect_at: Option<u64>,
+    ) -> Self {
+        SimClient {
+            id,
+            phase: ClientPhase::Greet,
+            ledger: ClientLedger::default(),
+            session: None,
+            meta,
+            records,
+            expected,
+            frame_records: frame_records.max(1),
+            cursor: 0,
+            in_flight: None,
+            sent: false,
+            next_seq: 1,
+            parked: 0,
+            attempt: 0,
+            policy,
+            rng: DetRng::new(seed).fork(0xc11e),
+            disconnect_at,
+        }
+    }
+
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.phase, ClientPhase::Done | ClientPhase::Dead)
+    }
+
+    /// Record frames fully sent (acked).
+    fn frames_acked(&self) -> u64 {
+        self.next_seq - 1 - u64::from(self.in_flight.is_some())
+    }
+
+    /// Advance one tick: honour backoff, then offer at most one frame.
+    pub fn step(&mut self, collector: &mut Collector) {
+        if self.is_terminal() {
+            return;
+        }
+        if self.parked > 0 {
+            self.parked -= 1;
+            return;
+        }
+        match self.phase {
+            ClientPhase::Greet => {
+                if self.in_flight.is_none() {
+                    let bytes = encode_frame(&Frame::Hello {
+                        meta: self.meta.clone(),
+                        expected_records: self.expected,
+                    });
+                    self.in_flight = Some((0, 0, bytes));
+                }
+                self.offer_in_flight(collector);
+            }
+            ClientPhase::Stream => {
+                if self.in_flight.is_none() {
+                    if let Some(at) = self.disconnect_at {
+                        if self.frames_acked() >= at {
+                            self.die_mid_frame(collector);
+                            return;
+                        }
+                    }
+                    if self.cursor >= self.records.len() {
+                        self.phase = ClientPhase::Close;
+                        let bytes = encode_frame(&Frame::Bye {
+                            frames_sent: self.next_seq - 1,
+                        });
+                        self.in_flight = Some((0, 0, bytes));
+                        self.offer_in_flight(collector);
+                        return;
+                    }
+                    let end = (self.cursor + self.frame_records).min(self.records.len());
+                    let chunk = self.records[self.cursor..end].to_vec();
+                    let n = chunk.len() as u64;
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.cursor = end;
+                    let bytes = encode_frame(&Frame::Records {
+                        seq,
+                        records: chunk,
+                    });
+                    self.in_flight = Some((seq, n, bytes));
+                }
+                self.offer_in_flight(collector);
+            }
+            ClientPhase::Close => self.offer_in_flight(collector),
+            ClientPhase::Done | ClientPhase::Dead => {}
+        }
+    }
+
+    fn offer_in_flight(&mut self, collector: &mut Collector) {
+        if self.sent {
+            return; // accepted and awaiting its ack — never double-send
+        }
+        let Some((_, _, bytes)) = &self.in_flight else {
+            return;
+        };
+        match collector.offer(self.id, bytes.clone()) {
+            Ok(()) => {
+                self.sent = true;
+                self.attempt = 0;
+            }
+            Err(Frame::Busy { .. }) => {
+                self.ledger.busy += 1;
+                self.ledger.retries += 1;
+                // Jittered exponential backoff, one tick per millisecond
+                // (minimum one tick so a parked client always yields).
+                let wait = self
+                    .policy
+                    .backoff_jittered(self.attempt.min(self.policy.max_retries), &mut self.rng);
+                self.parked = (wait.as_nanos() / 1_000_000).max(1);
+                self.attempt = self.attempt.saturating_add(1);
+            }
+            Err(_) => unreachable!("offer only refuses with Busy"),
+        }
+    }
+
+    /// Vanish mid-send: push the first half of the next frame's bytes —
+    /// the tear a dying connection leaves — and go dead. If even the
+    /// torn bytes are refused, vanish silently; the collector's idle
+    /// sweep will notice.
+    fn die_mid_frame(&mut self, collector: &mut Collector) {
+        let end = (self.cursor + self.frame_records).min(self.records.len());
+        let chunk = self.records[self.cursor..end].to_vec();
+        let bytes = encode_frame(&Frame::Records {
+            seq: self.next_seq,
+            records: chunk,
+        });
+        let torn = bytes[..bytes.len() / 2].to_vec();
+        let _ = collector.offer(self.id, torn);
+        self.phase = ClientPhase::Dead;
+        self.in_flight = None;
+        self.sent = false;
+    }
+
+    /// Deliver one collector → client frame.
+    pub fn deliver(&mut self, frame: &Frame) {
+        match frame {
+            Frame::HelloAck { session } if self.phase == ClientPhase::Greet => {
+                self.phase = ClientPhase::Stream;
+                self.session = Some(*session);
+                self.in_flight = None;
+                self.sent = false;
+            }
+            Frame::Ack { seq } => {
+                if let Some((want, n, _)) = &self.in_flight {
+                    if seq == want {
+                        let n = *n;
+                        self.ledger.sent_records += n;
+                        self.ledger.acked_records += n;
+                        self.in_flight = None;
+                        self.sent = false;
+                    }
+                }
+            }
+            Frame::Sealed { records } => {
+                self.ledger.durable_records = self.ledger.durable_records.max(*records);
+            }
+            Frame::ByeAck { records } => {
+                self.ledger.durable_records = self.ledger.durable_records.max(*records);
+                self.phase = ClientPhase::Done;
+                self.in_flight = None;
+                self.sent = false;
+            }
+            // Busy arrives synchronously from offer(); other frames are
+            // client → collector and never delivered here.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace_sim::time::SimDur;
+
+    #[test]
+    fn backoff_parks_grow_with_attempts() {
+        let meta = TraceMeta::new("/a", 0, 0, "t");
+        let policy = RetryPolicy {
+            base_backoff: SimDur::from_millis(4),
+            jitter_frac: 0.0,
+            ..RetryPolicy::lanl_2007()
+        };
+        let mut c = SimClient::new(1, meta, Vec::new(), 0, 8, policy, 7, None);
+        c.attempt = 0;
+        c.ledger = ClientLedger::default();
+        // simulate two refusals by hand
+        let w0 = policy.backoff(0).as_nanos() / 1_000_000;
+        let w1 = policy.backoff(1).as_nanos() / 1_000_000;
+        assert_eq!(w0, 4);
+        assert_eq!(w1, 8);
+    }
+}

@@ -1,0 +1,597 @@
+//! The collector: one long-running process multiplexing many capture
+//! sessions into per-session journaled spools.
+//!
+//! The collector is deliberately single-threaded and tick-driven: all
+//! concurrency lives in the interleaving of client frames through the
+//! bounded ingest queue, which makes every soak — including the ones
+//! that kill the collector mid-segment — bit-for-bit reproducible.
+//!
+//! Durability contract: a record is *durable* once its segment seals,
+//! at which point the sealed journal prefix is flushed to
+//! `sessNNN.iotj` and the sealed count lands in `sessNNN.card`. A
+//! collector kill loses at most the unsealed tail of each session, and
+//! the torn journal left behind is exactly what
+//! [`fsck_journal`](iotrace_model::journal::fsck_journal) recovers. Stats fold incrementally as segments seal, so `stats` and
+//! `hotspots` answers are available mid-capture without re-reading any
+//! spool file.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use iotrace_analysis::hotspots::{top_by_bytes_interned, PathFold, PathStats};
+use iotrace_analysis::stats::TraceStats;
+use iotrace_model::intern::Interner;
+
+use crate::proto::{decode_frame, Frame, ProtoError};
+use crate::queue::BoundedQueue;
+use crate::session::{session_stem, Session, SessionState};
+
+/// Tuning knobs for a collector instance.
+#[derive(Clone, Copy, Debug)]
+pub struct CollectorConfig {
+    /// Records per sealed journal segment (the durability granularity).
+    pub segment_records: usize,
+    /// Ingest queue capacity in frames; a full queue refuses with `Busy`.
+    pub queue_capacity: usize,
+    /// Frames the collector drains per tick when healthy.
+    pub drain_per_tick: usize,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig {
+            segment_records: 64,
+            queue_capacity: 8,
+            drain_per_tick: 4,
+        }
+    }
+}
+
+/// A point-in-time view of the incrementally folded statistics.
+#[derive(Clone, Debug)]
+pub struct StatsSnapshot {
+    /// Records folded so far (== records sealed across all sessions).
+    pub folded_records: u64,
+    pub stats: TraceStats,
+}
+
+/// One row of the live session table.
+#[derive(Clone, Debug)]
+pub struct SessionRow {
+    pub session: u32,
+    pub state: SessionState,
+    pub expected: u64,
+    pub appended: u64,
+    pub sealed: u64,
+    pub completeness: f64,
+}
+
+/// The collector daemon state. Frames arrive via [`Collector::offer`]
+/// (which refuses with `Busy` under backpressure) and are applied by
+/// [`Collector::drain`]; replies accumulate in the outbox for the
+/// harness to deliver.
+pub struct Collector {
+    dir: PathBuf,
+    cfg: CollectorConfig,
+    ingest: BoundedQueue<(u32, Vec<u8>)>,
+    sessions: BTreeMap<u32, Session>,
+    /// client id -> session id, for routing frames after `Hello`.
+    client_session: BTreeMap<u32, u32>,
+    next_session: u32,
+    stats: TraceStats,
+    paths: Interner,
+    path_fold: PathFold,
+    folded_records: u64,
+    frames_drained: u64,
+    outbox: Vec<(u32, Frame)>,
+    killed: bool,
+}
+
+impl Collector {
+    /// Open a collector over `dir`, creating it if needed. New session
+    /// ids start past any `sessNNN.iotj` already in the spool, so a
+    /// restarted collector never overwrites an orphaned journal.
+    pub fn open(dir: &Path, cfg: CollectorConfig) -> Result<Self, String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let mut next_session = 0u32;
+        for entry in std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))? {
+            let entry = entry.map_err(|e| e.to_string())?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(num) = name
+                .strip_prefix("sess")
+                .and_then(|r| r.strip_suffix(".iotj"))
+            {
+                if let Ok(id) = num.parse::<u32>() {
+                    next_session = next_session.max(id + 1);
+                }
+            }
+        }
+        Ok(Collector {
+            dir: dir.to_path_buf(),
+            cfg,
+            ingest: BoundedQueue::new(cfg.queue_capacity),
+            sessions: BTreeMap::new(),
+            client_session: BTreeMap::new(),
+            next_session,
+            stats: TraceStats::default(),
+            paths: Interner::new(),
+            path_fold: PathFold::default(),
+            folded_records: 0,
+            frames_drained: 0,
+            outbox: Vec::new(),
+            killed: false,
+        })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn config(&self) -> CollectorConfig {
+        self.cfg
+    }
+
+    /// Offer one raw frame from `client`. `Ok` means the frame is
+    /// queued and will be acknowledged; `Err` carries the `Busy`
+    /// backpressure frame the client must honour with backoff.
+    pub fn offer(&mut self, client: u32, frame_bytes: Vec<u8>) -> Result<(), Frame> {
+        if self.killed {
+            return Err(Frame::Busy { queue_len: 0 });
+        }
+        let queue_len = self.ingest.len() as u32;
+        self.ingest
+            .push((client, frame_bytes))
+            .map_err(|_| Frame::Busy { queue_len })
+    }
+
+    /// Drain up to `budget` queued frames. `kill_at` simulates the
+    /// collector process dying the instant that many frames (counted
+    /// over the collector's lifetime) have been applied: torn journals
+    /// are flushed exactly as a real crash would leave them and the
+    /// collector goes dead. Returns `true` if the kill fired.
+    pub fn drain(&mut self, budget: usize, kill_at: Option<u64>) -> Result<bool, String> {
+        for _ in 0..budget {
+            if self.killed {
+                return Ok(true);
+            }
+            if let Some(k) = kill_at {
+                if self.frames_drained >= k {
+                    self.kill()?;
+                    return Ok(true);
+                }
+            }
+            let Some((client, bytes)) = self.ingest.pop() else {
+                return Ok(false);
+            };
+            self.frames_drained += 1;
+            self.apply(client, &bytes)?;
+        }
+        Ok(false)
+    }
+
+    /// Frames applied over the collector's lifetime.
+    pub fn frames_drained(&self) -> u64 {
+        self.frames_drained
+    }
+
+    /// Replies owed to clients, in the order they were produced.
+    pub fn take_outbox(&mut self) -> Vec<(u32, Frame)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    pub fn queue(&self) -> &BoundedQueue<(u32, Vec<u8>)> {
+        &self.ingest
+    }
+
+    pub fn is_killed(&self) -> bool {
+        self.killed
+    }
+
+    fn apply(&mut self, client: u32, bytes: &[u8]) -> Result<(), String> {
+        let meta = self
+            .client_session
+            .get(&client)
+            .and_then(|sid| self.sessions.get(sid))
+            .map(|s| s.meta.clone());
+        match decode_frame(bytes, meta.as_ref()) {
+            Ok(Frame::Hello {
+                meta,
+                expected_records,
+            }) => {
+                if self.client_session.contains_key(&client) {
+                    return self.disconnect(client, "second Hello");
+                }
+                let id = self.next_session;
+                self.next_session += 1;
+                let mut sess = Session::new(id, meta, expected_records, self.cfg.segment_records);
+                sess.state = SessionState::Streaming;
+                // Persist the expectation *before* any record lands: the
+                // card is what makes post-crash completeness exact.
+                self.persist_card(&sess)?;
+                self.persist_journal(&sess)?;
+                self.sessions.insert(id, sess);
+                self.client_session.insert(client, id);
+                self.outbox.push((client, Frame::HelloAck { session: id }));
+                Ok(())
+            }
+            Ok(Frame::Records { seq, records }) => {
+                let Some(&sid) = self.client_session.get(&client) else {
+                    return self.disconnect(client, "Records without session");
+                };
+                {
+                    let sess = self.sessions.get_mut(&sid).expect("routed session exists");
+                    if sess.state != SessionState::Streaming || seq != sess.last_seq + 1 {
+                        return self.disconnect(client, "out-of-order frame");
+                    }
+                    sess.last_seq = seq;
+                    sess.appended += records.len() as u64;
+                    sess.unfolded.extend_from_slice(&records);
+                    sess.writer.append_all(&records);
+                }
+                let sealed = self.fold_sealed(sid)?;
+                self.outbox.push((client, Frame::Ack { seq }));
+                if let Some(records) = sealed {
+                    self.outbox.push((client, Frame::Sealed { records }));
+                }
+                Ok(())
+            }
+            Ok(Frame::Bye { frames_sent }) => {
+                let Some(&sid) = self.client_session.get(&client) else {
+                    return self.disconnect(client, "Bye without session");
+                };
+                let clean = {
+                    let sess = self.sessions.get_mut(&sid).expect("routed session exists");
+                    sess.state = SessionState::Sealing;
+                    sess.writer.seal_segment();
+                    frames_sent == sess.last_seq
+                };
+                self.fold_sealed(sid)?;
+                let records = {
+                    let sess = self.sessions.get_mut(&sid).expect("routed session exists");
+                    let complete = sess.expected == 0 || sess.sealed() >= sess.expected;
+                    sess.state = if clean && complete {
+                        SessionState::Closed
+                    } else {
+                        SessionState::Degraded
+                    };
+                    sess.sealed()
+                };
+                let sess = &self.sessions[&sid];
+                self.persist_journal(sess)?;
+                self.persist_card(sess)?;
+                self.client_session.remove(&client);
+                self.outbox.push((client, Frame::ByeAck { records }));
+                Ok(())
+            }
+            // Replies are never client → collector.
+            Ok(_) => self.disconnect(client, "unexpected reply frame"),
+            // A tear or checksum failure is how a client death looks
+            // from this side: seal what arrived, document the loss.
+            Err(ProtoError::Truncated | ProtoError::BadCrc) => {
+                self.disconnect(client, "torn frame")
+            }
+            Err(e) => self.disconnect(client, Box::leak(e.to_string().into_boxed_str())),
+        }
+    }
+
+    /// A client vanished (torn frame, protocol violation, or idle
+    /// sweep): seal whatever arrived, mark the session `Degraded`
+    /// (or `Closed` when everything expected had already landed), and
+    /// persist both spool files.
+    pub fn disconnect(&mut self, client: u32, _why: &str) -> Result<(), String> {
+        let Some(sid) = self.client_session.remove(&client) else {
+            return Ok(());
+        };
+        {
+            let sess = self.sessions.get_mut(&sid).expect("routed session exists");
+            sess.writer.seal_segment();
+        }
+        self.fold_sealed(sid)?;
+        let sess = self.sessions.get_mut(&sid).expect("routed session exists");
+        let complete = sess.expected > 0 && sess.sealed() >= sess.expected;
+        sess.state = if complete {
+            SessionState::Closed
+        } else {
+            SessionState::Degraded
+        };
+        let sess = &self.sessions[&sid];
+        self.persist_journal(sess)?;
+        self.persist_card(sess)?;
+        Ok(())
+    }
+
+    /// Close every session whose client is in `dead` and still has a
+    /// live session — the idle sweep a deployment would drive from a
+    /// socket timeout.
+    pub fn sweep_idle(&mut self, dead: &[u32]) -> Result<(), String> {
+        for &client in dead {
+            self.disconnect(client, "idle sweep")?;
+        }
+        Ok(())
+    }
+
+    /// Simulate the collector process dying right now: flush each live
+    /// session's journal in its torn on-disk form (sealed prefix + the
+    /// dangling tail a crash leaves) and stop accepting work. Cards are
+    /// deliberately *not* rewritten — a crash doesn't get to tidy up.
+    pub fn kill(&mut self) -> Result<(), String> {
+        for sess in self.sessions.values() {
+            if !sess.state.is_terminal() {
+                let path = self.dir.join(format!("{}.iotj", session_stem(sess.id)));
+                std::fs::write(&path, sess.writer.torn())
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+            }
+        }
+        self.killed = true;
+        Ok(())
+    }
+
+    /// Fold any newly sealed records of session `sid` into the running
+    /// stats and flush the sealed journal prefix. Returns the new
+    /// durable watermark if it moved.
+    fn fold_sealed(&mut self, sid: u32) -> Result<Option<u64>, String> {
+        let (delta, watermark) = {
+            let sess = self.sessions.get_mut(&sid).expect("session exists");
+            let sealed = sess.sealed();
+            let delta = (sealed - sess.folded) as usize;
+            if delta == 0 {
+                return Ok(None);
+            }
+            let batch: Vec<_> = sess.unfolded.drain(..delta).collect();
+            sess.folded = sealed;
+            (batch, sealed)
+        };
+        self.stats.merge(&TraceStats::from_records(&delta));
+        self.path_fold.fold(&delta, &mut self.paths);
+        self.folded_records += delta.len() as u64;
+        let sess = &self.sessions[&sid];
+        if !sess.state.is_terminal() {
+            self.persist_journal(sess)?;
+            self.persist_card(sess)?;
+        }
+        Ok(Some(watermark))
+    }
+
+    /// Flush the sealed journal prefix. While streaming this is the
+    /// durable prefix a crash preserves; once a session seals its final
+    /// segment the same bytes *are* the finished, strictly readable
+    /// journal.
+    fn persist_journal(&self, sess: &Session) -> Result<(), String> {
+        let path = self.dir.join(format!("{}.iotj", session_stem(sess.id)));
+        std::fs::write(&path, sess.writer.sealed_bytes())
+            .map_err(|e| format!("write {}: {e}", path.display()))
+    }
+
+    fn persist_card(&self, sess: &Session) -> Result<(), String> {
+        let path = self.dir.join(format!("{}.card", session_stem(sess.id)));
+        std::fs::write(&path, format!("{}\n", sess.card().to_line()))
+            .map_err(|e| format!("write {}: {e}", path.display()))
+    }
+
+    /// The incrementally folded stats — valid mid-capture, covering
+    /// exactly the sealed (durable) records.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            folded_records: self.folded_records,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Top-`n` hotspot paths by bytes over the sealed records, resolved
+    /// to owned strings.
+    pub fn hotspots(&self, n: usize) -> Vec<(String, PathStats)> {
+        top_by_bytes_interned(&self.path_fold.stats, &self.paths, n)
+            .into_iter()
+            .map(|(sym, s)| (self.paths.resolve(sym).to_string(), s))
+            .collect()
+    }
+
+    /// The live session table, ascending by session id.
+    pub fn session_rows(&self) -> Vec<SessionRow> {
+        self.sessions
+            .values()
+            .map(|s| SessionRow {
+                session: s.id,
+                state: s.state,
+                expected: s.expected,
+                appended: s.appended,
+                sealed: s.sealed(),
+                completeness: s.completeness(),
+            })
+            .collect()
+    }
+
+    /// Look up the session currently bound to `client`.
+    pub fn session_of(&self, client: u32) -> Option<&Session> {
+        self.client_session
+            .get(&client)
+            .and_then(|sid| self.sessions.get(sid))
+    }
+
+    /// True when every session reached a terminal state.
+    pub fn all_terminal(&self) -> bool {
+        self.sessions.values().all(|s| s.state.is_terminal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::encode_frame;
+    use iotrace_model::event::{IoCall, TraceMeta, TraceRecord};
+    use iotrace_sim::time::{SimDur, SimTime};
+
+    fn recs(n: usize) -> Vec<TraceRecord> {
+        (0..n as u64)
+            .map(|i| TraceRecord {
+                ts: SimTime::from_micros(i * 3),
+                dur: SimDur::from_micros(1),
+                rank: 0,
+                node: 0,
+                pid: 10,
+                uid: 0,
+                gid: 0,
+                call: IoCall::Write { fd: 3, len: 64 },
+                result: 64,
+            })
+            .collect()
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("iotrace-collector-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn happy_path_session_closes_clean() {
+        let dir = tmpdir("happy");
+        let mut c = Collector::open(
+            &dir,
+            CollectorConfig {
+                segment_records: 4,
+                queue_capacity: 4,
+                drain_per_tick: 8,
+            },
+        )
+        .unwrap();
+        let meta = TraceMeta::new("/app", 0, 0, "sim");
+        c.offer(
+            7,
+            encode_frame(&Frame::Hello {
+                meta,
+                expected_records: 10,
+            }),
+        )
+        .unwrap();
+        c.drain(8, None).unwrap();
+        assert!(matches!(
+            c.take_outbox().as_slice(),
+            [(7, Frame::HelloAck { .. })]
+        ));
+        let all = recs(10);
+        for (i, chunk) in all.chunks(5).enumerate() {
+            c.offer(
+                7,
+                encode_frame(&Frame::Records {
+                    seq: i as u64 + 1,
+                    records: chunk.to_vec(),
+                }),
+            )
+            .unwrap();
+        }
+        c.offer(7, encode_frame(&Frame::Bye { frames_sent: 2 }))
+            .unwrap();
+        c.drain(8, None).unwrap();
+        let rows = c.session_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].state, SessionState::Closed);
+        assert_eq!(rows[0].sealed, 10);
+        assert_eq!(rows[0].completeness, 1.0);
+        assert_eq!(c.snapshot().folded_records, 10);
+        assert_eq!(c.snapshot().stats.bytes_written, 640);
+        // the spool holds a clean, strictly readable journal
+        let bytes = std::fs::read(dir.join("sess000.iotj")).unwrap();
+        let t = iotrace_model::journal::read_journal(&bytes).unwrap();
+        assert_eq!(t.records, all);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backpressure_refuses_with_busy_and_keeps_accepted_frames() {
+        let dir = tmpdir("busy");
+        let mut c = Collector::open(
+            &dir,
+            CollectorConfig {
+                segment_records: 4,
+                queue_capacity: 2,
+                drain_per_tick: 1,
+            },
+        )
+        .unwrap();
+        assert!(c.offer(1, vec![1]).is_ok());
+        assert!(c.offer(2, vec![2]).is_ok());
+        match c.offer(3, vec![3]) {
+            Err(Frame::Busy { queue_len }) => assert_eq!(queue_len, 2),
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        assert_eq!(c.queue().refused(), 1);
+        assert_eq!(c.queue().high_watermark(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_leaves_torn_journal_and_streaming_card() {
+        let dir = tmpdir("kill");
+        let mut c = Collector::open(
+            &dir,
+            CollectorConfig {
+                segment_records: 4,
+                queue_capacity: 8,
+                drain_per_tick: 16,
+            },
+        )
+        .unwrap();
+        let meta = TraceMeta::new("/app", 0, 0, "sim");
+        c.offer(
+            1,
+            encode_frame(&Frame::Hello {
+                meta,
+                expected_records: 12,
+            }),
+        )
+        .unwrap();
+        let all = recs(12);
+        for (i, chunk) in all.chunks(6).enumerate() {
+            c.offer(
+                1,
+                encode_frame(&Frame::Records {
+                    seq: i as u64 + 1,
+                    records: chunk.to_vec(),
+                }),
+            )
+            .unwrap();
+        }
+        // apply Hello + first Records frame, then die
+        let killed = c.drain(16, Some(2)).unwrap();
+        assert!(killed && c.is_killed());
+        // offers after death are refused
+        assert!(c.offer(1, vec![0]).is_err());
+        let bytes = std::fs::read(dir.join("sess000.iotj")).unwrap();
+        assert!(iotrace_model::journal::read_journal(&bytes).is_err());
+        let (t, rep) = iotrace_model::journal::fsck_journal(&bytes).unwrap();
+        // one full segment (4 records) sealed out of the 6 appended
+        assert_eq!(rep.records_recovered, 4);
+        assert!(rep.torn_tail_bytes > 0);
+        assert_eq!(t.records, all[..4]);
+        let card = std::fs::read_to_string(dir.join("sess000.card")).unwrap();
+        let card = crate::session::SessionCard::parse_line(card.trim()).unwrap();
+        assert_eq!(card.expected, 12);
+        assert_eq!(card.state, SessionState::Streaming);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn new_session_ids_start_past_existing_spool_files() {
+        let dir = tmpdir("ids");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("sess004.iotj"), b"x").unwrap();
+        let mut c = Collector::open(&dir, CollectorConfig::default()).unwrap();
+        let meta = TraceMeta::new("/app", 0, 0, "sim");
+        c.offer(
+            1,
+            encode_frame(&Frame::Hello {
+                meta,
+                expected_records: 0,
+            }),
+        )
+        .unwrap();
+        c.drain(1, None).unwrap();
+        assert!(matches!(
+            c.take_outbox().as_slice(),
+            [(1, Frame::HelloAck { session: 5 })]
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

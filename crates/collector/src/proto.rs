@@ -1,0 +1,314 @@
+//! The collector's framed session protocol.
+//!
+//! Clients and the collector exchange *frames* over a byte channel —
+//! in-process in this workbench, a Unix socket in a deployment; the
+//! framing is transport-agnostic. Every frame is length-prefixed and
+//! CRC-sealed, so a connection that dies mid-frame leaves a tear the
+//! receiver can prove rather than silently mis-parse:
+//!
+//! ```text
+//! varint len | crc32 LE over payload | payload: tag u8 + fields
+//! ```
+//!
+//! `Hello` carries the session's [`TraceMeta`] in the exact field layout
+//! of the IOTJ journal header ([`iotrace_model::journal::put_meta`]),
+//! and `Records` payloads reuse the sealed-segment record encoding
+//! (timestamp deltas reset per frame) — the wire format and the at-rest
+//! format share one codec, so a frame that decodes is a segment that
+//! seals.
+//!
+//! Acknowledgement discipline: `Ack { seq }` means the frame's records
+//! were *appended* to the session's journal writer (flow control);
+//! `Sealed { records }` advertises the durable watermark — records at
+//! or below it survive a collector kill. `Busy` is the explicit
+//! backpressure signal: the bounded ingest queue refused the frame and
+//! the client must retry later (exponential backoff + seeded jitter).
+
+use iotrace_model::crc::crc32;
+use iotrace_model::event::{TraceMeta, TraceRecord};
+use iotrace_model::journal::{decode_segment_payload, encode_segment_payload, get_meta, put_meta};
+use iotrace_model::varint::{put_u64, Cursor};
+
+/// One protocol message. Client → collector: `Hello`, `Records`, `Bye`.
+/// Collector → client: `HelloAck`, `Ack`, `Sealed`, `Busy`, `ByeAck`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Open a session: the trace metadata plus how many records the
+    /// client intends to stream (0 when unknown). The expectation is
+    /// persisted before any record lands, so crash recovery can stamp
+    /// exact completeness.
+    Hello {
+        meta: TraceMeta,
+        expected_records: u64,
+    },
+    /// A batch of records. `seq` starts at 1 and increments per frame.
+    Records { seq: u64, records: Vec<TraceRecord> },
+    /// Clean close: `frames_sent` lets the collector cross-check that
+    /// nothing was lost in transit.
+    Bye { frames_sent: u64 },
+    /// The session is open under this id.
+    HelloAck { session: u32 },
+    /// Frame `seq` was appended to the session journal.
+    Ack { seq: u64 },
+    /// Durable watermark: this many records are sealed on disk.
+    Sealed { records: u64 },
+    /// Backpressure: the ingest queue is full (`queue_len` deep). Retry
+    /// with backoff.
+    Busy { queue_len: u32 },
+    /// Clean close acknowledged; the final durable record count.
+    ByeAck { records: u64 },
+}
+
+/// A frame failed to decode. `Truncated`/`BadCrc` are what a connection
+/// death mid-frame looks like from the receiving end.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    Truncated,
+    BadCrc,
+    UnknownTag(u8),
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "frame truncated (connection died mid-frame?)"),
+            ProtoError::BadCrc => write!(f, "frame payload fails its checksum"),
+            ProtoError::UnknownTag(t) => write!(f, "unknown frame tag {t}"),
+            ProtoError::Malformed(what) => write!(f, "malformed {what} frame"),
+        }
+    }
+}
+impl std::error::Error for ProtoError {}
+
+const TAG_HELLO: u8 = 1;
+const TAG_RECORDS: u8 = 2;
+const TAG_BYE: u8 = 3;
+const TAG_HELLO_ACK: u8 = 4;
+const TAG_ACK: u8 = 5;
+const TAG_SEALED: u8 = 6;
+const TAG_BUSY: u8 = 7;
+const TAG_BYE_ACK: u8 = 8;
+
+/// Encode one frame to its wire bytes.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match frame {
+        Frame::Hello {
+            meta,
+            expected_records,
+        } => {
+            payload.push(TAG_HELLO);
+            put_u64(&mut payload, *expected_records);
+            put_meta(&mut payload, meta);
+        }
+        Frame::Records { seq, records } => {
+            payload.push(TAG_RECORDS);
+            put_u64(&mut payload, *seq);
+            put_u64(&mut payload, records.len() as u64);
+            payload.extend_from_slice(&encode_segment_payload(records));
+        }
+        Frame::Bye { frames_sent } => {
+            payload.push(TAG_BYE);
+            put_u64(&mut payload, *frames_sent);
+        }
+        Frame::HelloAck { session } => {
+            payload.push(TAG_HELLO_ACK);
+            put_u64(&mut payload, u64::from(*session));
+        }
+        Frame::Ack { seq } => {
+            payload.push(TAG_ACK);
+            put_u64(&mut payload, *seq);
+        }
+        Frame::Sealed { records } => {
+            payload.push(TAG_SEALED);
+            put_u64(&mut payload, *records);
+        }
+        Frame::Busy { queue_len } => {
+            payload.push(TAG_BUSY);
+            put_u64(&mut payload, u64::from(*queue_len));
+        }
+        Frame::ByeAck { records } => {
+            payload.push(TAG_BYE_ACK);
+            put_u64(&mut payload, *records);
+        }
+    }
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    put_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode one frame. `meta` supplies rank/node for `Records` payloads
+/// (the session's metadata from its `Hello`); a `Records` frame without
+/// it is malformed — the protocol requires `Hello` first.
+pub fn decode_frame(bytes: &[u8], meta: Option<&TraceMeta>) -> Result<Frame, ProtoError> {
+    let mut c = Cursor::new(bytes);
+    let len = c.get_u64().map_err(|_| ProtoError::Truncated)? as usize;
+    let stored = c.take(4).map_err(|_| ProtoError::Truncated)?;
+    let stored = u32::from_le_bytes([stored[0], stored[1], stored[2], stored[3]]);
+    let payload = c.take(len).map_err(|_| ProtoError::Truncated)?;
+    if !c.is_empty() {
+        return Err(ProtoError::Malformed("over-long"));
+    }
+    if crc32(payload) != stored {
+        return Err(ProtoError::BadCrc);
+    }
+    let mut p = Cursor::new(payload);
+    let tag = p.take(1).map_err(|_| ProtoError::Truncated)?[0];
+    let u = |p: &mut Cursor<'_>| p.get_u64().map_err(|_| ProtoError::Truncated);
+    match tag {
+        TAG_HELLO => {
+            let expected_records = u(&mut p)?;
+            let meta = get_meta(&mut p).map_err(|_| ProtoError::Malformed("Hello"))?;
+            Ok(Frame::Hello {
+                meta,
+                expected_records,
+            })
+        }
+        TAG_RECORDS => {
+            let seq = u(&mut p)?;
+            let promised = u(&mut p)? as usize;
+            let meta = meta.ok_or(ProtoError::Malformed("Records-before-Hello"))?;
+            let n = p.remaining();
+            let rest = p.take(n).map_err(|_| ProtoError::Truncated)?;
+            let records =
+                decode_segment_payload(rest, meta).map_err(|_| ProtoError::Malformed("Records"))?;
+            if records.len() != promised {
+                return Err(ProtoError::Malformed("Records-count"));
+            }
+            Ok(Frame::Records { seq, records })
+        }
+        TAG_BYE => Ok(Frame::Bye {
+            frames_sent: u(&mut p)?,
+        }),
+        TAG_HELLO_ACK => Ok(Frame::HelloAck {
+            session: u(&mut p)? as u32,
+        }),
+        TAG_ACK => Ok(Frame::Ack { seq: u(&mut p)? }),
+        TAG_SEALED => Ok(Frame::Sealed {
+            records: u(&mut p)?,
+        }),
+        TAG_BUSY => Ok(Frame::Busy {
+            queue_len: u(&mut p)? as u32,
+        }),
+        TAG_BYE_ACK => Ok(Frame::ByeAck {
+            records: u(&mut p)?,
+        }),
+        t => Err(ProtoError::UnknownTag(t)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace_model::event::IoCall;
+    use iotrace_sim::time::{SimDur, SimTime};
+
+    fn sample_records(n: usize) -> Vec<TraceRecord> {
+        (0..n as u64)
+            .map(|i| TraceRecord {
+                ts: SimTime::from_micros(100 + i * 7),
+                dur: SimDur::from_micros(2),
+                rank: 3,
+                node: 1,
+                pid: 900,
+                uid: 0,
+                gid: 0,
+                call: IoCall::Pwrite {
+                    fd: 4,
+                    offset: i * 512,
+                    len: 512,
+                },
+                result: 512,
+            })
+            .collect()
+    }
+
+    fn meta() -> TraceMeta {
+        TraceMeta::new("/app.exe", 3, 1, "lanl-trace")
+    }
+
+    #[test]
+    fn every_frame_kind_roundtrips() {
+        let m = meta();
+        let frames = vec![
+            Frame::Hello {
+                meta: m.clone(),
+                expected_records: 4096,
+            },
+            Frame::Records {
+                seq: 7,
+                records: sample_records(5),
+            },
+            Frame::Records {
+                seq: 8,
+                records: Vec::new(),
+            },
+            Frame::Bye { frames_sent: 8 },
+            Frame::HelloAck { session: 12 },
+            Frame::Ack { seq: 7 },
+            Frame::Sealed { records: 640 },
+            Frame::Busy { queue_len: 32 },
+            Frame::ByeAck { records: 4096 },
+        ];
+        for f in frames {
+            let bytes = encode_frame(&f);
+            let back = decode_frame(&bytes, Some(&m)).expect("roundtrip");
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn torn_frame_is_detected_at_every_cut() {
+        let f = Frame::Records {
+            seq: 3,
+            records: sample_records(9),
+        };
+        let bytes = encode_frame(&f);
+        let m = meta();
+        for cut in 0..bytes.len() {
+            let err = decode_frame(&bytes[..cut], Some(&m)).unwrap_err();
+            assert!(
+                matches!(err, ProtoError::Truncated | ProtoError::BadCrc),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_bit_fails_the_crc() {
+        let bytes = encode_frame(&Frame::Ack { seq: 9 });
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                decode_frame(&bad, None).is_err(),
+                "bit flip at {i} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn records_before_hello_is_malformed() {
+        let bytes = encode_frame(&Frame::Records {
+            seq: 1,
+            records: sample_records(2),
+        });
+        assert_eq!(
+            decode_frame(&bytes, None),
+            Err(ProtoError::Malformed("Records-before-Hello"))
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode_frame(&Frame::Ack { seq: 1 });
+        bytes.push(0xAB);
+        assert_eq!(
+            decode_frame(&bytes, None),
+            Err(ProtoError::Malformed("over-long"))
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! The bounded ingest queue — the collector's backpressure valve.
+//!
+//! The queue accepts or *refuses*; it never drops. A push against a
+//! full queue hands the item straight back (the caller turns that into
+//! a `Busy` frame), so every accepted item is observable at the other
+//! end, in order. Occupancy can therefore never exceed the configured
+//! capacity — the property test in `tests/queue_props.rs` checks both
+//! invariants against an unbounded oracle under random interleavings.
+
+use std::collections::VecDeque;
+
+/// A FIFO with a hard capacity and accounting for the backpressure
+/// story: how many pushes were accepted, how many refused, and the
+/// deepest the queue ever got.
+#[derive(Clone, Debug)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    cap: usize,
+    accepted: u64,
+    refused: u64,
+    high_watermark: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `cap` items (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        BoundedQueue {
+            items: VecDeque::new(),
+            cap: cap.max(1),
+            accepted: 0,
+            refused: 0,
+            high_watermark: 0,
+        }
+    }
+
+    /// Accept `item`, or refuse and hand it back when full. Refusal is
+    /// the *only* failure mode: an accepted item is never dropped.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.cap {
+            self.refused += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.accepted += 1;
+        self.high_watermark = self.high_watermark.max(self.items.len());
+        Ok(())
+    }
+
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.cap
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total pushes accepted over the queue's lifetime.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Total pushes refused (each one a `Busy` signalled to a client).
+    pub fn refused(&self) -> u64 {
+        self.refused
+    }
+
+    /// The deepest occupancy ever observed — provably `<= capacity()`.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refuses_when_full_and_hands_the_item_back() {
+        let mut q = BoundedQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert!(q.is_full());
+        assert_eq!(q.refused(), 1);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3).is_ok());
+        assert_eq!(q.accepted(), 3);
+        assert_eq!(q.high_watermark(), 2);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.push(9).is_ok());
+        assert_eq!(q.push(10), Err(10));
+    }
+}

@@ -1,0 +1,243 @@
+//! Per-session state: the lifecycle machine, the journal spool, and the
+//! crash-survivable session card.
+//!
+//! A session moves through an explicit state machine:
+//!
+//! ```text
+//! HANDSHAKE ──Hello──▶ STREAMING ──Bye──▶ SEALING ──▶ CLOSED
+//!                          │                            (complete)
+//!                          │ torn frame / early Bye /
+//!                          │ idle sweep        └──────▶ DEGRADED
+//!                          ▼                            (documented loss)
+//!            (collector killed; journal torn on disk)
+//!                      ORPHANED ──restart fsck──▶ DEGRADED | CLOSED
+//! ```
+//!
+//! Two artifacts per session live in the spool directory: the IOTJ
+//! journal (`sessNNN.iotj`, sealed segments only are durable) and the
+//! *card* (`sessNNN.card`) — a one-line sidecar written at handshake,
+//! before any record lands, recording how many records the client
+//! intends to stream. The card is what makes post-crash completeness
+//! *exact*: recovery divides recovered records by the card's
+//! expectation instead of guessing from the tear.
+
+use iotrace_model::event::TraceMeta;
+use iotrace_model::journal::JournalWriter;
+
+/// Where a session is in its life. `Display` renders the lowercase
+/// names used in cards and summary tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionState {
+    /// `Hello` seen, `HelloAck` owed.
+    Handshake,
+    /// Records flowing.
+    Streaming,
+    /// `Bye` received; pending records being sealed.
+    Sealing,
+    /// Cleanly closed, all expected records durable.
+    Closed,
+    /// Closed with documented loss (torn frame, early close, or crash
+    /// recovery) — `completeness < 1.0` says exactly how much.
+    Degraded,
+    /// Found abandoned in the spool at startup: the collector died while
+    /// this session streamed. Transient — recovery turns it into
+    /// `Closed` or `Degraded`.
+    Orphaned,
+}
+
+impl SessionState {
+    pub fn is_terminal(self) -> bool {
+        matches!(self, SessionState::Closed | SessionState::Degraded)
+    }
+}
+
+impl std::fmt::Display for SessionState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SessionState::Handshake => "handshake",
+            SessionState::Streaming => "streaming",
+            SessionState::Sealing => "sealing",
+            SessionState::Closed => "closed",
+            SessionState::Degraded => "degraded",
+            SessionState::Orphaned => "orphaned",
+        })
+    }
+}
+
+/// Parse a state name as rendered by `Display`.
+pub fn parse_state(s: &str) -> Option<SessionState> {
+    Some(match s {
+        "handshake" => SessionState::Handshake,
+        "streaming" => SessionState::Streaming,
+        "sealing" => SessionState::Sealing,
+        "closed" => SessionState::Closed,
+        "degraded" => SessionState::Degraded,
+        "orphaned" => SessionState::Orphaned,
+        _ => return None,
+    })
+}
+
+/// The crash-survivable sidecar: one line, written at handshake and
+/// rewritten on every state transition that must outlive the process.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionCard {
+    pub session: u32,
+    /// Records the client declared it would stream (0 = unknown).
+    pub expected: u64,
+    pub state: SessionState,
+    /// Durable records at the time the card was written (only current
+    /// for terminal states; a `streaming` card's count is a floor).
+    pub records: u64,
+    /// Completeness stamped at close/recovery; 1.0 while streaming.
+    pub completeness: f64,
+}
+
+impl SessionCard {
+    pub fn to_line(&self) -> String {
+        format!(
+            "session={} expected={} state={} records={} completeness={:.6}",
+            self.session, self.expected, self.state, self.records, self.completeness
+        )
+    }
+
+    pub fn parse_line(s: &str) -> Option<SessionCard> {
+        let mut session = None;
+        let mut expected = None;
+        let mut state = None;
+        let mut records = None;
+        let mut completeness = None;
+        for part in s.split_whitespace() {
+            let (k, v) = part.split_once('=')?;
+            match k {
+                "session" => session = v.parse().ok(),
+                "expected" => expected = v.parse().ok(),
+                "state" => state = parse_state(v),
+                "records" => records = v.parse().ok(),
+                "completeness" => completeness = v.parse().ok(),
+                _ => return None,
+            }
+        }
+        Some(SessionCard {
+            session: session?,
+            expected: expected?,
+            state: state?,
+            records: records?,
+            completeness: completeness?,
+        })
+    }
+}
+
+/// The spool file stem for session `id`: `sess007` → `sess007.iotj` +
+/// `sess007.card`.
+pub fn session_stem(id: u32) -> String {
+    format!("sess{id:03}")
+}
+
+/// One live session inside the collector.
+pub struct Session {
+    pub id: u32,
+    pub meta: TraceMeta,
+    pub expected: u64,
+    pub state: SessionState,
+    pub writer: JournalWriter,
+    /// Records appended (acked) so far.
+    pub appended: u64,
+    /// Highest `Records.seq` applied; frames must arrive in order.
+    pub last_seq: u64,
+    /// Appended records not yet folded into the incremental stats —
+    /// drained as their segments seal.
+    pub unfolded: Vec<iotrace_model::event::TraceRecord>,
+    /// Records already folded (== sealed records already durable).
+    pub folded: u64,
+}
+
+impl Session {
+    pub fn new(id: u32, meta: TraceMeta, expected: u64, segment_records: usize) -> Self {
+        let writer = JournalWriter::new(&meta, segment_records);
+        Session {
+            id,
+            meta,
+            expected,
+            state: SessionState::Handshake,
+            writer,
+            appended: 0,
+            last_seq: 0,
+            unfolded: Vec::new(),
+            folded: 0,
+        }
+    }
+
+    /// Durable (sealed) record count.
+    pub fn sealed(&self) -> u64 {
+        self.writer.sealed_records() as u64
+    }
+
+    /// The card describing this session's current persistent state.
+    pub fn card(&self) -> SessionCard {
+        SessionCard {
+            session: self.id,
+            expected: self.expected,
+            state: self.state,
+            records: self.sealed(),
+            completeness: self.completeness(),
+        }
+    }
+
+    /// Completeness against the declared expectation: exact when the
+    /// client declared one, 1.0 while nothing says otherwise.
+    pub fn completeness(&self) -> f64 {
+        if self.expected == 0 {
+            return 1.0;
+        }
+        (self.sealed() as f64 / self.expected as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn card_line_roundtrips() {
+        let c = SessionCard {
+            session: 12,
+            expected: 4096,
+            state: SessionState::Degraded,
+            records: 1024,
+            completeness: 0.25,
+        };
+        assert_eq!(SessionCard::parse_line(&c.to_line()), Some(c));
+        assert_eq!(SessionCard::parse_line("session=1 bogus"), None);
+        assert_eq!(
+            SessionCard::parse_line("session=1 expected=2 state=warp records=0 completeness=1"),
+            None
+        );
+    }
+
+    #[test]
+    fn states_render_and_parse() {
+        for s in [
+            SessionState::Handshake,
+            SessionState::Streaming,
+            SessionState::Sealing,
+            SessionState::Closed,
+            SessionState::Degraded,
+            SessionState::Orphaned,
+        ] {
+            assert_eq!(parse_state(&s.to_string()), Some(s));
+        }
+        assert!(SessionState::Closed.is_terminal());
+        assert!(SessionState::Degraded.is_terminal());
+        assert!(!SessionState::Streaming.is_terminal());
+    }
+
+    #[test]
+    fn completeness_tracks_sealed_over_expected() {
+        let meta = TraceMeta::new("/a", 0, 0, "t");
+        let s = Session::new(1, meta, 100, 8);
+        assert_eq!(s.completeness(), 0.0);
+        let meta2 = TraceMeta::new("/a", 0, 0, "t");
+        let s2 = Session::new(2, meta2, 0, 8);
+        assert_eq!(s2.completeness(), 1.0, "unknown expectation claims 1.0");
+    }
+}

@@ -1,0 +1,433 @@
+//! Deterministic multi-client soak: N simulated clients stream their
+//! traces through one collector under a fault plan, on a shared tick
+//! clock.
+//!
+//! Each tick the collector drains a budget of frames (shrunk inside
+//! `slow-consumer` windows), replies are delivered, then every live
+//! client takes one step in id order. Identical `(config, plan,
+//! inputs)` produce identical spool bytes, ledgers, and merged digest —
+//! which is what lets CI diff two independent crash recoveries and call
+//! any difference a bug.
+
+use std::collections::BTreeMap;
+
+use iotrace_fs::params::RetryPolicy;
+use iotrace_model::event::{IoCall, Trace, TraceMeta, TraceRecord};
+use iotrace_sim::fault::FaultPlan;
+use iotrace_sim::rng::DetRng;
+use iotrace_sim::time::{SimDur, SimTime};
+
+use crate::client::{ClientPhase, SimClient};
+use crate::collector::{Collector, CollectorConfig, StatsSnapshot};
+use crate::recovery::recover_spool;
+
+/// Knobs for one soak run.
+#[derive(Clone, Copy, Debug)]
+pub struct SoakConfig {
+    pub clients: u32,
+    pub records_per_client: usize,
+    /// Records per protocol frame.
+    pub frame_records: usize,
+    pub collector: CollectorConfig,
+    /// Kill the collector after this many drained frames (overrides the
+    /// plan's `collector-kill` when set).
+    pub kill_at_frame: Option<u64>,
+    pub retry: RetryPolicy,
+    pub seed: u64,
+    /// Take a stats snapshot every this many ticks (0 = off).
+    pub status_every: u64,
+    /// Safety valve: a soak that hasn't converged by now is a bug.
+    pub max_ticks: u64,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            clients: 8,
+            records_per_client: 256,
+            frame_records: 16,
+            collector: CollectorConfig::default(),
+            kill_at_frame: None,
+            retry: RetryPolicy {
+                jitter_frac: 0.5,
+                ..RetryPolicy::lanl_2007()
+            },
+            seed: 42,
+            status_every: 0,
+            max_ticks: 500_000,
+        }
+    }
+}
+
+/// How a soak ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SoakOutcome {
+    /// Every client reached a terminal phase and the spool is sealed.
+    Completed,
+    /// The collector was killed after draining this many frames.
+    Killed { at_frame: u64 },
+}
+
+/// One client's final standing, joined with its session's.
+#[derive(Clone, Debug)]
+pub struct SessionOutcome {
+    pub client: u32,
+    /// Session id, `None` when the client never connected.
+    pub session: Option<u32>,
+    /// Session state on the collector (`lost` clients have none).
+    pub state: String,
+    pub expected: u64,
+    /// Records the collector acknowledged as appended.
+    pub acked: u64,
+    /// Durable (sealed) records — for killed runs, the ground truth of
+    /// what recovery must bring back.
+    pub sealed: u64,
+    pub completeness: f64,
+    /// Backoff rounds this client took after `Busy` refusals.
+    pub retries: u64,
+}
+
+/// The soak's result: outcomes, queue accounting, snapshots, digest.
+#[derive(Clone, Debug)]
+pub struct SoakReport {
+    pub outcome: SoakOutcome,
+    pub ticks: u64,
+    pub sessions: Vec<SessionOutcome>,
+    pub queue_capacity: usize,
+    pub queue_high_watermark: usize,
+    pub busy_refusals: u64,
+    pub total_retries: u64,
+    /// Mid-capture stats snapshots (when `status_every > 0`).
+    pub snapshots: Vec<(u64, StatsSnapshot)>,
+    /// Records in the merged spool output (completed runs only).
+    pub merged_records: u64,
+    /// Digest of the merged spool output (completed runs only).
+    pub merged_digest: u64,
+}
+
+impl SoakReport {
+    /// Render the per-session summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("client  sess  state      expected  acked   sealed  retries  completeness\n");
+        for s in &self.sessions {
+            out.push_str(&format!(
+                "{:<7} {:<5} {:<10} {:<9} {:<7} {:<7} {:<8} {:.6}\n",
+                s.client,
+                s.session
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                s.state,
+                s.expected,
+                s.acked,
+                s.sealed,
+                s.retries,
+                s.completeness
+            ));
+        }
+        out.push_str(&format!(
+            "queue: {}/{} high watermark, {} busy refusal(s), {} retry backoff(s)\n",
+            self.queue_high_watermark, self.queue_capacity, self.busy_refusals, self.total_retries
+        ));
+        match self.outcome {
+            SoakOutcome::Completed => out.push_str(&format!(
+                "completed in {} tick(s): {} record(s) merged, digest {:#018x}\n",
+                self.ticks, self.merged_records, self.merged_digest
+            )),
+            SoakOutcome::Killed { at_frame } => out.push_str(&format!(
+                "collector KILLED after {} frame(s) at tick {} — spool left torn for recovery\n",
+                at_frame, self.ticks
+            )),
+        }
+        out
+    }
+}
+
+/// Synthesize one deterministic per-client trace: a few files opened,
+/// read/written in bursts, closed — enough shape for hotspot and stats
+/// queries to say something.
+pub fn synth_client_traces(clients: u32, records_per_client: usize, seed: u64) -> Vec<Trace> {
+    (0..clients)
+        .map(|c| {
+            let mut rng = DetRng::new(seed).fork(u64::from(c) + 1);
+            let meta = TraceMeta::new(
+                &format!("/ior_like.exe -c {c}"),
+                c,
+                c / 4,
+                "iotrace-collector-sim",
+            );
+            let mut records = Vec::with_capacity(records_per_client);
+            let mut ts = 1_000 + u64::from(c) * 17;
+            let mut fd = -1i64;
+            let mut path_no = 0u32;
+            for i in 0..records_per_client {
+                ts += 3 + rng.next_u64() % 11;
+                let (call, result) = if fd < 0 {
+                    fd = 3;
+                    path_no += 1;
+                    (
+                        IoCall::Open {
+                            path: format!("/scratch/rank{c}/f{path_no}.dat"),
+                            flags: 0o102,
+                            mode: 0o644,
+                        },
+                        fd,
+                    )
+                } else if i % 37 == 36 {
+                    let f = fd;
+                    fd = -1;
+                    (IoCall::Close { fd: f }, 0)
+                } else if rng.unit_f64() < 0.7 {
+                    let len = 4096 + (rng.next_u64() % 8) * 4096;
+                    (
+                        IoCall::Pwrite {
+                            fd,
+                            offset: i as u64 * 4096,
+                            len,
+                        },
+                        len as i64,
+                    )
+                } else {
+                    let len = 4096;
+                    (
+                        IoCall::Pread {
+                            fd,
+                            offset: i as u64 * 4096,
+                            len,
+                        },
+                        len as i64,
+                    )
+                };
+                records.push(TraceRecord {
+                    ts: SimTime::from_micros(ts),
+                    dur: SimDur::from_micros(1 + rng.next_u64() % 40),
+                    rank: c,
+                    node: c / 4,
+                    pid: 1000 + c,
+                    uid: 500,
+                    gid: 500,
+                    call,
+                    result,
+                });
+            }
+            Trace { meta, records }
+        })
+        .collect()
+}
+
+/// Run one soak over `dir`. `inputs` defaults to
+/// [`synth_client_traces`]; when given, it must hold one trace per
+/// client. Returns the report; on a kill, the spool is left torn for
+/// [`recover_spool`] and the report's `sessions` carry the
+/// sealed-at-kill ground truth.
+pub fn run_soak(
+    dir: &std::path::Path,
+    cfg: &SoakConfig,
+    plan: &FaultPlan,
+    inputs: Option<&[Trace]>,
+) -> Result<SoakReport, String> {
+    let synthesized;
+    let traces: &[Trace] = match inputs {
+        Some(t) => {
+            if t.len() != cfg.clients as usize {
+                return Err(format!(
+                    "need {} input traces, got {}",
+                    cfg.clients,
+                    t.len()
+                ));
+            }
+            t
+        }
+        None => {
+            synthesized = synth_client_traces(cfg.clients, cfg.records_per_client, cfg.seed);
+            &synthesized
+        }
+    };
+    let mut collector = Collector::open(dir, cfg.collector)?;
+    let kill_at = cfg.kill_at_frame.or_else(|| plan.collector_kill_frame());
+    let stalls = plan.consumer_stalls();
+
+    let mut clients: BTreeMap<u32, SimClient> = BTreeMap::new();
+    let mut lost: Vec<u32> = Vec::new();
+    for (c, trace) in traces.iter().enumerate() {
+        let c = c as u32;
+        if plan.file_lost(c) {
+            lost.push(c);
+            continue;
+        }
+        let expected = trace.records.len() as u64;
+        let keep = plan
+            .truncation(c)
+            .map(|f| ((trace.records.len() as f64) * f).floor() as usize)
+            .unwrap_or(trace.records.len());
+        clients.insert(
+            c,
+            SimClient::new(
+                c,
+                trace.meta.clone(),
+                trace.records[..keep].to_vec(),
+                expected,
+                cfg.frame_records,
+                cfg.retry,
+                cfg.seed ^ (u64::from(c) << 8),
+                plan.disconnect_frame(c),
+            ),
+        );
+    }
+
+    let mut snapshots = Vec::new();
+    let mut outcome = None;
+    let mut ticks = 0;
+    for tick in 0..cfg.max_ticks {
+        ticks = tick;
+        // slow-consumer windows shrink the drain budget
+        let mut budget = cfg.collector.drain_per_tick;
+        for &(from, until, factor) in &stalls {
+            if tick >= from && tick < until && factor > 1.0 {
+                budget = ((budget as f64) / factor).floor() as usize;
+            }
+        }
+        let killed = collector.drain(budget, kill_at)?;
+        for (to, frame) in collector.take_outbox() {
+            if let Some(cl) = clients.get_mut(&to) {
+                cl.deliver(&frame);
+            }
+        }
+        if killed {
+            outcome = Some(SoakOutcome::Killed {
+                at_frame: collector.frames_drained(),
+            });
+            break;
+        }
+        for cl in clients.values_mut() {
+            cl.step(&mut collector);
+        }
+        if cfg.status_every > 0 && tick % cfg.status_every == 0 {
+            snapshots.push((tick, collector.snapshot()));
+        }
+        if clients.values().all(|c| c.is_terminal()) && collector.queue().is_empty() {
+            // final sweep: sessions of silently-vanished clients
+            let dead: Vec<u32> = clients
+                .values()
+                .filter(|c| c.phase == ClientPhase::Dead)
+                .map(|c| c.id)
+                .collect();
+            collector.sweep_idle(&dead)?;
+            outcome = Some(SoakOutcome::Completed);
+            break;
+        }
+    }
+    let outcome = outcome.ok_or_else(|| {
+        format!(
+            "soak did not converge within {} ticks (livelock?)",
+            cfg.max_ticks
+        )
+    })?;
+
+    // join client ledgers with collector session rows
+    let session_rows: BTreeMap<u32, _> = collector
+        .session_rows()
+        .into_iter()
+        .map(|r| (r.session, r))
+        .collect();
+    let mut sessions = Vec::new();
+    for (&c, cl) in &clients {
+        let row = cl.session.and_then(|sid| session_rows.get(&sid));
+        sessions.push(SessionOutcome {
+            client: c,
+            session: cl.session,
+            state: row
+                .map(|r| r.state.to_string())
+                .unwrap_or_else(|| "unreached".into()),
+            expected: row.map(|r| r.expected).unwrap_or(0),
+            acked: cl.ledger.acked_records,
+            sealed: row.map(|r| r.sealed).unwrap_or(0),
+            completeness: row.map(|r| r.completeness).unwrap_or(0.0),
+            retries: cl.ledger.retries,
+        });
+    }
+    for c in lost {
+        sessions.push(SessionOutcome {
+            client: c,
+            session: None,
+            state: "lost".into(),
+            expected: 0,
+            acked: 0,
+            sealed: 0,
+            completeness: 0.0,
+            retries: 0,
+        });
+    }
+    sessions.sort_by_key(|s| s.client);
+
+    // for completed runs, the spool is a set of clean journals: recovery
+    // is a no-op pass that also writes the deterministic merged digest
+    let (merged_records, merged_digest) = if outcome == SoakOutcome::Completed {
+        let rep = recover_spool(dir, cfg.collector.segment_records)?;
+        debug_assert_eq!(rep.orphans(), 0, "completed soak left orphans");
+        (rep.total_records, rep.merged_digest)
+    } else {
+        (0, 0)
+    };
+
+    Ok(SoakReport {
+        outcome,
+        ticks: ticks + 1,
+        sessions,
+        queue_capacity: collector.queue().capacity(),
+        queue_high_watermark: collector.queue().high_watermark(),
+        busy_refusals: collector.queue().refused(),
+        total_retries: clients.values().map(|c| c.ledger.retries).sum(),
+        snapshots,
+        merged_records,
+        merged_digest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("iotrace-soak-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn clean_soak_completes_with_all_sessions_closed() {
+        let dir = tmpdir("clean");
+        let cfg = SoakConfig {
+            clients: 4,
+            records_per_client: 100,
+            ..SoakConfig::default()
+        };
+        let rep = run_soak(&dir, &cfg, &FaultPlan::clean(), None).unwrap();
+        assert_eq!(rep.outcome, SoakOutcome::Completed);
+        assert_eq!(rep.sessions.len(), 4);
+        for s in &rep.sessions {
+            assert_eq!(s.state, "closed", "client {}: {}", s.client, rep.render());
+            assert_eq!(s.sealed, 100);
+            assert_eq!(s.completeness, 1.0);
+        }
+        assert_eq!(rep.merged_records, 400);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_soak_is_deterministic() {
+        let cfg = SoakConfig {
+            clients: 3,
+            records_per_client: 64,
+            ..SoakConfig::default()
+        };
+        let d1 = tmpdir("det1");
+        let d2 = tmpdir("det2");
+        let r1 = run_soak(&d1, &cfg, &FaultPlan::clean(), None).unwrap();
+        let r2 = run_soak(&d2, &cfg, &FaultPlan::clean(), None).unwrap();
+        assert_eq!(r1.merged_digest, r2.merged_digest);
+        assert_eq!(r1.ticks, r2.ticks);
+        let _ = std::fs::remove_dir_all(&d1);
+        let _ = std::fs::remove_dir_all(&d2);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property test: the bounded ingest queue against a naive unbounded
+//! oracle, under random push/pop/backpressure interleavings.
+//!
+//! Invariants under test:
+//! 1. occupancy never exceeds the configured capacity (the high
+//!    watermark proves it for the whole history, not just the end);
+//! 2. an *accepted* (acknowledged) item is never dropped or reordered —
+//!    popping everything yields exactly the accepted subsequence the
+//!    oracle kept;
+//! 3. a push is refused iff the queue holds exactly `capacity` items,
+//!    and refusal hands the item back intact.
+
+use std::collections::VecDeque;
+
+use iotrace_collector::BoundedQueue;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bounded_queue_matches_unbounded_oracle(
+        cap in 1usize..9,
+        ops in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut q: BoundedQueue<u64> = BoundedQueue::new(cap);
+        // Oracle: unbounded FIFO of the items the bounded queue *said*
+        // it accepted. If the bounded queue ever lies about acceptance,
+        // the two drain differently.
+        let mut oracle: VecDeque<u64> = VecDeque::new();
+        let mut next_item = 0u64;
+        let mut accepted = 0u64;
+        let mut refused = 0u64;
+
+        for op in ops {
+            // op byte: low bit picks push vs pop, giving a ~50/50 mix
+            // with occasional long runs of each from the random bytes.
+            if op % 2 == 0 {
+                let item = next_item;
+                next_item += 1;
+                let was_full = q.len() == cap;
+                match q.push(item) {
+                    Ok(()) => {
+                        prop_assert!(!was_full, "accepted a push while full");
+                        oracle.push_back(item);
+                        accepted += 1;
+                    }
+                    Err(handed_back) => {
+                        prop_assert!(was_full, "refused a push while not full");
+                        // refusal must hand the item back intact
+                        prop_assert_eq!(handed_back, item);
+                        refused += 1;
+                    }
+                }
+            } else {
+                prop_assert_eq!(q.pop(), oracle.pop_front());
+            }
+            // invariant 1: occupancy bounded, always
+            prop_assert!(q.len() <= cap);
+            prop_assert!(q.high_watermark() <= cap);
+            prop_assert_eq!(q.len(), oracle.len());
+            prop_assert_eq!(q.is_full(), oracle.len() == cap);
+        }
+
+        prop_assert_eq!(q.accepted(), accepted);
+        prop_assert_eq!(q.refused(), refused);
+
+        // invariant 2: drain both — every acknowledged item comes out,
+        // in order, with nothing extra
+        let mut drained = Vec::new();
+        while let Some(v) = q.pop() {
+            drained.push(v);
+        }
+        let expected: Vec<u64> = oracle.into_iter().collect();
+        prop_assert_eq!(drained, expected);
+        prop_assert!(q.is_empty());
+    }
+}

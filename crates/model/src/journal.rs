@@ -24,7 +24,7 @@
 use crate::binary::{decode_record_plain, encode_record_plain, BinError};
 use crate::crc::crc32;
 use crate::event::{Trace, TraceMeta, TraceRecord};
-use crate::varint::{put_str, put_u64, Cursor};
+use crate::varint::{put_str, put_u64, Cursor, VarintError};
 
 const MAGIC: &[u8; 4] = b"IOTJ";
 const VERSION: u8 = 1;
@@ -114,23 +114,71 @@ pub struct JournalWriter {
     sealed_records: usize,
 }
 
+/// Encode `meta` in the journal header field layout. Public because the
+/// collector's handshake frames carry the same layout over the wire —
+/// one codec, one set of compatibility rules.
+pub fn put_meta(out: &mut Vec<u8>, meta: &TraceMeta) {
+    put_str(out, &meta.app);
+    put_u64(out, meta.rank as u64);
+    put_u64(out, meta.node as u64);
+    put_str(out, &meta.host);
+    put_str(out, &meta.tracer);
+    put_u64(out, meta.base_epoch);
+    put_u64(out, meta.anonymized as u64);
+    put_u64(
+        out,
+        (meta.completeness.clamp(0.0, 1.0) * 1_000_000.0).round() as u64,
+    );
+}
+
+/// Decode a [`put_meta`] payload.
+pub fn get_meta(c: &mut Cursor<'_>) -> Result<TraceMeta, VarintError> {
+    Ok(TraceMeta {
+        app: c.get_str()?,
+        rank: c.get_u64()? as u32,
+        node: c.get_u64()? as u32,
+        host: c.get_str()?,
+        tracer: c.get_str()?,
+        base_epoch: c.get_u64()?,
+        anonymized: c.get_u64()? != 0,
+        completeness: (c.get_u64()? as f64 / 1_000_000.0).clamp(0.0, 1.0),
+    })
+}
+
+/// Encode records in the segment payload form: plain fields, timestamp
+/// deltas reset at the start. The collector's `Records` frames reuse
+/// this so a frame decodes independently, exactly like a sealed segment.
+pub fn encode_segment_payload(records: &[TraceRecord]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    let mut prev_ts = 0u64;
+    for r in records {
+        encode_record_plain(&mut payload, r, &mut prev_ts);
+    }
+    payload
+}
+
+/// Decode a [`encode_segment_payload`] buffer; `meta` supplies rank/node.
+pub fn decode_segment_payload(bytes: &[u8], meta: &TraceMeta) -> Result<Vec<TraceRecord>, String> {
+    let mut pc = Cursor::new(bytes);
+    let mut recs = Vec::new();
+    let mut prev_ts = 0u64;
+    while !pc.is_empty() {
+        match decode_record_plain(&mut pc, &mut prev_ts, meta) {
+            Ok(r) => recs.push(r),
+            Err(BinError::UnknownTag(t)) => return Err(format!("unknown call tag {t}")),
+            Err(_) => return Err("undecodable record".into()),
+        }
+    }
+    Ok(recs)
+}
+
 impl JournalWriter {
     pub fn new(meta: &TraceMeta, segment_records: usize) -> Self {
         let mut buf = Vec::new();
         buf.extend_from_slice(MAGIC);
         buf.push(VERSION);
         let mut hdr = Vec::new();
-        put_str(&mut hdr, &meta.app);
-        put_u64(&mut hdr, meta.rank as u64);
-        put_u64(&mut hdr, meta.node as u64);
-        put_str(&mut hdr, &meta.host);
-        put_str(&mut hdr, &meta.tracer);
-        put_u64(&mut hdr, meta.base_epoch);
-        put_u64(&mut hdr, meta.anonymized as u64);
-        put_u64(
-            &mut hdr,
-            (meta.completeness.clamp(0.0, 1.0) * 1_000_000.0).round() as u64,
-        );
+        put_meta(&mut hdr, meta);
         put_u64(&mut buf, hdr.len() as u64);
         buf.extend_from_slice(&crc32(&hdr).to_le_bytes());
         buf.extend_from_slice(&hdr);
@@ -212,11 +260,7 @@ impl JournalWriter {
 /// Encode one sealed segment: frame length, payload (delta timestamps
 /// reset per segment), then the footer that makes it trustworthy.
 fn segment_bytes(records: &[TraceRecord]) -> Vec<u8> {
-    let mut payload = Vec::new();
-    let mut prev_ts = 0u64;
-    for r in records {
-        encode_record_plain(&mut payload, r, &mut prev_ts);
-    }
+    let payload = encode_segment_payload(records);
     let mut out = Vec::new();
     put_u64(&mut out, payload.len() as u64);
     out.extend_from_slice(&payload);
@@ -249,19 +293,7 @@ fn read_header(bytes: &[u8]) -> Result<(TraceMeta, usize), JournalError> {
         return Err(JournalError::HeaderCorrupt);
     }
     let mut h = Cursor::new(hdr);
-    let meta = (|| -> Result<TraceMeta, crate::varint::VarintError> {
-        Ok(TraceMeta {
-            app: h.get_str()?,
-            rank: h.get_u64()? as u32,
-            node: h.get_u64()? as u32,
-            host: h.get_str()?,
-            tracer: h.get_str()?,
-            base_epoch: h.get_u64()?,
-            anonymized: h.get_u64()? != 0,
-            completeness: (h.get_u64()? as f64 / 1_000_000.0).clamp(0.0, 1.0),
-        })
-    })()
-    .map_err(|_| JournalError::HeaderCorrupt)?;
+    let meta = get_meta(&mut h).map_err(|_| JournalError::HeaderCorrupt)?;
     Ok((meta, 5 + c.position()))
 }
 
@@ -332,18 +364,8 @@ fn decode_frame(f: &SegFrame<'_>, meta: &TraceMeta) -> Result<Vec<TraceRecord>, 
     if crc32(f.payload) != f.stored_crc {
         return Err("segment payload fails its checksum".into());
     }
-    let mut pc = Cursor::new(f.payload);
-    let mut recs = Vec::with_capacity(f.promised.min(1 << 16));
-    let mut prev_ts = 0u64;
-    while !pc.is_empty() {
-        match decode_record_plain(&mut pc, &mut prev_ts, meta) {
-            Ok(r) => recs.push(r),
-            Err(BinError::UnknownTag(t)) => {
-                return Err(format!("unknown call tag {t} inside sealed segment"))
-            }
-            Err(_) => return Err("undecodable record inside sealed segment".into()),
-        }
-    }
+    let recs = decode_segment_payload(f.payload, meta)
+        .map_err(|e| format!("{e} inside sealed segment"))?;
     if recs.len() != f.promised {
         return Err(format!(
             "segment footer promises {} records, payload holds {}",

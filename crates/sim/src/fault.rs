@@ -50,6 +50,25 @@ pub enum Fault {
     /// into an end-to-end crash-recovery test: sealed journal segments
     /// and the last checkpoint survive, everything else is lost.
     RunAbort { at_event: u64 },
+    /// A collector client vanishes mid-frame after sending `at_frame`
+    /// frames — the connection dies with a half-written frame on the
+    /// wire, no `Bye`. The collector must detect the torn frame, seal
+    /// what arrived, and mark the session degraded.
+    ClientDisconnect { client: u32, at_frame: u64 },
+    /// The collector's drain side runs `factor`× slower during the tick
+    /// window — a slow consumer. The bounded ingest queue fills and
+    /// clients see explicit backpressure (and back off per their
+    /// `RetryPolicy`).
+    SlowConsumer {
+        from_tick: u64,
+        until_tick: u64,
+        factor: f64,
+    },
+    /// The collector process itself is killed after draining `at_frame`
+    /// frames. Every live session's journal is torn mid-segment; restart
+    /// recovery (`iotrace serve` startup fsck) must salvage all sealed
+    /// segments and stamp accurate completeness.
+    CollectorKill { at_frame: u64 },
 }
 
 /// A degradation window over one striped storage server, derived from
@@ -79,7 +98,29 @@ pub struct FaultPlan {
 }
 
 /// Names accepted by [`FaultPlan::named`], in display order.
-pub const CANNED_PLANS: &[&str] = &["clean", "lossy-tracer", "degraded-storage"];
+pub const CANNED_PLANS: &[&str] = &[
+    "clean",
+    "lossy-tracer",
+    "degraded-storage",
+    "collector-chaos",
+];
+
+/// Every fault kind the plan-file parser accepts, sorted — printed
+/// verbatim by unknown-kind errors so a typo'd plan line names its own
+/// fix (the same UX as `lint --only`'s unknown-pass error).
+pub const FAULT_KINDS: &[&str] = &[
+    "client-disconnect",
+    "collector-kill",
+    "dep-edge-loss",
+    "node-crash",
+    "run-abort",
+    "slow-consumer",
+    "storage-slowdown",
+    "storage-unavailable",
+    "trace-file-loss",
+    "trace-truncation",
+    "tracer-overflow",
+];
 
 impl FaultPlan {
     /// The empty plan: nothing goes wrong.
@@ -98,6 +139,7 @@ impl FaultPlan {
             "clean" => Some(FaultPlan::clean()),
             "lossy-tracer" => Some(FaultPlan::lossy_tracer(seed, 4)),
             "degraded-storage" => Some(FaultPlan::degraded_storage(seed, 28)),
+            "collector-chaos" => Some(FaultPlan::collector_chaos(seed, 16)),
             _ => None,
         }
     }
@@ -157,6 +199,42 @@ impl FaultPlan {
                     server: dead,
                     from: dead_from,
                     until: dead_until,
+                },
+            ],
+        }
+    }
+
+    /// Canned plan: the collector has a bad day. Two clients vanish
+    /// mid-frame at different points, and the drain side stalls through
+    /// a slow-consumer window so every surviving client tastes
+    /// backpressure. No collector kill — a chaos soak still completes;
+    /// add `collector-kill at-frame=N` (or `--kill-at-frame`) on top to
+    /// exercise restart recovery.
+    pub fn collector_chaos(seed: u64, clients: u32) -> Self {
+        let clients = clients.max(3);
+        let mut rng = DetRng::new(seed).fork(0xc011);
+        let gone_a = rng.below(clients as u64) as u32;
+        let gone_b = (gone_a + 1 + rng.below(clients as u64 - 1) as u32) % clients;
+        let frame_a = 2 + rng.below(30);
+        let frame_b = 2 + rng.below(30);
+        let from_tick = 10 + rng.below(40);
+        let until_tick = from_tick + 30 + rng.below(120);
+        let factor = 3.0 + 5.0 * rng.unit_f64();
+        FaultPlan {
+            seed,
+            faults: vec![
+                Fault::ClientDisconnect {
+                    client: gone_a,
+                    at_frame: frame_a,
+                },
+                Fault::ClientDisconnect {
+                    client: gone_b,
+                    at_frame: frame_b,
+                },
+                Fault::SlowConsumer {
+                    from_tick,
+                    until_tick,
+                    factor,
                 },
             ],
         }
@@ -269,6 +347,49 @@ impl FaultPlan {
         }
     }
 
+    /// The frame count after which `client` vanishes mid-frame, if it
+    /// does ([`Fault::ClientDisconnect`]; earliest wins).
+    pub fn disconnect_frame(&self, client: u32) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::ClientDisconnect {
+                    client: c,
+                    at_frame,
+                } if c == client => Some(at_frame),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Slow-consumer windows for the collector's drain loop, as
+    /// `(from_tick, until_tick, factor)` triples.
+    pub fn consumer_stalls(&self) -> Vec<(u64, u64, f64)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::SlowConsumer {
+                    from_tick,
+                    until_tick,
+                    factor,
+                } => Some((from_tick, until_tick, factor)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The drained-frame count at which the collector is killed, if it
+    /// is ([`Fault::CollectorKill`]; earliest wins).
+    pub fn collector_kill_frame(&self) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::CollectorKill { at_frame } => Some(at_frame),
+                _ => None,
+            })
+            .min()
+    }
+
     /// The fraction of dependency edges //TRACE loses (0.0 when none).
     pub fn edge_loss(&self) -> f64 {
         self.faults
@@ -341,6 +462,25 @@ impl FaultPlan {
                 Fault::RunAbort { at_event } => {
                     out.push_str(&format!("run-abort at-event={}\n", at_event));
                 }
+                Fault::ClientDisconnect { client, at_frame } => {
+                    out.push_str(&format!(
+                        "client-disconnect client={} at-frame={}\n",
+                        client, at_frame
+                    ));
+                }
+                Fault::SlowConsumer {
+                    from_tick,
+                    until_tick,
+                    factor,
+                } => {
+                    out.push_str(&format!(
+                        "slow-consumer from-tick={} until-tick={} factor={}\n",
+                        from_tick, until_tick, factor
+                    ));
+                }
+                Fault::CollectorKill { at_frame } => {
+                    out.push_str(&format!("collector-kill at-frame={}\n", at_frame));
+                }
             }
         }
         out
@@ -411,10 +551,25 @@ impl FaultPlan {
                 "run-abort" => plan.faults.push(Fault::RunAbort {
                     at_event: fields.int(lineno, "at-event")?,
                 }),
+                "client-disconnect" => plan.faults.push(Fault::ClientDisconnect {
+                    client: fields.int(lineno, "client")? as u32,
+                    at_frame: fields.int(lineno, "at-frame")?,
+                }),
+                "slow-consumer" => plan.faults.push(Fault::SlowConsumer {
+                    from_tick: fields.int(lineno, "from-tick")?,
+                    until_tick: fields.int(lineno, "until-tick")?,
+                    factor: fields.float(lineno, "factor")?,
+                }),
+                "collector-kill" => plan.faults.push(Fault::CollectorKill {
+                    at_frame: fields.int(lineno, "at-frame")?,
+                }),
                 other => {
                     return Err(PlanParseError {
                         line: lineno,
-                        message: format!("unknown fault kind `{other}`"),
+                        message: format!(
+                            "unknown fault kind `{other}` (known: {})",
+                            FAULT_KINDS.join(", ")
+                        ),
                         token: Some(other.to_string()),
                     })
                 }
@@ -477,6 +632,22 @@ impl FaultPlan {
                 Fault::RunAbort { at_event } => {
                     format!("capture run killed after {} simulation events", at_event)
                 }
+                Fault::ClientDisconnect { client, at_frame } => format!(
+                    "collector client {} vanishes mid-frame after {} frames (no Bye)",
+                    client, at_frame
+                ),
+                Fault::SlowConsumer {
+                    from_tick,
+                    until_tick,
+                    factor,
+                } => format!(
+                    "collector drains {:.1}x slower during ticks [{}, {}) (backpressure)",
+                    factor, from_tick, until_tick
+                ),
+                Fault::CollectorKill { at_frame } => format!(
+                    "collector process killed after draining {} frames (journals torn)",
+                    at_frame
+                ),
             };
             out.push_str("  - ");
             out.push_str(&line);
@@ -612,11 +783,99 @@ mod tests {
                 Fault::TraceTruncation { rank: 1, keep: 0.6 },
                 Fault::DepEdgeLoss { fraction: 0.25 },
                 Fault::RunAbort { at_event: 4096 },
+                Fault::ClientDisconnect {
+                    client: 7,
+                    at_frame: 12,
+                },
+                Fault::SlowConsumer {
+                    from_tick: 30,
+                    until_tick: 90,
+                    factor: 4.5,
+                },
+                Fault::CollectorKill { at_frame: 200 },
             ],
         };
         let text = plan.to_text();
         let parsed = FaultPlan::parse(&text).expect("roundtrip parse");
         assert_eq!(parsed, plan);
+    }
+
+    #[test]
+    fn collector_fault_queries() {
+        let plan = FaultPlan {
+            seed: 1,
+            faults: vec![
+                Fault::ClientDisconnect {
+                    client: 3,
+                    at_frame: 9,
+                },
+                Fault::ClientDisconnect {
+                    client: 3,
+                    at_frame: 4,
+                },
+                Fault::SlowConsumer {
+                    from_tick: 5,
+                    until_tick: 25,
+                    factor: 8.0,
+                },
+                Fault::CollectorKill { at_frame: 77 },
+                Fault::CollectorKill { at_frame: 50 },
+            ],
+        };
+        assert_eq!(plan.disconnect_frame(3), Some(4), "earliest wins");
+        assert_eq!(plan.disconnect_frame(0), None);
+        assert_eq!(plan.consumer_stalls(), vec![(5, 25, 8.0)]);
+        assert_eq!(plan.collector_kill_frame(), Some(50), "earliest wins");
+        assert_eq!(FaultPlan::clean().collector_kill_frame(), None);
+    }
+
+    #[test]
+    fn collector_chaos_is_canned_and_seed_deterministic() {
+        let a = FaultPlan::named("collector-chaos", 42).expect("canned");
+        let b = FaultPlan::collector_chaos(42, 16);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultPlan::collector_chaos(43, 16));
+        assert_eq!(a.faults.len(), 3);
+        assert!(a.collector_kill_frame().is_none(), "chaos soaks complete");
+        assert_eq!(a.consumer_stalls().len(), 1);
+        // The two disconnecting clients are distinct.
+        let gone: Vec<u32> = a
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::ClientDisconnect { client, .. } => Some(client),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(gone.len(), 2);
+        assert_ne!(gone[0], gone[1]);
+    }
+
+    #[test]
+    fn unknown_kind_error_lists_the_sorted_kinds() {
+        let err = FaultPlan::parse("colector-kill at-frame=3\n").unwrap_err();
+        assert!(err.message.contains("unknown fault kind `colector-kill`"));
+        for kind in FAULT_KINDS {
+            assert!(err.message.contains(kind), "error must list {kind}");
+        }
+        let mut sorted = FAULT_KINDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, FAULT_KINDS, "FAULT_KINDS stays sorted");
+        // Every kind the list promises actually parses (with the right
+        // fields) — the list and the parser cannot drift apart.
+        let probe = "client-disconnect client=0 at-frame=1\n\
+                     collector-kill at-frame=1\n\
+                     dep-edge-loss fraction=0.1\n\
+                     node-crash node=0 at=1ms\n\
+                     run-abort at-event=1\n\
+                     slow-consumer from-tick=0 until-tick=1 factor=2\n\
+                     storage-slowdown server=0 from=0 until=1ms factor=2\n\
+                     storage-unavailable server=0 from=0 until=1ms\n\
+                     trace-file-loss rank=0\n\
+                     trace-truncation rank=0 keep=0.5\n\
+                     tracer-overflow node=0 at=1ms\n";
+        let plan = FaultPlan::parse(probe).expect("every listed kind parses");
+        assert_eq!(plan.faults.len(), FAULT_KINDS.len());
     }
 
     #[test]
