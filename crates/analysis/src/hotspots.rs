@@ -6,6 +6,7 @@ use std::collections::HashMap;
 
 use iotrace_model::event::TraceRecord;
 use iotrace_model::intern::{Interner, Sym};
+use iotrace_model::iot2::{Frame, Iot2Error, Iot2View};
 use iotrace_sim::time::SimDur;
 
 /// Aggregate for one path.
@@ -83,6 +84,58 @@ impl PathFold {
             }
         }
     }
+
+    /// Fold zero-copy [`Frame`]s with the same attribution rules as
+    /// [`PathFold::fold`]. Frame path symbols must already live in the
+    /// caller's keyspace (the v1 fold decoder interns them there;
+    /// IOT2 views re-key via [`Iot2View::map_syms`] — or use
+    /// [`by_path_iot2`], which does both).
+    pub fn fold_frames(&mut self, frames: impl IntoIterator<Item = Frame>) {
+        for f in frames {
+            let path: Option<Sym> = if f.is_open() {
+                if let Some(sym) = f.path {
+                    if f.result >= 0 {
+                        self.open_fds.insert((f.rank, f.result), sym);
+                    }
+                    Some(sym)
+                } else {
+                    None
+                }
+            } else if f.is_close() {
+                self.open_fds.remove(&(f.rank, f.fd))
+            } else if f.attributes_via_fd() {
+                self.open_fds.get(&(f.rank, f.fd)).copied()
+            } else {
+                // Fallback path attribution matches `IoCall::path()`:
+                // the primary path when the op carries one.
+                f.path
+            };
+            if let Some(p) = path {
+                let e = self.stats.entry(p).or_default();
+                e.ops += 1;
+                e.bytes += f.bytes_moved();
+                e.time += f.dur;
+            }
+        }
+    }
+}
+
+/// Per-path aggregation straight off an opened IOT2 view: table strings
+/// are interned into `paths` once, then every frame is folded without
+/// materializing a `TraceRecord`. A structurally bad frame is an error.
+pub fn by_path_iot2(
+    view: &Iot2View<'_>,
+    paths: &mut Interner,
+) -> Result<HashMap<Sym, PathStats>, Iot2Error> {
+    let map = view.map_syms(paths);
+    let mut fold = PathFold::default();
+    for f in view.frames() {
+        let mut f = f?;
+        f.path = f.path.map(|s| map[s.id() as usize]);
+        f.path2 = f.path2.map(|s| map[s.id() as usize]);
+        fold.fold_frames(std::iter::once(f));
+    }
+    Ok(fold.stats)
 }
 
 /// Per-path aggregation with `String` keys — a thin resolve layer over
@@ -296,6 +349,103 @@ mod tests {
         for n in [0, 1, 5, 39, 40, 100] {
             let top = top_by_bytes(&stats, n);
             assert_eq!(top, full[..n.min(full.len())].to_vec(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn iot2_frame_fold_matches_record_fold() {
+        use iotrace_model::event::{Trace, TraceMeta};
+        let mut t = Trace::new(TraceMeta::new("/app", 0, 0, "t"));
+        t.records = vec![
+            rec(
+                IoCall::Open {
+                    path: "/data/a".into(),
+                    flags: 0,
+                    mode: 0,
+                },
+                3,
+            ),
+            rec(IoCall::Write { fd: 3, len: 100 }, 100),
+            rec(
+                IoCall::Lseek {
+                    fd: 3,
+                    offset: -5,
+                    whence: 1,
+                },
+                0,
+            ),
+            rec(IoCall::Fcntl { fd: 3, cmd: 1 }, 0), // NOT fd-attributed
+            rec(IoCall::Close { fd: 3 }, 0),
+            rec(
+                IoCall::Open {
+                    path: "/data/b".into(),
+                    flags: 0,
+                    mode: 0,
+                },
+                3, // fd 3 reused
+            ),
+            rec(
+                IoCall::Pread {
+                    fd: 3,
+                    offset: 0,
+                    len: 9,
+                },
+                9,
+            ),
+            rec(
+                IoCall::Rename {
+                    from: "/data/a".into(),
+                    to: "/data/c".into(),
+                },
+                0, // attributes to `from` only
+            ),
+            rec(IoCall::Mmap { len: 4096 }, 0), // unattributed
+        ];
+        let plain = by_path(&t.records);
+        let bytes = iotrace_model::iot2::encode_iot2(&t).unwrap();
+        let view = iotrace_model::iot2::Iot2View::open(&bytes).unwrap();
+        let mut paths = Interner::new();
+        let framed = by_path_iot2(&view, &mut paths).unwrap();
+        assert_eq!(framed.len(), plain.len());
+        for (sym, s) in &framed {
+            assert_eq!(plain[paths.resolve(*sym)], *s, "{}", paths.resolve(*sym));
+        }
+    }
+
+    #[test]
+    fn v1_fold_decoder_feeds_fold_frames_identically() {
+        use iotrace_model::binary::{decode_binary_fold, encode_binary, BinaryOptions};
+        use iotrace_model::event::{Trace, TraceMeta};
+        let mut t = Trace::new(TraceMeta::new("/app", 0, 0, "t"));
+        t.records = vec![
+            rec(
+                IoCall::Open {
+                    path: "/data/a".into(),
+                    flags: 0,
+                    mode: 0,
+                },
+                3,
+            ),
+            rec(IoCall::Write { fd: 3, len: 100 }, 100),
+            rec(IoCall::Close { fd: 3 }, 0),
+            rec(
+                IoCall::Stat {
+                    path: "/data/b".into(),
+                },
+                0,
+            ),
+        ];
+        let plain = by_path(&t.records);
+        let bytes = encode_binary(&t, &BinaryOptions::default());
+        let mut paths = Interner::new();
+        let mut fold = PathFold::default();
+        decode_binary_fold(&bytes, None, &mut paths, |f| {
+            fold.fold_frames(std::iter::once(f))
+        })
+        .unwrap();
+        assert_eq!(fold.stats.len(), plain.len());
+        for (sym, s) in &fold.stats {
+            assert_eq!(plain[paths.resolve(*sym)], *s);
         }
     }
 

@@ -21,7 +21,7 @@ pub mod stats;
 
 pub mod prelude {
     pub use crate::hotspots::{
-        by_path, by_path_interned, top_by_bytes, top_by_bytes_interned, PathStats,
+        by_path, by_path_interned, by_path_iot2, top_by_bytes, top_by_bytes_interned, PathStats,
     };
     pub use crate::merge::{
         merge_by_sort, merge_corrected, merge_partial, merge_strict, parse_parallel, MergeError,

@@ -3,6 +3,7 @@
 //! use of the trace data collected" (paper §3.1, "analysis tools").
 
 use iotrace_model::event::{CallLayer, Trace, TraceRecord};
+use iotrace_model::iot2::{Frame, Iot2Error, Iot2View};
 use iotrace_sim::time::SimDur;
 
 /// Summary statistics over a set of records.
@@ -65,6 +66,63 @@ impl TraceStats {
 
     pub fn from_trace(t: &Trace) -> Self {
         Self::from_records(&t.records)
+    }
+
+    /// Fold statistics over zero-copy [`Frame`]s — same classification
+    /// as [`TraceStats::from_records`], no `TraceRecord`
+    /// materialization. This is what lets a stats pass run over a
+    /// borrowed/mmap'd IOT2 body (or the v1 streaming fold decoder)
+    /// allocation-free.
+    pub fn from_frames(frames: impl IntoIterator<Item = Frame>) -> Self {
+        let mut s = TraceStats::default();
+        let mut durs: Vec<u64> = Vec::new();
+        for f in frames {
+            s.records += 1;
+            if f.is_error() {
+                s.errors += 1;
+            }
+            match f.layer() {
+                CallLayer::Mpi => s.mpi_calls += 1,
+                CallLayer::Sys => s.sys_calls += 1,
+                CallLayer::Vfs => s.vfs_ops += 1,
+            }
+            if f.is_read() {
+                s.bytes_read += f.bytes_moved();
+            } else if f.is_write() {
+                s.bytes_written += f.bytes_moved();
+            }
+            s.call_time += f.dur;
+            durs.push(f.dur.as_nanos());
+        }
+        durs.sort_unstable();
+        let pick = |q: f64| -> SimDur {
+            if durs.is_empty() {
+                return SimDur::ZERO;
+            }
+            let idx = ((durs.len() - 1) as f64 * q).round() as usize;
+            SimDur::from_nanos(durs[idx])
+        };
+        s.dur_p50 = pick(0.50);
+        s.dur_p95 = pick(0.95);
+        s.dur_max = pick(1.0);
+        s
+    }
+
+    /// Statistics straight off an opened IOT2 view, without building a
+    /// `Vec<TraceRecord>`. A structurally bad frame is an error.
+    pub fn from_iot2(view: &Iot2View<'_>) -> Result<Self, Iot2Error> {
+        let mut err = None;
+        let s = Self::from_frames(view.frames().map_while(|f| match f {
+            Ok(f) => Some(f),
+            Err(e) => {
+                err = Some(e);
+                None
+            }
+        }));
+        match err {
+            Some(e) => Err(e),
+            None => Ok(s),
+        }
     }
 
     /// Per-rank statistics computed on scoped threads, then folded with
@@ -201,6 +259,50 @@ mod tests {
         assert_eq!(b.bytes_written, 5);
         assert_eq!(b.bytes_read, 7);
         assert_eq!(b.dur_max, SimDur::from_micros(20));
+    }
+
+    #[test]
+    fn frame_fold_matches_record_fold() {
+        use iotrace_model::event::{Trace, TraceMeta};
+        let calls = vec![
+            (IoCall::Write { fd: 3, len: 100 }, 100),
+            (IoCall::Read { fd: 3, len: 40 }, 40),
+            (IoCall::MpiBarrier, 0),
+            (
+                IoCall::VfsWritePage {
+                    path: "/x".into(),
+                    offset: 0,
+                    len: 100,
+                },
+                100,
+            ),
+            (
+                IoCall::Open {
+                    path: "/x".into(),
+                    flags: 0,
+                    mode: 0,
+                },
+                -2,
+            ),
+            (IoCall::Mmap { len: 4096 }, 0),
+            (
+                IoCall::MpiFileReadAt {
+                    fd: 9,
+                    offset: 0,
+                    len: 77,
+                },
+                77,
+            ),
+        ];
+        let mut t = Trace::new(TraceMeta::new("/app", 0, 0, "t"));
+        for (i, (call, result)) in calls.into_iter().enumerate() {
+            t.records.push(rec(call, 3 + i as u64 * 7, result));
+        }
+        let from_records = TraceStats::from_trace(&t);
+        let bytes = iotrace_model::iot2::encode_iot2(&t).unwrap();
+        let view = iotrace_model::iot2::Iot2View::open(&bytes).unwrap();
+        let from_frames = TraceStats::from_iot2(&view).unwrap();
+        assert_eq!(from_frames, from_records);
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! `iotrace bench-pipeline` — the perf-trajectory harness.
 //!
 //! Times the offline analysis pipeline end to end on a deterministic
-//! synthetic multi-rank capture — encode, decode, journal decode, merge
-//! (k-way vs. the global-sort fallback), lint, hotspots, provenance
-//! (lineage-graph build plus an upstream query) — and writes the results
-//! as machine-readable JSON (`BENCH_pipeline.json`, schema
-//! `iotrace-bench-pipeline/v1`) so every future PR is measured against
-//! the same yardstick.
+//! synthetic multi-rank capture — encode, decode, journal decode (v1
+//! and the fixed-stride IOT2 v2, including a zero-copy frame scan and
+//! the separate digest-verify pass), merge (k-way vs. the global-sort
+//! fallback), lint, hotspots, provenance (lineage-graph build plus an
+//! upstream query) — and writes the results as machine-readable JSON
+//! (`BENCH_pipeline.json`, schema `iotrace-bench-pipeline/v1`) so every
+//! future PR is measured against the same yardstick.
 //!
 //! Three properties are *checked*, not just reported, and fail the
 //! command (exit 1) when violated:
@@ -30,12 +31,16 @@ use std::time::Instant;
 use iotrace_analysis::hotspots::{by_path_interned, top_by_bytes_interned};
 use iotrace_analysis::merge::{merge_by_sort, merge_corrected};
 use iotrace_analysis::skew::{ClockFit, SkewEstimate};
+use iotrace_analysis::stats::TraceStats;
 use iotrace_collector::{run_soak, SoakConfig};
 use iotrace_lint::{LintConfig, LintInput, Linter};
 use iotrace_model::binary::{decode_binary, encode_binary, BinaryOptions};
 use iotrace_model::event::{IoCall, Trace, TraceMeta, TraceRecord};
 use iotrace_model::intern::Interner;
-use iotrace_model::journal::{encode_journal, read_journal, records_digest};
+use iotrace_model::iot2::{encode_iot2, Iot2View};
+use iotrace_model::journal::{
+    encode_journal, encode_journal_versioned, read_journal, records_digest,
+};
 use iotrace_provenance::{upstream, EdgeKind, LineageGraph};
 use iotrace_sim::fault::FaultPlan;
 use iotrace_sim::time::{SimDur, SimTime};
@@ -85,7 +90,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             .collect::<Vec<_>>()
     });
     stages.push(Stage::new("encode", total, enc_s));
-    let (decoded, dec_s) = timed(|| {
+    let (decoded, dec_s) = timed_best(REPS, || {
         blobs
             .iter()
             .map(|b| decode_binary(b, None).expect("own encoding decodes"))
@@ -102,7 +107,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         .iter()
         .map(|t| encode_journal(t, JOURNAL_SEGMENT_RECORDS))
         .collect();
-    let (jdecoded, jdec_s) = timed(|| {
+    let (jdecoded, jdec_s) = timed_best(REPS, || {
         journals
             .iter()
             .map(|b| read_journal(b).expect("own journal decodes"))
@@ -113,6 +118,73 @@ pub fn run(args: &[String]) -> Result<(), String> {
         .iter()
         .zip(&traces)
         .all(|(d, t)| records_digest(&d.records) == records_digest(&t.records));
+
+    // IOT2 v2: encode, materializing decode (fair vs v1's no-checksum
+    // default — digest verification is its own stage below), a
+    // zero-copy frame scan, and the v2 journal decode.
+    let (blobs2, enc2_s) = timed(|| {
+        traces
+            .iter()
+            .map(|t| encode_iot2(t).expect("bench trace encodes"))
+            .collect::<Vec<_>>()
+    });
+    stages.push(Stage::new("encode-v2", total, enc2_s));
+    let (decoded2, dec2_s) = timed_best(REPS, || {
+        blobs2
+            .iter()
+            .map(|b| {
+                Iot2View::open(b)
+                    .and_then(|v| v.to_trace())
+                    .expect("own encoding decodes")
+            })
+            .collect::<Vec<_>>()
+    });
+    stages.push(Stage::new("decode-v2", total, dec2_s));
+    let decode2_ok = decoded2
+        .iter()
+        .zip(&traces)
+        .all(|(d, t)| records_digest(&d.records) == records_digest(&t.records));
+    // stats folded straight over borrowed frames — no TraceRecord ever
+    // materializes, which is the format's whole point
+    let (scan_stats, scan2_s) = timed_best(REPS, || {
+        let mut all = TraceStats::default();
+        for b in &blobs2 {
+            let view = Iot2View::open(b).expect("opens");
+            all.merge(&TraceStats::from_iot2(&view).expect("scans"));
+        }
+        all
+    });
+    stages.push(Stage::new("scan-v2", total, scan2_s));
+    let scan2_ok = scan_stats.records == total;
+    let (_digests, verify2_s) = timed_best(REPS, || {
+        blobs2
+            .iter()
+            .map(|b| {
+                Iot2View::open(b)
+                    .expect("opens")
+                    .verify()
+                    .expect("verifies")
+            })
+            .collect::<Vec<_>>()
+    });
+    stages.push(Stage::new("verify-v2", total, verify2_s));
+
+    let journals2: Vec<Vec<u8>> = traces
+        .iter()
+        .map(|t| encode_journal_versioned(t, JOURNAL_SEGMENT_RECORDS, 2))
+        .collect();
+    let (jdecoded2, jdec2_s) = timed_best(REPS, || {
+        journals2
+            .iter()
+            .map(|b| read_journal(b).expect("own journal decodes"))
+            .collect::<Vec<_>>()
+    });
+    stages.push(Stage::new("journal-decode-v2", total, jdec2_s));
+    let journal2_ok = jdecoded2
+        .iter()
+        .zip(&traces)
+        .all(|(d, t)| records_digest(&d.records) == records_digest(&t.records));
+    let v2_ok = decode2_ok && scan2_ok && journal2_ok;
 
     // merge: k-way streaming vs. the global-sort fallback, best of REPS
     let (kway, kway_s) = timed_best(REPS, || merge_corrected(&traces, &est));
@@ -180,6 +252,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     let determinism_ok = decode_ok
         && journal_ok
+        && v2_ok
         && merge_equivalent
         && merge_deterministic
         && provenance_deterministic
@@ -190,6 +263,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
         records_per_rank: records,
         total_records: total,
         stages: &stages,
+        v1_decode_s: dec_s,
+        v2_decode_s: dec2_s,
+        v2_scan_s: scan2_s,
+        v1_journal_decode_s: jdec_s,
+        v2_journal_decode_s: jdec2_s,
+        v2_equivalent: v2_ok,
         kway_s,
         sort_s,
         merge_equivalent,
@@ -212,7 +291,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
     });
     std::fs::write(&out_path, json).map_err(|e| format!("{out_path}: {e}"))?;
     eprintln!(
-        "iotrace: bench-pipeline: merge {:.1}x vs sort ({:.3}s vs {:.3}s); wrote {out_path}",
+        "iotrace: bench-pipeline: v2 decode {:.1}x vs v1 ({:.3}s vs {:.3}s), \
+         merge {:.1}x vs sort ({:.3}s vs {:.3}s); wrote {out_path}",
+        dec_s / dec2_s.max(1e-9),
+        dec2_s,
+        dec_s,
         sort_s / kway_s.max(1e-9),
         kway_s,
         sort_s
@@ -220,7 +303,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if !determinism_ok {
         return Err(format!(
             "bench-pipeline determinism check failed \
-             (decode_ok={decode_ok} journal_ok={journal_ok} \
+             (decode_ok={decode_ok} journal_ok={journal_ok} v2_ok={v2_ok} \
              merge_equivalent={merge_equivalent} merge_deterministic={merge_deterministic} \
              provenance_deterministic={provenance_deterministic} \
              serve_deterministic={serve_deterministic})"
@@ -281,6 +364,12 @@ struct Report<'a> {
     records_per_rank: usize,
     total_records: usize,
     stages: &'a [Stage],
+    v1_decode_s: f64,
+    v2_decode_s: f64,
+    v2_scan_s: f64,
+    v1_journal_decode_s: f64,
+    v2_journal_decode_s: f64,
+    v2_equivalent: bool,
     kway_s: f64,
     sort_s: f64,
     merge_equivalent: bool,
@@ -447,6 +536,24 @@ fn render_json(r: &Report<'_>) -> String {
         out.push_str(if i + 1 < r.stages.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"v2\": {{");
+    let _ = writeln!(
+        out,
+        "    \"decode_speedup_vs_v1\": {:.3},",
+        r.v1_decode_s / r.v2_decode_s.max(1e-9)
+    );
+    let _ = writeln!(
+        out,
+        "    \"scan_speedup_vs_v1_decode\": {:.3},",
+        r.v1_decode_s / r.v2_scan_s.max(1e-9)
+    );
+    let _ = writeln!(
+        out,
+        "    \"journal_decode_speedup_vs_v1\": {:.3},",
+        r.v1_journal_decode_s / r.v2_journal_decode_s.max(1e-9)
+    );
+    let _ = writeln!(out, "    \"equivalent\": {}", r.v2_equivalent);
+    out.push_str("  },\n");
     let _ = writeln!(out, "  \"merge\": {{");
     let _ = writeln!(out, "    \"kway_seconds\": {:.6},", r.kway_s);
     let _ = writeln!(out, "    \"sort_seconds\": {:.6},", r.sort_s);

@@ -10,8 +10,9 @@ use iotrace_ioapi::harness::standard_cluster;
 use iotrace_ioapi::harness::standard_vfs;
 use iotrace_lint::{LintConfig, LintInput, Linter};
 use iotrace_model::anonymize::{Anonymizer, Mode, Selection};
-use iotrace_model::binary::{encode_binary, BinaryOptions, FieldSel};
+use iotrace_model::binary::{decode_binary, encode_binary, BinaryOptions, FieldSel};
 use iotrace_model::event::Trace;
+use iotrace_model::iot2::{decode_iot2, encode_iot2};
 use iotrace_model::summary::CallSummary;
 use iotrace_model::text::format_text;
 use iotrace_partrace::deps::DependencyMap;
@@ -245,16 +246,54 @@ pub fn convert(args: &[String]) -> Result<(), String> {
         return Err("convert handles single-trace files".to_string());
     };
 
+    // Format selection: --v2 (or an .iot2 extension) writes the
+    // fixed-stride v2 container; --binary/--text pick v1 binary or
+    // text; the default follows the output extension. Input format is
+    // always auto-detected, so v1→v2 and v2→v1 are both just `convert`.
+    let to_v2 = flag(&flags, "v2").is_some()
+        || (output.ends_with(".iot2") && flag(&flags, "text").is_none());
+    if to_v2 {
+        let bytes = encode_iot2(trace).map_err(|e| format!("iot2 encode: {e}"))?;
+        // Digest-checked round trip: the container we are about to
+        // write must decode strictly (all three content digests verify)
+        // back to exactly the records we encoded.
+        let back = decode_iot2(&bytes).map_err(|e| format!("iot2 round-trip: {e}"))?;
+        if back.trace.records != trace.records {
+            return Err("iot2 round-trip mismatch: decoded records differ from input".to_string());
+        }
+        std::fs::write(output, &bytes).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} ({} records, iot2; digests header={:#018x} body={:#018x} footer={:#018x})",
+            output,
+            trace.records.len(),
+            back.digests.header,
+            back.digests.body,
+            back.digests.footer
+        );
+        return Ok(());
+    }
+
     let to_binary = flag(&flags, "binary").is_some()
         || (!output.ends_with(".txt") && flag(&flags, "text").is_none());
     if to_binary {
+        let key = key_from(&flags, "encrypt");
         let opts = BinaryOptions {
             checksum: flag(&flags, "checksum").is_some(),
             compress: flag(&flags, "compress").is_some(),
-            encrypt: key_from(&flags, "encrypt").map(|k| (k, FieldSel::ALL)),
+            encrypt: key.map(|k| (k, FieldSel::ALL)),
             block_records: 128,
         };
-        std::fs::write(output, encode_binary(trace, &opts)).map_err(|e| e.to_string())?;
+        let bytes = encode_binary(trace, &opts);
+        // Same round-trip check in the v2→v1 direction: what lands on
+        // disk must decode back to exactly the records we started from.
+        let back =
+            decode_binary(&bytes, key.as_ref()).map_err(|e| format!("binary round-trip: {e}"))?;
+        if back.trace.records != trace.records {
+            return Err(
+                "binary round-trip mismatch: decoded records differ from input".to_string(),
+            );
+        }
+        std::fs::write(output, bytes).map_err(|e| e.to_string())?;
     } else {
         std::fs::write(output, format_text(trace)).map_err(|e| e.to_string())?;
     }

@@ -2,6 +2,7 @@
 
 use iotrace_model::binary::decode_binary_salvage;
 use iotrace_model::event::Trace;
+use iotrace_model::iot2::{decode_iot2_salvage, is_iot2};
 use iotrace_model::text::parse_text_salvage;
 use iotrace_model::xtea::Key;
 use iotrace_partrace::replayable::ReplayableTrace;
@@ -29,6 +30,15 @@ pub fn load(path: &str, key: Option<&Key>) -> Result<Loaded, String> {
             eprintln!("iotrace: warning: {path}: {report}");
         }
         return Ok(Loaded::Traces(vec![trace]));
+    }
+    if is_iot2(&bytes) {
+        // Fixed-stride v2 container: digest-verified, salvaged when the
+        // body is truncated or corrupt past the header.
+        let s = decode_iot2_salvage(&bytes).map_err(|e| format!("{path}: iot2: {e}"))?;
+        if let Some(report) = &s.report {
+            eprintln!("iotrace: warning: {path}: {report}");
+        }
+        return Ok(Loaded::Traces(vec![s.trace]));
     }
     if bytes.starts_with(b"IOTB") {
         let s = decode_binary_salvage(&bytes, key)

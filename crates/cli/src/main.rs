@@ -8,7 +8,7 @@
 //! iotrace summary   <trace>...               per-function call counts and times
 //! iotrace stats     <trace>...               byte totals, layers, duration percentiles
 //! iotrace hotspots  <trace>...               top files by bytes moved
-//! iotrace convert   <in> <out> [--binary|--text] [--checksum] [--compress]
+//! iotrace convert   <in> <out> [--v2|--binary|--text] [--checksum] [--compress]
 //!                   [--encrypt <pass>] [--key <pass>]
 //! iotrace anonymize <in> <out> [--seed N | --encrypt <pass>] [--key <pass>]
 //! iotrace replay    <replayable.txt>         simulate the pseudo-application
@@ -22,10 +22,11 @@
 //! iotrace resume    <checkpoint.ckpt>        verify and complete a killed run
 //! ```
 //!
-//! Format detection: files starting with the `IOTB` magic are binary,
-//! `IOTJ` are journaled captures (fsck-salvaged on load); documents
-//! containing `==== partrace` are replayable; everything else is parsed
-//! as text. Encrypted binaries need `--key`.
+//! Format detection: files starting with the `IOTB` magic are v1
+//! binary, `IOT2` are fixed-stride v2 containers (digest-verified,
+//! salvaged on damage), `IOTJ` are journaled captures (fsck-salvaged on
+//! load); documents containing `==== partrace` are replayable;
+//! everything else is parsed as text. Encrypted binaries need `--key`.
 
 use std::process::ExitCode;
 
@@ -87,8 +88,11 @@ commands:
   stats     <trace>...                      bytes, layers, duration percentiles
   hotspots  <trace>... [--top N]            top files by bytes moved
   phases    <trace>...                      barrier-phase bottleneck report
-  convert   <in> <out> [--binary|--text] [--checksum] [--compress]
+  convert   <in> <out> [--v2|--binary|--text] [--checksum] [--compress]
             [--encrypt <pass>] [--key <pass>]
+                                            --v2 writes the fixed-stride IOT2
+                                            container (digest-checked round trip);
+                                            v1↔v2 is auto-detected from the input
   anonymize <in> <out> [--seed N | --encrypt <pass>] [--key <pass>]
   replay    <replayable.txt> [--ranks N] [--fault-plan <name|file>]
                                             simulate the pseudo-application
@@ -104,7 +108,8 @@ commands:
                                             in one pass with a per-journal table
   serve     <spool-dir> [--clients N] [--records N] [--queue-capacity N]
             [--segment-records N] [--kill-at-frame N] [--fault-plan <name|file>]
-            [--seed N] [--status-every N] [--recover-only] [--out <file>]
+            [--seed N] [--status-every N] [--recover-only] [--v2-spool]
+            [--out <file>]
                                             run the collector daemon soak: N
                                             capture clients stream sessions into
                                             journaled spools with backpressure;

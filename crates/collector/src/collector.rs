@@ -35,6 +35,10 @@ pub struct CollectorConfig {
     pub queue_capacity: usize,
     /// Frames the collector drains per tick when healthy.
     pub drain_per_tick: usize,
+    /// Spool new sessions as version-2 journals (IOT2 fixed-stride
+    /// segment payloads). Off by default: v1 spools stay byte-identical
+    /// to what older collectors wrote, and recovery handles either.
+    pub v2_spool: bool,
 }
 
 impl Default for CollectorConfig {
@@ -43,6 +47,7 @@ impl Default for CollectorConfig {
             segment_records: 64,
             queue_capacity: 8,
             drain_per_tick: 4,
+            v2_spool: false,
         }
     }
 }
@@ -203,7 +208,13 @@ impl Collector {
                 }
                 let id = self.next_session;
                 self.next_session += 1;
-                let mut sess = Session::new(id, meta, expected_records, self.cfg.segment_records);
+                let mut sess = Session::new(
+                    id,
+                    meta,
+                    expected_records,
+                    self.cfg.segment_records,
+                    self.cfg.v2_spool,
+                );
                 sess.state = SessionState::Streaming;
                 // Persist the expectation *before* any record lands: the
                 // card is what makes post-crash completeness exact.
@@ -453,6 +464,7 @@ mod tests {
                 segment_records: 4,
                 queue_capacity: 4,
                 drain_per_tick: 8,
+                ..CollectorConfig::default()
             },
         )
         .unwrap();
@@ -507,6 +519,7 @@ mod tests {
                 segment_records: 4,
                 queue_capacity: 2,
                 drain_per_tick: 1,
+                ..CollectorConfig::default()
             },
         )
         .unwrap();
@@ -530,6 +543,7 @@ mod tests {
                 segment_records: 4,
                 queue_capacity: 8,
                 drain_per_tick: 16,
+                ..CollectorConfig::default()
             },
         )
         .unwrap();
@@ -569,6 +583,58 @@ mod tests {
         let card = crate::session::SessionCard::parse_line(card.trim()).unwrap();
         assert_eq!(card.expected, 12);
         assert_eq!(card.state, SessionState::Streaming);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v2_spool_writes_v2_journals_and_recovery_preserves_version() {
+        let dir = tmpdir("v2spool");
+        let mut c = Collector::open(
+            &dir,
+            CollectorConfig {
+                segment_records: 4,
+                queue_capacity: 8,
+                drain_per_tick: 16,
+                v2_spool: true,
+            },
+        )
+        .unwrap();
+        let meta = TraceMeta::new("/app", 0, 0, "sim");
+        c.offer(
+            1,
+            encode_frame(&Frame::Hello {
+                meta,
+                expected_records: 12,
+            }),
+        )
+        .unwrap();
+        let all = recs(12);
+        for (i, chunk) in all.chunks(6).enumerate() {
+            c.offer(
+                1,
+                encode_frame(&Frame::Records {
+                    seq: i as u64 + 1,
+                    records: chunk.to_vec(),
+                }),
+            )
+            .unwrap();
+        }
+        // die after Hello + one Records frame: a torn v2 journal remains
+        let killed = c.drain(16, Some(2)).unwrap();
+        assert!(killed);
+        let path = dir.join("sess000.iotj");
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(iotrace_model::journal::journal_version(&bytes), Some(2));
+        let (t, rep) = iotrace_model::journal::fsck_journal(&bytes).unwrap();
+        assert_eq!(rep.records_recovered, 4);
+        assert_eq!(t.records, all[..4]);
+        // restart recovery rewrites the orphan *still as v2*
+        let rep = crate::recovery::recover_spool(&dir, 4).unwrap();
+        assert_eq!(rep.orphans(), 1);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(iotrace_model::journal::journal_version(&bytes), Some(2));
+        let t = iotrace_model::journal::read_journal(&bytes).unwrap();
+        assert_eq!(t.records, all[..4]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -27,7 +27,9 @@ use std::path::Path;
 use iotrace_analysis::merge::merge_corrected;
 use iotrace_analysis::skew::SkewEstimate;
 use iotrace_model::event::Trace;
-use iotrace_model::journal::{encode_journal, fsck_journal, read_journal, records_digest};
+use iotrace_model::journal::{
+    encode_journal_versioned, fsck_journal, journal_version, read_journal, records_digest,
+};
 
 use crate::session::{session_stem, SessionCard, SessionState};
 
@@ -212,8 +214,14 @@ pub fn recover_spool(dir: &Path, segment_records: usize) -> Result<RecoveryRepor
                 SessionState::Degraded
             };
             trace.meta.completeness = completeness;
-            std::fs::write(&path, encode_journal(&trace, segment_records))
-                .map_err(|e| format!("write {}: {e}", path.display()))?;
+            // Rewrite the orphan in the same container version it was
+            // spooled with, so a v2 spool stays v2 across recovery.
+            let version = journal_version(&bytes).unwrap_or(1);
+            std::fs::write(
+                &path,
+                encode_journal_versioned(&trace, segment_records, version),
+            )
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
             let new_card = SessionCard {
                 session,
                 expected,

@@ -152,8 +152,21 @@ pub struct Session {
 }
 
 impl Session {
-    pub fn new(id: u32, meta: TraceMeta, expected: u64, segment_records: usize) -> Self {
-        let writer = JournalWriter::new(&meta, segment_records);
+    /// `v2_spool` selects the journal container version for this
+    /// session's spool file: `false` writes classic v1 varint segments,
+    /// `true` writes v2 (IOT2 fixed-stride frame payloads).
+    pub fn new(
+        id: u32,
+        meta: TraceMeta,
+        expected: u64,
+        segment_records: usize,
+        v2_spool: bool,
+    ) -> Self {
+        let writer = if v2_spool {
+            JournalWriter::new_v2(&meta, segment_records)
+        } else {
+            JournalWriter::new(&meta, segment_records)
+        };
         Session {
             id,
             meta,
@@ -234,10 +247,12 @@ mod tests {
     #[test]
     fn completeness_tracks_sealed_over_expected() {
         let meta = TraceMeta::new("/a", 0, 0, "t");
-        let s = Session::new(1, meta, 100, 8);
+        let s = Session::new(1, meta, 100, 8, false);
         assert_eq!(s.completeness(), 0.0);
         let meta2 = TraceMeta::new("/a", 0, 0, "t");
-        let s2 = Session::new(2, meta2, 0, 8);
+        let s2 = Session::new(2, meta2, 0, 8, true);
         assert_eq!(s2.completeness(), 1.0, "unknown expectation claims 1.0");
+        assert_eq!(s.writer.version(), 1);
+        assert_eq!(s2.writer.version(), 2);
     }
 }

@@ -20,10 +20,14 @@
 //! Timestamps are delta-encoded; typical records are 10–20 bytes before
 //! compression.
 
+use std::borrow::Cow;
+
 use iotrace_sim::time::{SimDur, SimTime};
 
 use crate::crc::crc32;
 use crate::event::{IoCall, Trace, TraceMeta, TraceRecord};
+use crate::intern::Interner;
+use crate::iot2::Frame;
 use crate::lzss;
 use crate::salvage::{SalvageReport, TraceError};
 use crate::varint::{put_bytes, put_i64, put_str, put_u64, Cursor, VarintError};
@@ -114,7 +118,9 @@ const FLAG_CRC: u8 = 1;
 const FLAG_LZSS: u8 = 2;
 const FLAG_ENC: u8 = 4;
 
-fn call_tag(c: &IoCall) -> u8 {
+/// The wire tag for each call variant — shared with the IOT2 frame
+/// format, which reuses the same numbering for its op field.
+pub(crate) fn call_tag(c: &IoCall) -> u8 {
     use IoCall::*;
     match c {
         Open { .. } => 0,
@@ -166,14 +172,18 @@ impl<'a> FieldCipher<'a> {
         }
     }
 
-    fn get_path(&self, c: &mut Cursor<'_>, field: u8) -> Result<String, BinError> {
+    /// Read a path field. Plain paths borrow straight out of the input
+    /// buffer (no allocation); only decrypted paths are owned.
+    fn get_path<'b>(&self, c: &mut Cursor<'b>, field: u8) -> Result<Cow<'b, str>, BinError> {
         match self.key {
             Some(k) if self.sel.contains(FieldSel::PATH) => {
                 let ct = c.get_bytes()?;
                 let pt = decrypt_cbc(k, self.iv(field), ct)?;
-                String::from_utf8(pt).map_err(|_| BinError::Truncated)
+                String::from_utf8(pt)
+                    .map(Cow::Owned)
+                    .map_err(|_| BinError::Truncated)
             }
-            _ => Ok(c.get_str()?),
+            _ => Ok(Cow::Borrowed(c.get_str_ref()?)),
         }
     }
 
@@ -268,121 +278,162 @@ fn encode_record(out: &mut Vec<u8>, r: &TraceRecord, prev_ts: &mut u64, fc: &Fie
     }
 }
 
+/// One record parsed off the v1 wire with paths still borrowed from the
+/// input buffer (owned only when they had to be decrypted). This is the
+/// decode boundary: materialize with [`RawRecord::into_record`] (one
+/// `String` per path, as before), or intern with [`RawRecord::to_frame`]
+/// so hot loops never allocate per record.
+struct RawRecord<'a> {
+    tag: u8,
+    ts: u64,
+    dur: u64,
+    pid: u32,
+    uid: u32,
+    gid: u32,
+    result: i64,
+    fd: i64,
+    offset: u64,
+    len: u64,
+    x: u32,
+    y: u32,
+    path_a: Option<Cow<'a, str>>,
+    path_b: Option<Cow<'a, str>>,
+}
+
+fn decode_record_raw<'b>(
+    c: &mut Cursor<'b>,
+    prev_ts: &mut u64,
+    fc: &FieldCipher<'_>,
+) -> Result<RawRecord<'b>, BinError> {
+    let tag = c.get_u64()? as u8;
+    let ts = (*prev_ts as i64 + c.get_i64()?) as u64;
+    *prev_ts = ts;
+    let mut r = RawRecord {
+        tag,
+        ts,
+        dur: c.get_u64()?,
+        pid: c.get_u64()? as u32,
+        uid: fc.get_id(c, 1, FieldSel::UID)?,
+        gid: fc.get_id(c, 2, FieldSel::GID)?,
+        result: c.get_i64()?,
+        fd: 0,
+        offset: 0,
+        len: 0,
+        x: 0,
+        y: 0,
+        path_a: None,
+        path_b: None,
+    };
+    // Per-tag fields, read in exact wire order.
+    match tag {
+        0 => {
+            r.path_a = Some(fc.get_path(c, 3)?);
+            r.x = c.get_u64()? as u32;
+            r.y = c.get_u64()? as u32;
+        }
+        1 | 7 | 17 => r.fd = c.get_i64()?,
+        2 | 3 => {
+            r.fd = c.get_i64()?;
+            r.len = c.get_u64()?;
+        }
+        4 | 5 | 18 | 19 => {
+            r.fd = c.get_i64()?;
+            r.offset = c.get_u64()?;
+            r.len = c.get_u64()?;
+        }
+        6 => {
+            r.fd = c.get_i64()?;
+            r.offset = c.get_i64()? as u64;
+            r.x = c.get_u64()? as u32;
+        }
+        8 | 9 | 11 | 12 | 23 => r.path_a = Some(fc.get_path(c, 3)?),
+        10 => {
+            r.path_a = Some(fc.get_path(c, 3)?);
+            r.y = c.get_u64()? as u32;
+        }
+        13 => {
+            r.path_a = Some(fc.get_path(c, 3)?);
+            r.path_b = Some(fc.get_path(c, 4)?);
+        }
+        14 => {
+            r.fd = c.get_i64()?;
+            r.x = c.get_u64()? as u32;
+        }
+        15 => r.len = c.get_u64()?,
+        16 => {
+            r.path_a = Some(fc.get_path(c, 3)?);
+            r.x = c.get_u64()? as u32;
+        }
+        20..=22 => {}
+        24 | 25 => {
+            r.path_a = Some(fc.get_path(c, 3)?);
+            r.offset = c.get_u64()?;
+            r.len = c.get_u64()?;
+        }
+        t => return Err(BinError::UnknownTag(t)),
+    }
+    Ok(r)
+}
+
+impl RawRecord<'_> {
+    /// Materialize as an owned record; `meta` supplies rank/node.
+    fn into_record(self, meta: &TraceMeta) -> Result<TraceRecord, BinError> {
+        let tag = self.tag;
+        let call = crate::iot2::parts_to_call(
+            self.tag,
+            self.fd,
+            self.offset,
+            self.len,
+            self.x,
+            self.y,
+            self.path_a.map(Cow::into_owned),
+            self.path_b.map(Cow::into_owned),
+        )
+        .ok_or(BinError::UnknownTag(tag))?;
+        Ok(TraceRecord {
+            ts: SimTime::from_nanos(self.ts),
+            dur: SimDur::from_nanos(self.dur),
+            rank: meta.rank,
+            node: meta.node,
+            pid: self.pid,
+            uid: self.uid,
+            gid: self.gid,
+            call,
+            result: self.result,
+        })
+    }
+
+    /// Build a zero-allocation [`Frame`]: paths go straight from the
+    /// borrowed wire bytes into the caller's interner.
+    fn to_frame(&self, paths: &mut Interner, meta: &TraceMeta) -> Frame {
+        Frame {
+            op: self.tag,
+            rank: meta.rank,
+            node: meta.node,
+            fd: self.fd,
+            ts: SimTime::from_nanos(self.ts),
+            dur: SimDur::from_nanos(self.dur),
+            result: self.result,
+            offset: self.offset,
+            len: self.len,
+            path: self.path_a.as_deref().map(|s| paths.intern(s)),
+            path2: self.path_b.as_deref().map(|s| paths.intern(s)),
+            x: self.x,
+            y: self.y,
+            pid: self.pid,
+            uid: self.uid,
+            gid: self.gid,
+        }
+    }
+}
+
 fn decode_record(
     c: &mut Cursor<'_>,
     prev_ts: &mut u64,
     fc: &FieldCipher<'_>,
     meta: &TraceMeta,
 ) -> Result<TraceRecord, BinError> {
-    let tag = c.get_u64()? as u8;
-    let ts = (*prev_ts as i64 + c.get_i64()?) as u64;
-    *prev_ts = ts;
-    let dur = c.get_u64()?;
-    let pid = c.get_u64()? as u32;
-    let uid = fc.get_id(c, 1, FieldSel::UID)?;
-    let gid = fc.get_id(c, 2, FieldSel::GID)?;
-    let result = c.get_i64()?;
-    use IoCall::*;
-    let call = match tag {
-        0 => Open {
-            path: fc.get_path(c, 3)?,
-            flags: c.get_u64()? as u32,
-            mode: c.get_u64()? as u32,
-        },
-        1 => Close { fd: c.get_i64()? },
-        2 => Read {
-            fd: c.get_i64()?,
-            len: c.get_u64()?,
-        },
-        3 => Write {
-            fd: c.get_i64()?,
-            len: c.get_u64()?,
-        },
-        4 => Pread {
-            fd: c.get_i64()?,
-            offset: c.get_u64()?,
-            len: c.get_u64()?,
-        },
-        5 => Pwrite {
-            fd: c.get_i64()?,
-            offset: c.get_u64()?,
-            len: c.get_u64()?,
-        },
-        6 => Lseek {
-            fd: c.get_i64()?,
-            offset: c.get_i64()?,
-            whence: c.get_u64()? as u8,
-        },
-        7 => Fsync { fd: c.get_i64()? },
-        8 => Stat {
-            path: fc.get_path(c, 3)?,
-        },
-        9 => Statfs {
-            path: fc.get_path(c, 3)?,
-        },
-        10 => Mkdir {
-            path: fc.get_path(c, 3)?,
-            mode: c.get_u64()? as u32,
-        },
-        11 => Unlink {
-            path: fc.get_path(c, 3)?,
-        },
-        12 => Readdir {
-            path: fc.get_path(c, 3)?,
-        },
-        13 => Rename {
-            from: fc.get_path(c, 3)?,
-            to: fc.get_path(c, 4)?,
-        },
-        14 => Fcntl {
-            fd: c.get_i64()?,
-            cmd: c.get_u64()? as u32,
-        },
-        15 => Mmap { len: c.get_u64()? },
-        16 => MpiFileOpen {
-            path: fc.get_path(c, 3)?,
-            amode: c.get_u64()? as u32,
-        },
-        17 => MpiFileClose { fd: c.get_i64()? },
-        18 => MpiFileWriteAt {
-            fd: c.get_i64()?,
-            offset: c.get_u64()?,
-            len: c.get_u64()?,
-        },
-        19 => MpiFileReadAt {
-            fd: c.get_i64()?,
-            offset: c.get_u64()?,
-            len: c.get_u64()?,
-        },
-        20 => MpiBarrier,
-        21 => MpiCommRank,
-        22 => MpiWait,
-        23 => VfsLookup {
-            path: fc.get_path(c, 3)?,
-        },
-        24 => VfsWritePage {
-            path: fc.get_path(c, 3)?,
-            offset: c.get_u64()?,
-            len: c.get_u64()?,
-        },
-        25 => VfsReadPage {
-            path: fc.get_path(c, 3)?,
-            offset: c.get_u64()?,
-            len: c.get_u64()?,
-        },
-        t => return Err(BinError::UnknownTag(t)),
-    };
-    Ok(TraceRecord {
-        ts: SimTime::from_nanos(ts),
-        dur: SimDur::from_nanos(dur),
-        rank: meta.rank,
-        node: meta.node,
-        pid,
-        uid,
-        gid,
-        call,
-        result,
-    })
+    decode_record_raw(c, prev_ts, fc)?.into_record(meta)
 }
 
 /// Encode one record with no field encryption (the journal's segment
@@ -503,7 +554,17 @@ pub fn decode_binary_salvage(bytes: &[u8], key: Option<&Key>) -> Result<Salvaged
     decode_impl(bytes, key, true)
 }
 
-fn decode_impl(bytes: &[u8], key: Option<&Key>, salvage: bool) -> Result<SalvagedBinary, BinError> {
+/// Everything the v1 container header declares.
+struct Header {
+    flags: u8,
+    field_sel: FieldSel,
+    meta: TraceMeta,
+    n_records: usize,
+}
+
+/// Parse the container header; the returned cursor sits on the first
+/// block.
+fn parse_header<'b>(bytes: &'b [u8], key: Option<&Key>) -> Result<(Header, Cursor<'b>), BinError> {
     if bytes.len() < 7 || &bytes[..4] != MAGIC {
         return Err(BinError::BadMagic);
     }
@@ -512,8 +573,7 @@ fn decode_impl(bytes: &[u8], key: Option<&Key>, salvage: bool) -> Result<Salvage
     }
     let flags = bytes[5];
     let field_sel = FieldSel(bytes[6]);
-    let encrypted = flags & FLAG_ENC != 0;
-    if encrypted && key.is_none() {
+    if flags & FLAG_ENC != 0 && key.is_none() {
         return Err(BinError::KeyRequired);
     }
     let mut c = Cursor::new(&bytes[7..]);
@@ -526,7 +586,7 @@ fn decode_impl(bytes: &[u8], key: Option<&Key>, salvage: bool) -> Result<Salvage
     let anonymized = c.get_u64()? != 0;
     let completeness = (c.get_u64()? as f64 / 1_000_000.0).clamp(0.0, 1.0);
     let n_records = c.get_u64()? as usize;
-    let mut meta = TraceMeta {
+    let meta = TraceMeta {
         app,
         rank,
         node,
@@ -536,6 +596,26 @@ fn decode_impl(bytes: &[u8], key: Option<&Key>, salvage: bool) -> Result<Salvage
         anonymized,
         completeness,
     };
+    Ok((
+        Header {
+            flags,
+            field_sel,
+            meta,
+            n_records,
+        },
+        c,
+    ))
+}
+
+fn decode_impl(bytes: &[u8], key: Option<&Key>, salvage: bool) -> Result<SalvagedBinary, BinError> {
+    let (hdr, mut c) = parse_header(bytes, key)?;
+    let Header {
+        flags,
+        field_sel,
+        mut meta,
+        n_records,
+    } = hdr;
+    let encrypted = flags & FLAG_ENC != 0;
 
     let sel = if encrypted { field_sel } else { FieldSel::NONE };
     let use_key = if encrypted { key } else { None };
@@ -546,10 +626,15 @@ fn decode_impl(bytes: &[u8], key: Option<&Key>, salvage: bool) -> Result<Salvage
     let mut report = None;
     'blocks: while records.len() < n_records {
         // Absolute container offset where this block starts — reported
-        // as the salvage resume point if the block is damaged.
+        // as the salvage resume point if the block framing is damaged.
         let block_offset = 7 + c.position();
         macro_rules! give_up {
-            ($e:expr) => {{
+            ($e:expr) => {
+                give_up!($e, block_offset)
+            };
+            // `$off` refines the damage position (exact record start for
+            // record-level errors in uncompressed payloads).
+            ($e:expr, $off:expr) => {{
                 let e: BinError = $e;
                 if !salvage {
                     return Err(e);
@@ -557,7 +642,7 @@ fn decode_impl(bytes: &[u8], key: Option<&Key>, salvage: bool) -> Result<Salvage
                 report = Some(SalvageReport {
                     records_recovered: records.len(),
                     records_expected: Some(n_records),
-                    error: TraceError::from_bin(&e, block_offset, block_idx),
+                    error: TraceError::from_bin(&e, $off, block_idx, records.len()),
                 });
                 break 'blocks;
             }};
@@ -578,13 +663,18 @@ fn decode_impl(bytes: &[u8], key: Option<&Key>, salvage: bool) -> Result<Salvage
             Ok(p) => p,
             Err(e) => give_up!(e.into()),
         };
+        // Container offset of the payload we just consumed; byte
+        // positions inside an *uncompressed* payload map 1:1 onto
+        // container offsets from here.
+        let payload_offset = 7 + c.position() - plen;
+        let compressed = flags & FLAG_LZSS != 0;
         if let Some(crc) = stored_crc {
             if crc32(payload) != crc {
                 give_up!(BinError::ChecksumMismatch { block: block_idx });
             }
         }
         let decompressed;
-        let payload: &[u8] = if flags & FLAG_LZSS != 0 {
+        let payload: &[u8] = if compressed {
             match lzss::decompress(payload) {
                 Ok(d) => {
                     decompressed = d;
@@ -597,6 +687,11 @@ fn decode_impl(bytes: &[u8], key: Option<&Key>, salvage: bool) -> Result<Salvage
         };
         let mut pc = Cursor::new(payload);
         while !pc.is_empty() && records.len() < n_records {
+            let rec_offset = if compressed {
+                block_offset
+            } else {
+                payload_offset + pc.position()
+            };
             let fc = FieldCipher {
                 key: use_key,
                 sel,
@@ -604,7 +699,7 @@ fn decode_impl(bytes: &[u8], key: Option<&Key>, salvage: bool) -> Result<Salvage
             };
             match decode_record(&mut pc, &mut prev_ts, &fc, &meta) {
                 Ok(r) => records.push(r),
-                Err(e) => give_up!(e),
+                Err(e) => give_up!(e, rec_offset),
             }
             seq += 1;
         }
@@ -624,6 +719,69 @@ fn decode_impl(bytes: &[u8], key: Option<&Key>, salvage: bool) -> Result<Salvage
         },
         report,
     })
+}
+
+/// Strict streaming decode that never materializes a
+/// `Vec<TraceRecord>`: each record is parsed with its paths still
+/// borrowed from the wire, interned into `paths`, and handed to `sink`
+/// as a zero-allocation [`Frame`]. This is the v1 side of the interner
+/// boundary — analysis folds that previously paid one `String` per
+/// record path now pay one interner hit per record and one allocation
+/// per *distinct* path.
+pub fn decode_binary_fold(
+    bytes: &[u8],
+    key: Option<&Key>,
+    paths: &mut Interner,
+    mut sink: impl FnMut(Frame),
+) -> Result<TraceMeta, BinError> {
+    let (hdr, mut c) = parse_header(bytes, key)?;
+    let encrypted = hdr.flags & FLAG_ENC != 0;
+    let sel = if encrypted {
+        hdr.field_sel
+    } else {
+        FieldSel::NONE
+    };
+    let use_key = if encrypted { key } else { None };
+    let mut emitted = 0usize;
+    let mut prev_ts = 0u64;
+    let mut seq = 0u64;
+    let mut block_idx = 0usize;
+    while emitted < hdr.n_records {
+        let plen = c.get_u64()? as usize;
+        let stored_crc = if hdr.flags & FLAG_CRC != 0 {
+            let b = c.take(4)?;
+            Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        } else {
+            None
+        };
+        let payload = c.take(plen)?;
+        if let Some(crc) = stored_crc {
+            if crc32(payload) != crc {
+                return Err(BinError::ChecksumMismatch { block: block_idx });
+            }
+        }
+        let decompressed;
+        let payload: &[u8] = if hdr.flags & FLAG_LZSS != 0 {
+            decompressed = lzss::decompress(payload).map_err(|_| BinError::Decompress)?;
+            &decompressed
+        } else {
+            payload
+        };
+        let mut pc = Cursor::new(payload);
+        while !pc.is_empty() && emitted < hdr.n_records {
+            let fc = FieldCipher {
+                key: use_key,
+                sel,
+                seq,
+            };
+            let raw = decode_record_raw(&mut pc, &mut prev_ts, &fc)?;
+            sink(raw.to_frame(paths, &hdr.meta));
+            emitted += 1;
+            seq += 1;
+        }
+        block_idx += 1;
+    }
+    Ok(hdr.meta)
 }
 
 #[cfg(test)]
@@ -919,6 +1077,84 @@ mod tests {
             decode_binary_salvage(&bytes, None).unwrap_err(),
             BinError::KeyRequired
         );
+    }
+
+    #[test]
+    fn fold_decode_matches_materializing_decode() {
+        let t = sample();
+        let key = Key::from_passphrase("k");
+        for opts in [
+            BinaryOptions::default(),
+            BinaryOptions {
+                checksum: true,
+                compress: true,
+                block_records: 16,
+                ..Default::default()
+            },
+            BinaryOptions {
+                encrypt: Some((key, FieldSel::ALL)),
+                ..Default::default()
+            },
+        ] {
+            let use_key = opts.encrypt.map(|(k, _)| k);
+            let bytes = encode_binary(&t, &opts);
+            let mut paths = Interner::new();
+            let mut frames = Vec::new();
+            let meta = decode_binary_fold(&bytes, use_key.as_ref(), &mut paths, |f| frames.push(f))
+                .unwrap();
+            assert_eq!(meta, t.meta);
+            assert_eq!(frames.len(), t.records.len());
+            let records: Vec<TraceRecord> = frames
+                .iter()
+                .map(|f| {
+                    f.to_record(|sym| Some(paths.resolve(sym).to_string()))
+                        .unwrap()
+                })
+                .collect();
+            assert_eq!(records, t.records);
+            // Distinct paths only (40 open targets + shared + rename
+            // pair): the whole point of the fold boundary.
+            assert_eq!(paths.len(), 43);
+        }
+    }
+
+    #[test]
+    fn fold_decode_is_strict() {
+        let t = sample();
+        let mut bytes = encode_binary(
+            &t,
+            &BinaryOptions {
+                checksum: true,
+                ..Default::default()
+            },
+        );
+        let n = bytes.len();
+        bytes[n - 10] ^= 0xFF;
+        let mut paths = Interner::new();
+        assert!(matches!(
+            decode_binary_fold(&bytes, None, &mut paths, |_| {}),
+            Err(BinError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn salvage_error_carries_record_index_and_offset() {
+        let t = sample();
+        let bytes = encode_binary(&t, &BinaryOptions::default());
+        // Cut deep inside the record stream (well past the header).
+        let cut = bytes.len() - 40;
+        let s = decode_binary_salvage(&bytes[..cut], None).unwrap();
+        let report = s.report.expect("truncation must be reported");
+        match report.error {
+            TraceError::Truncated { offset, record } => {
+                assert_eq!(record, s.decoded.trace.records.len());
+                // The reported offset is where the failing record began —
+                // inside the container, before the cut.
+                assert!(offset <= cut, "offset {offset} beyond cut {cut}");
+                assert!(offset > 7, "offset {offset} not past the header");
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
     }
 
     #[test]

@@ -8,11 +8,15 @@
 /// Reflected polynomial for IEEE CRC-32.
 const POLY: u32 = 0xEDB8_8320;
 
-/// 256-entry lookup table, built at compile time.
-static TABLE: [u32; 256] = build_table();
+/// Slicing-by-8 lookup tables, built at compile time. `TABLES[0]` is the
+/// classic byte-at-a-time table; `TABLES[k][i]` is the CRC of byte `i`
+/// followed by `k` zero bytes, which lets `update` fold 8 input bytes per
+/// iteration — journal segments checksum their whole payload, so this is
+/// on the hot path of every journal encode and decode.
+static TABLES: [[u32; 256]; 8] = build_tables();
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -25,10 +29,20 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        t[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
 }
 
 /// Streaming CRC-32 hasher.
@@ -50,8 +64,21 @@ impl Crc32 {
 
     pub fn update(&mut self, data: &[u8]) {
         let mut crc = self.state;
-        for &b in data {
-            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        let mut chunks = data.chunks_exact(8);
+        for c in &mut chunks {
+            let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+            let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+            crc = TABLES[7][(lo & 0xFF) as usize]
+                ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ TABLES[4][(lo >> 24) as usize]
+                ^ TABLES[3][(hi & 0xFF) as usize]
+                ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ TABLES[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
         }
         self.state = crc;
     }
@@ -64,6 +91,50 @@ impl Crc32 {
 /// One-shot CRC-32 of a buffer.
 pub fn crc32(data: &[u8]) -> u32 {
     let mut h = Crc32::new();
+    h.update(data);
+    h.finish()
+}
+
+/// Streaming FNV-1a 64 hasher — the content-digest primitive shared by
+/// the journal's record digests and the IOT2 section digests. Not
+/// collision-resistant against adversaries; it detects corruption, not
+/// tampering (that is what the XTEA field encryption is for).
+#[derive(Clone, Debug)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    pub fn update(&mut self, data: &[u8]) {
+        let mut h = self.state;
+        for &b in data {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.state = h;
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64 of a buffer.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
     h.update(data);
     h.finish()
 }
@@ -111,5 +182,22 @@ mod tests {
             h.update(&data[split..]);
             prop_assert_eq!(h.finish(), crc32(&data));
         }
+
+        #[test]
+        fn fnv_chunking_is_irrelevant(data in prop::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+            let split = split.min(data.len());
+            let mut h = Fnv64::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            prop_assert_eq!(h.finish(), fnv1a64(&data));
+        }
+    }
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 }

@@ -24,6 +24,14 @@ impl Sym {
     pub fn id(self) -> u32 {
         self.0
     }
+
+    /// Rebuild a symbol from a raw id. Crate-internal: only codecs that
+    /// persist symbol ids (the IOT2 string table stores them in
+    /// first-reference order, exactly like an interner assigns them) may
+    /// mint symbols without an interner.
+    pub(crate) fn from_raw(id: u32) -> Sym {
+        Sym(id)
+    }
 }
 
 /// String → [`Sym`] table. Double-stores each distinct string (map key +

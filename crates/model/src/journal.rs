@@ -20,15 +20,42 @@
 //! segment decodes independently of the torn tail. [`fsck_journal`] is
 //! the recovery path behind `iotrace fsck`: it salvages every sealed
 //! segment from a damaged journal and reports what the tear cost.
+//!
+//! Container version 2 keeps the framing identical but prefixes each
+//! segment payload with a one-byte format tag: tag 2 holds IOT2
+//! fixed-stride frames (plus a per-segment string table), tag 1 falls
+//! back to the v1 varint encoding for segments with unpackable records.
+//! Both versions read through the same [`read_journal`]/[`fsck_journal`]
+//! entry points; the version byte at offset 4 selects the payload
+//! decoder.
 
 use crate::binary::{decode_record_plain, encode_record_plain, BinError};
-use crate::crc::crc32;
+use crate::crc::{crc32, fnv1a64};
 use crate::event::{Trace, TraceMeta, TraceRecord};
 use crate::varint::{put_str, put_u64, Cursor, VarintError};
 
 const MAGIC: &[u8; 4] = b"IOTJ";
 const VERSION: u8 = 1;
+/// Journal version whose segment payloads carry a format tag and
+/// default to IOT2 fixed-stride frames (with a per-segment string
+/// table), so sealed segments decode with the zero-copy frame parser.
+const VERSION_V2: u8 = 2;
 const SEAL: &[u8; 4] = b"SEAL";
+
+/// v2 segment payload format tags (first payload byte).
+const SEG_FMT_V1: u8 = 1;
+const SEG_FMT_IOT2: u8 = 2;
+
+/// Peek at a journal's version byte (`None` if `bytes` is not an IOTJ
+/// container at all). The collector's spool recovery uses this to
+/// rewrite orphaned journals in the same version they were captured in.
+pub fn journal_version(bytes: &[u8]) -> Option<u8> {
+    if bytes.len() >= 5 && &bytes[..4] == MAGIC {
+        Some(bytes[4])
+    } else {
+        None
+    }
+}
 
 /// A journal failed to open. Damage *after* the header is never an
 /// error for [`fsck_journal`] — only for the strict [`read_journal`].
@@ -112,6 +139,7 @@ pub struct JournalWriter {
     segment_records: usize,
     sealed_segments: usize,
     sealed_records: usize,
+    version: u8,
 }
 
 /// Encode `meta` in the journal header field layout. Public because the
@@ -174,9 +202,20 @@ pub fn decode_segment_payload(bytes: &[u8], meta: &TraceMeta) -> Result<Vec<Trac
 
 impl JournalWriter {
     pub fn new(meta: &TraceMeta, segment_records: usize) -> Self {
+        Self::with_version(meta, segment_records, VERSION)
+    }
+
+    /// A v2 journal: sealed segments carry IOT2 fixed-stride frames
+    /// (falling back per segment to the v1 payload encoding for records
+    /// the packed frame word cannot represent, so `append` never fails).
+    pub fn new_v2(meta: &TraceMeta, segment_records: usize) -> Self {
+        Self::with_version(meta, segment_records, VERSION_V2)
+    }
+
+    fn with_version(meta: &TraceMeta, segment_records: usize, version: u8) -> Self {
         let mut buf = Vec::new();
         buf.extend_from_slice(MAGIC);
-        buf.push(VERSION);
+        buf.push(version);
         let mut hdr = Vec::new();
         put_meta(&mut hdr, meta);
         put_u64(&mut buf, hdr.len() as u64);
@@ -188,7 +227,13 @@ impl JournalWriter {
             segment_records: segment_records.max(1),
             sealed_segments: 0,
             sealed_records: 0,
+            version,
         }
+    }
+
+    /// The container version this writer emits (1 or 2).
+    pub fn version(&self) -> u8 {
+        self.version
     }
 
     pub fn append(&mut self, rec: &TraceRecord) {
@@ -210,7 +255,8 @@ impl JournalWriter {
         if self.pending.is_empty() {
             return;
         }
-        self.buf.extend_from_slice(&segment_bytes(&self.pending));
+        self.buf
+            .extend_from_slice(&segment_bytes(&self.pending, self.version));
         self.sealed_segments += 1;
         self.sealed_records += self.pending.len();
         self.pending.clear();
@@ -249,7 +295,7 @@ impl JournalWriter {
             // dangling length prefix made it out.
             put_u64(&mut out, 57);
         } else {
-            let seg = segment_bytes(&self.pending);
+            let seg = segment_bytes(&self.pending, self.version);
             let cut = (seg.len() / 2).max(1).min(seg.len() - 1);
             out.extend_from_slice(&seg[..cut]);
         }
@@ -257,10 +303,49 @@ impl JournalWriter {
     }
 }
 
+/// Encode records as a *v2* segment payload: a one-byte format tag,
+/// then either IOT2 fixed-stride frames (the normal case) or, when any
+/// record cannot be packed into a frame word (rank or fd out of range),
+/// the v1 varint encoding for the whole segment — which is what keeps
+/// [`JournalWriter::append`] infallible.
+pub fn encode_segment_payload_v2(records: &[TraceRecord]) -> Vec<u8> {
+    match crate::iot2::encode_segment_frames(records) {
+        Ok(frames) => {
+            let mut out = Vec::with_capacity(1 + frames.len());
+            out.push(SEG_FMT_IOT2);
+            out.extend_from_slice(&frames);
+            out
+        }
+        Err(_) => {
+            let mut out = vec![SEG_FMT_V1];
+            out.extend_from_slice(&encode_segment_payload(records));
+            out
+        }
+    }
+}
+
+/// Decode a [`encode_segment_payload_v2`] buffer; `meta` supplies
+/// rank/node for v1-fallback segments and node for frame segments.
+pub fn decode_segment_payload_v2(
+    bytes: &[u8],
+    meta: &TraceMeta,
+) -> Result<Vec<TraceRecord>, String> {
+    match bytes.split_first() {
+        Some((&SEG_FMT_IOT2, rest)) => crate::iot2::decode_segment_frames(rest, meta),
+        Some((&SEG_FMT_V1, rest)) => decode_segment_payload(rest, meta),
+        Some((&t, _)) => Err(format!("unknown v2 segment payload format {t}")),
+        None => Ok(Vec::new()),
+    }
+}
+
 /// Encode one sealed segment: frame length, payload (delta timestamps
 /// reset per segment), then the footer that makes it trustworthy.
-fn segment_bytes(records: &[TraceRecord]) -> Vec<u8> {
-    let payload = encode_segment_payload(records);
+fn segment_bytes(records: &[TraceRecord], version: u8) -> Vec<u8> {
+    let payload = if version >= VERSION_V2 {
+        encode_segment_payload_v2(records)
+    } else {
+        encode_segment_payload(records)
+    };
     let mut out = Vec::new();
     put_u64(&mut out, payload.len() as u64);
     out.extend_from_slice(&payload);
@@ -272,17 +357,23 @@ fn segment_bytes(records: &[TraceRecord]) -> Vec<u8> {
 
 /// One-shot encoding of a whole trace as a finished journal.
 pub fn encode_journal(trace: &Trace, segment_records: usize) -> Vec<u8> {
-    let mut w = JournalWriter::new(&trace.meta, segment_records);
+    encode_journal_versioned(trace, segment_records, VERSION)
+}
+
+/// [`encode_journal`] with an explicit container version (1 or 2).
+pub fn encode_journal_versioned(trace: &Trace, segment_records: usize, version: u8) -> Vec<u8> {
+    let mut w = JournalWriter::with_version(&trace.meta, segment_records, version);
     w.append_all(&trace.records);
     w.finish()
 }
 
-fn read_header(bytes: &[u8]) -> Result<(TraceMeta, usize), JournalError> {
+fn read_header(bytes: &[u8]) -> Result<(TraceMeta, usize, u8), JournalError> {
     if bytes.len() < 5 || &bytes[..4] != MAGIC {
         return Err(JournalError::BadMagic);
     }
-    if bytes[4] != VERSION {
-        return Err(JournalError::BadVersion(bytes[4]));
+    let version = bytes[4];
+    if version != VERSION && version != VERSION_V2 {
+        return Err(JournalError::BadVersion(version));
     }
     let mut c = Cursor::new(&bytes[5..]);
     let hlen = c.get_u64().map_err(|_| JournalError::HeaderCorrupt)? as usize;
@@ -294,7 +385,7 @@ fn read_header(bytes: &[u8]) -> Result<(TraceMeta, usize), JournalError> {
     }
     let mut h = Cursor::new(hdr);
     let meta = get_meta(&mut h).map_err(|_| JournalError::HeaderCorrupt)?;
-    Ok((meta, 5 + c.position()))
+    Ok((meta, 5 + c.position(), version))
 }
 
 /// One fully framed segment found by the scan pass: where its payload
@@ -360,12 +451,20 @@ fn scan_frames(bytes: &[u8], offset: usize) -> (Vec<SegFrame<'_>>, Option<String
 /// Verify and decode one sealed segment. Timestamp deltas reset at every
 /// segment boundary, which is exactly what makes this independently
 /// callable per segment (and therefore parallelizable).
-fn decode_frame(f: &SegFrame<'_>, meta: &TraceMeta) -> Result<Vec<TraceRecord>, String> {
+fn decode_frame(
+    f: &SegFrame<'_>,
+    meta: &TraceMeta,
+    version: u8,
+) -> Result<Vec<TraceRecord>, String> {
     if crc32(f.payload) != f.stored_crc {
         return Err("segment payload fails its checksum".into());
     }
-    let recs = decode_segment_payload(f.payload, meta)
-        .map_err(|e| format!("{e} inside sealed segment"))?;
+    let recs = if version >= VERSION_V2 {
+        decode_segment_payload_v2(f.payload, meta)
+    } else {
+        decode_segment_payload(f.payload, meta)
+    }
+    .map_err(|e| format!("{e} inside sealed segment"))?;
     if recs.len() != f.promised {
         return Err(format!(
             "segment footer promises {} records, payload holds {}",
@@ -393,14 +492,18 @@ fn walk_segments(
     bytes: &[u8],
     offset: usize,
     meta: &TraceMeta,
+    version: u8,
     records: &mut Vec<TraceRecord>,
 ) -> (usize, usize, Option<String>) {
     let (frames, scan_damage) = scan_frames(bytes, offset);
     let decoded: Vec<Result<Vec<TraceRecord>, String>> =
         if frames.len() >= PARALLEL_SEGMENT_THRESHOLD {
-            crate::par::par_map(&frames, |f| decode_frame(f, meta))
+            crate::par::par_map(&frames, |f| decode_frame(f, meta, version))
         } else {
-            frames.iter().map(|f| decode_frame(f, meta)).collect()
+            frames
+                .iter()
+                .map(|f| decode_frame(f, meta, version))
+                .collect()
         };
     let mut segments = 0usize;
     let mut consumed = offset;
@@ -419,9 +522,9 @@ fn walk_segments(
 
 /// Strict decode: every segment must be sealed and consistent.
 pub fn read_journal(bytes: &[u8]) -> Result<Trace, JournalError> {
-    let (meta, body) = read_header(bytes)?;
+    let (meta, body, version) = read_header(bytes)?;
     let mut records = Vec::new();
-    let (_, consumed, damage) = walk_segments(bytes, body, &meta, &mut records);
+    let (_, consumed, damage) = walk_segments(bytes, body, &meta, version, &mut records);
     if damage.is_some() || consumed != bytes.len() {
         return Err(JournalError::Torn { offset: consumed });
     }
@@ -434,9 +537,9 @@ pub fn read_journal(bytes: &[u8]) -> Result<Trace, JournalError> {
 /// `completeness < 1.0`: the tail is one lost flush batch, stamped via
 /// [`TraceMeta::record_loss`] as `n / (n + 1)`.
 pub fn fsck_journal(bytes: &[u8]) -> Result<(Trace, FsckReport), JournalError> {
-    let (mut meta, body) = read_header(bytes)?;
+    let (mut meta, body, version) = read_header(bytes)?;
     let mut records = Vec::new();
-    let (segments, consumed, damage) = walk_segments(bytes, body, &meta, &mut records);
+    let (segments, consumed, damage) = walk_segments(bytes, body, &meta, version, &mut records);
     let torn_tail_bytes = bytes.len() - consumed;
     if torn_tail_bytes > 0 {
         meta.record_loss(records.len(), records.len() + 1);
@@ -459,12 +562,7 @@ pub fn records_digest(records: &[TraceRecord]) -> u64 {
     for r in records {
         encode_record_plain(&mut buf, r, &mut prev_ts);
     }
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in &buf {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1_0000_0000_01b3);
-    }
-    h
+    fnv1a64(&buf)
 }
 
 /// Bytes the records occupy in the plain segment encoding — the honest
@@ -675,6 +773,77 @@ mod tests {
         assert_ne!(a, records_digest(&rev));
         assert_ne!(a, records_digest(&t.records[..11]));
         assert_ne!(records_digest(&[]), 0);
+    }
+
+    #[test]
+    fn v2_journal_roundtrips_and_reports_its_version() {
+        for seg in [1usize, 3, 7, 100] {
+            let t = sample(40);
+            let bytes = encode_journal_versioned(&t, seg, 2);
+            assert_eq!(journal_version(&bytes), Some(2));
+            assert_eq!(read_journal(&bytes).unwrap(), t, "segment size {seg}");
+        }
+        let v1 = encode_journal(&sample(4), 4);
+        assert_eq!(journal_version(&v1), Some(1));
+        assert_eq!(journal_version(b"IOTB\x01 not a journal"), None);
+    }
+
+    #[test]
+    fn v2_torn_journal_fscks_like_v1() {
+        let t = sample(11);
+        let mut w = JournalWriter::new_v2(&t.meta, 4);
+        assert_eq!(w.version(), 2);
+        w.append_all(&t.records); // 2 sealed segments, 3 pending
+        let torn = w.torn();
+        assert!(matches!(
+            read_journal(&torn),
+            Err(JournalError::Torn { .. })
+        ));
+        let (rec, report) = fsck_journal(&torn).unwrap();
+        assert_eq!(rec.records.as_slice(), &t.records[..8]);
+        assert_eq!(report.segments_recovered, 2);
+        assert!(report.torn_tail_bytes > 0);
+    }
+
+    #[test]
+    fn v2_segment_falls_back_to_v1_payload_for_unpackable_records() {
+        let mut t = sample(6);
+        // A rank outside the 22-bit frame field cannot ride in an IOT2
+        // frame; the segment quietly reverts to the v1 payload encoding.
+        for r in &mut t.records {
+            r.rank = 1 << 23;
+        }
+        t.meta.rank = 1 << 23;
+        let payload = encode_segment_payload_v2(&t.records);
+        assert_eq!(payload[0], SEG_FMT_V1);
+        let back = decode_segment_payload_v2(&payload, &t.meta).unwrap();
+        assert_eq!(back, t.records);
+        // And end-to-end through a sealed journal.
+        let bytes = encode_journal_versioned(&t, 4, 2);
+        assert_eq!(read_journal(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn v2_segment_payload_normally_uses_frames() {
+        let t = sample(6);
+        let payload = encode_segment_payload_v2(&t.records);
+        assert_eq!(payload[0], SEG_FMT_IOT2);
+        assert_eq!(
+            decode_segment_payload_v2(&payload, &t.meta).unwrap(),
+            t.records
+        );
+        assert!(decode_segment_payload_v2(&[99, 0], &t.meta).is_err());
+        assert_eq!(decode_segment_payload_v2(&[], &t.meta).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn v2_parallel_and_serial_segment_decode_agree() {
+        // ≥ 8 sealed segments exercises the par_map path.
+        let t = sample(100);
+        let bytes = encode_journal_versioned(&t, 5, 2); // 20 segments
+        assert_eq!(read_journal(&bytes).unwrap(), t);
+        let few = encode_journal_versioned(&t, 50, 2); // 2 segments (serial)
+        assert_eq!(read_journal(&few).unwrap(), t);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! * [`binary`] — the Tracefs-style binary format with optional
 //!   checksumming ([`crc`]), compression ([`lzss`]), per-field encryption
 //!   ([`xtea`]) and buffering;
+//! * [`iot2`] — the fixed-stride zero-copy binary format (v2): decode is
+//!   a bounds check plus a cast over a borrowed slice, with whole-trace
+//!   content digests;
 //! * [`anonymize`] — true randomization vs reversible encryption, with
 //!   field selection (the paper's anonymization axis);
 //! * [`summary`] / [`timing`] — LANL-Trace's call-summary and
@@ -22,6 +25,7 @@ pub mod binary;
 pub mod crc;
 pub mod event;
 pub mod intern;
+pub mod iot2;
 pub mod journal;
 pub mod lzss;
 pub mod par;
@@ -35,14 +39,18 @@ pub mod xtea;
 pub mod prelude {
     pub use crate::anonymize::{Anonymizer, Mode as AnonMode, Selection as AnonSelection};
     pub use crate::binary::{
-        decode_binary, decode_binary_salvage, encode_binary, BinError, BinaryOptions, FieldSel,
-        SalvagedBinary,
+        decode_binary, decode_binary_fold, decode_binary_salvage, encode_binary, BinError,
+        BinaryOptions, FieldSel, SalvagedBinary,
     };
     pub use crate::event::{CallLayer, IoCall, Trace, TraceMeta, TraceRecord};
     pub use crate::intern::{Interner, Sym};
+    pub use crate::iot2::{
+        decode_iot2, decode_iot2_salvage, encode_iot2, encode_iot2_with_envelope, is_iot2,
+        ContentDigests, DecodedIot2, Frame, Iot2Error, Iot2View, SalvagedIot2, FRAME_STRIDE,
+    };
     pub use crate::journal::{
-        encode_journal, encoded_size, fsck_journal, read_journal, records_digest, FsckReport,
-        JournalError, JournalWriter, TracerSnapshot,
+        encode_journal, encode_journal_versioned, encoded_size, fsck_journal, journal_version,
+        read_journal, records_digest, FsckReport, JournalError, JournalWriter, TracerSnapshot,
     };
     pub use crate::par::par_map;
     pub use crate::salvage::{SalvageReport, TraceError};

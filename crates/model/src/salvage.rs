@@ -10,34 +10,72 @@
 
 use crate::binary::BinError;
 
-/// Why decoding stopped early — the typed form of a mid-stream failure,
-/// carrying enough position information to act on.
+/// Why decoding stopped early — the typed form of a mid-stream failure.
+/// Every binary-side variant carries the container byte `offset` of the
+/// damage and the index of the `record` (v1) / frame (v2) being decoded
+/// when it was found, so a salvage report pinpoints the exact position.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceError {
     /// Input ended before the declared record count was reached.
-    Truncated { offset: usize },
+    Truncated { offset: usize, record: usize },
     /// A block failed its CRC; its records are untrusted and dropped.
-    Checksum { block: usize },
+    Checksum {
+        block: usize,
+        offset: usize,
+        record: usize,
+    },
     /// Field decryption failed (wrong key or corrupt ciphertext).
-    Cipher { offset: usize },
+    Cipher { offset: usize, record: usize },
     /// An unknown record tag — corruption or a future format.
-    UnknownTag { tag: u8, offset: usize },
+    UnknownTag {
+        tag: u8,
+        offset: usize,
+        record: usize,
+    },
     /// A compressed block failed to decompress.
-    Decompress { block: usize },
+    Decompress {
+        block: usize,
+        offset: usize,
+        record: usize,
+    },
+    /// An IOT2 section digest (`header`/`body`/`footer`) mismatch: the
+    /// structure decoded but the content is not what was written.
+    Digest {
+        section: &'static str,
+        offset: usize,
+    },
+    /// An IOT2 frame is structurally invalid.
+    Frame {
+        frame: usize,
+        offset: usize,
+        message: String,
+    },
     /// A text trace line failed to parse.
     Syntax { line: usize, message: String },
 }
 
 impl TraceError {
     /// Classify a [`BinError`] raised mid-stream at container offset
-    /// `offset` while decoding block `block`.
-    pub fn from_bin(e: &BinError, offset: usize, block: usize) -> Self {
+    /// `offset`, while decoding record `record` of block `block`.
+    pub fn from_bin(e: &BinError, offset: usize, block: usize, record: usize) -> Self {
         match e {
-            BinError::ChecksumMismatch { block } => TraceError::Checksum { block: *block },
-            BinError::UnknownTag(tag) => TraceError::UnknownTag { tag: *tag, offset },
-            BinError::Cipher(_) => TraceError::Cipher { offset },
-            BinError::Decompress => TraceError::Decompress { block },
-            _ => TraceError::Truncated { offset },
+            BinError::ChecksumMismatch { block } => TraceError::Checksum {
+                block: *block,
+                offset,
+                record,
+            },
+            BinError::UnknownTag(tag) => TraceError::UnknownTag {
+                tag: *tag,
+                offset,
+                record,
+            },
+            BinError::Cipher(_) => TraceError::Cipher { offset, record },
+            BinError::Decompress => TraceError::Decompress {
+                block,
+                offset,
+                record,
+            },
+            _ => TraceError::Truncated { offset, record },
         }
     }
 }
@@ -45,20 +83,54 @@ impl TraceError {
 impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TraceError::Truncated { offset } => {
-                write!(f, "input truncated at byte {offset}")
+            TraceError::Truncated { offset, record } => {
+                write!(f, "input truncated at byte {offset} (record {record})")
             }
-            TraceError::Checksum { block } => {
-                write!(f, "checksum mismatch in block {block}")
+            TraceError::Checksum {
+                block,
+                offset,
+                record,
+            } => {
+                write!(
+                    f,
+                    "checksum mismatch in block {block} at byte {offset} (record {record})"
+                )
             }
-            TraceError::Cipher { offset } => {
-                write!(f, "field decryption failed at byte {offset}")
+            TraceError::Cipher { offset, record } => {
+                write!(
+                    f,
+                    "field decryption failed at byte {offset} (record {record})"
+                )
             }
-            TraceError::UnknownTag { tag, offset } => {
-                write!(f, "unknown record tag {tag} at byte {offset}")
+            TraceError::UnknownTag {
+                tag,
+                offset,
+                record,
+            } => {
+                write!(
+                    f,
+                    "unknown record tag {tag} at byte {offset} (record {record})"
+                )
             }
-            TraceError::Decompress { block } => {
-                write!(f, "decompression failed in block {block}")
+            TraceError::Decompress {
+                block,
+                offset,
+                record,
+            } => {
+                write!(
+                    f,
+                    "decompression failed in block {block} at byte {offset} (record {record})"
+                )
+            }
+            TraceError::Digest { section, offset } => {
+                write!(f, "{section} digest mismatch (content from byte {offset})")
+            }
+            TraceError::Frame {
+                frame,
+                offset,
+                message,
+            } => {
+                write!(f, "bad frame {frame} at byte {offset}: {message}")
             }
             TraceError::Syntax { line, message } => {
                 write!(f, "syntax error on line {line}: {message}")

@@ -103,8 +103,15 @@ impl<'a> Cursor<'a> {
     }
 
     pub fn get_str(&mut self) -> Result<String, VarintError> {
+        Ok(self.get_str_ref()?.to_string())
+    }
+
+    /// Borrowing variant of [`Cursor::get_str`]: the returned `&str`
+    /// points into the underlying buffer, so hot decode loops can hand
+    /// it straight to an interner without an intermediate allocation.
+    pub fn get_str_ref(&mut self) -> Result<&'a str, VarintError> {
         let b = self.get_bytes()?;
-        String::from_utf8(b.to_vec()).map_err(|_| VarintError::Truncated)
+        std::str::from_utf8(b).map_err(|_| VarintError::Truncated)
     }
 
     /// Consume exactly `n` raw (unprefixed) bytes.
