@@ -19,7 +19,11 @@
 //!   rebuilt with a single extraction worker;
 //! * serve determinism — two independent collector soaks (16 clients
 //!   streaming the same synthetic captures through the framed channel
-//!   protocol into journaled spools) produce identical merged digests.
+//!   protocol into journaled spools) produce identical merged digests;
+//! * federation determinism — a two-collector federation that live-
+//!   migrates every session mid-stream merges to the *same* digest as
+//!   the single-collector soak (no record lost or duplicated by any
+//!   handoff), and an independent federated rerun agrees.
 //!
 //! Wall-clock numbers are reported but never gated on: CI runners are
 //! too noisy for that (the `perf-smoke` job only fails on panics or a
@@ -32,7 +36,7 @@ use iotrace_analysis::hotspots::{by_path_interned, top_by_bytes_interned};
 use iotrace_analysis::merge::{merge_by_sort, merge_corrected};
 use iotrace_analysis::skew::{ClockFit, SkewEstimate};
 use iotrace_analysis::stats::TraceStats;
-use iotrace_collector::{run_soak, SoakConfig};
+use iotrace_collector::{run_federation, run_soak, FederationConfig, SoakConfig};
 use iotrace_lint::{LintConfig, LintInput, Linter};
 use iotrace_model::binary::{decode_binary, encode_binary, BinaryOptions};
 use iotrace_model::event::{IoCall, Trace, TraceMeta, TraceRecord};
@@ -42,7 +46,7 @@ use iotrace_model::journal::{
     encode_journal, encode_journal_versioned, read_journal, records_digest,
 };
 use iotrace_provenance::{upstream, EdgeKind, LineageGraph};
-use iotrace_sim::fault::FaultPlan;
+use iotrace_sim::fault::{Fault, FaultPlan};
 use iotrace_sim::time::{SimDur, SimTime};
 
 use crate::io::{flag, split_args};
@@ -250,13 +254,69 @@ pub fn run(args: &[String]) -> Result<(), String> {
         let _ = std::fs::remove_dir_all(d);
     }
 
+    // federation (two collectors, every client forced through one live
+    // session migration mid-stream). The handoff must neither lose nor
+    // duplicate a record: the federation's merged digest has to equal
+    // the single-collector soak's over the same synthetic captures, and
+    // an independent rerun has to agree.
+    let fed_plan = FaultPlan {
+        seed: soak_cfg.seed,
+        faults: (0..soak_cfg.clients)
+            .map(|c| Fault::CollectorMigrate {
+                client: c,
+                at_frame: 1 + u64::from(c % 3),
+            })
+            .collect(),
+    };
+    let fed_cfg = FederationConfig {
+        soak: soak_cfg,
+        ..FederationConfig::default()
+    };
+    let fed_dirs: Vec<std::path::PathBuf> = ["a1", "b1", "a2", "b2"]
+        .iter()
+        .map(|t| std::env::temp_dir().join(format!("iotrace-bench-fed-{t}-{}", std::process::id())))
+        .collect();
+    for d in &fed_dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    let (fed, fed_s) =
+        timed(|| run_federation(&fed_dirs[0], &fed_dirs[1], &fed_cfg, &fed_plan, None));
+    let fed = fed?;
+    stages.push(Stage::new("federation", soak_total, fed_s));
+    let fed_rerun = run_federation(&fed_dirs[2], &fed_dirs[3], &fed_cfg, &fed_plan, None)?;
+    let fed_migrated = fed
+        .migrations
+        .iter()
+        .filter(|m| !m.aborted && m.handoff_ticks.is_some())
+        .count();
+    let handoff_ticks: Vec<u64> = fed
+        .migrations
+        .iter()
+        .filter_map(|m| m.handoff_ticks)
+        .collect();
+    let handoff_ticks_max = handoff_ticks.iter().copied().max().unwrap_or(0);
+    let handoff_ticks_mean = if handoff_ticks.is_empty() {
+        0.0
+    } else {
+        handoff_ticks.iter().sum::<u64>() as f64 / handoff_ticks.len() as f64
+    };
+    let federation_deterministic = fed.merged_digest == soak.merged_digest
+        && fed.merged_records == soak.merged_records
+        && fed.merged_digest == fed_rerun.merged_digest
+        && fed_migrated == soak_cfg.clients as usize
+        && fed.aborted_handoffs == 0;
+    for d in &fed_dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
+
     let determinism_ok = decode_ok
         && journal_ok
         && v2_ok
         && merge_equivalent
         && merge_deterministic
         && provenance_deterministic
-        && serve_deterministic;
+        && serve_deterministic
+        && federation_deterministic;
     let json = render_json(&Report {
         quick,
         ranks,
@@ -287,6 +347,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
         soak_queue_high_watermark: soak.queue_high_watermark,
         soak_merged_records: soak.merged_records,
         serve_deterministic,
+        federation_migrations: fed_migrated,
+        federation_handoff_ticks_mean: handoff_ticks_mean,
+        federation_handoff_ticks_max: handoff_ticks_max,
+        federation_retries: fed.migrations.iter().map(|m| m.retries).sum(),
+        federation_merged_records: fed.merged_records,
+        federation_deterministic,
         determinism_ok,
     });
     std::fs::write(&out_path, json).map_err(|e| format!("{out_path}: {e}"))?;
@@ -306,7 +372,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
              (decode_ok={decode_ok} journal_ok={journal_ok} v2_ok={v2_ok} \
              merge_equivalent={merge_equivalent} merge_deterministic={merge_deterministic} \
              provenance_deterministic={provenance_deterministic} \
-             serve_deterministic={serve_deterministic})"
+             serve_deterministic={serve_deterministic} \
+             federation_deterministic={federation_deterministic})"
         ));
     }
     Ok(())
@@ -388,6 +455,12 @@ struct Report<'a> {
     soak_queue_high_watermark: usize,
     soak_merged_records: u64,
     serve_deterministic: bool,
+    federation_migrations: usize,
+    federation_handoff_ticks_mean: f64,
+    federation_handoff_ticks_max: u64,
+    federation_retries: u64,
+    federation_merged_records: u64,
+    federation_deterministic: bool,
     determinism_ok: bool,
 }
 
@@ -589,6 +662,26 @@ fn render_json(r: &Report<'_>) -> String {
     );
     let _ = writeln!(out, "    \"merged_records\": {},", r.soak_merged_records);
     let _ = writeln!(out, "    \"deterministic\": {}", r.serve_deterministic);
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"federation\": {{");
+    let _ = writeln!(out, "    \"migrations\": {},", r.federation_migrations);
+    let _ = writeln!(
+        out,
+        "    \"handoff_ticks_mean\": {:.3},",
+        r.federation_handoff_ticks_mean
+    );
+    let _ = writeln!(
+        out,
+        "    \"handoff_ticks_max\": {},",
+        r.federation_handoff_ticks_max
+    );
+    let _ = writeln!(out, "    \"retries\": {},", r.federation_retries);
+    let _ = writeln!(
+        out,
+        "    \"merged_records\": {},",
+        r.federation_merged_records
+    );
+    let _ = writeln!(out, "    \"deterministic\": {}", r.federation_deterministic);
     out.push_str("  },\n");
     match &r.top_path {
         Some(p) => {

@@ -627,12 +627,22 @@ pub fn fsck(args: &[String]) -> Result<(), String> {
         return Err("fsck needs <journal.iotj> or a spool directory".to_string());
     };
     if std::path::Path::new(input).is_dir() {
+        let dir = std::path::Path::new(input);
         let segment_records = flag(&flags, "segment-records")
             .and_then(|v| v.as_deref())
             .map(|v| v.parse().map_err(|_| "bad --segment-records"))
             .transpose()?
             .unwrap_or(64);
-        let rep = iotrace_collector::recover_spool(std::path::Path::new(input), segment_records)?;
+        // A federation root (collector spools in subdirectories) gets
+        // the reunite-aware multi-spool recovery; a plain spool
+        // directory keeps the single-collector path.
+        let spools = iotrace_collector::federation_spools(dir)?;
+        if !spools.is_empty() && spools != [dir.to_path_buf()] {
+            let rec = iotrace_collector::recover_federation(dir, segment_records)?;
+            print!("{}", rec.render());
+            return Ok(());
+        }
+        let rep = iotrace_collector::recover_spool(dir, segment_records)?;
         print!("{}", rep.render());
         return Ok(());
     }

@@ -115,6 +115,8 @@ pub fn split_args(args: &[String]) -> (Vec<String>, Vec<(String, Option<String>)
                     | "drain-per-tick"
                     | "kill-at-frame"
                     | "status-every"
+                    | "peer"
+                    | "kill-peer-at-frame"
             );
             if takes_value && i + 1 < args.len() {
                 flags.push((name.to_string(), Some(args[i + 1].clone())));

@@ -17,8 +17,8 @@
 //! iotrace taxonomy                           print Tables 1 and 2 (quick probes)
 //! iotrace demo      <dir>                    generate sample trace files to play with
 //! iotrace fsck      <journal.iotj|dir>       recover sealed segments from torn journals
-//! iotrace serve     <spool-dir>              run the collector daemon soak
-//! iotrace sessions  <spool-dir>              list a spool's capture sessions
+//! iotrace serve     <spool-dir> [--peer <dir>] run the collector daemon soak
+//! iotrace sessions  <spool-dir|fed-root>     list capture sessions across collectors
 //! iotrace resume    <checkpoint.ckpt>        verify and complete a killed run
 //! ```
 //!
@@ -105,20 +105,27 @@ commands:
   fsck      <journal.iotj> [--out <file>]   recover sealed segments from a
                                             (possibly torn) trace journal; given a
                                             spool directory, recover every *.iotj
-                                            in one pass with a per-journal table
+                                            in one pass with a per-journal table;
+                                            given a federation root (collector
+                                            spools in subdirectories), reunite
+                                            sessions split mid-handoff first
   serve     <spool-dir> [--clients N] [--records N] [--queue-capacity N]
             [--segment-records N] [--kill-at-frame N] [--fault-plan <name|file>]
             [--seed N] [--status-every N] [--recover-only] [--v2-spool]
-            [--out <file>]
+            [--peer <dir>] [--kill-peer-at-frame N] [--out <file>]
                                             run the collector daemon soak: N
                                             capture clients stream sessions into
                                             journaled spools with backpressure;
-                                            recovers orphaned sessions on startup
-  sessions  <spool-dir>                     list a spool's capture sessions
+                                            recovers orphaned sessions on startup.
+                                            --peer federates two collectors and
+                                            lets collector-migrate faults hand
+                                            live sessions over mid-stream
+  sessions  <spool-dir|federation-root>     list capture sessions (merged across
+                                            collectors for a federation root)
   resume    <checkpoint.ckpt>               verify and complete a killed run
   faults    <name|file> [--seed N] [--text] describe a fault plan (canned:
                                             clean, lossy-tracer, degraded-storage,
-                                            collector-chaos)
+                                            collector-chaos, federation-chaos)
   bench-pipeline [--quick] [--ranks N] [--records N] [--out <file>]
                                             time encode/decode/merge/lint/hotspots
                                             on a synthetic capture and write

@@ -6,14 +6,23 @@
 //! one collector under an optional fault plan. On startup it checks the
 //! spool for orphaned sessions from a previous (killed) collector and
 //! recovers them first — the same fsck path `iotrace fsck <dir>` uses.
-//! `sessions` prints the spool's session table without touching it.
+//! With `--peer <dir>` the soak becomes a two-collector *federation*:
+//! the plan's `collector-migrate` faults drain live sessions off the
+//! primary and re-handshake them onto the peer mid-stream, and either
+//! collector can be killed mid-handoff. `sessions` prints the session
+//! table of a spool — or of a whole federation root — without touching
+//! it.
 
 use std::collections::BTreeMap;
 
+use iotrace_collector::federation::{
+    federation_sessions, federation_spools, recover_spools, render_federation_sessions,
+    run_federation, FederationConfig, FederationOutcome,
+};
 use iotrace_collector::recovery::{needs_recovery, recover_spool};
 use iotrace_collector::soak::{run_soak, SoakConfig, SoakOutcome};
 use iotrace_collector::CollectorConfig;
-use iotrace_model::journal::fsck_journal;
+use iotrace_model::journal::{fsck_journal, journal_version};
 use iotrace_sim::fault::FaultPlan;
 
 use crate::cmd::fault_plan_from;
@@ -41,13 +50,31 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     };
     let dir = std::path::Path::new(dir);
     let segment_records = parse_flag(&flags, "segment-records", 64usize)?;
+    let peer = flag(&flags, "peer")
+        .and_then(|v| v.clone())
+        .map(std::path::PathBuf::from);
 
     // Startup recovery: a spool left torn by a killed collector is
-    // fscked before any new session is accepted.
-    if dir.is_dir() && needs_recovery(dir)? {
+    // fscked before any new session is accepted. With a peer, recovery
+    // is federation-aware — a session split mid-handoff across the two
+    // spools is reunited before either is served again.
+    let torn_peer = match &peer {
+        Some(p) if p.is_dir() => needs_recovery(p)?,
+        _ => false,
+    };
+    let torn = (dir.is_dir() && needs_recovery(dir)?) || torn_peer;
+    if torn {
         println!("spool needs recovery — fscking orphaned session journals:");
-        let rep = recover_spool(dir, segment_records)?;
-        print!("{}", rep.render());
+        match &peer {
+            Some(p) => {
+                let rec = recover_spools(&[dir.to_path_buf(), p.clone()], segment_records)?;
+                print!("{}", rec.render());
+            }
+            None => {
+                let rep = recover_spool(dir, segment_records)?;
+                print!("{}", rep.render());
+            }
+        }
     } else if flag(&flags, "recover-only").is_some() {
         println!("spool clean: nothing to recover");
     }
@@ -77,6 +104,32 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         status_every: parse_flag(&flags, "status-every", 0u64)?,
         ..SoakConfig::default()
     };
+
+    if let Some(peer) = peer {
+        let fed = FederationConfig {
+            soak: cfg,
+            kill_partner_at_frame: match flag(&flags, "kill-peer-at-frame")
+                .and_then(|v| v.as_deref())
+            {
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| format!("--kill-peer-at-frame wants a number, got `{v}`"))?,
+                ),
+                None => None,
+            },
+            ..FederationConfig::default()
+        };
+        let rep = run_federation(dir, &peer, &fed, &plan, None)?;
+        print!("{}", rep.render());
+        if !matches!(rep.outcome, FederationOutcome::Completed) {
+            println!(
+                "restart `iotrace serve {} --peer {} --recover-only` to reunite and recover both spools",
+                dir.display(),
+                peer.display()
+            );
+        }
+        return Ok(());
+    }
 
     let started = std::time::Instant::now();
     let rep = run_soak(dir, &cfg, &plan, None)?;
@@ -125,14 +178,32 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `iotrace sessions <spool-dir>`: print the session table from the
-/// spool's cards and journals, read-only.
+/// `iotrace sessions <spool-dir|federation-root>`: print the session
+/// table, read-only. A directory whose collector spools live in
+/// subdirectories (a federation root) gets the merged cross-collector
+/// table instead.
 pub fn sessions(args: &[String]) -> Result<(), String> {
     let (paths, _flags) = split_args(args);
     let [dir] = paths.as_slice() else {
         return Err("sessions needs <spool-dir>".to_string());
     };
     let dir = std::path::Path::new(dir);
+    let spools = federation_spools(dir)?;
+    if !spools.is_empty() && spools != [dir.to_path_buf()] {
+        let rows = federation_sessions(dir)?;
+        print!("{}", render_federation_sessions(&rows));
+        let orphaned = rows
+            .iter()
+            .filter(|r| !matches!(r.state.as_str(), "closed" | "degraded"))
+            .count();
+        if orphaned > 0 {
+            println!(
+                "{orphaned} orphaned session(s) — run `iotrace fsck {}` to reunite and recover",
+                dir.display()
+            );
+        }
+        return Ok(());
+    }
     let mut cards = BTreeMap::new();
     let mut journals = BTreeMap::new();
     for entry in std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))? {
@@ -145,27 +216,33 @@ pub fn sessions(args: &[String]) -> Result<(), String> {
             cards.insert(stem.to_string(), card);
         } else if let Some(stem) = name.strip_suffix(".iotj") {
             let bytes = std::fs::read(entry.path()).map_err(|e| format!("{name}: {e}"))?;
-            journals.insert(stem.to_string(), fsck_journal(&bytes));
+            let version = journal_version(&bytes).unwrap_or(0);
+            journals.insert(stem.to_string(), (version, fsck_journal(&bytes)));
         }
     }
     if cards.is_empty() && journals.is_empty() {
         println!("{}: no sessions", dir.display());
         return Ok(());
     }
-    println!("session  expected  records  state      completeness  journal");
+    println!("session  fmt  expected  records  state      completeness  journal");
     for (stem, card) in &cards {
+        let fmt = match journals.get(stem) {
+            Some((v, _)) if *v > 0 => format!("v{v}"),
+            _ => "?".to_string(),
+        };
         let journal = match journals.get(stem) {
-            Some(Ok((_, rep))) if rep.is_damaged() => format!(
+            Some((_, Ok((_, rep)))) if rep.is_damaged() => format!(
                 "torn ({} records salvageable, {} tail bytes)",
                 rep.records_recovered, rep.torn_tail_bytes
             ),
-            Some(Ok((_, rep))) => format!("clean ({} records)", rep.records_recovered),
-            Some(Err(e)) => format!("unreadable: {e}"),
+            Some((_, Ok((_, rep)))) => format!("clean ({} records)", rep.records_recovered),
+            Some((_, Err(e))) => format!("unreadable: {e}"),
             None => "missing".to_string(),
         };
         println!(
-            "{:<8} {:<9} {:<8} {:<10} {:<13.6} {}",
+            "{:<8} {:<4} {:<9} {:<8} {:<10} {:<13.6} {}",
             card.session,
+            fmt,
             card.expected,
             card.records,
             card.state.to_string(),

@@ -30,6 +30,9 @@ pub enum ClientPhase {
     Done,
     /// Died mid-stream (fault-injected disconnect).
     Dead,
+    /// Retry budget exhausted against a persistently `Busy` collector
+    /// (`RetryPolicy::max_attempts`) — gave up rather than spin forever.
+    GaveUp,
 }
 
 /// Per-client transfer ledger, the ground truth tests compare against.
@@ -45,6 +48,9 @@ pub struct ClientLedger {
     pub retries: u64,
     /// `Busy` refusals observed (>= retries bounded by max_retries resets).
     pub busy: u64,
+    /// The retry budget ran out (`max_attempts` hit) and the client
+    /// abandoned its in-flight frame.
+    pub exhausted: bool,
 }
 
 /// One simulated capture client.
@@ -113,7 +119,21 @@ impl SimClient {
     }
 
     pub fn is_terminal(&self) -> bool {
-        matches!(self.phase, ClientPhase::Done | ClientPhase::Dead)
+        matches!(
+            self.phase,
+            ClientPhase::Done | ClientPhase::Dead | ClientPhase::GaveUp
+        )
+    }
+
+    /// Re-handshake onto another collector after a migration: the
+    /// session id changes, the un-acked in-flight frame (same seq) is
+    /// re-offered there, and the backoff state resets — the destination
+    /// is a fresh queue, not the congested one we backed off from.
+    pub fn rebind(&mut self, session: u32) {
+        self.session = Some(session);
+        self.sent = false;
+        self.attempt = 0;
+        self.parked = 0;
     }
 
     /// Record frames fully sent (acked).
@@ -173,7 +193,7 @@ impl SimClient {
                 self.offer_in_flight(collector);
             }
             ClientPhase::Close => self.offer_in_flight(collector),
-            ClientPhase::Done | ClientPhase::Dead => {}
+            ClientPhase::Done | ClientPhase::Dead | ClientPhase::GaveUp => {}
         }
     }
 
@@ -189,18 +209,32 @@ impl SimClient {
                 self.sent = true;
                 self.attempt = 0;
             }
-            Err(Frame::Busy { .. }) => {
-                self.ledger.busy += 1;
-                self.ledger.retries += 1;
-                // Jittered exponential backoff, one tick per millisecond
-                // (minimum one tick so a parked client always yields).
-                let wait = self
-                    .policy
-                    .backoff_jittered(self.attempt.min(self.policy.max_retries), &mut self.rng);
+            Err(Frame::Busy { .. }) => self.back_off(),
+            Err(_) => unreachable!("offer only refuses with Busy"),
+        }
+    }
+
+    /// Honour a `Busy`: jittered exponential backoff, one tick per
+    /// millisecond (minimum one tick so a parked client always yields).
+    /// When the policy's `max_attempts` cap runs out, give up instead of
+    /// spinning forever.
+    fn back_off(&mut self) {
+        self.ledger.busy += 1;
+        self.ledger.retries += 1;
+        match self
+            .policy
+            .try_backoff_jittered(self.attempt, &mut self.rng)
+        {
+            Ok(wait) => {
                 self.parked = (wait.as_nanos() / 1_000_000).max(1);
                 self.attempt = self.attempt.saturating_add(1);
             }
-            Err(_) => unreachable!("offer only refuses with Busy"),
+            Err(_exhausted) => {
+                self.ledger.exhausted = true;
+                self.phase = ClientPhase::GaveUp;
+                self.in_flight = None;
+                self.sent = false;
+            }
         }
     }
 
@@ -251,8 +285,17 @@ impl SimClient {
                 self.in_flight = None;
                 self.sent = false;
             }
-            // Busy arrives synchronously from offer(); other frames are
-            // client → collector and never delivered here.
+            // An *asynchronous* Busy: the frame was queued but the
+            // session was draining to the federation partner when it
+            // was applied. Treat it like a refusal — back off and
+            // re-offer the same frame (by then we're rebound to the
+            // destination, where the seq continues without a gap).
+            Frame::Busy { .. } if self.in_flight.is_some() && self.sent => {
+                self.sent = false;
+                self.back_off();
+            }
+            // Other frames are client → collector and never delivered
+            // here.
             _ => {}
         }
     }

@@ -11,9 +11,9 @@
 //! `sessNNN.iotj` and the sealed count lands in `sessNNN.card`. A
 //! collector kill loses at most the unsealed tail of each session, and
 //! the torn journal left behind is exactly what
-//! [`fsck_journal`](iotrace_model::journal::fsck_journal) recovers. Stats fold incrementally as segments seal, so `stats` and
-//! `hotspots` answers are available mid-capture without re-reading any
-//! spool file.
+//! [`fsck_journal`] recovers. Stats fold incrementally as segments
+//! seal, so `stats` and `hotspots` answers are available mid-capture
+//! without re-reading any spool file.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -22,9 +22,11 @@ use iotrace_analysis::hotspots::{top_by_bytes_interned, PathFold, PathStats};
 use iotrace_analysis::stats::TraceStats;
 use iotrace_model::intern::Interner;
 
+use iotrace_model::journal::{fsck_journal, JournalWriter};
+
 use crate::proto::{decode_frame, Frame, ProtoError};
 use crate::queue::BoundedQueue;
-use crate::session::{session_stem, Session, SessionState};
+use crate::session::{session_stem, HandoffRecv, Session, SessionState};
 
 /// Tuning knobs for a collector instance.
 #[derive(Clone, Copy, Debug)]
@@ -132,6 +134,21 @@ impl Collector {
         &self.dir
     }
 
+    /// This collector's federation name: the spool directory's file
+    /// name. Origin tags (`<name>/<stem>`) and the federation tables
+    /// use it to say which collector a session lives on.
+    pub fn name(&self) -> String {
+        self.dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "collector".to_string())
+    }
+
+    /// Look up a session by id.
+    pub fn session(&self, id: u32) -> Option<&Session> {
+        self.sessions.get(&id)
+    }
+
     pub fn config(&self) -> CollectorConfig {
         self.cfg
     }
@@ -139,6 +156,9 @@ impl Collector {
     /// Offer one raw frame from `client`. `Ok` means the frame is
     /// queued and will be acknowledged; `Err` carries the `Busy`
     /// backpressure frame the client must honour with backoff.
+    // The Err is always the two-word `Busy` variant; `Frame`'s size
+    // comes from `Migrate`, which is never a refusal.
+    #[allow(clippy::result_large_err)]
     pub fn offer(&mut self, client: u32, frame_bytes: Vec<u8>) -> Result<(), Frame> {
         if self.killed {
             return Err(Frame::Busy { queue_len: 0 });
@@ -231,6 +251,14 @@ impl Collector {
                 };
                 {
                     let sess = self.sessions.get_mut(&sid).expect("routed session exists");
+                    if sess.state == SessionState::Draining {
+                        // Mid-handoff: the session is sealed and on its
+                        // way to the partner. Answer Busy — the client
+                        // backs off and re-offers, by which time it has
+                        // been rebound to the destination.
+                        self.outbox.push((client, Frame::Busy { queue_len: 0 }));
+                        return Ok(());
+                    }
                     if sess.state != SessionState::Streaming || seq != sess.last_seq + 1 {
                         return self.disconnect(client, "out-of-order frame");
                     }
@@ -250,6 +278,10 @@ impl Collector {
                 let Some(&sid) = self.client_session.get(&client) else {
                     return self.disconnect(client, "Bye without session");
                 };
+                if self.sessions[&sid].state == SessionState::Draining {
+                    self.outbox.push((client, Frame::Busy { queue_len: 0 }));
+                    return Ok(());
+                }
                 let clean = {
                     let sess = self.sessions.get_mut(&sid).expect("routed session exists");
                     sess.state = SessionState::Sealing;
@@ -274,6 +306,54 @@ impl Collector {
                 self.outbox.push((client, Frame::ByeAck { records }));
                 Ok(())
             }
+            Ok(Frame::Migrate {
+                origin_session,
+                meta,
+                expected,
+                sealed_records,
+                last_seq,
+                chunks,
+                origin,
+            }) => {
+                // Destination side of a handoff: open a stand-in session
+                // that will receive the source's sealed spool in chunks.
+                // Nothing hits disk until the first chunk lands — a kill
+                // here leaves the destination spool untouched and the
+                // source spool whole.
+                let id = self.next_session;
+                self.next_session += 1;
+                let mut sess = Session::new(
+                    id,
+                    meta,
+                    expected,
+                    self.cfg.segment_records,
+                    self.cfg.v2_spool,
+                );
+                sess.state = SessionState::Migrating;
+                sess.last_seq = last_seq;
+                sess.origin = Some(origin);
+                sess.recv = Some(HandoffRecv {
+                    buf: Vec::new(),
+                    next_chunk: 1,
+                    total_chunks: chunks,
+                    promised: sealed_records,
+                    records: 0,
+                });
+                self.sessions.insert(id, sess);
+                self.outbox.push((
+                    client,
+                    Frame::MigrateAck {
+                        session: id,
+                        origin_session,
+                    },
+                ));
+                Ok(())
+            }
+            Ok(Frame::Handoff {
+                session,
+                seq,
+                bytes: chunk,
+            }) => self.apply_handoff(client, session, seq, &chunk),
             // Replies are never client → collector.
             Ok(_) => self.disconnect(client, "unexpected reply frame"),
             // A tear or checksum failure is how a client death looks
@@ -283,6 +363,185 @@ impl Collector {
             }
             Err(e) => self.disconnect(client, Box::leak(e.to_string().into_boxed_str())),
         }
+    }
+
+    /// Apply one handoff chunk to a `Migrating` stand-in session.
+    /// Chunks ship along journal structure, so the accumulated buffer is
+    /// a valid sealed journal after every chunk; it is persisted (with
+    /// its card) before the ack goes out — the exactly-once durability
+    /// the source relies on when it deletes its copy.
+    fn apply_handoff(
+        &mut self,
+        client: u32,
+        session: u32,
+        seq: u64,
+        chunk: &[u8],
+    ) -> Result<(), String> {
+        let Some(sess) = self.sessions.get_mut(&session) else {
+            return self.disconnect(client, "Handoff for unknown session");
+        };
+        if sess.state != SessionState::Migrating {
+            return self.disconnect(client, "Handoff outside migration");
+        }
+        let recv = sess.recv.as_mut().expect("migrating session has recv");
+        if seq + 1 == recv.next_chunk {
+            // Duplicate of the chunk we just persisted (retried offer):
+            // re-ack, don't re-append.
+            let records = recv.records;
+            self.outbox.push((
+                client,
+                Frame::HandoffAck {
+                    session,
+                    seq,
+                    records,
+                },
+            ));
+            return Ok(());
+        }
+        if seq != recv.next_chunk {
+            return Err(format!(
+                "handoff chunk gap on session {session}: got {seq}, want {}",
+                recv.next_chunk
+            ));
+        }
+        recv.buf.extend_from_slice(chunk);
+        recv.next_chunk += 1;
+        let (trace, rep) = fsck_journal(&recv.buf)
+            .map_err(|e| format!("handoff chunk {seq} is not a journal prefix: {e}"))?;
+        if rep.is_damaged() || rep.torn_tail_bytes > 0 {
+            return Err(format!(
+                "handoff chunk {seq} left a damaged prefix on session {session}"
+            ));
+        }
+        recv.records = rep.records_recovered as u64;
+        let records = recv.records;
+        let done = recv.next_chunk > recv.total_chunks;
+        if done && records != recv.promised {
+            return Err(format!(
+                "handoff complete but {} records arrived, {} promised",
+                records, recv.promised
+            ));
+        }
+        // Persist the (always-valid) prefix before acking.
+        let path = self.dir.join(format!("{}.iotj", session_stem(session)));
+        std::fs::write(&path, &recv.buf).map_err(|e| format!("write {}: {e}", path.display()))?;
+        if done {
+            let buf = std::mem::take(&mut recv.buf);
+            sess.writer = JournalWriter::resume(buf, self.cfg.segment_records)
+                .map_err(|e| format!("resume migrated session {session}: {e:?}"))?;
+            sess.appended = records;
+            sess.folded = records;
+            sess.recv = None;
+            sess.state = SessionState::Streaming;
+            // Fold the shipped records into this collector's live stats
+            // so `stats`/`hotspots` cover the whole session from here on.
+            self.stats.merge(&TraceStats::from_records(&trace.records));
+            self.path_fold.fold(&trace.records, &mut self.paths);
+            self.folded_records += records;
+        }
+        let sess = &self.sessions[&session];
+        self.persist_card(sess)?;
+        self.outbox.push((
+            client,
+            Frame::HandoffAck {
+                session,
+                seq,
+                records,
+            },
+        ));
+        Ok(())
+    }
+
+    /// Source side of a handoff: seal `client`'s live session, fold and
+    /// persist the now-final spool, and put the session into `Draining`.
+    /// Returns the session id and the complete sealed journal bytes for
+    /// the migration driver to ship, or `None` when the client has no
+    /// streaming session.
+    pub fn begin_drain(&mut self, client: u32) -> Result<Option<(u32, Vec<u8>)>, String> {
+        let Some(&sid) = self.client_session.get(&client) else {
+            return Ok(None);
+        };
+        if self.sessions[&sid].state != SessionState::Streaming {
+            return Ok(None);
+        }
+        self.sessions
+            .get_mut(&sid)
+            .expect("routed session exists")
+            .writer
+            .seal_segment();
+        self.fold_sealed(sid)?;
+        let sess = self.sessions.get_mut(&sid).expect("routed session exists");
+        sess.state = SessionState::Draining;
+        let bytes = sess.writer.sealed_bytes().to_vec();
+        let sess = &self.sessions[&sid];
+        self.persist_journal(sess)?;
+        self.persist_card(sess)?;
+        Ok(Some((sid, bytes)))
+    }
+
+    /// The handoff gave up (retries exhausted): put the `Draining`
+    /// session back into `Streaming` so the client's backed-off frames
+    /// land here again. The extra seal is harmless — the next segment
+    /// simply starts early.
+    pub fn abort_drain(&mut self, client: u32) -> Result<(), String> {
+        let Some(&sid) = self.client_session.get(&client) else {
+            return Ok(());
+        };
+        let sess = self.sessions.get_mut(&sid).expect("routed session exists");
+        if sess.state == SessionState::Draining {
+            sess.state = SessionState::Streaming;
+            let sess = &self.sessions[&sid];
+            self.persist_card(sess)?;
+        }
+        Ok(())
+    }
+
+    /// The destination acked the final chunk: the session now lives
+    /// there. Drop it here and delete the local spool copy — the
+    /// destination persisted its copy before acking, so exactly one
+    /// durable copy exists at every instant of the handoff.
+    pub fn complete_migration(&mut self, client: u32) -> Result<(), String> {
+        let Some(sid) = self.client_session.remove(&client) else {
+            return Ok(());
+        };
+        self.sessions.remove(&sid);
+        let stem = session_stem(sid);
+        for ext in ["iotj", "card"] {
+            let path = self.dir.join(format!("{stem}.{ext}"));
+            if path.exists() {
+                std::fs::remove_file(&path)
+                    .map_err(|e| format!("remove {}: {e}", path.display()))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Destination-side cleanup when the source aborts a handoff:
+    /// drop the partial stand-in session and its persisted prefix. The
+    /// source still holds the complete spool, so nothing is lost.
+    pub fn abort_migration(&mut self, session: u32) -> Result<(), String> {
+        let Some(sess) = self.sessions.get(&session) else {
+            return Ok(());
+        };
+        if sess.state != SessionState::Migrating {
+            return Ok(());
+        }
+        self.sessions.remove(&session);
+        let stem = session_stem(session);
+        for ext in ["iotj", "card"] {
+            let path = self.dir.join(format!("{stem}.{ext}"));
+            if path.exists() {
+                std::fs::remove_file(&path)
+                    .map_err(|e| format!("remove {}: {e}", path.display()))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Bind `client` to an adopted (migrated-in) session so its next
+    /// frames route here — the destination half of the re-handshake.
+    pub fn adopt_client(&mut self, client: u32, session: u32) {
+        self.client_session.insert(client, session);
     }
 
     /// A client vanished (torn frame, protocol violation, or idle
@@ -327,6 +586,13 @@ impl Collector {
     /// deliberately *not* rewritten — a crash doesn't get to tidy up.
     pub fn kill(&mut self) -> Result<(), String> {
         for sess in self.sessions.values() {
+            // A Migrating stand-in's writer is a placeholder — its real
+            // durable state is the handoff prefix already persisted per
+            // chunk. Writing the placeholder's torn form would clobber
+            // shipped data, so the crash leaves the prefix alone.
+            if sess.state == SessionState::Migrating {
+                continue;
+            }
             if !sess.state.is_terminal() {
                 let path = self.dir.join(format!("{}.iotj", session_stem(sess.id)));
                 std::fs::write(&path, sess.writer.torn())
@@ -406,7 +672,7 @@ impl Collector {
                 state: s.state,
                 expected: s.expected,
                 appended: s.appended,
-                sealed: s.sealed(),
+                sealed: s.durable(),
                 completeness: s.completeness(),
             })
             .collect()

@@ -18,9 +18,19 @@
 //! seeded [`iotrace_sim::fault::FaultPlan`], so a kill-at-any-point
 //! sweep is just a loop, and two independent recoveries of the same
 //! torn spool must produce byte-identical output.
+//!
+//! Collectors also *federate* ([`federation`]): a live session can be
+//! drained off one collector and re-handshaken onto another mid-stream
+//! ([`migrate`]), with the handoff chunked along sealed-segment
+//! boundaries so a kill of either collector at any frame leaves a
+//! recoverable federation — [`federation::recover_spools`] reunites a
+//! session split across two spool directories and stamps the same
+//! exact completeness a single-collector recovery would.
 
 pub mod client;
 pub mod collector;
+pub mod federation;
+pub mod migrate;
 pub mod proto;
 pub mod queue;
 pub mod recovery;
@@ -28,6 +38,12 @@ pub mod session;
 pub mod soak;
 
 pub use collector::{Collector, CollectorConfig};
+pub use federation::{
+    federation_sessions, federation_spools, federation_stats, recover_federation, recover_spools,
+    render_federation_sessions, run_federation, FederationConfig, FederationOutcome,
+    FederationRecovery, FederationReport, FederationSessionRow, MigrationOutcome,
+};
+pub use migrate::{peer_id, HandoffAborted, Migration, PEER_CLIENT_BASE};
 pub use proto::{decode_frame, encode_frame, Frame, ProtoError};
 pub use queue::BoundedQueue;
 pub use recovery::{needs_recovery, recover_spool, RecoveryReport};

@@ -31,6 +31,8 @@ use iotrace_model::varint::{put_u64, Cursor};
 
 /// One protocol message. Client → collector: `Hello`, `Records`, `Bye`.
 /// Collector → client: `HelloAck`, `Ack`, `Sealed`, `Busy`, `ByeAck`.
+/// Collector ↔ collector (federation handoff): `Migrate`, `MigrateAck`,
+/// `Handoff`, `HandoffAck`.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
     /// Open a session: the trace metadata plus how many records the
@@ -57,6 +59,43 @@ pub enum Frame {
     Busy { queue_len: u32 },
     /// Clean close acknowledged; the final durable record count.
     ByeAck { records: u64 },
+    /// Source collector → destination collector: announce a session
+    /// handoff. Carries everything the destination needs to open a
+    /// stand-in session before a single byte of journal ships: the
+    /// session's metadata and expectation (as in `Hello`), the sealed
+    /// durable watermark, the last applied client frame seq (so record
+    /// flow resumes without a seq gap), the number of `Handoff` chunks
+    /// that will follow, and the origin tag `<collector>/<stem>` that
+    /// federated recovery uses to reunite a split spool.
+    Migrate {
+        origin_session: u32,
+        meta: TraceMeta,
+        expected: u64,
+        sealed_records: u64,
+        last_seq: u64,
+        chunks: u64,
+        origin: String,
+    },
+    /// Destination → source: the stand-in session is open under
+    /// `session`; `origin_session` echoes the announcement so the source
+    /// can pair acks with in-flight migrations.
+    MigrateAck { session: u32, origin_session: u32 },
+    /// One chunk of the sealed spool, shipped along journal structure:
+    /// chunk seq 1 is the IOTJ header, every later chunk one sealed
+    /// segment — so each persisted chunk prefix is itself a valid,
+    /// fsck-recoverable journal and a kill between chunks tears nothing.
+    Handoff {
+        session: u32,
+        seq: u64,
+        bytes: Vec<u8>,
+    },
+    /// Destination → source: chunk `seq` is persisted; `records` is the
+    /// destination's cumulative durable record count for the session.
+    HandoffAck {
+        session: u32,
+        seq: u64,
+        records: u64,
+    },
 }
 
 /// A frame failed to decode. `Truncated`/`BadCrc` are what a connection
@@ -89,6 +128,10 @@ const TAG_ACK: u8 = 5;
 const TAG_SEALED: u8 = 6;
 const TAG_BUSY: u8 = 7;
 const TAG_BYE_ACK: u8 = 8;
+const TAG_MIGRATE: u8 = 9;
+const TAG_MIGRATE_ACK: u8 = 10;
+const TAG_HANDOFF: u8 = 11;
+const TAG_HANDOFF_ACK: u8 = 12;
 
 /// Encode one frame to its wire bytes.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
@@ -130,6 +173,54 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         }
         Frame::ByeAck { records } => {
             payload.push(TAG_BYE_ACK);
+            put_u64(&mut payload, *records);
+        }
+        Frame::Migrate {
+            origin_session,
+            meta,
+            expected,
+            sealed_records,
+            last_seq,
+            chunks,
+            origin,
+        } => {
+            payload.push(TAG_MIGRATE);
+            put_u64(&mut payload, u64::from(*origin_session));
+            put_u64(&mut payload, *expected);
+            put_u64(&mut payload, *sealed_records);
+            put_u64(&mut payload, *last_seq);
+            put_u64(&mut payload, *chunks);
+            put_u64(&mut payload, origin.len() as u64);
+            payload.extend_from_slice(origin.as_bytes());
+            put_meta(&mut payload, meta);
+        }
+        Frame::MigrateAck {
+            session,
+            origin_session,
+        } => {
+            payload.push(TAG_MIGRATE_ACK);
+            put_u64(&mut payload, u64::from(*session));
+            put_u64(&mut payload, u64::from(*origin_session));
+        }
+        Frame::Handoff {
+            session,
+            seq,
+            bytes,
+        } => {
+            payload.push(TAG_HANDOFF);
+            put_u64(&mut payload, u64::from(*session));
+            put_u64(&mut payload, *seq);
+            put_u64(&mut payload, bytes.len() as u64);
+            payload.extend_from_slice(bytes);
+        }
+        Frame::HandoffAck {
+            session,
+            seq,
+            records,
+        } => {
+            payload.push(TAG_HANDOFF_ACK);
+            put_u64(&mut payload, u64::from(*session));
+            put_u64(&mut payload, *seq);
             put_u64(&mut payload, *records);
         }
     }
@@ -196,6 +287,48 @@ pub fn decode_frame(bytes: &[u8], meta: Option<&TraceMeta>) -> Result<Frame, Pro
         TAG_BYE_ACK => Ok(Frame::ByeAck {
             records: u(&mut p)?,
         }),
+        TAG_MIGRATE => {
+            let origin_session = u(&mut p)? as u32;
+            let expected = u(&mut p)?;
+            let sealed_records = u(&mut p)?;
+            let last_seq = u(&mut p)?;
+            let chunks = u(&mut p)?;
+            let olen = u(&mut p)? as usize;
+            let obytes = p.take(olen).map_err(|_| ProtoError::Truncated)?;
+            let origin = std::str::from_utf8(obytes)
+                .map_err(|_| ProtoError::Malformed("Migrate-origin"))?
+                .to_string();
+            let meta = get_meta(&mut p).map_err(|_| ProtoError::Malformed("Migrate"))?;
+            Ok(Frame::Migrate {
+                origin_session,
+                meta,
+                expected,
+                sealed_records,
+                last_seq,
+                chunks,
+                origin,
+            })
+        }
+        TAG_MIGRATE_ACK => Ok(Frame::MigrateAck {
+            session: u(&mut p)? as u32,
+            origin_session: u(&mut p)? as u32,
+        }),
+        TAG_HANDOFF => {
+            let session = u(&mut p)? as u32;
+            let seq = u(&mut p)?;
+            let blen = u(&mut p)? as usize;
+            let bytes = p.take(blen).map_err(|_| ProtoError::Truncated)?.to_vec();
+            Ok(Frame::Handoff {
+                session,
+                seq,
+                bytes,
+            })
+        }
+        TAG_HANDOFF_ACK => Ok(Frame::HandoffAck {
+            session: u(&mut p)? as u32,
+            seq: u(&mut p)?,
+            records: u(&mut p)?,
+        }),
         t => Err(ProtoError::UnknownTag(t)),
     }
 }
@@ -252,6 +385,34 @@ mod tests {
             Frame::Sealed { records: 640 },
             Frame::Busy { queue_len: 32 },
             Frame::ByeAck { records: 4096 },
+            Frame::Migrate {
+                origin_session: 4,
+                meta: m.clone(),
+                expected: 4096,
+                sealed_records: 640,
+                last_seq: 10,
+                chunks: 3,
+                origin: "a/sess004".to_string(),
+            },
+            Frame::MigrateAck {
+                session: 2,
+                origin_session: 4,
+            },
+            Frame::Handoff {
+                session: 2,
+                seq: 1,
+                bytes: vec![0xAA, 0, 0x55, 7],
+            },
+            Frame::Handoff {
+                session: 2,
+                seq: 2,
+                bytes: Vec::new(),
+            },
+            Frame::HandoffAck {
+                session: 2,
+                seq: 1,
+                records: 128,
+            },
         ];
         for f in frames {
             let bytes = encode_frame(&f);
@@ -288,6 +449,41 @@ mod tests {
                 "bit flip at {i} went unnoticed"
             );
         }
+    }
+
+    #[test]
+    fn torn_handoff_frame_is_detected_at_every_cut() {
+        let f = Frame::Handoff {
+            session: 1,
+            seq: 2,
+            bytes: (0u8..64).collect(),
+        };
+        let bytes = encode_frame(&f);
+        for cut in 0..bytes.len() {
+            let err = decode_frame(&bytes[..cut], None).unwrap_err();
+            assert!(
+                matches!(err, ProtoError::Truncated | ProtoError::BadCrc),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn migrate_decodes_without_session_meta() {
+        // Unlike `Records`, `Migrate` carries its own TraceMeta: the
+        // destination must be able to decode it with no prior session
+        // state at all.
+        let f = Frame::Migrate {
+            origin_session: 9,
+            meta: meta(),
+            expected: 100,
+            sealed_records: 40,
+            last_seq: 5,
+            chunks: 6,
+            origin: "b/sess009".to_string(),
+        };
+        let bytes = encode_frame(&f);
+        assert_eq!(decode_frame(&bytes, None).expect("standalone decode"), f);
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub struct RecoveryRow {
     /// Journal file name (`sess000.iotj`).
     pub file: String,
     pub session: u32,
+    /// Journal container version (1 = classic varint segments, 2 = IOT2
+    /// fixed-stride payloads); 0 when the container is unreadable.
+    pub version: u8,
     /// Declared expectation from the card (0 = none survived).
     pub expected: u64,
     /// Records recovered (every sealed segment).
@@ -54,6 +57,9 @@ pub struct RecoveryRow {
     pub completeness: f64,
     /// Decode damage description, when fsck reported one.
     pub damage: Option<String>,
+    /// Origin tag from the card of a migrated-in session
+    /// (`<collector>/<stem>`), preserved across recovery rewrites.
+    pub origin: Option<String>,
 }
 
 /// The whole spool's recovery result.
@@ -76,13 +82,18 @@ impl RecoveryReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "journal        sess  expected  recovered  segs  torn-B  state     completeness\n",
+            "journal        sess  fmt  expected  recovered  segs  torn-B  state     completeness\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{:<14} {:<5} {:<9} {:<10} {:<5} {:<7} {:<9} {:.6}{}\n",
+                "{:<14} {:<5} {:<4} {:<9} {:<10} {:<5} {:<7} {:<9} {:.6}{}\n",
                 r.file,
                 r.session,
+                if r.version > 0 {
+                    format!("v{}", r.version)
+                } else {
+                    "?".to_string()
+                },
                 r.expected,
                 r.recovered,
                 r.segments,
@@ -107,7 +118,7 @@ impl RecoveryReport {
 }
 
 /// List the spool's journal files, sorted by name.
-fn spool_journals(dir: &Path) -> Result<Vec<String>, String> {
+pub(crate) fn spool_journals(dir: &Path) -> Result<Vec<String>, String> {
     let mut names = Vec::new();
     for entry in std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))? {
         let entry = entry.map_err(|e| e.to_string())?;
@@ -146,7 +157,7 @@ pub fn needs_recovery(dir: &Path) -> Result<bool, String> {
     Ok(false)
 }
 
-fn read_card(dir: &Path, journal_name: &str) -> Option<SessionCard> {
+pub(crate) fn read_card(dir: &Path, journal_name: &str) -> Option<SessionCard> {
     let card_name = journal_name.strip_suffix(".iotj")?.to_string() + ".card";
     let text = std::fs::read_to_string(dir.join(card_name)).ok()?;
     SessionCard::parse_line(text.trim())
@@ -178,6 +189,7 @@ pub fn recover_spool(dir: &Path, segment_records: usize) -> Result<RecoveryRepor
                 rows.push(RecoveryRow {
                     file: name,
                     session,
+                    version: journal_version(&bytes).unwrap_or(0),
                     expected: card.as_ref().map(|c| c.expected).unwrap_or(0),
                     recovered: 0,
                     segments: 0,
@@ -186,11 +198,13 @@ pub fn recover_spool(dir: &Path, segment_records: usize) -> Result<RecoveryRepor
                     state: SessionState::Degraded,
                     completeness: 0.0,
                     damage: Some(e.to_string()),
+                    origin: card.as_ref().and_then(|c| c.origin.clone()),
                 });
                 continue;
             }
         };
         let expected = card.as_ref().map(|c| c.expected).unwrap_or(0);
+        let origin = card.as_ref().and_then(|c| c.origin.clone());
         let recovered = trace.records.len() as u64;
         let clean_close = card
             .as_ref()
@@ -228,6 +242,7 @@ pub fn recover_spool(dir: &Path, segment_records: usize) -> Result<RecoveryRepor
                 state,
                 records: recovered,
                 completeness,
+                origin: origin.clone(),
             };
             let card_path = dir.join(format!("{}.card", session_stem(session)));
             std::fs::write(&card_path, format!("{}\n", new_card.to_line()))
@@ -237,6 +252,7 @@ pub fn recover_spool(dir: &Path, segment_records: usize) -> Result<RecoveryRepor
         rows.push(RecoveryRow {
             file: name,
             session,
+            version: journal_version(&bytes).unwrap_or(0),
             expected,
             recovered,
             segments: fsck.segments_recovered,
@@ -245,6 +261,7 @@ pub fn recover_spool(dir: &Path, segment_records: usize) -> Result<RecoveryRepor
             state,
             completeness,
             damage: fsck.damage.clone(),
+            origin,
         });
         traces.insert(session, trace);
     }
@@ -328,6 +345,7 @@ mod tests {
             state: SessionState::Streaming,
             records: 16,
             completeness: 0.8,
+            origin: None,
         };
         std::fs::write(dir.join("sess000.card"), format!("{}\n", card.to_line())).unwrap();
         assert!(needs_recovery(&dir).unwrap());
@@ -371,6 +389,7 @@ mod tests {
             state: SessionState::Closed,
             records: 8,
             completeness: 1.0,
+            origin: None,
         };
         std::fs::write(dir.join("sess003.card"), format!("{}\n", card.to_line())).unwrap();
         assert!(!needs_recovery(&dir).unwrap());

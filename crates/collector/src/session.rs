@@ -11,6 +11,10 @@
 //!                          ▼                            (documented loss)
 //!            (collector killed; journal torn on disk)
 //!                      ORPHANED ──restart fsck──▶ DEGRADED | CLOSED
+//!
+//! federation handoff (see crate::federation):
+//!   STREAMING ──Migrate──▶ DRAINING ──handoff done──▶ (moves away)
+//!   (peer)                 MIGRATING ──final Handoff──▶ STREAMING
 //! ```
 //!
 //! Two artifacts per session live in the spool directory: the IOTJ
@@ -43,6 +47,14 @@ pub enum SessionState {
     /// this session streamed. Transient — recovery turns it into
     /// `Closed` or `Degraded`.
     Orphaned,
+    /// (source side) Sealed and being shipped to the federation partner.
+    /// Record frames arriving meanwhile get `Busy` — the client backs
+    /// off and re-offers, by which time the session lives elsewhere.
+    Draining,
+    /// (destination side) A handoff stand-in receiving sealed chunks
+    /// from the partner. Becomes `Streaming` when the final chunk lands
+    /// and its record count checks out.
+    Migrating,
 }
 
 impl SessionState {
@@ -60,6 +72,8 @@ impl std::fmt::Display for SessionState {
             SessionState::Closed => "closed",
             SessionState::Degraded => "degraded",
             SessionState::Orphaned => "orphaned",
+            SessionState::Draining => "draining",
+            SessionState::Migrating => "migrating",
         })
     }
 }
@@ -73,6 +87,8 @@ pub fn parse_state(s: &str) -> Option<SessionState> {
         "closed" => SessionState::Closed,
         "degraded" => SessionState::Degraded,
         "orphaned" => SessionState::Orphaned,
+        "draining" => SessionState::Draining,
+        "migrating" => SessionState::Migrating,
         _ => return None,
     })
 }
@@ -90,14 +106,22 @@ pub struct SessionCard {
     pub records: u64,
     /// Completeness stamped at close/recovery; 1.0 while streaming.
     pub completeness: f64,
+    /// Set on a migrated-in session: `<collector>/<stem>` naming the
+    /// source spool copy. Federated recovery uses it to reunite a
+    /// session split across two spool directories.
+    pub origin: Option<String>,
 }
 
 impl SessionCard {
     pub fn to_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "session={} expected={} state={} records={} completeness={:.6}",
             self.session, self.expected, self.state, self.records, self.completeness
-        )
+        );
+        if let Some(origin) = &self.origin {
+            line.push_str(&format!(" origin={origin}"));
+        }
+        line
     }
 
     pub fn parse_line(s: &str) -> Option<SessionCard> {
@@ -106,6 +130,7 @@ impl SessionCard {
         let mut state = None;
         let mut records = None;
         let mut completeness = None;
+        let mut origin = None;
         for part in s.split_whitespace() {
             let (k, v) = part.split_once('=')?;
             match k {
@@ -114,6 +139,7 @@ impl SessionCard {
                 "state" => state = parse_state(v),
                 "records" => records = v.parse().ok(),
                 "completeness" => completeness = v.parse().ok(),
+                "origin" => origin = Some(v.to_string()),
                 _ => return None,
             }
         }
@@ -123,6 +149,7 @@ impl SessionCard {
             state: state?,
             records: records?,
             completeness: completeness?,
+            origin,
         })
     }
 }
@@ -149,6 +176,28 @@ pub struct Session {
     pub unfolded: Vec<iotrace_model::event::TraceRecord>,
     /// Records already folded (== sealed records already durable).
     pub folded: u64,
+    /// Set on a migrated-in session: where the source copy lives
+    /// (`<collector>/<stem>`), persisted into the card.
+    pub origin: Option<String>,
+    /// Handoff receive state, present only while `Migrating`.
+    pub recv: Option<HandoffRecv>,
+}
+
+/// Destination-side handoff accumulator: the chunk bytes received so
+/// far. Because chunks arrive along journal structure (header, then one
+/// sealed segment each), `buf` is a valid journal after every chunk —
+/// it is persisted verbatim, so a kill between chunks tears nothing.
+pub struct HandoffRecv {
+    /// Concatenated chunk bytes: always a sealed, fsck-clean journal.
+    pub buf: Vec<u8>,
+    /// Next chunk seq expected (1-based; 1 is the header chunk).
+    pub next_chunk: u64,
+    /// Total chunks the source announced.
+    pub total_chunks: u64,
+    /// Sealed record count the source promised for the full spool.
+    pub promised: u64,
+    /// Records recovered from `buf` after the latest chunk.
+    pub records: u64,
 }
 
 impl Session {
@@ -177,6 +226,8 @@ impl Session {
             last_seq: 0,
             unfolded: Vec::new(),
             folded: 0,
+            origin: None,
+            recv: None,
         }
     }
 
@@ -185,14 +236,25 @@ impl Session {
         self.writer.sealed_records() as u64
     }
 
+    /// Durable record count for the card: while `Migrating` the writer
+    /// is a placeholder and durability is what the handoff buffer holds;
+    /// otherwise it is the writer's sealed watermark.
+    pub fn durable(&self) -> u64 {
+        match (&self.state, &self.recv) {
+            (SessionState::Migrating, Some(recv)) => recv.records,
+            _ => self.sealed(),
+        }
+    }
+
     /// The card describing this session's current persistent state.
     pub fn card(&self) -> SessionCard {
         SessionCard {
             session: self.id,
             expected: self.expected,
             state: self.state,
-            records: self.sealed(),
+            records: self.durable(),
             completeness: self.completeness(),
+            origin: self.origin.clone(),
         }
     }
 
@@ -202,7 +264,7 @@ impl Session {
         if self.expected == 0 {
             return 1.0;
         }
-        (self.sealed() as f64 / self.expected as f64).clamp(0.0, 1.0)
+        (self.durable() as f64 / self.expected as f64).clamp(0.0, 1.0)
     }
 }
 
@@ -218,6 +280,7 @@ mod tests {
             state: SessionState::Degraded,
             records: 1024,
             completeness: 0.25,
+            origin: None,
         };
         assert_eq!(SessionCard::parse_line(&c.to_line()), Some(c));
         assert_eq!(SessionCard::parse_line("session=1 bogus"), None);
@@ -225,6 +288,27 @@ mod tests {
             SessionCard::parse_line("session=1 expected=2 state=warp records=0 completeness=1"),
             None
         );
+    }
+
+    #[test]
+    fn card_origin_roundtrips_and_old_cards_still_parse() {
+        let c = SessionCard {
+            session: 3,
+            expected: 96,
+            state: SessionState::Migrating,
+            records: 64,
+            completeness: 0.666667,
+            origin: Some("a/sess001".to_string()),
+        };
+        let line = c.to_line();
+        assert!(line.ends_with("origin=a/sess001"));
+        assert_eq!(SessionCard::parse_line(&line), Some(c));
+        // A pre-federation card (no origin key) parses with origin=None.
+        let old = SessionCard::parse_line(
+            "session=1 expected=2 state=closed records=2 completeness=1.000000",
+        )
+        .expect("old card parses");
+        assert_eq!(old.origin, None);
     }
 
     #[test]
@@ -236,12 +320,16 @@ mod tests {
             SessionState::Closed,
             SessionState::Degraded,
             SessionState::Orphaned,
+            SessionState::Draining,
+            SessionState::Migrating,
         ] {
             assert_eq!(parse_state(&s.to_string()), Some(s));
         }
         assert!(SessionState::Closed.is_terminal());
         assert!(SessionState::Degraded.is_terminal());
         assert!(!SessionState::Streaming.is_terminal());
+        assert!(!SessionState::Draining.is_terminal(), "drain is transient");
+        assert!(!SessionState::Migrating.is_terminal());
     }
 
     #[test]

@@ -85,6 +85,9 @@ pub struct SessionOutcome {
     pub completeness: f64,
     /// Backoff rounds this client took after `Busy` refusals.
     pub retries: u64,
+    /// The client exhausted its retry budget (`max_attempts`) and gave
+    /// up on a persistently `Busy` collector.
+    pub gave_up: bool,
 }
 
 /// The soak's result: outcomes, queue accounting, snapshots, digest.
@@ -97,6 +100,8 @@ pub struct SoakReport {
     pub queue_high_watermark: usize,
     pub busy_refusals: u64,
     pub total_retries: u64,
+    /// Clients that hit the `max_attempts` give-up cap.
+    pub retries_exhausted: u64,
     /// Mid-capture stats snapshots (when `status_every > 0`).
     pub snapshots: Vec<(u64, StatsSnapshot)>,
     /// Records in the merged spool output (completed runs only).
@@ -129,6 +134,12 @@ impl SoakReport {
             "queue: {}/{} high watermark, {} busy refusal(s), {} retry backoff(s)\n",
             self.queue_high_watermark, self.queue_capacity, self.busy_refusals, self.total_retries
         ));
+        if self.retries_exhausted > 0 {
+            out.push_str(&format!(
+                "{} client(s) exhausted their retry budget and gave up\n",
+                self.retries_exhausted
+            ));
+        }
         match self.outcome {
             SoakOutcome::Completed => out.push_str(&format!(
                 "completed in {} tick(s): {} record(s) merged, digest {:#018x}\n",
@@ -306,10 +317,11 @@ pub fn run_soak(
             snapshots.push((tick, collector.snapshot()));
         }
         if clients.values().all(|c| c.is_terminal()) && collector.queue().is_empty() {
-            // final sweep: sessions of silently-vanished clients
+            // final sweep: sessions of silently-vanished (or given-up)
+            // clients
             let dead: Vec<u32> = clients
                 .values()
-                .filter(|c| c.phase == ClientPhase::Dead)
+                .filter(|c| matches!(c.phase, ClientPhase::Dead | ClientPhase::GaveUp))
                 .map(|c| c.id)
                 .collect();
             collector.sweep_idle(&dead)?;
@@ -344,6 +356,7 @@ pub fn run_soak(
             sealed: row.map(|r| r.sealed).unwrap_or(0),
             completeness: row.map(|r| r.completeness).unwrap_or(0.0),
             retries: cl.ledger.retries,
+            gave_up: cl.ledger.exhausted,
         });
     }
     for c in lost {
@@ -356,6 +369,7 @@ pub fn run_soak(
             sealed: 0,
             completeness: 0.0,
             retries: 0,
+            gave_up: false,
         });
     }
     sessions.sort_by_key(|s| s.client);
@@ -378,6 +392,7 @@ pub fn run_soak(
         queue_high_watermark: collector.queue().high_watermark(),
         busy_refusals: collector.queue().refused(),
         total_retries: clients.values().map(|c| c.ledger.retries).sum(),
+        retries_exhausted: clients.values().filter(|c| c.ledger.exhausted).count() as u64,
         snapshots,
         merged_records,
         merged_digest,

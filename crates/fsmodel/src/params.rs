@@ -109,7 +109,30 @@ pub struct RetryPolicy {
     pub jitter_frac: f64,
     /// Client-side cost of one failed probe RPC (timeout detection).
     pub probe_cost: SimDur,
+    /// Give-up cap: total attempts before the caller should stop
+    /// retrying altogether ([`RetryPolicy::try_backoff_jittered`] returns
+    /// [`RetryExhausted`] at this point). `0` — the calibrated default —
+    /// never gives up, preserving the historical block-until-recovered
+    /// behaviour; collectors and handoff drivers set a finite cap so a
+    /// persistently `Busy` peer degrades a session instead of hanging it.
+    pub max_attempts: u32,
 }
+
+/// The typed give-up signal: a retry loop hit its
+/// [`RetryPolicy::max_attempts`] cap without the operation ever being
+/// accepted. Carries how many attempts were burned so session summaries
+/// can account for the exhaustion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryExhausted {
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for RetryExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "retries exhausted after {} attempt(s)", self.attempts)
+    }
+}
+impl std::error::Error for RetryExhausted {}
 
 impl RetryPolicy {
     pub fn lanl_2007() -> Self {
@@ -120,6 +143,7 @@ impl RetryPolicy {
             max_backoff: SimDur::from_millis(100),
             jitter_frac: 0.0,
             probe_cost: SimDur::from_micros(500),
+            max_attempts: 0,
         }
     }
 
@@ -142,6 +166,23 @@ impl RetryPolicy {
             return b;
         }
         b.mul_f64(1.0 - self.jitter_frac.min(1.0) * rng.unit_f64())
+    }
+
+    /// [`RetryPolicy::backoff_jittered`] with the give-up cap enforced:
+    /// attempt numbers at or past `max_attempts` return the typed
+    /// [`RetryExhausted`] error instead of another wait (`max_attempts ==
+    /// 0` never gives up). The backoff exponent is clamped to
+    /// `max_retries` so deep attempt counts stay on the capped curve
+    /// rather than overflowing it.
+    pub fn try_backoff_jittered(
+        &self,
+        attempt: u32,
+        rng: &mut DetRng,
+    ) -> Result<SimDur, RetryExhausted> {
+        if self.max_attempts > 0 && attempt >= self.max_attempts {
+            return Err(RetryExhausted { attempts: attempt });
+        }
+        Ok(self.backoff_jittered(attempt.min(self.max_retries), rng))
     }
 }
 
@@ -262,6 +303,38 @@ mod tests {
             rng.next_u64(),
             untouched.next_u64(),
             "jitter-free policies must not consume randomness"
+        );
+    }
+
+    #[test]
+    fn give_up_cap_returns_the_typed_error() {
+        let never = RetryPolicy::lanl_2007();
+        let mut rng = DetRng::new(3);
+        for a in [0u32, 7, 1000] {
+            assert_eq!(
+                never.try_backoff_jittered(a, &mut rng),
+                Ok(never.backoff(a.min(never.max_retries))),
+                "max_attempts=0 never gives up"
+            );
+        }
+        let capped = RetryPolicy {
+            max_attempts: 4,
+            ..RetryPolicy::lanl_2007()
+        };
+        for a in 0..4 {
+            assert!(capped.try_backoff_jittered(a, &mut rng).is_ok());
+        }
+        let err = capped.try_backoff_jittered(4, &mut rng).unwrap_err();
+        assert_eq!(err, RetryExhausted { attempts: 4 });
+        assert!(err.to_string().contains("4 attempt(s)"));
+        // deep attempts stay on the capped curve, not an overflowing one
+        let deep = RetryPolicy {
+            max_attempts: 40,
+            ..RetryPolicy::lanl_2007()
+        };
+        assert_eq!(
+            deep.try_backoff_jittered(39, &mut rng),
+            Ok(deep.backoff(deep.max_retries))
         );
     }
 

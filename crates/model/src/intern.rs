@@ -88,6 +88,17 @@ impl Interner {
             .enumerate()
             .map(|(i, s)| (Sym(i as u32), s.as_str()))
     }
+
+    /// Absorb a *shard* interner, returning the remap table:
+    /// `remap[other_sym.id() as usize]` is `other_sym`'s equivalent in
+    /// `self`. This is the serial half of the shard-then-remap pattern:
+    /// rank-local (or collector-local) interners are built independently
+    /// — in parallel if the caller likes — then absorbed into one global
+    /// interner in a fixed order, which keeps the global ids exactly as
+    /// deterministic as serial interning would have been.
+    pub fn absorb(&mut self, other: &Interner) -> Vec<Sym> {
+        other.strings.iter().map(|s| self.intern(s)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +142,45 @@ mod tests {
         }
         let order: Vec<&str> = a.iter().map(|(_, s)| s).collect();
         assert_eq!(order, vec!["/c", "/a", "/b"]);
+    }
+
+    #[test]
+    fn absorb_remaps_shard_symbols_deterministically() {
+        // Two shards interning overlapping paths in different orders.
+        let mut shard_a = Interner::new();
+        let a_syms: Vec<Sym> = ["/pfs/ckpt", "/pfs/out", "/etc/host"]
+            .iter()
+            .map(|p| shard_a.intern(p))
+            .collect();
+        let mut shard_b = Interner::new();
+        let b_syms: Vec<Sym> = ["/pfs/out", "/scratch/t", "/pfs/ckpt"]
+            .iter()
+            .map(|p| shard_b.intern(p))
+            .collect();
+        let mut global = Interner::new();
+        let remap_a = global.absorb(&shard_a);
+        let remap_b = global.absorb(&shard_b);
+        // every shard symbol resolves to the same string through the remap
+        for (&s, p) in a_syms.iter().zip(["/pfs/ckpt", "/pfs/out", "/etc/host"]) {
+            assert_eq!(global.resolve(remap_a[s.id() as usize]), p);
+        }
+        for (&s, p) in b_syms.iter().zip(["/pfs/out", "/scratch/t", "/pfs/ckpt"]) {
+            assert_eq!(global.resolve(remap_b[s.id() as usize]), p);
+        }
+        // shared strings collapse to one global symbol
+        assert_eq!(global.len(), 4);
+        assert_eq!(
+            remap_a[a_syms[1].id() as usize],
+            remap_b[b_syms[0].id() as usize],
+            "\"/pfs/out\" agrees across shards"
+        );
+        // absorb order fixes the global ids — same shards, same ids
+        let mut global2 = Interner::new();
+        global2.absorb(&shard_a);
+        global2.absorb(&shard_b);
+        let ids: Vec<(Sym, String)> = global.iter().map(|(s, p)| (s, p.to_string())).collect();
+        let ids2: Vec<(Sym, String)> = global2.iter().map(|(s, p)| (s, p.to_string())).collect();
+        assert_eq!(ids, ids2);
     }
 
     #[test]

@@ -301,6 +301,54 @@ impl JournalWriter {
         }
         out
     }
+
+    /// Resume an incremental writer over an existing *clean* sealed
+    /// journal — what a migration destination does once the last handoff
+    /// chunk lands: the shipped bytes become the durable buffer and
+    /// appends continue past the shipped watermark, in the shipped
+    /// container version. Strict by design: torn or damaged bytes are
+    /// refused, because a collector must never vouch for a spool it
+    /// cannot fully verify.
+    pub fn resume(bytes: Vec<u8>, segment_records: usize) -> Result<JournalWriter, JournalError> {
+        let version = journal_version(&bytes).ok_or(JournalError::BadMagic)?;
+        let (_, rep) = fsck_journal(&bytes)?;
+        if rep.is_damaged() {
+            return Err(JournalError::Torn {
+                offset: bytes.len() - rep.torn_tail_bytes,
+            });
+        }
+        Ok(JournalWriter {
+            buf: bytes,
+            pending: Vec::new(),
+            segment_records: segment_records.max(1),
+            sealed_segments: rep.segments_recovered,
+            sealed_records: rep.records_recovered,
+            version,
+        })
+    }
+}
+
+/// Split a clean sealed journal into its wire-chunk decomposition:
+/// chunk 0 is the container header, every following chunk exactly one
+/// sealed segment. The concatenation of any chunk *prefix* is itself a
+/// valid sealed-prefix journal — the property that makes chunked
+/// session handoff crash-safe: a receiver killed between chunks is left
+/// holding a spool [`fsck_journal`] reads back without loss.
+pub fn split_journal(bytes: &[u8]) -> Result<Vec<Vec<u8>>, JournalError> {
+    let (_meta, body, _version) = read_header(bytes)?;
+    let (frames, damage) = scan_frames(bytes, body);
+    let consumed = frames.last().map(|f| f.end).unwrap_or(body);
+    if damage.is_some() || consumed != bytes.len() {
+        return Err(JournalError::Torn { offset: consumed });
+    }
+    let mut chunks = Vec::with_capacity(frames.len() + 1);
+    chunks.push(bytes[..body].to_vec());
+    let mut start = body;
+    for f in &frames {
+        chunks.push(bytes[start..f.end].to_vec());
+        start = f.end;
+    }
+    Ok(chunks)
 }
 
 /// Encode records as a *v2* segment payload: a one-byte format tag,
@@ -697,6 +745,81 @@ mod tests {
         assert_eq!(partial.records.as_slice(), &t.records[..8]);
         let full = read_journal(&w.finish()).unwrap();
         assert_eq!(full, t);
+    }
+
+    #[test]
+    fn split_journal_chunk_prefixes_are_valid_sealed_journals() {
+        for version in [1u8, 2] {
+            let t = sample(20);
+            let bytes = encode_journal_versioned(&t, 8, version);
+            let chunks = split_journal(&bytes).expect("clean journal splits");
+            // header + ceil(20/8) = 3 segment chunks
+            assert_eq!(chunks.len(), 4, "v{version}");
+            assert_eq!(chunks.concat(), bytes, "split is lossless");
+            let mut prefix = Vec::new();
+            let mut recovered = 0usize;
+            for (i, c) in chunks.iter().enumerate() {
+                prefix.extend_from_slice(c);
+                let (got, rep) = fsck_journal(&prefix).expect("every prefix is readable");
+                assert!(!rep.is_damaged(), "chunk prefix {i} is clean");
+                assert_eq!(got.records.as_slice(), &t.records[..rep.records_recovered]);
+                recovered = rep.records_recovered;
+            }
+            assert_eq!(recovered, 20);
+        }
+    }
+
+    #[test]
+    fn split_journal_refuses_torn_bytes() {
+        let t = sample(20);
+        let mut w = JournalWriter::new(&t.meta, 8);
+        w.append_all(&t.records);
+        let err = split_journal(&w.torn()).unwrap_err();
+        assert!(matches!(err, JournalError::Torn { .. }));
+        assert!(matches!(
+            split_journal(b"junk"),
+            Err(JournalError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn resume_continues_a_sealed_prefix_byte_identically() {
+        for version in [1u8, 2] {
+            let t = sample(24);
+            let mut first = if version == 2 {
+                JournalWriter::new_v2(&t.meta, 8)
+            } else {
+                JournalWriter::new(&t.meta, 8)
+            };
+            first.append_all(&t.records[..16]);
+            let shipped = first.sealed_bytes().to_vec();
+            let mut resumed = JournalWriter::resume(shipped, 8).expect("clean bytes resume");
+            assert_eq!(resumed.version(), version);
+            assert_eq!(resumed.sealed_records(), 16);
+            assert_eq!(resumed.sealed_segments(), 2);
+            resumed.append_all(&t.records[16..]);
+            let oneshot = encode_journal_versioned(&t, 8, version);
+            assert_eq!(
+                resumed.finish(),
+                oneshot,
+                "v{version}: a resumed writer emits what one writer would have"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_refuses_torn_or_damaged_bytes() {
+        let t = sample(20);
+        let mut w = JournalWriter::new(&t.meta, 8);
+        w.append_all(&t.records);
+        let Err(err) = JournalWriter::resume(w.torn(), 8) else {
+            panic!("resume accepted torn bytes");
+        };
+        assert!(matches!(err, JournalError::Torn { .. }));
+        assert!(matches!(
+            JournalWriter::resume(b"IOTK".to_vec(), 8),
+            Err(JournalError::BadMagic)
+        ));
     }
 
     #[test]

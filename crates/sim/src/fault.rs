@@ -69,6 +69,17 @@ pub enum Fault {
     /// recovery (`iotrace serve` startup fsck) must salvage all sealed
     /// segments and stamp accurate completeness.
     CollectorKill { at_frame: u64 },
+    /// `client`'s live session is drained from its source collector and
+    /// re-handshaken onto the federation partner once `at_frame` record
+    /// frames have been applied: the source seals its spool and ships
+    /// the sealed segments plus the session card over the channel
+    /// protocol (`Migrate`/`Handoff` frames).
+    CollectorMigrate { client: u32, at_frame: u64 },
+    /// The federation *partner* collector (the migration destination) is
+    /// killed after draining `at_frame` frames — mid-handoff when timed
+    /// inside the migration window. Federated recovery must reunite the
+    /// session from the two spools without losing a sealed record.
+    CollectorPartnerKill { at_frame: u64 },
 }
 
 /// A degradation window over one striped storage server, derived from
@@ -103,6 +114,7 @@ pub const CANNED_PLANS: &[&str] = &[
     "lossy-tracer",
     "degraded-storage",
     "collector-chaos",
+    "federation-chaos",
 ];
 
 /// Every fault kind the plan-file parser accepts, sorted — printed
@@ -111,6 +123,8 @@ pub const CANNED_PLANS: &[&str] = &[
 pub const FAULT_KINDS: &[&str] = &[
     "client-disconnect",
     "collector-kill",
+    "collector-migrate",
+    "collector-partner-kill",
     "dep-edge-loss",
     "node-crash",
     "run-abort",
@@ -140,6 +154,7 @@ impl FaultPlan {
             "lossy-tracer" => Some(FaultPlan::lossy_tracer(seed, 4)),
             "degraded-storage" => Some(FaultPlan::degraded_storage(seed, 28)),
             "collector-chaos" => Some(FaultPlan::collector_chaos(seed, 16)),
+            "federation-chaos" => Some(FaultPlan::federation_chaos(seed, 16)),
             _ => None,
         }
     }
@@ -230,6 +245,55 @@ impl FaultPlan {
                 Fault::ClientDisconnect {
                     client: gone_b,
                     at_frame: frame_b,
+                },
+                Fault::SlowConsumer {
+                    from_tick,
+                    until_tick,
+                    factor,
+                },
+            ],
+        }
+    }
+
+    /// Canned plan: a two-collector federation shuffles work around.
+    /// Three distinct clients migrate to the partner collector at
+    /// different frame counts, and the drain side stalls through a
+    /// slow-consumer window so handoffs contend with backpressure. No
+    /// kill — a federation soak still completes; layer
+    /// `collector-partner-kill at-frame=N` (or the harness's
+    /// source-kill knob) on top to exercise split-spool recovery.
+    pub fn federation_chaos(seed: u64, clients: u32) -> Self {
+        let clients = clients.max(4);
+        let mut rng = DetRng::new(seed).fork(0xfed0);
+        let move_a = rng.below(clients as u64) as u32;
+        let move_b = (move_a + 1 + rng.below(clients as u64 - 1) as u32) % clients;
+        let mut move_c = (move_b + 1 + rng.below(clients as u64 - 1) as u32) % clients;
+        if move_c == move_a {
+            move_c = (move_c + 1) % clients;
+            if move_c == move_b {
+                move_c = (move_c + 1) % clients;
+            }
+        }
+        let frame_a = 2 + rng.below(20);
+        let frame_b = 2 + rng.below(20);
+        let frame_c = 2 + rng.below(20);
+        let from_tick = 10 + rng.below(40);
+        let until_tick = from_tick + 30 + rng.below(120);
+        let factor = 3.0 + 5.0 * rng.unit_f64();
+        FaultPlan {
+            seed,
+            faults: vec![
+                Fault::CollectorMigrate {
+                    client: move_a,
+                    at_frame: frame_a,
+                },
+                Fault::CollectorMigrate {
+                    client: move_b,
+                    at_frame: frame_b,
+                },
+                Fault::CollectorMigrate {
+                    client: move_c,
+                    at_frame: frame_c,
                 },
                 Fault::SlowConsumer {
                     from_tick,
@@ -390,6 +454,35 @@ impl FaultPlan {
             .min()
     }
 
+    /// The applied-frame count after which `client`'s session migrates
+    /// to the federation partner, if it does ([`Fault::CollectorMigrate`];
+    /// earliest wins).
+    pub fn migrate_frame(&self, client: u32) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::CollectorMigrate {
+                    client: c,
+                    at_frame,
+                } if c == client => Some(at_frame),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// The drained-frame count at which the federation *partner*
+    /// collector is killed, if it is ([`Fault::CollectorPartnerKill`];
+    /// earliest wins).
+    pub fn partner_kill_frame(&self) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::CollectorPartnerKill { at_frame } => Some(at_frame),
+                _ => None,
+            })
+            .min()
+    }
+
     /// The fraction of dependency edges //TRACE loses (0.0 when none).
     pub fn edge_loss(&self) -> f64 {
         self.faults
@@ -481,6 +574,15 @@ impl FaultPlan {
                 Fault::CollectorKill { at_frame } => {
                     out.push_str(&format!("collector-kill at-frame={}\n", at_frame));
                 }
+                Fault::CollectorMigrate { client, at_frame } => {
+                    out.push_str(&format!(
+                        "collector-migrate client={} at-frame={}\n",
+                        client, at_frame
+                    ));
+                }
+                Fault::CollectorPartnerKill { at_frame } => {
+                    out.push_str(&format!("collector-partner-kill at-frame={}\n", at_frame));
+                }
             }
         }
         out
@@ -561,6 +663,13 @@ impl FaultPlan {
                     factor: fields.float(lineno, "factor")?,
                 }),
                 "collector-kill" => plan.faults.push(Fault::CollectorKill {
+                    at_frame: fields.int(lineno, "at-frame")?,
+                }),
+                "collector-migrate" => plan.faults.push(Fault::CollectorMigrate {
+                    client: fields.int(lineno, "client")? as u32,
+                    at_frame: fields.int(lineno, "at-frame")?,
+                }),
+                "collector-partner-kill" => plan.faults.push(Fault::CollectorPartnerKill {
                     at_frame: fields.int(lineno, "at-frame")?,
                 }),
                 other => {
@@ -646,6 +755,14 @@ impl FaultPlan {
                 ),
                 Fault::CollectorKill { at_frame } => format!(
                     "collector process killed after draining {} frames (journals torn)",
+                    at_frame
+                ),
+                Fault::CollectorMigrate { client, at_frame } => format!(
+                    "client {} migrates to the partner collector after {} applied frames",
+                    client, at_frame
+                ),
+                Fault::CollectorPartnerKill { at_frame } => format!(
+                    "partner collector killed after draining {} frames (handoff torn)",
                     at_frame
                 ),
             };
@@ -793,6 +910,11 @@ mod tests {
                     factor: 4.5,
                 },
                 Fault::CollectorKill { at_frame: 200 },
+                Fault::CollectorMigrate {
+                    client: 5,
+                    at_frame: 18,
+                },
+                Fault::CollectorPartnerKill { at_frame: 64 },
             ],
         };
         let text = plan.to_text();
@@ -852,6 +974,53 @@ mod tests {
     }
 
     #[test]
+    fn federation_fault_queries() {
+        let plan = FaultPlan {
+            seed: 2,
+            faults: vec![
+                Fault::CollectorMigrate {
+                    client: 4,
+                    at_frame: 11,
+                },
+                Fault::CollectorMigrate {
+                    client: 4,
+                    at_frame: 6,
+                },
+                Fault::CollectorPartnerKill { at_frame: 33 },
+                Fault::CollectorPartnerKill { at_frame: 21 },
+            ],
+        };
+        assert_eq!(plan.migrate_frame(4), Some(6), "earliest wins");
+        assert_eq!(plan.migrate_frame(0), None);
+        assert_eq!(plan.partner_kill_frame(), Some(21), "earliest wins");
+        assert_eq!(FaultPlan::clean().partner_kill_frame(), None);
+    }
+
+    #[test]
+    fn federation_chaos_is_canned_and_seed_deterministic() {
+        let a = FaultPlan::named("federation-chaos", 42).expect("canned");
+        let b = FaultPlan::federation_chaos(42, 16);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultPlan::federation_chaos(43, 16));
+        assert_eq!(a.faults.len(), 4);
+        assert!(a.partner_kill_frame().is_none(), "chaos soaks complete");
+        assert_eq!(a.consumer_stalls().len(), 1);
+        // The three migrating clients are pairwise distinct.
+        let moved: Vec<u32> = a
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::CollectorMigrate { client, .. } => Some(client),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(moved.len(), 3);
+        assert_ne!(moved[0], moved[1]);
+        assert_ne!(moved[1], moved[2]);
+        assert_ne!(moved[0], moved[2]);
+    }
+
+    #[test]
     fn unknown_kind_error_lists_the_sorted_kinds() {
         let err = FaultPlan::parse("colector-kill at-frame=3\n").unwrap_err();
         assert!(err.message.contains("unknown fault kind `colector-kill`"));
@@ -865,6 +1034,8 @@ mod tests {
         // fields) — the list and the parser cannot drift apart.
         let probe = "client-disconnect client=0 at-frame=1\n\
                      collector-kill at-frame=1\n\
+                     collector-migrate client=0 at-frame=1\n\
+                     collector-partner-kill at-frame=1\n\
                      dep-edge-loss fraction=0.1\n\
                      node-crash node=0 at=1ms\n\
                      run-abort at-event=1\n\
