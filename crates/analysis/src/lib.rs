@@ -27,7 +27,7 @@ pub mod prelude {
         merge_by_sort, merge_corrected, merge_partial, merge_strict, parse_parallel, MergeError,
         RankCoverage,
     };
-    pub use crate::phases::{phases, render as render_phases, Phase, RankPhase};
+    pub use crate::phases::{phases, render as render_phases, Phase, PhaseFold, RankPhase};
     pub use crate::skew::{estimate, ClockFit, SkewEstimate};
-    pub use crate::stats::TraceStats;
+    pub use crate::stats::{StreamingStats, TraceStats};
 }

@@ -100,6 +100,56 @@ pub fn phases(traces: &[Trace]) -> Vec<Phase> {
         .collect()
 }
 
+/// Streaming phase decomposition: feed one rank's trace at a time, then
+/// [`PhaseFold::finish`]. Only the per-phase accumulators survive each
+/// `add_rank` call — never a second rank's records — so phase analysis
+/// fits the bounded-RSS envelope at the 4096-rank tier.
+///
+/// Each rank's phases are attributed against its *own* barrier windows
+/// (each `RankPhase` depends only on that rank's trace), so the fold can
+/// run before the cross-rank common barrier count is known; `finish`
+/// truncates every rank to the common minimum, exactly as [`phases`]
+/// does. Feeding the same traces in the same order yields an identical
+/// result.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseFold {
+    per_rank: Vec<Vec<RankPhase>>,
+    barrier_counts: Vec<usize>,
+}
+
+impl PhaseFold {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_rank(&mut self, trace: &Trace) {
+        let bounds: Vec<(SimTime, SimTime)> = trace
+            .records
+            .iter()
+            .filter(|r| matches!(r.call, IoCall::MpiBarrier))
+            .map(|r| (r.ts, r.end()))
+            .collect();
+        self.barrier_counts.push(bounds.len());
+        let n_own = bounds.len().saturating_sub(1);
+        self.per_rank
+            .push(rank_phases(trace.meta.rank, &bounds, trace, n_own));
+    }
+
+    pub fn finish(self) -> Vec<Phase> {
+        let n_phases = self.barrier_counts.iter().copied().min().unwrap_or(0);
+        if n_phases < 2 {
+            return Vec::new();
+        }
+        let n = n_phases - 1;
+        (0..n)
+            .map(|p| Phase {
+                index: p,
+                ranks: self.per_rank.iter().map(|r| r[p].clone()).collect(),
+            })
+            .collect()
+    }
+}
+
 /// One rank's activity across all `n` phases. `bounds[p].1` (exit of
 /// barrier p) opens phase p; `bounds[p + 1].0` (entry of barrier p+1)
 /// closes it.
@@ -253,6 +303,45 @@ mod tests {
         t.records = vec![rec(0, IoCall::MpiBarrier, 0, 1)];
         assert!(phases(&[t]).is_empty());
         assert!(phases(&[]).is_empty());
+    }
+
+    #[test]
+    fn streaming_fold_matches_batch_phases() {
+        let traces = two_rank_traces();
+        let batch = phases(&traces);
+        let mut fold = PhaseFold::new();
+        for t in &traces {
+            fold.add_rank(t);
+        }
+        assert_eq!(fold.finish(), batch);
+    }
+
+    #[test]
+    fn streaming_fold_truncates_to_common_barrier_count() {
+        // rank0 has 3 barriers (2 own phases), rank1 only 2 (1 phase):
+        // both the batch and streaming paths must truncate to 1 phase.
+        let mut traces = two_rank_traces();
+        traces[0].records.push(rec(0, IoCall::MpiBarrier, 30, 1));
+        traces[0]
+            .records
+            .insert(3, rec(0, IoCall::Write { fd: 3, len: 9 }, 25, 2));
+        let batch = phases(&traces);
+        assert_eq!(batch.len(), 1);
+        let mut fold = PhaseFold::new();
+        for t in &traces {
+            fold.add_rank(t);
+        }
+        assert_eq!(fold.finish(), batch);
+    }
+
+    #[test]
+    fn streaming_fold_empty_and_single_barrier() {
+        assert!(PhaseFold::new().finish().is_empty());
+        let mut t = Trace::new(TraceMeta::new("/a", 0, 0, "t"));
+        t.records = vec![rec(0, IoCall::MpiBarrier, 0, 1)];
+        let mut fold = PhaseFold::new();
+        fold.add_rank(&t);
+        assert!(fold.finish().is_empty());
     }
 
     #[test]

@@ -24,30 +24,57 @@ pub struct TraceStats {
 }
 
 impl TraceStats {
+    /// Accumulate one record's counts, layer, bytes and call time —
+    /// everything except the duration-distribution bookkeeping, which
+    /// differs between the exact (sorted-`Vec`) and streaming
+    /// (histogram) folds.
+    fn tally_record(&mut self, r: &TraceRecord) {
+        self.records += 1;
+        if r.is_error() {
+            self.errors += 1;
+        }
+        match r.call.layer() {
+            CallLayer::Mpi => self.mpi_calls += 1,
+            CallLayer::Sys => self.sys_calls += 1,
+            CallLayer::Vfs => self.vfs_ops += 1,
+        }
+        use iotrace_model::event::IoCall::*;
+        match &r.call {
+            Read { .. } | Pread { .. } | MpiFileReadAt { .. } | VfsReadPage { .. } => {
+                self.bytes_read += r.call.bytes()
+            }
+            Write { .. } | Pwrite { .. } | MpiFileWriteAt { .. } | VfsWritePage { .. } => {
+                self.bytes_written += r.call.bytes()
+            }
+            _ => {}
+        }
+        self.call_time += r.dur;
+    }
+
+    /// [`TraceStats::tally_record`] for zero-copy frames.
+    fn tally_frame(&mut self, f: &Frame) {
+        self.records += 1;
+        if f.is_error() {
+            self.errors += 1;
+        }
+        match f.layer() {
+            CallLayer::Mpi => self.mpi_calls += 1,
+            CallLayer::Sys => self.sys_calls += 1,
+            CallLayer::Vfs => self.vfs_ops += 1,
+        }
+        if f.is_read() {
+            self.bytes_read += f.bytes_moved();
+        } else if f.is_write() {
+            self.bytes_written += f.bytes_moved();
+        }
+        self.call_time += f.dur;
+    }
+
     pub fn from_records<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> Self {
         let mut s = TraceStats::default();
         let mut durs: Vec<u64> = Vec::new();
         for r in records {
-            s.records += 1;
-            if r.is_error() {
-                s.errors += 1;
-            }
-            match r.call.layer() {
-                CallLayer::Mpi => s.mpi_calls += 1,
-                CallLayer::Sys => s.sys_calls += 1,
-                CallLayer::Vfs => s.vfs_ops += 1,
-            }
-            use iotrace_model::event::IoCall::*;
-            match &r.call {
-                Read { .. } | Pread { .. } | MpiFileReadAt { .. } | VfsReadPage { .. } => {
-                    s.bytes_read += r.call.bytes()
-                }
-                Write { .. } | Pwrite { .. } | MpiFileWriteAt { .. } | VfsWritePage { .. } => {
-                    s.bytes_written += r.call.bytes()
-                }
-                _ => {}
-            }
-            s.call_time += r.dur;
+            s.tally_record(r);
             durs.push(r.dur.as_nanos());
         }
         durs.sort_unstable();
@@ -77,21 +104,7 @@ impl TraceStats {
         let mut s = TraceStats::default();
         let mut durs: Vec<u64> = Vec::new();
         for f in frames {
-            s.records += 1;
-            if f.is_error() {
-                s.errors += 1;
-            }
-            match f.layer() {
-                CallLayer::Mpi => s.mpi_calls += 1,
-                CallLayer::Sys => s.sys_calls += 1,
-                CallLayer::Vfs => s.vfs_ops += 1,
-            }
-            if f.is_read() {
-                s.bytes_read += f.bytes_moved();
-            } else if f.is_write() {
-                s.bytes_written += f.bytes_moved();
-            }
-            s.call_time += f.dur;
+            s.tally_frame(&f);
             durs.push(f.dur.as_nanos());
         }
         durs.sort_unstable();
@@ -173,6 +186,126 @@ impl TraceStats {
             self.dur_p95,
             self.dur_max
         )
+    }
+}
+
+/// Number of log2 duration buckets: bucket 0 holds zero-duration
+/// records, bucket `k >= 1` holds durations in `[2^(k-1), 2^k)`.
+const DUR_BUCKETS: usize = 65;
+
+/// Bounded-memory statistics fold for the streaming analysis path.
+///
+/// [`TraceStats::from_records`] keeps every duration in a `Vec` to sort
+/// for exact percentiles — unacceptable at the 4096-rank / 100M-event
+/// tier. `StreamingStats` instead keeps a fixed 65-bucket log2 duration
+/// histogram: counts, byte totals, call time and `dur_max` are **exact**,
+/// and percentiles are approximated to within one power-of-two bracket
+/// (the reported value is the upper bound of the bucket containing the
+/// true percentile, clamped to the observed max).
+///
+/// Folds merge **exactly**: merging per-rank folds yields the same
+/// result as folding the concatenated stream, in any grouping or order
+/// — which is what lets per-shard engines fold locally and combine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamingStats {
+    base: TraceStats,
+    hist: [u64; DUR_BUCKETS],
+    dur_max_ns: u64,
+}
+
+impl Default for StreamingStats {
+    fn default() -> Self {
+        StreamingStats {
+            base: TraceStats::default(),
+            hist: [0; DUR_BUCKETS],
+            dur_max_ns: 0,
+        }
+    }
+}
+
+impl StreamingStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket(dur_ns: u64) -> usize {
+        if dur_ns == 0 {
+            0
+        } else {
+            64 - dur_ns.leading_zeros() as usize
+        }
+    }
+
+    fn push_dur(&mut self, dur_ns: u64) {
+        self.hist[Self::bucket(dur_ns)] += 1;
+        self.dur_max_ns = self.dur_max_ns.max(dur_ns);
+    }
+
+    pub fn push_record(&mut self, r: &TraceRecord) {
+        self.base.tally_record(r);
+        self.push_dur(r.dur.as_nanos());
+    }
+
+    pub fn push_frame(&mut self, f: &Frame) {
+        self.base.tally_frame(f);
+        self.push_dur(f.dur.as_nanos());
+    }
+
+    pub fn push_records<'a>(&mut self, records: impl IntoIterator<Item = &'a TraceRecord>) {
+        for r in records {
+            self.push_record(r);
+        }
+    }
+
+    pub fn records(&self) -> usize {
+        self.base.records
+    }
+
+    /// Exact merge: fold grouping and order never change the result.
+    pub fn merge(&mut self, other: &StreamingStats) {
+        self.base.records += other.base.records;
+        self.base.errors += other.base.errors;
+        self.base.bytes_read += other.base.bytes_read;
+        self.base.bytes_written += other.base.bytes_written;
+        self.base.mpi_calls += other.base.mpi_calls;
+        self.base.sys_calls += other.base.sys_calls;
+        self.base.vfs_ops += other.base.vfs_ops;
+        self.base.call_time += other.base.call_time;
+        for (a, b) in self.hist.iter_mut().zip(other.hist.iter()) {
+            *a += *b;
+        }
+        self.dur_max_ns = self.dur_max_ns.max(other.dur_max_ns);
+    }
+
+    /// The duration at quantile `q` (0.0..=1.0), approximated as the
+    /// upper bound of the histogram bucket holding the true value,
+    /// clamped to the exact observed maximum. Index selection matches
+    /// [`TraceStats::from_records`]: `round((n - 1) * q)`.
+    pub fn quantile(&self, q: f64) -> SimDur {
+        let n: u64 = self.hist.iter().sum();
+        if n == 0 {
+            return SimDur::ZERO;
+        }
+        let target = ((n - 1) as f64 * q).round() as u64;
+        let mut seen = 0u64;
+        for (k, &c) in self.hist.iter().enumerate() {
+            seen += c;
+            if seen > target {
+                let upper = if k == 0 { 0 } else { (1u64 << k) - 1 };
+                return SimDur::from_nanos(upper.min(self.dur_max_ns));
+            }
+        }
+        SimDur::from_nanos(self.dur_max_ns)
+    }
+
+    /// Finalize into a [`TraceStats`] (percentiles per [`Self::quantile`],
+    /// max exact).
+    pub fn finish(&self) -> TraceStats {
+        let mut s = self.base.clone();
+        s.dur_p50 = self.quantile(0.50);
+        s.dur_p95 = self.quantile(0.95);
+        s.dur_max = SimDur::from_nanos(self.dur_max_ns);
+        s
     }
 }
 
@@ -303,6 +436,103 @@ mod tests {
         let view = iotrace_model::iot2::Iot2View::open(&bytes).unwrap();
         let from_frames = TraceStats::from_iot2(&view).unwrap();
         assert_eq!(from_frames, from_records);
+    }
+
+    #[test]
+    fn streaming_counts_are_exact() {
+        let recs: Vec<TraceRecord> = (1..=100)
+            .map(|i| rec(IoCall::Write { fd: 3, len: i }, i, i as i64))
+            .collect();
+        let exact = TraceStats::from_records(&recs);
+        let mut s = StreamingStats::new();
+        s.push_records(&recs);
+        let approx = s.finish();
+        assert_eq!(approx.records, exact.records);
+        assert_eq!(approx.errors, exact.errors);
+        assert_eq!(approx.bytes_written, exact.bytes_written);
+        assert_eq!(approx.call_time, exact.call_time);
+        assert_eq!(approx.dur_max, exact.dur_max);
+    }
+
+    #[test]
+    fn streaming_merge_equals_whole_stream() {
+        // Split 300 records across 3 folds in odd group sizes; the
+        // merged fold must equal one fold over the whole stream —
+        // histogram, counts, everything.
+        let recs: Vec<TraceRecord> = (0..300)
+            .map(|i| rec(IoCall::Read { fd: 3, len: 8 }, (i * 37) % 5000, 8))
+            .collect();
+        let mut whole = StreamingStats::new();
+        whole.push_records(&recs);
+        let mut merged = StreamingStats::new();
+        for chunk in [&recs[..7], &recs[7..160], &recs[160..]] {
+            let mut part = StreamingStats::new();
+            part.push_records(chunk);
+            merged.merge(&part);
+        }
+        assert_eq!(merged, whole);
+        assert_eq!(merged.finish(), whole.finish());
+    }
+
+    #[test]
+    fn streaming_percentiles_within_a_power_of_two() {
+        let recs: Vec<TraceRecord> = (1..=1000)
+            .map(|i| rec(IoCall::Write { fd: 3, len: 1 }, i, 1))
+            .collect();
+        let exact = TraceStats::from_records(&recs);
+        let mut s = StreamingStats::new();
+        s.push_records(&recs);
+        let approx = s.finish();
+        // Upper-bound-of-bucket approximation: never below the true
+        // value, never 2x or more above it.
+        for (a, e) in [
+            (approx.dur_p50, exact.dur_p50),
+            (approx.dur_p95, exact.dur_p95),
+        ] {
+            assert!(a >= e, "approx {a} below exact {e}");
+            assert!(
+                a.as_nanos() < e.as_nanos() * 2,
+                "approx {a} >= 2x exact {e}"
+            );
+        }
+        assert_eq!(approx.dur_max, exact.dur_max);
+    }
+
+    #[test]
+    fn streaming_empty_and_zero_durations() {
+        let s = StreamingStats::new();
+        assert_eq!(s.finish(), TraceStats::default());
+        let mut z = StreamingStats::new();
+        z.push_records(&[rec(IoCall::MpiBarrier, 0, 0)]);
+        let out = z.finish();
+        assert_eq!(out.dur_p50, SimDur::ZERO);
+        assert_eq!(out.dur_max, SimDur::ZERO);
+    }
+
+    #[test]
+    fn streaming_frame_fold_matches_record_fold() {
+        use iotrace_model::event::{Trace, TraceMeta};
+        let mut t = Trace::new(TraceMeta::new("/app", 0, 0, "t"));
+        for i in 0..50u64 {
+            t.records.push(rec(
+                IoCall::Pwrite {
+                    fd: 3,
+                    offset: i * 8,
+                    len: 8,
+                },
+                i * 3,
+                8,
+            ));
+        }
+        let mut from_recs = StreamingStats::new();
+        from_recs.push_records(&t.records);
+        let bytes = iotrace_model::iot2::encode_iot2(&t).unwrap();
+        let view = iotrace_model::iot2::Iot2View::open(&bytes).unwrap();
+        let mut from_frames = StreamingStats::new();
+        for f in view.frames() {
+            from_frames.push_frame(&f.unwrap());
+        }
+        assert_eq!(from_frames, from_recs);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 use std::process::ExitCode;
 
 mod bench_pipeline;
+mod bench_scale;
 mod cmd;
 mod io;
 mod provenance;
@@ -130,7 +131,12 @@ commands:
                                             time encode/decode/merge/lint/hotspots
                                             on a synthetic capture and write
                                             BENCH_pipeline.json (exits 1 if a
-                                            determinism check fails)
+                                            determinism check fails). --ranks > 64
+                                            adds the streaming scale tier: sharded
+                                            engines spill per-rank journals which
+                                            are analyzed by bounded-memory folds
+                                            at each point of a scaling curve up
+                                            to the requested rank count
 
 stats/hotspots/phases/replay lint their input first and stop on
 error-severity findings; --no-lint skips that gate.

@@ -20,9 +20,10 @@
 //! page I/O) are checked; cursor-relative `write` would require lseek
 //! emulation and is out of scope (documented in DESIGN.md).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use iotrace_model::event::{IoCall, Trace};
+use iotrace_model::fasthash::FxHashMap;
 use iotrace_model::intern::{Interner, Sym};
 
 use crate::config::LintConfig;
@@ -47,7 +48,7 @@ struct Access {
 /// Collect explicit-offset accesses from one rank, resolving fds through
 /// the opens seen so far.
 fn collect_accesses(trace: &Trace, paths: &mut Interner, out: &mut Vec<Access>) {
-    let mut fd_path: BTreeMap<i64, Sym> = BTreeMap::new();
+    let mut fd_path: FxHashMap<i64, Sym> = FxHashMap::default();
     let mut epoch = 0usize;
     for (i, r) in trace.records.iter().enumerate() {
         if r.is_error() {
@@ -142,27 +143,48 @@ impl LintPass for Causality {
             );
         }
 
-        // Overlap scan: group accesses by (epoch, path), sweep by start
-        // offset, compare only across ranks. Groups are keyed by the
-        // *resolved* path so report order stays lexicographic (symbol
-        // ids follow first-intern order, not path order).
+        // Overlap scan: one flat sort of all accesses keyed on
+        // (epoch, path, start), then a sweep over group slices —
+        // interned end-to-end, no per-access map node or per-group
+        // `Vec` allocation, no string comparison in the hot key. Group
+        // order must stay (epoch, *lexicographic* path) because the
+        // `seen` dedup keeps whichever pair a group visits first, so
+        // symbols are ranked by their resolved strings once up front
+        // (symbol ids follow first-intern order, not path order).
         let mut paths = Interner::new();
         let mut accesses = Vec::new();
         for t in input.traces {
             collect_accesses(t, &mut paths, &mut accesses);
         }
-        let mut groups: BTreeMap<(usize, &str), Vec<&Access>> = BTreeMap::new();
-        for a in &accesses {
-            groups
-                .entry((a.epoch, paths.resolve(a.path)))
-                .or_default()
-                .push(a);
+        let mut by_path: Vec<Sym> = paths.iter().map(|(s, _)| s).collect();
+        by_path.sort_by_key(|&s| paths.resolve(s));
+        let mut path_rank: Vec<u32> = vec![0; paths.len()];
+        for (rank, &s) in by_path.iter().enumerate() {
+            path_rank[s.id() as usize] = rank as u32;
         }
+        let key = |a: &Access| {
+            (
+                a.epoch,
+                path_rank[a.path.id() as usize],
+                a.start,
+                a.rank,
+                a.record,
+            )
+        };
+        accesses.sort_unstable_by_key(key);
+
         // One diagnostic per (epoch, path, rank pair, kind) so a torn
         // stripe pattern doesn't flood the report.
         let mut seen: BTreeSet<(usize, Sym, u32, u32, bool)> = BTreeSet::new();
-        for ((epoch, path), mut group) in groups {
-            group.sort_by_key(|a| (a.start, a.rank, a.record));
+        let mut lo = 0usize;
+        while lo < accesses.len() {
+            let group_key = (accesses[lo].epoch, accesses[lo].path);
+            let mut hi = lo + 1;
+            while hi < accesses.len() && (accesses[hi].epoch, accesses[hi].path) == group_key {
+                hi += 1;
+            }
+            let group = &accesses[lo..hi];
+            let (epoch, path) = (group_key.0, paths.resolve(group_key.1));
             for (i, a) in group.iter().enumerate() {
                 for b in group.iter().skip(i + 1) {
                     if b.start >= a.end {
@@ -210,6 +232,7 @@ impl LintPass for Causality {
                     }
                 }
             }
+            lo = hi;
         }
     }
 }

@@ -12,9 +12,8 @@
 //! when numerically equal. Descriptors 0–2 are exempt from unknown-fd
 //! reporting: traces routinely start with the standard streams open.
 
-use std::collections::BTreeMap;
-
 use iotrace_model::event::{CallLayer, IoCall, Trace};
+use iotrace_model::fasthash::FxHashMap;
 use iotrace_model::intern::{Interner, Sym};
 
 use crate::config::LintConfig;
@@ -46,9 +45,11 @@ fn lint_trace(trace: &Trace, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
     // carries a `u32` symbol per descriptor instead of a cloned String.
     let mut paths = Interner::new();
     // (layer, fd) → record index of the witnessing open (plus the opened
-    // path, for the leak report) / close.
-    let mut open: BTreeMap<(CallLayer, i64), (usize, Sym)> = BTreeMap::new();
-    let mut closed: BTreeMap<(CallLayer, i64), usize> = BTreeMap::new();
+    // path, for the leak report) / close. Hash maps: these are probed
+    // once per record, and the leak report sorts its survivors at the
+    // end, so nothing needs ordered iteration in the hot loop.
+    let mut open: FxHashMap<(CallLayer, i64), (usize, Sym)> = FxHashMap::default();
+    let mut closed: FxHashMap<(CallLayer, i64), usize> = FxHashMap::default();
     let mut suppressed_unknown = 0usize;
     let mut reported_unknown = 0usize;
 
@@ -157,17 +158,19 @@ fn lint_trace(trace: &Trace, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
         }
     }
 
-    for ((_, fd), (opened_at, path)) in &open {
+    let mut leaked: Vec<_> = open.iter().collect();
+    leaked.sort_by_key(|(&k, _)| k);
+    for (&(_, fd), &(opened_at, path)) in leaked {
         out.push(
             Diagnostic::new(
                 "fd-leak",
                 Severity::Warning,
                 format!("fd {fd} opened at record #{opened_at} is never closed"),
             )
-            .at_record(rank, *opened_at)
+            .at_record(rank, opened_at)
             .with_hint(format!(
                 "the leaked descriptor maps to \"{}\"",
-                paths.resolve(*path)
+                paths.resolve(path)
             )),
         );
     }

@@ -12,7 +12,7 @@
 //! every `Sym` — which keeps interned analysis results reproducible and
 //! lets tests compare them against their `String`-keyed equivalents.
 
-use std::collections::HashMap;
+use crate::fasthash::FxHashMap;
 
 /// A interned string: a dense id into one [`Interner`]. Meaningless
 /// without the interner that issued it.
@@ -39,7 +39,7 @@ impl Sym {
 /// one clone per *record*.
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
-    map: HashMap<String, Sym>,
+    map: FxHashMap<String, Sym>,
     strings: Vec<String>,
 }
 

@@ -22,10 +22,13 @@
 //!           | n_records u64 LE | footer_digest u64 LE
 //! ```
 //!
-//! The three digests are FNV-1a 64 over header bytes, body bytes, and
-//! the trailer's own first 24 bytes respectively; the envelope is
-//! excluded from all of them, so relabeling a capture does not change
-//! its content identity. Each frame is:
+//! The three digests are the lane-folded wide FNV
+//! ([`crate::crc::fnv1a64_wide`] — four interleaved word-wise FNV-1a
+//! chains, so digesting runs at memory speed instead of one serial
+//! multiply per byte) over header bytes, body bytes, and the trailer's
+//! own first 24 bytes respectively; the envelope is excluded from all
+//! of them, so relabeling a capture does not change its content
+//! identity. Each frame is:
 //!
 //! ```text
 //! 0..8    word0: op(6 bits) | rank(22 bits) | zigzag fd(36 bits)
@@ -44,12 +47,11 @@
 //! materialize a `Vec<TraceRecord>`. [`decode_iot2_salvage`] recovers
 //! the intact frame prefix of a truncated file, mirroring v1 salvage.
 
-use std::collections::HashMap;
-
 use iotrace_sim::time::{SimDur, SimTime};
 
-use crate::crc::fnv1a64;
+use crate::crc::fnv1a64_wide;
 use crate::event::{CallLayer, IoCall, Trace, TraceMeta, TraceRecord};
+use crate::fasthash::FxHashMap;
 use crate::intern::{Interner, Sym};
 use crate::journal::{get_meta, put_meta};
 use crate::salvage::{SalvageReport, TraceError};
@@ -438,12 +440,13 @@ fn le_u32(b: &[u8], off: usize) -> u32 {
 }
 
 /// Encode one record as one frame. `path_id` maps a path to its table
-/// id (the caller owns table construction).
-fn push_frame(
+/// id (the caller owns table construction; the `'r` tie lets callers
+/// build the table inline, in the same pass that encodes the body).
+fn push_frame<'r>(
     body: &mut Vec<u8>,
-    r: &TraceRecord,
+    r: &'r TraceRecord,
     prev_ts: &mut u64,
-    path_id: &mut impl FnMut(&str) -> u32,
+    path_id: &mut impl FnMut(&'r str) -> u32,
 ) -> Result<(), String> {
     let tag = crate::binary::call_tag(&r.call) as u64;
     if r.rank as u64 > RANK_MASK {
@@ -460,20 +463,25 @@ fn push_frame(
     *prev_ts = ts;
     let pa = p.path_a.map(&mut *path_id).unwrap_or(NO_PATH);
     let pb = p.path_b.map(path_id).unwrap_or(NO_PATH);
-    body.extend_from_slice(&word0.to_le_bytes());
-    body.extend_from_slice(&delta.to_le_bytes());
-    body.extend_from_slice(&r.dur.as_nanos().to_le_bytes());
-    body.extend_from_slice(&r.result.to_le_bytes());
-    body.extend_from_slice(&p.offset.to_le_bytes());
-    body.extend_from_slice(&p.len.to_le_bytes());
-    body.extend_from_slice(&pa.to_le_bytes());
-    body.extend_from_slice(&pb.to_le_bytes());
-    body.extend_from_slice(&p.x.to_le_bytes());
-    body.extend_from_slice(&p.y.to_le_bytes());
-    body.extend_from_slice(&r.pid.to_le_bytes());
-    body.extend_from_slice(&r.uid.to_le_bytes());
-    body.extend_from_slice(&r.gid.to_le_bytes());
-    body.extend_from_slice(&0u32.to_le_bytes());
+    // Assemble the frame in a stack buffer and append it with a single
+    // memcpy: one length/capacity check per record instead of fourteen
+    // (this is the encode hot loop).
+    let mut f = [0u8; FRAME_STRIDE];
+    f[0..8].copy_from_slice(&word0.to_le_bytes());
+    f[8..16].copy_from_slice(&delta.to_le_bytes());
+    f[16..24].copy_from_slice(&r.dur.as_nanos().to_le_bytes());
+    f[24..32].copy_from_slice(&r.result.to_le_bytes());
+    f[32..40].copy_from_slice(&p.offset.to_le_bytes());
+    f[40..48].copy_from_slice(&p.len.to_le_bytes());
+    f[48..52].copy_from_slice(&pa.to_le_bytes());
+    f[52..56].copy_from_slice(&pb.to_le_bytes());
+    f[56..60].copy_from_slice(&p.x.to_le_bytes());
+    f[60..64].copy_from_slice(&p.y.to_le_bytes());
+    f[64..68].copy_from_slice(&r.pid.to_le_bytes());
+    f[68..72].copy_from_slice(&r.uid.to_le_bytes());
+    f[72..76].copy_from_slice(&r.gid.to_le_bytes());
+    // f[76..80] stays zero (reserved).
+    body.extend_from_slice(&f);
     Ok(())
 }
 
@@ -532,22 +540,72 @@ fn parse_frame(
     })
 }
 
-/// Collect the deduplicated string table for `records` in
-/// first-reference order (the same order an [`Interner`] would assign,
-/// which is what lets a view hand out `Sym`s that *are* table indices).
-fn build_table(records: &[TraceRecord]) -> (Vec<&str>, HashMap<&str, u32>) {
-    let mut table: Vec<&str> = Vec::new();
-    let mut ids: HashMap<&str, u32> = HashMap::new();
-    for r in records {
-        let p = call_parts(&r.call);
-        for s in [p.path_a, p.path_b].into_iter().flatten() {
-            if !ids.contains_key(s) {
-                ids.insert(s, table.len() as u32);
-                table.push(s);
+/// String-table builder: deduplicates paths in first-reference order
+/// (the same order an [`Interner`] would assign, which is what lets a
+/// view hand out `Sym`s that *are* table indices). Built inline while
+/// the body is encoded, so encode is a single pass over the records.
+#[derive(Default)]
+struct TableBuilder<'r> {
+    table: Vec<&'r str>,
+    ids: FxHashMap<&'r str, u32>,
+}
+
+impl<'r> TableBuilder<'r> {
+    #[inline]
+    fn id_of(&mut self, s: &'r str) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = self.table.len() as u32;
+        self.ids.insert(s, id);
+        self.table.push(s);
+        id
+    }
+
+    /// The overflow guard: ids must stay below the `NO_PATH` sentinel.
+    fn check(&self) -> Result<(), String> {
+        if self.table.len() as u64 >= NO_PATH as u64 {
+            return Err("string table exceeds u32 ids".into());
+        }
+        Ok(())
+    }
+
+    /// Scan-only pass: record every path of `records` in first-reference
+    /// order (path_a before path_b, exactly like [`push_frame`] asks for
+    /// them). Paths are rare relative to records, so this pass is cheap
+    /// and lets the body encode stream straight into the output buffer
+    /// (the header — which carries the table — precedes the body on
+    /// disk, so a one-pass encode would have to buffer and re-copy the
+    /// whole multi-megabyte body instead).
+    fn scan(records: &[TraceRecord]) -> TableBuilder<'_> {
+        let mut tb = TableBuilder::default();
+        for r in records {
+            let p = call_parts(&r.call);
+            if let Some(s) = p.path_a {
+                tb.id_of(s);
+            }
+            if let Some(s) = p.path_b {
+                tb.id_of(s);
             }
         }
+        tb
     }
-    (table, ids)
+}
+
+/// Body bytes plus the string table's entries, borrowed from the records.
+type EncodedBody<'r> = (Vec<u8>, Vec<&'r str>);
+
+/// Encode records as body frames, building the string table inline.
+fn encode_body(records: &[TraceRecord]) -> Result<EncodedBody<'_>, (usize, String)> {
+    let mut body = Vec::with_capacity(records.len() * FRAME_STRIDE);
+    let mut tb = TableBuilder::default();
+    let mut prev_ts = 0u64;
+    for (i, r) in records.iter().enumerate() {
+        push_frame(&mut body, r, &mut prev_ts, &mut |s| tb.id_of(s))
+            .map_err(|reason| (i, reason))?;
+    }
+    tb.check().map_err(|reason| (0usize, reason))?;
+    Ok((body, tb.table))
 }
 
 /// Encode a trace as an IOT2 container (empty envelope).
@@ -558,32 +616,21 @@ pub fn encode_iot2(trace: &Trace) -> Result<Vec<u8>, Iot2Error> {
 /// Encode with an explicit envelope — free-form label bytes excluded
 /// from every digest, so relabeling never changes content identity.
 pub fn encode_iot2_with_envelope(trace: &Trace, envelope: &[u8]) -> Result<Vec<u8>, Iot2Error> {
-    let (table, ids) = build_table(&trace.records);
-    if table.len() as u64 >= NO_PATH as u64 {
-        return Err(Iot2Error::Unencodable {
-            record: 0,
-            reason: "string table exceeds u32 ids".into(),
-        });
-    }
-
-    let mut body = Vec::with_capacity(trace.records.len() * FRAME_STRIDE);
-    let mut prev_ts = 0u64;
-    for (i, r) in trace.records.iter().enumerate() {
-        push_frame(&mut body, r, &mut prev_ts, &mut |s: &str| ids[s])
-            .map_err(|reason| Iot2Error::Unencodable { record: i, reason })?;
-    }
+    let mut tb = TableBuilder::scan(&trace.records);
+    tb.check()
+        .map_err(|reason| Iot2Error::Unencodable { record: 0, reason })?;
 
     let mut hdr = Vec::new();
     put_meta(&mut hdr, &trace.meta);
     put_u64(&mut hdr, FRAME_STRIDE as u64);
     put_u64(&mut hdr, trace.records.len() as u64);
-    put_u64(&mut hdr, table.len() as u64);
-    for s in &table {
+    put_u64(&mut hdr, tb.table.len() as u64);
+    for s in &tb.table {
         put_str(&mut hdr, s);
     }
 
-    let mut out =
-        Vec::with_capacity(6 + 20 + envelope.len() + hdr.len() + body.len() + TRAILER_LEN);
+    let body_len = trace.records.len() * FRAME_STRIDE;
+    let mut out = Vec::with_capacity(6 + 20 + envelope.len() + hdr.len() + body_len + TRAILER_LEN);
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
     out.push(0); // flags, reserved
@@ -591,13 +638,21 @@ pub fn encode_iot2_with_envelope(trace: &Trace, envelope: &[u8]) -> Result<Vec<u
     out.extend_from_slice(envelope);
     put_u64(&mut out, hdr.len() as u64);
     out.extend_from_slice(&hdr);
-    out.extend_from_slice(&body);
+
+    // Frames stream straight into the output buffer — the table prepass
+    // means path ids are already known, so no intermediate body Vec.
+    let body_start = out.len();
+    let mut prev_ts = 0u64;
+    for (i, r) in trace.records.iter().enumerate() {
+        push_frame(&mut out, r, &mut prev_ts, &mut |s| tb.id_of(s))
+            .map_err(|reason| Iot2Error::Unencodable { record: i, reason })?;
+    }
 
     let mut trailer = [0u8; TRAILER_LEN];
-    trailer[0..8].copy_from_slice(&fnv1a64(&hdr).to_le_bytes());
-    trailer[8..16].copy_from_slice(&fnv1a64(&body).to_le_bytes());
+    trailer[0..8].copy_from_slice(&fnv1a64_wide(&hdr).to_le_bytes());
+    trailer[8..16].copy_from_slice(&fnv1a64_wide(&out[body_start..]).to_le_bytes());
     trailer[16..24].copy_from_slice(&(trace.records.len() as u64).to_le_bytes());
-    let fd = fnv1a64(&trailer[..24]);
+    let fd = fnv1a64_wide(&trailer[..24]);
     trailer[24..32].copy_from_slice(&fd.to_le_bytes());
     out.extend_from_slice(&trailer);
     Ok(out)
@@ -619,7 +674,7 @@ impl ContentDigests {
         buf[0..8].copy_from_slice(&self.header.to_le_bytes());
         buf[8..16].copy_from_slice(&self.body.to_le_bytes());
         buf[16..24].copy_from_slice(&self.footer.to_le_bytes());
-        fnv1a64(&buf)
+        fnv1a64_wide(&buf)
     }
 }
 
@@ -785,16 +840,16 @@ impl<'a> Iot2View<'a> {
         let t = self.trailer.ok_or(Iot2Error::Truncated {
             offset: self.bytes.len(),
         })?;
-        let footer = fnv1a64(&self.bytes[t.offset..t.offset + 24]);
+        let footer = fnv1a64_wide(&self.bytes[t.offset..t.offset + 24]);
         if footer != t.footer_digest || t.n_records as usize != self.n_records {
             return Err(Iot2Error::Digest { section: "footer" });
         }
-        let header = fnv1a64(&self.bytes[self.header_range.0..self.header_range.1]);
+        let header = fnv1a64_wide(&self.bytes[self.header_range.0..self.header_range.1]);
         if header != t.header_digest {
             return Err(Iot2Error::Digest { section: "header" });
         }
         let body_end = self.body_start + self.n_records * self.stride;
-        let body = fnv1a64(&self.bytes[self.body_start..body_end]);
+        let body = fnv1a64_wide(&self.bytes[self.body_start..body_end]);
         if body != t.body_digest {
             return Err(Iot2Error::Digest { section: "body" });
         }
@@ -991,20 +1046,14 @@ pub fn decode_iot2_salvage(bytes: &[u8]) -> Result<SalvagedIot2, Iot2Error> {
 /// `varint table count | strings | varint n | n × stride frames`.
 /// Timestamp deltas reset at the segment start, like v1 segments.
 pub(crate) fn encode_segment_frames(records: &[TraceRecord]) -> Result<Vec<u8>, String> {
-    let (table, ids) = build_table(records);
-    if table.len() as u64 >= NO_PATH as u64 {
-        return Err("string table exceeds u32 ids".into());
-    }
-    let mut out = Vec::with_capacity(16 + records.len() * FRAME_STRIDE);
+    let (body, table) = encode_body(records).map_err(|(_, reason)| reason)?;
+    let mut out = Vec::with_capacity(16 + table.len() * 16 + body.len());
     put_u64(&mut out, table.len() as u64);
     for s in &table {
         put_str(&mut out, s);
     }
     put_u64(&mut out, records.len() as u64);
-    let mut prev_ts = 0u64;
-    for r in records {
-        push_frame(&mut out, r, &mut prev_ts, &mut |s: &str| ids[s])?;
-    }
+    out.extend_from_slice(&body);
     Ok(out)
 }
 

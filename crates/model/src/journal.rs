@@ -39,7 +39,7 @@ const VERSION: u8 = 1;
 /// Journal version whose segment payloads carry a format tag and
 /// default to IOT2 fixed-stride frames (with a per-segment string
 /// table), so sealed segments decode with the zero-copy frame parser.
-const VERSION_V2: u8 = 2;
+pub(crate) const VERSION_V2: u8 = 2;
 const SEAL: &[u8; 4] = b"SEAL";
 
 /// v2 segment payload format tags (first payload byte).
@@ -142,6 +142,20 @@ pub struct JournalWriter {
     version: u8,
 }
 
+/// The container prefix a [`JournalWriter`] starts from: magic, version
+/// byte, CRC-framed header. `pub(crate)` for [`crate::spill`].
+pub(crate) fn header_bytes(meta: &TraceMeta, version: u8) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.push(version);
+    let mut hdr = Vec::new();
+    put_meta(&mut hdr, meta);
+    put_u64(&mut buf, hdr.len() as u64);
+    buf.extend_from_slice(&crc32(&hdr).to_le_bytes());
+    buf.extend_from_slice(&hdr);
+    buf
+}
+
 /// Encode `meta` in the journal header field layout. Public because the
 /// collector's handshake frames carry the same layout over the wire —
 /// one codec, one set of compatibility rules.
@@ -213,14 +227,7 @@ impl JournalWriter {
     }
 
     fn with_version(meta: &TraceMeta, segment_records: usize, version: u8) -> Self {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(MAGIC);
-        buf.push(version);
-        let mut hdr = Vec::new();
-        put_meta(&mut hdr, meta);
-        put_u64(&mut buf, hdr.len() as u64);
-        buf.extend_from_slice(&crc32(&hdr).to_le_bytes());
-        buf.extend_from_slice(&hdr);
+        let buf = header_bytes(meta, version);
         JournalWriter {
             buf,
             pending: Vec::new(),
@@ -388,7 +395,9 @@ pub fn decode_segment_payload_v2(
 
 /// Encode one sealed segment: frame length, payload (delta timestamps
 /// reset per segment), then the footer that makes it trustworthy.
-fn segment_bytes(records: &[TraceRecord], version: u8) -> Vec<u8> {
+/// `pub(crate)` for [`crate::spill`], whose on-disk spool must be
+/// byte-identical to a one-shot journal of the same records.
+pub(crate) fn segment_bytes(records: &[TraceRecord], version: u8) -> Vec<u8> {
     let payload = if version >= VERSION_V2 {
         encode_segment_payload_v2(records)
     } else {

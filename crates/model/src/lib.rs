@@ -24,12 +24,14 @@ pub mod anonymize;
 pub mod binary;
 pub mod crc;
 pub mod event;
+pub mod fasthash;
 pub mod intern;
 pub mod iot2;
 pub mod journal;
 pub mod lzss;
 pub mod par;
 pub mod salvage;
+pub mod spill;
 pub mod summary;
 pub mod text;
 pub mod timing;

@@ -1,0 +1,47 @@
+use iotrace_model::event::{IoCall, Trace, TraceMeta, TraceRecord};
+use iotrace_model::iot2::{encode_iot2, Iot2View};
+use iotrace_sim::time::{SimDur, SimTime};
+
+fn synth(rank: u32, records: usize) -> Trace {
+    let mut t = Trace::new(TraceMeta::new("/bench/app", rank, rank / 8, "bench"));
+    for i in 0..records {
+        t.records.push(TraceRecord {
+            ts: SimTime::from_nanos(1000 + i as u64 * 700),
+            dur: SimDur::from_nanos(200),
+            rank,
+            node: rank / 8,
+            pid: 1000,
+            uid: 500,
+            gid: 500,
+            call: IoCall::Pwrite {
+                fd: 3,
+                offset: (i as u64) << 8,
+                len: 4096,
+            },
+            result: 4096,
+        });
+    }
+    t
+}
+
+#[test]
+fn verify_micro() {
+    let traces: Vec<Trace> = (0..32).map(|r| synth(r, 20_000)).collect();
+    let t0 = std::time::Instant::now();
+    let blobs: Vec<Vec<u8>> = traces.iter().map(|t| encode_iot2(t).unwrap()).collect();
+    eprintln!("encode: {:.4}s", t0.elapsed().as_secs_f64());
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        let mut x = 0u64;
+        for b in &blobs {
+            x ^= Iot2View::open(b).unwrap().verify().unwrap().body;
+        }
+        eprintln!("verify: {:.4}s ({x:x})", t0.elapsed().as_secs_f64());
+    }
+    let t0 = std::time::Instant::now();
+    let mut n = 0usize;
+    for b in &blobs {
+        n += Iot2View::open(b).unwrap().n_records();
+    }
+    eprintln!("open only: {:.4}s ({n})", t0.elapsed().as_secs_f64());
+}

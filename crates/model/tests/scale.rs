@@ -1,0 +1,256 @@
+//! Scale-path properties: the two invariants the 4096-rank bench tier
+//! leans on, checked over randomized inputs.
+//!
+//! * **Shard invariance** — a sharded engine run that spills each
+//!   rank's capture to a journal spool must leave bytes on disk that do
+//!   not depend on how ranks were grouped into shards. Any shard count
+//!   (1 engine per rank up to 1 engine total) over the same world and
+//!   seed produces byte-identical spool files.
+//! * **Spill equivalence** — a capture streamed through a
+//!   [`SpillWriter`] under any (segment size, watermark) pair finishes
+//!   as exactly the bytes of the one-shot journal encoding, fscks
+//!   undamaged, and decodes to the same records.
+
+use std::path::{Path, PathBuf};
+
+use iotrace_model::event::{IoCall, Trace, TraceMeta, TraceRecord};
+use iotrace_model::journal::{encode_journal_versioned, read_journal, records_digest};
+use iotrace_model::spill::{fsck_spool, spool_files, SpillSet, SpillWriter};
+use iotrace_sim::engine::{ClusterConfig, ExecCtx, ExecOutcome, Executor};
+use iotrace_sim::ids::RankId;
+use iotrace_sim::program::{Op, OpResult, RankProgram};
+use iotrace_sim::shard::{run_sharded, ShardSpec};
+use iotrace_sim::time::{SimDur, SimTime};
+use proptest::prelude::*;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("iotrace-scale-prop-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create temp dir");
+    d
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// The `i`-th record of `rank`'s capture — a pure function of
+/// `(seed, rank, i)`, which is exactly what makes shard invariance a
+/// meaningful property: any byte difference between shard layouts must
+/// come from the engine or the spill path, not the workload.
+fn synth_record(seed: u64, rank: u32, i: usize) -> TraceRecord {
+    let mut s = seed ^ (u64::from(rank) << 32) ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let r = xorshift(&mut s);
+    let call = match i % 7 {
+        0 => IoCall::Open {
+            path: format!("/pfs/f{}", r % 5),
+            flags: 0,
+            mode: 0o644,
+        },
+        1 | 4 => IoCall::Pwrite {
+            fd: 3,
+            offset: (u64::from(rank) << 24) | ((i as u64) << 12),
+            len: 512 + r % 4096,
+        },
+        2 | 5 => IoCall::Read {
+            fd: 3,
+            len: 256 + r % 2048,
+        },
+        3 => IoCall::MpiBarrier,
+        _ => IoCall::Close { fd: 3 },
+    };
+    let result = match &call {
+        IoCall::Open { .. } => 3,
+        IoCall::Pwrite { len, .. } | IoCall::Read { len, .. } => *len as i64,
+        _ => 0,
+    };
+    TraceRecord {
+        ts: SimTime::from_nanos(1_000 + (i as u64) * 700 + u64::from(rank)),
+        dur: SimDur::from_nanos(100 + r % 3_000),
+        rank,
+        node: rank / 4,
+        pid: 900 + rank,
+        uid: 0,
+        gid: 0,
+        call,
+        result,
+    }
+}
+
+/// One shard's executor: appends `synth_record(seed, rank, i)` to that
+/// rank's spool writer on every op-poll.
+struct SpoolExec {
+    spec: ShardSpec,
+    seed: u64,
+    spill: SpillSet,
+    next_i: Vec<usize>,
+    err: Option<String>,
+}
+
+impl SpoolExec {
+    fn create(dir: &Path, spec: ShardSpec, seed: u64, segment: usize, watermark: usize) -> Self {
+        let metas: Vec<TraceMeta> = spec
+            .ranks()
+            .map(|r| TraceMeta::new("/app", r.0, r.0 / 4, "scale-prop"))
+            .collect();
+        let spill = SpillSet::create(dir, &metas, segment, watermark).expect("spool create");
+        let n = metas.len();
+        SpoolExec {
+            spec,
+            seed,
+            spill,
+            next_i: vec![0; n],
+            err: None,
+        }
+    }
+}
+
+impl Executor for SpoolExec {
+    type Op = ();
+    type Res = ();
+
+    fn execute(&mut self, ctx: ExecCtx<'_>, _op: &()) -> ExecOutcome<()> {
+        let local = (ctx.rank.0 - self.spec.base) as usize;
+        let i = self.next_i[local];
+        self.next_i[local] += 1;
+        let rec = synth_record(self.seed, ctx.rank.0, i);
+        let dur = rec.dur;
+        if self.err.is_none() {
+            if let Err(e) = self.spill.append(local, rec) {
+                self.err = Some(e.to_string());
+            }
+        }
+        ExecOutcome {
+            finish: ctx.now + dur,
+            result: (),
+        }
+    }
+}
+
+/// Run `world` ranks in shards of `group`, spilling every record under
+/// `dir`; returns total records appended.
+fn generate(dir: &Path, world: u32, group: u32, events: usize, seed: u64) -> usize {
+    let cfg = ClusterConfig::new((world as usize).div_ceil(4)).with_ranks_per_node(4);
+    let make_executor =
+        |spec: ShardSpec| SpoolExec::create(dir, spec, seed, 32, 1 + (seed % 48) as usize);
+    let make_program = |_rid: RankId| -> Box<dyn RankProgram<(), ()>> {
+        let mut left = events;
+        Box::new(move |_r: RankId, _l: &OpResult<()>| -> Op<()> {
+            if left == 0 {
+                Op::Exit
+            } else {
+                left -= 1;
+                Op::Io(())
+            }
+        })
+    };
+    let outcomes = run_sharded(&cfg, world, group, make_executor, make_program);
+    let mut total = 0;
+    for o in outcomes {
+        assert!(o.report.deadlocked.is_empty());
+        if let Some(e) = o.executor.err {
+            panic!("spool append failed: {e}");
+        }
+        for st in o.executor.spill.finish().expect("spool finish") {
+            total += st.records as usize;
+        }
+    }
+    total
+}
+
+fn spool_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    spool_files(dir)
+        .expect("list spool")
+        .into_iter()
+        .map(|p| {
+            let name = p
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            (name, std::fs::read(&p).expect("read spool file"))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every shard layout of the same world leaves the same bytes.
+    #[test]
+    fn sharded_spool_is_shard_count_invariant(
+        seed in any::<u64>(),
+        world in 4u32..=12,
+        events in 40usize..120,
+    ) {
+        let reference = tmp_dir(&format!("ref-{seed:016x}"));
+        prop_assert_eq!(
+            generate(&reference, world, world, events, seed),
+            world as usize * events
+        );
+        let want = spool_bytes(&reference);
+        prop_assert_eq!(want.len(), world as usize);
+
+        for group in [1, 2, 5] {
+            let dir = tmp_dir(&format!("g{group}-{seed:016x}"));
+            generate(&dir, world, group, events, seed);
+            let got = spool_bytes(&dir);
+            prop_assert!(got == want, "shard group {} diverged", group);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        // The reference spool is also a valid, undamaged journal set
+        // holding every record.
+        let checked = fsck_spool(&reference).expect("fsck spool");
+        prop_assert_eq!(checked.len(), world as usize);
+        for (_, t, rep) in &checked {
+            prop_assert!(!rep.is_damaged(), "{:?}", rep.damage);
+            prop_assert_eq!(rep.records_recovered, events);
+            prop_assert_eq!(t.records.len(), events);
+        }
+        let _ = std::fs::remove_dir_all(&reference);
+    }
+
+    /// A spill-streamed capture is byte-for-byte the one-shot journal.
+    #[test]
+    fn spill_stream_matches_oneshot_journal(
+        seed in any::<u64>(),
+        n in 0usize..300,
+        segment in 1usize..48,
+        watermark in 1usize..96,
+    ) {
+        let dir = tmp_dir(&format!("spill-{seed:016x}"));
+        let mut trace = Trace::new(TraceMeta::new("/app", 2, 0, "scale-prop"));
+        for i in 0..n {
+            trace.records.push(synth_record(seed, 2, i));
+        }
+
+        let path = dir.join("rank-00002.iotj");
+        let mut w = SpillWriter::create(&path, &trace.meta, segment, watermark)
+            .expect("spill create");
+        // Watermark seals only *full* segments, so the resident bound
+        // is max(watermark, segment): a sub-segment remainder must wait
+        // for more records to preserve byte identity with the one-shot
+        // encoding.
+        let bound = watermark.max(segment);
+        for r in &trace.records {
+            w.append(r.clone()).expect("append");
+            prop_assert!(w.pending_records() <= bound);
+        }
+        let stats = w.finish().expect("finish");
+        prop_assert!(stats.peak_pending <= bound);
+
+        let streamed = std::fs::read(&path).expect("read spool");
+        let oneshot = encode_journal_versioned(&trace, segment, 2);
+        prop_assert_eq!(&streamed, &oneshot);
+
+        let decoded = read_journal(&streamed).expect("decode spool");
+        prop_assert_eq!(
+            records_digest(&decoded.records),
+            records_digest(&trace.records)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

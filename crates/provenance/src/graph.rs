@@ -143,210 +143,39 @@ impl LineageGraph {
         let hb = HbIndex::build(traces, deps);
 
         // 1. Fan out: extract each rank's accesses against a rank-local
-        //    interner (interners are not shared across threads).
-        let extracted: Vec<(Vec<Access>, Vec<String>)> = par_map_with(traces, workers, |t| {
-            let mut local = Interner::new();
-            let mut acc = Vec::new();
-            extract_accesses(t, &mut local, &mut acc);
-            let strings = local.iter().map(|(_, s)| s.to_string()).collect();
-            (acc, strings)
-        });
+        //    interner (interners are not shared across threads). Call
+        //    names ride along so assembly never needs the records again.
+        let extracted: Vec<(Vec<Access>, Vec<String>, Vec<&'static str>)> =
+            par_map_with(traces, workers, |t| {
+                let mut local = Interner::new();
+                let mut acc = Vec::new();
+                extract_accesses(t, &mut local, &mut acc);
+                let names = acc
+                    .iter()
+                    .map(|a| t.records[a.record].call.name())
+                    .collect();
+                let strings = local.iter().map(|(_, s)| s.to_string()).collect();
+                (acc, strings, names)
+            });
 
         // 2. Serial: remap local symbols into one global interner, in
         //    input trace order — deterministic ids.
         let mut paths = Interner::new();
-        let mut accesses: Vec<Access> = Vec::new();
-        for (acc, strings) in &extracted {
+        let mut accesses: Vec<(Access, &'static str)> = Vec::new();
+        for (acc, strings, names) in &extracted {
             let remap: Vec<Sym> = strings.iter().map(|s| paths.intern(s)).collect();
-            accesses.extend(acc.iter().map(|a| Access {
-                path: remap[a.path.id() as usize],
-                ..*a
+            accesses.extend(acc.iter().zip(names).map(|(a, &name)| {
+                (
+                    Access {
+                        path: remap[a.path.id() as usize],
+                        ..*a
+                    },
+                    name,
+                )
             }));
         }
 
-        // 3. Happens-before-consistent build order: epoch-major when the
-        //    barrier structure is aligned, merged-timeline order inside.
-        if hb.aligned() {
-            accesses.sort_by_key(|a| (a.epoch, a.ts_ns, a.rank, a.record));
-        } else {
-            accesses.sort_by_key(|a| (a.ts_ns, a.rank, a.record));
-        }
-
-        let mut nodes: Vec<LineageNode> = Vec::with_capacity(accesses.len());
-        let mut by_loc: HashMap<(u32, usize), NodeId> = HashMap::with_capacity(accesses.len());
-        let rank_index: BTreeMap<u32, usize> = traces
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.meta.rank, i))
-            .collect();
-        for a in &accesses {
-            let id = nodes.len() as NodeId;
-            let op = rank_index
-                .get(&a.rank)
-                .and_then(|&ti| traces[ti].records.get(a.record))
-                .map(|r| r.call.name())
-                .unwrap_or("?");
-            nodes.push(LineageNode {
-                rank: a.rank,
-                record: a.record,
-                epoch: a.epoch,
-                ts_ns: a.ts_ns,
-                kind: if a.write {
-                    NodeKind::Write
-                } else {
-                    NodeKind::Read
-                },
-                path: Some(a.path),
-                start: a.start,
-                end: a.end,
-                op,
-            });
-            by_loc.insert((a.rank, a.record), id);
-        }
-
-        // 4. Dependency endpoints that are not access nodes become `Op`
-        //    nodes, in sorted (rank, record) order for stable ids.
-        let mut edges: Vec<LineageEdge> = Vec::new();
-        if let Some(deps) = deps {
-            let mut extra: Vec<(u32, usize)> = Vec::new();
-            for e in &deps.edges {
-                for (rank, op) in [(e.from_rank, e.from_op), (e.to_rank, e.to_op)] {
-                    let exists = rank_index
-                        .get(&rank)
-                        .is_some_and(|&ti| op < traces[ti].records.len());
-                    if exists && !by_loc.contains_key(&(rank, op)) {
-                        extra.push((rank, op));
-                    }
-                }
-            }
-            extra.sort_unstable();
-            extra.dedup();
-            for (rank, record) in extra {
-                let Some(&ti) = rank_index.get(&rank) else {
-                    continue;
-                };
-                let t = &traces[ti];
-                let epoch = t.records[..record]
-                    .iter()
-                    .filter(|r| !r.is_error() && r.call == iotrace_model::event::IoCall::MpiBarrier)
-                    .count();
-                let id = nodes.len() as NodeId;
-                nodes.push(LineageNode {
-                    rank,
-                    record,
-                    epoch,
-                    ts_ns: t.records[record].ts.as_nanos(),
-                    kind: NodeKind::Op,
-                    path: None,
-                    start: 0,
-                    end: 0,
-                    op: t.records[record].call.name(),
-                });
-                by_loc.insert((rank, record), id);
-            }
-            // Dep edges between resolved endpoints (dangling ones are the
-            // depgraph lint pass's findings, not graph material).
-            for e in &deps.edges {
-                if let (Some(&from), Some(&to)) = (
-                    by_loc.get(&(e.from_rank, e.from_op)),
-                    by_loc.get(&(e.to_rank, e.to_op)),
-                ) {
-                    edges.push(LineageEdge {
-                        from,
-                        to,
-                        kind: EdgeKind::Dep {
-                            shift_ns: e.shift.as_nanos(),
-                        },
-                    });
-                }
-            }
-        }
-
-        // 5. Interval replay: writes claim ranges, reads are attributed
-        //    to the covering writers; gaps in files the trace *does*
-        //    produce are orphan spans.
-        let mut finals: BTreeMap<Sym, RangeMap> = BTreeMap::new();
-        let mut orphans: Vec<OrphanSpan> = Vec::new();
-        for (i, a) in accesses.iter().enumerate() {
-            let id = i as NodeId;
-            let map = finals.entry(a.path).or_default();
-            if a.write {
-                map.write(a.start, a.end, id);
-            } else {
-                if map.is_empty() {
-                    continue; // pre-existing input file: no producers expected
-                }
-                for (s, e, owner) in map.covered(a.start, a.end) {
-                    edges.push(LineageEdge {
-                        from: owner,
-                        to: id,
-                        kind: EdgeKind::Flow { start: s, end: e },
-                    });
-                }
-                for (s, e) in map.gaps(a.start, a.end) {
-                    orphans.push(OrphanSpan {
-                        read: id,
-                        start: s,
-                        end: e,
-                    });
-                }
-            }
-        }
-
-        // 6. Traversal indexes.
-        let mut in_edges: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
-        let mut out_edges: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
-        for (i, e) in edges.iter().enumerate() {
-            out_edges[e.from as usize].push(i as u32);
-            in_edges[e.to as usize].push(i as u32);
-        }
-        let mut reads_by_rank: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
-        let mut writes_by_rank: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
-        for (i, n) in nodes.iter().enumerate() {
-            match n.kind {
-                NodeKind::Read => reads_by_rank.entry(n.rank).or_default().push(i as NodeId),
-                NodeKind::Write => writes_by_rank.entry(n.rank).or_default().push(i as NodeId),
-                NodeKind::Op => {}
-            }
-        }
-        let mut dep_targets_by_rank: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
-        let mut dep_sources_by_rank: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
-        for e in &edges {
-            if matches!(e.kind, EdgeKind::Dep { .. }) {
-                let to = &nodes[e.to as usize];
-                let from = &nodes[e.from as usize];
-                dep_targets_by_rank.entry(to.rank).or_default().push(e.to);
-                dep_sources_by_rank
-                    .entry(from.rank)
-                    .or_default()
-                    .push(e.from);
-            }
-        }
-        let by_record = |nodes: &[LineageNode], v: &mut Vec<NodeId>| {
-            v.sort_by_key(|&id| nodes[id as usize].record);
-            v.dedup();
-        };
-        for v in dep_targets_by_rank.values_mut() {
-            by_record(&nodes, v);
-        }
-        for v in dep_sources_by_rank.values_mut() {
-            by_record(&nodes, v);
-        }
-
-        LineageGraph {
-            nodes,
-            edges,
-            orphans,
-            paths,
-            hb,
-            finals,
-            in_edges,
-            out_edges,
-            reads_by_rank,
-            writes_by_rank,
-            dep_targets_by_rank,
-            dep_sources_by_rank,
-        }
+        assemble(paths, accesses, hb, deps.map(|d| (d, traces)))
     }
 
     pub fn hb(&self) -> &HbIndex {
@@ -503,6 +332,243 @@ impl LineageGraph {
             ));
         }
         out
+    }
+}
+
+/// Streaming graph construction: feed one rank's trace at a time (in
+/// rank order), then [`GraphFold::finish`]. Only the distilled access
+/// list is retained between calls — never more than one rank's records
+/// are resident — which is what keeps provenance inside the bounded-RSS
+/// envelope at the 4096-rank tier, where traces stream off the
+/// spill-to-journal spool one rank at a time.
+///
+/// Feeding the same traces in the same order as [`LineageGraph::build`]
+/// yields a byte-identical graph ([`LineageGraph::render_full`] equal).
+/// Dependency-map resolution needs whole traces co-resident, so the
+/// streaming path is deps-free by construction — exactly the
+/// lineage-only configuration the scale tier runs.
+#[derive(Default)]
+pub struct GraphFold {
+    paths: Interner,
+    accesses: Vec<(Access, &'static str)>,
+    barrier_counts: Vec<usize>,
+}
+
+impl GraphFold {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accesses folded so far (RSS telemetry for scale runs).
+    pub fn accesses(&self) -> usize {
+        self.accesses.len()
+    }
+
+    pub fn add_rank(&mut self, trace: &Trace) {
+        let before = self.accesses.len();
+        let mut acc = Vec::new();
+        extract_accesses(trace, &mut self.paths, &mut acc);
+        self.accesses.extend(
+            acc.into_iter()
+                .map(|a| (a, trace.records[a.record].call.name())),
+        );
+        debug_assert!(self.accesses.len() >= before);
+        self.barrier_counts
+            .push(crate::access::barrier_count(trace));
+    }
+
+    pub fn finish(self) -> LineageGraph {
+        let hb = HbIndex::from_barrier_counts(&self.barrier_counts);
+        assemble(self.paths, self.accesses, hb, None)
+    }
+}
+
+/// Steps 3–6 of graph construction, shared by the batch and streaming
+/// builders: happens-before-consistent ordering, node creation, dep
+/// endpoint resolution (batch only), interval replay, traversal indexes.
+fn assemble(
+    paths: Interner,
+    mut accesses: Vec<(Access, &'static str)>,
+    hb: HbIndex,
+    deps_ctx: Option<(&DependencyMap, &[Trace])>,
+) -> LineageGraph {
+    // 3. Happens-before-consistent build order: epoch-major when the
+    //    barrier structure is aligned, merged-timeline order inside.
+    if hb.aligned() {
+        accesses.sort_by_key(|(a, _)| (a.epoch, a.ts_ns, a.rank, a.record));
+    } else {
+        accesses.sort_by_key(|(a, _)| (a.ts_ns, a.rank, a.record));
+    }
+
+    let mut nodes: Vec<LineageNode> = Vec::with_capacity(accesses.len());
+    let mut by_loc: HashMap<(u32, usize), NodeId> = HashMap::with_capacity(accesses.len());
+    for (a, op) in &accesses {
+        let id = nodes.len() as NodeId;
+        nodes.push(LineageNode {
+            rank: a.rank,
+            record: a.record,
+            epoch: a.epoch,
+            ts_ns: a.ts_ns,
+            kind: if a.write {
+                NodeKind::Write
+            } else {
+                NodeKind::Read
+            },
+            path: Some(a.path),
+            start: a.start,
+            end: a.end,
+            op,
+        });
+        by_loc.insert((a.rank, a.record), id);
+    }
+
+    // 4. Dependency endpoints that are not access nodes become `Op`
+    //    nodes, in sorted (rank, record) order for stable ids.
+    let mut edges: Vec<LineageEdge> = Vec::new();
+    if let Some((deps, traces)) = deps_ctx {
+        let rank_index: BTreeMap<u32, usize> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.meta.rank, i))
+            .collect();
+        let mut extra: Vec<(u32, usize)> = Vec::new();
+        for e in &deps.edges {
+            for (rank, op) in [(e.from_rank, e.from_op), (e.to_rank, e.to_op)] {
+                let exists = rank_index
+                    .get(&rank)
+                    .is_some_and(|&ti| op < traces[ti].records.len());
+                if exists && !by_loc.contains_key(&(rank, op)) {
+                    extra.push((rank, op));
+                }
+            }
+        }
+        extra.sort_unstable();
+        extra.dedup();
+        for (rank, record) in extra {
+            let Some(&ti) = rank_index.get(&rank) else {
+                continue;
+            };
+            let t = &traces[ti];
+            let epoch = t.records[..record]
+                .iter()
+                .filter(|r| !r.is_error() && r.call == iotrace_model::event::IoCall::MpiBarrier)
+                .count();
+            let id = nodes.len() as NodeId;
+            nodes.push(LineageNode {
+                rank,
+                record,
+                epoch,
+                ts_ns: t.records[record].ts.as_nanos(),
+                kind: NodeKind::Op,
+                path: None,
+                start: 0,
+                end: 0,
+                op: t.records[record].call.name(),
+            });
+            by_loc.insert((rank, record), id);
+        }
+        // Dep edges between resolved endpoints (dangling ones are the
+        // depgraph lint pass's findings, not graph material).
+        for e in &deps.edges {
+            if let (Some(&from), Some(&to)) = (
+                by_loc.get(&(e.from_rank, e.from_op)),
+                by_loc.get(&(e.to_rank, e.to_op)),
+            ) {
+                edges.push(LineageEdge {
+                    from,
+                    to,
+                    kind: EdgeKind::Dep {
+                        shift_ns: e.shift.as_nanos(),
+                    },
+                });
+            }
+        }
+    }
+
+    // 5. Interval replay: writes claim ranges, reads are attributed
+    //    to the covering writers; gaps in files the trace *does*
+    //    produce are orphan spans.
+    let mut finals: BTreeMap<Sym, RangeMap> = BTreeMap::new();
+    let mut orphans: Vec<OrphanSpan> = Vec::new();
+    for (i, (a, _)) in accesses.iter().enumerate() {
+        let id = i as NodeId;
+        let map = finals.entry(a.path).or_default();
+        if a.write {
+            map.write(a.start, a.end, id);
+        } else {
+            if map.is_empty() {
+                continue; // pre-existing input file: no producers expected
+            }
+            for (s, e, owner) in map.covered(a.start, a.end) {
+                edges.push(LineageEdge {
+                    from: owner,
+                    to: id,
+                    kind: EdgeKind::Flow { start: s, end: e },
+                });
+            }
+            for (s, e) in map.gaps(a.start, a.end) {
+                orphans.push(OrphanSpan {
+                    read: id,
+                    start: s,
+                    end: e,
+                });
+            }
+        }
+    }
+
+    // 6. Traversal indexes.
+    let mut in_edges: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
+    let mut out_edges: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
+    for (i, e) in edges.iter().enumerate() {
+        out_edges[e.from as usize].push(i as u32);
+        in_edges[e.to as usize].push(i as u32);
+    }
+    let mut reads_by_rank: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+    let mut writes_by_rank: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        match n.kind {
+            NodeKind::Read => reads_by_rank.entry(n.rank).or_default().push(i as NodeId),
+            NodeKind::Write => writes_by_rank.entry(n.rank).or_default().push(i as NodeId),
+            NodeKind::Op => {}
+        }
+    }
+    let mut dep_targets_by_rank: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+    let mut dep_sources_by_rank: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+    for e in &edges {
+        if matches!(e.kind, EdgeKind::Dep { .. }) {
+            let to = &nodes[e.to as usize];
+            let from = &nodes[e.from as usize];
+            dep_targets_by_rank.entry(to.rank).or_default().push(e.to);
+            dep_sources_by_rank
+                .entry(from.rank)
+                .or_default()
+                .push(e.from);
+        }
+    }
+    let by_record = |nodes: &[LineageNode], v: &mut Vec<NodeId>| {
+        v.sort_by_key(|&id| nodes[id as usize].record);
+        v.dedup();
+    };
+    for v in dep_targets_by_rank.values_mut() {
+        by_record(&nodes, v);
+    }
+    for v in dep_sources_by_rank.values_mut() {
+        by_record(&nodes, v);
+    }
+
+    LineageGraph {
+        nodes,
+        edges,
+        orphans,
+        paths,
+        hb,
+        finals,
+        in_edges,
+        out_edges,
+        reads_by_rank,
+        writes_by_rank,
+        dep_targets_by_rank,
+        dep_sources_by_rank,
     }
 }
 
@@ -732,5 +798,52 @@ mod tests {
         assert_eq!((segs[1].0, segs[1].1), (50, 150));
         assert_eq!(g.nodes[segs[1].2 as usize].rank, 1);
         assert_eq!(g.known_paths(), vec!["/f"]);
+    }
+
+    #[test]
+    fn streaming_fold_matches_batch_build() {
+        let mut traces = Vec::new();
+        for rank in 0..4u32 {
+            traces.push(trace_of(
+                rank,
+                rank as u64,
+                vec![
+                    open("/shared"),
+                    pwrite(rank as u64 * 100, 100),
+                    (IoCall::MpiBarrier, 0),
+                    pread(0, 400),
+                    open("/private"),
+                    pwrite(rank as u64 * 8, 8),
+                ],
+            ));
+        }
+        let batch = LineageGraph::build(&traces, None);
+        let mut fold = GraphFold::new();
+        for t in &traces {
+            fold.add_rank(t);
+        }
+        let streamed = fold.finish();
+        assert_eq!(streamed.render_full(), batch.render_full());
+        assert_eq!(streamed.nodes, batch.nodes);
+        assert_eq!(streamed.edges, batch.edges);
+        assert_eq!(streamed.orphans, batch.orphans);
+    }
+
+    #[test]
+    fn streaming_fold_torn_barriers_match_batch() {
+        // Ranks disagree on barrier count: aligned=false path, timestamp
+        // ordering. The fold must reproduce the batch result exactly.
+        let a = trace_of(
+            0,
+            0,
+            vec![open("/f"), pwrite(0, 64), (IoCall::MpiBarrier, 0)],
+        );
+        let b = trace_of(1, 5, vec![open("/f"), pread(0, 64)]);
+        let batch = LineageGraph::build(&[a.clone(), b.clone()], None);
+        let mut fold = GraphFold::new();
+        fold.add_rank(&a);
+        fold.add_rank(&b);
+        let streamed = fold.finish();
+        assert_eq!(streamed.render_full(), batch.render_full());
     }
 }

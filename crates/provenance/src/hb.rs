@@ -57,6 +57,16 @@ impl HbIndex {
         HbIndex { by_from, aligned }
     }
 
+    /// Build from per-rank barrier counts alone — the streaming graph
+    /// builder's path, where whole traces are never co-resident.
+    /// Equivalent to [`HbIndex::build`] with no dependency map.
+    pub fn from_barrier_counts(counts: &[usize]) -> Self {
+        HbIndex {
+            by_from: BTreeMap::new(),
+            aligned: counts.windows(2).all(|w| w[0] == w[1]),
+        }
+    }
+
     /// Do the ranks agree on barrier structure (epochs comparable)?
     pub fn aligned(&self) -> bool {
         self.aligned

@@ -40,7 +40,7 @@ pub mod query;
 pub mod range;
 
 pub use access::{extract_accesses, Access};
-pub use graph::{EdgeKind, LineageEdge, LineageGraph, LineageNode, NodeId, NodeKind};
+pub use graph::{EdgeKind, GraphFold, LineageEdge, LineageGraph, LineageNode, NodeId, NodeKind};
 pub use hb::HbIndex;
 pub use policy::Policy;
 pub use query::{taint, upstream, upstream_of_nodes, Lineage, TaintSource};

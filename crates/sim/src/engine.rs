@@ -11,12 +11,12 @@
 //! timings, which is what lets //TRACE-style throttling experiments
 //! attribute *every* timing shift to the injected delay.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::clock::NodeClock;
 use crate::ids::{CommId, NodeId, RankId, ANY_SOURCE, ANY_TAG};
 use crate::net::NetworkParams;
+use crate::pool::EventQueue;
 use crate::program::{Op, OpResult, RankProgram};
 use crate::rng::DetRng;
 use crate::time::{SimDur, SimTime};
@@ -252,11 +252,35 @@ struct BarrierState {
 pub struct Engine<E: Executor> {
     cfg: ClusterConfig,
     executor: E,
+    /// Global id of this engine's first rank. Zero for a whole-world
+    /// engine; a shard of a larger world ([`crate::shard`]) hosts ranks
+    /// `rank_base .. rank_base + programs.len()` so records, node
+    /// mapping and clocks all use the *global* rank id and the shard's
+    /// output is indistinguishable from the same ranks run unsharded.
+    rank_base: u32,
 }
 
 impl<E: Executor> Engine<E> {
     pub fn new(cfg: ClusterConfig, executor: E) -> Self {
-        Engine { cfg, executor }
+        Engine {
+            cfg,
+            executor,
+            rank_base: 0,
+        }
+    }
+
+    /// Offset this engine's ranks: program `i` runs as global rank
+    /// `base + i`. Cross-shard communication is impossible by
+    /// construction — a `Send`/`Recv`/`Barrier` naming a rank outside
+    /// the shard panics — so sharding is only valid for workloads whose
+    /// communication stays inside each rank group (see [`crate::shard`]).
+    pub fn with_rank_base(mut self, base: u32) -> Self {
+        self.rank_base = base;
+        self
+    }
+
+    pub fn rank_base(&self) -> u32 {
+        self.rank_base
     }
 
     pub fn config(&self) -> &ClusterConfig {
@@ -306,12 +330,32 @@ impl<E: Executor> Engine<E> {
     ) -> RunReport {
         let world = programs.len();
         assert!(world > 0, "need at least one rank program");
+        let base = self.rank_base;
+        // Shard-local index of a global rank id.
+        let local = |rid: u32| -> usize {
+            debug_assert!(
+                rid >= base && ((rid - base) as usize) < world,
+                "rank {rid} outside shard {base}..{}",
+                base as usize + world
+            );
+            (rid - base) as usize
+        };
         self.executor.begin_run(world);
 
-        // Communicator member lists: WORLD plus extras.
+        // Communicator member lists: WORLD (this engine's ranks) plus
+        // extras. A sharded engine's "world" is its rank group.
         let mut comms: Vec<BarrierState> = Vec::with_capacity(1 + self.cfg.extra_comms.len());
-        comms.push(BarrierState::new((0..world as u32).map(RankId).collect()));
+        comms.push(BarrierState::new(
+            (base..base + world as u32).map(RankId).collect(),
+        ));
         for members in &self.cfg.extra_comms {
+            for m in members {
+                assert!(
+                    m.0 >= base && ((m.0 - base) as usize) < world,
+                    "communicator member {m:?} outside shard {base}..{}",
+                    base as usize + world
+                );
+            }
             comms.push(BarrierState::new(members.clone()));
         }
 
@@ -324,11 +368,12 @@ impl<E: Executor> Engine<E> {
         let mut barrier_records: Vec<BarrierRecord> = Vec::new();
         let mut barrier_seq: u64 = 0;
 
-        // Ready queue: (time, seq) for determinism.
-        let mut heap: BinaryHeap<Reverse<(SimTime, u64, u32)>> = BinaryHeap::new();
+        // Ready queue: pooled pairing heap, ordered by (time, seq) for
+        // determinism (seq is unique, so the order is total).
+        let mut heap = EventQueue::with_capacity(world);
         let mut seq: u64 = 0;
         for r in 0..world as u32 {
-            heap.push(Reverse((SimTime::ZERO, seq, r)));
+            heap.push(SimTime::ZERO, seq, base + r);
             seq += 1;
         }
 
@@ -337,11 +382,12 @@ impl<E: Executor> Engine<E> {
         let mut events: u64 = 0;
         let mut aborted = false;
 
-        while let Some(Reverse((t, _, ridx))) = heap.pop() {
+        while let Some(ev) = heap.pop() {
+            let (t, ridx) = (ev.time, ev.rank);
             debug_assert!(t >= now, "time went backwards");
             now = t;
             let rank = RankId(ridx);
-            let ri = rank.index();
+            let ri = local(ridx);
 
             if matches!(states[ri], RankState::Finished) {
                 continue;
@@ -369,7 +415,7 @@ impl<E: Executor> Engine<E> {
                     stats[ri].compute_time += d;
                     pending[ri] = Some(OpResult::Computed);
                     states[ri] = RankState::Scheduled;
-                    heap.push(Reverse((now + d, seq, ridx)));
+                    heap.push(now + d, seq, ridx);
                     seq += 1;
                 }
                 Op::ReadClock => {
@@ -378,7 +424,7 @@ impl<E: Executor> Engine<E> {
                         truth: now,
                     });
                     states[ri] = RankState::Scheduled;
-                    heap.push(Reverse((now, seq, ridx)));
+                    heap.push(now, seq, ridx);
                     seq += 1;
                 }
                 Op::Barrier(comm) => {
@@ -394,7 +440,7 @@ impl<E: Executor> Engine<E> {
                         let mut entries = Vec::with_capacity(comms[ci].members.len());
                         let members = comms[ci].members.clone();
                         for m in members {
-                            let mi = m.index();
+                            let mi = local(m.0);
                             let mnode = self.cfg.node_of(m);
                             let mclock = self.cfg.clocks[mnode.index()];
                             let entered = barrier_enter[mi];
@@ -413,7 +459,7 @@ impl<E: Executor> Engine<E> {
                                 exited_obs: mclock.observe(release),
                             });
                             states[mi] = RankState::Scheduled;
-                            heap.push(Reverse((release, seq, m.0)));
+                            heap.push(release, seq, m.0);
                             seq += 1;
                         }
                         let rec = BarrierRecord {
@@ -428,12 +474,17 @@ impl<E: Executor> Engine<E> {
                     }
                 }
                 Op::Send { dst, bytes, tag } => {
-                    assert!(dst.index() < world, "send to unknown rank {dst:?}");
+                    assert!(
+                        dst.0 >= base && ((dst.0 - base) as usize) < world,
+                        "send to rank {dst:?} outside this engine's ranks {base}..{} \
+                         (cross-shard communication is not supported)",
+                        base as usize + world
+                    );
                     let deliver = now + self.cfg.net.delivery_time(bytes);
                     observer.on_message(rank, dst, bytes, tag, deliver);
                     stats[ri].messages_sent += 1;
                     stats[ri].bytes_sent += bytes;
-                    let di = dst.index();
+                    let di = local(dst.0);
                     mailboxes[di].push_back(Message {
                         src: rank,
                         tag,
@@ -454,13 +505,13 @@ impl<E: Executor> Engine<E> {
                             });
                             stats[di].messages_received += 1;
                             states[di] = RankState::Scheduled;
-                            heap.push(Reverse((at, seq, dst.0)));
+                            heap.push(at, seq, dst.0);
                             seq += 1;
                         }
                     }
                     pending[ri] = Some(OpResult::Sent);
                     states[ri] = RankState::Scheduled;
-                    heap.push(Reverse((now + self.cfg.net.send_overhead, seq, ridx)));
+                    heap.push(now + self.cfg.net.send_overhead, seq, ridx);
                     seq += 1;
                 }
                 Op::Recv { src, tag } => {
@@ -473,7 +524,7 @@ impl<E: Executor> Engine<E> {
                         });
                         stats[ri].messages_received += 1;
                         states[ri] = RankState::Scheduled;
-                        heap.push(Reverse((at, seq, ridx)));
+                        heap.push(at, seq, ridx);
                         seq += 1;
                     } else {
                         states[ri] = RankState::WaitingRecv { src, tag };
@@ -493,7 +544,7 @@ impl<E: Executor> Engine<E> {
                     debug_assert!(outcome.finish >= now, "executor moved time backwards");
                     pending[ri] = Some(OpResult::Io(outcome.result));
                     states[ri] = RankState::Scheduled;
-                    heap.push(Reverse((outcome.finish.max_of(now), seq, ridx)));
+                    heap.push(outcome.finish.max_of(now), seq, ridx);
                     seq += 1;
                 }
                 Op::Exit => {
@@ -523,7 +574,7 @@ impl<E: Executor> Engine<E> {
                 .iter()
                 .enumerate()
                 .filter(|(_, s)| !matches!(s, RankState::Finished))
-                .map(|(i, _)| RankId(i as u32))
+                .map(|(i, _)| RankId(base + i as u32))
                 .collect();
             debug_assert_eq!(finished + d.len(), world);
             d

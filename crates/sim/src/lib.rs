@@ -38,8 +38,10 @@ pub mod engine;
 pub mod fault;
 pub mod ids;
 pub mod net;
+pub mod pool;
 pub mod program;
 pub mod rng;
+pub mod shard;
 pub mod time;
 
 /// One-stop imports for downstream crates and examples.
